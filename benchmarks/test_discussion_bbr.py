@@ -1,0 +1,85 @@
+"""E12 — §6 discussion: BBRv1 at a congested last mile.
+
+Paper: "the original version of BBR that disregards packet loss may
+be detrimental in the context of persistent last-mile congestion, as
+it may put more burden to already overwhelmed devices.  Thus, the
+improvements brought by BBR v2 (i.e. account for loss and ECN) are
+essential in this context."
+
+We evaluate the Ware-style in-flight-cap model at an evening-peak
+BRAS: sweeping BBR deployment from 0 % to 50 % of flows, BBRv1 pins
+the queue at the buffer top and multiplies loss, while a v2-style
+loss-responsive variant leaves both untouched.
+"""
+
+from conftest import write_report
+from repro.cdn import (
+    BBR_V2_GAIN,
+    bbr_deployment_sweep,
+)
+from repro.core import format_table
+
+SWEEP_KWARGS = dict(
+    capacity_mbps=1000.0,
+    base_rtt_ms=12.0,
+    buffer_ms=60.0,
+    total_flows=50,
+    bbr_fractions=(0.0, 0.1, 0.25, 0.5),
+)
+
+
+def test_discussion_bbr(benchmark):
+    def sweep_both():
+        v1 = bbr_deployment_sweep(**SWEEP_KWARGS)
+        v2 = bbr_deployment_sweep(
+            bbr_gain=BBR_V2_GAIN, bbr_loss_responsive=True,
+            **SWEEP_KWARGS,
+        )
+        return v1, v2
+
+    v1, v2 = benchmark(sweep_both)
+
+    def rows(results):
+        return [
+            [f"{fraction:.0%}",
+             r.standing_queue_ms,
+             r.loss_probability * 100,
+             r.cubic_throughput_mbps,
+             r.bbr_throughput_mbps]
+            for fraction, r in results.items()
+        ]
+
+    headers = ["BBR flows", "queue (ms)", "loss (%)",
+               "cubic Mbps/flow", "BBR Mbps/flow"]
+    lines = [
+        "§6 discussion — BBR at an overwhelmed BRAS "
+        "(1 Gb/s, 12 ms RTT, 60 ms buffer, 50 flows)",
+        "",
+        "BBRv1 (loss-blind, gain 2.0):",
+        format_table(headers, rows(v1), float_format="{:.2f}"),
+        "",
+        "BBRv2-style (loss-responsive, gain 1.15):",
+        format_table(headers, rows(v2), float_format="{:.2f}"),
+    ]
+    write_report("discussion_bbr", "\n".join(lines))
+
+    baseline = v1[0.0]
+    for fraction in (0.1, 0.25, 0.5):
+        # v1: queue pinned at the buffer, loss up, cubic users down.
+        assert v1[fraction].standing_queue_ms > (
+            1.5 * baseline.standing_queue_ms
+        )
+        assert v1[fraction].loss_probability > (
+            5 * baseline.loss_probability
+        )
+        # v2: no extra burden.
+        assert v2[fraction].standing_queue_ms <= (
+            baseline.standing_queue_ms + 1e-9
+        )
+        assert v2[fraction].loss_probability < (
+            2 * baseline.loss_probability
+        )
+    # A small v1 deployment already hurts the loss-based majority.
+    assert v1[0.1].cubic_throughput_mbps < (
+        0.75 * baseline.cubic_throughput_mbps
+    )

@@ -1,0 +1,69 @@
+"""E4 — Fig. 4: classification breakdown by APNIC eyeball rank.
+
+Paper: congestion concentrates in large eyeball networks (top-1000
+APNIC ranks); comparing September 2019 with April 2020 the reported
+classes grow, most visibly in the large-eyeball buckets.
+"""
+
+import numpy as np
+
+from conftest import write_report
+from repro.apnic import EyeballRanking
+from repro.core import (
+    Severity,
+    breakdown_by_rank,
+    breakdown_percentages,
+    classify_dataset,
+    render_severity_breakdown,
+)
+
+
+def test_fig4_eyeball_breakdown(benchmark, survey_datasets):
+    dataset_sep, world_sep, period_sep = survey_datasets["2019-09"]
+    dataset_cov, world_cov, period_cov = survey_datasets["2020-04"]
+    ranking = EyeballRanking.from_registry(
+        world_sep.registry, rng=np.random.default_rng(4)
+    )
+
+    def breakdown_both():
+        out = {}
+        for label, (dataset, world, period) in (
+            ("2019-09", (dataset_sep, world_sep, period_sep)),
+            ("2020-04", (dataset_cov, world_cov, period_cov)),
+        ):
+            result = classify_dataset(dataset, period, table=world.table)
+            out[label] = (
+                result,
+                breakdown_percentages(breakdown_by_rank(result, ranking)),
+            )
+        return out
+
+    both = benchmark.pedantic(breakdown_both, rounds=2, iterations=1)
+
+    lines = [
+        "Fig. 4 — classification breakdown by APNIC rank bucket",
+        "paper: congestion in large eyeballs (top-1k); more reported",
+        "       ASes in April 2020",
+        "",
+    ]
+    for label, (result, pct) in both.items():
+        lines.append(render_severity_breakdown(pct, title=label))
+        lines.append("")
+    write_report("fig4_eyeball_breakdown", "\n".join(lines))
+
+    for label, (result, pct) in both.items():
+        large = ["1 to 10", "11 to 100", "101 to 1k"]
+        small = ["1k to 10k", "more than 10k"]
+        reported_large = sum(
+            pct[b][s] for b in large for s in Severity if s.is_reported
+        )
+        reported_small = sum(
+            pct[b][s] for b in small if b in pct
+            for s in Severity if s.is_reported
+        )
+        # Congestion concentrates in the large-eyeball buckets.
+        assert reported_large >= reported_small
+
+    sep_reported = len(both["2019-09"][0].reported_asns())
+    cov_reported = len(both["2020-04"][0].reported_asns())
+    assert cov_reported > sep_reported

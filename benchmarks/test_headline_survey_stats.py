@@ -1,0 +1,92 @@
+"""E5 — §3.1/§3.2 headline statistics.
+
+Paper: ~90 % of monitored ASes classify as None; ~47 reported ASes per
+period with little churn (36 reported in at least half the periods);
+reported count rises 55 % (45 → 70) from September 2019 to April 2020;
+53 of 98 countries host a reported AS; Japan leads the Severe tally.
+"""
+
+import numpy as np
+
+from conftest import FULL_SCALE, write_report
+from repro.apnic import EyeballRanking
+from repro.core import (
+    Severity,
+    SurveySuite,
+    classify_dataset,
+    format_table,
+    geographic_distribution,
+    render_survey_headline,
+)
+
+
+def test_headline_survey_stats(
+    benchmark, survey_datasets, survey_period_names
+):
+    def run_suite():
+        suite = SurveySuite()
+        for name in list(survey_period_names) + ["2020-04"]:
+            dataset, world, period = survey_datasets[name]
+            suite.add(
+                classify_dataset(dataset, period, table=world.table)
+            )
+        return suite
+
+    suite = benchmark.pedantic(run_suite, rounds=2, iterations=1)
+
+    _dataset, world, _period = survey_datasets["2019-09"]
+    ranking = EyeballRanking.from_registry(
+        world.registry, rng=np.random.default_rng(4)
+    )
+    longitudinal = [
+        suite.results[name] for name in survey_period_names
+    ]
+
+    before, after, increase = suite.reported_increase(
+        "2019-09", "2020-04"
+    )
+    recurrent = suite.recurrent_asns(min_fraction=0.5)
+    geo = geographic_distribution(longitudinal, ranking)
+    geo_severe = geographic_distribution(
+        longitudinal, ranking, severity=Severity.SEVERE
+    )
+
+    lines = ["§3 headline statistics", ""]
+    for name in suite.period_names():
+        lines.append(render_survey_headline(suite.results[name]))
+    lines += [
+        "",
+        f"average reported per period (paper ~47/646 = 7.3%): "
+        f"{suite.average_reported():.1f} of "
+        f"{longitudinal[0].monitored_count}",
+        f"recurrent (>=half of periods; paper 36): {len(recurrent)}",
+        f"2019-09 -> 2020-04 reported: {before} -> {after} "
+        f"(+{increase:.0%}; paper 45 -> 70, +55%)",
+        f"mean consecutive reported-set similarity (paper: 'little "
+        f"churn'): {suite.mean_consecutive_similarity():.2f}",
+        f"countries with a reported AS (paper 53/98): {len(geo)}",
+        f"countries with a Severe AS (paper 23): {len(geo_severe)}",
+        "",
+        "severe reports by country (paper: JP leads at 18%, US 8%):",
+        format_table(
+            ["country", "severe reports"],
+            [[c, n] for c, n in list(geo_severe.items())[:8]],
+        ),
+    ]
+    write_report("headline_survey_stats", "\n".join(lines))
+
+    # Shape assertions.
+    for result in longitudinal:
+        assert result.none_fraction() > 0.80
+    assert increase > 0.2
+    assert len(recurrent) >= 0.5 * suite.average_reported()
+    # Churn exists but is limited: consecutive reported sets overlap.
+    assert suite.mean_consecutive_similarity() > 0.4
+    # Severe congestion concentrates in few countries (paper: 23 of
+    # 98, Japan leading).  The JP-leads check needs the full 646-AS
+    # population: at reduced scale Japan only hosts a handful of ASes
+    # and the per-country tally is dominated by sampling noise.
+    assert len(geo_severe) < len(geo)
+    if FULL_SCALE and geo_severe:
+        top3 = list(geo_severe)[:3]
+        assert "JP" in top3

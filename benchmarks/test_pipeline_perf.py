@@ -1,0 +1,130 @@
+"""E11 — pipeline micro-benchmarks (not a paper figure).
+
+Times the individual stages a deployment of this pipeline would run
+continuously: Atlas JSON parsing, boundary detection, last-mile
+estimation, longest-prefix matching, Welch classification, and the
+binned simulator fast path.
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+from repro.atlas import AtlasPlatform, ProbeVersion, TracerouteResult
+from repro.bgp import RoutingTable
+from repro.core import (
+    classify_signal,
+    estimate_probe_series,
+    lastmile_samples,
+)
+from repro.netbase import AccessTechnology, ASInfo, ASRole, IPAddress, Prefix
+from repro.timebase import MeasurementPeriod, TimeGrid
+from repro.topology import ProvisioningPolicy, World
+
+DAY = MeasurementPeriod("perf-day", dt.datetime(2019, 9, 2), 1)
+
+
+@pytest.fixture(scope="module")
+def one_probe_day():
+    """One probe's full-fidelity traceroutes for a day."""
+    world = World(seed=3)
+    isp = world.add_isp(
+        ASInfo(
+            64500, "ISP", "JP", ASRole.EYEBALL,
+            access_technologies=[AccessTechnology.FTTH_PPPOE_LEGACY],
+        ),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={AccessTechnology.FTTH_PPPOE_LEGACY: 0.95}
+        ),
+    )
+    world.add_default_targets()
+    world.finalize()
+    platform = AtlasPlatform(world)
+    platform.config.outage_rate_per_day = 0.0
+    probes = platform.deploy_probes_on_isp(
+        isp, 1, version=ProbeVersion.V3
+    )
+    dataset = platform.run_period(DAY, probes)
+    return platform, probes, dataset.for_probe(probes[0].probe_id)
+
+
+def test_perf_json_roundtrip(benchmark, one_probe_day):
+    """Parse throughput of Atlas-schema JSON (dict form)."""
+    _platform, _probes, results = one_probe_day
+    payload = [r.to_json() for r in results]
+
+    def parse_all():
+        return [TracerouteResult.from_json(d) for d in payload]
+
+    parsed = benchmark(parse_all)
+    assert len(parsed) == len(results)
+
+
+def test_perf_lastmile_samples(benchmark, one_probe_day):
+    """Boundary detection + pairwise subtraction per traceroute."""
+    _platform, _probes, results = one_probe_day
+
+    def extract_all():
+        return sum(len(lastmile_samples(r)) for r in results)
+
+    total = benchmark(extract_all)
+    assert total > 5 * len(results)
+
+
+def test_perf_estimation(benchmark, one_probe_day):
+    """Full §2.1 per-probe estimation over a day of traceroutes."""
+    _platform, probes, results = one_probe_day
+    grid = TimeGrid(DAY)
+
+    series = benchmark(
+        lambda: estimate_probe_series(results, grid)
+    )
+    assert series.valid_mask().sum() > 40
+
+
+def test_perf_lpm(benchmark):
+    """Longest-prefix-match rate on a realistic-size RIB."""
+    rng = np.random.default_rng(0)
+    table = RoutingTable()
+    for i in range(20_000):
+        addr = int(rng.integers(0, 2**32))
+        length = int(rng.integers(8, 25))
+        prefix = Prefix.containing(IPAddress(4, addr), length)
+        table.announce_prefix(prefix, 64500 + i % 1000)
+    queries = rng.integers(0, 2**32, size=5_000)
+
+    def lookup_all():
+        return sum(
+            1 for q in queries if table.resolve_asn(int(q), 4) is not None
+        )
+
+    hits = benchmark(lookup_all)
+    assert 0 < hits <= len(queries)
+
+
+def test_perf_welch_classification(benchmark):
+    """Classification of one 15-day aggregated signal."""
+    rng = np.random.default_rng(1)
+    t = np.arange(720) / 48.0
+    signal = 1.2 * (1 + np.sin(2 * np.pi * t)) + rng.normal(0, 0.1, 720)
+
+    result = benchmark(lambda: classify_signal(signal, 1800))
+    assert result.severity.is_reported
+
+
+def test_perf_binned_fast_path(benchmark, one_probe_day):
+    """The binned simulator fast path, per probe-day."""
+    platform, probes, _results = one_probe_day
+
+    dataset = benchmark.pedantic(
+        lambda: platform.run_period_binned(DAY, probes),
+        rounds=5, iterations=1,
+    )
+    assert len(dataset) == 1
+    write_report(
+        "pipeline_perf",
+        "micro-benchmarks recorded by pytest-benchmark; see the "
+        "--benchmark-only table in bench_output.txt",
+    )

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""What-if capacity planning with the congestion detector.
+
+A downstream use of the library beyond reproducing the paper: an ISP
+operator asks *"how hot can my aggregation devices run at the evening
+peak before RIPE Atlas users would flag my network as congested?"*.
+
+We sweep peak utilization for two device profiles — a legacy PPPoE
+BRAS and a modern IPoE gateway — and report the detected severity
+class at each provisioning level, locating the paper's 0.5 ms
+detectability threshold in provisioning terms.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.atlas import AtlasPlatform, ProbeVersion
+from repro.core import (
+    aggregate_population,
+    classify_signal,
+    format_table,
+)
+from repro.netbase import AccessTechnology, ASInfo, ASRole
+from repro.timebase import LONGITUDINAL_PERIODS
+from repro.topology import ProvisioningPolicy, World
+
+PERIOD = LONGITUDINAL_PERIODS[-1]
+PEAKS = [0.70, 0.80, 0.88, 0.92, 0.95, 0.97, 0.99]
+PROFILES = {
+    "legacy PPPoE BRAS": AccessTechnology.FTTH_PPPOE_LEGACY,
+    "modern IPoE gateway": AccessTechnology.FTTH_IPOE_LEGACY,
+}
+
+
+def classify_at(technology: AccessTechnology, peak: float):
+    """Severity + amplitude for one (device profile, provisioning)."""
+    world = World(seed=17)
+    isp = world.add_isp(
+        ASInfo(
+            64500, "PlanNet", "JP", ASRole.EYEBALL,
+            access_technologies=[technology],
+        ),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={technology: peak}, device_spread=0.01
+        ),
+    )
+    world.add_default_targets()
+    world.finalize()
+    platform = AtlasPlatform(world)
+    isp.ensure_devices(technology, 3)
+    probes = platform.deploy_probes_on_isp(
+        isp, 6, version=ProbeVersion.V3
+    )
+    dataset = platform.run_period_binned(PERIOD, probes)
+    signal = aggregate_population(dataset)
+    result = classify_signal(signal.delay_ms, dataset.grid.bin_seconds)
+    return result, float(signal.max_delay_ms)
+
+
+def main():
+    for label, technology in PROFILES.items():
+        print(f"\n== {label} ==")
+        rows = []
+        flagged_at = None
+        for peak in PEAKS:
+            result, max_delay = classify_at(technology, peak)
+            if flagged_at is None and result.severity.is_reported:
+                flagged_at = peak
+            rows.append([
+                f"{peak:.0%}",
+                result.daily_amplitude_ms,
+                max_delay,
+                result.severity.value,
+            ])
+        print(format_table(
+            ["peak utilization", "daily amplitude (ms)",
+             "max agg delay (ms)", "class"],
+            rows,
+            float_format="{:.2f}",
+        ))
+        if flagged_at is not None:
+            print(f"-> flagged as congested from "
+                  f"{flagged_at:.0%} peak utilization")
+        else:
+            print("-> never flagged: this device profile absorbs the "
+                  "evening peak at any sustainable load")
+
+
+if __name__ == "__main__":
+    main()

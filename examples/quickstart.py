@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: detect persistent last-mile congestion in one AS.
+
+Builds a minimal world with one under-provisioned eyeball network,
+deploys a handful of Atlas probes on it, runs two weeks of simulated
+built-in measurements, and applies the paper's full methodology:
+
+    last-mile RTT estimation -> per-probe queueing delay ->
+    population median -> Welch periodogram -> severity class
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.atlas import AtlasPlatform
+from repro.core import (
+    aggregate_population,
+    classify_signal,
+    welch_periodogram,
+)
+from repro.netbase import AccessTechnology, ASInfo, ASRole
+from repro.timebase import LONGITUDINAL_PERIODS
+from repro.topology import ProvisioningPolicy, World
+
+
+def main():
+    # 1. A world with one congested eyeball AS.  peak_utilization is
+    #    the provisioning knob: ~0.97 models an ossified PPPoE BRAS
+    #    running near saturation at the evening peak.
+    world = World(seed=1)
+    isp = world.add_isp(
+        ASInfo(
+            asn=64500,
+            name="ExampleNet",
+            country="JP",
+            role=ASRole.EYEBALL,
+            access_technologies=[AccessTechnology.FTTH_PPPOE_LEGACY],
+        ),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={AccessTechnology.FTTH_PPPOE_LEGACY: 0.95},
+            device_spread=0.01,
+            load_jitter_std=0.008,
+        ),
+    )
+    world.add_default_targets()   # root DNS / controller stand-ins
+    world.finalize()              # announce prefixes in the RIB
+
+    # 2. Deploy probes and run one of the paper's measurement windows.
+    platform = AtlasPlatform(world)
+    probes = platform.deploy_probes_on_isp(isp, count=6)
+    period = LONGITUDINAL_PERIODS[-1]      # 2019-09, 15 days
+    dataset = platform.run_period_binned(period, probes)
+
+    # 3. The paper's §2 pipeline.
+    signal = aggregate_population(dataset)
+    result = classify_signal(signal.delay_ms, dataset.grid.bin_seconds)
+    periodogram = welch_periodogram(
+        signal.delay_ms, dataset.grid.bin_seconds
+    )
+    freq, amp = periodogram.prominent()
+
+    print(f"period                : {period}")
+    print(f"probes                : {signal.probe_count}")
+    print(f"max aggregated delay  : {signal.max_delay_ms:.2f} ms")
+    print(f"daily maxima (ms)     : "
+          f"{np.round(signal.daily_max_ms(), 2)}")
+    print(f"prominent frequency   : {freq:.4f} cycles/hour "
+          f"(daily = {1/24:.4f})")
+    print(f"peak-to-peak amplitude: {amp:.2f} ms")
+    print(f"classification        : {result.severity.value.upper()}")
+
+    if result.severity.is_reported:
+        print("\n-> ExampleNet shows persistent last-mile congestion: "
+              "a clear daily pattern driven by its saturated "
+              "aggregation devices.")
+    else:
+        print("\n-> No persistent congestion detected.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""The paper's §3 world survey at configurable scale.
+
+Classifies every AS hosting >= 3 probes across several measurement
+periods, then prints the headline statistics: None fraction, reported
+counts, recurrence, the COVID-19 increase, the eyeball-rank breakdown
+and the geographic distribution of severe congestion.
+
+Run:  python examples/world_survey.py [--ases 150] [--full]
+(--full runs the paper-scale 646-AS / 98-country survey; expect a few
+minutes.)
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.apnic import EyeballRanking
+from repro.core import (
+    Severity,
+    SurveySuite,
+    breakdown_by_rank,
+    breakdown_percentages,
+    daily_fraction,
+    amplitude_distribution,
+    geographic_distribution,
+    render_severity_breakdown,
+    render_survey_headline,
+)
+from repro.scenarios import generate_specs, run_survey_period
+from repro.timebase import COVID_PERIOD, LONGITUDINAL_PERIODS
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ases", type=int, default=150)
+    parser.add_argument("--countries", type=int, default=40)
+    parser.add_argument(
+        "--periods", type=int, default=3,
+        help="number of longitudinal periods (max 6)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper scale: 646 ASes, 98 countries, all 6 periods",
+    )
+    args = parser.parse_args()
+    if args.full:
+        args.ases, args.countries, args.periods = 646, 98, 6
+
+    specs = generate_specs(
+        num_ases=args.ases, num_countries=args.countries, seed=101
+    )
+    print(f"Survey population: {args.ases} ASes in "
+          f"{len({s.country for s in specs})} countries, "
+          f"{sum(s.probe_count for s in specs)} probes\n")
+
+    suite = SurveySuite()
+    last_world = None
+    periods = list(LONGITUDINAL_PERIODS[-args.periods:]) + [COVID_PERIOD]
+    for period in periods:
+        print(f"running {period.name}...", flush=True)
+        result, last_world = run_survey_period(specs, period)
+        suite.add(result)
+        print("  " + render_survey_headline(result))
+
+    ranking = EyeballRanking.from_registry(
+        last_world.registry, rng=np.random.default_rng(4)
+    )
+    longitudinal = [
+        suite.results[p.name] for p in periods if p.name != "2020-04"
+    ]
+
+    print("\n== headline statistics (paper §3) ==")
+    sep = longitudinal[-1]
+    before, after, increase = suite.reported_increase(
+        sep.period.name, "2020-04"
+    )
+    print(f"average reported per period : {suite.average_reported():.1f}")
+    print(f"recurrent (>= half periods) : "
+          f"{len(suite.recurrent_asns())}")
+    print(f"COVID increase              : {before} -> {after} "
+          f"(+{increase:.0%}; paper +55%)")
+
+    last = longitudinal[-1]
+    print(f"daily-prominent fraction    : "
+          f"{daily_fraction(last.prominent_frequencies()):.0%} "
+          f"(paper: majority)")
+    dist = amplitude_distribution(last.daily_amplitudes())
+    print("amplitude split             : "
+          + " / ".join(f"{v:.0%}" for v in dist.values())
+          + "   (paper 83/7/6/4%)")
+
+    print("\n== Fig. 4: breakdown by APNIC rank (2020-04) ==")
+    pct = breakdown_percentages(
+        breakdown_by_rank(suite.results["2020-04"], ranking)
+    )
+    print(render_severity_breakdown(pct))
+
+    print("\n== geographic distribution of Severe reports ==")
+    geo = geographic_distribution(
+        longitudinal, ranking, severity=Severity.SEVERE
+    )
+    for country, count in list(geo.items())[:10]:
+        print(f"  {country}: {count}")
+
+
+if __name__ == "__main__":
+    main()

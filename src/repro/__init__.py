@@ -1,0 +1,56 @@
+"""repro — reproduction of *Persistent Last-mile Congestion: Not so
+Uncommon* (Fontugne, Shah, Cho; ACM IMC 2020).
+
+The package is layered (see DESIGN.md):
+
+* substrates — :mod:`repro.netbase`, :mod:`repro.bgp`,
+  :mod:`repro.topology`, :mod:`repro.traffic`, :mod:`repro.queueing`,
+  :mod:`repro.atlas`, :mod:`repro.cdn`, :mod:`repro.apnic`;
+* the paper's methodology — :mod:`repro.core`;
+* configured experiment worlds — :mod:`repro.scenarios`.
+
+Typical use::
+
+    from repro.scenarios import build_tokyo_case_study
+    from repro.core import aggregate_population, classify_signal
+
+    study = build_tokyo_case_study()
+    dataset = study.dataset_for("ISP_A")
+    signal = aggregate_population(dataset)
+    result = classify_signal(signal.delay_ms, dataset.grid.bin_seconds)
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401
+    apnic,
+    atlas,
+    bgp,
+    cdn,
+    core,
+    io,
+    netbase,
+    queueing,
+    raclette,
+    scenarios,
+    timebase,
+    topology,
+    traffic,
+)
+
+__all__ = [
+    "__version__",
+    "netbase",
+    "bgp",
+    "topology",
+    "traffic",
+    "queueing",
+    "atlas",
+    "cdn",
+    "apnic",
+    "core",
+    "scenarios",
+    "timebase",
+    "io",
+    "raclette",
+]

@@ -1,0 +1,17 @@
+"""APNIC-style eyeball population ranking substrate."""
+
+from .eyeball import (
+    RANK_BUCKETS,
+    EyeballEstimate,
+    EyeballRanking,
+    bucket_for_rank,
+    zipf_user_counts,
+)
+
+__all__ = [
+    "RANK_BUCKETS",
+    "EyeballEstimate",
+    "EyeballRanking",
+    "bucket_for_rank",
+    "zipf_user_counts",
+]

@@ -1,0 +1,157 @@
+"""APNIC-style eyeball population estimates (paper §3.2).
+
+The paper buckets congested ASes by their APNIC "visible ASN customer
+population" rank.  We reproduce the artifact: a global ranking of
+eyeball ASes by estimated user count, with the country code attached,
+and the Fig. 4 rank buckets.
+
+User counts come from the registry's ``subscribers`` field (set by the
+scenario builders to a Zipf-like distribution, as real eyeball
+populations are) with optional estimation noise — APNIC's numbers are
+sample-based estimates, not census data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..netbase import ASRegistry
+
+#: Fig. 4's x-axis buckets, as (label, inclusive rank range).
+RANK_BUCKETS: Tuple[Tuple[str, Tuple[int, int]], ...] = (
+    ("1 to 10", (1, 10)),
+    ("11 to 100", (11, 100)),
+    ("101 to 1k", (101, 1000)),
+    ("1k to 10k", (1001, 10_000)),
+    ("more than 10k", (10_001, 10**9)),
+)
+
+
+def bucket_for_rank(rank: int) -> str:
+    """Fig. 4 bucket label for a global rank (1-based)."""
+    if rank < 1:
+        raise ValueError(f"ranks start at 1, got {rank}")
+    for label, (low, high) in RANK_BUCKETS:
+        if low <= rank <= high:
+            return label
+    raise AssertionError("unreachable: buckets cover all ranks")
+
+
+@dataclass(frozen=True)
+class EyeballEstimate:
+    """One AS's estimated user population and ranks."""
+
+    asn: int
+    country: str
+    users: int
+    global_rank: int
+    country_rank: int
+
+
+class EyeballRanking:
+    """Global eyeball ranking, queryable by ASN."""
+
+    def __init__(self, estimates: List[EyeballEstimate]):
+        self._by_asn: Dict[int, EyeballEstimate] = {
+            e.asn: e for e in estimates
+        }
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def get(self, asn: int) -> Optional[EyeballEstimate]:
+        """The estimate for an AS, or None when not ranked."""
+        return self._by_asn.get(asn)
+
+    def rank_of(self, asn: int) -> Optional[int]:
+        """Global rank of an AS, or None."""
+        estimate = self.get(asn)
+        return estimate.global_rank if estimate else None
+
+    def bucket_of(self, asn: int) -> Optional[str]:
+        """Fig. 4 bucket of an AS, or None when not ranked."""
+        rank = self.rank_of(asn)
+        return bucket_for_rank(rank) if rank is not None else None
+
+    def top(self, count: int, country: Optional[str] = None) -> List[EyeballEstimate]:
+        """The top-``count`` ASes globally or within one country."""
+        pool = [
+            e for e in self._by_asn.values()
+            if country is None or e.country == country
+        ]
+        key = (
+            (lambda e: e.global_rank) if country is None
+            else (lambda e: e.country_rank)
+        )
+        return sorted(pool, key=key)[:count]
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry: ASRegistry,
+        rng: Optional[np.random.Generator] = None,
+        estimation_noise: float = 0.05,
+        rank_offset: int = 0,
+    ) -> "EyeballRanking":
+        """Build the ranking from the registry's eyeball ASes.
+
+        ``estimation_noise`` perturbs user counts multiplicatively
+        (lognormal), mimicking APNIC's sampling error.  ``rank_offset``
+        shifts global ranks to account for the (unmonitored) rest of
+        the Internet: our simulated worlds contain hundreds of ASes,
+        the real ranking has tens of thousands.
+        """
+        eyeballs = [a for a in registry.eyeballs() if a.subscribers > 0]
+        estimates = []
+        users = []
+        for info in eyeballs:
+            estimate = float(info.subscribers)
+            if rng is not None and estimation_noise > 0:
+                estimate *= float(
+                    rng.lognormal(0.0, estimation_noise)
+                )
+            users.append(int(round(estimate)))
+        order = np.argsort([-u for u in users], kind="stable")
+        country_counters: Dict[str, int] = {}
+        ranked: List[EyeballEstimate] = [None] * len(eyeballs)
+        for rank_index, original in enumerate(order, start=1):
+            info = eyeballs[original]
+            country_counters[info.country] = (
+                country_counters.get(info.country, 0) + 1
+            )
+            ranked[original] = EyeballEstimate(
+                asn=info.asn,
+                country=info.country,
+                users=users[original],
+                global_rank=rank_index + rank_offset,
+                country_rank=country_counters[info.country],
+            )
+        return cls(ranked)
+
+
+def zipf_user_counts(
+    count: int,
+    rng: np.random.Generator,
+    max_users: int = 30_000_000,
+    exponent: float = 1.1,
+    min_users: int = 2_000,
+) -> List[int]:
+    """Zipf-like user populations for ``count`` eyeball ASes.
+
+    Real eyeball populations are extremely skewed: a handful of ASes
+    serve tens of millions, a long tail serves thousands.  Jitter
+    breaks ties so rankings are stable but not degenerate.
+    """
+    if count < 1:
+        raise ValueError(f"need at least one AS, got {count}")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    base = max_users / ranks**exponent
+    jitter = rng.lognormal(0.0, 0.3, size=count)
+    users = np.maximum(base * jitter, min_users)
+    return [int(u) for u in users]

@@ -1,0 +1,53 @@
+"""RIPE Atlas platform simulator.
+
+Produces Atlas-shaped traceroute measurement data over a simulated
+world: probe fleet deployment (v1/v2/v3 probes and anchors), the
+built-in measurement schedule (24 traceroutes per probe per 30 minutes,
+matching §2.1 of the paper), and the per-reply RTT physics.
+"""
+
+from .engine import EngineConfig, TracerouteEngine
+from .measurements import (
+    BuiltinMeasurement,
+    BuiltinSchedule,
+    TRACEROUTES_PER_BIN,
+)
+from .platform import AtlasPlatform, DeploymentConfig
+from .probe import (
+    Interval,
+    Probe,
+    ProbeVersion,
+    sample_interference,
+    sample_outages,
+    sample_reconnects,
+)
+from .traceroute import (
+    Hop,
+    MeasurementDataset,
+    ProbeMeta,
+    Reply,
+    REPLIES_PER_HOP,
+    TracerouteResult,
+)
+
+__all__ = [
+    "AtlasPlatform",
+    "DeploymentConfig",
+    "TracerouteEngine",
+    "EngineConfig",
+    "BuiltinSchedule",
+    "BuiltinMeasurement",
+    "TRACEROUTES_PER_BIN",
+    "Probe",
+    "ProbeVersion",
+    "Interval",
+    "sample_outages",
+    "sample_interference",
+    "sample_reconnects",
+    "TracerouteResult",
+    "Hop",
+    "Reply",
+    "REPLIES_PER_HOP",
+    "MeasurementDataset",
+    "ProbeMeta",
+]

@@ -1,0 +1,194 @@
+"""Traceroute RTT engine.
+
+Turns a :class:`~repro.topology.world.TraceroutePath` plus a launch
+time into an Atlas-shaped :class:`TracerouteResult`.  All physics comes
+from the lower substrates: base RTTs from the topology, queueing delay
+and loss from the subscriber's aggregation device at the launch-time
+bin, measurement noise from the LAN/medium/probe-version models.
+
+Per-reply composition for a hop at time ``t``::
+
+    rtt = base_rtt(hop)                      # propagation, fixed
+        + N(0, noise(hop) * version_mult)    # measurement noise
+        + queue_sample(device, t)            # iff hop crosses access dev
+        + Exp(interference(t))               # v1/v2 busy-probe episodes
+
+Replies crossing a lossy queue (or a non-responding router) become
+``*`` timeouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..timebase import TimeGrid
+from ..topology import InfrastructureTarget, TraceroutePath, World
+from .probe import Probe
+from .traceroute import REPLIES_PER_HOP, Hop, Reply, TracerouteResult
+
+#: Loss floor applied to every reply, queue or not (ICMP deprioritized,
+#: transient path noise).
+BASE_REPLY_LOSS = 0.005
+
+
+@dataclass
+class EngineConfig:
+    """Tunables of the RTT engine."""
+
+    base_reply_loss: float = BASE_REPLY_LOSS
+    #: RTTs below this floor are clamped (serialization still costs).
+    min_rtt_ms: float = 0.05
+    #: Decimals kept on RTTs, like Atlas JSON.
+    rtt_decimals: int = 3
+
+
+class TracerouteEngine:
+    """Samples traceroute results over a world and a time grid."""
+
+    def __init__(
+        self,
+        world: World,
+        grid: TimeGrid,
+        rng: Optional[np.random.Generator] = None,
+        config: Optional[EngineConfig] = None,
+    ):
+        self.world = world
+        self.grid = grid
+        self.rng = rng if rng is not None else world.child_rng()
+        self.config = config or EngineConfig()
+        self._paths: Dict[Tuple[int, int, str], TraceroutePath] = {}
+
+    def path_for(
+        self, probe: Probe, target: InfrastructureTarget, af: int = 4
+    ) -> TraceroutePath:
+        """Cached routed path from a probe to a target."""
+        key = (probe.asn, probe.subscriber.subscriber_id,
+               target.name, af)
+        if key not in self._paths:
+            self._paths[key] = self.world.build_path(
+                probe.subscriber, target, af=af
+            )
+        return self._paths[key]
+
+    def _device_state(
+        self, path: TraceroutePath, t: float
+    ) -> Tuple[float, float]:
+        """(utilization, loss probability) of the path's access device."""
+        shared = path.access_device.device
+        rho_series = shared.utilization(self.grid, self.rng)
+        bin_index = int(self.grid.bin_index(t))
+        rho = float(rho_series[bin_index])
+        loss = float(shared.link.loss_probability(rho))
+        return rho, loss
+
+    def measure(
+        self,
+        probe: Probe,
+        target: InfrastructureTarget,
+        t: float,
+        msm_id: int,
+        af: int = 4,
+    ) -> Optional[TracerouteResult]:
+        """One traceroute at time ``t``; None when the probe is offline."""
+        if not probe.connected_at(t):
+            return None
+        path = self.path_for(probe, target, af=af)
+        rho, queue_loss = self._device_state(path, t)
+        link = path.access_device.device.link
+        interference_ms = probe.interference_at(t)
+        version_mult = probe.version.noise_multiplier
+        cfg = self.config
+        rng = self.rng
+
+        n_hops = path.hop_count
+        noise = rng.normal(size=(n_hops, REPLIES_PER_HOP))
+        loss_draw = rng.random(size=(n_hops, REPLIES_PER_HOP))
+        queue_samples = link.sample_packet_delays_ms(
+            rho, n_hops * REPLIES_PER_HOP, rng
+        ).reshape(n_hops, REPLIES_PER_HOP)
+
+        # Congested transit/peering link (specificity experiments):
+        # extra queueing on every hop beyond the transit ingress.
+        if path.interdomain_device is not None:
+            inter = path.interdomain_device
+            inter_rho = inter.utilization(self.grid, rng)
+            bin_index = int(self.grid.bin_index(t))
+            inter_samples = inter.link.sample_packet_delays_ms(
+                float(inter_rho[bin_index]),
+                n_hops * REPLIES_PER_HOP, rng,
+            ).reshape(n_hops, REPLIES_PER_HOP)
+        else:
+            inter_samples = None
+        if interference_ms > 0.0:
+            busy_extra = rng.exponential(
+                interference_ms, size=(n_hops, REPLIES_PER_HOP)
+            )
+        else:
+            busy_extra = np.zeros((n_hops, REPLIES_PER_HOP))
+
+        # PPPoE session generation: which BRAS card (first-hop alias)
+        # and what base-RTT shift this session carries.
+        session_index, session_delta = probe.session_at(t)
+        first_public_index = next(
+            (i for i, spec in enumerate(path.hops) if spec.access_queue),
+            None,
+        )
+
+        hops: List[Hop] = []
+        for index, spec in enumerate(path.hops):
+            replies = []
+            loss_p = cfg.base_reply_loss + (
+                queue_loss if spec.access_queue else 0.0
+            )
+            address = str(spec.address)
+            if (
+                index == first_public_index
+                and session_index
+                and path.af == 4
+            ):
+                address = str(
+                    path.access_device.edge_alias(session_index)
+                )
+            for slot in range(REPLIES_PER_HOP):
+                if not spec.responds or loss_draw[index, slot] < loss_p:
+                    replies.append(Reply.timeout())
+                    continue
+                rtt = (
+                    spec.base_rtt_ms
+                    + noise[index, slot] * spec.noise_ms * version_mult
+                    + busy_extra[index, slot]
+                )
+                if spec.access_queue:
+                    rtt += queue_samples[index, slot] + session_delta
+                if spec.interdomain_queue and inter_samples is not None:
+                    rtt += inter_samples[index, slot]
+                rtt = max(rtt, cfg.min_rtt_ms)
+                replies.append(
+                    Reply(address,
+                          round(float(rtt), cfg.rtt_decimals))
+                )
+            hops.append(Hop(hop=index + 1, replies=tuple(replies)))
+
+        subscriber = probe.subscriber
+        if af == 6:
+            public = str(subscriber.v6_address)
+            src = public  # v6 hosts use their global address directly
+        else:
+            public = str(subscriber.wan_address)
+            src = (
+                str(subscriber.lan.probe_address)
+                if subscriber.lan is not None else public
+            )
+        return TracerouteResult(
+            prb_id=probe.probe_id,
+            msm_id=msm_id,
+            timestamp=float(t),
+            src_address=src,
+            from_address=public,
+            dst_address=str(target.address_for(af)),
+            hops=tuple(hops),
+            af=af,
+        )

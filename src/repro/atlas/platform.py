@@ -1,0 +1,395 @@
+"""The Atlas platform simulator: deployment and measurement campaigns.
+
+Two fidelity modes share one statistical model (DESIGN.md §5):
+
+* ``run_period`` (full) — every traceroute is generated hop by hop and
+  returned as Atlas-shaped records.  The analysis pipeline exercises
+  its complete parsing/identification path.
+* ``run_period_binned`` (fast) — per-probe last-mile medians are drawn
+  directly from the same per-reply RTT composition, skipping the
+  per-hop object construction.  Used for the 646-AS world survey where
+  full fidelity would need billions of reply objects.
+
+``tests/atlas/test_fidelity_equivalence.py`` asserts the two modes
+agree on small worlds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.series import LastMileDataset, ProbeBinSeries
+from ..timebase import DELAY_BIN_SECONDS, MeasurementPeriod, TimeGrid
+from ..topology import ISPNetwork, Subscriber, World
+from .engine import EngineConfig, TracerouteEngine
+from .measurements import BuiltinSchedule
+from .probe import (
+    Interval,
+    Probe,
+    ProbeVersion,
+    sample_interference,
+    sample_outages,
+    sample_reconnects,
+)
+from .traceroute import MeasurementDataset, ProbeMeta, REPLIES_PER_HOP
+
+
+@dataclass
+class DeploymentConfig:
+    """Probe fleet composition knobs."""
+
+    #: Version mix of home probes (paper keeps v1/v2 for coverage).
+    version_weights: Dict[ProbeVersion, float] = None
+    outage_rate_per_day: float = 0.08
+    #: PPPoE session re-establishments per probe per day: each lands
+    #: on a (possibly) different BRAS card — new first-hop address and
+    #: a small base-RTT shift.
+    reconnect_rate_per_day: float = 0.2
+
+    def __post_init__(self):
+        if self.version_weights is None:
+            self.version_weights = {
+                ProbeVersion.V1: 0.15,
+                ProbeVersion.V2: 0.20,
+                ProbeVersion.V3: 0.65,
+            }
+
+
+class AtlasPlatform:
+    """Deploys probes over a world and runs measurement campaigns."""
+
+    FIRST_PROBE_ID = 10_000
+
+    def __init__(
+        self,
+        world: World,
+        config: Optional[DeploymentConfig] = None,
+    ):
+        self.world = world
+        self.config = config or DeploymentConfig()
+        self.probes: List[Probe] = []
+        self._rng = world.child_rng()
+        self._next_probe_id = self.FIRST_PROBE_ID
+        self.schedule = BuiltinSchedule(world.targets)
+
+    # -- deployment -----------------------------------------------------
+
+    def _sample_version(self) -> ProbeVersion:
+        versions = list(self.config.version_weights)
+        weights = np.array(
+            [self.config.version_weights[v] for v in versions]
+        )
+        index = self._rng.choice(len(versions), p=weights / weights.sum())
+        return versions[index]
+
+    def deploy_probe(
+        self,
+        subscriber: Subscriber,
+        version: Optional[ProbeVersion] = None,
+        city: str = "",
+    ) -> Probe:
+        """Install a probe on an existing subscriber line."""
+        probe = Probe(
+            probe_id=self._next_probe_id,
+            subscriber=subscriber,
+            version=version or self._sample_version(),
+            city=city or subscriber.city,
+        )
+        self._next_probe_id += 1
+        self.probes.append(probe)
+        return probe
+
+    def deploy_probes_on_isp(
+        self,
+        isp: ISPNetwork,
+        count: int,
+        city: str = "",
+        version: Optional[ProbeVersion] = None,
+    ) -> List[Probe]:
+        """Provision ``count`` new subscribers each hosting a probe."""
+        return [
+            self.deploy_probe(
+                isp.attach_subscriber(city=city), version=version, city=city
+            )
+            for _ in range(count)
+        ]
+
+    def deploy_anchor(self, isp: ISPNetwork, city: str = "") -> Probe:
+        """Install an anchor on a fresh datacenter host."""
+        return self.deploy_probe(
+            isp.attach_datacenter_host(city=city),
+            version=ProbeVersion.ANCHOR,
+            city=city,
+        )
+
+    def probes_in_asn(self, asn: int) -> List[Probe]:
+        """All deployed probes (incl. anchors) homed in an AS."""
+        return [p for p in self.probes if p.asn == asn]
+
+    def probe_meta(self, probe: Probe) -> ProbeMeta:
+        """Probe metadata as the Atlas API exposes it."""
+        return ProbeMeta(
+            prb_id=probe.probe_id,
+            asn=probe.asn,
+            is_anchor=probe.is_anchor,
+            public_address=str(probe.subscriber.wan_address),
+            city=probe.city,
+            version=probe.version.value,
+        )
+
+    # -- campaign setup --------------------------------------------------
+
+    def _prepare_probe(
+        self, probe: Probe, period: MeasurementPeriod
+    ) -> None:
+        """Regenerate per-period outages and interference, deterministically.
+
+        Uses a stable CRC of the period name: Python's built-in string
+        ``hash`` is randomized per process and would break run-to-run
+        reproducibility.
+        """
+        import zlib
+
+        period_tag = zlib.crc32(period.name.encode("utf-8")) & 0xFFFF
+        seed = (self.world.seed, probe.probe_id, period_tag)
+        rng = np.random.default_rng(seed)
+        probe.outages = sample_outages(
+            rng,
+            period.duration_seconds,
+            outage_rate_per_day=self.config.outage_rate_per_day,
+        )
+        probe.interference = sample_interference(
+            rng, period.duration_seconds, probe.version
+        )
+        probe.reconnects = (
+            sample_reconnects(
+                rng, period.duration_seconds,
+                rate_per_day=self.config.reconnect_rate_per_day,
+            )
+            if not probe.is_anchor else []
+        )
+
+    # -- full fidelity -----------------------------------------------------
+
+    @staticmethod
+    def _has_ipv6(probe: Probe) -> bool:
+        subscriber = probe.subscriber
+        return (
+            subscriber.ipv6_prefix is not None
+            and subscriber.device_v6 is not None
+        )
+
+    def run_period(
+        self,
+        period: MeasurementPeriod,
+        probes: Optional[Sequence[Probe]] = None,
+        engine_config: Optional[EngineConfig] = None,
+        af: int = 4,
+    ) -> MeasurementDataset:
+        """Generate every built-in traceroute for a period (full mode).
+
+        ``af=6`` runs the IPv6 built-ins (real Atlas runs both); probes
+        without IPv6 connectivity are skipped, and measurement ids are
+        offset by 1000 like Atlas's separate v6 measurement series.
+        """
+        probes = list(probes) if probes is not None else list(self.probes)
+        if af == 6:
+            probes = [p for p in probes if self._has_ipv6(p)]
+        grid = TimeGrid(period, DELAY_BIN_SECONDS)
+        engine = TracerouteEngine(
+            self.world, grid,
+            rng=np.random.default_rng(
+                _campaign_seed(self.world.seed, period, af, tag=1)
+            ),
+            config=engine_config,
+        )
+        msm_offset = 0 if af == 4 else 1000
+        dataset = MeasurementDataset()
+        for probe in probes:
+            self._prepare_probe(probe, period)
+            dataset.probe_meta[probe.probe_id] = self.probe_meta(probe)
+            for bin_start in grid.bin_starts():
+                for t, measurement in self.schedule.events_for_bin(
+                    probe.probe_id, bin_start, grid.bin_seconds
+                ):
+                    result = engine.measure(
+                        probe, measurement.target, t,
+                        measurement.msm_id + msm_offset, af=af,
+                    )
+                    if result is not None:
+                        dataset.add(result)
+        return dataset
+
+    # -- binned fidelity ---------------------------------------------------
+
+    def run_period_binned(
+        self,
+        period: MeasurementPeriod,
+        probes: Optional[Sequence[Probe]] = None,
+        af: int = 4,
+    ) -> LastMileDataset:
+        """Directly produce per-probe last-mile medians (fast mode).
+
+        Statistically equivalent to running ``run_period`` and feeding
+        the result through the last-mile estimation stage; reply loss
+        and non-access hops are skipped because neither affects the
+        bin median materially (loss < 2 % of replies, and the pipeline
+        only consumes the last-private/first-public hop pair).
+        ``af=6`` measures through each line's IPv6 device.
+        """
+        probes = list(probes) if probes is not None else list(self.probes)
+        if af == 6:
+            probes = [p for p in probes if self._has_ipv6(p)]
+        grid = TimeGrid(period, DELAY_BIN_SECONDS)
+        per_bin = self.schedule.traceroutes_per_bin
+        dataset = LastMileDataset(grid=grid)
+        for probe in probes:
+            self._prepare_probe(probe, period)
+            series = self._binned_series(probe, grid, per_bin, af=af)
+            dataset.add(series, meta=self.probe_meta(probe))
+        return dataset
+
+    def _binned_series(
+        self, probe: Probe, grid: TimeGrid, traceroutes_per_bin: int,
+        af: int = 4,
+    ) -> ProbeBinSeries:
+        """Per-bin last-mile medians for one probe, fully vectorized."""
+        rng = np.random.default_rng(_campaign_seed(
+            self.world.seed, grid.period, af,
+            tag=2, probe_id=probe.probe_id,
+        ))
+        subscriber = probe.subscriber
+        device = (
+            subscriber.device if af == 4 else subscriber.device_v6
+        )
+        shared = device.device
+        link = shared.link
+        rho = shared.utilization(grid, rng)
+        num_bins = grid.num_bins
+        k = traceroutes_per_bin
+
+        if subscriber.lan is not None:
+            lan_rtt = subscriber.lan.lan_rtt_ms
+            lan_noise = subscriber.lan.reply_noise_ms
+        else:
+            lan_rtt, lan_noise = 0.0, 0.05
+        isp = self.world.isps[subscriber.asn]
+        spec = isp.specs[device.technology]
+        access_noise = float(np.hypot(lan_noise, spec.reply_noise_ms))
+        mult = probe.version.noise_multiplier
+        base_edge = lan_rtt + subscriber.access_rtt_ms
+
+        # Per-reply samples: (bins, traceroutes, 3 replies).
+        shape = (num_bins, k, REPLIES_PER_HOP)
+        queue = link.sample_packet_delays_ms(
+            rho, k * REPLIES_PER_HOP, rng
+        ).reshape(shape)
+        edge = (
+            base_edge
+            + rng.normal(size=shape) * access_noise * mult
+            + queue
+        )
+        if subscriber.lan is not None:
+            priv = lan_rtt + rng.normal(size=shape) * lan_noise * mult
+        else:
+            # Anchors: no private hop; the pipeline falls back to the
+            # first public hop RTT with an implicit zero baseline.
+            priv = np.zeros(shape)
+
+        # PPPoE session rebase: piecewise-constant base-RTT shift.
+        if probe.reconnects:
+            session_delta = np.array([
+                probe.session_at(center)[1]
+                for center in grid.bin_centers()
+            ])
+            edge = edge + session_delta[:, None, None]
+
+        interference = _interference_per_bin(probe, grid)
+        busy_bins = interference > 0.0
+        if busy_bins.any():
+            extra_edge = rng.exponential(1.0, size=shape)
+            extra_priv = rng.exponential(1.0, size=shape)
+            scale = interference[:, None, None]
+            edge = edge + np.where(busy_bins[:, None, None],
+                                   extra_edge * scale, 0.0)
+            priv = priv + np.where(busy_bins[:, None, None],
+                                   extra_priv * scale, 0.0)
+
+        # Pairwise subtraction: 3 edge x 3 private = 9 diffs/traceroute.
+        diffs = (
+            edge[:, :, :, None] - priv[:, :, None, :]
+        ).reshape(num_bins, -1)
+        medians = np.median(diffs, axis=1)
+
+        counts = _counts_with_outages(probe, grid, k)
+        medians = np.where(counts > 0, medians, np.nan)
+        return ProbeBinSeries(
+            prb_id=probe.probe_id,
+            median_rtt_ms=medians,
+            traceroute_counts=counts,
+        )
+
+
+def _campaign_seed(
+    world_seed: int,
+    period: MeasurementPeriod,
+    af: int,
+    tag: int,
+    probe_id: int = 0,
+):
+    """Deterministic seed tuple for one measurement campaign.
+
+    Keyed by content (world seed, period name, address family, probe)
+    rather than by draw order, so repeated or reordered campaign runs
+    reproduce bit-identical data.
+    """
+    import zlib
+
+    return (
+        world_seed,
+        zlib.crc32(period.name.encode("utf-8")),
+        af,
+        tag,
+        probe_id,
+    )
+
+
+def _interference_per_bin(probe: Probe, grid: TimeGrid) -> np.ndarray:
+    """Mean interference scale (ms) per bin, overlap-weighted."""
+    result = np.zeros(grid.num_bins)
+    if not probe.interference:
+        return result
+    starts = grid.bin_starts()
+    for interval, extra_ms in probe.interference:
+        overlap = _overlap_fraction(starts, grid.bin_seconds, interval)
+        result += extra_ms * overlap
+    return result
+
+
+def _counts_with_outages(
+    probe: Probe, grid: TimeGrid, per_bin: int
+) -> np.ndarray:
+    """Traceroute counts per bin after subtracting outage overlap."""
+    counts = np.full(grid.num_bins, per_bin, dtype=np.int64)
+    if not probe.outages:
+        return counts
+    starts = grid.bin_starts()
+    online = np.ones(grid.num_bins)
+    for outage in probe.outages:
+        online -= _overlap_fraction(starts, grid.bin_seconds, outage)
+    online = np.clip(online, 0.0, 1.0)
+    return np.round(counts * online).astype(np.int64)
+
+
+def _overlap_fraction(
+    bin_starts: np.ndarray, bin_seconds: int, interval: Interval
+) -> np.ndarray:
+    """Fraction of each bin covered by the interval."""
+    bin_ends = bin_starts + bin_seconds
+    overlap = np.minimum(bin_ends, interval.end) - np.maximum(
+        bin_starts, interval.start
+    )
+    return np.clip(overlap, 0.0, bin_seconds) / bin_seconds

@@ -1,0 +1,188 @@
+"""Traceroute result data model, Atlas-JSON compatible.
+
+The analysis pipeline consumes these records exactly as it would
+consume results fetched from the RIPE Atlas API: the :meth:`to_json` /
+:meth:`from_json` round-trip uses the same field names as Atlas
+traceroute results (``prb_id``, ``msm_id``, ``timestamp``, ``result``
+with per-hop ``hop``/``result`` lists of ``from``/``rtt`` replies, and
+``"x": "*"`` entries for timeouts), so the core pipeline would run
+unmodified on real downloaded measurement data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+REPLIES_PER_HOP = 3
+
+
+@dataclass(frozen=True)
+class Reply:
+    """One traceroute reply: responder address and RTT, or a timeout."""
+
+    from_address: Optional[str]
+    rtt_ms: Optional[float]
+
+    def __post_init__(self):
+        if (self.from_address is None) != (self.rtt_ms is None):
+            raise ValueError(
+                "reply must have both address and RTT, or neither"
+            )
+        if self.rtt_ms is not None and self.rtt_ms < 0:
+            raise ValueError(f"negative RTT {self.rtt_ms}")
+
+    @property
+    def timed_out(self) -> bool:
+        """True for a ``*`` (no reply) slot."""
+        return self.from_address is None
+
+    @classmethod
+    def timeout(cls) -> "Reply":
+        """The canonical timeout reply."""
+        return cls(from_address=None, rtt_ms=None)
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One TTL step with its (up to 3) replies."""
+
+    hop: int
+    replies: Tuple[Reply, ...]
+
+    def __post_init__(self):
+        if self.hop < 1:
+            raise ValueError(f"hop numbers start at 1, got {self.hop}")
+        if len(self.replies) > REPLIES_PER_HOP:
+            raise ValueError(f"more than {REPLIES_PER_HOP} replies")
+
+    @property
+    def responding_address(self) -> Optional[str]:
+        """Address of the first non-timeout reply, or None."""
+        for reply in self.replies:
+            if not reply.timed_out:
+                return reply.from_address
+        return None
+
+    @property
+    def rtts(self) -> List[float]:
+        """All non-timeout RTTs at this hop."""
+        return [r.rtt_ms for r in self.replies if not r.timed_out]
+
+
+@dataclass(frozen=True)
+class TracerouteResult:
+    """One complete traceroute measurement result."""
+
+    prb_id: int
+    msm_id: int
+    timestamp: float          # seconds (absolute epoch or period-relative)
+    src_address: str          # probe-reported local address (often private)
+    from_address: str         # probe public address as seen by the API
+    dst_address: str
+    hops: Tuple[Hop, ...]
+    af: int = 4
+
+    def __post_init__(self):
+        numbers = [h.hop for h in self.hops]
+        if numbers != sorted(numbers):
+            raise ValueError("hops out of order")
+
+    def to_json(self) -> Dict:
+        """Serialize in the RIPE Atlas result schema."""
+        result = []
+        for hop in self.hops:
+            entries = []
+            for reply in hop.replies:
+                if reply.timed_out:
+                    entries.append({"x": "*"})
+                else:
+                    entries.append(
+                        {"from": reply.from_address, "rtt": reply.rtt_ms}
+                    )
+            result.append({"hop": hop.hop, "result": entries})
+        return {
+            "prb_id": self.prb_id,
+            "msm_id": self.msm_id,
+            "timestamp": self.timestamp,
+            "src_addr": self.src_address,
+            "from": self.from_address,
+            "dst_addr": self.dst_address,
+            "af": self.af,
+            "type": "traceroute",
+            "result": result,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "TracerouteResult":
+        """Parse an Atlas-schema dict (as returned by the Atlas API)."""
+        hops = []
+        for hop_entry in data.get("result", []):
+            replies = []
+            for reply_entry in hop_entry.get("result", []):
+                if "x" in reply_entry or "from" not in reply_entry:
+                    replies.append(Reply.timeout())
+                else:
+                    rtt = reply_entry.get("rtt")
+                    if rtt is None:
+                        replies.append(Reply.timeout())
+                    else:
+                        replies.append(
+                            Reply(reply_entry["from"], float(rtt))
+                        )
+            hops.append(Hop(hop=hop_entry["hop"], replies=tuple(replies)))
+        return cls(
+            prb_id=data["prb_id"],
+            msm_id=data["msm_id"],
+            timestamp=float(data["timestamp"]),
+            src_address=data.get("src_addr", ""),
+            from_address=data.get("from", ""),
+            dst_address=data.get("dst_addr", ""),
+            hops=tuple(hops),
+            af=data.get("af", 4),
+        )
+
+
+@dataclass
+class MeasurementDataset:
+    """A bag of traceroute results plus probe metadata.
+
+    Results are stored per probe in timestamp order, which is how the
+    pipeline consumes them.  ``probe_meta`` carries what the Atlas API
+    exposes about each probe (ASN, anchor flag, city, public address).
+    """
+
+    results: Dict[int, List[TracerouteResult]] = field(default_factory=dict)
+    probe_meta: Dict[int, "ProbeMeta"] = field(default_factory=dict)
+
+    def add(self, result: TracerouteResult) -> None:
+        """Append one result under its probe id."""
+        self.results.setdefault(result.prb_id, []).append(result)
+
+    def extend(self, results: Iterable[TracerouteResult]) -> None:
+        """Append many results."""
+        for result in results:
+            self.add(result)
+
+    def probe_ids(self) -> List[int]:
+        """Sorted probe ids present in the dataset."""
+        return sorted(self.results)
+
+    def for_probe(self, prb_id: int) -> List[TracerouteResult]:
+        """All results of one probe in insertion (time) order."""
+        return self.results.get(prb_id, [])
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self.results.values())
+
+
+@dataclass(frozen=True)
+class ProbeMeta:
+    """Probe metadata as the Atlas API would expose it."""
+
+    prb_id: int
+    asn: int
+    is_anchor: bool
+    public_address: str
+    city: str = ""
+    version: int = 3

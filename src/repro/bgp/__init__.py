@@ -1,0 +1,6 @@
+"""BGP substrate: RIB snapshots and longest-prefix AS resolution."""
+
+from .route import Route
+from .table import RoutingTable
+
+__all__ = ["Route", "RoutingTable"]

@@ -1,0 +1,61 @@
+"""BGP route records.
+
+The simulators only need a RIB snapshot (who announces what), not BGP
+dynamics, but routes keep their AS path so traceroute hops can be
+attributed and so tests can assert on origin extraction with prepending
+and sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..netbase import Prefix
+
+
+@dataclass(frozen=True)
+class Route:
+    """One announced prefix with its AS path.
+
+    ``as_path`` is ordered from the collector towards the origin, i.e.
+    the origin AS is the last element (as in a BGP UPDATE).  An empty
+    path is allowed for locally-originated scenario fixtures; in that
+    case ``origin_asn`` must be given explicitly.
+    """
+
+    prefix: Prefix
+    as_path: Tuple[int, ...] = field(default_factory=tuple)
+    origin_asn: int = 0
+
+    def __post_init__(self):
+        if self.as_path:
+            declared_origin = self.as_path[-1]
+            if self.origin_asn and self.origin_asn != declared_origin:
+                raise ValueError(
+                    f"origin_asn {self.origin_asn} disagrees with "
+                    f"as_path origin {declared_origin}"
+                )
+            object.__setattr__(self, "origin_asn", declared_origin)
+        elif not self.origin_asn:
+            raise ValueError("route needs an as_path or an origin_asn")
+
+    @property
+    def path_length(self) -> int:
+        """AS-path length with prepending collapsed.
+
+        ``(64500, 64500, 64501)`` has length 2: path selection in real
+        routers compares raw length, but for our reporting the number
+        of distinct traversed ASes is the useful quantity.
+        """
+        length = 0
+        previous = None
+        for asn in self.as_path:
+            if asn != previous:
+                length += 1
+            previous = asn
+        return length
+
+    def __str__(self) -> str:
+        path = " ".join(str(a) for a in self.as_path) or str(self.origin_asn)
+        return f"{self.prefix} [{path}]"

@@ -1,0 +1,101 @@
+"""Routing table (RIB snapshot) with longest-prefix AS resolution.
+
+This is the stand-in for "BGP data" in the paper's §2.1: probe public
+addresses are resolved to ASNs by longest-prefix match.  Crucially the
+table also models *unannounced* space — the paper observes that some
+ISP edge addresses seen in traceroutes are not announced on BGP, which
+is why probe public addresses (and not first-hop addresses) are used
+for AS attribution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..netbase import DualStackTrie, Prefix
+from .route import Route
+
+
+class RoutingTable:
+    """A dual-stack RIB supporting announce/withdraw and LPM lookups."""
+
+    def __init__(self):
+        self._trie = DualStackTrie()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def announce(self, route: Route) -> None:
+        """Install (or replace) the route for its prefix."""
+        self._trie.insert(route.prefix, route)
+
+    def announce_prefix(self, prefix: Prefix, origin_asn: int) -> Route:
+        """Convenience: announce a prefix with a bare origin."""
+        route = Route(prefix=prefix, origin_asn=origin_asn)
+        self.announce(route)
+        return route
+
+    def withdraw(self, prefix: Prefix) -> bool:
+        """Remove the route for exactly this prefix; True if present."""
+        return self._trie.remove(prefix)
+
+    def lookup(self, value: int, version: int) -> Optional[Route]:
+        """Longest-prefix match; the covering Route or None."""
+        return self._trie.lookup_value(value, version)
+
+    def resolve_asn(self, value: int, version: int) -> Optional[int]:
+        """Origin ASN for an address, or None when unannounced.
+
+        This mirrors the paper's probe-address → ASN mapping step.
+        """
+        route = self.lookup(value, version)
+        return route.origin_asn if route is not None else None
+
+    def is_announced(self, value: int, version: int) -> bool:
+        """True when some announced prefix covers the address."""
+        return self.lookup(value, version) is not None
+
+    def routes(self) -> Iterator[Route]:
+        """Iterate routes in prefix order (IPv4 first)."""
+        for _prefix, route in self._trie.items():
+            yield route
+
+    def routes_by_origin(self, asn: int) -> List[Route]:
+        """All routes originated by the given AS, in prefix order."""
+        return [r for r in self.routes() if r.origin_asn == asn]
+
+    def to_text(self) -> str:
+        """Serialize as ``prefix|as_path`` lines (stable order).
+
+        The format intentionally resembles a stripped-down RIB dump so
+        scenario fixtures can be eyeballed and diffed.
+        """
+        lines = []
+        for route in self.routes():
+            path = " ".join(str(a) for a in route.as_path) or str(
+                route.origin_asn
+            )
+            lines.append(f"{route.prefix}|{path}")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_text(cls, text: str) -> "RoutingTable":
+        """Parse the :meth:`to_text` format back into a table.
+
+        Blank lines and ``#`` comments are ignored.
+        """
+        table = cls()
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            prefix_text, sep, path_text = line.partition("|")
+            if not sep:
+                raise ValueError(f"line {lineno}: missing '|': {raw!r}")
+            prefix = Prefix.parse(prefix_text.strip())
+            path = tuple(int(tok) for tok in path_text.split())
+            if not path:
+                raise ValueError(f"line {lineno}: empty AS path: {raw!r}")
+            table.announce(Route(prefix=prefix, as_path=path))
+        return table

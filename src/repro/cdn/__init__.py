@@ -1,0 +1,41 @@
+"""CDN substrate: TCP models, access-log generation, mobile prefixes."""
+
+from .edge import CDNConfig, CDNEdge
+from .fairness import (
+    BBR_V1_GAIN,
+    BBR_V2_GAIN,
+    BottleneckScenario,
+    FairnessResult,
+    bbr_deployment_sweep,
+    bbr_inflight_share,
+    solve_fairness,
+)
+from .logs import AccessLogDataset, AccessLogRecord, CACHE_HIT, CACHE_MISS
+from .prefixes import MobilePrefixList
+from .tcp import (
+    bbr_throughput_mbps,
+    capped_flow_throughput_mbps,
+    mathis_throughput_mbps,
+    pftk_throughput_mbps,
+)
+
+__all__ = [
+    "CDNEdge",
+    "CDNConfig",
+    "BottleneckScenario",
+    "FairnessResult",
+    "solve_fairness",
+    "bbr_deployment_sweep",
+    "bbr_inflight_share",
+    "BBR_V1_GAIN",
+    "BBR_V2_GAIN",
+    "AccessLogDataset",
+    "AccessLogRecord",
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "MobilePrefixList",
+    "mathis_throughput_mbps",
+    "pftk_throughput_mbps",
+    "bbr_throughput_mbps",
+    "capped_flow_throughput_mbps",
+]

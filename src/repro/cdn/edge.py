@@ -1,0 +1,321 @@
+"""CDN edge simulator: synthetic client pools and access-log generation.
+
+The paper's throughput dataset comes from a commercial CDN's Tokyo PoP
+(~150k unique client IPs).  This module reproduces its *shape*:
+
+* client pools drawn from each ISP's announced customer space — far
+  more clients than simulated subscriber lines, as in reality;
+* every client pinned to one of the ISP's aggregation devices, so CDN
+  flows experience the *same* utilization series that drives the
+  traceroute delay signals (the coupling behind Fig. 7);
+* dual-stack clients whose IPv6 traffic rides the ISP's IPv6
+  technology (IPoE for Japanese legacy ISPs — Appendix C);
+* per-request throughput from a TCP model over (base RTT + queueing
+  delay, loss), capped by line rate and cross-traffic.
+
+Generation is vectorized per ISP: one numpy pass over all requests of
+a measurement period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..netbase import AccessTechnology
+from ..timebase import THROUGHPUT_BIN_SECONDS, MeasurementPeriod, TimeGrid
+from ..topology import AggregationDevice, ISPNetwork
+from .logs import AccessLogDataset
+from .tcp import capped_flow_throughput_mbps
+
+
+@dataclass
+class CDNConfig:
+    """Workload shape knobs."""
+
+    #: Mean requests per client per day (video/software-update heavy).
+    requests_per_client_per_day: float = 8.0
+    #: Lognormal object-size parameters (bytes).  Median ~2 MB with a
+    #: heavy tail: a large share of objects clears the paper's 3 MB
+    #: filter, the rest exercises the filtering path.
+    object_size_log_mean: float = np.log(2e6)
+    object_size_log_sigma: float = 1.2
+    min_object_bytes: int = 20_000
+    max_object_bytes: int = 400_000_000
+    cache_hit_rate: float = 0.92
+    #: Probability a dual-stack client's request uses IPv6.
+    ipv6_request_share: float = 0.5
+    #: Per-flow ceiling at the CDN side (server/peering share).
+    flow_cap_mbps: float = 600.0
+    #: Home-side bottleneck (Wi-Fi, cross traffic on the line): each
+    #: request sees this fraction range of its nominal line rate.
+    home_factor_range: tuple = (0.5, 0.9)
+    #: TCP model for broadband flows ('mathis', 'pftk' or 'bbr').
+    tcp_model: str = "mathis"
+    #: Loss floor on an uncongested path.  ~0.1 % keeps the TCP model
+    #: (not the line-rate cap) binding off-peak, as wide-area paths do.
+    base_loss: float = 1e-3
+    #: Cellular paths expose far less loss to TCP (HARQ/RLC link-layer
+    #: retransmission); their loss floor is scaled by this factor.
+    mobile_loss_factor: float = 0.25
+    #: Origin-fetch penalty multiplier on cache-miss throughput.
+    miss_throughput_factor: float = 0.45
+
+
+@dataclass
+class _ClientPool:
+    """Vectorized per-ISP client state."""
+
+    isp: ISPNetwork
+    v4_values: np.ndarray            # object array of ints
+    v6_values: np.ndarray            # object array of ints (or None)
+    has_v6: np.ndarray               # bool
+    device_index_v4: np.ndarray      # index into `devices`
+    device_index_v6: np.ndarray      # index into `devices` (-1 if none)
+    base_rtt_ms: np.ndarray
+    line_rate_mbps: np.ndarray
+    mobile: bool = False
+
+
+class CDNEdge:
+    """One CDN PoP: client pools and log generation."""
+
+    def __init__(
+        self,
+        city: str = "Tokyo",
+        config: Optional[CDNConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.city = city
+        self.config = config or CDNConfig()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.devices: List[AggregationDevice] = []
+        self._device_ids: Dict[int, int] = {}
+        self._pools: List[_ClientPool] = []
+
+    # -- client provisioning --------------------------------------------
+
+    def _intern_device(self, device: AggregationDevice) -> int:
+        key = id(device)
+        if key not in self._device_ids:
+            self._device_ids[key] = len(self.devices)
+            self.devices.append(device)
+        return self._device_ids[key]
+
+    def add_clients(
+        self,
+        isp: ISPNetwork,
+        count: int,
+        dual_stack_fraction: float = 0.4,
+        device_pool_size: int = 8,
+        mobile: bool = False,
+    ) -> int:
+        """Provision ``count`` synthetic clients of one ISP.
+
+        Returns the number of clients added.  ``mobile`` marks pools
+        drawn from cellular operators (different base RTT profile).
+        """
+        if count <= 0:
+            raise ValueError(f"non-positive client count {count}")
+        if mobile and isp.mobile_prefix_v4 is not None:
+            # Same-AS cellular clients: LTE devices, mobile block.
+            tech_v4 = AccessTechnology.LTE
+        else:
+            if not isp.info.access_technologies:
+                raise ValueError(
+                    f"AS{isp.asn} offers no access technology"
+                )
+            tech_v4 = isp.info.access_technologies[0]
+        tech_v6 = tech_v4 if mobile else (isp.ipv6_technology or tech_v4)
+
+        devices_v4 = isp.ensure_devices(tech_v4, device_pool_size)
+        devices_v6 = (
+            isp.ensure_devices(tech_v6, device_pool_size)
+            if tech_v6 != tech_v4 else devices_v4
+        )
+        index_v4 = np.array(
+            [self._intern_device(d) for d in devices_v4]
+        )
+        index_v6 = np.array(
+            [self._intern_device(d) for d in devices_v6]
+        )
+
+        rng = self.rng
+        if mobile and isp.mobile_prefix_v4 is not None:
+            v4_addresses = isp.allocate_mobile_addresses(count)
+        else:
+            v4_addresses = isp.allocate_customer_addresses(count)
+        has_v6 = rng.random(count) < dual_stack_fraction
+        if mobile:
+            has_v6[:] = False  # cellular logs keep the analysis on v4
+        if isp.customer_prefix_v6 is None:
+            has_v6[:] = False
+        v6_values = np.empty(count, dtype=object)
+        if has_v6.any():
+            prefixes = isp.allocate_customer_v6_prefixes(
+                int(has_v6.sum())
+            )
+            iterator = iter(prefixes)
+            for i in np.flatnonzero(has_v6):
+                v6_values[i] = next(iterator).address_at(1).value
+
+        spec = isp.specs[tech_v4]
+        low, high = spec.base_rtt_ms
+        access_rtt = rng.uniform(low, high, size=count)
+        metro_rtt = rng.uniform(2.0, 6.0, size=count)
+
+        line_rate = np.array([
+            _line_rate(tech_v4, rng) for _ in range(count)
+        ])
+
+        self._pools.append(_ClientPool(
+            isp=isp,
+            v4_values=np.array(
+                [a.value for a in v4_addresses], dtype=object
+            ),
+            v6_values=v6_values,
+            has_v6=has_v6,
+            device_index_v4=rng.choice(index_v4, size=count),
+            device_index_v6=np.where(
+                has_v6, rng.choice(index_v6, size=count), -1
+            ),
+            base_rtt_ms=access_rtt + metro_rtt,
+            line_rate_mbps=line_rate,
+            mobile=mobile,
+        ))
+        return count
+
+    @property
+    def total_clients(self) -> int:
+        """Clients across all pools."""
+        return sum(len(pool.v4_values) for pool in self._pools)
+
+    # -- log generation --------------------------------------------------
+
+    def generate(
+        self,
+        period: MeasurementPeriod,
+        bin_seconds: int = THROUGHPUT_BIN_SECONDS,
+    ) -> AccessLogDataset:
+        """Generate the access log for one measurement period."""
+        grid = TimeGrid(period, bin_seconds)
+        rho_matrix = self._utilization_matrix(grid)
+        parts = [
+            self._generate_pool(pool, grid, rho_matrix)
+            for pool in self._pools
+        ]
+        return AccessLogDataset.concatenate(parts)
+
+    def _utilization_matrix(self, grid: TimeGrid) -> np.ndarray:
+        """(device, bin) utilization for every interned device."""
+        if not self.devices:
+            return np.zeros((0, grid.num_bins))
+        return np.vstack([
+            d.device.utilization(grid, self.rng) for d in self.devices
+        ])
+
+    def _generate_pool(
+        self,
+        pool: _ClientPool,
+        grid: TimeGrid,
+        rho_matrix: np.ndarray,
+    ) -> AccessLogDataset:
+        cfg = self.config
+        rng = self.rng
+        n_clients = len(pool.v4_values)
+
+        # Request arrivals follow the ISP's own demand curve.
+        demand = pool.isp._demand_series().evaluate(grid)
+        weight = demand / demand.sum() if demand.sum() > 0 else None
+        if weight is None:
+            return AccessLogDataset.empty()
+        days = grid.num_bins / grid.bins_per_day
+        total_rate = (
+            n_clients * cfg.requests_per_client_per_day * days
+        )
+        per_bin = rng.poisson(total_rate * weight)
+        total = int(per_bin.sum())
+        if total == 0:
+            return AccessLogDataset.empty()
+
+        bin_index = np.repeat(np.arange(grid.num_bins), per_bin)
+        timestamps = (
+            bin_index * grid.bin_seconds
+            + rng.uniform(0, grid.bin_seconds, size=total)
+        )
+        client = rng.integers(0, n_clients, size=total)
+
+        use_v6 = pool.has_v6[client] & (
+            rng.random(total) < cfg.ipv6_request_share
+        )
+        device_index = np.where(
+            use_v6, pool.device_index_v6[client],
+            pool.device_index_v4[client],
+        )
+        rho = rho_matrix[device_index, bin_index]
+
+        # Per-request path state; queueing delay sampled per flow.
+        pool_base_loss = cfg.base_loss * (
+            cfg.mobile_loss_factor if pool.mobile else 1.0
+        )
+        queue_ms = np.zeros(total)
+        loss = np.full(total, pool_base_loss)
+        for dev_id in np.unique(device_index):
+            mask = device_index == dev_id
+            link = self.devices[dev_id].device.link
+            queue_ms[mask] = link.sample_packet_delays_ms(
+                rho[mask], 1, rng
+            ).ravel()
+            loss[mask] += link.loss_probability(rho[mask])
+
+        rtt = pool.base_rtt_ms[client] + queue_ms
+        cross_traffic = rng.uniform(0.55, 1.0, size=total)
+        home_low, home_high = cfg.home_factor_range
+        home_factor = rng.uniform(home_low, home_high, size=total)
+        cap = np.minimum(
+            pool.line_rate_mbps[client] * home_factor,
+            cfg.flow_cap_mbps * cross_traffic,
+        )
+        throughput = capped_flow_throughput_mbps(
+            rtt, np.clip(loss, 0.0, 0.5), cap, model=cfg.tcp_model
+        )
+
+        cache_hit = rng.random(total) < cfg.cache_hit_rate
+        throughput = np.where(
+            cache_hit, throughput,
+            throughput * cfg.miss_throughput_factor,
+        )
+        throughput = np.maximum(throughput, 0.05)
+
+        size = np.clip(
+            rng.lognormal(
+                cfg.object_size_log_mean, cfg.object_size_log_sigma,
+                size=total,
+            ),
+            cfg.min_object_bytes, cfg.max_object_bytes,
+        ).astype(np.int64)
+        duration_ms = size * 8.0 / (throughput * 1e6) * 1000.0
+
+        values = np.where(
+            use_v6, pool.v6_values[client], pool.v4_values[client]
+        )
+        afs = np.where(use_v6, 6, 4).astype(np.int8)
+        return AccessLogDataset(
+            timestamps=timestamps,
+            client_values=values,
+            afs=afs,
+            bytes_sent=size,
+            duration_ms=duration_ms,
+            cache_hits=cache_hit,
+        )
+
+
+def _line_rate(
+    technology: AccessTechnology, rng: np.random.Generator
+) -> float:
+    """Plausible subscriber line rate (Mbps) per technology."""
+    from ..topology.isp import _default_downlink
+
+    return _default_downlink(technology, rng)

@@ -1,0 +1,211 @@
+"""BBR vs loss-based congestion control at a congested last mile (§6).
+
+The paper's discussion argues that BBRv1 — which disregards packet
+loss — "may be detrimental in the context of persistent last-mile
+congestion, as it may put more burden to already overwhelmed devices",
+and that BBRv2's loss/ECN response is essential there.
+
+This module implements the *in-flight cap* model of Ware et al.,
+"Modeling BBR's Interactions with Loss-Based Congestion Control"
+(IMC 2019), adapted to a last-mile bottleneck:
+
+* When BBR competes with loss-based traffic it becomes window-limited
+  at ``gain × estimated BDP`` (gain 2 for BBRv1).  Its aggregate share
+  of the bottleneck equals its share of in-network data, which with a
+  buffer of depth ``B`` (expressed in ms at line rate) and base RTT
+  ``R`` is::
+
+      share = min(cap, gain · R / (R + B))
+
+  — independent of how many flows are on either side, Ware et al.'s
+  headline observation.  Shallow buffers (B < gain·R) let BBR starve
+  loss-based flows almost completely; deep buffers bound its share.
+* BBRv1 holds the queue pinned near the top of the buffer (it never
+  drains except in brief PROBE_RTT windows), where a loss-based-only
+  population oscillates around a fraction of it.  Standing queueing
+  delay therefore *increases* when BBRv1 arrives — the §6 "more burden
+  on already overwhelmed devices".
+* Loss rises accordingly: tail-drop must discard everything the
+  loss-blind sender keeps pushing; loss-based flows collapse to the
+  leftover share via the Mathis relation.
+* BBRv2-style flows use a small gain and respond to loss, so they
+  neither pin the queue nor force extra loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: BBRv1 keeps cwnd_gain x BDP in flight while probing.
+BBR_V1_GAIN = 2.0
+#: BBRv2 bounds inflight much closer to the true BDP and yields on loss.
+BBR_V2_GAIN = 1.15
+#: BBR never quite reaches 100 %: slow-start residue of competitors.
+MAX_BBR_SHARE = 0.95
+#: Average queue occupancy (fraction of buffer) for a loss-based-only
+#: population: the tail-drop sawtooth drains after each loss event.
+CUBIC_QUEUE_FRACTION = 0.6
+
+
+@dataclass(frozen=True)
+class BottleneckScenario:
+    """One shared bottleneck and its flow mix."""
+
+    capacity_mbps: float
+    base_rtt_ms: float
+    buffer_ms: float               # buffer depth in ms at line rate
+    cubic_flows: int
+    bbr_flows: int
+    bbr_gain: float = BBR_V1_GAIN
+    #: True when the BBR variant backs off on sustained loss (v2).
+    bbr_loss_responsive: bool = False
+    mss_bytes: int = 1460
+
+    def __post_init__(self):
+        if self.capacity_mbps <= 0 or self.base_rtt_ms <= 0:
+            raise ValueError("capacity and RTT must be positive")
+        if self.buffer_ms < 0:
+            raise ValueError("negative buffer")
+        if self.cubic_flows < 0 or self.bbr_flows < 0:
+            raise ValueError("negative flow count")
+        if self.cubic_flows + self.bbr_flows == 0:
+            raise ValueError("need at least one flow")
+        if self.bbr_gain < 1.0:
+            raise ValueError(f"gain {self.bbr_gain} below 1")
+
+
+@dataclass(frozen=True)
+class FairnessResult:
+    """Model outcome for one scenario."""
+
+    cubic_throughput_mbps: float    # per loss-based flow
+    bbr_throughput_mbps: float      # per BBR flow
+    standing_queue_ms: float
+    loss_probability: float
+    bbr_aggregate_share: float      # fraction of capacity held by BBR
+
+
+def bbr_inflight_share(
+    base_rtt_ms: float, buffer_ms: float, gain: float = BBR_V1_GAIN
+) -> float:
+    """Ware-style aggregate BBR share from the in-flight cap.
+
+    ``gain·R/(R+B)``, capped — independent of flow counts on both
+    sides when BBR is window-limited.
+    """
+    share = gain * base_rtt_ms / (base_rtt_ms + buffer_ms)
+    return float(np.clip(share, 0.0, MAX_BBR_SHARE))
+
+
+def _mathis_loss(rate_mbps: float, rtt_ms: float, mss_bytes: int) -> float:
+    """Loss probability at which Mathis gives the target rate."""
+    segments_per_second = max(rate_mbps, 1e-6) * 1e6 / (8.0 * mss_bytes)
+    p = (1.22 / (segments_per_second * rtt_ms / 1000.0)) ** 2
+    return float(np.clip(p, 1e-6, 0.25))
+
+
+def solve_fairness(scenario: BottleneckScenario) -> FairnessResult:
+    """Evaluate the in-flight cap model for one scenario."""
+    C = scenario.capacity_mbps
+    R = scenario.base_rtt_ms
+    B = scenario.buffer_ms
+    n_cubic = scenario.cubic_flows
+    n_bbr = scenario.bbr_flows
+
+    if n_bbr == 0:
+        # Loss-based only: capacity shared; queue oscillates around a
+        # fraction of the buffer; loss from the Mathis inversion.
+        per_flow = C / n_cubic
+        queue = CUBIC_QUEUE_FRACTION * B
+        loss = _mathis_loss(per_flow, R + queue, scenario.mss_bytes)
+        return FairnessResult(
+            cubic_throughput_mbps=per_flow,
+            bbr_throughput_mbps=0.0,
+            standing_queue_ms=queue,
+            loss_probability=loss,
+            bbr_aggregate_share=0.0,
+        )
+
+    share = bbr_inflight_share(R, B, scenario.bbr_gain)
+
+    if n_cubic == 0:
+        # BBR alone: it sizes its own standing queue at (gain-1)·BDP.
+        queue = min((scenario.bbr_gain - 1.0) * R, B)
+        loss = 0.0005 if not scenario.bbr_loss_responsive else 0.0002
+        return FairnessResult(
+            cubic_throughput_mbps=0.0,
+            bbr_throughput_mbps=C / n_bbr,
+            standing_queue_ms=queue,
+            loss_probability=loss,
+            bbr_aggregate_share=1.0,
+        )
+
+    if scenario.bbr_loss_responsive:
+        # v2 yields under loss: it takes at most its proportional
+        # share bound by the inflight cap, leaves queue dynamics to
+        # the loss-based population.
+        share = min(share, n_bbr / (n_bbr + n_cubic) * 1.3)
+        queue = CUBIC_QUEUE_FRACTION * B
+        cubic_total = (1.0 - share) * C
+        loss = _mathis_loss(
+            cubic_total / n_cubic, R + queue, scenario.mss_bytes
+        )
+    else:
+        # v1 pins the queue at the top of the buffer: no drain phases
+        # while window-limited.
+        queue = B
+        cubic_total = (1.0 - share) * C
+        # Loss has two parts: what the loss-based flows' sawtooth
+        # needs (Mathis inversion of their collapsed rate), plus the
+        # persistent overflow the loss-blind sender forces: its
+        # inflight beyond the fair BDP is discarded every RTT.
+        sawtooth = _mathis_loss(
+            cubic_total / n_cubic, R + queue, scenario.mss_bytes
+        )
+        overflow = max(
+            0.0,
+            (scenario.bbr_gain - 1.0) * share * R / (R + B) * 0.05,
+        )
+        loss = float(np.clip(sawtooth + overflow, 1e-6, 0.25))
+
+    return FairnessResult(
+        cubic_throughput_mbps=cubic_total / n_cubic,
+        bbr_throughput_mbps=share * C / n_bbr,
+        standing_queue_ms=float(queue),
+        loss_probability=loss,
+        bbr_aggregate_share=float(share),
+    )
+
+
+def bbr_deployment_sweep(
+    capacity_mbps: float = 1000.0,
+    base_rtt_ms: float = 12.0,
+    buffer_ms: float = 60.0,
+    total_flows: int = 50,
+    bbr_fractions=(0.0, 0.1, 0.25, 0.5),
+    bbr_gain: float = BBR_V1_GAIN,
+    bbr_loss_responsive: bool = False,
+):
+    """Sweep the share of BBR flows at one congested bottleneck.
+
+    Returns ``{fraction: FairnessResult}`` — the §6 experiment: as
+    BBRv1 deployment grows, the standing queue and loss at the
+    overwhelmed device rise and loss-based users collapse; a
+    loss-responsive (v2-style) variant stays benign.
+    """
+    results = {}
+    for fraction in bbr_fractions:
+        n_bbr = int(round(total_flows * fraction))
+        scenario = BottleneckScenario(
+            capacity_mbps=capacity_mbps,
+            base_rtt_ms=base_rtt_ms,
+            buffer_ms=buffer_ms,
+            cubic_flows=total_flows - n_bbr,
+            bbr_flows=n_bbr,
+            bbr_gain=bbr_gain,
+            bbr_loss_responsive=bbr_loss_responsive,
+        )
+        results[fraction] = solve_fairness(scenario)
+    return results

@@ -1,0 +1,91 @@
+"""Mobile-operator prefix lists (paper Appendix A).
+
+Japanese MNOs publish the IP prefixes used for cellular connectivity;
+the paper uses those lists to split broadband from mobile traffic in
+the CDN logs.  :class:`MobilePrefixList` is the simulated equivalent:
+a longest-prefix-match set built from the mobile ASes' customer
+blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..netbase import DualStackTrie, Prefix
+from ..topology import ISPNetwork
+
+
+class MobilePrefixList:
+    """A published list of cellular prefixes with membership tests."""
+
+    def __init__(self, prefixes: Iterable[Prefix] = ()):
+        self._trie = DualStackTrie()
+        self._prefixes: List[Prefix] = []
+        for prefix in prefixes:
+            self.add(prefix)
+
+    def add(self, prefix: Prefix) -> None:
+        """Add one prefix to the list."""
+        self._trie.insert(prefix, True)
+        self._prefixes.append(prefix)
+
+    @classmethod
+    def from_mobile_isps(
+        cls, isps: Iterable[ISPNetwork]
+    ) -> "MobilePrefixList":
+        """Build the list from mobile operators' announced space.
+
+        Mirrors what the paper scrapes from the MNO developer pages:
+        the operators' own declarations of their cellular blocks.
+        """
+        prefixes = []
+        for isp in isps:
+            prefixes.append(isp.customer_prefix_v4)
+            if isp.customer_prefix_v6 is not None:
+                prefixes.append(isp.customer_prefix_v6)
+        return cls(prefixes)
+
+    @classmethod
+    def from_published_lists(
+        cls,
+        mobile_isps: Iterable[ISPNetwork] = (),
+        dual_role_isps: Iterable[ISPNetwork] = (),
+    ) -> "MobilePrefixList":
+        """Aggregate the published lists of several operators.
+
+        ``mobile_isps`` are pure cellular operators (whole customer
+        space is mobile); ``dual_role_isps`` run broadband and mobile
+        under one ASN and publish only their cellular block.
+        """
+        combined = cls.from_mobile_isps(mobile_isps)
+        for isp in dual_role_isps:
+            if isp.mobile_prefix_v4 is None:
+                raise ValueError(f"AS{isp.asn} has no mobile block")
+            combined.add(isp.mobile_prefix_v4)
+        return combined
+
+    def __len__(self) -> int:
+        return len(self._prefixes)
+
+    def is_mobile(self, value: int, version: int) -> bool:
+        """True when the address falls in a published mobile prefix."""
+        return self._trie.covers(value, version)
+
+    def prefixes(self) -> List[Prefix]:
+        """The published prefixes, in insertion order."""
+        return list(self._prefixes)
+
+    def to_text(self) -> str:
+        """One prefix per line — the shape of the published lists."""
+        return "\n".join(str(p) for p in sorted(self._prefixes))
+
+    @classmethod
+    def from_text(cls, text: str) -> "MobilePrefixList":
+        """Parse a one-prefix-per-line list (comments with '#')."""
+        prefixes = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            prefixes.append(Prefix.parse(line))
+        return cls(prefixes)

@@ -1,0 +1,119 @@
+"""TCP throughput models.
+
+The CDN substrate needs a defensible mapping from path state (RTT,
+loss, line rate) to per-flow throughput.  We implement the standard
+closed-form models:
+
+* Mathis et al. (1997): ``T = MSS/RTT · C/√p`` — the classic
+  loss-based (Reno/CUBIC-family) steady-state model.
+* Padhye et al. (PFTK, 1998): adds timeout behaviour, more accurate at
+  high loss — relevant because overloaded PPPoE gateways push loss
+  past the Mathis model's comfort zone.
+* A BBRv1-style model that largely ignores loss (it paces at the
+  estimated bottleneck bandwidth), used by the §6 discussion ablation:
+  BBR keeps pushing into an already-congested last mile.
+
+All functions are numpy-vectorized and return Mbit/s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MATHIS_CONSTANT = np.sqrt(3.0 / 2.0)   # ~1.22 for delayed-ACK b=1
+DEFAULT_MSS_BYTES = 1460
+#: Floor on loss probability: a perfectly loss-free path still ends
+#: slow-start eventually; 1e-6 keeps the formulas finite and the cap
+#: (line rate) binding in the uncongested regime.
+MIN_LOSS = 1e-6
+
+
+def _prepare(rtt_ms, loss):
+    rtt_ms = np.asarray(rtt_ms, dtype=np.float64)
+    loss = np.asarray(loss, dtype=np.float64)
+    if np.any(rtt_ms <= 0):
+        raise ValueError("RTT must be positive")
+    if np.any((loss < 0) | (loss >= 1)):
+        raise ValueError("loss must be in [0, 1)")
+    return rtt_ms, np.maximum(loss, MIN_LOSS)
+
+
+def mathis_throughput_mbps(
+    rtt_ms, loss, mss_bytes: int = DEFAULT_MSS_BYTES
+) -> np.ndarray:
+    """Mathis model: MSS/RTT · 1.22/√p, in Mbit/s."""
+    rtt_ms, loss = _prepare(rtt_ms, loss)
+    segments_per_second = (
+        MATHIS_CONSTANT / (np.sqrt(loss) * (rtt_ms / 1000.0))
+    )
+    return segments_per_second * mss_bytes * 8.0 / 1e6
+
+
+def pftk_throughput_mbps(
+    rtt_ms,
+    loss,
+    mss_bytes: int = DEFAULT_MSS_BYTES,
+    rto_ms: float = 200.0,
+    b: int = 2,
+) -> np.ndarray:
+    """Padhye (PFTK) model with the timeout term, in Mbit/s.
+
+    ``B = 1 / (RTT·√(2bp/3) + RTO·min(1, 3√(3bp/8))·p·(1+32p²))``
+    segments per second.  ``b`` is packets acknowledged per ACK.
+    """
+    rtt_ms, loss = _prepare(rtt_ms, loss)
+    rtt_s = rtt_ms / 1000.0
+    rto_s = rto_ms / 1000.0
+    congestion_avoidance = rtt_s * np.sqrt(2.0 * b * loss / 3.0)
+    timeout = (
+        rto_s
+        * np.minimum(1.0, 3.0 * np.sqrt(3.0 * b * loss / 8.0))
+        * loss
+        * (1.0 + 32.0 * loss**2)
+    )
+    segments_per_second = 1.0 / (congestion_avoidance + timeout)
+    return segments_per_second * mss_bytes * 8.0 / 1e6
+
+
+def bbr_throughput_mbps(
+    bottleneck_mbps,
+    loss,
+    loss_tolerance: float = 0.20,
+) -> np.ndarray:
+    """BBRv1-style throughput: bandwidth-probing, loss-blind.
+
+    BBRv1 delivers (a share of) the estimated bottleneck bandwidth
+    regardless of loss until loss is extreme; only past
+    ``loss_tolerance`` does goodput collapse (retransmissions dominate).
+    The (1 - p) factor accounts for bytes lost to retransmission.
+    """
+    bottleneck = np.asarray(bottleneck_mbps, dtype=np.float64)
+    loss = np.asarray(loss, dtype=np.float64)
+    if np.any((loss < 0) | (loss >= 1)):
+        raise ValueError("loss must be in [0, 1)")
+    goodput = bottleneck * (1.0 - loss)
+    collapse = loss > loss_tolerance
+    return np.where(collapse, goodput * 0.1, goodput)
+
+
+def capped_flow_throughput_mbps(
+    rtt_ms,
+    loss,
+    line_rate_mbps,
+    model: str = "pftk",
+    mss_bytes: int = DEFAULT_MSS_BYTES,
+) -> np.ndarray:
+    """Throughput of one CDN download, capped by the line rate.
+
+    ``model`` selects 'mathis', 'pftk' or 'bbr'.  For 'bbr' the line
+    rate is the estimated bottleneck bandwidth.
+    """
+    if model == "mathis":
+        rate = mathis_throughput_mbps(rtt_ms, loss, mss_bytes)
+    elif model == "pftk":
+        rate = pftk_throughput_mbps(rtt_ms, loss, mss_bytes)
+    elif model == "bbr":
+        return bbr_throughput_mbps(line_rate_mbps, loss)
+    else:
+        raise ValueError(f"unknown TCP model {model!r}")
+    return np.minimum(rate, np.asarray(line_rate_mbps, dtype=np.float64))

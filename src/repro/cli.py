@@ -1,0 +1,264 @@
+"""Top-level command-line interface.
+
+``python -m repro <command>``:
+
+* ``survey``   — run the §3 world survey and export the site bundle;
+* ``tokyo``    — run the §4 Tokyo case study and print Fig. 5–9 digests;
+* ``simulate`` — generate an Atlas-schema traceroute campaign to JSONL;
+* ``classify`` — classify a saved last-mile dataset per AS;
+* ``info``     — version and layout.
+
+The streaming monitor has its own entry point
+(``python -m repro.raclette``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Persistent last-mile congestion reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    survey = sub.add_parser(
+        "survey", help="run the world survey (§3) and export results"
+    )
+    survey.add_argument("--ases", type=int, default=150)
+    survey.add_argument("--countries", type=int, default=40)
+    survey.add_argument("--periods", type=int, default=2,
+                        help="longitudinal periods to run (max 6)")
+    survey.add_argument("--covid", action="store_true",
+                        help="also run the 2020-04 lockdown period")
+    survey.add_argument("--seed", type=int, default=101)
+    survey.add_argument(
+        "--full", action="store_true",
+        help="paper scale: 646 ASes, 98 countries, all 6 periods + "
+        "the 2020-04 lockdown window",
+    )
+    survey.add_argument("--out", default="survey-out",
+                        help="directory for the exported site bundle")
+
+    tokyo = sub.add_parser(
+        "tokyo", help="run the Tokyo case study (§4) and print digests"
+    )
+    tokyo.add_argument("--client-scale", type=float, default=0.3)
+    tokyo.add_argument("--seed", type=int, default=42)
+    tokyo.add_argument("--save-lastmile", default=None,
+                       help="base path to save the per-ISP datasets")
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="generate an Atlas-schema traceroute campaign (JSONL)",
+    )
+    simulate.add_argument("out", help="output JSONL path")
+    simulate.add_argument("--probes", type=int, default=4)
+    simulate.add_argument("--days", type=int, default=2)
+    simulate.add_argument("--peak-utilization", type=float, default=0.95)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--rib-out", default=None,
+                          help="also write the world's RIB dump here")
+
+    classify = sub.add_parser(
+        "classify",
+        help="classify a saved last-mile dataset per AS",
+    )
+    classify.add_argument(
+        "dataset", help="base path of a dataset written by "
+        "repro.io.save_lastmile",
+    )
+    classify.add_argument("--min-probes", type=int, default=3)
+
+    sub.add_parser("info", help="print version and package layout")
+    return parser
+
+
+# -- commands ------------------------------------------------------------
+
+
+def cmd_survey(args) -> int:
+    from .apnic import EyeballRanking
+    from .core import SurveySuite, render_survey_headline
+    from .io import export_site
+    from .scenarios import generate_specs, run_survey_period
+    from .timebase import COVID_PERIOD, LONGITUDINAL_PERIODS
+
+    if args.full:
+        args.ases, args.countries = 646, 98
+        args.periods, args.covid = 6, True
+    specs = generate_specs(
+        num_ases=args.ases, num_countries=args.countries, seed=args.seed
+    )
+    periods = list(LONGITUDINAL_PERIODS[-args.periods:])
+    if args.covid:
+        periods.append(COVID_PERIOD)
+
+    suite = SurveySuite()
+    world = None
+    for period in periods:
+        print(f"running {period.name}...", flush=True)
+        result, world = run_survey_period(specs, period, seed=args.seed)
+        suite.add(result)
+        print("  " + render_survey_headline(result))
+
+    ranking = EyeballRanking.from_registry(
+        world.registry, rng=np.random.default_rng(args.seed)
+    )
+    written = export_site(suite, args.out, ranking)
+    print(f"\nexported {len(written)} artifacts to {args.out}/")
+    return 0
+
+
+def cmd_tokyo(args) -> int:
+    from .core import (
+        aggregate_population,
+        filter_requests,
+        per_asn_throughput,
+        render_throughput_summary,
+        spearman_delay_throughput,
+    )
+    from .scenarios import (
+        ISP_A_ASN,
+        ISP_B_ASN,
+        ISP_C_ASN,
+        build_tokyo_case_study,
+    )
+    from .timebase import TimeGrid
+
+    study = build_tokyo_case_study(
+        seed=args.seed, client_scale=args.client_scale
+    )
+    logs = study.edge.generate(study.period)
+    print(f"{study.edge.total_clients} clients, {len(logs)} log rows")
+
+    signals = {}
+    for name in ("ISP_A", "ISP_B", "ISP_C"):
+        dataset = study.dataset_for(name)
+        if args.save_lastmile:
+            from .io import save_lastmile
+
+            save_lastmile(
+                dataset, Path(args.save_lastmile + f".{name}")
+            )
+        signal = aggregate_population(dataset)
+        signals[name] = signal
+        print(f"{name}: max aggregated delay "
+              f"{signal.max_delay_ms:.2f} ms "
+              f"({signal.probe_count} probes)")
+
+    grid = TimeGrid(study.period, 900)
+    broadband = filter_requests(
+        logs, mobile_prefixes=study.mobile_prefixes
+    )
+    broadband_v4 = broadband.select(broadband.afs == 4)
+    throughput = per_asn_throughput(
+        broadband_v4, grid, study.world.table,
+        asns=[ISP_A_ASN, ISP_B_ASN, ISP_C_ASN],
+    )
+    print()
+    print(render_throughput_summary({
+        "ISP_A": throughput[ISP_A_ASN],
+        "ISP_B": throughput[ISP_B_ASN],
+        "ISP_C": throughput[ISP_C_ASN],
+    }))
+    for name, asn in (("ISP_A", ISP_A_ASN), ("ISP_C", ISP_C_ASN)):
+        corr = spearman_delay_throughput(signals[name], throughput[asn])
+        print(f"{name} delay/throughput Spearman rho = {corr.rho:+.2f}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    import datetime as dt
+
+    from .atlas import AtlasPlatform
+    from .io import save_traceroutes
+    from .netbase import AccessTechnology, ASInfo, ASRole
+    from .timebase import MeasurementPeriod
+    from .topology import ProvisioningPolicy, World
+
+    world = World(seed=args.seed)
+    isp = world.add_isp(
+        ASInfo(
+            64500, "SimNet", "JP", ASRole.EYEBALL,
+            access_technologies=[AccessTechnology.FTTH_PPPOE_LEGACY],
+        ),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={
+                AccessTechnology.FTTH_PPPOE_LEGACY: args.peak_utilization
+            },
+            device_spread=0.01,
+            load_jitter_std=0.008,
+        ),
+    )
+    world.add_default_targets()
+    world.finalize()
+    platform = AtlasPlatform(world)
+    probes = platform.deploy_probes_on_isp(isp, args.probes)
+    period = MeasurementPeriod(
+        "simulated", dt.datetime(2019, 9, 2), args.days
+    )
+    dataset = platform.run_period(period, probes)
+    rows = save_traceroutes(dataset, args.out)
+    print(f"wrote {rows} traceroutes to {args.out}")
+    if args.rib_out:
+        Path(args.rib_out).write_text(world.table.to_text() + "\n")
+        print(f"wrote RIB dump to {args.rib_out}")
+    return 0
+
+
+def cmd_classify(args) -> int:
+    from .core import classify_dataset
+    from .io import load_lastmile
+
+    dataset = load_lastmile(args.dataset)
+    result = classify_dataset(
+        dataset, dataset.grid.period, min_probes=args.min_probes
+    )
+    if not result.reports:
+        print("no AS qualifies (need >= "
+              f"{args.min_probes} probes with metadata)")
+        return 1
+    for asn, report in sorted(result.reports.items()):
+        amplitude = report.classification.daily_amplitude_ms
+        print(f"AS{asn}: {report.severity.value.upper():6s} "
+              f"daily amplitude {amplitude:.2f} ms "
+              f"({report.probe_count} probes)")
+    return 0
+
+
+def cmd_info(_args) -> int:
+    import repro
+
+    print(f"repro {repro.__version__}")
+    print("reproduction of 'Persistent Last-mile Congestion: "
+          "Not so Uncommon' (IMC 2020)")
+    print("subpackages: " + ", ".join(
+        name for name in repro.__all__ if name != "__version__"
+    ))
+    return 0
+
+
+COMMANDS = {
+    "survey": cmd_survey,
+    "tokyo": cmd_tokyo,
+    "simulate": cmd_simulate,
+    "classify": cmd_classify,
+    "info": cmd_info,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Severity classification of aggregated delay signals (paper §2.3).
+
+Categories, from the paper:
+
+* **Severe** — prominent daily pattern, amplitude > 3 ms.
+* **Mild** — prominent daily pattern, amplitude > 1 ms.
+* **Low** — prominent daily pattern, amplitude > 0.5 ms.
+* **None** — no prominent daily pattern, or amplitude ≤ 0.5 ms.
+
+The 0.5 ms floor focuses the survey on the distribution tail; 1 ms and
+3 ms balance the class sizes (Fig. 4).  All thresholds are parameters
+so the ablation benchmark can sweep them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .spectral import SpectralMarkers, extract_markers
+
+
+class Severity(enum.Enum):
+    """Congestion class of one (AS, period) signal."""
+
+    NONE = "none"
+    LOW = "low"
+    MILD = "mild"
+    SEVERE = "severe"
+
+    @property
+    def is_reported(self) -> bool:
+        """True for the classes the paper counts as congested."""
+        return self is not Severity.NONE
+
+    def __lt__(self, other: "Severity") -> bool:
+        order = [Severity.NONE, Severity.LOW, Severity.MILD,
+                 Severity.SEVERE]
+        return order.index(self) < order.index(other)
+
+
+@dataclass(frozen=True)
+class ClassificationThresholds:
+    """The three amplitude cut-offs (ms)."""
+
+    low_ms: float = 0.5
+    mild_ms: float = 1.0
+    severe_ms: float = 3.0
+
+    def __post_init__(self):
+        if not 0 < self.low_ms <= self.mild_ms <= self.severe_ms:
+            raise ValueError(
+                f"thresholds must be ordered: {self.low_ms}, "
+                f"{self.mild_ms}, {self.severe_ms}"
+            )
+
+
+DEFAULT_THRESHOLDS = ClassificationThresholds()
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Classification outcome plus the markers that produced it."""
+
+    severity: Severity
+    markers: Optional[SpectralMarkers]
+
+    @property
+    def daily_amplitude_ms(self) -> float:
+        """Daily-component amplitude, 0 for degenerate signals."""
+        return self.markers.daily_amplitude_ms if self.markers else 0.0
+
+
+def classify_markers(
+    markers: Optional[SpectralMarkers],
+    thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS,
+) -> Classification:
+    """Apply the §2.3 decision rule to extracted spectral markers."""
+    if markers is None or not markers.daily_is_prominent:
+        return Classification(Severity.NONE, markers)
+    amplitude = markers.daily_amplitude_ms
+    if amplitude > thresholds.severe_ms:
+        severity = Severity.SEVERE
+    elif amplitude > thresholds.mild_ms:
+        severity = Severity.MILD
+    elif amplitude > thresholds.low_ms:
+        severity = Severity.LOW
+    else:
+        severity = Severity.NONE
+    return Classification(severity, markers)
+
+
+def classify_signal(
+    values: np.ndarray,
+    bin_seconds: int,
+    thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS,
+) -> Classification:
+    """End-to-end: delay signal → markers → severity."""
+    markers = extract_markers(values, bin_seconds)
+    return classify_markers(markers, thresholds)

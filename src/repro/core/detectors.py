@@ -1,0 +1,244 @@
+"""Alternative persistent-congestion detectors and their evaluation.
+
+The paper chose Welch-periodogram prominence plus amplitude thresholds
+(§2.3).  Because the simulator knows ground truth (which ASes were
+built congested), we can score that choice against alternatives:
+
+* :class:`WelchDetector` — the paper's method.
+* :class:`AutocorrelationDetector` — flag when the autocorrelation at
+  the daily lag is strong and the daily swing is material.
+* :class:`RangeDetector` — naive peak-to-peak range threshold, no
+  periodicity requirement (what a simple alerting rule would do).
+* :class:`HourOfDayVarianceDetector` — ANOVA-style: variance of the
+  hour-of-day means against the residual variance.
+
+Each detector returns a score (higher = more congested-looking) and a
+boolean decision; :func:`evaluate_detectors` computes
+precision/recall/F1 on a labeled set of signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..timebase import SECONDS_PER_DAY
+from .classify import ClassificationThresholds, DEFAULT_THRESHOLDS
+from .spectral import extract_markers, fill_gaps
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detector's verdict on one signal."""
+
+    reported: bool
+    score: float
+
+
+class WelchDetector:
+    """The paper's §2.3 rule: daily prominence + amplitude threshold."""
+
+    name = "welch (paper)"
+
+    def __init__(
+        self,
+        thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS,
+    ):
+        self.thresholds = thresholds
+
+    def detect(self, values: np.ndarray, bin_seconds: int) -> Detection:
+        markers = extract_markers(values, bin_seconds)
+        if markers is None:
+            return Detection(False, 0.0)
+        score = markers.daily_amplitude_ms
+        reported = (
+            markers.daily_is_prominent
+            and score > self.thresholds.low_ms
+        )
+        return Detection(reported, float(score))
+
+
+class AutocorrelationDetector:
+    """Daily-lag autocorrelation plus a swing requirement.
+
+    ACF at lag = 1 day detects daily periodicity like the Welch
+    prominence does; the amplitude gate reuses the paper's 0.5 ms
+    floor on the median daily swing.
+    """
+
+    name = "autocorrelation"
+
+    def __init__(self, acf_threshold: float = 0.3,
+                 swing_threshold_ms: float = 0.5):
+        self.acf_threshold = acf_threshold
+        self.swing_threshold_ms = swing_threshold_ms
+
+    def detect(self, values: np.ndarray, bin_seconds: int) -> Detection:
+        filled = fill_gaps(np.asarray(values, dtype=np.float64))
+        lag = SECONDS_PER_DAY // bin_seconds
+        if filled.shape[0] < 2 * lag or np.allclose(filled, filled[0]):
+            return Detection(False, 0.0)
+        centered = filled - filled.mean()
+        denominator = float(np.dot(centered, centered))
+        if denominator <= 0:
+            return Detection(False, 0.0)
+        acf = float(
+            np.dot(centered[:-lag], centered[lag:]) / denominator
+        )
+        swing = _median_daily_swing(filled, lag)
+        reported = (
+            acf > self.acf_threshold
+            and swing > self.swing_threshold_ms
+        )
+        return Detection(reported, acf * swing)
+
+
+class RangeDetector:
+    """Naive: report when the signal's p95-p5 range exceeds a bound.
+
+    No periodicity requirement — transient events and trends produce
+    false positives, which is exactly why the paper requires the daily
+    signature.
+    """
+
+    name = "range"
+
+    def __init__(self, range_threshold_ms: float = 1.0):
+        self.range_threshold_ms = range_threshold_ms
+
+    def detect(self, values: np.ndarray, bin_seconds: int) -> Detection:
+        finite = np.asarray(values, dtype=np.float64)
+        finite = finite[~np.isnan(finite)]
+        if finite.size < 10:
+            return Detection(False, 0.0)
+        spread = float(
+            np.percentile(finite, 95) - np.percentile(finite, 5)
+        )
+        return Detection(spread > self.range_threshold_ms, spread)
+
+
+class HourOfDayVarianceDetector:
+    """ANOVA-style: do hour-of-day means explain the variance?
+
+    Computes the ratio of between-hour variance to total variance
+    (eta-squared) and gates on it plus the daily swing of the
+    hour-of-day profile.
+    """
+
+    name = "hour-of-day variance"
+
+    def __init__(self, eta_threshold: float = 0.3,
+                 swing_threshold_ms: float = 0.5):
+        self.eta_threshold = eta_threshold
+        self.swing_threshold_ms = swing_threshold_ms
+
+    def detect(self, values: np.ndarray, bin_seconds: int) -> Detection:
+        filled = fill_gaps(np.asarray(values, dtype=np.float64))
+        per_day = SECONDS_PER_DAY // bin_seconds
+        days = filled.shape[0] // per_day
+        if days < 2 or np.allclose(filled, filled[0]):
+            return Detection(False, 0.0)
+        matrix = filled[: days * per_day].reshape(days, per_day)
+        slot_means = matrix.mean(axis=0)
+        total_var = float(matrix.var())
+        if total_var <= 0:
+            return Detection(False, 0.0)
+        between_var = float(slot_means.var())
+        eta = between_var / total_var
+        swing = float(slot_means.max() - slot_means.min())
+        reported = (
+            eta > self.eta_threshold
+            and swing > self.swing_threshold_ms
+        )
+        return Detection(reported, eta * swing)
+
+
+def _median_daily_swing(values: np.ndarray, per_day: int) -> float:
+    days = values.shape[0] // per_day
+    if days == 0:
+        return 0.0
+    matrix = values[: days * per_day].reshape(days, per_day)
+    return float(np.median(matrix.max(axis=1) - matrix.min(axis=1)))
+
+
+DEFAULT_DETECTORS: Tuple = (
+    WelchDetector,
+    AutocorrelationDetector,
+    RangeDetector,
+    HourOfDayVarianceDetector,
+)
+
+
+@dataclass
+class DetectorScore:
+    """Precision/recall of one detector over a labeled signal set."""
+
+    name: str
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return (
+            self.true_positives / denominator if denominator
+            else float("nan")
+        )
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return (
+            self.true_positives / denominator if denominator
+            else float("nan")
+        )
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if not np.isfinite(p) or not np.isfinite(r) or (p + r) == 0:
+            return float("nan")
+        return 2 * p * r / (p + r)
+
+
+def evaluate_detectors(
+    signals: Sequence[np.ndarray],
+    labels: Sequence[bool],
+    bin_seconds: int,
+    detectors: Optional[Sequence] = None,
+) -> Dict[str, DetectorScore]:
+    """Score each detector against ground-truth labels.
+
+    ``detectors`` holds detector *instances*; defaults to one of each
+    built-in with standard parameters.
+    """
+    if len(signals) != len(labels):
+        raise ValueError("signals and labels length mismatch")
+    if detectors is None:
+        detectors = [cls() for cls in DEFAULT_DETECTORS]
+
+    scores: Dict[str, DetectorScore] = {}
+    for detector in detectors:
+        tp = fp = fn = tn = 0
+        for signal, label in zip(signals, labels):
+            reported = detector.detect(signal, bin_seconds).reported
+            if reported and label:
+                tp += 1
+            elif reported and not label:
+                fp += 1
+            elif not reported and label:
+                fn += 1
+            else:
+                tn += 1
+        scores[detector.name] = DetectorScore(
+            name=detector.name,
+            true_positives=tp,
+            false_positives=fp,
+            false_negatives=fn,
+            true_negatives=tn,
+        )
+    return scores

@@ -1,0 +1,119 @@
+"""Probe selection and filtering (paper §2, §3, §4).
+
+The paper applies three selection rules before estimating last-mile
+delay:
+
+* drop Atlas anchors (datacenter vantage points, no last mile);
+* resolve each probe to an AS by longest-prefix match of its *public*
+  address against BGP data (first-hop addresses may be unannounced);
+* optionally restrict to a geographic area (Greater Tokyo in §4).
+
+Population selectors return probe-id lists the aggregation stage
+consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..atlas.traceroute import ProbeMeta
+from ..bgp import RoutingTable
+from ..netbase import parse_address
+from ..topology.geo import GREATER_TOKYO_NAMES
+
+
+def resolve_probe_asn(
+    meta: ProbeMeta, table: RoutingTable
+) -> Optional[int]:
+    """AS of a probe by longest-prefix match of its public address.
+
+    Mirrors §2.1: the probe's public address — never a traceroute hop
+    address — is what gets matched against the RIB.
+    """
+    try:
+        value, version = parse_address(meta.public_address)
+    except ValueError:
+        return None
+    return table.resolve_asn(value, version)
+
+
+def non_anchor_probes(
+    probe_meta: Dict[int, ProbeMeta]
+) -> List[int]:
+    """Probe ids with anchors removed, sorted."""
+    return sorted(
+        prb_id for prb_id, meta in probe_meta.items() if not meta.is_anchor
+    )
+
+
+def probes_in_asn(
+    probe_meta: Dict[int, ProbeMeta],
+    asn: int,
+    table: Optional[RoutingTable] = None,
+    include_anchors: bool = False,
+) -> List[int]:
+    """Probe ids homed in one AS.
+
+    With a routing table the AS is resolved by longest-prefix match of
+    the probe public address (the paper's method); without one the
+    metadata ASN is trusted (useful for unit fixtures).
+    """
+    selected = []
+    for prb_id, meta in probe_meta.items():
+        if meta.is_anchor and not include_anchors:
+            continue
+        resolved = (
+            resolve_probe_asn(meta, table) if table is not None else meta.asn
+        )
+        if resolved == asn:
+            selected.append(prb_id)
+    return sorted(selected)
+
+
+def probes_in_cities(
+    probe_meta: Dict[int, ProbeMeta],
+    cities: Iterable[str],
+    include_anchors: bool = False,
+) -> List[int]:
+    """Probe ids located in any of the given cities."""
+    wanted = set(cities)
+    return sorted(
+        prb_id for prb_id, meta in probe_meta.items()
+        if meta.city in wanted and (include_anchors or not meta.is_anchor)
+    )
+
+
+def probes_in_greater_tokyo(
+    probe_meta: Dict[int, ProbeMeta],
+    include_anchors: bool = False,
+) -> List[int]:
+    """The paper's §4 filter: Tokyo, Yokohama, Chiba, Saitama."""
+    return probes_in_cities(
+        probe_meta, GREATER_TOKYO_NAMES, include_anchors=include_anchors
+    )
+
+
+def asns_with_min_probes(
+    probe_meta: Dict[int, ProbeMeta],
+    min_probes: int = 3,
+    table: Optional[RoutingTable] = None,
+) -> Dict[int, List[int]]:
+    """ASes hosting at least ``min_probes`` non-anchor probes (§3).
+
+    Returns ``{asn: [probe ids]}`` for qualifying ASes.
+    """
+    by_asn: Dict[int, List[int]] = {}
+    for prb_id, meta in probe_meta.items():
+        if meta.is_anchor:
+            continue
+        asn = (
+            resolve_probe_asn(meta, table) if table is not None else meta.asn
+        )
+        if asn is None:
+            continue
+        by_asn.setdefault(asn, []).append(prb_id)
+    return {
+        asn: sorted(ids)
+        for asn, ids in sorted(by_asn.items())
+        if len(ids) >= min_probes
+    }

@@ -1,0 +1,148 @@
+"""Latency-based geolocation under last-mile congestion (§6).
+
+The paper recommends that "geolocation studies and services based on
+latency should avoid making inferences during peak hours and with
+probes affected by persistent last-mile congestion".
+
+RTT-based geolocation bounds the distance to a host as
+``distance <= RTT/2 × (2/3)c`` (light in fiber).  A *real-time*
+inference — one made from the RTT measured at inference time, as
+active geolocation services do — inherits whatever queueing delay the
+probe's last mile carries at that moment.  This module quantifies the
+resulting bias per measurement policy:
+
+* ``any_time``  — infer whenever the request arrives;
+* ``peak_hours`` — infer during the local 19–23 h window (worst case);
+* ``off_peak``  — avoid the peak window (the paper's first advice);
+* ``filtered``  — additionally discard probes classified as
+  persistently congested (the paper's second advice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..timebase import TimeGrid
+from .classify import classify_signal
+from .series import LastMileDataset
+
+#: Speed of light in fiber, km per ms of one-way delay (~2/3 c).
+FIBER_KM_PER_MS = 100.0
+
+POLICIES = ("any_time", "peak_hours", "off_peak", "filtered")
+
+
+def rtt_to_distance_km(rtt_ms) -> np.ndarray:
+    """Upper-bound great-circle distance implied by an RTT."""
+    rtt_ms = np.asarray(rtt_ms, dtype=np.float64)
+    if np.any(rtt_ms < 0):
+        raise ValueError("negative RTT")
+    return rtt_ms / 2.0 * FIBER_KM_PER_MS
+
+
+def peak_hour_mask(
+    grid: TimeGrid,
+    utc_offset_hours: float,
+    peak_start: float = 19.0,
+    peak_end: float = 23.0,
+) -> np.ndarray:
+    """True for bins inside local peak hours."""
+    hour = grid.local_hour_of_day(utc_offset_hours)
+    return (hour >= peak_start) & (hour <= peak_end)
+
+
+def per_bin_distance_errors(
+    rtt_series_ms: np.ndarray,
+    true_distance_km: float,
+) -> np.ndarray:
+    """Per-bin absolute error of an instantaneous inference (km).
+
+    NaN bins stay NaN.  Errors are signed-positive: queueing delay can
+    only inflate the estimate, but measurement noise may also dip it
+    below truth, hence the absolute value.
+    """
+    estimates = rtt_to_distance_km(
+        np.where(np.isnan(rtt_series_ms), np.nan, rtt_series_ms)
+    )
+    return np.abs(estimates - true_distance_km)
+
+
+@dataclass
+class GeolocationStudy:
+    """Aggregate error statistics across a probe population."""
+
+    true_distance_km: float
+    #: policy -> pooled per-bin absolute errors (km).
+    errors_km: Dict[str, List[float]]
+    #: probes excluded by the ``filtered`` policy.
+    excluded_probes: List[int]
+
+    def median_error(self, policy: str) -> float:
+        """Median absolute error of one policy (NaN when unused)."""
+        values = self.errors_km.get(policy, [])
+        return float(np.median(values)) if values else float("nan")
+
+    def p90_error(self, policy: str) -> float:
+        """90th-percentile absolute error (tail bias)."""
+        values = self.errors_km.get(policy, [])
+        return float(np.percentile(values, 90)) if values else float("nan")
+
+    def samples(self, policy: str) -> int:
+        """Number of pooled (probe, bin) samples of a policy."""
+        return len(self.errors_km.get(policy, []))
+
+
+def run_geolocation_study(
+    dataset: LastMileDataset,
+    path_rtt_ms: float,
+    utc_offset_hours: float,
+    true_distance_km: Optional[float] = None,
+    probe_ids: Optional[Sequence[int]] = None,
+) -> GeolocationStudy:
+    """Evaluate the four inference policies over a probe population.
+
+    ``dataset`` holds each probe's last-mile delay medians per bin;
+    the instantaneous end-to-end RTT toward the target is modeled as
+    ``path_rtt_ms + last-mile queueing delay`` (the uncongested
+    last-mile base is part of ``path_rtt_ms``).  True distance
+    defaults to the fiber bound of the uncongested path.
+    """
+    from .aggregate import probe_queuing_delay
+
+    if true_distance_km is None:
+        true_distance_km = float(rtt_to_distance_km(path_rtt_ms))
+    if probe_ids is None:
+        probe_ids = dataset.probe_ids()
+
+    grid = dataset.grid
+    peak = peak_hour_mask(grid, utc_offset_hours)
+    errors: Dict[str, List[float]] = {p: [] for p in POLICIES}
+    excluded: List[int] = []
+
+    for prb_id in probe_ids:
+        series = dataset.series[prb_id]
+        queueing = probe_queuing_delay(series)
+        rtt = path_rtt_ms + queueing
+        bin_errors = per_bin_distance_errors(rtt, true_distance_km)
+        valid = ~np.isnan(bin_errors)
+
+        errors["any_time"].extend(bin_errors[valid])
+        errors["peak_hours"].extend(bin_errors[valid & peak])
+        errors["off_peak"].extend(bin_errors[valid & ~peak])
+
+        congested = classify_signal(
+            queueing, grid.bin_seconds
+        ).severity.is_reported
+        if congested:
+            excluded.append(prb_id)
+        else:
+            errors["filtered"].extend(bin_errors[valid & ~peak])
+
+    return GeolocationStudy(
+        true_distance_km=true_distance_km,
+        errors_km=errors,
+        excluded_probes=excluded,
+    )

@@ -1,0 +1,179 @@
+"""Last-mile RTT estimation from traceroutes (paper §2.1).
+
+Stages, exactly as the paper describes:
+
+1. Identify the boundary: the last RFC 1918 (private) hop and the
+   first public hop of each traceroute.
+2. Pairwise-subtract the private hop's replies from the public hop's
+   replies: 3 × 3 = 9 last-mile RTT samples per traceroute.
+3. Group each probe's traceroutes into 30-minute bins; discard bins
+   with fewer than 3 traceroutes (disconnected-probe sanity check).
+4. Per bin, the probe's last-mile RTT estimate is the median of all
+   samples in the bin (24 traceroutes × 9 samples = 216).
+
+Anchors have no private hop; for them (used only by the Appendix B
+control analysis) the first public hop RTT itself is the sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..netbase import is_private, is_public, parse_address
+from ..atlas.traceroute import Hop, TracerouteResult
+from ..timebase import TimeGrid
+from .series import LastMileDataset, ProbeBinSeries
+
+#: The paper's disconnected-probe sanity threshold.
+MIN_TRACEROUTES_PER_BIN = 3
+
+
+@dataclass(frozen=True)
+class BoundaryHops:
+    """The last private and first public hops of one traceroute.
+
+    ``last_private`` is None for vantage points with no private hop
+    (datacenter hosts / anchors).
+    """
+
+    last_private: Optional[Hop]
+    first_public: Hop
+
+
+def classify_hop_address(address: str) -> str:
+    """Classify a hop address as 'private', 'public' or 'other'.
+
+    'other' covers loopback, link-local, documentation and multicast
+    space — anomalies that must be skipped rather than treated as the
+    ISP edge.
+    """
+    try:
+        value, version = parse_address(address)
+    except ValueError:
+        return "other"
+    if is_private(value, version):
+        return "private"
+    if is_public(value, version):
+        return "public"
+    return "other"
+
+
+def find_boundary(result: TracerouteResult) -> Optional[BoundaryHops]:
+    """Locate the private→public boundary of one traceroute.
+
+    Scans hops in order: remembers the most recent private hop, stops
+    at the first public hop.  Hops whose replies all timed out (or are
+    anomalous) are skipped.  Returns None when no public hop ever
+    responds (fully broken traceroute).
+    """
+    last_private: Optional[Hop] = None
+    for hop in result.hops:
+        address = hop.responding_address
+        if address is None:
+            continue
+        kind = classify_hop_address(address)
+        if kind == "private":
+            last_private = hop
+        elif kind == "public":
+            return BoundaryHops(last_private=last_private, first_public=hop)
+    return None
+
+
+def lastmile_samples(result: TracerouteResult) -> List[float]:
+    """Per-traceroute last-mile RTT samples (up to 9).
+
+    Pairwise subtraction of the last private hop's RTTs from the first
+    public hop's RTTs.  With no private hop the public hop's RTTs are
+    used directly (anchor case).  Timeout replies simply yield fewer
+    samples.
+    """
+    boundary = find_boundary(result)
+    if boundary is None:
+        return []
+    public_rtts = boundary.first_public.rtts
+    if boundary.last_private is None:
+        return list(public_rtts)
+    private_rtts = boundary.last_private.rtts
+    return [
+        public_rtt - private_rtt
+        for public_rtt in public_rtts
+        for private_rtt in private_rtts
+    ]
+
+
+def e2e_samples(result: TracerouteResult) -> List[float]:
+    """End-to-end RTT samples: the last responding hop's replies.
+
+    Not part of the paper's methodology — used by the specificity
+    experiments to contrast naive end-to-end delay analysis with the
+    last-mile subtraction.
+    """
+    for hop in reversed(result.hops):
+        rtts = hop.rtts
+        if rtts:
+            return list(rtts)
+    return []
+
+
+def estimate_probe_series(
+    results: Iterable[TracerouteResult],
+    grid: TimeGrid,
+    prb_id: Optional[int] = None,
+    min_traceroutes: int = MIN_TRACEROUTES_PER_BIN,
+    sample_fn=None,
+) -> ProbeBinSeries:
+    """Binned last-mile medians for one probe's traceroutes.
+
+    Implements stages 1–4 above.  ``prb_id`` is inferred from the
+    first result when not given; an empty input needs it explicitly.
+    ``sample_fn`` swaps the per-traceroute sample extractor (default
+    :func:`lastmile_samples`; pass :func:`e2e_samples` for a naive
+    end-to-end analysis).
+    """
+    if sample_fn is None:
+        sample_fn = lastmile_samples
+    samples_per_bin: Dict[int, List[float]] = {}
+    counts = np.zeros(grid.num_bins, dtype=np.int64)
+    for result in results:
+        if prb_id is None:
+            prb_id = result.prb_id
+        bin_index = int(grid.bin_index(result.timestamp))
+        counts[bin_index] += 1
+        samples = sample_fn(result)
+        if samples:
+            samples_per_bin.setdefault(bin_index, []).extend(samples)
+
+    if prb_id is None:
+        raise ValueError("empty result set and no prb_id given")
+
+    medians = np.full(grid.num_bins, np.nan)
+    for bin_index, samples in samples_per_bin.items():
+        if counts[bin_index] >= min_traceroutes:
+            medians[bin_index] = float(np.median(samples))
+    return ProbeBinSeries(
+        prb_id=prb_id,
+        median_rtt_ms=medians,
+        traceroute_counts=counts,
+    )
+
+
+def estimate_dataset(
+    results_by_probe: Dict[int, List[TracerouteResult]],
+    grid: TimeGrid,
+    probe_meta: Optional[Dict[int, object]] = None,
+    min_traceroutes: int = MIN_TRACEROUTES_PER_BIN,
+    sample_fn=None,
+) -> LastMileDataset:
+    """Run the estimation for every probe of a measurement dataset."""
+    dataset = LastMileDataset(grid=grid)
+    for prb_id, results in results_by_probe.items():
+        series = estimate_probe_series(
+            results, grid, prb_id=prb_id,
+            min_traceroutes=min_traceroutes, sample_fn=sample_fn,
+        )
+        meta = probe_meta.get(prb_id) if probe_meta else None
+        dataset.add(series, meta=meta)
+    return dataset

@@ -1,0 +1,114 @@
+"""High-level facade: one call from dataset to verdict.
+
+Downstream users who just want the paper's answer for one AS —
+"is this network persistently congested, how badly, how sure are we" —
+shouldn't have to wire five stages together.  :func:`analyze_asn`
+does aggregation, spectral extraction, classification and (optionally)
+a probe-bootstrap confidence interval in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .aggregate import AggregatedSignal, aggregate_population
+from .classify import (
+    Classification,
+    ClassificationThresholds,
+    DEFAULT_THRESHOLDS,
+    Severity,
+    classify_markers,
+)
+from .filtering import probes_in_asn
+from .series import LastMileDataset
+from .spectral import extract_markers
+from .stats import BootstrapEstimate, bootstrap_daily_amplitude
+from .textplot import daily_panel
+
+
+@dataclass
+class ASAnalysis:
+    """Everything the pipeline concludes about one AS."""
+
+    asn: int
+    signal: AggregatedSignal
+    classification: Classification
+    amplitude_ci: Optional[BootstrapEstimate] = None
+
+    @property
+    def severity(self) -> Severity:
+        """The §2.3 class."""
+        return self.classification.severity
+
+    @property
+    def is_congested(self) -> bool:
+        """True when the AS counts as reported (non-None class)."""
+        return self.severity.is_reported
+
+    def summary(self) -> str:
+        """Multi-line human-readable verdict."""
+        lines = [
+            f"AS{self.asn}: {self.severity.value.upper()} "
+            f"({self.signal.probe_count} probes, "
+            f"max aggregated delay {self.signal.max_delay_ms:.2f} ms)",
+        ]
+        markers = self.classification.markers
+        if markers is not None:
+            lines.append(
+                f"  daily amplitude {markers.daily_amplitude_ms:.2f} ms"
+                + (f"  CI {self.amplitude_ci}" if self.amplitude_ci
+                   else "")
+            )
+        lines.append(daily_panel(
+            self.signal.delay_ms,
+            bins_per_day=self.signal.grid.bins_per_day,
+        ))
+        return "\n".join(lines)
+
+
+def analyze_asn(
+    dataset: LastMileDataset,
+    asn: Optional[int] = None,
+    probe_ids: Optional[Sequence[int]] = None,
+    table=None,
+    thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS,
+    with_confidence: bool = False,
+    bootstrap_replicates: int = 100,
+    rng: Optional[np.random.Generator] = None,
+) -> ASAnalysis:
+    """Run the full §2 pipeline for one AS (or an explicit probe set).
+
+    Select probes either by ``asn`` (resolved from probe metadata,
+    by longest-prefix match when a RIB ``table`` is given) or by an
+    explicit ``probe_ids`` list.  ``with_confidence`` adds a
+    probe-bootstrap CI on the daily amplitude.
+    """
+    if probe_ids is None:
+        if asn is None:
+            raise ValueError("need either asn or probe_ids")
+        probe_ids = probes_in_asn(dataset.probe_meta, asn, table=table)
+        if not probe_ids:
+            raise ValueError(f"no probes resolve to AS{asn}")
+    if asn is None:
+        asn = -1
+
+    signal = aggregate_population(dataset, probe_ids)
+    markers = extract_markers(signal.delay_ms, dataset.grid.bin_seconds)
+    classification = classify_markers(markers, thresholds)
+
+    amplitude_ci = None
+    if with_confidence and len(probe_ids) >= 2:
+        amplitude_ci = bootstrap_daily_amplitude(
+            dataset, probe_ids,
+            replicates=bootstrap_replicates,
+            rng=rng if rng is not None else np.random.default_rng(0),
+        )
+    return ASAnalysis(
+        asn=asn,
+        signal=signal,
+        classification=classification,
+        amplitude_ci=amplitude_ci,
+    )

@@ -1,0 +1,78 @@
+"""Shared series containers used across the pipeline.
+
+These are the hand-off structures between stages: the Atlas substrate
+(or the traceroute-parsing stage) produces per-probe binned medians;
+the aggregation stage turns them into per-population queueing-delay
+signals; the spectral stage classifies those signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..timebase import TimeGrid
+
+
+@dataclass
+class ProbeBinSeries:
+    """Per-bin last-mile RTT medians for one probe.
+
+    ``median_rtt_ms`` holds NaN where no estimate exists;
+    ``traceroute_counts`` holds how many traceroutes contributed to
+    each bin, feeding the paper's >= 3-traceroutes sanity check.
+    """
+
+    prb_id: int
+    median_rtt_ms: np.ndarray
+    traceroute_counts: np.ndarray
+
+    def __post_init__(self):
+        self.median_rtt_ms = np.asarray(self.median_rtt_ms, dtype=np.float64)
+        self.traceroute_counts = np.asarray(
+            self.traceroute_counts, dtype=np.int64
+        )
+        if self.median_rtt_ms.shape != self.traceroute_counts.shape:
+            raise ValueError(
+                "median and count arrays must have the same shape"
+            )
+
+    @property
+    def num_bins(self) -> int:
+        """Number of bins in the series."""
+        return self.median_rtt_ms.shape[0]
+
+    def valid_mask(self, min_traceroutes: int = 3) -> np.ndarray:
+        """Bins passing the paper's disconnected-probe sanity check."""
+        return (self.traceroute_counts >= min_traceroutes) & ~np.isnan(
+            self.median_rtt_ms
+        )
+
+
+@dataclass
+class LastMileDataset:
+    """Per-probe binned last-mile series over one measurement period."""
+
+    grid: TimeGrid
+    series: Dict[int, ProbeBinSeries] = field(default_factory=dict)
+    probe_meta: Dict[int, object] = field(default_factory=dict)
+
+    def add(self, series: ProbeBinSeries, meta: Optional[object] = None):
+        """Insert one probe's series (and optionally its metadata)."""
+        if series.num_bins != self.grid.num_bins:
+            raise ValueError(
+                f"series has {series.num_bins} bins, grid expects "
+                f"{self.grid.num_bins}"
+            )
+        self.series[series.prb_id] = series
+        if meta is not None:
+            self.probe_meta[series.prb_id] = meta
+
+    def probe_ids(self) -> List[int]:
+        """Sorted probe ids present."""
+        return sorted(self.series)
+
+    def __len__(self) -> int:
+        return len(self.series)

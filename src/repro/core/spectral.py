@@ -1,0 +1,156 @@
+"""Frequency-domain detection of persistent congestion (paper §2.3).
+
+The aggregated queueing-delay signal is converted to the frequency
+domain with the Welch method (overlapping segments, per-segment
+periodograms, averaged).  The periodogram is scaled so that the y-axis
+reads directly as *average peak-to-peak amplitude* in milliseconds —
+matching the paper's Fig. 2/3 axes — and two markers are extracted:
+
+* the prominent (highest-power) frequency component, and
+* the peak-to-peak amplitude of the daily (1/24 cycles-per-hour)
+  component.
+
+A pure sinusoid ``A·sin(2πft)`` has Welch 'spectrum'-scaled power
+``A²/2`` at ``f``, so peak-to-peak amplitude is ``2·√(2·P)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from ..timebase import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+#: The daily frequency in cycles per hour (the paper's x = 1/24).
+DAILY_FREQUENCY_CPH = 1.0 / 24.0
+#: Welch segment length: 4 days of bins.  Gives exact alignment of the
+#: daily frequency on a periodogram bin for any bin width dividing a
+#: day, and ~6 averaged segments over a 15-day period.
+SEGMENT_DAYS = 4
+
+
+@dataclass(frozen=True)
+class Periodogram:
+    """Welch periodogram in peak-to-peak-amplitude units."""
+
+    frequencies_cph: np.ndarray     # cycles per hour
+    amplitude_ms: np.ndarray        # average peak-to-peak amplitude
+
+    def amplitude_at(self, frequency_cph: float) -> float:
+        """Amplitude of the bin nearest to a frequency."""
+        index = int(
+            np.argmin(np.abs(self.frequencies_cph - frequency_cph))
+        )
+        return float(self.amplitude_ms[index])
+
+    def prominent(
+        self, skip_bins: int = 1
+    ) -> Tuple[float, float]:
+        """(frequency, amplitude) of the strongest component.
+
+        The DC bin and ``skip_bins`` lowest bins are excluded: they
+        carry the signal mean and multi-day trend, not periodicity.
+        """
+        start = 1 + skip_bins
+        if start >= len(self.frequencies_cph):
+            raise ValueError("periodogram too short")
+        index = start + int(np.argmax(self.amplitude_ms[start:]))
+        return (
+            float(self.frequencies_cph[index]),
+            float(self.amplitude_ms[index]),
+        )
+
+
+def fill_gaps(values: np.ndarray) -> np.ndarray:
+    """Linearly interpolate NaN gaps (probe outages) in a signal.
+
+    Leading/trailing NaNs take the nearest valid value.  An all-NaN
+    signal is returned as zeros so downstream spectral analysis yields
+    an empty (flat) spectrum instead of propagating NaN.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    mask = np.isnan(values)
+    if not mask.any():
+        return values
+    if mask.all():
+        return np.zeros_like(values)
+    filled = values.copy()
+    indices = np.arange(len(values))
+    filled[mask] = np.interp(
+        indices[mask], indices[~mask], values[~mask]
+    )
+    return filled
+
+
+def welch_periodogram(
+    values: np.ndarray,
+    bin_seconds: int,
+    segment_days: int = SEGMENT_DAYS,
+) -> Periodogram:
+    """Welch periodogram of a binned delay signal.
+
+    ``values`` may contain NaN gaps (interpolated first).  The segment
+    length adapts downward for signals shorter than ``segment_days``.
+    """
+    values = fill_gaps(values)
+    bins_per_day = SECONDS_PER_DAY // bin_seconds
+    nperseg = min(segment_days * bins_per_day, len(values))
+    if nperseg < 2:
+        raise ValueError(f"signal too short for Welch: {len(values)} bins")
+    sample_rate_per_hour = SECONDS_PER_HOUR / bin_seconds
+    freqs, power = sp_signal.welch(
+        values,
+        fs=sample_rate_per_hour,
+        nperseg=nperseg,
+        scaling="spectrum",
+        detrend="constant",
+    )
+    amplitude = 2.0 * np.sqrt(2.0 * power)
+    return Periodogram(frequencies_cph=freqs, amplitude_ms=amplitude)
+
+
+@dataclass(frozen=True)
+class SpectralMarkers:
+    """The two markers the classifier consumes (§2.3)."""
+
+    prominent_frequency_cph: float
+    prominent_amplitude_ms: float
+    daily_amplitude_ms: float
+
+    @property
+    def daily_is_prominent(self) -> bool:
+        """True when the strongest component is the daily one.
+
+        The tolerance is half a periodogram bin at the standard
+        4-day segment length (bin width 1/96 cph around 1/24 cph).
+        """
+        tolerance = DAILY_FREQUENCY_CPH * 0.26
+        return abs(
+            self.prominent_frequency_cph - DAILY_FREQUENCY_CPH
+        ) <= tolerance
+
+
+def extract_markers(
+    values: np.ndarray,
+    bin_seconds: int,
+    segment_days: int = SEGMENT_DAYS,
+) -> Optional[SpectralMarkers]:
+    """Compute the paper's two spectral markers for one signal.
+
+    Returns None for degenerate signals (all NaN / constant), which
+    classify as None-category downstream.
+    """
+    filled = fill_gaps(np.asarray(values, dtype=np.float64))
+    if np.allclose(filled, filled[0]):
+        return None
+    periodogram = welch_periodogram(filled, bin_seconds, segment_days)
+    frequency, amplitude = periodogram.prominent()
+    daily = periodogram.amplitude_at(DAILY_FREQUENCY_CPH)
+    return SpectralMarkers(
+        prominent_frequency_cph=frequency,
+        prominent_amplitude_ms=amplitude,
+        daily_amplitude_ms=daily,
+    )

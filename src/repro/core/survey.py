@@ -1,0 +1,285 @@
+"""Survey orchestration (paper §3).
+
+Runs the full detection pipeline over every AS hosting at least three
+probes, per measurement period, and derives the paper's headline
+statistics: the share of ASes with no daily pattern, the number of
+reported (congested) ASes, recurrence across periods, the COVID
+increase, the eyeball-rank breakdown (Fig. 4) and the geographic
+distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..apnic import EyeballRanking, RANK_BUCKETS, bucket_for_rank
+from ..timebase import MeasurementPeriod
+from .aggregate import aggregate_population
+from .classify import (
+    Classification,
+    ClassificationThresholds,
+    DEFAULT_THRESHOLDS,
+    Severity,
+    classify_markers,
+)
+from .filtering import asns_with_min_probes
+from .series import LastMileDataset
+from .spectral import extract_markers
+
+
+@dataclass
+class ASReport:
+    """Classification of one AS in one period."""
+
+    asn: int
+    probe_count: int
+    classification: Classification
+
+    @property
+    def severity(self) -> Severity:
+        """Shortcut to the classification's severity."""
+        return self.classification.severity
+
+    @property
+    def is_reported(self) -> bool:
+        """True when the AS counts as congested (§3.1)."""
+        return self.severity.is_reported
+
+
+@dataclass
+class SurveyResult:
+    """All AS classifications for one measurement period."""
+
+    period: MeasurementPeriod
+    reports: Dict[int, ASReport] = field(default_factory=dict)
+    #: Per-AS aggregated signals, retained only when
+    #: ``classify_dataset(..., keep_signals=True)`` (used by the
+    #: drill-down page export).
+    signals: Dict[int, object] = field(default_factory=dict)
+
+    @property
+    def monitored_count(self) -> int:
+        """ASes with enough probes to be classified."""
+        return len(self.reports)
+
+    def reported_asns(self) -> List[int]:
+        """Congested (non-None) ASes, sorted."""
+        return sorted(
+            asn for asn, report in self.reports.items()
+            if report.is_reported
+        )
+
+    def asns_with_severity(self, severity: Severity) -> List[int]:
+        """ASes with exactly the given severity, sorted."""
+        return sorted(
+            asn for asn, report in self.reports.items()
+            if report.severity == severity
+        )
+
+    def severity_counts(self) -> Dict[Severity, int]:
+        """Count of ASes in each class."""
+        counts = {severity: 0 for severity in Severity}
+        for report in self.reports.values():
+            counts[report.severity] += 1
+        return counts
+
+    def none_fraction(self) -> float:
+        """Share of monitored ASes classified None (§3.1: ~90 %)."""
+        if not self.reports:
+            return float("nan")
+        return 1.0 - len(self.reported_asns()) / self.monitored_count
+
+    def prominent_frequencies(self) -> np.ndarray:
+        """Prominent frequency (cph) per AS (Fig. 3 top).
+
+        ASes with degenerate signals are skipped.
+        """
+        return np.array([
+            report.classification.markers.prominent_frequency_cph
+            for report in self.reports.values()
+            if report.classification.markers is not None
+        ])
+
+    def daily_amplitudes(self) -> np.ndarray:
+        """Daily-component amplitude (ms) per AS (Fig. 3 bottom)."""
+        return np.array([
+            report.classification.daily_amplitude_ms
+            for report in self.reports.values()
+        ])
+
+
+def classify_dataset(
+    dataset: LastMileDataset,
+    period: MeasurementPeriod,
+    min_probes: int = 3,
+    thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS,
+    table=None,
+    keep_signals: bool = False,
+) -> SurveyResult:
+    """Classify every qualifying AS of one period's dataset.
+
+    ``keep_signals`` retains each AS's aggregated signal on the
+    result (needed by the per-AS drill-down export; costs one float64
+    array per AS).
+    """
+    result = SurveyResult(period=period)
+    groups = asns_with_min_probes(
+        dataset.probe_meta, min_probes=min_probes, table=table
+    )
+    for asn, probe_ids in groups.items():
+        signal = aggregate_population(dataset, probe_ids)
+        markers = extract_markers(
+            signal.delay_ms, dataset.grid.bin_seconds
+        )
+        result.reports[asn] = ASReport(
+            asn=asn,
+            probe_count=len(probe_ids),
+            classification=classify_markers(markers, thresholds),
+        )
+        if keep_signals:
+            result.signals[asn] = signal
+    return result
+
+
+@dataclass
+class SurveySuite:
+    """Results across several measurement periods (§3 longitudinal)."""
+
+    results: Dict[str, SurveyResult] = field(default_factory=dict)
+
+    def add(self, result: SurveyResult) -> None:
+        """Insert one period's result, keyed by period name."""
+        self.results[result.period.name] = result
+
+    def period_names(self) -> List[str]:
+        """Period names in insertion order."""
+        return list(self.results)
+
+    def average_reported(self) -> float:
+        """Mean number of reported ASes per period (§3.1: ~47)."""
+        counts = [
+            len(r.reported_asns()) for r in self.results.values()
+        ]
+        return float(np.mean(counts)) if counts else float("nan")
+
+    def recurrent_asns(self, min_fraction: float = 0.5) -> List[int]:
+        """ASes reported in at least ``min_fraction`` of the periods.
+
+        The paper: 36 ASes reported for at least half the periods.
+        """
+        if not self.results:
+            return []
+        tally: Dict[int, int] = {}
+        for result in self.results.values():
+            for asn in result.reported_asns():
+                tally[asn] = tally.get(asn, 0) + 1
+        need = min_fraction * len(self.results)
+        return sorted(a for a, n in tally.items() if n >= need)
+
+    def churn_between(self, before: str, after: str) -> float:
+        """Jaccard similarity of the reported-AS sets of two periods.
+
+        §3.1: "We observe little churn over the two years" — high
+        similarity between consecutive periods' reported sets.
+        """
+        from .stats import churn_jaccard
+
+        return churn_jaccard(
+            self.results[before].reported_asns(),
+            self.results[after].reported_asns(),
+        )
+
+    def mean_consecutive_similarity(self) -> float:
+        """Average Jaccard similarity between consecutive periods."""
+        names = self.period_names()
+        if len(names) < 2:
+            return float("nan")
+        values = [
+            self.churn_between(a, b)
+            for a, b in zip(names, names[1:])
+        ]
+        return float(np.mean(values))
+
+    def reported_increase(
+        self, before: str, after: str
+    ) -> Tuple[int, int, float]:
+        """(count_before, count_after, relative increase).
+
+        The paper's COVID comparison: 45 → 70 ASes, +55 %.
+        """
+        count_before = len(self.results[before].reported_asns())
+        count_after = len(self.results[after].reported_asns())
+        if count_before == 0:
+            return count_before, count_after, float("inf")
+        increase = (count_after - count_before) / count_before
+        return count_before, count_after, increase
+
+
+def breakdown_by_rank(
+    result: SurveyResult,
+    ranking: EyeballRanking,
+) -> Dict[str, Dict[Severity, int]]:
+    """AS counts per (Fig. 4 rank bucket, severity)."""
+    breakdown: Dict[str, Dict[Severity, int]] = {
+        label: {severity: 0 for severity in Severity}
+        for label, _range in RANK_BUCKETS
+    }
+    for asn, report in result.reports.items():
+        rank = ranking.rank_of(asn)
+        if rank is None:
+            continue
+        breakdown[bucket_for_rank(rank)][report.severity] += 1
+    return breakdown
+
+
+def breakdown_percentages(
+    breakdown: Dict[str, Dict[Severity, int]]
+) -> Dict[str, Dict[Severity, float]]:
+    """Convert bucket counts to the percentages plotted in Fig. 4.
+
+    Percentages are of *all classified ASes*, as the figure's y-axis.
+    """
+    total = sum(
+        count for bucket in breakdown.values() for count in bucket.values()
+    )
+    if total == 0:
+        return {
+            label: {severity: 0.0 for severity in bucket}
+            for label, bucket in breakdown.items()
+        }
+    return {
+        label: {
+            severity: 100.0 * count / total
+            for severity, count in bucket.items()
+        }
+        for label, bucket in breakdown.items()
+    }
+
+
+def geographic_distribution(
+    results: Sequence[SurveyResult],
+    ranking: EyeballRanking,
+    severity: Optional[Severity] = None,
+) -> Dict[str, int]:
+    """Reported-AS counts per country across periods (§3.2).
+
+    With ``severity`` given, only that class is counted (the paper's
+    Severe-report tally where Japan leads at 18 %).  Each (period, AS)
+    report counts once, as in the paper's per-report accounting.
+    """
+    counts: Dict[str, int] = {}
+    for result in results:
+        for asn, report in result.reports.items():
+            if severity is None:
+                if not report.is_reported:
+                    continue
+            elif report.severity != severity:
+                continue
+            estimate = ranking.get(asn)
+            if estimate is None:
+                continue
+            counts[estimate.country] = counts.get(estimate.country, 0) + 1
+    return dict(sorted(counts.items(), key=lambda kv: -kv[1]))

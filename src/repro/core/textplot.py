@@ -1,0 +1,129 @@
+"""Text rendering of time series — the 'human-friendly' output layer.
+
+The environment (and many operator terminals) has no plotting stack;
+these helpers render delay/throughput series as unicode sparklines and
+block charts for the CLI, the examples and the bench reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Eight-level block characters for sparklines.
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+GAP_CHAR = "·"
+
+
+def sparkline(
+    values,
+    maximum: Optional[float] = None,
+    minimum: float = 0.0,
+) -> str:
+    """One-line sparkline of a series; NaNs render as '·'.
+
+    Scale defaults to [0, max(values)] so congestion peaks stand out
+    against the zero baseline the queueing-delay series are built on.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return ""
+    finite = values[~np.isnan(values)]
+    if maximum is None:
+        maximum = float(finite.max()) if finite.size else 1.0
+    if maximum <= minimum:
+        maximum = minimum + 1.0
+    span = maximum - minimum
+    chars = []
+    for value in values:
+        if np.isnan(value):
+            chars.append(GAP_CHAR)
+            continue
+        level = int(
+            np.clip(
+                (value - minimum) / span * len(SPARK_LEVELS),
+                0, len(SPARK_LEVELS) - 1,
+            )
+        )
+        chars.append(SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def downsample(values, width: int) -> np.ndarray:
+    """Reduce a series to ``width`` points by block-median.
+
+    NaN-only blocks stay NaN, so probe outages remain visible as gaps.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if values.size <= width:
+        return values
+    edges = np.linspace(0, values.size, width + 1).astype(int)
+    out = np.full(width, np.nan)
+    for i in range(width):
+        block = values[edges[i]:edges[i + 1]]
+        if np.any(~np.isnan(block)):
+            out[i] = np.nanmedian(block)
+    return out
+
+
+def timeseries_panel(
+    values,
+    label: str = "",
+    width: int = 72,
+    unit: str = "ms",
+) -> str:
+    """Sparkline with a label and a min/max scale annotation."""
+    values = np.asarray(values, dtype=np.float64)
+    reduced = downsample(values, width)
+    finite = values[~np.isnan(values)]
+    low = float(finite.min()) if finite.size else float("nan")
+    high = float(finite.max()) if finite.size else float("nan")
+    spark = sparkline(reduced)
+    prefix = f"{label:12s} " if label else ""
+    return f"{prefix}{spark}  [{low:.2f}–{high:.2f} {unit}]"
+
+
+def daily_panel(
+    values,
+    bins_per_day: int,
+    label: str = "",
+    unit: str = "ms",
+) -> str:
+    """One sparkline row per day (visualizing the diurnal pattern)."""
+    values = np.asarray(values, dtype=np.float64)
+    days = values.shape[0] // bins_per_day
+    finite = values[~np.isnan(values)]
+    maximum = float(finite.max()) if finite.size else 1.0
+    lines = []
+    if label:
+        lines.append(f"{label} (rows = days, scale 0–{maximum:.2f} {unit})")
+    for day in range(days):
+        chunk = values[day * bins_per_day:(day + 1) * bins_per_day]
+        lines.append(f"  day {day + 1:2d} {sparkline(chunk, maximum)}")
+    return "\n".join(lines)
+
+
+def horizontal_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Simple horizontal bar chart for category comparisons."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(labels) != values.shape[0]:
+        raise ValueError("labels and values length mismatch")
+    maximum = float(np.nanmax(values)) if values.size else 1.0
+    if maximum <= 0:
+        maximum = 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(np.clip(value / maximum * width, 0, width))
+        bar = "█" * filled + "░" * (width - filled)
+        suffix = f" {value:.2f}{(' ' + unit) if unit else ''}"
+        lines.append(f"{label.ljust(label_width)} {bar}{suffix}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Persistence and export: datasets, survey results, site bundles."""
+
+from .charts import ChartStyle, bar_chart_svg, line_chart_svg
+from .pages import as_page_markdown, as_page_svg, export_as_pages
+from .datasets import (
+    load_lastmile,
+    load_traceroutes,
+    save_lastmile,
+    save_traceroutes,
+)
+from .surveys import (
+    export_site,
+    load_suite,
+    save_suite,
+    survey_from_dict,
+    survey_to_csv,
+    survey_to_dict,
+    survey_to_markdown,
+)
+
+__all__ = [
+    "ChartStyle",
+    "line_chart_svg",
+    "bar_chart_svg",
+    "as_page_markdown",
+    "as_page_svg",
+    "export_as_pages",
+    "save_traceroutes",
+    "load_traceroutes",
+    "save_lastmile",
+    "load_lastmile",
+    "survey_to_dict",
+    "survey_from_dict",
+    "save_suite",
+    "load_suite",
+    "survey_to_csv",
+    "survey_to_markdown",
+    "export_site",
+]

@@ -1,0 +1,123 @@
+"""Per-AS drill-down pages for the survey site.
+
+The paper's public site lets operators look up their own AS.  Each
+page carries the classification verdict, the spectral markers, a
+weekly sparkline of the aggregated queueing delay, and an SVG of the
+full period — everything an operator needs to confirm (or dispute)
+the finding.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..apnic import EyeballRanking
+from ..core.aggregate import AggregatedSignal
+from ..core.report import weekly_delay_overlay
+from ..core.survey import ASReport
+from ..core.textplot import daily_panel
+from .charts import line_chart_svg
+
+PathLike = Union[str, Path]
+
+
+def as_page_markdown(
+    asn: int,
+    report: ASReport,
+    signal: AggregatedSignal,
+    ranking: Optional[EyeballRanking] = None,
+    utc_offset_hours: float = 0.0,
+) -> str:
+    """One AS's drill-down page as markdown."""
+    estimate = ranking.get(asn) if ranking is not None else None
+    markers = report.classification.markers
+    lines = [
+        f"# AS{asn} — {report.severity.value.upper()}",
+        "",
+        f"Period: {signal.grid.period.name}  ",
+        f"Probes: {report.probe_count}  ",
+    ]
+    if estimate is not None:
+        lines.append(
+            f"Country: {estimate.country}  •  APNIC rank "
+            f"{estimate.global_rank} (~{estimate.users:,} users)  "
+        )
+    lines.append("")
+    if markers is not None:
+        lines += [
+            "| marker | value |",
+            "|---|---|",
+            f"| prominent frequency | "
+            f"{markers.prominent_frequency_cph:.4f} cycles/hour |",
+            f"| daily component prominent | "
+            f"{'yes' if markers.daily_is_prominent else 'no'} |",
+            f"| daily peak-to-peak amplitude | "
+            f"{markers.daily_amplitude_ms:.2f} ms |",
+            f"| max aggregated delay | {signal.max_delay_ms:.2f} ms |",
+            "",
+        ]
+    lines += [
+        "## Aggregated queueing delay (local time)",
+        "",
+        "```",
+        daily_panel(
+            signal.delay_ms,
+            bins_per_day=signal.grid.bins_per_day,
+            label=f"AS{asn}",
+        ),
+        "```",
+        "",
+        f"![delay](as{asn}-delay.svg)",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def as_page_svg(
+    asn: int,
+    signal: AggregatedSignal,
+    utc_offset_hours: float = 0.0,
+) -> str:
+    """Weekly-overlay SVG of one AS's aggregated delay."""
+    hours, medians = weekly_delay_overlay(signal, utc_offset_hours)
+    if len(hours) == 0:
+        hours, medians = np.array([0.0, 1.0]), np.array([0.0, 0.0])
+    return line_chart_svg(
+        {f"AS{asn}": (hours, medians)},
+        title=f"AS{asn} — weekly aggregated queueing delay",
+        x_label="hour of week (Monday first)",
+        y_label="queueing delay (ms)",
+    )
+
+
+def export_as_pages(
+    directory: PathLike,
+    reports: Dict[int, ASReport],
+    signals: Dict[int, AggregatedSignal],
+    ranking: Optional[EyeballRanking] = None,
+    utc_offsets: Optional[Dict[int, float]] = None,
+    reported_only: bool = True,
+) -> Dict[int, Path]:
+    """Write the drill-down bundle; returns page paths by ASN."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[int, Path] = {}
+    for asn, report in sorted(reports.items()):
+        if reported_only and not report.is_reported:
+            continue
+        signal = signals.get(asn)
+        if signal is None:
+            continue
+        offset = (utc_offsets or {}).get(asn, 0.0)
+        page = directory / f"as{asn}.md"
+        page.write_text(as_page_markdown(
+            asn, report, signal, ranking, offset
+        ))
+        (directory / f"as{asn}-delay.svg").write_text(
+            as_page_svg(asn, signal, offset)
+        )
+        written[asn] = page
+    return written

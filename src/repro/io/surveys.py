@@ -1,0 +1,225 @@
+"""Survey result export — the paper's public survey artifacts [1].
+
+The authors publish per-period survey results on a static site; this
+module writes the equivalent machine-readable (JSON, CSV) and
+human-readable (markdown) artifacts, and reads the JSON back.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as dt
+import io
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..apnic import EyeballRanking
+from ..core.classify import Classification, Severity
+from ..core.spectral import SpectralMarkers
+from ..core.survey import ASReport, SurveyResult, SurveySuite
+from ..timebase import MeasurementPeriod
+
+PathLike = Union[str, Path]
+
+
+def survey_to_dict(result: SurveyResult) -> Dict:
+    """JSON-serializable form of one period's survey."""
+    return {
+        "period": {
+            "name": result.period.name,
+            "start": result.period.start.isoformat(),
+            "days": result.period.days,
+        },
+        "reports": {
+            str(asn): {
+                "probe_count": report.probe_count,
+                "severity": report.severity.value,
+                "markers": _markers_to_dict(report.classification.markers),
+            }
+            for asn, report in sorted(result.reports.items())
+        },
+    }
+
+
+def _markers_to_dict(markers: Optional[SpectralMarkers]):
+    if markers is None:
+        return None
+    return {
+        "prominent_frequency_cph": markers.prominent_frequency_cph,
+        "prominent_amplitude_ms": markers.prominent_amplitude_ms,
+        "daily_amplitude_ms": markers.daily_amplitude_ms,
+    }
+
+
+def survey_from_dict(data: Dict) -> SurveyResult:
+    """Inverse of :func:`survey_to_dict`."""
+    period = MeasurementPeriod(
+        name=data["period"]["name"],
+        start=dt.datetime.fromisoformat(data["period"]["start"]),
+        days=int(data["period"]["days"]),
+    )
+    result = SurveyResult(period=period)
+    for asn_text, entry in data["reports"].items():
+        markers = entry.get("markers")
+        result.reports[int(asn_text)] = ASReport(
+            asn=int(asn_text),
+            probe_count=int(entry["probe_count"]),
+            classification=Classification(
+                severity=Severity(entry["severity"]),
+                markers=(
+                    SpectralMarkers(
+                        prominent_frequency_cph=float(
+                            markers["prominent_frequency_cph"]
+                        ),
+                        prominent_amplitude_ms=float(
+                            markers["prominent_amplitude_ms"]
+                        ),
+                        daily_amplitude_ms=float(
+                            markers["daily_amplitude_ms"]
+                        ),
+                    )
+                    if markers is not None else None
+                ),
+            ),
+        )
+    return result
+
+
+def save_suite(suite: SurveySuite, path: PathLike) -> None:
+    """Write a whole suite as one JSON document."""
+    Path(path).write_text(json.dumps({
+        name: survey_to_dict(result)
+        for name, result in suite.results.items()
+    }, indent=1))
+
+
+def load_suite(path: PathLike) -> SurveySuite:
+    """Read a suite written by :func:`save_suite`."""
+    suite = SurveySuite()
+    for _name, data in json.loads(Path(path).read_text()).items():
+        suite.add(survey_from_dict(data))
+    return suite
+
+
+def survey_to_csv(
+    result: SurveyResult,
+    ranking: Optional[EyeballRanking] = None,
+) -> str:
+    """One CSV row per classified AS (the site's downloadable table)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([
+        "period", "asn", "country", "eyeball_rank", "probes",
+        "severity", "daily_amplitude_ms", "prominent_frequency_cph",
+    ])
+    for asn, report in sorted(result.reports.items()):
+        estimate = ranking.get(asn) if ranking is not None else None
+        markers = report.classification.markers
+        writer.writerow([
+            result.period.name,
+            asn,
+            estimate.country if estimate else "",
+            estimate.global_rank if estimate else "",
+            report.probe_count,
+            report.severity.value,
+            f"{report.classification.daily_amplitude_ms:.4f}",
+            (f"{markers.prominent_frequency_cph:.6f}"
+             if markers is not None else ""),
+        ])
+    return buffer.getvalue()
+
+
+def survey_to_markdown(
+    result: SurveyResult,
+    ranking: Optional[EyeballRanking] = None,
+    max_rows: int = 50,
+) -> str:
+    """The site's per-period summary page, as markdown."""
+    counts = result.severity_counts()
+    lines = [
+        f"# Last-mile congestion survey — {result.period.name}",
+        "",
+        f"Monitored ASes: **{result.monitored_count}**  ",
+        f"Reported (congested): **{len(result.reported_asns())}** "
+        f"(severe {counts[Severity.SEVERE]}, "
+        f"mild {counts[Severity.MILD]}, low {counts[Severity.LOW]})",
+        "",
+        "| ASN | country | rank | probes | class | daily amp (ms) |",
+        "|---|---|---|---|---|---|",
+    ]
+    reported = sorted(
+        (report for report in result.reports.values()
+         if report.is_reported),
+        key=lambda r: -r.classification.daily_amplitude_ms,
+    )
+    for report in reported[:max_rows]:
+        estimate = ranking.get(report.asn) if ranking else None
+        lines.append(
+            f"| AS{report.asn} "
+            f"| {estimate.country if estimate else '—'} "
+            f"| {estimate.global_rank if estimate else '—'} "
+            f"| {report.probe_count} "
+            f"| {report.severity.value} "
+            f"| {report.classification.daily_amplitude_ms:.2f} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def export_site(
+    suite: SurveySuite,
+    directory: PathLike,
+    ranking: Optional[EyeballRanking] = None,
+) -> Dict[str, Path]:
+    """Write the whole public-site bundle: JSON + CSV + markdown.
+
+    Returns the written paths keyed by artifact name.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+
+    suite_path = directory / "surveys.json"
+    save_suite(suite, suite_path)
+    written["suite"] = suite_path
+
+    from ..core.report import cdf
+    from .charts import bar_chart_svg, line_chart_svg
+
+    for name, result in suite.results.items():
+        csv_path = directory / f"survey-{name}.csv"
+        csv_path.write_text(survey_to_csv(result, ranking))
+        written[f"csv-{name}"] = csv_path
+        md_path = directory / f"survey-{name}.md"
+        md_path.write_text(survey_to_markdown(result, ranking))
+        written[f"md-{name}"] = md_path
+
+        amplitudes = result.daily_amplitudes()
+        if amplitudes.size:
+            x, y = cdf(amplitudes)
+            svg_path = directory / f"survey-{name}-amplitudes.svg"
+            svg_path.write_text(line_chart_svg(
+                {"daily amplitude": (x, y)},
+                title=f"Daily amplitude CDF — {name}",
+                x_label="peak-to-peak amplitude (ms)",
+                y_label="CDF (ASes)",
+            ))
+            written[f"svg-amplitudes-{name}"] = svg_path
+        counts = result.severity_counts()
+        svg_path = directory / f"survey-{name}-classes.svg"
+        svg_path.write_text(bar_chart_svg(
+            [severity.value for severity in counts],
+            [counts[severity] for severity in counts],
+            title=f"Classification — {name}",
+            y_label="ASes",
+        ))
+        written[f"svg-classes-{name}"] = svg_path
+
+    index = directory / "index.md"
+    index.write_text("\n".join(
+        ["# Persistent last-mile congestion — survey results", ""]
+        + [f"- [{name}](survey-{name}.md)"
+           for name in suite.results]
+    ) + "\n")
+    written["index"] = index
+    return written

@@ -1,0 +1,224 @@
+"""IP address primitives.
+
+Addresses are represented internally as plain Python integers together
+with an IP version (4 or 6).  This keeps the hot paths (traceroute
+generation, longest-prefix match, log filtering) allocation-light and
+lets higher layers store addresses in numpy integer arrays.
+
+The :class:`IPAddress` dataclass is the user-facing wrapper used at API
+boundaries; the module-level ``parse_*``/``format_*`` functions are the
+fast path used by the simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .errors import AddressParseError, VersionMismatchError
+
+IPV4_BITS = 32
+IPV6_BITS = 128
+IPV4_MAX = (1 << IPV4_BITS) - 1
+IPV6_MAX = (1 << IPV6_BITS) - 1
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad IPv4 text into an integer.
+
+    Strict parsing: exactly four decimal octets, no leading ``+``/``-``,
+    each octet in [0, 255].  Leading zeros are accepted (``010`` == 10)
+    because they appear in some traceroute tool outputs.
+
+    >>> parse_ipv4("192.0.2.1")
+    3221225985
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressParseError(text, "IPv4 needs exactly 4 octets")
+    value = 0
+    for part in parts:
+        if not part or not part.isdigit():
+            raise AddressParseError(text, f"bad octet {part!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressParseError(text, f"octet out of range {part!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Format an integer as dotted-quad IPv4 text.
+
+    >>> format_ipv4(3221225985)
+    '192.0.2.1'
+    """
+    if not 0 <= value <= IPV4_MAX:
+        raise AddressParseError(str(value), "IPv4 integer out of range")
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def parse_ipv6(text: str) -> int:
+    """Parse an IPv6 address (RFC 4291 text form) into an integer.
+
+    Supports the ``::`` zero-run abbreviation and an embedded IPv4
+    dotted-quad tail (e.g. ``::ffff:192.0.2.1``).  Zone identifiers
+    (``%eth0``) are rejected: the simulators never produce them.
+    """
+    if "%" in text:
+        raise AddressParseError(text, "zone identifiers not supported")
+    if text.count("::") > 1:
+        raise AddressParseError(text, "more than one '::'")
+
+    head_text, sep, tail_text = text.partition("::")
+    # An embedded IPv4 dotted-quad is only legal as the very last group
+    # of the whole address: in the tail when '::' is present, otherwise
+    # at the end of the head.
+    head = _parse_hextet_run(head_text, text, allow_v4_tail=not sep)
+    tail = _parse_hextet_run(tail_text, text, allow_v4_tail=True) if sep else []
+
+    if sep:
+        missing = 8 - len(head) - len(tail)
+        if missing < 1:
+            raise AddressParseError(text, "'::' must replace >= 1 group")
+        groups = head + [0] * missing + tail
+    else:
+        groups = head
+    if len(groups) != 8:
+        raise AddressParseError(text, f"{len(groups)} groups, need 8")
+
+    value = 0
+    for group in groups:
+        value = (value << 16) | group
+    return value
+
+
+def _parse_hextet_run(run: str, full_text: str, allow_v4_tail: bool) -> list:
+    """Parse one colon-separated run of hextets (either side of ``::``).
+
+    When ``allow_v4_tail`` is set an IPv4 dotted-quad is allowed as the
+    final element and expands to two hextets.
+    """
+    if not run:
+        return []
+    groups = []
+    parts = run.split(":")
+    for index, part in enumerate(parts):
+        if "." in part:
+            if not allow_v4_tail or index != len(parts) - 1:
+                raise AddressParseError(full_text, "embedded IPv4 not last")
+            v4 = parse_ipv4(part)
+            groups.append(v4 >> 16)
+            groups.append(v4 & 0xFFFF)
+            continue
+        if not part or len(part) > 4:
+            raise AddressParseError(full_text, f"bad group {part!r}")
+        try:
+            groups.append(int(part, 16))
+        except ValueError:
+            raise AddressParseError(full_text, f"bad group {part!r}") from None
+    return groups
+
+
+def format_ipv6(value: int) -> str:
+    """Format an integer as canonical (RFC 5952) IPv6 text.
+
+    The longest run of two or more zero groups is compressed to ``::``;
+    single zero groups are written out; hex digits are lower-case.
+
+    >>> format_ipv6(1)
+    '::1'
+    """
+    if not 0 <= value <= IPV6_MAX:
+        raise AddressParseError(str(value), "IPv6 integer out of range")
+    groups = [(value >> shift) & 0xFFFF for shift in range(112, -16, -16)]
+
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for index, group in enumerate(groups):
+        if group == 0:
+            if run_start < 0:
+                run_start, run_len = index, 0
+            run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_start, run_len = -1, 0
+
+    if best_len < 2:
+        return ":".join(format(group, "x") for group in groups)
+    head = ":".join(format(g, "x") for g in groups[:best_start])
+    tail = ":".join(format(g, "x") for g in groups[best_start + best_len:])
+    return f"{head}::{tail}"
+
+
+def parse_address(text: str) -> Tuple[int, int]:
+    """Parse IPv4 or IPv6 text; return ``(value, version)``.
+
+    Dispatches on the presence of a colon, which is unambiguous between
+    the two address families.
+    """
+    if ":" in text:
+        return parse_ipv6(text), 6
+    return parse_ipv4(text), 4
+
+
+def format_address(value: int, version: int) -> str:
+    """Format an integer address of the given IP version."""
+    if version == 4:
+        return format_ipv4(value)
+    if version == 6:
+        return format_ipv6(value)
+    raise VersionMismatchError(f"unknown IP version {version}")
+
+
+def address_bits(version: int) -> int:
+    """Return the address width in bits for an IP version (32 or 128)."""
+    if version == 4:
+        return IPV4_BITS
+    if version == 6:
+        return IPV6_BITS
+    raise VersionMismatchError(f"unknown IP version {version}")
+
+
+@dataclass(frozen=True, order=True)
+class IPAddress:
+    """An immutable IP address: an integer value plus a version.
+
+    Ordering sorts IPv4 before IPv6 (version is the first field) and by
+    numeric value within a family, which gives a stable total order for
+    report output.
+    """
+
+    version: int
+    value: int
+
+    def __post_init__(self):
+        limit = IPV4_MAX if self.version == 4 else IPV6_MAX
+        if self.version not in (4, 6):
+            raise VersionMismatchError(f"unknown IP version {self.version}")
+        if not 0 <= self.value <= limit:
+            raise AddressParseError(str(self.value), "value out of range")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPAddress":
+        """Parse textual IPv4/IPv6 into an :class:`IPAddress`."""
+        value, version = parse_address(text)
+        return cls(version=version, value=value)
+
+    def __str__(self) -> str:
+        return format_address(self.value, self.version)
+
+    def __repr__(self) -> str:
+        return f"IPAddress({str(self)!r})"
+
+    @property
+    def bits(self) -> int:
+        """Address width in bits (32 for IPv4, 128 for IPv6)."""
+        return address_bits(self.version)
+
+    def successor(self, step: int = 1) -> "IPAddress":
+        """Return the address ``step`` after this one (may be negative)."""
+        return IPAddress(self.version, self.value + step)

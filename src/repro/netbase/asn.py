@@ -1,0 +1,142 @@
+"""Autonomous System registry.
+
+Every simulated network — eyeball ISP, mobile operator, transit
+carrier, CDN, the legacy wholesale fiber network — is an AS with a
+number, a name, a country and a role.  The registry is the shared
+catalogue the topology builder, the BGP substrate, the APNIC ranking
+generator and the reporting layer all reference.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+class ASRole(enum.Enum):
+    """Coarse business role of an AS.
+
+    The paper's survey is about *eyeball* networks; the other roles
+    exist so traceroutes traverse realistic transit paths and so the
+    CDN has an AS to live in.
+    """
+
+    EYEBALL = "eyeball"            # residential broadband ISP
+    MOBILE = "mobile"              # cellular operator
+    TRANSIT = "transit"            # carries other ASes' traffic
+    CDN = "cdn"                    # content delivery network
+    ENTERPRISE = "enterprise"      # corporate network (hosts anchors too)
+    INFRASTRUCTURE = "infrastructure"  # root DNS, IXPs, Atlas controllers
+    WHOLESALE_ACCESS = "wholesale_access"  # e.g. Japan's legacy NTT fiber
+
+
+class AccessTechnology(enum.Enum):
+    """Last-mile access technology of an eyeball AS (§4 of the paper).
+
+    ``FTTH_PPPOE_LEGACY`` models the Japanese wholesale fiber reached
+    over PPPoE through carrier BRAS equipment — the congested case.
+    ``FTTH_IPOE_LEGACY`` is the same fiber over IPoE (used for IPv6 in
+    the paper's Appendix C) with newer, roomier gateways.
+    """
+
+    FTTH_PPPOE_LEGACY = "ftth_pppoe_legacy"
+    FTTH_IPOE_LEGACY = "ftth_ipoe_legacy"
+    FTTH_OWN = "ftth_own"          # ISP-owned fiber (the paper's ISP_C)
+    CABLE = "cable"
+    DSL = "dsl"
+    LTE = "lte"
+
+
+@dataclass
+class ASInfo:
+    """Registry record for one Autonomous System."""
+
+    asn: int
+    name: str
+    country: str                       # ISO 3166-1 alpha-2
+    role: ASRole
+    #: Technologies offered to subscribers (eyeball/mobile ASes only).
+    access_technologies: List[AccessTechnology] = field(default_factory=list)
+    #: Estimated subscriber count, used by the APNIC ranking substrate.
+    subscribers: int = 0
+    #: Free-form tags ("legacy-network", "hosts-anchor", ...).
+    tags: List[str] = field(default_factory=list)
+
+    def has_tag(self, tag: str) -> bool:
+        """True if this AS carries the given free-form tag."""
+        return tag in self.tags
+
+    @property
+    def is_eyeball(self) -> bool:
+        """True for residential broadband or mobile operators."""
+        return self.role in (ASRole.EYEBALL, ASRole.MOBILE)
+
+    @property
+    def uses_legacy_pppoe(self) -> bool:
+        """True if any broadband product rides the legacy PPPoE path."""
+        return AccessTechnology.FTTH_PPPOE_LEGACY in self.access_technologies
+
+
+class ASRegistry:
+    """Mutable catalogue of all ASes in a simulated world.
+
+    ASNs are unique; names are not required to be (real registries have
+    collisions) but lookups by name return the first match and are only
+    used in reports and tests.
+    """
+
+    def __init__(self):
+        self._by_asn: Dict[int, ASInfo] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def __iter__(self) -> Iterator[ASInfo]:
+        return iter(sorted(self._by_asn.values(), key=lambda a: a.asn))
+
+    def register(self, info: ASInfo) -> ASInfo:
+        """Add an AS; raises ValueError on duplicate ASN."""
+        if info.asn in self._by_asn:
+            raise ValueError(f"AS{info.asn} already registered")
+        if not 0 < info.asn < 2**32:
+            raise ValueError(f"ASN {info.asn} out of range")
+        self._by_asn[info.asn] = info
+        return info
+
+    def get(self, asn: int) -> ASInfo:
+        """Fetch by ASN; raises KeyError with a readable message."""
+        try:
+            return self._by_asn[asn]
+        except KeyError:
+            raise KeyError(f"AS{asn} not in registry") from None
+
+    def find(self, asn: int) -> Optional[ASInfo]:
+        """Fetch by ASN, or None when absent."""
+        return self._by_asn.get(asn)
+
+    def by_name(self, name: str) -> Optional[ASInfo]:
+        """First AS with the given name, or None."""
+        for info in self._by_asn.values():
+            if info.name == name:
+                return info
+        return None
+
+    def by_role(self, role: ASRole) -> List[ASInfo]:
+        """All ASes with the given role, sorted by ASN."""
+        return [a for a in self if a.role == role]
+
+    def by_country(self, country: str) -> List[ASInfo]:
+        """All ASes registered in the given country, sorted by ASN."""
+        return [a for a in self if a.country == country]
+
+    def eyeballs(self) -> List[ASInfo]:
+        """All residential-broadband and mobile ASes, sorted by ASN."""
+        return [a for a in self if a.is_eyeball]
+
+    def countries(self) -> List[str]:
+        """Sorted list of distinct country codes present."""
+        return sorted({a.country for a in self._by_asn.values()})

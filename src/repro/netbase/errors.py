@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro.netbase` package.
+
+All address and prefix handling errors derive from :class:`NetbaseError`
+so callers can catch a single exception type at API boundaries while the
+library keeps raising precise subclasses internally.
+"""
+
+from __future__ import annotations
+
+
+class NetbaseError(ValueError):
+    """Base class for all address/prefix related errors."""
+
+
+class AddressParseError(NetbaseError):
+    """Raised when a textual IP address cannot be parsed.
+
+    The offending text is kept in :attr:`text` for error reporting.
+    """
+
+    def __init__(self, text: str, reason: str = "invalid address"):
+        self.text = text
+        self.reason = reason
+        super().__init__(f"{reason}: {text!r}")
+
+
+class PrefixParseError(NetbaseError):
+    """Raised when a textual CIDR prefix cannot be parsed."""
+
+    def __init__(self, text: str, reason: str = "invalid prefix"):
+        self.text = text
+        self.reason = reason
+        super().__init__(f"{reason}: {text!r}")
+
+
+class VersionMismatchError(NetbaseError):
+    """Raised when mixing IPv4 and IPv6 objects in one operation."""
+
+
+class PoolExhaustedError(NetbaseError):
+    """Raised when an address pool has no more addresses to allocate."""

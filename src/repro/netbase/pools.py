@@ -1,0 +1,120 @@
+"""Address pool allocators.
+
+The topology builder needs to hand out addresses deterministically:
+customer pools per ISP, point-to-point router links, home-LAN RFC 1918
+space.  Pools allocate sequentially, never reuse, and raise
+:class:`~repro.netbase.errors.PoolExhaustedError` when empty so a
+misconfigured scenario fails loudly instead of silently duplicating
+addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from .addr import IPAddress
+from .errors import PoolExhaustedError
+from .prefix import Prefix
+
+
+class AddressPool:
+    """Sequential allocator of individual addresses inside a prefix.
+
+    ``skip_network_broadcast`` (default True for IPv4) avoids handing
+    out the all-zeros and all-ones host addresses, which real ISPs do
+    not assign to subscribers.
+    """
+
+    def __init__(self, prefix: Prefix, skip_network_broadcast: bool = None):
+        self.prefix = prefix
+        if skip_network_broadcast is None:
+            skip_network_broadcast = (
+                prefix.version == 4 and prefix.length <= 30
+            )
+        self._next = 1 if skip_network_broadcast else 0
+        self._limit = prefix.num_addresses - (
+            1 if skip_network_broadcast else 0
+        )
+
+    @property
+    def allocated(self) -> int:
+        """Number of addresses handed out so far."""
+        skip = 1 if self._limit != self.prefix.num_addresses else 0
+        return self._next - skip
+
+    @property
+    def remaining(self) -> int:
+        """Number of addresses still available."""
+        return self._limit - self._next
+
+    def allocate(self) -> IPAddress:
+        """Return the next free address in the pool."""
+        if self._next >= self._limit:
+            raise PoolExhaustedError(f"pool {self.prefix} exhausted")
+        address = self.prefix.address_at(self._next)
+        self._next += 1
+        return address
+
+    def allocate_many(self, count: int) -> List[IPAddress]:
+        """Allocate ``count`` consecutive addresses."""
+        if count < 0:
+            raise ValueError(f"negative count {count}")
+        if self.remaining < count:
+            raise PoolExhaustedError(
+                f"pool {self.prefix}: need {count}, have {self.remaining}"
+            )
+        return [self.allocate() for _ in range(count)]
+
+
+class SubnetPool:
+    """Sequential allocator of equal-size subnets inside a prefix.
+
+    Used to carve an ISP's announced aggregate into access-region pools
+    and to assign one /64 (or /24) per simulated household.
+    """
+
+    def __init__(self, prefix: Prefix, subnet_length: int):
+        if subnet_length < prefix.length:
+            raise ValueError(
+                f"subnet /{subnet_length} shorter than pool {prefix}"
+            )
+        self.prefix = prefix
+        self.subnet_length = subnet_length
+        self._next = 0
+        self._count = 1 << (subnet_length - prefix.length)
+
+    @property
+    def allocated(self) -> int:
+        """Number of subnets handed out so far."""
+        return self._next
+
+    @property
+    def remaining(self) -> int:
+        """Number of subnets still available."""
+        return self._count - self._next
+
+    def allocate(self) -> Prefix:
+        """Return the next free subnet."""
+        if self._next >= self._count:
+            raise PoolExhaustedError(
+                f"subnet pool {self.prefix}/{self.subnet_length} exhausted"
+            )
+        subnet = self.prefix.nth_subnet(self.subnet_length, self._next)
+        self._next += 1
+        return subnet
+
+    def allocate_many(self, count: int) -> List[Prefix]:
+        """Allocate ``count`` consecutive subnets."""
+        if count < 0:
+            raise ValueError(f"negative count {count}")
+        if self.remaining < count:
+            raise PoolExhaustedError(
+                f"subnet pool {self.prefix}: need {count}, "
+                f"have {self.remaining}"
+            )
+        return [self.allocate() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[Prefix]:
+        """Drain the pool as an iterator (stops when exhausted)."""
+        while self.remaining:
+            yield self.allocate()

@@ -1,0 +1,197 @@
+"""CIDR prefixes.
+
+A :class:`Prefix` is the unit of address-space bookkeeping throughout
+the library: BGP announcements, ISP customer pools, mobile-operator
+prefix lists and CDN log filters all deal in prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from .addr import (
+    IPAddress,
+    address_bits,
+    format_address,
+    parse_address,
+)
+from .errors import PrefixParseError, VersionMismatchError
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """An immutable CIDR prefix (network address + prefix length).
+
+    The network value is normalized on construction: host bits are
+    required to be zero so that two textual spellings of the same
+    network compare equal.  Use :meth:`containing` to build the prefix
+    that covers an arbitrary address.
+
+    Ordering is (version, network, length): IPv4 sorts before IPv6,
+    then numerically, then shorter (less specific) prefixes first —
+    convenient for deterministic report output.
+    """
+
+    version: int
+    network: int
+    length: int
+
+    def __post_init__(self):
+        bits = address_bits(self.version)
+        if not 0 <= self.length <= bits:
+            raise PrefixParseError(
+                f"/{self.length}", f"length out of range for IPv{self.version}"
+            )
+        host_mask = (1 << (bits - self.length)) - 1
+        if self.network & host_mask:
+            raise PrefixParseError(
+                str(self), "host bits set; use Prefix.containing()"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` or ``"x::/len"`` text into a Prefix."""
+        addr_text, sep, len_text = text.partition("/")
+        if not sep:
+            raise PrefixParseError(text, "missing '/'")
+        if not len_text.isdigit():
+            raise PrefixParseError(text, f"bad length {len_text!r}")
+        try:
+            value, version = parse_address(addr_text)
+        except ValueError as exc:
+            raise PrefixParseError(text, str(exc)) from None
+        return cls(version=version, network=value, length=int(len_text))
+
+    @classmethod
+    def containing(cls, address: IPAddress, length: int) -> "Prefix":
+        """Return the /length prefix that contains ``address``.
+
+        Unlike the constructor this masks the host bits away, so it can
+        be used with any address.
+        """
+        bits = address.bits
+        if not 0 <= length <= bits:
+            raise PrefixParseError(f"/{length}", "length out of range")
+        mask = ((1 << length) - 1) << (bits - length) if length else 0
+        return cls(address.version, address.value & mask, length)
+
+    @property
+    def bits(self) -> int:
+        """Address width in bits for this prefix's family."""
+        return address_bits(self.version)
+
+    @property
+    def num_addresses(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (self.bits - self.length)
+
+    @property
+    def first(self) -> IPAddress:
+        """The network (lowest) address."""
+        return IPAddress(self.version, self.network)
+
+    @property
+    def last(self) -> IPAddress:
+        """The broadcast/highest address."""
+        return IPAddress(self.version, self.network + self.num_addresses - 1)
+
+    def __str__(self) -> str:
+        return f"{format_address(self.network, self.version)}/{self.length}"
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    def contains_value(self, value: int, version: int) -> bool:
+        """Fast containment check on a raw ``(value, version)`` pair."""
+        if version != self.version:
+            return False
+        shift = self.bits - self.length
+        return (value >> shift) == (self.network >> shift)
+
+    def contains(self, other) -> bool:
+        """True if ``other`` (an IPAddress or Prefix) is inside this prefix.
+
+        A prefix contains itself; containment across IP versions is
+        always False rather than an error, which keeps mixed v4/v6
+        filtering loops branch-free.
+        """
+        if isinstance(other, IPAddress):
+            return self.contains_value(other.value, other.version)
+        if isinstance(other, Prefix):
+            if other.version != self.version or other.length < self.length:
+                return False
+            return self.contains_value(other.network, other.version)
+        raise TypeError(f"cannot test containment of {type(other).__name__}")
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """True if the two prefixes share any address."""
+        if not isinstance(other, Prefix):
+            raise TypeError(f"cannot test overlap with {type(other).__name__}")
+        return self.contains(other) or other.contains(self)
+
+    def key(self) -> Tuple[int, int, int]:
+        """Hashable tuple key ``(version, network, length)``.
+
+        Useful for numpy/set interop where dataclass hashing is too slow.
+        """
+        return (self.version, self.network, self.length)
+
+    def subnets(self, new_length: int) -> Iterator["Prefix"]:
+        """Iterate the sub-prefixes of the given (longer) length.
+
+        >>> [str(p) for p in Prefix.parse("10.0.0.0/30").subnets(31)]
+        ['10.0.0.0/31', '10.0.0.2/31']
+        """
+        if new_length < self.length:
+            raise PrefixParseError(
+                f"/{new_length}", "subnet length shorter than prefix"
+            )
+        if new_length > self.bits:
+            raise PrefixParseError(f"/{new_length}", "length out of range")
+        step = 1 << (self.bits - new_length)
+        for network in range(
+            self.network, self.network + self.num_addresses, step
+        ):
+            yield Prefix(self.version, network, new_length)
+
+    def nth_subnet(self, new_length: int, index: int) -> "Prefix":
+        """Return the ``index``-th /new_length subnet without iterating."""
+        if new_length < self.length or new_length > self.bits:
+            raise PrefixParseError(f"/{new_length}", "length out of range")
+        count = 1 << (new_length - self.length)
+        if not 0 <= index < count:
+            raise IndexError(f"subnet index {index} out of {count}")
+        step = 1 << (self.bits - new_length)
+        return Prefix(self.version, self.network + index * step, new_length)
+
+    def address_at(self, offset: int) -> IPAddress:
+        """Return the address at ``offset`` within the prefix."""
+        if not 0 <= offset < self.num_addresses:
+            raise IndexError(f"offset {offset} outside {self}")
+        return IPAddress(self.version, self.network + offset)
+
+    def supernet(self, new_length: int) -> "Prefix":
+        """Return the covering prefix of the given (shorter) length."""
+        if new_length > self.length:
+            raise PrefixParseError(
+                f"/{new_length}", "supernet length longer than prefix"
+            )
+        return Prefix.containing(self.first, new_length)
+
+
+def common_supernet(a: Prefix, b: Prefix) -> Prefix:
+    """Return the longest prefix covering both ``a`` and ``b``.
+
+    Used by the topology builder to derive aggregate announcements from
+    customer pools.
+    """
+    if a.version != b.version:
+        raise VersionMismatchError("cannot merge IPv4 and IPv6 prefixes")
+    length = min(a.length, b.length)
+    while length > 0:
+        candidate = a.supernet(length)
+        if candidate.contains(b):
+            return candidate
+        length -= 1
+    return a.supernet(0)

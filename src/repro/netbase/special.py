@@ -1,0 +1,101 @@
+"""Special-purpose address ranges (RFC 1918, RFC 6598, loopback, ...).
+
+The paper's methodology hinges on one address-classification decision:
+*"we identify the ISP edge infrastructure as the first public IP address
+seen in the traceroute (i.e. not a RFC1918 private address)"* (§2.1).
+This module is the single source of truth for that decision.
+
+We follow operational practice and additionally treat CGN space
+(100.64.0.0/10, RFC 6598) and link-local/loopback space as non-public,
+since a traceroute hop in those ranges is still on the customer side or
+inside the access concentrator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from .prefix import Prefix
+
+#: RFC 1918 private-use IPv4 space.
+RFC1918_PREFIXES: Tuple[Prefix, ...] = (
+    Prefix.parse("10.0.0.0/8"),
+    Prefix.parse("172.16.0.0/12"),
+    Prefix.parse("192.168.0.0/16"),
+)
+
+#: Carrier-grade NAT shared space (RFC 6598).
+CGN_PREFIX = Prefix.parse("100.64.0.0/10")
+
+#: Loopback, link-local, and documentation/test space that must never be
+#: mistaken for the ISP edge.
+OTHER_NONPUBLIC_V4: Tuple[Prefix, ...] = (
+    Prefix.parse("0.0.0.0/8"),        # "this network"
+    Prefix.parse("127.0.0.0/8"),      # loopback
+    Prefix.parse("169.254.0.0/16"),   # link-local
+    Prefix.parse("192.0.2.0/24"),     # TEST-NET-1
+    Prefix.parse("198.51.100.0/24"),  # TEST-NET-2
+    Prefix.parse("203.0.113.0/24"),   # TEST-NET-3
+    Prefix.parse("240.0.0.0/4"),      # reserved
+)
+
+#: IPv6 non-global space: unspecified/loopback, ULA, link-local,
+#: documentation.
+NONPUBLIC_V6: Tuple[Prefix, ...] = (
+    Prefix.parse("::/127"),       # :: and ::1
+    Prefix.parse("fc00::/7"),     # unique-local (ULA)
+    Prefix.parse("fe80::/10"),    # link-local
+    Prefix.parse("2001:db8::/32"),  # documentation
+)
+
+_PRIVATE_V4 = RFC1918_PREFIXES + (CGN_PREFIX,)
+_ALL_NONPUBLIC_V4 = _PRIVATE_V4 + OTHER_NONPUBLIC_V4
+
+
+def _in_any(value: int, version: int, prefixes: Iterable[Prefix]) -> bool:
+    return any(p.contains_value(value, version) for p in prefixes)
+
+
+def is_rfc1918(value: int, version: int = 4) -> bool:
+    """True for addresses in 10/8, 172.16/12 or 192.168/16."""
+    if version != 4:
+        return False
+    return _in_any(value, 4, RFC1918_PREFIXES)
+
+
+def is_cgn(value: int, version: int = 4) -> bool:
+    """True for RFC 6598 carrier-grade NAT space (100.64/10)."""
+    return version == 4 and CGN_PREFIX.contains_value(value, 4)
+
+
+def is_private(value: int, version: int) -> bool:
+    """True for customer-side space: RFC 1918, CGN, or IPv6 ULA.
+
+    This is the predicate the last-mile pipeline uses to find the
+    boundary between the home network and the ISP edge.
+    """
+    if version == 4:
+        return _in_any(value, 4, _PRIVATE_V4)
+    if version == 6:
+        return Prefix.parse("fc00::/7").contains_value(value, 6)
+    return False
+
+
+def is_public(value: int, version: int) -> bool:
+    """True for globally-routable unicast space.
+
+    Complements :func:`is_private` by also rejecting loopback,
+    link-local, documentation and reserved ranges, so an anomalous hop
+    (e.g. 127.0.0.1 from a broken middlebox) is never classified as the
+    ISP edge.
+    """
+    if version == 4:
+        if _in_any(value, 4, _ALL_NONPUBLIC_V4):
+            return False
+        # Multicast (224/4) is not unicast-routable either.
+        return not Prefix.parse("224.0.0.0/4").contains_value(value, 4)
+    if version == 6:
+        if _in_any(value, 6, NONPUBLIC_V6):
+            return False
+        return not Prefix.parse("ff00::/8").contains_value(value, 6)
+    return False

@@ -1,0 +1,192 @@
+"""Binary radix trie for longest-prefix matching.
+
+The paper resolves probes to ASes by longest-prefix match against BGP
+data (§2.1): *"when we need to identify the ASN corresponding to the
+last-mile, we use the probes' public address for longest prefix match
+with BGP data"*.  This trie is the lookup structure behind
+:class:`repro.bgp.table.RoutingTable` and the CDN mobile-prefix filter.
+
+One trie holds one address family; :class:`DualStackTrie` composes a
+v4 and a v6 trie behind a single interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from .addr import address_bits
+from .errors import VersionMismatchError
+from .prefix import Prefix
+
+
+class _Node:
+    """One bit of the trie.  ``value`` is set only on prefix endpoints."""
+
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self):
+        self.children: List[Optional[_Node]] = [None, None]
+        self.value: Any = None
+        self.has_value = False
+
+
+class RadixTrie:
+    """Longest-prefix-match trie for a single IP version.
+
+    Values are arbitrary Python objects (ASNs, route objects, booleans
+    for filter membership).  Inserting the same prefix twice replaces
+    the value, mirroring a routing-table update.
+    """
+
+    def __init__(self, version: int):
+        if version not in (4, 6):
+            raise VersionMismatchError(f"unknown IP version {version}")
+        self.version = version
+        self.bits = address_bits(version)
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _check_version(self, version: int) -> None:
+        if version != self.version:
+            raise VersionMismatchError(
+                f"IPv{version} key in IPv{self.version} trie"
+            )
+
+    def insert(self, prefix: Prefix, value: Any) -> None:
+        """Insert or replace the value stored at ``prefix``."""
+        self._check_version(prefix.version)
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (self.bits - 1 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove ``prefix``; return True if it was present.
+
+        Nodes are not pruned — removal is rare in our workloads (route
+        withdrawal in scenario churn), and lookups skip valueless nodes
+        anyway.
+        """
+        self._check_version(prefix.version)
+        node = self._root
+        for depth in range(prefix.length):
+            bit = (prefix.network >> (self.bits - 1 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                return False
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+        return True
+
+    def lookup(self, value: int) -> Optional[Tuple[Prefix, Any]]:
+        """Longest-prefix match for an integer address.
+
+        Returns ``(matching_prefix, stored_value)`` or None when no
+        prefix covers the address (e.g. an un-announced ISP edge IP,
+        which the paper explicitly handles).
+        """
+        node = self._root
+        best: Optional[Tuple[int, Any]] = None
+        depth = 0
+        if node.has_value:
+            best = (0, node.value)
+        while depth < self.bits:
+            bit = (value >> (self.bits - 1 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            depth += 1
+            if node.has_value:
+                best = (depth, node.value)
+        if best is None:
+            return None
+        length, stored = best
+        return Prefix.containing(
+            _addr_for(value, self.version), length
+        ), stored
+
+    def lookup_value(self, value: int, default: Any = None) -> Any:
+        """Longest-prefix match returning only the stored value."""
+        hit = self.lookup(value)
+        return hit[1] if hit is not None else default
+
+    def covers(self, value: int) -> bool:
+        """True if any inserted prefix contains the address."""
+        return self.lookup(value) is not None
+
+    def items(self) -> Iterator[Tuple[Prefix, Any]]:
+        """Iterate ``(prefix, value)`` pairs in address order."""
+        stack: List[Tuple[_Node, int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, path, depth = stack.pop()
+            if node.has_value:
+                network = path << (self.bits - depth)
+                yield Prefix(self.version, network, depth), node.value
+            # Push right child first so the left (lower addresses) pops
+            # first: in-order traversal.
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append((child, (path << 1) | bit, depth + 1))
+
+
+def _addr_for(value: int, version: int):
+    from .addr import IPAddress
+
+    return IPAddress(version, value)
+
+
+class DualStackTrie:
+    """A v4 trie and a v6 trie behind one interface.
+
+    All methods take raw ``(value, version)`` pairs so callers holding
+    integer addresses never need to wrap them.
+    """
+
+    def __init__(self):
+        self._tries = {4: RadixTrie(4), 6: RadixTrie(6)}
+
+    def __len__(self) -> int:
+        return len(self._tries[4]) + len(self._tries[6])
+
+    def insert(self, prefix: Prefix, value: Any) -> None:
+        """Insert a prefix of either family."""
+        self._tries[prefix.version].insert(prefix, value)
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove a prefix of either family; True if it was present."""
+        return self._tries[prefix.version].remove(prefix)
+
+    def lookup(self, value: int, version: int):
+        """Longest-prefix match; ``(prefix, value)`` or None."""
+        if version not in self._tries:
+            raise VersionMismatchError(f"unknown IP version {version}")
+        return self._tries[version].lookup(value)
+
+    def lookup_value(self, value: int, version: int, default: Any = None):
+        """Longest-prefix match returning only the stored value."""
+        hit = self.lookup(value, version)
+        return hit[1] if hit is not None else default
+
+    def covers(self, value: int, version: int) -> bool:
+        """True if any inserted prefix of that family covers the address."""
+        return self.lookup(value, version) is not None
+
+    def items(self) -> Iterator[Tuple[Prefix, Any]]:
+        """Iterate all pairs, IPv4 first then IPv6, in address order."""
+        yield from self._tries[4].items()
+        yield from self._tries[6].items()

@@ -1,0 +1,36 @@
+"""Queueing substrate: closed-form queue models and shared devices."""
+
+from .link import LinkModel, SharedDevice
+from .sessions import (
+    SessionConcentrator,
+    SessionConcentratorSpec,
+    SessionLoadResult,
+    dimension_for_blocking,
+)
+from .models import (
+    MAX_STABLE_UTILIZATION,
+    erlang_loss,
+    md1_wait,
+    mg1_wait,
+    mm1_wait,
+    mm1_wait_quantile,
+    overload_loss,
+    sample_mm1_waits,
+)
+
+__all__ = [
+    "LinkModel",
+    "SharedDevice",
+    "SessionConcentrator",
+    "SessionConcentratorSpec",
+    "SessionLoadResult",
+    "dimension_for_blocking",
+    "mm1_wait",
+    "md1_wait",
+    "mg1_wait",
+    "mm1_wait_quantile",
+    "sample_mm1_waits",
+    "erlang_loss",
+    "overload_loss",
+    "MAX_STABLE_UTILIZATION",
+]

@@ -1,0 +1,157 @@
+"""PPPoE session-concentrator model.
+
+Japan's legacy wholesale network terminates subscriber PPPoE sessions
+on carrier equipment at the points of interconnection; operator
+reports (the paper's refs [19][23]) blame both its *bandwidth* and its
+*session capacity*: the gear holds a bounded number of concurrent
+PPPoE sessions, and under session exhaustion new connections are
+refused or take long to establish — a failure mode distinct from
+queueing delay, invisible to RTT-based detection until users manage
+to connect at all.
+
+The model: subscribers' sessions arrive following the diurnal demand
+(people coming online), hold for long exponential times, and compete
+for ``session_slots``; blocking follows Erlang-B.  Session *setup
+latency* also rises with slot occupancy (the control plane of the
+ossified gear is CPU-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..timebase import TimeGrid
+from ..traffic import DemandSeries
+from .models import erlang_loss
+
+
+@dataclass(frozen=True)
+class SessionConcentratorSpec:
+    """Dimensioning of one PPPoE concentrator."""
+
+    session_slots: int
+    subscribers: int
+    #: Mean session holding time in hours (home routers hold sessions
+    #: for days; mobile tethering and reconnects shorten the mix).
+    mean_holding_hours: float = 48.0
+    #: Baseline session setup latency (ms) on idle control plane.
+    setup_latency_ms: float = 150.0
+    #: Setup latency multiplier at full occupancy.
+    setup_latency_factor: float = 40.0
+
+    def __post_init__(self):
+        if self.session_slots < 1:
+            raise ValueError(f"bad slot count {self.session_slots}")
+        if self.subscribers < 1:
+            raise ValueError(f"bad subscriber count {self.subscribers}")
+        if self.mean_holding_hours <= 0:
+            raise ValueError("holding time must be positive")
+
+
+@dataclass
+class SessionLoadResult:
+    """Per-bin session-plane state over a period."""
+
+    occupancy: np.ndarray          # expected sessions / slots, [0, 1+]
+    blocking_probability: np.ndarray
+    setup_latency_ms: np.ndarray
+
+    @property
+    def peak_blocking(self) -> float:
+        """Worst per-bin blocking probability."""
+        return float(self.blocking_probability.max())
+
+    def hours_blocked_over(self, threshold: float,
+                           bin_seconds: int) -> float:
+        """Hours per period with blocking above ``threshold``."""
+        bins = int((self.blocking_probability > threshold).sum())
+        return bins * bin_seconds / 3600.0
+
+
+class SessionConcentrator:
+    """Evaluates the session plane of one concentrator over a grid."""
+
+    def __init__(self, spec: SessionConcentratorSpec,
+                 demand: DemandSeries):
+        self.spec = spec
+        self.demand = demand
+
+    def offered_sessions(self, grid: TimeGrid) -> np.ndarray:
+        """Expected concurrent sessions per bin.
+
+        Demand maps to the *online fraction* of subscribers: at the
+        evening peak nearly everyone's CPE holds a session; the trough
+        only drops modestly (sessions are long-lived), so the online
+        fraction is a damped version of the instantaneous demand.
+        """
+        instantaneous = self.demand.evaluate(grid)
+        # Long holding times low-pass the demand: mix the diurnal
+        # signal with its own mean, weighted by holding time (hours)
+        # against the 24 h cycle.
+        weight = float(
+            np.clip(24.0 / (24.0 + self.spec.mean_holding_hours), 0, 1)
+        )
+        smoothed = (
+            weight * instantaneous
+            + (1 - weight) * instantaneous.mean()
+        )
+        online_fraction = 0.55 + 0.45 * smoothed
+        return online_fraction * self.spec.subscribers
+
+    def evaluate(self, grid: TimeGrid) -> SessionLoadResult:
+        """Occupancy, blocking and setup latency per bin.
+
+        Blocking is the exact Erlang-B recursion on the true slot
+        count — large trunk groups have a sharp knee near full
+        occupancy, which is exactly the cliff operators report: the
+        concentrator works until the evening it suddenly doesn't.
+        """
+        offered = self.offered_sessions(grid)
+        occupancy = offered / self.spec.session_slots
+        blocking = erlang_loss(occupancy, servers=self.spec.session_slots)
+        blocking = np.clip(blocking, 0.0, 1.0)
+        setup = self.spec.setup_latency_ms * (
+            1.0
+            + (self.spec.setup_latency_factor - 1.0)
+            * np.clip(occupancy, 0.0, 1.2) ** 6
+        )
+        return SessionLoadResult(
+            occupancy=occupancy,
+            blocking_probability=blocking,
+            setup_latency_ms=setup,
+        )
+
+
+def dimension_for_blocking(
+    subscribers: int,
+    target_blocking: float,
+    demand: DemandSeries,
+    grid: TimeGrid,
+    candidate_slots=None,
+) -> int:
+    """Smallest slot count keeping peak blocking under a target.
+
+    The capacity-planning question operators face when they cannot
+    upgrade the gear (§4: "too expensive to upgrade for low-profit
+    broadband services").
+    """
+    if not 0.0 < target_blocking < 1.0:
+        raise ValueError(f"bad target {target_blocking}")
+    if candidate_slots is None:
+        base = max(subscribers // 8, 1)
+        candidate_slots = [
+            int(base * factor)
+            for factor in (1, 1.5, 2, 3, 4, 6, 8, 12, 16)
+        ]
+    for slots in sorted(candidate_slots):
+        spec = SessionConcentratorSpec(
+            session_slots=slots, subscribers=subscribers
+        )
+        result = SessionConcentrator(spec, demand).evaluate(grid)
+        if result.peak_blocking <= target_blocking:
+            return slots
+    raise ValueError(
+        "no candidate slot count meets the blocking target"
+    )

@@ -1,0 +1,73 @@
+"""Alert records and sinks for the streaming monitor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One congestion state change for an AS.
+
+    ``kind`` is ``"congestion-start"`` (sustained elevated delay) or
+    ``"congestion-end"`` (delay back under the threshold).
+    """
+
+    asn: int
+    start_bin: int
+    bin_seconds: int
+    delay_ms: float
+    kind: str
+
+    @property
+    def start_seconds(self) -> float:
+        """Stream-relative start time of the alert condition."""
+        return self.start_bin * float(self.bin_seconds)
+
+    def __str__(self) -> str:
+        hours = self.start_seconds / 3600.0
+        return (
+            f"[{self.kind}] AS{self.asn} at t+{hours:.1f}h "
+            f"(aggregated delay {self.delay_ms:.2f} ms)"
+        )
+
+
+class AlertSink(Protocol):
+    """Anything that can receive alerts."""
+
+    def emit(self, alert: Alert) -> None:  # pragma: no cover - protocol
+        """Receive one alert."""
+        ...
+
+
+class ListSink:
+    """Collects alerts in memory (default sink; easy to assert on)."""
+
+    def __init__(self):
+        self.alerts: List[Alert] = []
+
+    def emit(self, alert: Alert) -> None:
+        """Store the alert."""
+        self.alerts.append(alert)
+
+    def starts(self) -> List[Alert]:
+        """Only the congestion-start alerts."""
+        return [a for a in self.alerts if a.kind == "congestion-start"]
+
+    def ends(self) -> List[Alert]:
+        """Only the congestion-end alerts."""
+        return [a for a in self.alerts if a.kind == "congestion-end"]
+
+
+class PrintSink:
+    """Writes alerts to a stream as they fire (CLI default)."""
+
+    def __init__(self, stream=None):
+        import sys
+
+        self.stream = stream if stream is not None else sys.stdout
+
+    def emit(self, alert: Alert) -> None:
+        """Print the alert immediately."""
+        print(str(alert), file=self.stream)

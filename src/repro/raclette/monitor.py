@@ -1,0 +1,241 @@
+"""Streaming last-mile monitor (the paper's *raclette* artifact).
+
+Consumes traceroute results as they arrive (roughly timestamp-ordered,
+as the Atlas result stream is), maintains per-probe 30-minute bins,
+and — as bins close — updates per-AS aggregated queueing-delay state
+with a rolling propagation-delay baseline.  Sustained deviations raise
+:class:`~repro.raclette.alerts.Alert` records.
+
+The streaming estimates match the batch pipeline's (same bin width,
+same median semantics, same sanity threshold); the only difference is
+the baseline, which is a rolling-window minimum instead of a
+whole-period minimum — the right choice for an unbounded stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..atlas.traceroute import TracerouteResult
+from ..core.lastmile import MIN_TRACEROUTES_PER_BIN, lastmile_samples
+from ..timebase import DELAY_BIN_SECONDS
+from .alerts import Alert, AlertSink, ListSink
+from .sketch import ExactMedian, RollingMinimum
+
+
+@dataclass
+class MonitorConfig:
+    """Tunables of the streaming monitor."""
+
+    bin_seconds: int = DELAY_BIN_SECONDS
+    min_traceroutes: int = MIN_TRACEROUTES_PER_BIN
+    #: Rolling-baseline window, in bins (336 = one week of 30-min bins).
+    baseline_window_bins: int = 336
+    #: Aggregated delay above baseline that arms an alert (the paper's
+    #: Mild threshold: §4 shows throughput collapses past ~1 ms).
+    alert_threshold_ms: float = 1.0
+    #: Consecutive elevated bins required before an alert fires — the
+    #: streaming analogue of "persistent" (4 bins = 2 hours).
+    alert_min_bins: int = 4
+    #: Bins a probe may lag behind the stream head before its open bin
+    #: is force-closed (out-of-order tolerance).
+    max_open_bins: int = 2
+
+
+class _ProbeState:
+    """Open-bin accumulator for one probe."""
+
+    __slots__ = ("current_bin", "median", "count")
+
+    def __init__(self):
+        self.current_bin: Optional[int] = None
+        self.median = ExactMedian()
+        self.count = 0
+
+    def reset(self, bin_index: int) -> None:
+        self.current_bin = bin_index
+        self.median = ExactMedian()
+        self.count = 0
+
+
+class _ASState:
+    """Aggregation state for one AS."""
+
+    __slots__ = ("baseline", "pending", "elevated_bins", "history",
+                 "alerting")
+
+    def __init__(self, window: int):
+        self.baseline = RollingMinimum(window)
+        #: bin index -> list of per-probe medians awaiting aggregation.
+        self.pending: Dict[int, List[float]] = {}
+        self.elevated_bins = 0
+        #: closed (bin_index, aggregated_delay) pairs, newest last.
+        self.history: List[tuple] = []
+        self.alerting = False
+
+
+class LastMileMonitor:
+    """Streaming §2-pipeline with alerting.
+
+    ``asn_of`` maps a probe id to its AS (use
+    :func:`repro.core.filtering.resolve_probe_asn` against a RIB for
+    the paper-faithful mapping, or a static dict for tests).
+    """
+
+    def __init__(
+        self,
+        asn_of: Callable[[int], Optional[int]],
+        config: Optional[MonitorConfig] = None,
+        sink: Optional[AlertSink] = None,
+    ):
+        self.asn_of = asn_of
+        self.config = config or MonitorConfig()
+        self.sink = sink if sink is not None else ListSink()
+        self._probes: Dict[int, _ProbeState] = {}
+        self._ases: Dict[int, _ASState] = {}
+        self._head_bin = -1
+        self.results_seen = 0
+        self.bins_closed = 0
+        self.alerts_emitted = 0
+
+    # -- ingestion -------------------------------------------------------
+
+    def ingest(self, result: TracerouteResult) -> None:
+        """Feed one traceroute result."""
+        self.results_seen += 1
+        bin_index = int(result.timestamp // self.config.bin_seconds)
+        if bin_index > self._head_bin:
+            self._head_bin = bin_index
+            self._expire_lagging_probes()
+
+        state = self._probes.get(result.prb_id)
+        if state is None:
+            state = _ProbeState()
+            state.reset(bin_index)
+            self._probes[result.prb_id] = state
+        elif state.current_bin is None:
+            state.reset(bin_index)
+        elif bin_index != state.current_bin:
+            if bin_index < state.current_bin:
+                return  # stale straggler: already closed that bin
+            self._close_probe_bin(result.prb_id, state)
+            state.reset(bin_index)
+
+        state.count += 1
+        samples = lastmile_samples(result)
+        if samples:
+            state.median.extend(samples)
+
+    def ingest_many(self, results) -> None:
+        """Feed an iterable of results."""
+        for result in results:
+            self.ingest(result)
+
+    def flush(self) -> None:
+        """Close every open bin (end of stream)."""
+        for prb_id, state in self._probes.items():
+            if state.current_bin is not None:
+                self._close_probe_bin(prb_id, state)
+                state.current_bin = None
+        for asn in list(self._ases):
+            self._aggregate_ready(asn, up_to_bin=None)
+
+    # -- bin closing -------------------------------------------------------
+
+    def _expire_lagging_probes(self) -> None:
+        horizon = self._head_bin - self.config.max_open_bins
+        for prb_id, state in self._probes.items():
+            if state.current_bin is not None and state.current_bin < horizon:
+                self._close_probe_bin(prb_id, state)
+                state.current_bin = None
+        for asn in list(self._ases):
+            self._aggregate_ready(asn, up_to_bin=horizon)
+
+    def _close_probe_bin(self, prb_id: int, state: _ProbeState) -> None:
+        self.bins_closed += 1
+        if state.count < self.config.min_traceroutes:
+            return  # the paper's disconnected-probe sanity check
+        median = state.median.median()
+        if median is None:
+            return
+        asn = self.asn_of(prb_id)
+        if asn is None:
+            return
+        as_state = self._ases.get(asn)
+        if as_state is None:
+            as_state = _ASState(self.config.baseline_window_bins)
+            self._ases[asn] = as_state
+        as_state.pending.setdefault(state.current_bin, []).append(median)
+
+    def _aggregate_ready(self, asn: int, up_to_bin: Optional[int]) -> None:
+        state = self._ases[asn]
+        ready = sorted(
+            b for b in state.pending
+            if up_to_bin is None or b < up_to_bin
+        )
+        for bin_index in ready:
+            medians = state.pending.pop(bin_index)
+            raw = float(np.median(medians))
+            baseline = state.baseline.push(raw)
+            delay = max(raw - baseline, 0.0)
+            state.history.append((bin_index, delay))
+            self._evaluate_alert(asn, state, bin_index, delay)
+
+    # -- alerting -----------------------------------------------------------
+
+    def _evaluate_alert(
+        self, asn: int, state: _ASState, bin_index: int, delay: float
+    ) -> None:
+        cfg = self.config
+        if delay > cfg.alert_threshold_ms:
+            state.elevated_bins += 1
+            if (
+                state.elevated_bins >= cfg.alert_min_bins
+                and not state.alerting
+            ):
+                state.alerting = True
+                self.alerts_emitted += 1
+                self.sink.emit(Alert(
+                    asn=asn,
+                    start_bin=bin_index - cfg.alert_min_bins + 1,
+                    bin_seconds=cfg.bin_seconds,
+                    delay_ms=delay,
+                    kind="congestion-start",
+                ))
+        else:
+            if state.alerting:
+                self.alerts_emitted += 1
+                self.sink.emit(Alert(
+                    asn=asn,
+                    start_bin=bin_index,
+                    bin_seconds=cfg.bin_seconds,
+                    delay_ms=delay,
+                    kind="congestion-end",
+                ))
+            state.alerting = False
+            state.elevated_bins = 0
+
+    # -- inspection ----------------------------------------------------------
+
+    def delay_series(self, asn: int) -> List[tuple]:
+        """Closed ``(bin_index, aggregated_delay_ms)`` pairs of an AS."""
+        state = self._ases.get(asn)
+        return list(state.history) if state else []
+
+    def monitored_asns(self) -> List[int]:
+        """ASes with at least one closed aggregated bin."""
+        return sorted(
+            asn for asn, state in self._ases.items() if state.history
+        )
+
+    def summary(self) -> str:
+        """One-line status for logs."""
+        return (
+            f"raclette: {self.results_seen} results, "
+            f"{self.bins_closed} probe-bins closed, "
+            f"{len(self.monitored_asns())} ASes, "
+            f"{self.alerts_emitted} alerts"
+        )

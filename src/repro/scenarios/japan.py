@@ -1,0 +1,284 @@
+"""The §4 Tokyo case study: ISP_A, ISP_B, ISP_C (and Appendix ISP_D).
+
+Japan's top three eyeball networks, as modeled from the paper:
+
+* **ISP_A** — major eyeball riding the legacy NTT fiber over PPPoE;
+  heavily congested BRAS (aggregated peak delay ~5 ms).  Its mobile
+  arm is a *different* AS (the paper notes this explicitly).
+* **ISP_B** — also legacy-PPPoE, slightly less hot (~3 ms peaks).
+  Mobile users share ISP_B's ASN, split from broadband only by the
+  published mobile prefix list (Appendix A).
+* **ISP_C** — owns its fiber; stable delays an order of magnitude
+  below A/B even at peak.  Also runs same-AS mobile.
+* **ISP_D** — Appendix B: a legacy-network AS hosting both home
+  probes (severely congested, tens of ms) and one datacenter anchor
+  (flat) — the access-link-vs-backbone control.
+
+IPv4 for A/B rides PPPoE; their IPv6 rides IPoE on newer gateways
+(Appendix C), so IPv6 CDN throughput stays flat at peak.
+
+Probe counts follow the paper: 8 + 5 + 8 = 21 Greater-Tokyo probes in
+the three ISPs, 6 probes + 1 anchor in ISP_D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..atlas import AtlasPlatform, Probe
+from ..cdn import CDNConfig, CDNEdge, MobilePrefixList
+from ..core.series import LastMileDataset
+from ..netbase import AccessTechnology, ASInfo, ASRole
+from ..queueing import LinkModel
+from ..timebase import TOKYO_PERIOD, MeasurementPeriod
+from ..topology import ISPNetwork, ProvisioningPolicy, World
+from ..topology.access import AccessTechSpec, default_specs
+
+ISP_A_ASN = 64521
+ISP_B_ASN = 64522
+ISP_C_ASN = 64523
+ISP_D_ASN = 64524
+ISP_A_MOBILE_ASN = 64531
+
+#: Greater-Tokyo probe deployments (paper Fig. 5 / Fig. 8).
+PROBE_PLAN: Dict[str, List[tuple]] = {
+    "ISP_A": [("Tokyo", 4), ("Yokohama", 2), ("Chiba", 1), ("Saitama", 1)],
+    "ISP_B": [("Tokyo", 3), ("Yokohama", 1), ("Saitama", 1)],
+    "ISP_C": [("Tokyo", 4), ("Yokohama", 2), ("Chiba", 2)],
+    "ISP_D": [("Tokyo", 4), ("Chiba", 2)],
+}
+
+#: Synthetic CDN client pool sizes.  The real dataset has ~150k unique
+#: IPs; the default reproduces the statistics at ~1/8 scale (pass
+#: ``client_scale`` to change).
+CLIENT_BASE = {
+    "ISP_A": 4000, "ISP_B": 3000, "ISP_C": 3500,
+    "ISP_A_mobile": 1800, "ISP_B_mobile": 1500, "ISP_C_mobile": 1600,
+}
+
+
+def _legacy_specs(service_time_ms: float):
+    """Legacy-PPPoE spec table with a per-ISP BRAS service time."""
+    table = default_specs()
+    base = table[AccessTechnology.FTTH_PPPOE_LEGACY]
+    table[AccessTechnology.FTTH_PPPOE_LEGACY] = AccessTechSpec(
+        technology=base.technology,
+        base_rtt_ms=base.base_rtt_ms,
+        reply_noise_ms=base.reply_noise_ms,
+        link=LinkModel(
+            service_time_ms=service_time_ms,
+            scv=base.link.scv,
+            max_delay_ms=base.link.max_delay_ms,
+            loss_onset=base.link.loss_onset,
+            # Japanese BRAS overload shows up mostly as delay; loss
+            # stays in the ~1 % range (throughput halves rather than
+            # collapsing, Fig. 6).
+            loss_ceiling=0.012,
+        ),
+        subscribers_per_device=base.subscribers_per_device,
+        legacy_shared=True,
+    )
+    return table
+
+
+@dataclass
+class TokyoCaseStudy:
+    """Everything the §4 experiments consume."""
+
+    period: MeasurementPeriod
+    world: World
+    platform: AtlasPlatform
+    isps: Dict[str, ISPNetwork]
+    probes: Dict[str, List[Probe]] = field(default_factory=dict)
+    anchor: Optional[Probe] = None
+    edge: Optional[CDNEdge] = None
+    mobile_prefixes: Optional[MobilePrefixList] = None
+
+    def asn_of(self, name: str) -> int:
+        """ASN of a named ISP."""
+        return self.isps[name].asn
+
+    def dataset_for(self, name: str) -> LastMileDataset:
+        """Binned last-mile dataset for one ISP's Tokyo probes."""
+        return self.platform.run_period_binned(
+            self.period, self.probes[name]
+        )
+
+    def anchor_dataset(self) -> LastMileDataset:
+        """Binned dataset for the ISP_D anchor (Appendix B)."""
+        if self.anchor is None:
+            raise ValueError("case study built without an anchor")
+        return self.platform.run_period_binned(
+            self.period, [self.anchor]
+        )
+
+
+def build_tokyo_case_study(
+    period: MeasurementPeriod = TOKYO_PERIOD,
+    seed: int = 42,
+    with_cdn: bool = True,
+    client_scale: float = 1.0,
+    cdn_config: Optional[CDNConfig] = None,
+) -> TokyoCaseStudy:
+    """Build the complete Tokyo world.
+
+    ``client_scale`` multiplies the CDN client pool sizes (use < 1 for
+    fast tests).  ``with_cdn=False`` skips client provisioning for
+    delay-only experiments.
+    """
+    world = World(seed=seed)
+
+    isp_a = world.add_isp(
+        ASInfo(
+            ISP_A_ASN, "ISP_A", "JP", ASRole.EYEBALL,
+            access_technologies=[AccessTechnology.FTTH_PPPOE_LEGACY],
+            subscribers=20_000_000, tags=["legacy-network"],
+        ),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={
+                AccessTechnology.FTTH_PPPOE_LEGACY: 0.950,
+                AccessTechnology.FTTH_IPOE_LEGACY: 0.60,
+            },
+            device_spread=0.008,
+            load_jitter_std=0.006,
+        ),
+        specs=_legacy_specs(service_time_ms=0.32),
+        ipv6_technology=AccessTechnology.FTTH_IPOE_LEGACY,
+    )
+    isp_b = world.add_isp(
+        ASInfo(
+            ISP_B_ASN, "ISP_B", "JP", ASRole.EYEBALL,
+            access_technologies=[AccessTechnology.FTTH_PPPOE_LEGACY],
+            subscribers=12_000_000, tags=["legacy-network"],
+        ),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={
+                AccessTechnology.FTTH_PPPOE_LEGACY: 0.945,
+                AccessTechnology.FTTH_IPOE_LEGACY: 0.55,
+                AccessTechnology.LTE: 0.70,
+            },
+            device_spread=0.008,
+            load_jitter_std=0.006,
+        ),
+        specs=_legacy_specs(service_time_ms=0.22),
+        ipv6_technology=AccessTechnology.FTTH_IPOE_LEGACY,
+    )
+    isp_c = world.add_isp(
+        ASInfo(
+            ISP_C_ASN, "ISP_C", "JP", ASRole.EYEBALL,
+            access_technologies=[AccessTechnology.FTTH_OWN],
+            subscribers=15_000_000, tags=["own-fiber"],
+        ),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={
+                AccessTechnology.FTTH_OWN: 0.55,
+                AccessTechnology.LTE: 0.65,
+            },
+            device_spread=0.01,
+        ),
+    )
+    isp_d = world.add_isp(
+        ASInfo(
+            ISP_D_ASN, "ISP_D", "JP", ASRole.EYEBALL,
+            access_technologies=[AccessTechnology.FTTH_PPPOE_LEGACY],
+            subscribers=3_000_000, tags=["legacy-network"],
+        ),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={
+                AccessTechnology.FTTH_PPPOE_LEGACY: 0.984,
+            },
+            device_spread=0.004,
+            load_jitter_std=0.004,
+        ),
+        specs=_legacy_specs(service_time_ms=0.60),
+    )
+    isp_a_mobile = world.add_isp(
+        ASInfo(
+            ISP_A_MOBILE_ASN, "ISP_A_mobile", "JP", ASRole.MOBILE,
+            access_technologies=[AccessTechnology.LTE],
+            subscribers=30_000_000,
+        ),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={AccessTechnology.LTE: 0.70},
+        ),
+    )
+    # ISP_B and ISP_C run mobile under their broadband ASN; only the
+    # published prefix list separates the populations (Appendix A).
+    world.attach_mobile_block(isp_b)
+    world.attach_mobile_block(isp_c)
+
+    world.add_default_targets()
+    world.finalize()
+
+    platform = AtlasPlatform(world)
+    isps = {
+        "ISP_A": isp_a, "ISP_B": isp_b, "ISP_C": isp_c, "ISP_D": isp_d,
+        "ISP_A_mobile": isp_a_mobile,
+    }
+    study = TokyoCaseStudy(
+        period=period, world=world, platform=platform, isps=isps
+    )
+    # §4 uses only v3 probes: "we avoid using these [v1/v2] probes
+    # when it is not needed".
+    from ..atlas import ProbeVersion
+
+    for name in ("ISP_A", "ISP_B", "ISP_C", "ISP_D"):
+        probes: List[Probe] = []
+        for city, count in PROBE_PLAN[name]:
+            probes.extend(
+                platform.deploy_probes_on_isp(
+                    isps[name], count, city=city,
+                    version=ProbeVersion.V3,
+                )
+            )
+        study.probes[name] = probes
+    study.anchor = platform.deploy_anchor(isp_d, city="Tokyo")
+
+    study.mobile_prefixes = MobilePrefixList.from_published_lists(
+        mobile_isps=[isp_a_mobile],
+        dual_role_isps=[isp_b, isp_c],
+    )
+
+    if with_cdn:
+        study.edge = _build_cdn_edge(
+            world, isps, client_scale, cdn_config
+        )
+    return study
+
+
+def _build_cdn_edge(
+    world: World,
+    isps: Dict[str, ISPNetwork],
+    client_scale: float,
+    cdn_config: Optional[CDNConfig],
+) -> CDNEdge:
+    edge = CDNEdge(
+        city="Tokyo", config=cdn_config, rng=world.child_rng()
+    )
+    scaled = {
+        name: max(50, int(count * client_scale))
+        for name, count in CLIENT_BASE.items()
+    }
+    edge.add_clients(
+        isps["ISP_A"], scaled["ISP_A"], dual_stack_fraction=0.45
+    )
+    edge.add_clients(
+        isps["ISP_B"], scaled["ISP_B"], dual_stack_fraction=0.40
+    )
+    edge.add_clients(
+        isps["ISP_C"], scaled["ISP_C"], dual_stack_fraction=0.45
+    )
+    edge.add_clients(
+        isps["ISP_A_mobile"], scaled["ISP_A_mobile"], mobile=True,
+        dual_stack_fraction=0.0,
+    )
+    edge.add_clients(
+        isps["ISP_B"], scaled["ISP_B_mobile"], mobile=True,
+    )
+    edge.add_clients(
+        isps["ISP_C"], scaled["ISP_C_mobile"], mobile=True,
+    )
+    return edge

@@ -1,0 +1,205 @@
+"""Time primitives shared by the simulators and the analysis pipeline.
+
+All simulation time is UTC seconds since the start of a
+:class:`MeasurementPeriod`.  Diurnal demand depends on *local* time, so
+conversions take an explicit UTC offset; no timezone database is needed
+because the scenarios pin each AS to a fixed offset (the paper's
+measurement windows never cross a DST change by more than an hour, and
+the methodology is insensitive to such a shift).
+
+The paper's eight measurement windows are provided as constants.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 86400
+#: The paper's aggregation bin for delay analysis (§2): 30 minutes.
+DELAY_BIN_SECONDS = 30 * SECONDS_PER_MINUTE
+#: The paper's aggregation bin for CDN throughput (§4.2): 15 minutes.
+THROUGHPUT_BIN_SECONDS = 15 * SECONDS_PER_MINUTE
+
+WEEKDAY_NAMES = (
+    "Monday", "Tuesday", "Wednesday", "Thursday",
+    "Friday", "Saturday", "Sunday",
+)
+
+
+@dataclass(frozen=True)
+class MeasurementPeriod:
+    """A named measurement window: UTC start plus a duration in days."""
+
+    name: str
+    start: dt.datetime
+    days: int
+
+    def __post_init__(self):
+        if self.start.tzinfo is not None:
+            raise ValueError("start must be naive UTC datetime")
+        if self.days <= 0:
+            raise ValueError(f"non-positive duration {self.days}")
+
+    @property
+    def duration_seconds(self) -> int:
+        """Total window length in seconds."""
+        return self.days * SECONDS_PER_DAY
+
+    @property
+    def end(self) -> dt.datetime:
+        """Exclusive end of the window."""
+        return self.start + dt.timedelta(days=self.days)
+
+    @property
+    def start_weekday(self) -> int:
+        """Weekday of the first day (0 = Monday, as in datetime)."""
+        return self.start.weekday()
+
+    def to_datetime(self, seconds: float) -> dt.datetime:
+        """Convert window-relative seconds to an absolute UTC datetime."""
+        return self.start + dt.timedelta(seconds=float(seconds))
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.start:%Y-%m-%d}, {self.days}d)"
+
+
+def _period(name: str, year: int, month: int, day: int, days: int):
+    return MeasurementPeriod(
+        name=name, start=dt.datetime(year, month, day), days=days
+    )
+
+
+#: The six longitudinal windows of §3 (1st–15th of the month).
+LONGITUDINAL_PERIODS: Tuple[MeasurementPeriod, ...] = (
+    _period("2018-03", 2018, 3, 1, 15),
+    _period("2018-06", 2018, 6, 1, 15),
+    _period("2018-09", 2018, 9, 1, 15),
+    _period("2019-03", 2019, 3, 1, 15),
+    _period("2019-06", 2019, 6, 1, 15),
+    _period("2019-09", 2019, 9, 1, 15),
+)
+
+#: The COVID-19 window (§3.2).
+COVID_PERIOD = _period("2020-04", 2020, 4, 1, 15)
+
+#: All seven windows shown in Fig. 1.
+ALL_SURVEY_PERIODS: Tuple[MeasurementPeriod, ...] = (
+    LONGITUDINAL_PERIODS + (COVID_PERIOD,)
+)
+
+#: The Tokyo case-study window (§4): Sep 19–26, 2019 inclusive.
+TOKYO_PERIOD = _period("tokyo-2019-09", 2019, 9, 19, 8)
+
+
+@dataclass(frozen=True)
+class TimeGrid:
+    """Uniform bin grid over a measurement period.
+
+    Provides vectorized local-time features used by the demand models
+    and the weekly-overlay reporting in Fig. 1.
+    """
+
+    period: MeasurementPeriod
+    bin_seconds: int = DELAY_BIN_SECONDS
+
+    def __post_init__(self):
+        if self.bin_seconds <= 0:
+            raise ValueError(f"non-positive bin {self.bin_seconds}")
+        if self.period.duration_seconds % self.bin_seconds:
+            raise ValueError(
+                f"bin {self.bin_seconds}s does not divide "
+                f"{self.period.duration_seconds}s evenly"
+            )
+
+    @property
+    def num_bins(self) -> int:
+        """Number of bins covering the period."""
+        return self.period.duration_seconds // self.bin_seconds
+
+    @property
+    def bins_per_day(self) -> int:
+        """Number of bins per 24 hours."""
+        return SECONDS_PER_DAY // self.bin_seconds
+
+    def bin_starts(self) -> np.ndarray:
+        """Start times (seconds from period start) of every bin."""
+        return np.arange(self.num_bins, dtype=np.float64) * self.bin_seconds
+
+    def bin_centers(self) -> np.ndarray:
+        """Center times of every bin."""
+        return self.bin_starts() + self.bin_seconds / 2.0
+
+    def bin_index(self, seconds) -> np.ndarray:
+        """Map times (seconds from period start) to bin indices.
+
+        Times exactly at the period end are clipped into the last bin
+        so callers binning half-open event streams never go out of
+        range.
+        """
+        index = np.floor_divide(
+            np.asarray(seconds, dtype=np.float64), self.bin_seconds
+        ).astype(np.int64)
+        return np.clip(index, 0, self.num_bins - 1)
+
+    def local_hour_of_day(self, utc_offset_hours: float) -> np.ndarray:
+        """Local fractional hour-of-day at each bin center."""
+        hours = self.bin_centers() / SECONDS_PER_HOUR + utc_offset_hours
+        return np.mod(hours, 24.0)
+
+    def local_day_of_week(self, utc_offset_hours: float) -> np.ndarray:
+        """Local day-of-week (0 = Monday) at each bin center."""
+        start_hour = (
+            self.period.start_weekday * 24
+            + self.period.start.hour
+            + utc_offset_hours
+        )
+        hours = self.bin_centers() / SECONDS_PER_HOUR + start_hour
+        return (np.floor_divide(hours, 24.0).astype(np.int64)) % 7
+
+    def hour_of_week(self, utc_offset_hours: float = 0.0) -> np.ndarray:
+        """Local fractional hour-of-week (0 = Monday 00:00) per bin.
+
+        The x-axis of the paper's Fig. 1 weekly overlay.
+        """
+        return (
+            self.local_day_of_week(utc_offset_hours) * 24.0
+            + self.local_hour_of_day(utc_offset_hours)
+        )
+
+
+def weekly_overlay(grid: TimeGrid, values: np.ndarray,
+                   utc_offset_hours: float = 0.0) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold a per-bin series onto one week (Monday-first), as in Fig. 1.
+
+    Returns ``(hour_of_week, median_value)`` arrays where bins sharing
+    the same hour-of-week slot across the period are combined with the
+    median (NaNs ignored).  Slots never observed are dropped.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape[0] != grid.num_bins:
+        raise ValueError(
+            f"series has {values.shape[0]} bins, grid has {grid.num_bins}"
+        )
+    how = grid.hour_of_week(utc_offset_hours)
+    slots_per_week = grid.bins_per_day * 7
+    slot = np.floor(how * grid.bins_per_day / 24.0).astype(np.int64)
+    slot = slot % slots_per_week
+
+    hours_out: List[float] = []
+    medians_out: List[float] = []
+    for s in range(slots_per_week):
+        mask = slot == s
+        if not mask.any():
+            continue
+        block = values[mask]
+        if np.all(np.isnan(block)):
+            continue
+        hours_out.append(s * 24.0 / grid.bins_per_day)
+        medians_out.append(float(np.nanmedian(block)))
+    return np.asarray(hours_out), np.asarray(medians_out)

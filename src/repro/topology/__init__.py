@@ -1,0 +1,40 @@
+"""Topology substrate: access specs, LANs, ISPs, worlds, paths."""
+
+from .access import AccessTechSpec, default_specs
+from .geo import (
+    COUNTRY_UTC_OFFSETS,
+    GREATER_TOKYO,
+    GREATER_TOKYO_NAMES,
+    City,
+    in_greater_tokyo,
+    utc_offset_for,
+)
+from .isp import (
+    AggregationDevice,
+    ISPNetwork,
+    ProvisioningPolicy,
+    Subscriber,
+)
+from .lan import HomeLAN, build_home_lan
+from .world import HopSpec, InfrastructureTarget, TraceroutePath, World
+
+__all__ = [
+    "AccessTechSpec",
+    "default_specs",
+    "City",
+    "COUNTRY_UTC_OFFSETS",
+    "GREATER_TOKYO",
+    "GREATER_TOKYO_NAMES",
+    "in_greater_tokyo",
+    "utc_offset_for",
+    "HomeLAN",
+    "build_home_lan",
+    "AggregationDevice",
+    "ISPNetwork",
+    "ProvisioningPolicy",
+    "Subscriber",
+    "HopSpec",
+    "InfrastructureTarget",
+    "TraceroutePath",
+    "World",
+]

@@ -1,0 +1,124 @@
+"""Access-technology specifications.
+
+Each :class:`~repro.netbase.AccessTechnology` maps to a spec bundling
+the physical characteristics the simulators need: base last-mile
+latency, measurement noise, the queueing profile of the shared
+aggregation device, and whether that device belongs to the wholesale
+legacy network (Japan's NGN reached over PPPoE — the paper's §4).
+
+The latency numbers follow the ranges reported by Bajpai et al.,
+"Dissecting Last-mile Latency Characteristics" (CCR 2017), which the
+paper cites as reference [3].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..netbase import AccessTechnology
+from ..queueing import LinkModel
+
+
+@dataclass(frozen=True)
+class AccessTechSpec:
+    """Simulation parameters for one access technology."""
+
+    technology: AccessTechnology
+    #: Range (ms) of the per-subscriber base last-mile RTT contribution
+    #: (first public hop minus last private hop, uncongested).
+    base_rtt_ms: Tuple[float, float]
+    #: Std-dev (ms) of per-reply RTT measurement noise on this medium.
+    reply_noise_ms: float
+    #: Queueing profile of the shared aggregation device.
+    link: LinkModel
+    #: Subscribers multiplexed onto one aggregation device.
+    subscribers_per_device: int
+    #: True when the aggregation device sits in the wholesale legacy
+    #: network rather than in the ISP's own infrastructure.
+    legacy_shared: bool = False
+
+    def __post_init__(self):
+        low, high = self.base_rtt_ms
+        if not 0.0 <= low <= high:
+            raise ValueError(f"bad base RTT range {self.base_rtt_ms}")
+        if self.reply_noise_ms < 0:
+            raise ValueError(f"negative noise {self.reply_noise_ms}")
+        if self.subscribers_per_device < 1:
+            raise ValueError(
+                f"bad subscribers_per_device {self.subscribers_per_device}"
+            )
+
+
+def default_specs() -> Dict[AccessTechnology, AccessTechSpec]:
+    """The standard spec table used by the scenario builders.
+
+    The legacy PPPoE BRAS gets a long service time and deep buffers —
+    the ossified carrier equipment the paper blames — while IPoE
+    gateways and ISP-owned OLTs are modern and shallow-buffered.
+    Scenario code may override any entry.
+    """
+    return {
+        AccessTechnology.FTTH_PPPOE_LEGACY: AccessTechSpec(
+            technology=AccessTechnology.FTTH_PPPOE_LEGACY,
+            base_rtt_ms=(1.0, 3.0),
+            reply_noise_ms=0.25,
+            link=LinkModel(
+                service_time_ms=0.22, scv=1.4, max_delay_ms=120.0,
+                loss_onset=0.88,
+            ),
+            subscribers_per_device=512,
+            legacy_shared=True,
+        ),
+        AccessTechnology.FTTH_IPOE_LEGACY: AccessTechSpec(
+            technology=AccessTechnology.FTTH_IPOE_LEGACY,
+            base_rtt_ms=(1.0, 3.0),
+            reply_noise_ms=0.25,
+            link=LinkModel(
+                service_time_ms=0.05, scv=1.2, max_delay_ms=40.0,
+                loss_onset=0.95,
+            ),
+            subscribers_per_device=256,
+            legacy_shared=True,
+        ),
+        AccessTechnology.FTTH_OWN: AccessTechSpec(
+            technology=AccessTechnology.FTTH_OWN,
+            base_rtt_ms=(0.8, 2.5),
+            reply_noise_ms=0.2,
+            link=LinkModel(
+                service_time_ms=0.04, scv=1.2, max_delay_ms=30.0,
+                loss_onset=0.95,
+            ),
+            subscribers_per_device=256,
+        ),
+        AccessTechnology.CABLE: AccessTechSpec(
+            technology=AccessTechnology.CABLE,
+            base_rtt_ms=(3.0, 9.0),
+            reply_noise_ms=0.6,
+            link=LinkModel(
+                service_time_ms=0.12, scv=1.3, max_delay_ms=80.0,
+                loss_onset=0.90,
+            ),
+            subscribers_per_device=300,
+        ),
+        AccessTechnology.DSL: AccessTechSpec(
+            technology=AccessTechnology.DSL,
+            base_rtt_ms=(6.0, 18.0),
+            reply_noise_ms=0.8,
+            link=LinkModel(
+                service_time_ms=0.10, scv=1.3, max_delay_ms=90.0,
+                loss_onset=0.90,
+            ),
+            subscribers_per_device=200,
+        ),
+        AccessTechnology.LTE: AccessTechSpec(
+            technology=AccessTechnology.LTE,
+            base_rtt_ms=(15.0, 40.0),
+            reply_noise_ms=3.0,
+            link=LinkModel(
+                service_time_ms=0.08, scv=1.5, max_delay_ms=150.0,
+                loss_onset=0.92,
+            ),
+            subscribers_per_device=400,
+        ),
+    }

@@ -1,0 +1,75 @@
+"""Geography helpers: country UTC offsets and city metadata.
+
+Diurnal congestion is a *local-time* phenomenon, so every AS needs a
+UTC offset.  A static table is enough: the paper's windows are short,
+and a one-hour DST error shifts a daily peak without changing the
+daily periodicity the detector keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Representative standard-time UTC offsets for the countries used by
+#: the scenarios.  Wide-area countries get their most populous zone.
+COUNTRY_UTC_OFFSETS: Dict[str, float] = {
+    "JP": 9.0, "KR": 9.0, "CN": 8.0, "TW": 8.0, "SG": 8.0, "HK": 8.0,
+    "AU": 10.0, "NZ": 12.0, "IN": 5.5, "ID": 7.0, "TH": 7.0, "VN": 7.0,
+    "RU": 3.0, "TR": 3.0, "SA": 3.0, "AE": 4.0, "IL": 2.0,
+    "DE": 1.0, "FR": 1.0, "IT": 1.0, "ES": 1.0, "NL": 1.0, "BE": 1.0,
+    "CH": 1.0, "AT": 1.0, "PL": 1.0, "SE": 1.0, "NO": 1.0, "DK": 1.0,
+    "CZ": 1.0, "HU": 1.0, "GB": 0.0, "IE": 0.0, "PT": 0.0,
+    "FI": 2.0, "GR": 2.0, "RO": 2.0, "BG": 2.0, "UA": 2.0, "ZA": 2.0,
+    "EG": 2.0, "NG": 1.0, "KE": 3.0,
+    "US": -5.0, "CA": -5.0, "MX": -6.0, "BR": -3.0, "AR": -3.0,
+    "CL": -4.0, "CO": -5.0, "PE": -5.0,
+    # Long tail monitored by the survey (98 countries in the paper).
+    "IS": 0.0, "LU": 1.0, "SI": 1.0, "SK": 1.0, "HR": 1.0, "RS": 1.0,
+    "BA": 1.0, "MK": 1.0, "AL": 1.0, "ME": 1.0, "MT": 1.0, "CY": 2.0,
+    "EE": 2.0, "LV": 2.0, "LT": 2.0, "BY": 3.0, "MD": 2.0, "GE": 4.0,
+    "AM": 4.0, "AZ": 4.0, "KZ": 5.0, "UZ": 5.0, "KG": 6.0, "MN": 8.0,
+    "PK": 5.0, "BD": 6.0, "LK": 5.5, "NP": 5.75, "MM": 6.5, "KH": 7.0,
+    "LA": 7.0, "MY": 8.0, "PH": 8.0, "BN": 8.0, "PG": 10.0, "FJ": 12.0,
+    "IR": 3.5, "IQ": 3.0, "JO": 2.0, "LB": 2.0, "SY": 2.0, "KW": 3.0,
+    "QA": 3.0, "BH": 3.0, "OM": 4.0, "YE": 3.0, "AF": 4.5,
+    "MA": 1.0, "DZ": 1.0, "TN": 1.0, "LY": 2.0, "SD": 2.0, "ET": 3.0,
+    "TZ": 3.0, "UG": 3.0, "GH": 0.0, "CI": 0.0, "SN": 0.0, "CM": 1.0,
+    "AO": 1.0, "MZ": 2.0, "ZW": 2.0, "ZM": 2.0, "BW": 2.0, "NA": 2.0,
+    "MG": 3.0, "MU": 4.0, "RW": 2.0,
+    "GT": -6.0, "HN": -6.0, "SV": -6.0, "NI": -6.0, "CR": -6.0,
+    "PA": -5.0, "DO": -4.0, "JM": -5.0, "TT": -4.0, "CU": -5.0,
+    "EC": -5.0, "BO": -4.0, "PY": -4.0, "UY": -3.0, "VE": -4.0,
+}
+
+DEFAULT_UTC_OFFSET = 0.0
+
+
+def utc_offset_for(country: str) -> float:
+    """UTC offset (hours) for a country code; 0 for unknown codes."""
+    return COUNTRY_UTC_OFFSETS.get(country, DEFAULT_UTC_OFFSET)
+
+
+@dataclass(frozen=True)
+class City:
+    """Minimal city record used for geographic probe filtering (§4)."""
+
+    name: str
+    country: str
+
+
+#: The Greater Tokyo Area as defined in the paper's §4: probes in
+#: Tokyo, Yokohama, Chiba and Saitama.
+GREATER_TOKYO: Tuple[City, ...] = (
+    City("Tokyo", "JP"),
+    City("Yokohama", "JP"),
+    City("Chiba", "JP"),
+    City("Saitama", "JP"),
+)
+
+GREATER_TOKYO_NAMES = frozenset(city.name for city in GREATER_TOKYO)
+
+
+def in_greater_tokyo(city_name: str) -> bool:
+    """True if the city is part of the paper's Greater Tokyo filter."""
+    return city_name in GREATER_TOKYO_NAMES

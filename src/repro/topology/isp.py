@@ -1,0 +1,465 @@
+"""ISP network model.
+
+An :class:`ISPNetwork` owns address space, aggregation devices and
+subscribers.  Its key behavioural knob is *provisioning*: the peak
+utilization its aggregation devices reach at the weekly demand maximum.
+Under-provisioned legacy PPPoE gateways (peak ~0.95+) produce the
+persistent diurnal queueing delay the paper detects; well-provisioned
+devices (~0.5) produce the flat signals of the paper's ISP_DE / ISP_C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..netbase import (
+    AccessTechnology,
+    AddressPool,
+    ASInfo,
+    IPAddress,
+    Prefix,
+    SubnetPool,
+)
+from ..queueing import SharedDevice
+from ..traffic import DemandSeries, ModifierStack, WeeklyDemandModel
+from .access import AccessTechSpec, default_specs
+from .geo import utc_offset_for
+from .lan import HomeLAN, build_home_lan
+
+
+@dataclass
+class AggregationDevice:
+    """One shared access concentrator (BRAS / OLT / CMTS / eNodeB pool).
+
+    ``edge_address`` is the first public IP a traceroute through this
+    device reveals.  ``announced`` mirrors the paper's observation that
+    some edge addresses never appear in BGP.  ``edge_address_v6`` is
+    the IPv6 face of the same (or, for IPoE, the newer) gateway.
+    """
+
+    name: str
+    technology: AccessTechnology
+    device: SharedDevice
+    edge_address: IPAddress
+    announced: bool
+    capacity_subscribers: int
+    subscriber_count: int = 0
+    edge_address_v6: Optional[IPAddress] = None
+    #: Alternative faces of the concentrator: PPPoE re-establishment
+    #: can land a line on a different card, changing the first public
+    #: hop a traceroute reveals.  ``edge_address`` is aliases[0].
+    edge_aliases: List[IPAddress] = field(default_factory=list)
+
+    def edge_alias(self, session_index: int) -> IPAddress:
+        """First-public-hop address for a given session generation."""
+        aliases = self.edge_aliases or [self.edge_address]
+        return aliases[session_index % len(aliases)]
+
+    @property
+    def full(self) -> bool:
+        """True when no more subscribers fit on this device."""
+        return self.subscriber_count >= self.capacity_subscribers
+
+
+@dataclass
+class Subscriber:
+    """One customer line (or datacenter host) an Atlas probe can sit on.
+
+    ``lan`` is None for datacenter hosts (Atlas anchors): their first
+    traceroute hop is already public, which is exactly why the paper
+    excludes anchors from last-mile analysis and why Appendix B uses
+    them as an uncongested control.
+    """
+
+    subscriber_id: int
+    asn: int
+    technology: AccessTechnology
+    lan: Optional[HomeLAN]
+    wan_address: IPAddress
+    ipv6_prefix: Optional[Prefix]
+    device: AggregationDevice
+    #: Uncongested last-mile RTT contribution (ms): first-public-hop
+    #: RTT minus last-private-hop RTT, excluding queueing.
+    access_rtt_ms: float
+    #: Subscriber line rate (Mbps), the throughput ceiling for CDN flows.
+    downlink_mbps: float
+    city: str = ""
+    #: Aggregation device carrying this line's IPv6 traffic (IPoE for
+    #: Japanese legacy ISPs, Appendix C); None on v4-only lines.
+    device_v6: Optional[AggregationDevice] = None
+
+    @property
+    def v6_address(self) -> Optional[IPAddress]:
+        """The line's IPv6 global address (first host of its /56)."""
+        if self.ipv6_prefix is None:
+            return None
+        return self.ipv6_prefix.address_at(1)
+
+    @property
+    def is_datacenter(self) -> bool:
+        """True for datacenter hosts (no home LAN, no last mile)."""
+        return self.lan is None
+
+
+@dataclass
+class ProvisioningPolicy:
+    """How hot each technology's aggregation devices run at peak.
+
+    ``peak_utilization`` anchors the mean; ``device_spread`` is the
+    std-dev of per-device variation, producing the probe-to-probe
+    diversity the paper observes (only a majority of probes need to be
+    congested for the AS-level median to move).
+    """
+
+    peak_utilization: Dict[AccessTechnology, float] = field(
+        default_factory=dict
+    )
+    device_spread: float = 0.02
+    default_peak: float = 0.55
+    #: Bin-to-bin lognormal load noise on each device; near-saturated
+    #: devices are sensitive to it (a 2 % load burst at rho=0.97 fills
+    #: the buffer), so heavily-loaded scenarios tune it down.
+    load_jitter_std: float = 0.02
+
+    def peak_for(self, technology: AccessTechnology) -> float:
+        """Target peak utilization for one technology."""
+        return self.peak_utilization.get(technology, self.default_peak)
+
+    def sample_device_peak(
+        self, technology: AccessTechnology, rng: np.random.Generator
+    ) -> float:
+        """Per-device peak utilization with bounded random spread.
+
+        The Gaussian draw is truncated at ±2.5σ: near saturation the
+        queueing delay is so nonlinear in utilization that an untypical
+        tail draw would dominate the whole AS signal.
+        """
+        peak = self.peak_for(technology)
+        if self.device_spread > 0:
+            draw = float(rng.normal(peak, self.device_spread))
+            bound = 2.5 * self.device_spread
+            peak = float(np.clip(draw, peak - bound, peak + bound))
+        return float(np.clip(peak, 0.0, 0.999))
+
+
+class ISPNetwork:
+    """One eyeball (or mobile) network and everything attached to it."""
+
+    def __init__(
+        self,
+        info: ASInfo,
+        customer_prefix_v4: Prefix,
+        edge_prefix_v4: Prefix,
+        customer_prefix_v6: Optional[Prefix] = None,
+        provisioning: Optional[ProvisioningPolicy] = None,
+        demand_model: Optional[WeeklyDemandModel] = None,
+        demand_modifiers: Optional[ModifierStack] = None,
+        specs: Optional[Dict[AccessTechnology, AccessTechSpec]] = None,
+        edge_announced_probability: float = 0.5,
+        core_hop_count: int = 2,
+        core_rtt_ms: float = 1.5,
+        ipv6_technology: Optional[AccessTechnology] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.info = info
+        self.utc_offset_hours = utc_offset_for(info.country)
+        self.provisioning = provisioning or ProvisioningPolicy()
+        self.demand_model = demand_model or WeeklyDemandModel.residential()
+        self.demand_modifiers = demand_modifiers or ModifierStack()
+        self.specs = specs or default_specs()
+        #: Technology carrying IPv6 traffic.  Japanese legacy ISPs run
+        #: IPv6 over IPoE while IPv4 stays on PPPoE (Appendix C); by
+        #: default IPv6 rides the same devices as IPv4.
+        self.ipv6_technology = ipv6_technology
+        self.edge_announced_probability = edge_announced_probability
+        self.core_rtt_ms = core_rtt_ms
+        self._rng = rng or np.random.default_rng()
+
+        self.customer_prefix_v4 = customer_prefix_v4
+        self.customer_prefix_v6 = customer_prefix_v6
+        self.edge_prefix_v4 = edge_prefix_v4
+        self._customer_pool = AddressPool(customer_prefix_v4)
+        self._edge_pool = AddressPool(edge_prefix_v4)
+        # IPv6 plan: the first /48 of the block is infrastructure
+        # (edge/core router addresses); customer /56s come from the
+        # upper /33 so the spaces never collide.
+        if customer_prefix_v6 is not None:
+            self._v6_infra_pool = AddressPool(
+                customer_prefix_v6.nth_subnet(48, 0)
+            )
+            self._v6_pool = SubnetPool(
+                customer_prefix_v6.nth_subnet(
+                    customer_prefix_v6.length + 1, 1
+                ),
+                56,
+            )
+        else:
+            self._v6_infra_pool = None
+            self._v6_pool = None
+
+        #: Optional cellular customer block announced by this same AS
+        #: (some operators run broadband and mobile under one ASN; the
+        #: paper filters them apart by published prefix, Appendix A).
+        self.mobile_prefix_v4: Optional[Prefix] = None
+        self._mobile_pool: Optional[AddressPool] = None
+
+        #: ISP backbone router addresses seen as hops after the edge.
+        self.core_addresses: List[IPAddress] = (
+            self._edge_pool.allocate_many(core_hop_count)
+        )
+        self.core_addresses_v6: List[IPAddress] = (
+            self._v6_infra_pool.allocate_many(core_hop_count)
+            if self._v6_infra_pool is not None else []
+        )
+
+        self.devices: List[AggregationDevice] = []
+        self.subscribers: List[Subscriber] = []
+        self._next_subscriber_id = 0
+
+    @property
+    def asn(self) -> int:
+        """Convenience accessor for the AS number."""
+        return self.info.asn
+
+    def _demand_series(self) -> DemandSeries:
+        return DemandSeries(
+            model=self.demand_model,
+            utc_offset_hours=self.utc_offset_hours,
+            modifiers=self.demand_modifiers,
+        )
+
+    def _new_device(self, technology: AccessTechnology) -> AggregationDevice:
+        spec = self.specs[technology]
+        index = sum(1 for d in self.devices if d.technology == technology)
+        peak = self.provisioning.sample_device_peak(technology, self._rng)
+        shared = SharedDevice(
+            name=f"AS{self.asn}-{technology.value}-{index}",
+            link=spec.link,
+            demand=self._demand_series(),
+            peak_utilization=peak,
+            jitter_std=self.provisioning.load_jitter_std,
+            owner_asn=0 if not spec.legacy_shared else -1,
+        )
+        aliases = self._edge_pool.allocate_many(3)
+        device = AggregationDevice(
+            name=shared.name,
+            technology=technology,
+            device=shared,
+            edge_address=aliases[0],
+            announced=bool(
+                self._rng.random() < self.edge_announced_probability
+            ),
+            capacity_subscribers=spec.subscribers_per_device,
+            edge_address_v6=(
+                self._v6_infra_pool.allocate()
+                if self._v6_infra_pool is not None else None
+            ),
+            edge_aliases=aliases,
+        )
+        self.devices.append(device)
+        return device
+
+    def _device_for(self, technology: AccessTechnology) -> AggregationDevice:
+        candidates = [
+            d for d in self.devices
+            if d.technology == technology and not d.full
+        ]
+        if not candidates:
+            return self._new_device(technology)
+        # Random placement spreads subscribers (and thus probes) over
+        # the device pool, giving the probe-to-probe congestion
+        # diversity the paper observes within one AS.
+        return candidates[int(self._rng.integers(len(candidates)))]
+
+    def attach_subscriber(
+        self,
+        technology: Optional[AccessTechnology] = None,
+        city: str = "",
+        downlink_mbps: Optional[float] = None,
+    ) -> Subscriber:
+        """Provision one subscriber line and return it.
+
+        Technology defaults to the first entry of the AS's offering.
+        """
+        if technology is None:
+            if not self.info.access_technologies:
+                raise ValueError(f"AS{self.asn} offers no access technology")
+            technology = self.info.access_technologies[0]
+        if technology not in self.specs:
+            raise KeyError(f"no spec for {technology}")
+
+        spec = self.specs[technology]
+        device = self._device_for(technology)
+        device.subscriber_count += 1
+
+        # IPv6 rides its own technology's devices when configured
+        # (IPoE for Japanese legacy ISPs, Appendix C); otherwise the
+        # same gateway carries both families.
+        device_v6: Optional[AggregationDevice] = None
+        if self._v6_pool is not None:
+            tech_v6 = self.ipv6_technology or technology
+            if tech_v6 == technology:
+                device_v6 = device
+            else:
+                device_v6 = self._device_for(tech_v6)
+                device_v6.subscriber_count += 1
+
+        lan = build_home_lan(self._rng)
+        low, high = spec.base_rtt_ms
+        access_rtt = float(self._rng.uniform(low, high))
+        if downlink_mbps is None:
+            downlink_mbps = _default_downlink(technology, self._rng)
+
+        subscriber = Subscriber(
+            subscriber_id=self._next_subscriber_id,
+            asn=self.asn,
+            technology=technology,
+            lan=lan,
+            wan_address=self._customer_pool.allocate(),
+            ipv6_prefix=(
+                self._v6_pool.allocate() if self._v6_pool is not None
+                else None
+            ),
+            device=device,
+            access_rtt_ms=access_rtt,
+            downlink_mbps=float(downlink_mbps),
+            city=city,
+            device_v6=device_v6,
+        )
+        self._next_subscriber_id += 1
+        self.subscribers.append(subscriber)
+        return subscriber
+
+    def enable_mobile_block(self, prefix: Prefix) -> None:
+        """Attach a cellular customer block to this AS.
+
+        The block is announced alongside the broadband space; its
+        addresses are what the operator's published mobile-prefix list
+        (Appendix A) would contain.
+        """
+        if self.mobile_prefix_v4 is not None:
+            raise ValueError(f"AS{self.asn} already has a mobile block")
+        self.mobile_prefix_v4 = prefix
+        self._mobile_pool = AddressPool(prefix)
+
+    def allocate_mobile_addresses(self, count: int) -> List[IPAddress]:
+        """Allocate cellular client addresses from the mobile block."""
+        if self._mobile_pool is None:
+            raise ValueError(f"AS{self.asn} has no mobile block")
+        return self._mobile_pool.allocate_many(count)
+
+    def allocate_customer_addresses(self, count: int) -> List[IPAddress]:
+        """Allocate public customer addresses (for CDN client pools).
+
+        CDN access logs cover far more customers than the simulated
+        subscriber lines; these addresses come from the same announced
+        customer block, so LPM resolves them to this AS.
+        """
+        return self._customer_pool.allocate_many(count)
+
+    def allocate_customer_v6_prefixes(self, count: int) -> List[Prefix]:
+        """Allocate customer /56s for dual-stack CDN clients."""
+        if self._v6_pool is None:
+            raise ValueError(f"AS{self.asn} has no IPv6 space")
+        return self._v6_pool.allocate_many(count)
+
+    def ensure_devices(
+        self, technology: AccessTechnology, count: int
+    ) -> List[AggregationDevice]:
+        """Make sure at least ``count`` devices of a technology exist.
+
+        Returns every device of that technology.  Used by the CDN
+        workload generator to spread synthetic clients across a
+        realistic number of aggregation devices without creating one
+        subscriber line per client.
+        """
+        existing = [
+            d for d in self.devices if d.technology == technology
+        ]
+        for _ in range(count - len(existing)):
+            existing.append(self._new_device(technology))
+        return existing
+
+    def attach_datacenter_host(self, city: str = "") -> Subscriber:
+        """Provision a datacenter-homed host (for an Atlas anchor).
+
+        The host connects straight to a well-provisioned datacenter
+        aggregation router: its first hop is a public address and it
+        sees no residential access queue — the Appendix B control case.
+        """
+        spec = self.specs[AccessTechnology.FTTH_OWN]
+        index = sum(1 for d in self.devices if d.name.endswith("-dc"))
+        shared = SharedDevice(
+            name=f"AS{self.asn}-dc-{index}-dc",
+            link=spec.link,
+            demand=DemandSeries(
+                model=self.demand_model,
+                utc_offset_hours=self.utc_offset_hours,
+            ),
+            peak_utilization=0.30,
+        )
+        device = AggregationDevice(
+            name=shared.name,
+            technology=AccessTechnology.FTTH_OWN,
+            device=shared,
+            edge_address=self._edge_pool.allocate(),
+            announced=True,
+            capacity_subscribers=10_000,
+        )
+        self.devices.append(device)
+        device.subscriber_count += 1
+
+        host = Subscriber(
+            subscriber_id=self._next_subscriber_id,
+            asn=self.asn,
+            technology=AccessTechnology.FTTH_OWN,
+            lan=None,
+            wan_address=self._customer_pool.allocate(),
+            ipv6_prefix=(
+                self._v6_pool.allocate() if self._v6_pool is not None
+                else None
+            ),
+            device=device,
+            access_rtt_ms=float(self._rng.uniform(0.1, 0.5)),
+            downlink_mbps=1000.0,
+            city=city,
+        )
+        self._next_subscriber_id += 1
+        self.subscribers.append(host)
+        return host
+
+    def announced_prefixes(self) -> List[Prefix]:
+        """Prefixes this AS originates in BGP.
+
+        The customer pool is always announced; the edge block only when
+        at least one of its devices is flagged announced (real networks
+        often leave infrastructure space dark).
+        """
+        prefixes = [self.customer_prefix_v4]
+        if self.customer_prefix_v6 is not None:
+            prefixes.append(self.customer_prefix_v6)
+        if self.mobile_prefix_v4 is not None:
+            prefixes.append(self.mobile_prefix_v4)
+        if any(d.announced for d in self.devices):
+            prefixes.append(self.edge_prefix_v4)
+        return prefixes
+
+
+def _default_downlink(
+    technology: AccessTechnology, rng: np.random.Generator
+) -> float:
+    """Plausible subscriber line rate (Mbps) per technology."""
+    if technology in (
+        AccessTechnology.FTTH_PPPOE_LEGACY,
+        AccessTechnology.FTTH_IPOE_LEGACY,
+        AccessTechnology.FTTH_OWN,
+    ):
+        return float(rng.choice([100.0, 200.0, 1000.0], p=[0.5, 0.3, 0.2]))
+    if technology == AccessTechnology.CABLE:
+        return float(rng.choice([50.0, 100.0, 300.0], p=[0.3, 0.5, 0.2]))
+    if technology == AccessTechnology.DSL:
+        return float(rng.uniform(10.0, 50.0))
+    return float(rng.uniform(30.0, 120.0))  # LTE

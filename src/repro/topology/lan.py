@@ -1,0 +1,110 @@
+"""Home LAN model.
+
+Atlas probes sit in residential LANs behind a home gateway (usually a
+NAT router).  The traceroute from a probe therefore starts with one or
+two RFC 1918 hops before the first public hop — the boundary the whole
+last-mile methodology keys on.  Paths inside the LAN are symmetric
+(the paper's stated assumption for subtraction validity), so the same
+base latency applies to both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..netbase import AddressPool, IPAddress, Prefix
+
+
+@dataclass
+class HomeLAN:
+    """One household's private network.
+
+    ``gateway_chain`` lists the private-hop addresses the traceroute
+    traverses, closest-to-probe first.  Most homes have one gateway;
+    ~15 % of deployments cascade two (ISP modem + user router), which
+    the builder models by passing two addresses.
+    """
+
+    prefix: Prefix
+    probe_address: IPAddress
+    gateway_chain: List[IPAddress]
+    #: RTT (ms) from the probe to the *last* private hop, uncongested.
+    lan_rtt_ms: float
+    #: Per-reply noise std-dev (ms); larger on Wi-Fi than Ethernet.
+    reply_noise_ms: float
+
+    def __post_init__(self):
+        if not self.gateway_chain:
+            raise ValueError("home LAN needs at least one gateway hop")
+        if self.lan_rtt_ms < 0:
+            raise ValueError(f"negative LAN RTT {self.lan_rtt_ms}")
+        if self.reply_noise_ms < 0:
+            raise ValueError(f"negative noise {self.reply_noise_ms}")
+        for addr in [self.probe_address, *self.gateway_chain]:
+            if not self.prefix.contains(addr):
+                raise ValueError(f"{addr} outside LAN prefix {self.prefix}")
+
+    @property
+    def private_hop_count(self) -> int:
+        """Number of RFC 1918 hops before the ISP edge."""
+        return len(self.gateway_chain)
+
+    @property
+    def last_private_address(self) -> IPAddress:
+        """The hop whose RTT the pipeline subtracts (§2.1)."""
+        return self.gateway_chain[-1]
+
+
+#: Prefixes housebuilders actually use, weighted roughly by occurrence.
+_COMMON_LAN_PREFIXES = (
+    ("192.168.0.0/24", 0.35),
+    ("192.168.1.0/24", 0.35),
+    ("192.168.100.0/24", 0.10),
+    ("10.0.0.0/24", 0.12),
+    ("172.16.0.0/24", 0.08),
+)
+
+
+def build_home_lan(
+    rng: np.random.Generator,
+    wifi_probability: float = 0.35,
+    double_nat_probability: float = 0.15,
+) -> HomeLAN:
+    """Sample a realistic home LAN.
+
+    Ethernet-attached probes see ~0.2–0.8 ms to the gateway with low
+    noise; Wi-Fi-attached probes see ~1–3 ms with heavier jitter.
+    Double-NAT homes add a second private hop (and a little latency).
+    """
+    texts = [t for t, _ in _COMMON_LAN_PREFIXES]
+    weights = np.array([w for _, w in _COMMON_LAN_PREFIXES])
+    prefix = Prefix.parse(texts[rng.choice(len(texts), p=weights / weights.sum())])
+
+    pool = AddressPool(prefix)
+    gateway = pool.allocate()          # .1, as real CPE does
+    chain = [gateway]
+    lan_rtt = 0.0
+    if rng.random() < double_nat_probability:
+        chain.insert(0, pool.allocate())
+        lan_rtt += float(rng.uniform(0.1, 0.4))
+    # Skip a few addresses so the probe is not adjacent to the gateway.
+    pool.allocate_many(int(rng.integers(0, 20)))
+    probe_address = pool.allocate()
+
+    if rng.random() < wifi_probability:
+        lan_rtt += float(rng.uniform(1.0, 3.0))
+        noise = float(rng.uniform(0.4, 1.2))
+    else:
+        lan_rtt += float(rng.uniform(0.2, 0.8))
+        noise = float(rng.uniform(0.05, 0.25))
+
+    return HomeLAN(
+        prefix=prefix,
+        probe_address=probe_address,
+        gateway_chain=chain,
+        lan_rtt_ms=lan_rtt,
+        reply_noise_ms=noise,
+    )

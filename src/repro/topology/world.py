@@ -1,0 +1,460 @@
+"""World assembly: ASes, address plan, routing and traceroute paths.
+
+A :class:`World` wires together the registry, the RIB, a set of
+:class:`~repro.topology.isp.ISPNetwork` instances, one or more transit
+carriers, and the measurement targets (root DNS servers and Atlas
+controllers).  It also builds the hop-by-hop path a traceroute from a
+subscriber to a target traverses — the input the Atlas engine samples
+RTTs over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..bgp import Route, RoutingTable
+from ..netbase import (
+    AccessTechnology,
+    AddressPool,
+    ASInfo,
+    ASRegistry,
+    ASRole,
+    IPAddress,
+    Prefix,
+    SubnetPool,
+)
+from ..traffic import ModifierStack, WeeklyDemandModel
+from .geo import utc_offset_for
+from .isp import ISPNetwork, ProvisioningPolicy, Subscriber
+
+
+@dataclass(frozen=True)
+class HopSpec:
+    """One hop of a traceroute path, with its RTT composition.
+
+    ``base_rtt_ms`` is the cumulative uncongested RTT from the probe to
+    this hop.  ``access_queue`` says whether packets to this hop cross
+    the subscriber's aggregation device (true from the first public hop
+    onward); ``interdomain_queue`` marks hops beyond a congested
+    transit/peering link (used by the specificity experiments — the
+    paper's contrast with persistent *inter-domain* congestion).
+    ``noise_ms`` is the per-reply measurement noise at this hop;
+    ``responds`` is False for hops that drop traceroute probes.
+    """
+
+    address: IPAddress
+    base_rtt_ms: float
+    access_queue: bool
+    noise_ms: float
+    responds: bool = True
+    private: bool = False
+    interdomain_queue: bool = False
+
+
+@dataclass(frozen=True)
+class TraceroutePath:
+    """A fixed routed path from one subscriber to one target."""
+
+    subscriber: Subscriber
+    target_address: IPAddress
+    hops: Tuple[HopSpec, ...]
+    #: Congested transit/peering device on this path, if any.
+    interdomain_device: Optional[object] = None
+    #: Aggregation device whose queue the path crosses (the v4 device
+    #: or, on IPv6 paths, the line's v6 device — IPoE for legacy ISPs).
+    access_device: Optional[object] = None
+    af: int = 4
+
+    @property
+    def hop_count(self) -> int:
+        """Number of hops including the destination."""
+        return len(self.hops)
+
+
+@dataclass
+class InfrastructureTarget:
+    """A built-in measurement destination (root DNS, Atlas controller)."""
+
+    name: str
+    address: IPAddress
+    asn: int
+    #: Coarse longitude proxy: the UTC offset of the hosting region,
+    #: used to derive a plausible propagation distance per source AS.
+    utc_offset_hours: float
+    #: Dual-stack face of the target (root servers are dual-stack).
+    address_v6: Optional[IPAddress] = None
+
+    def address_for(self, af: int) -> IPAddress:
+        """The target address of one family; raises if absent."""
+        if af == 4:
+            return self.address
+        if self.address_v6 is None:
+            raise ValueError(f"target {self.name} has no IPv6 address")
+        return self.address_v6
+
+
+class World:
+    """A complete simulated internetwork.
+
+    All randomness flows from one seed; construction order is therefore
+    deterministic, and scenario code can rebuild identical worlds.
+    """
+
+    #: Address plan: disjoint super-blocks carved into per-AS pools.
+    CUSTOMER_SUPERBLOCK = Prefix.parse("20.0.0.0/6")
+    EDGE_SUPERBLOCK = Prefix.parse("60.0.0.0/8")
+    TRANSIT_SUPERBLOCK = Prefix.parse("80.0.0.0/12")
+    INFRA_SUPERBLOCK = Prefix.parse("192.5.0.0/16")
+    V6_SUPERBLOCK = Prefix.parse("2400::/12")
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._seed_seq = np.random.SeedSequence(seed)
+        self._rng = np.random.default_rng(self._seed_seq.spawn(1)[0])
+        self.registry = ASRegistry()
+        self.table = RoutingTable()
+        self.isps: Dict[int, ISPNetwork] = {}
+        self.targets: List[InfrastructureTarget] = []
+
+        self._customer_blocks = SubnetPool(self.CUSTOMER_SUPERBLOCK, 16)
+        self._edge_blocks = SubnetPool(self.EDGE_SUPERBLOCK, 20)
+        self._v6_blocks = SubnetPool(self.V6_SUPERBLOCK, 32)
+        self._transit_pool = AddressPool(self.TRANSIT_SUPERBLOCK)
+        self._infra_pool = AddressPool(self.INFRA_SUPERBLOCK)
+        #: IPv6 faces of the transit and measurement infrastructure.
+        self._transit_pool_v6 = AddressPool(self._v6_blocks.allocate())
+        self._infra_pool_v6 = AddressPool(self._v6_blocks.allocate())
+
+        #: Cache of per-(ASN, target) transit segments so every probe
+        #: in an AS shares the same upstream path, like real routing.
+        #: Values: (v4 hops, v6 hops, propagation RTT ms).
+        self._transit_segments: Dict[
+            Tuple[int, str],
+            Tuple[Tuple[IPAddress, ...], Tuple[IPAddress, ...], float],
+        ] = {}
+        #: Congested interdomain links: (asn, target name or None for
+        #: all targets) -> SharedDevice.
+        self._interdomain: Dict[Tuple[int, Optional[str]], object] = {}
+
+        self._transit_asn = self._register_transit()
+
+    def child_rng(self) -> np.random.Generator:
+        """A fresh generator split off the world's seed sequence."""
+        return np.random.default_rng(self._seed_seq.spawn(1)[0])
+
+    # -- registration -------------------------------------------------
+
+    def _register_transit(self) -> int:
+        info = ASInfo(
+            asn=64700, name="GlobalTransit", country="US",
+            role=ASRole.TRANSIT,
+        )
+        self.registry.register(info)
+        self.table.announce(
+            Route(prefix=self.TRANSIT_SUPERBLOCK, as_path=(64700,))
+        )
+        self.table.announce(
+            Route(prefix=self._transit_pool_v6.prefix, as_path=(64700,))
+        )
+        return info.asn
+
+    def add_isp(
+        self,
+        info: ASInfo,
+        provisioning: Optional[ProvisioningPolicy] = None,
+        demand_model: Optional[WeeklyDemandModel] = None,
+        demand_modifiers: Optional[ModifierStack] = None,
+        specs=None,
+        edge_announced_probability: float = 0.5,
+        with_ipv6: bool = True,
+        ipv6_technology=None,
+    ) -> ISPNetwork:
+        """Register an eyeball/mobile AS and allocate its address plan."""
+        self.registry.register(info)
+        isp = ISPNetwork(
+            info=info,
+            customer_prefix_v4=self._customer_blocks.allocate(),
+            edge_prefix_v4=self._edge_blocks.allocate(),
+            customer_prefix_v6=(
+                self._v6_blocks.allocate() if with_ipv6 else None
+            ),
+            provisioning=provisioning,
+            demand_model=demand_model,
+            demand_modifiers=demand_modifiers,
+            specs=specs,
+            edge_announced_probability=edge_announced_probability,
+            ipv6_technology=ipv6_technology,
+            rng=self.child_rng(),
+        )
+        self.isps[info.asn] = isp
+        return isp
+
+    def attach_mobile_block(self, isp: ISPNetwork) -> None:
+        """Give an ISP a cellular customer block under its own ASN."""
+        isp.enable_mobile_block(self._customer_blocks.allocate())
+
+    def add_target(
+        self, name: str, utc_offset_hours: float, asn: int = 64800
+    ) -> InfrastructureTarget:
+        """Register a measurement destination (root server, controller)."""
+        if asn not in self.registry:
+            self.registry.register(
+                ASInfo(
+                    asn=asn, name="MeasurementInfra", country="US",
+                    role=ASRole.INFRASTRUCTURE,
+                )
+            )
+            self.table.announce(
+                Route(prefix=self.INFRA_SUPERBLOCK,
+                      as_path=(self._transit_asn, asn))
+            )
+            self.table.announce(
+                Route(prefix=self._infra_pool_v6.prefix,
+                      as_path=(self._transit_asn, asn))
+            )
+        target = InfrastructureTarget(
+            name=name,
+            address=self._infra_pool.allocate(),
+            asn=asn,
+            utc_offset_hours=utc_offset_hours,
+            address_v6=self._infra_pool_v6.allocate(),
+        )
+        self.targets.append(target)
+        return target
+
+    def add_default_targets(self) -> List[InfrastructureTarget]:
+        """Create stand-ins for the 22 Atlas built-in destinations.
+
+        13 root DNS letters plus 9 controller/random targets, spread
+        across the US, Europe and Asia like the real anycast roots.
+        """
+        offsets = [-8, -5, -5, 0, 0, 1, 1, 2, 9, 8, -5, 0, 9]
+        targets = [
+            self.add_target(f"{letter}-root", offset)
+            for letter, offset in zip("ABCDEFGHIJKLM", offsets)
+        ]
+        controller_offsets = [0, 1, -5, -8, 9, 2, 0, -5, 1]
+        targets += [
+            self.add_target(f"ctrl-{i}", controller_offsets[i])
+            for i in range(9)
+        ]
+        return targets
+
+    def finalize(self) -> None:
+        """Announce every ISP's prefixes.  Call after building ISPs."""
+        for isp in self.isps.values():
+            for prefix in isp.announced_prefixes():
+                self.table.announce(
+                    Route(prefix=prefix,
+                          as_path=(self._transit_asn, isp.asn))
+                )
+
+    def add_interdomain_congestion(
+        self,
+        asn: int,
+        device,
+        target_name: Optional[str] = None,
+    ) -> None:
+        """Mark an AS's upstream transit/peering link as congested.
+
+        ``device`` is a :class:`~repro.queueing.SharedDevice` whose
+        utilization series drives the extra queueing delay on every
+        hop past the transit ingress — the Dhamdhere-style persistent
+        inter-domain congestion the paper contrasts with.  With
+        ``target_name`` the congestion applies only to paths toward
+        that target (a congested peering toward one provider).
+        """
+        if asn not in self.isps:
+            raise KeyError(f"AS{asn} not in world")
+        self._interdomain[(asn, target_name)] = device
+
+    def _interdomain_device_for(
+        self, asn: int, target: InfrastructureTarget
+    ):
+        device = self._interdomain.get((asn, target.name))
+        if device is None:
+            device = self._interdomain.get((asn, None))
+        return device
+
+    # -- path construction ---------------------------------------------
+
+    def _transit_segment(
+        self, asn: int, target: InfrastructureTarget
+    ) -> Tuple[Tuple[IPAddress, ...], Tuple[IPAddress, ...], float]:
+        """Stable transit hops and propagation RTT for (AS, target)."""
+        key = (asn, target.name)
+        if key not in self._transit_segments:
+            isp = self.isps[asn]
+            offset_gap = abs(
+                utc_offset_for(isp.info.country) - target.utc_offset_hours
+            )
+            # ~9 ms RTT per hour of longitude gap approximates
+            # great-circle fiber distance; plus a regional floor.
+            distance_ms = 4.0 + 9.0 * offset_gap + float(
+                self._rng.uniform(0.0, 8.0)
+            )
+            hop_count = 2 if offset_gap < 4 else 3
+            hops = tuple(
+                self._transit_pool.allocate() for _ in range(hop_count)
+            )
+            hops_v6 = tuple(
+                self._transit_pool_v6.allocate()
+                for _ in range(hop_count)
+            )
+            self._transit_segments[key] = (hops, hops_v6, distance_ms)
+        return self._transit_segments[key]
+
+    def build_path(
+        self,
+        subscriber: Subscriber,
+        target: InfrastructureTarget,
+        af: int = 4,
+    ) -> TraceroutePath:
+        """The hop list a traceroute from ``subscriber`` to ``target`` sees.
+
+        Layout: LAN private hops (absent for datacenter hosts) → the
+        aggregation device's edge address (first public hop, where the
+        access queue starts applying) → ISP core hops → transit hops →
+        target.
+
+        ``af=6`` builds the IPv6 path: one ULA gateway hop, the line's
+        *v6* aggregation device (IPoE for legacy ISPs), and the v6
+        faces of core/transit/target — the substrate for the paper's
+        deferred IPv6 delay comparison.
+        """
+        if af not in (4, 6):
+            raise ValueError(f"unknown address family {af}")
+        isp = self.isps[subscriber.asn]
+        if af == 6:
+            access_device = subscriber.device_v6
+            if access_device is None or subscriber.ipv6_prefix is None:
+                raise ValueError(
+                    f"subscriber {subscriber.subscriber_id} has no IPv6"
+                )
+        else:
+            access_device = subscriber.device
+        hops: List[HopSpec] = []
+
+        if subscriber.lan is not None:
+            lan = subscriber.lan
+            if af == 4:
+                per_hop = lan.lan_rtt_ms / lan.private_hop_count
+                for index, address in enumerate(
+                    lan.gateway_chain, start=1
+                ):
+                    hops.append(
+                        HopSpec(
+                            address=address,
+                            base_rtt_ms=per_hop * index,
+                            access_queue=False,
+                            noise_ms=lan.reply_noise_ms,
+                            private=True,
+                        )
+                    )
+            else:
+                # Home CPEs answer v6 traceroutes from their ULA; one
+                # gateway hop regardless of the v4 NAT chain.
+                hops.append(
+                    HopSpec(
+                        address=_ula_gateway(subscriber.subscriber_id),
+                        base_rtt_ms=lan.lan_rtt_ms,
+                        access_queue=False,
+                        noise_ms=lan.reply_noise_ms,
+                        private=True,
+                    )
+                )
+            lan_rtt = lan.lan_rtt_ms
+            lan_noise = lan.reply_noise_ms
+        else:
+            lan_rtt = 0.0
+            lan_noise = 0.05
+
+        spec = isp.specs[access_device.technology]
+        access_noise = float(
+            np.hypot(lan_noise, spec.reply_noise_ms)
+        )
+        edge_rtt = lan_rtt + subscriber.access_rtt_ms
+        edge_address = (
+            access_device.edge_address if af == 4
+            else access_device.edge_address_v6
+        )
+        hops.append(
+            HopSpec(
+                address=edge_address,
+                base_rtt_ms=edge_rtt,
+                access_queue=True,
+                noise_ms=access_noise,
+            )
+        )
+
+        core_addresses = (
+            isp.core_addresses if af == 4 else isp.core_addresses_v6
+        )
+        core_rtt = edge_rtt
+        for core_address in core_addresses:
+            core_rtt += isp.core_rtt_ms / max(len(core_addresses), 1)
+            hops.append(
+                HopSpec(
+                    address=core_address,
+                    base_rtt_ms=core_rtt,
+                    access_queue=True,
+                    noise_ms=access_noise + 0.1,
+                )
+            )
+
+        transit_v4, transit_v6, distance_ms = self._transit_segment(
+            subscriber.asn, target
+        )
+        transit_hops = transit_v4 if af == 4 else transit_v6
+        interdomain_device = self._interdomain_device_for(
+            subscriber.asn, target
+        )
+        transit_rtt = core_rtt
+        for index, address in enumerate(transit_hops):
+            transit_rtt += distance_ms * (index + 1) / (
+                len(transit_hops) + 1
+            ) / len(transit_hops)
+            hops.append(
+                HopSpec(
+                    address=address,
+                    base_rtt_ms=transit_rtt,
+                    access_queue=True,
+                    noise_ms=access_noise + 0.3,
+                    # Some transit routers rate-limit ICMP.
+                    responds=index % 3 != 2,
+                    # The congested peering sits at the transit
+                    # ingress: every transit hop is beyond it.
+                    interdomain_queue=interdomain_device is not None,
+                )
+            )
+
+        target_address = target.address_for(af)
+        hops.append(
+            HopSpec(
+                address=target_address,
+                base_rtt_ms=core_rtt + distance_ms,
+                access_queue=True,
+                noise_ms=access_noise + 0.2,
+                interdomain_queue=interdomain_device is not None,
+            )
+        )
+        return TraceroutePath(
+            subscriber=subscriber,
+            target_address=target_address,
+            hops=tuple(hops),
+            interdomain_device=interdomain_device,
+            access_device=access_device,
+            af=af,
+        )
+
+
+#: ULA block home CPEs answer IPv6 traceroutes from.
+_ULA_BASE = Prefix.parse("fd00::/8")
+
+
+def _ula_gateway(subscriber_id: int) -> IPAddress:
+    """Deterministic per-home ULA gateway address."""
+    return IPAddress(6, _ULA_BASE.network + (subscriber_id << 16) + 1)

@@ -1,0 +1,40 @@
+"""Traffic substrate: diurnal demand profiles and demand modifiers."""
+
+from .demand import DemandSeries, offered_load
+from .diurnal import (
+    DemandBump,
+    DiurnalProfile,
+    WeeklyDemandModel,
+    business_hours,
+    flat,
+    residential_weekday,
+    residential_weekend,
+)
+from .events import (
+    DemandModifier,
+    GrowthModifier,
+    LockdownModifier,
+    ModifierStack,
+    TransientSpike,
+    WeeklyRecurringSpike,
+    hours,
+)
+
+__all__ = [
+    "DemandBump",
+    "DiurnalProfile",
+    "WeeklyDemandModel",
+    "residential_weekday",
+    "residential_weekend",
+    "business_hours",
+    "flat",
+    "DemandModifier",
+    "GrowthModifier",
+    "LockdownModifier",
+    "TransientSpike",
+    "WeeklyRecurringSpike",
+    "ModifierStack",
+    "hours",
+    "DemandSeries",
+    "offered_load",
+]

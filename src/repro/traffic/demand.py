@@ -1,0 +1,76 @@
+"""Demand series generation: profile + modifiers + grid → utilization.
+
+:class:`DemandSeries` is the handoff point between the traffic substrate
+and the queueing substrate: it yields, for one shared resource, the
+offered-load multiplier in [0, 1] at every bin of a measurement period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..timebase import TimeGrid
+from .diurnal import WeeklyDemandModel
+from .events import DemandModifier, ModifierStack
+
+
+@dataclass
+class DemandSeries:
+    """Demand for one shared resource over one measurement period."""
+
+    model: WeeklyDemandModel
+    utc_offset_hours: float = 0.0
+    modifiers: ModifierStack = field(default_factory=ModifierStack)
+
+    def evaluate(self, grid: TimeGrid) -> np.ndarray:
+        """Demand multiplier in [0, 1] at every bin center of the grid."""
+        hour = grid.local_hour_of_day(self.utc_offset_hours)
+        dow = grid.local_day_of_week(self.utc_offset_hours)
+        base = self.model.demand(hour, dow)
+        return self.modifiers.apply(grid, base, self.utc_offset_hours)
+
+    def with_modifiers(
+        self, extra: Sequence[DemandModifier]
+    ) -> "DemandSeries":
+        """A copy with additional modifiers appended."""
+        stack = ModifierStack(list(self.modifiers.modifiers) + list(extra))
+        return DemandSeries(
+            model=self.model,
+            utc_offset_hours=self.utc_offset_hours,
+            modifiers=stack,
+        )
+
+
+def offered_load(
+    series: DemandSeries,
+    grid: TimeGrid,
+    peak_utilization: float,
+    jitter_std: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Convert a demand series into per-bin utilization of a resource.
+
+    ``peak_utilization`` anchors the scenario: a value of 0.97 means
+    that at the demand model's weekly maximum the resource runs at 97 %
+    utilization — the under-provisioned-BRAS case.  A well-provisioned
+    device uses e.g. 0.5.  Optional lognormal-ish jitter adds bin-to-bin
+    load noise.  Output is clipped to [0, 0.999] so queueing formulas
+    stay finite.
+    """
+    if not 0.0 <= peak_utilization <= 1.0:
+        raise ValueError(f"peak_utilization {peak_utilization} outside [0,1]")
+    demand = series.evaluate(grid)
+    peak = series.model.peak_demand()
+    if peak <= 0:
+        return np.zeros(grid.num_bins)
+    utilization = demand * (peak_utilization / peak)
+    if jitter_std > 0.0:
+        if rng is None:
+            raise ValueError("jitter requested without an rng")
+        utilization = utilization * rng.lognormal(
+            mean=0.0, sigma=jitter_std, size=utilization.shape
+        )
+    return np.clip(utilization, 0.0, 0.999)

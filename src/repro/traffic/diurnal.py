@@ -1,0 +1,169 @@
+"""Diurnal demand profiles.
+
+Residential broadband demand follows a well-known daily rhythm: a
+night-time trough, a small morning bump, and a strong evening peak
+(roughly 19:00–23:00 local).  The paper's whole detection methodology
+rests on this rhythm — congestion driven by it shows up as the
+1/24 cycles-per-hour component in the Welch periodogram.
+
+Profiles map *local fractional hour of day* to a demand multiplier in
+[0, 1].  They are built from smooth Gaussian bumps (wrapped around
+midnight) on top of a base level, so the resulting queueing-delay
+signals contain a clean daily fundamental plus harmonics, just like
+the measured signals in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DemandBump:
+    """One smooth bump of extra demand centered at a local hour."""
+
+    center_hour: float     # local hour of day, [0, 24)
+    width_hours: float     # Gaussian sigma
+    height: float          # added demand at the center
+
+    def __post_init__(self):
+        if not 0.0 <= self.center_hour < 24.0:
+            raise ValueError(f"center {self.center_hour} outside [0,24)")
+        if self.width_hours <= 0:
+            raise ValueError(f"non-positive width {self.width_hours}")
+        if self.height < 0:
+            raise ValueError(f"negative height {self.height}")
+
+    def evaluate(self, hour: np.ndarray) -> np.ndarray:
+        """Bump value at each local hour, wrapping around midnight."""
+        # Circular distance on the 24 h clock keeps the bump smooth
+        # across midnight (late-evening peaks spill into the next day).
+        delta = np.abs(np.mod(hour - self.center_hour + 12.0, 24.0) - 12.0)
+        return self.height * np.exp(-0.5 * (delta / self.width_hours) ** 2)
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Base demand plus a set of bumps; output clipped to [0, 1]."""
+
+    base: float
+    bumps: Tuple[DemandBump, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if not 0.0 <= self.base <= 1.0:
+            raise ValueError(f"base {self.base} outside [0,1]")
+
+    def evaluate(self, hour) -> np.ndarray:
+        """Demand multiplier at each local fractional hour of day."""
+        hour = np.asarray(hour, dtype=np.float64)
+        demand = np.full_like(hour, self.base)
+        for bump in self.bumps:
+            demand = demand + bump.evaluate(hour)
+        return np.clip(demand, 0.0, 1.0)
+
+    def peak_demand(self) -> float:
+        """Maximum of the profile over a fine hour grid."""
+        grid = np.linspace(0.0, 24.0, 24 * 60, endpoint=False)
+        return float(self.evaluate(grid).max())
+
+    def scaled(self, factor: float) -> "DiurnalProfile":
+        """A copy with base and all bump heights multiplied by factor."""
+        if factor < 0:
+            raise ValueError(f"negative factor {factor}")
+        return DiurnalProfile(
+            base=min(1.0, self.base * factor),
+            bumps=tuple(
+                DemandBump(b.center_hour, b.width_hours, b.height * factor)
+                for b in self.bumps
+            ),
+        )
+
+
+def residential_weekday() -> DiurnalProfile:
+    """Typical weekday home-broadband demand: strong evening peak."""
+    return DiurnalProfile(
+        base=0.25,
+        bumps=(
+            DemandBump(center_hour=8.0, width_hours=1.5, height=0.12),
+            DemandBump(center_hour=13.0, width_hours=2.5, height=0.08),
+            DemandBump(center_hour=21.0, width_hours=2.0, height=0.55),
+        ),
+    )
+
+
+def residential_weekend() -> DiurnalProfile:
+    """Weekend demand: elevated daytime plateau plus the evening peak."""
+    return DiurnalProfile(
+        base=0.30,
+        bumps=(
+            DemandBump(center_hour=11.0, width_hours=3.5, height=0.25),
+            DemandBump(center_hour=15.0, width_hours=3.0, height=0.20),
+            DemandBump(center_hour=21.0, width_hours=2.2, height=0.50),
+        ),
+    )
+
+
+def business_hours() -> DiurnalProfile:
+    """Enterprise/datacenter demand: flat-ish 9–18 h plateau.
+
+    Used for anchors' host networks, where no evening peak exists.
+    """
+    return DiurnalProfile(
+        base=0.30,
+        bumps=(DemandBump(center_hour=13.0, width_hours=3.5, height=0.25),),
+    )
+
+
+def flat(level: float = 0.3) -> DiurnalProfile:
+    """Constant demand (control case: no diurnal component at all)."""
+    return DiurnalProfile(base=level)
+
+
+class WeeklyDemandModel:
+    """Weekday/weekend profile pair evaluated on a local-time grid.
+
+    ``demand(hour_of_day, day_of_week)`` is the multiplier in [0, 1]
+    driving link utilization in :mod:`repro.queueing`.
+    """
+
+    def __init__(self, weekday: DiurnalProfile, weekend: DiurnalProfile,
+                 weekend_days: Sequence[int] = (5, 6)):
+        self.weekday = weekday
+        self.weekend = weekend
+        self.weekend_days = frozenset(weekend_days)
+        if not all(0 <= d <= 6 for d in self.weekend_days):
+            raise ValueError(f"bad weekend days {weekend_days}")
+
+    @classmethod
+    def residential(cls) -> "WeeklyDemandModel":
+        """The default eyeball-network demand model."""
+        return cls(residential_weekday(), residential_weekend())
+
+    @classmethod
+    def uniform(cls, profile: DiurnalProfile) -> "WeeklyDemandModel":
+        """Same profile every day of the week."""
+        return cls(profile, profile, weekend_days=())
+
+    def demand(self, hour_of_day, day_of_week) -> np.ndarray:
+        """Demand multiplier for vectors of local hour and weekday."""
+        hour_of_day = np.asarray(hour_of_day, dtype=np.float64)
+        day_of_week = np.asarray(day_of_week, dtype=np.int64)
+        if hour_of_day.shape != day_of_week.shape:
+            raise ValueError(
+                f"shape mismatch {hour_of_day.shape} vs {day_of_week.shape}"
+            )
+        weekend_mask = np.isin(
+            day_of_week, np.fromiter(self.weekend_days, dtype=np.int64)
+        ) if self.weekend_days else np.zeros(day_of_week.shape, dtype=bool)
+        result = self.weekday.evaluate(hour_of_day)
+        if weekend_mask.any():
+            weekend_values = self.weekend.evaluate(hour_of_day)
+            result = np.where(weekend_mask, weekend_values, result)
+        return result
+
+    def peak_demand(self) -> float:
+        """Maximum demand across both profiles."""
+        return max(self.weekday.peak_demand(), self.weekend.peak_demand())

@@ -1,0 +1,166 @@
+"""Demand modifiers: lockdowns, transient spikes, growth.
+
+Modifiers transform a base demand series (values in [0, 1]) evaluated
+on a time grid.  They compose left-to-right through
+:class:`ModifierStack`, so a scenario can layer year-on-year growth,
+a COVID lockdown and a transient flash event on one base profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..timebase import SECONDS_PER_HOUR, TimeGrid
+
+
+class DemandModifier:
+    """Base class: transforms a demand series on a grid.
+
+    Subclasses override :meth:`apply`; the output is clipped to [0, 1]
+    by the :class:`ModifierStack`, not by each modifier, so
+    intermediate compositions do not saturate prematurely.
+    """
+
+    def apply(self, grid: TimeGrid, demand: np.ndarray,
+              utc_offset_hours: float) -> np.ndarray:
+        """Transform the per-bin demand series; subclasses override."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class GrowthModifier(DemandModifier):
+    """Uniform multiplicative traffic growth (e.g. +8 %/year)."""
+
+    factor: float
+
+    def __post_init__(self):
+        if self.factor < 0:
+            raise ValueError(f"negative growth factor {self.factor}")
+
+    def apply(self, grid, demand, utc_offset_hours):
+        """Scale the whole series by the growth factor."""
+        return demand * self.factor
+
+
+@dataclass(frozen=True)
+class LockdownModifier(DemandModifier):
+    """COVID-style lockdown: daytime demand rises toward evening levels.
+
+    The paper observes (Fig. 1, ISP_US 2020-04) that lockdown did not
+    merely raise the evening peak — it *widened* it across the daytime
+    because people were at home all day.  The boosts are *saturating*:
+    each closes a fraction of the headroom between current demand and
+    full load (``demand += boost · (1 − demand)``), so already-busy
+    hours (weekend afternoons, the evening peak itself) grow less than
+    quiet weekday daytimes — matching the observed flattening of the
+    daily profile rather than a runaway peak.
+    """
+
+    daytime_boost: float = 0.45     # headroom fraction closed 9h–19h
+    evening_boost: float = 0.15     # headroom fraction on the peak
+    plateau_start_hour: float = 9.0
+    plateau_end_hour: float = 19.0
+    ramp_hours: float = 1.5
+
+    def apply(self, grid, demand, utc_offset_hours):
+        """Raise daytime demand toward full load (saturating)."""
+        hour = grid.local_hour_of_day(utc_offset_hours)
+        # Smooth-edged plateau over the locked-down daytime.
+        rise = _smoothstep(
+            (hour - self.plateau_start_hour) / self.ramp_hours
+        )
+        fall = _smoothstep(
+            (self.plateau_end_hour - hour) / self.ramp_hours
+        )
+        plateau = rise * fall
+        evening = np.exp(-0.5 * ((hour - 21.0) / 2.0) ** 2)
+        headroom = np.clip(1.0 - demand, 0.0, None)
+        return demand + headroom * np.clip(
+            self.daytime_boost * plateau + self.evening_boost * evening,
+            0.0, 1.0,
+        )
+
+
+@dataclass(frozen=True)
+class TransientSpike(DemandModifier):
+    """A short demand burst (flash crowd, software update push).
+
+    Used by the ablation benchmarks: the paper's 30-minute median bins
+    are designed to filter out congestion lasting under ~15 minutes.
+    """
+
+    start_seconds: float
+    duration_seconds: float
+    magnitude: float
+
+    def __post_init__(self):
+        if self.duration_seconds <= 0:
+            raise ValueError(f"non-positive duration {self.duration_seconds}")
+        if self.magnitude < 0:
+            raise ValueError(f"negative magnitude {self.magnitude}")
+
+    def apply(self, grid, demand, utc_offset_hours):
+        """Add the burst to bins inside the spike window."""
+        centers = grid.bin_centers()
+        mask = (centers >= self.start_seconds) & (
+            centers < self.start_seconds + self.duration_seconds
+        )
+        return demand + np.where(mask, self.magnitude, 0.0)
+
+
+@dataclass(frozen=True)
+class WeeklyRecurringSpike(DemandModifier):
+    """A spike recurring at the same local hour on chosen weekdays.
+
+    E.g. a weekly game patch at 02:00 Wednesday — a *recurring but not
+    daily* pattern, which the frequency analysis must NOT classify as
+    persistent daily congestion.  Exercised in spectral tests.
+    """
+
+    hour_of_day: float
+    duration_hours: float
+    magnitude: float
+    days_of_week: Sequence[int] = (2,)
+
+    def apply(self, grid, demand, utc_offset_hours):
+        """Add the spike on the configured weekdays and hours."""
+        hour = grid.local_hour_of_day(utc_offset_hours)
+        dow = grid.local_day_of_week(utc_offset_hours)
+        in_window = (hour >= self.hour_of_day) & (
+            hour < self.hour_of_day + self.duration_hours
+        )
+        on_day = np.isin(dow, np.asarray(list(self.days_of_week)))
+        return demand + np.where(in_window & on_day, self.magnitude, 0.0)
+
+
+class ModifierStack:
+    """An ordered list of modifiers applied to a base series."""
+
+    def __init__(self, modifiers: Sequence[DemandModifier] = ()):
+        self.modifiers = list(modifiers)
+
+    def append(self, modifier: DemandModifier) -> None:
+        """Add a modifier at the end of the stack."""
+        self.modifiers.append(modifier)
+
+    def apply(self, grid: TimeGrid, demand: np.ndarray,
+              utc_offset_hours: float = 0.0) -> np.ndarray:
+        """Run every modifier in order, then clip to [0, 1]."""
+        result = np.asarray(demand, dtype=np.float64)
+        for modifier in self.modifiers:
+            result = modifier.apply(grid, result, utc_offset_hours)
+        return np.clip(result, 0.0, 1.0)
+
+
+def _smoothstep(x: np.ndarray) -> np.ndarray:
+    """Cubic smoothstep clamped to [0, 1]."""
+    x = np.clip(x, 0.0, 1.0)
+    return x * x * (3.0 - 2.0 * x)
+
+
+def hours(value: float) -> float:
+    """Convenience: hours → seconds, for TransientSpike parameters."""
+    return value * SECONDS_PER_HOUR

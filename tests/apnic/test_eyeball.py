@@ -1,0 +1,114 @@
+"""Tests for the APNIC-style eyeball ranking substrate."""
+
+import numpy as np
+import pytest
+
+from repro.apnic import (
+    EyeballRanking,
+    RANK_BUCKETS,
+    bucket_for_rank,
+    zipf_user_counts,
+)
+from repro.netbase import ASInfo, ASRegistry, ASRole
+
+
+def registry_with_subscribers(counts):
+    registry = ASRegistry()
+    for index, users in enumerate(counts):
+        registry.register(ASInfo(
+            asn=64500 + index, name=f"ISP{index}",
+            country="JP" if index % 2 == 0 else "US",
+            role=ASRole.EYEBALL, subscribers=users,
+        ))
+    return registry
+
+
+class TestBuckets:
+    def test_boundaries(self):
+        assert bucket_for_rank(1) == "1 to 10"
+        assert bucket_for_rank(10) == "1 to 10"
+        assert bucket_for_rank(11) == "11 to 100"
+        assert bucket_for_rank(100) == "11 to 100"
+        assert bucket_for_rank(101) == "101 to 1k"
+        assert bucket_for_rank(1000) == "101 to 1k"
+        assert bucket_for_rank(1001) == "1k to 10k"
+        assert bucket_for_rank(10_000) == "1k to 10k"
+        assert bucket_for_rank(10_001) == "more than 10k"
+
+    def test_rank_zero_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_for_rank(0)
+
+    def test_buckets_cover_figure_4(self):
+        labels = [label for label, _ in RANK_BUCKETS]
+        assert labels == [
+            "1 to 10", "11 to 100", "101 to 1k", "1k to 10k",
+            "more than 10k",
+        ]
+
+
+class TestEyeballRanking:
+    def test_ranks_by_users(self):
+        registry = registry_with_subscribers([100, 10_000, 1_000])
+        ranking = EyeballRanking.from_registry(registry)
+        assert ranking.rank_of(64501) == 1   # 10k users
+        assert ranking.rank_of(64502) == 2
+        assert ranking.rank_of(64500) == 3
+
+    def test_country_ranks(self):
+        registry = registry_with_subscribers([100, 10_000, 1_000, 500])
+        ranking = EyeballRanking.from_registry(registry)
+        # JP ASes: 64500 (100), 64502 (1000) -> 64502 is JP #1.
+        assert ranking.get(64502).country_rank == 1
+        assert ranking.get(64500).country_rank == 2
+
+    def test_unranked_as(self):
+        ranking = EyeballRanking.from_registry(registry_with_subscribers([10]))
+        assert ranking.get(99999) is None
+        assert ranking.rank_of(99999) is None
+        assert ranking.bucket_of(99999) is None
+
+    def test_zero_subscriber_as_excluded(self):
+        registry = registry_with_subscribers([0, 100])
+        ranking = EyeballRanking.from_registry(registry)
+        assert 64500 not in ranking
+        assert 64501 in ranking
+
+    def test_rank_offset(self):
+        registry = registry_with_subscribers([100, 200])
+        ranking = EyeballRanking.from_registry(registry, rank_offset=50)
+        assert ranking.rank_of(64501) == 51
+        assert ranking.bucket_of(64501) == "11 to 100"
+
+    def test_estimation_noise_reproducible(self):
+        registry = registry_with_subscribers([100, 200, 300])
+        a = EyeballRanking.from_registry(
+            registry, rng=np.random.default_rng(1)
+        )
+        b = EyeballRanking.from_registry(
+            registry, rng=np.random.default_rng(1)
+        )
+        assert all(
+            a.get(asn).users == b.get(asn).users
+            for asn in (64500, 64501, 64502)
+        )
+
+    def test_top(self):
+        registry = registry_with_subscribers([100, 10_000, 1_000, 5_000])
+        ranking = EyeballRanking.from_registry(registry)
+        top2 = ranking.top(2)
+        assert [e.asn for e in top2] == [64501, 64503]
+        top_jp = ranking.top(1, country="JP")
+        assert top_jp[0].asn == 64502
+
+
+class TestZipf:
+    def test_skewed_distribution(self):
+        users = zipf_user_counts(100, np.random.default_rng(0))
+        assert len(users) == 100
+        assert max(users) > 100 * min(users)
+        assert min(users) >= 2_000
+
+    def test_needs_positive_count(self):
+        with pytest.raises(ValueError):
+            zipf_user_counts(0, np.random.default_rng(0))

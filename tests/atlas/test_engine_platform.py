@@ -1,0 +1,202 @@
+"""Tests for the traceroute engine and platform orchestration."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.atlas import AtlasPlatform, ProbeVersion
+from repro.atlas.probe import Interval
+from repro.netbase import AccessTechnology, ASInfo, ASRole, is_rfc1918, parse_address
+from repro.timebase import MeasurementPeriod, TimeGrid
+from repro.topology import ProvisioningPolicy, World
+
+SHORT_PERIOD = MeasurementPeriod("short", dt.datetime(2019, 9, 2), 1)
+
+
+def build_platform(peak=0.95, seed=0, country="JP"):
+    world = World(seed=seed)
+    isp = world.add_isp(
+        ASInfo(
+            64500, "ISP", country, ASRole.EYEBALL,
+            access_technologies=[AccessTechnology.FTTH_PPPOE_LEGACY],
+        ),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={AccessTechnology.FTTH_PPPOE_LEGACY: peak}
+        ),
+    )
+    world.add_default_targets()
+    world.finalize()
+    platform = AtlasPlatform(world)
+    return world, isp, platform
+
+
+class TestFullFidelity:
+    def test_dataset_shape(self):
+        _, isp, platform = build_platform()
+        probes = platform.deploy_probes_on_isp(
+            isp, 2, version=ProbeVersion.V3
+        )
+        # Suppress outages for a deterministic count.
+        platform.config.outage_rate_per_day = 0.0
+        dataset = platform.run_period(SHORT_PERIOD, probes)
+        # 48 bins/day x 24 traceroutes x 2 probes.
+        assert len(dataset) == 48 * 24 * 2
+        assert dataset.probe_ids() == [p.probe_id for p in probes]
+
+    def test_traceroute_structure(self):
+        _, isp, platform = build_platform()
+        probes = platform.deploy_probes_on_isp(
+            isp, 1, version=ProbeVersion.V3
+        )
+        dataset = platform.run_period(SHORT_PERIOD, probes)
+        result = dataset.for_probe(probes[0].probe_id)[0]
+        sub = probes[0].subscriber
+
+        # First hop(s) private, then the device edge address.
+        first = result.hops[0]
+        assert is_rfc1918(parse_address(first.responding_address)[0])
+        addresses = [h.responding_address for h in result.hops]
+        assert str(sub.device.edge_address) in addresses
+        assert result.from_address == str(sub.wan_address)
+        assert result.dst_address == result.hops[-1].responding_address
+
+    def test_rtts_grow_along_path(self):
+        _, isp, platform = build_platform(peak=0.4)
+        probes = platform.deploy_probes_on_isp(
+            isp, 1, version=ProbeVersion.V3
+        )
+        dataset = platform.run_period(SHORT_PERIOD, probes)
+        result = dataset.for_probe(probes[0].probe_id)[0]
+        first_rtts = result.hops[0].rtts
+        last_rtts = result.hops[-1].rtts
+        assert np.median(last_rtts) > np.median(first_rtts)
+
+    def test_offline_probe_produces_nothing(self):
+        _, isp, platform = build_platform()
+        probes = platform.deploy_probes_on_isp(
+            isp, 1, version=ProbeVersion.V3
+        )
+        dataset = platform.run_period(SHORT_PERIOD, probes)
+        probe = probes[0]
+        # Manually force a full-period outage and re-run.
+        probe.outages = [Interval(0.0, SHORT_PERIOD.duration_seconds)]
+        from repro.atlas.engine import TracerouteEngine
+
+        engine = TracerouteEngine(
+            platform.world, TimeGrid(SHORT_PERIOD)
+        )
+        target = platform.world.targets[0]
+        assert engine.measure(probe, target, 100.0, 5001) is None
+        assert len(dataset) > 0  # original run unaffected
+
+    def test_nonresponding_transit_hops_time_out(self):
+        _, isp, platform = build_platform()
+        probes = platform.deploy_probes_on_isp(
+            isp, 1, version=ProbeVersion.V3
+        )
+        dataset = platform.run_period(SHORT_PERIOD, probes)
+        results = dataset.for_probe(probes[0].probe_id)
+        star_hops = [
+            h for r in results for h in r.hops
+            if h.responding_address is None
+        ]
+        assert star_hops  # the rate-limited transit hop never answers
+
+
+class TestBinnedFidelity:
+    def test_series_shape_and_counts(self):
+        _, isp, platform = build_platform()
+        platform.config.outage_rate_per_day = 0.0
+        probes = platform.deploy_probes_on_isp(
+            isp, 3, version=ProbeVersion.V3
+        )
+        dataset = platform.run_period_binned(SHORT_PERIOD, probes)
+        assert len(dataset) == 3
+        for prb_id in dataset.probe_ids():
+            series = dataset.series[prb_id]
+            assert series.num_bins == 48
+            assert np.all(series.traceroute_counts == 24)
+            assert not np.any(np.isnan(series.median_rtt_ms))
+
+    def test_congested_probe_shows_diurnal_medians(self):
+        _, isp, platform = build_platform(peak=0.97)
+        platform.config.outage_rate_per_day = 0.0
+        probes = platform.deploy_probes_on_isp(
+            isp, 1, version=ProbeVersion.V3
+        )
+        period = MeasurementPeriod("week", dt.datetime(2019, 9, 2), 7)
+        dataset = platform.run_period_binned(period, probes)
+        series = dataset.series[probes[0].probe_id]
+        daily = series.median_rtt_ms.reshape(7, 48)
+        swing = daily.max(axis=1) - daily.min(axis=1)
+        assert np.all(swing > 1.0)
+
+    def test_outage_bins_flagged(self):
+        _, isp, platform = build_platform()
+        platform.config.outage_rate_per_day = 3.0  # force outages
+        probes = platform.deploy_probes_on_isp(
+            isp, 5, version=ProbeVersion.V3
+        )
+        dataset = platform.run_period_binned(SHORT_PERIOD, probes)
+        total_low = sum(
+            int((dataset.series[p].traceroute_counts < 3).sum())
+            for p in dataset.probe_ids()
+        )
+        assert total_low > 0
+
+    def test_anchor_series_has_no_lan_baseline(self):
+        _, isp, platform = build_platform()
+        platform.config.outage_rate_per_day = 0.0
+        anchor = platform.deploy_anchor(isp)
+        dataset = platform.run_period_binned(SHORT_PERIOD, [anchor])
+        series = dataset.series[anchor.probe_id]
+        # Anchor medians ~ its (tiny) access RTT; well under 1 ms.
+        assert np.nanmedian(series.median_rtt_ms) < 1.0
+
+    def test_probe_meta_populated(self):
+        _, isp, platform = build_platform()
+        probes = platform.deploy_probes_on_isp(isp, 1, city="Tokyo")
+        dataset = platform.run_period_binned(SHORT_PERIOD, probes)
+        meta = dataset.probe_meta[probes[0].probe_id]
+        assert meta.asn == 64500
+        assert meta.city == "Tokyo"
+        assert not meta.is_anchor
+
+
+class TestDeployment:
+    def test_probe_ids_sequential(self):
+        _, isp, platform = build_platform()
+        probes = platform.deploy_probes_on_isp(isp, 3)
+        ids = [p.probe_id for p in probes]
+        assert ids == [10000, 10001, 10002]
+
+    def test_version_mix(self):
+        _, isp, platform = build_platform()
+        probes = platform.deploy_probes_on_isp(isp, 300)
+        versions = [p.version for p in probes]
+        assert versions.count(ProbeVersion.V3) > versions.count(
+            ProbeVersion.V1
+        )
+        assert ProbeVersion.V1 in versions
+
+    def test_probes_in_asn(self):
+        world, isp, platform = build_platform()
+        other = world.add_isp(
+            ASInfo(
+                64501, "Other", "JP", ASRole.EYEBALL,
+                access_technologies=[AccessTechnology.FTTH_OWN],
+            )
+        )
+        platform.deploy_probes_on_isp(isp, 2)
+        platform.deploy_probes_on_isp(other, 3)
+        assert len(platform.probes_in_asn(64500)) == 2
+        assert len(platform.probes_in_asn(64501)) == 3
+
+    def test_preparation_deterministic(self):
+        _, isp, platform = build_platform()
+        probe = platform.deploy_probes_on_isp(isp, 1)[0]
+        platform._prepare_probe(probe, SHORT_PERIOD)
+        outages_a = list(probe.outages)
+        platform._prepare_probe(probe, SHORT_PERIOD)
+        assert probe.outages == outages_a

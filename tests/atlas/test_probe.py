@@ -1,0 +1,155 @@
+"""Tests for probe models, outages and interference."""
+
+import numpy as np
+import pytest
+
+from repro.atlas import (
+    Interval,
+    Probe,
+    ProbeVersion,
+    sample_interference,
+    sample_outages,
+)
+from repro.netbase import AccessTechnology, ASInfo, ASRole
+from repro.topology import ProvisioningPolicy, World
+
+
+def make_isp(seed=0):
+    world = World(seed=seed)
+    isp = world.add_isp(
+        ASInfo(
+            64500, "ISP", "JP", ASRole.EYEBALL,
+            access_technologies=[AccessTechnology.FTTH_PPPOE_LEGACY],
+        ),
+        provisioning=ProvisioningPolicy(),
+    )
+    return world, isp
+
+
+class TestInterval:
+    def test_contains_half_open(self):
+        interval = Interval(10.0, 20.0)
+        assert interval.contains(10.0)
+        assert interval.contains(19.99)
+        assert not interval.contains(20.0)
+        assert not interval.contains(9.99)
+
+    def test_duration(self):
+        assert Interval(5.0, 8.0).duration == 3.0
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            Interval(10.0, 5.0)
+
+
+class TestProbeVersion:
+    def test_noise_multipliers_ordered(self):
+        assert ProbeVersion.V1.noise_multiplier > (
+            ProbeVersion.V2.noise_multiplier
+        ) > ProbeVersion.V3.noise_multiplier
+
+    def test_v1_interferes_most(self):
+        assert ProbeVersion.V1.interference_rate_per_day > (
+            ProbeVersion.V3.interference_rate_per_day
+        )
+        assert ProbeVersion.ANCHOR.interference_rate_per_day == 0.0
+
+
+class TestProbe:
+    def test_home_probe(self):
+        _, isp = make_isp()
+        probe = Probe(
+            probe_id=1, subscriber=isp.attach_subscriber(),
+            version=ProbeVersion.V3,
+        )
+        assert not probe.is_anchor
+        assert probe.asn == 64500
+
+    def test_anchor_requires_datacenter(self):
+        _, isp = make_isp()
+        with pytest.raises(ValueError):
+            Probe(
+                probe_id=1, subscriber=isp.attach_subscriber(),
+                version=ProbeVersion.ANCHOR,
+            )
+        anchor = Probe(
+            probe_id=2, subscriber=isp.attach_datacenter_host(),
+            version=ProbeVersion.ANCHOR,
+        )
+        assert anchor.is_anchor
+
+    def test_connected_at_respects_outages(self):
+        _, isp = make_isp()
+        probe = Probe(
+            probe_id=1, subscriber=isp.attach_subscriber(),
+            version=ProbeVersion.V3,
+            outages=[Interval(100.0, 200.0)],
+        )
+        assert probe.connected_at(50.0)
+        assert not probe.connected_at(150.0)
+        assert probe.connected_at(200.0)
+
+    def test_interference_sums_overlapping_episodes(self):
+        _, isp = make_isp()
+        probe = Probe(
+            probe_id=1, subscriber=isp.attach_subscriber(),
+            version=ProbeVersion.V1,
+            interference=[
+                (Interval(0.0, 100.0), 10.0),
+                (Interval(50.0, 150.0), 5.0),
+            ],
+        )
+        assert probe.interference_at(75.0) == 15.0
+        assert probe.interference_at(125.0) == 5.0
+        assert probe.interference_at(200.0) == 0.0
+
+    def test_negative_probe_id_rejected(self):
+        _, isp = make_isp()
+        with pytest.raises(ValueError):
+            Probe(
+                probe_id=-1, subscriber=isp.attach_subscriber(),
+                version=ProbeVersion.V3,
+            )
+
+
+class TestSampling:
+    def test_outages_within_period(self):
+        rng = np.random.default_rng(0)
+        duration = 15 * 86400.0
+        outages = sample_outages(rng, duration, outage_rate_per_day=2.0)
+        assert outages
+        for outage in outages:
+            assert 0.0 <= outage.start <= duration
+            assert outage.end <= duration
+        starts = [o.start for o in outages]
+        assert starts == sorted(starts)
+
+    def test_low_rate_often_yields_no_outage(self):
+        rng = np.random.default_rng(1)
+        empty = sum(
+            1 for _ in range(100)
+            if not sample_outages(rng, 86400.0, outage_rate_per_day=0.05)
+        )
+        assert empty > 80
+
+    def test_interference_rate_depends_on_version(self):
+        duration = 15 * 86400.0
+        v1 = [
+            len(sample_interference(
+                np.random.default_rng(i), duration, ProbeVersion.V1
+            ))
+            for i in range(50)
+        ]
+        v3 = [
+            len(sample_interference(
+                np.random.default_rng(i + 1000), duration, ProbeVersion.V3
+            ))
+            for i in range(50)
+        ]
+        assert np.mean(v1) > 3 * np.mean(v3)
+
+    def test_anchor_never_interferes(self):
+        episodes = sample_interference(
+            np.random.default_rng(0), 15 * 86400.0, ProbeVersion.ANCHOR
+        )
+        assert episodes == []

@@ -1,0 +1,87 @@
+"""Tests for the built-in measurement schedule."""
+
+import pytest
+
+from repro.atlas import BuiltinSchedule, TRACEROUTES_PER_BIN
+from repro.atlas.measurements import FIFTEEN_MIN, THIRTY_MIN, BuiltinMeasurement
+from repro.topology import World
+
+
+def make_schedule():
+    world = World(seed=0)
+    targets = world.add_default_targets()
+    return BuiltinSchedule(targets), targets
+
+
+class TestBuiltinSchedule:
+    def test_paper_arithmetic_24_per_bin(self):
+        """§2.1: every 30 minutes we obtain 24 traceroutes."""
+        schedule, _ = make_schedule()
+        assert schedule.traceroutes_per_bin == 24
+        assert schedule.traceroutes_per_bin == TRACEROUTES_PER_BIN
+
+    def test_twenty_two_measurements(self):
+        schedule, _ = make_schedule()
+        assert len(schedule.measurements) == 22
+        thirty = [m for m in schedule.measurements
+                  if m.interval_seconds == THIRTY_MIN]
+        fifteen = [m for m in schedule.measurements
+                   if m.interval_seconds == FIFTEEN_MIN]
+        assert len(thirty) == 20
+        assert len(fifteen) == 2
+
+    def test_events_per_bin_count(self):
+        schedule, _ = make_schedule()
+        events = list(schedule.events_for_bin(10001, 0.0))
+        assert len(events) == 24
+        events = list(schedule.events_for_bin(10001, 1800.0 * 7))
+        assert len(events) == 24
+
+    def test_events_inside_bin(self):
+        schedule, _ = make_schedule()
+        start = 3600.0
+        for t, _measurement in schedule.events_for_bin(10001, start):
+            assert start <= t < start + 1800.0
+
+    def test_phase_stable_per_probe_and_msm(self):
+        schedule, _ = make_schedule()
+        a = schedule.phase_offset(10001, 5001)
+        b = schedule.phase_offset(10001, 5001)
+        assert a == b
+        assert 0 <= a < THIRTY_MIN
+
+    def test_phases_spread_across_probes(self):
+        schedule, _ = make_schedule()
+        offsets = {schedule.phase_offset(prb, 5001)
+                   for prb in range(10000, 10100)}
+        assert len(offsets) > 50
+
+    def test_fifteen_minute_measurement_fires_twice(self):
+        schedule, _ = make_schedule()
+        fifteen_ids = {m.msm_id for m in schedule.measurements
+                       if m.interval_seconds == FIFTEEN_MIN}
+        events = list(schedule.events_for_bin(10001, 0.0))
+        counts = {}
+        for _t, measurement in events:
+            counts[measurement.msm_id] = counts.get(
+                measurement.msm_id, 0
+            ) + 1
+        for msm_id, count in counts.items():
+            assert count == (2 if msm_id in fifteen_ids else 1)
+
+    def test_needs_three_targets(self):
+        world = World(seed=1)
+        targets = [world.add_target("a", 0.0), world.add_target("b", 1.0)]
+        with pytest.raises(ValueError):
+            BuiltinSchedule(targets)
+
+    def test_unknown_msm_id(self):
+        schedule, _ = make_schedule()
+        with pytest.raises(KeyError):
+            schedule.phase_offset(10001, 9999)
+
+    def test_bad_interval_rejected(self):
+        world = World(seed=2)
+        target = world.add_target("x", 0.0)
+        with pytest.raises(ValueError):
+            BuiltinMeasurement(msm_id=1, target=target, interval_seconds=60)

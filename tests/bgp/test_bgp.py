@@ -1,0 +1,127 @@
+"""Tests for the BGP substrate (routes + routing table)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bgp import Route, RoutingTable
+from repro.netbase import Prefix, parse_ipv4, parse_ipv6
+
+
+def table_with(*entries):
+    table = RoutingTable()
+    for text, origin in entries:
+        table.announce_prefix(Prefix.parse(text), origin)
+    return table
+
+
+class TestRoute:
+    def test_origin_from_path(self):
+        route = Route(Prefix.parse("10.0.0.0/8"), as_path=(1, 2, 3))
+        assert route.origin_asn == 3
+
+    def test_origin_only(self):
+        route = Route(Prefix.parse("10.0.0.0/8"), origin_asn=7)
+        assert route.origin_asn == 7
+
+    def test_conflicting_origin_rejected(self):
+        with pytest.raises(ValueError):
+            Route(Prefix.parse("10.0.0.0/8"), as_path=(1, 2), origin_asn=9)
+
+    def test_needs_path_or_origin(self):
+        with pytest.raises(ValueError):
+            Route(Prefix.parse("10.0.0.0/8"))
+
+    def test_path_length_collapses_prepending(self):
+        route = Route(
+            Prefix.parse("10.0.0.0/8"), as_path=(1, 1, 1, 2, 3, 3)
+        )
+        assert route.path_length == 3
+
+    def test_str(self):
+        route = Route(Prefix.parse("10.0.0.0/8"), as_path=(1, 2))
+        assert str(route) == "10.0.0.0/8 [1 2]"
+
+
+class TestRoutingTable:
+    def test_resolve_longest_match(self):
+        table = table_with(("10.0.0.0/8", 100), ("10.1.0.0/16", 200))
+        assert table.resolve_asn(parse_ipv4("10.1.0.1"), 4) == 200
+        assert table.resolve_asn(parse_ipv4("10.2.0.1"), 4) == 100
+
+    def test_unannounced_space_resolves_to_none(self):
+        """The paper: some ISP edge IPs are not announced on BGP."""
+        table = table_with(("203.0.0.0/12", 100))
+        assert table.resolve_asn(parse_ipv4("8.8.8.8"), 4) is None
+        assert not table.is_announced(parse_ipv4("8.8.8.8"), 4)
+
+    def test_dual_stack(self):
+        table = RoutingTable()
+        table.announce_prefix(Prefix.parse("2400:8900::/32"), 2497)
+        table.announce_prefix(Prefix.parse("202.232.0.0/16"), 2497)
+        assert table.resolve_asn(parse_ipv6("2400:8900::1"), 6) == 2497
+        assert table.resolve_asn(parse_ipv4("202.232.0.1"), 4) == 2497
+        assert table.resolve_asn(parse_ipv6("2400:8901::1"), 6) is None
+
+    def test_withdraw(self):
+        table = table_with(("10.0.0.0/8", 100))
+        assert table.withdraw(Prefix.parse("10.0.0.0/8"))
+        assert table.resolve_asn(parse_ipv4("10.0.0.1"), 4) is None
+        assert not table.withdraw(Prefix.parse("10.0.0.0/8"))
+
+    def test_replacement(self):
+        table = table_with(("10.0.0.0/8", 100))
+        table.announce_prefix(Prefix.parse("10.0.0.0/8"), 999)
+        assert len(table) == 1
+        assert table.resolve_asn(parse_ipv4("10.0.0.1"), 4) == 999
+
+    def test_routes_by_origin(self):
+        table = table_with(
+            ("10.0.0.0/8", 100), ("11.0.0.0/8", 200), ("12.0.0.0/8", 100)
+        )
+        prefixes = [str(r.prefix) for r in table.routes_by_origin(100)]
+        assert prefixes == ["10.0.0.0/8", "12.0.0.0/8"]
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        table = RoutingTable()
+        table.announce(Route(Prefix.parse("10.0.0.0/8"), as_path=(1, 2)))
+        table.announce(Route(Prefix.parse("2400:8900::/32"), as_path=(3,)))
+        text = table.to_text()
+        restored = RoutingTable.from_text(text)
+        assert restored.to_text() == text
+        assert restored.resolve_asn(parse_ipv4("10.0.0.1"), 4) == 2
+
+    def test_comments_and_blanks_ignored(self):
+        table = RoutingTable.from_text(
+            "# RIB dump\n\n10.0.0.0/8|1 2\n"
+        )
+        assert len(table) == 1
+
+    def test_malformed_lines_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            RoutingTable.from_text("10.0.0.0/8")
+        with pytest.raises(ValueError, match="empty AS path"):
+            RoutingTable.from_text("10.0.0.0/8|")
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=8, max_value=28),
+                st.integers(min_value=1, max_value=65000),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_roundtrip_property(self, entries):
+        from repro.netbase import IPAddress
+
+        table = RoutingTable()
+        for addr, length, asn in entries:
+            prefix = Prefix.containing(IPAddress(4, addr), length)
+            table.announce_prefix(prefix, asn)
+        restored = RoutingTable.from_text(table.to_text())
+        assert restored.to_text() == table.to_text()

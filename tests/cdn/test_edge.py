@@ -1,0 +1,169 @@
+"""Tests for the CDN edge workload generator."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.cdn import CDNConfig, CDNEdge
+from repro.netbase import AccessTechnology, ASInfo, ASRole
+from repro.timebase import MeasurementPeriod, TimeGrid
+from repro.topology import ProvisioningPolicy, World
+
+PERIOD = MeasurementPeriod("cdn-test", dt.datetime(2019, 9, 19), 2)
+
+
+def build_world():
+    world = World(seed=11)
+    legacy = world.add_isp(
+        ASInfo(
+            64501, "LegacyISP", "JP", ASRole.EYEBALL,
+            access_technologies=[AccessTechnology.FTTH_PPPOE_LEGACY],
+        ),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={
+                AccessTechnology.FTTH_PPPOE_LEGACY: 0.97,
+                AccessTechnology.FTTH_IPOE_LEGACY: 0.60,
+            }
+        ),
+        ipv6_technology=AccessTechnology.FTTH_IPOE_LEGACY,
+    )
+    own = world.add_isp(
+        ASInfo(
+            64502, "OwnFiber", "JP", ASRole.EYEBALL,
+            access_technologies=[AccessTechnology.FTTH_OWN],
+        ),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={AccessTechnology.FTTH_OWN: 0.5}
+        ),
+    )
+    world.finalize()
+    return world, legacy, own
+
+
+def make_edge(world, seed=5):
+    return CDNEdge(rng=np.random.default_rng(seed))
+
+
+class TestClientProvisioning:
+    def test_add_clients(self):
+        world, legacy, _ = build_world()
+        edge = make_edge(world)
+        added = edge.add_clients(legacy, 200)
+        assert added == 200
+        assert edge.total_clients == 200
+        # Devices interned for both PPPoE (v4) and IPoE (v6).
+        techs = {d.technology for d in edge.devices}
+        assert AccessTechnology.FTTH_PPPOE_LEGACY in techs
+        assert AccessTechnology.FTTH_IPOE_LEGACY in techs
+
+    def test_rejects_bad_count(self):
+        world, legacy, _ = build_world()
+        with pytest.raises(ValueError):
+            make_edge(world).add_clients(legacy, 0)
+
+    def test_client_addresses_from_customer_block(self):
+        world, legacy, _ = build_world()
+        edge = make_edge(world)
+        edge.add_clients(legacy, 50)
+        pool = edge._pools[0]
+        for value in pool.v4_values:
+            assert legacy.customer_prefix_v4.contains_value(value, 4)
+
+    def test_dual_stack_fraction(self):
+        world, legacy, _ = build_world()
+        edge = make_edge(world)
+        edge.add_clients(legacy, 400, dual_stack_fraction=0.5)
+        share = edge._pools[0].has_v6.mean()
+        assert 0.35 < share < 0.65
+
+
+class TestLogGeneration:
+    def test_volume_roughly_matches_rate(self):
+        world, legacy, _ = build_world()
+        edge = make_edge(world)
+        edge.add_clients(legacy, 300)
+        logs = edge.generate(PERIOD)
+        expected = 300 * edge.config.requests_per_client_per_day * 2
+        assert 0.5 * expected < len(logs) < 1.5 * expected
+
+    def test_requests_follow_diurnal_demand(self):
+        world, legacy, _ = build_world()
+        edge = make_edge(world)
+        edge.add_clients(legacy, 500)
+        logs = edge.generate(PERIOD)
+        grid = TimeGrid(PERIOD, 900)
+        bins = grid.bin_index(logs.timestamps)
+        counts = np.bincount(bins, minlength=grid.num_bins)
+        hour = grid.local_hour_of_day(9.0)  # JST
+        evening = counts[(hour >= 19) & (hour <= 23)].mean()
+        night = counts[(hour >= 2) & (hour <= 6)].mean()
+        assert evening > 1.5 * night
+
+    def test_v6_requests_present_for_dual_stack(self):
+        world, legacy, _ = build_world()
+        edge = make_edge(world)
+        edge.add_clients(legacy, 300, dual_stack_fraction=0.5)
+        logs = edge.generate(PERIOD)
+        assert (logs.afs == 6).sum() > 0
+        assert (logs.afs == 4).sum() > 0
+
+    def test_cache_hit_rate(self):
+        world, legacy, _ = build_world()
+        edge = make_edge(world)
+        edge.add_clients(legacy, 300)
+        logs = edge.generate(PERIOD)
+        assert 0.85 < logs.cache_hits.mean() < 0.97
+
+    def test_congested_isp_throughput_drops_at_peak(self):
+        """The core coupling: PPPoE clients slow down in the evening."""
+        world, legacy, _ = build_world()
+        edge = make_edge(world)
+        edge.add_clients(legacy, 800, dual_stack_fraction=0.0)
+        logs = edge.generate(PERIOD)
+        big_hits = logs.select(
+            (logs.bytes_sent > 3_000_000) & logs.cache_hits
+        )
+        grid = TimeGrid(PERIOD, 900)
+        bins = grid.bin_index(big_hits.timestamps)
+        tput = big_hits.throughput_mbps()
+        hour = grid.local_hour_of_day(9.0)[bins]
+        peak = np.median(tput[(hour >= 20) & (hour <= 22)])
+        off = np.median(tput[(hour >= 4) & (hour <= 7)])
+        assert peak < 0.6 * off
+
+    def test_healthy_isp_throughput_stable(self):
+        world, _, own = build_world()
+        edge = make_edge(world)
+        edge.add_clients(own, 800, dual_stack_fraction=0.0)
+        logs = edge.generate(PERIOD)
+        big_hits = logs.select(
+            (logs.bytes_sent > 3_000_000) & logs.cache_hits
+        )
+        grid = TimeGrid(PERIOD, 900)
+        bins = grid.bin_index(big_hits.timestamps)
+        tput = big_hits.throughput_mbps()
+        hour = grid.local_hour_of_day(9.0)[bins]
+        peak = np.median(tput[(hour >= 20) & (hour <= 22)])
+        off = np.median(tput[(hour >= 4) & (hour <= 7)])
+        assert peak > 0.7 * off
+
+    def test_empty_edge_generates_empty_log(self):
+        world, _, _ = build_world()
+        edge = make_edge(world)
+        logs = edge.generate(PERIOD)
+        assert len(logs) == 0
+
+    def test_deterministic_given_seed(self):
+        world_a, legacy_a, _ = build_world()
+        edge_a = CDNEdge(rng=np.random.default_rng(3))
+        edge_a.add_clients(legacy_a, 100)
+        logs_a = edge_a.generate(PERIOD)
+
+        world_b, legacy_b, _ = build_world()
+        edge_b = CDNEdge(rng=np.random.default_rng(3))
+        edge_b.add_clients(legacy_b, 100)
+        logs_b = edge_b.generate(PERIOD)
+
+        assert len(logs_a) == len(logs_b)
+        assert np.allclose(logs_a.timestamps, logs_b.timestamps)

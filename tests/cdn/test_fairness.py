@@ -1,0 +1,147 @@
+"""Tests for the BBR/loss-based fairness model (§6 discussion)."""
+
+import pytest
+
+from repro.cdn import (
+    BBR_V1_GAIN,
+    BBR_V2_GAIN,
+    BottleneckScenario,
+    bbr_deployment_sweep,
+    bbr_inflight_share,
+    solve_fairness,
+)
+
+
+def scenario(**overrides):
+    defaults = dict(
+        capacity_mbps=1000.0, base_rtt_ms=12.0, buffer_ms=60.0,
+        cubic_flows=40, bbr_flows=10,
+    )
+    defaults.update(overrides)
+    return BottleneckScenario(**defaults)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            scenario(capacity_mbps=0)
+        with pytest.raises(ValueError):
+            scenario(buffer_ms=-1)
+        with pytest.raises(ValueError):
+            scenario(cubic_flows=0, bbr_flows=0)
+        with pytest.raises(ValueError):
+            scenario(bbr_gain=0.5)
+
+
+class TestInflightShare:
+    def test_deep_buffer_bounds_share(self):
+        # B = 5R: share = 2R/(6R) = 1/3.
+        assert bbr_inflight_share(12.0, 60.0) == pytest.approx(1 / 3)
+
+    def test_shallow_buffer_lets_bbr_dominate(self):
+        assert bbr_inflight_share(12.0, 4.0) == pytest.approx(0.95)
+
+    def test_gain_scales_share(self):
+        v1 = bbr_inflight_share(12.0, 60.0, BBR_V1_GAIN)
+        v2 = bbr_inflight_share(12.0, 60.0, BBR_V2_GAIN)
+        assert v2 < v1
+
+
+class TestPureLossBased:
+    def test_fair_share_and_moderate_queue(self):
+        result = solve_fairness(scenario(bbr_flows=0))
+        assert result.cubic_throughput_mbps == pytest.approx(25.0)
+        assert result.standing_queue_ms == pytest.approx(36.0)
+        assert result.bbr_aggregate_share == 0.0
+        assert result.loss_probability < 0.01
+
+
+class TestBBRv1Competition:
+    def test_share_independent_of_flow_counts(self):
+        """Ware et al.'s headline: the inflight cap, not the flow mix,
+        sets BBR's aggregate share."""
+        few = solve_fairness(scenario(cubic_flows=45, bbr_flows=5))
+        many = solve_fairness(scenario(cubic_flows=10, bbr_flows=40))
+        assert few.bbr_aggregate_share == pytest.approx(
+            many.bbr_aggregate_share
+        )
+
+    def test_queue_pinned_at_buffer(self):
+        """§6: BBRv1 adds burden — the queue stays at the top."""
+        without = solve_fairness(scenario(bbr_flows=0))
+        with_bbr = solve_fairness(scenario())
+        assert with_bbr.standing_queue_ms == pytest.approx(60.0)
+        assert with_bbr.standing_queue_ms > without.standing_queue_ms
+
+    def test_loss_increases(self):
+        without = solve_fairness(scenario(bbr_flows=0))
+        with_bbr = solve_fairness(scenario())
+        assert with_bbr.loss_probability > 5 * without.loss_probability
+
+    def test_cubic_users_lose(self):
+        """Adding 10 BBR flows hurts the existing 40 cubic flows far
+        more than 10 extra cubic flows would."""
+        alone = solve_fairness(scenario(bbr_flows=0, cubic_flows=40))
+        with_bbr = solve_fairness(scenario())       # 40 cubic + 10 bbr
+        fair_50 = solve_fairness(scenario(bbr_flows=0, cubic_flows=50))
+        assert with_bbr.cubic_throughput_mbps < (
+            0.7 * alone.cubic_throughput_mbps
+        )
+        assert with_bbr.cubic_throughput_mbps < (
+            0.9 * fair_50.cubic_throughput_mbps
+        )
+
+    def test_shallow_buffer_starves_cubic(self):
+        result = solve_fairness(scenario(buffer_ms=6.0))
+        assert result.bbr_aggregate_share == pytest.approx(0.95)
+        assert result.cubic_throughput_mbps < 2.0
+
+    def test_bbr_alone_builds_own_queue(self):
+        result = solve_fairness(scenario(cubic_flows=0))
+        assert result.standing_queue_ms == pytest.approx(12.0)  # (g-1)R
+        assert result.bbr_aggregate_share == 1.0
+
+
+class TestBBRv2Competition:
+    def v2(self, **overrides):
+        return solve_fairness(scenario(
+            bbr_gain=BBR_V2_GAIN, bbr_loss_responsive=True, **overrides
+        ))
+
+    def test_queue_not_pinned(self):
+        without = solve_fairness(scenario(bbr_flows=0))
+        with_v2 = self.v2()
+        assert with_v2.standing_queue_ms == pytest.approx(
+            without.standing_queue_ms
+        )
+
+    def test_loss_stays_low(self):
+        assert self.v2().loss_probability < 0.001
+
+    def test_roughly_proportional_share(self):
+        result = self.v2(cubic_flows=40, bbr_flows=10)
+        assert result.bbr_aggregate_share < 0.3
+
+
+class TestSweep:
+    def test_monotone_burden_for_v1(self):
+        sweep = bbr_deployment_sweep()
+        baseline = sweep[0.0]
+        for fraction, result in sweep.items():
+            if fraction > 0:
+                assert result.standing_queue_ms >= (
+                    baseline.standing_queue_ms
+                )
+                assert result.loss_probability > (
+                    baseline.loss_probability
+                )
+
+    def test_v2_sweep_benign(self):
+        sweep = bbr_deployment_sweep(
+            bbr_gain=BBR_V2_GAIN, bbr_loss_responsive=True
+        )
+        baseline = sweep[0.0]
+        for fraction, result in sweep.items():
+            assert result.standing_queue_ms <= (
+                baseline.standing_queue_ms + 1e-9
+            )

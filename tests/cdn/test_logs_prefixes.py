@@ -1,0 +1,138 @@
+"""Tests for access-log storage and mobile prefix lists."""
+
+import numpy as np
+import pytest
+
+from repro.cdn import (
+    AccessLogDataset,
+    AccessLogRecord,
+    MobilePrefixList,
+)
+from repro.netbase import Prefix, parse_address
+
+
+def record(ts=0.0, ip="20.0.0.1", size=5_000_000, dur=1000.0, hit=True,
+           af=None):
+    if af is None:
+        af = 6 if ":" in ip else 4
+    return AccessLogRecord(
+        timestamp=ts, client_ip=ip, af=af,
+        bytes_sent=size, duration_ms=dur, cache_hit=hit,
+    )
+
+
+class TestAccessLogRecord:
+    def test_throughput(self):
+        # 5 MB in 1 s = 40 Mbps.
+        assert record().throughput_mbps == pytest.approx(40.0)
+
+    def test_zero_duration(self):
+        assert record(dur=0.0).throughput_mbps == 0.0
+
+    def test_json_roundtrip(self):
+        original = record(ts=12.5, ip="2400:8900::1", hit=False)
+        restored = AccessLogRecord.from_json(original.to_json())
+        assert restored == original
+
+
+class TestAccessLogDataset:
+    def test_from_records_roundtrip(self):
+        records = [
+            record(ts=1.0, ip="20.0.0.1"),
+            record(ts=2.0, ip="2400:8900::1", hit=False),
+        ]
+        dataset = AccessLogDataset.from_records(records)
+        assert len(dataset) == 2
+        assert list(dataset.rows()) == records
+
+    def test_jsonl_roundtrip(self):
+        dataset = AccessLogDataset.from_records(
+            [record(ts=float(i)) for i in range(5)]
+        )
+        restored = AccessLogDataset.from_jsonl(dataset.to_jsonl())
+        assert len(restored) == 5
+        assert np.array_equal(restored.timestamps, dataset.timestamps)
+
+    def test_select(self):
+        dataset = AccessLogDataset.from_records([
+            record(size=10_000_000), record(size=1_000_000),
+        ])
+        big = dataset.select(dataset.bytes_sent > 3_000_000)
+        assert len(big) == 1
+        assert big.bytes_sent[0] == 10_000_000
+
+    def test_throughput_vector(self):
+        dataset = AccessLogDataset.from_records([
+            record(size=5_000_000, dur=1000.0),
+            record(size=5_000_000, dur=2000.0),
+        ])
+        assert dataset.throughput_mbps() == pytest.approx([40.0, 20.0])
+
+    def test_unique_clients(self):
+        dataset = AccessLogDataset.from_records([
+            record(ip="20.0.0.1"), record(ip="20.0.0.2"),
+            record(ip="20.0.0.1"),
+        ])
+        assert len(dataset.unique_clients()) == 2
+
+    def test_concatenate_and_empty(self):
+        a = AccessLogDataset.from_records([record()])
+        b = AccessLogDataset.empty()
+        merged = AccessLogDataset.concatenate([a, b])
+        assert len(merged) == 1
+        assert len(AccessLogDataset.concatenate([])) == 0
+
+    def test_column_length_mismatch(self):
+        with pytest.raises(ValueError):
+            AccessLogDataset(
+                np.zeros(2), [1], np.zeros(2, dtype=np.int8),
+                np.zeros(2, dtype=np.int64), np.zeros(2),
+                np.zeros(2, dtype=bool),
+            )
+
+    def test_af_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AccessLogDataset.from_records([record(ip="20.0.0.1", af=6)])
+
+
+class TestMobilePrefixList:
+    def test_membership(self):
+        prefixes = MobilePrefixList([Prefix.parse("21.64.0.0/16")])
+        inside, _ = parse_address("21.64.5.5")
+        outside, _ = parse_address("21.65.0.1")
+        assert prefixes.is_mobile(inside, 4)
+        assert not prefixes.is_mobile(outside, 4)
+
+    def test_dual_stack(self):
+        prefixes = MobilePrefixList([
+            Prefix.parse("21.64.0.0/16"),
+            Prefix.parse("2400:1::/32"),
+        ])
+        v6, _ = parse_address("2400:1::5")
+        assert prefixes.is_mobile(v6, 6)
+        assert not prefixes.is_mobile(v6, 4)
+
+    def test_text_roundtrip(self):
+        original = MobilePrefixList([
+            Prefix.parse("21.64.0.0/16"), Prefix.parse("2400:1::/32"),
+        ])
+        restored = MobilePrefixList.from_text(
+            "# MNO published list\n" + original.to_text()
+        )
+        assert len(restored) == 2
+        value, _ = parse_address("21.64.0.1")
+        assert restored.is_mobile(value, 4)
+
+    def test_from_mobile_isps(self):
+        from repro.netbase import AccessTechnology, ASInfo, ASRole
+        from repro.topology import World
+
+        world = World(seed=0)
+        mobile = world.add_isp(ASInfo(
+            64600, "MobileOp", "JP", ASRole.MOBILE,
+            access_technologies=[AccessTechnology.LTE],
+        ))
+        prefixes = MobilePrefixList.from_mobile_isps([mobile])
+        assert len(prefixes) == 2  # v4 + v6 customer blocks
+        addr = mobile.allocate_customer_addresses(1)[0]
+        assert prefixes.is_mobile(addr.value, 4)

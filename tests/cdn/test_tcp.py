@@ -1,0 +1,110 @@
+"""Tests for TCP throughput models."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cdn import (
+    bbr_throughput_mbps,
+    capped_flow_throughput_mbps,
+    mathis_throughput_mbps,
+    pftk_throughput_mbps,
+)
+
+
+class TestMathis:
+    def test_known_value(self):
+        # MSS 1460 B, RTT 100 ms, p = 0.01:
+        # 1.2247/(0.1*0.1) = 122.47 seg/s -> 1.43 Mbps
+        value = mathis_throughput_mbps(100.0, 0.01)
+        assert value == pytest.approx(1.43, rel=0.01)
+
+    def test_scales_inverse_rtt(self):
+        assert mathis_throughput_mbps(10.0, 0.01) == pytest.approx(
+            10 * mathis_throughput_mbps(100.0, 0.01)
+        )
+
+    def test_scales_inverse_sqrt_loss(self):
+        assert mathis_throughput_mbps(10.0, 0.0001) == pytest.approx(
+            10 * mathis_throughput_mbps(10.0, 0.01)
+        )
+
+    def test_loss_floor_keeps_finite(self):
+        assert np.isfinite(mathis_throughput_mbps(10.0, 0.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mathis_throughput_mbps(0.0, 0.01)
+        with pytest.raises(ValueError):
+            mathis_throughput_mbps(10.0, 1.0)
+        with pytest.raises(ValueError):
+            mathis_throughput_mbps(10.0, -0.1)
+
+    @given(
+        st.floats(min_value=1.0, max_value=300.0),
+        st.floats(min_value=1e-5, max_value=0.3),
+    )
+    def test_positive(self, rtt, loss):
+        assert mathis_throughput_mbps(rtt, loss) > 0
+
+
+class TestPFTK:
+    def test_close_to_mathis_at_low_loss(self):
+        """With negligible timeouts PFTK approaches Mathis (b=1 vs 2
+        differ by √2; just check the same order of magnitude)."""
+        mathis = mathis_throughput_mbps(50.0, 1e-4)
+        pftk = pftk_throughput_mbps(50.0, 1e-4)
+        assert 0.3 * mathis < pftk < 1.5 * mathis
+
+    def test_below_mathis_at_high_loss(self):
+        """The timeout term bites when loss is heavy."""
+        assert pftk_throughput_mbps(50.0, 0.05) < (
+            mathis_throughput_mbps(50.0, 0.05)
+        )
+
+    def test_monotone_in_loss(self):
+        losses = np.array([1e-4, 1e-3, 1e-2, 5e-2])
+        rates = pftk_throughput_mbps(50.0, losses)
+        assert np.all(np.diff(rates) < 0)
+
+
+class TestBBR:
+    def test_loss_blind_below_tolerance(self):
+        clean = bbr_throughput_mbps(100.0, 0.001)
+        lossy = bbr_throughput_mbps(100.0, 0.10)
+        # BBRv1 barely cares about 10 % loss...
+        assert lossy > 0.85 * clean
+
+    def test_collapse_past_tolerance(self):
+        assert bbr_throughput_mbps(100.0, 0.30) < 0.15 * 100.0
+
+    def test_contrast_with_cubic(self):
+        """The §6 point: loss-based TCP collapses at congested-BRAS
+        loss rates while BBRv1 keeps pushing."""
+        loss = 0.02
+        cubic = capped_flow_throughput_mbps(15.0, loss, 100.0, "mathis")
+        bbr = capped_flow_throughput_mbps(15.0, loss, 100.0, "bbr")
+        assert bbr > 3 * cubic
+
+
+class TestCappedFlow:
+    def test_cap_binds_on_clean_path(self):
+        rate = capped_flow_throughput_mbps(10.0, 1e-5, 50.0)
+        assert rate == pytest.approx(50.0)
+
+    def test_model_binds_on_lossy_path(self):
+        rate = capped_flow_throughput_mbps(30.0, 0.02, 1000.0)
+        assert rate < 1000.0
+
+    def test_vectorized(self):
+        rtt = np.array([10.0, 20.0])
+        loss = np.array([1e-5, 0.01])
+        cap = np.array([100.0, 100.0])
+        rates = capped_flow_throughput_mbps(rtt, loss, cap)
+        assert rates.shape == (2,)
+        assert rates[0] > rates[1]
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            capped_flow_throughput_mbps(10.0, 0.01, 100.0, model="reno")

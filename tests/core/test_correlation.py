@@ -1,0 +1,125 @@
+"""Tests for delay–throughput correlation (§4.3)."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core import spearman_delay_throughput, align_series
+from repro.core.aggregate import AggregatedSignal
+from repro.core.throughput import ThroughputSeries
+from repro.timebase import MeasurementPeriod, TimeGrid
+
+PERIOD = MeasurementPeriod("t", dt.datetime(2019, 9, 19), 2)
+
+
+def delay_signal(values):
+    grid = TimeGrid(PERIOD, 1800)
+    values = np.asarray(values, dtype=float)
+    return AggregatedSignal(
+        grid=grid, delay_ms=values, probe_count=5,
+        contributing=np.full(grid.num_bins, 5),
+    )
+
+
+def throughput_series(values):
+    grid = TimeGrid(PERIOD, 900)
+    return ThroughputSeries(
+        grid=grid, median_mbps=np.asarray(values, dtype=float),
+        sample_counts=np.full(grid.num_bins, 10),
+    )
+
+
+def diurnal_delay(amplitude=3.0):
+    grid = TimeGrid(PERIOD, 1800)
+    t = np.arange(grid.num_bins) / grid.bins_per_day
+    return amplitude * (1 + np.sin(2 * np.pi * t)) / 2
+
+
+class TestAlign:
+    def test_downsample_by_mean(self):
+        delay = delay_signal(np.zeros(96))
+        tput_values = np.arange(192, dtype=float)
+        tput = throughput_series(tput_values)
+        _d, resampled = align_series(delay, tput)
+        assert resampled[0] == pytest.approx(0.5)   # mean(0, 1)
+        assert resampled[1] == pytest.approx(2.5)
+
+    def test_nan_half_bin_uses_other_half(self):
+        delay = delay_signal(np.zeros(96))
+        values = np.full(192, 10.0)
+        values[0] = np.nan
+        _d, resampled = align_series(delay, throughput_series(values))
+        assert resampled[0] == pytest.approx(10.0)
+
+    def test_grid_mismatch_rejected(self):
+        delay = delay_signal(np.zeros(96))
+        other_period = MeasurementPeriod("o", dt.datetime(2019, 9, 19), 1)
+        bad = ThroughputSeries(
+            grid=TimeGrid(other_period, 900),
+            median_mbps=np.zeros(96),
+            sample_counts=np.zeros(96),
+        )
+        with pytest.raises(ValueError):
+            align_series(delay, bad)
+
+
+class TestSpearman:
+    def test_anticorrelated_congested_isp(self):
+        """ISP_A shape: delay up, throughput down -> strongly negative."""
+        delay = diurnal_delay()
+        rng = np.random.default_rng(0)
+        tput_30 = 50.0 - 12.0 * delay + rng.normal(0, 1.0, size=96)
+        tput_15 = np.repeat(tput_30, 2)
+        result = spearman_delay_throughput(
+            delay_signal(delay), throughput_series(tput_15)
+        )
+        assert result.rho < -0.5
+        assert result.p_value < 0.01
+        assert result.n_bins == 96
+
+    def test_uncorrelated_healthy_isp(self):
+        """ISP_C shape: independent fluctuation -> rho ~ 0."""
+        rng = np.random.default_rng(1)
+        delay = rng.uniform(0, 0.2, size=96)
+        tput_15 = 50.0 + rng.normal(0, 3.0, size=192)
+        result = spearman_delay_throughput(
+            delay_signal(delay), throughput_series(tput_15)
+        )
+        assert abs(result.rho) < 0.3
+
+    def test_constant_series_reports_zero(self):
+        result = spearman_delay_throughput(
+            delay_signal(np.zeros(96)),
+            throughput_series(np.full(192, 50.0)),
+        )
+        assert result.rho == 0.0
+
+    def test_joint_gaps_dropped(self):
+        delay = diurnal_delay()
+        delay[:10] = np.nan
+        tput = np.repeat(50.0 - 10.0 * diurnal_delay(), 2)
+        tput[40:60] = np.nan
+        result = spearman_delay_throughput(
+            delay_signal(delay), throughput_series(tput)
+        )
+        assert result.n_bins < 96
+        assert result.rho < -0.5
+
+    def test_too_few_bins_rejected(self):
+        delay = diurnal_delay()
+        delay[5:] = np.nan
+        with pytest.raises(ValueError):
+            spearman_delay_throughput(
+                delay_signal(delay),
+                throughput_series(np.full(192, 50.0)),
+            )
+
+    def test_scatter_arrays_exposed(self):
+        delay = diurnal_delay()
+        tput = np.repeat(50.0 - 10.0 * delay, 2)
+        result = spearman_delay_throughput(
+            delay_signal(delay), throughput_series(tput)
+        )
+        assert result.delay_ms.shape == result.throughput_mbps.shape
+        assert result.delay_ms.shape[0] == result.n_bins

@@ -1,0 +1,233 @@
+"""Tests for probe selection and population aggregation."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.atlas import ProbeMeta
+from repro.bgp import RoutingTable
+from repro.core import (
+    AggregatedSignal,
+    LastMileDataset,
+    ProbeBinSeries,
+    aggregate_population,
+    asns_with_min_probes,
+    non_anchor_probes,
+    probe_queuing_delay,
+    probes_in_asn,
+    probes_in_greater_tokyo,
+    probes_with_daily_delay_over,
+    resolve_probe_asn,
+)
+from repro.netbase import Prefix
+from repro.timebase import MeasurementPeriod, TimeGrid
+
+
+def meta(prb_id, asn=64500, anchor=False, address="20.0.0.5", city=""):
+    return ProbeMeta(
+        prb_id=prb_id, asn=asn, is_anchor=anchor,
+        public_address=address, city=city,
+    )
+
+
+def make_grid(days=2):
+    return TimeGrid(MeasurementPeriod("t", dt.datetime(2019, 9, 2), days))
+
+
+def series_with(grid, prb_id, medians, counts=None):
+    medians = np.asarray(medians, dtype=float)
+    if counts is None:
+        counts = np.full(grid.num_bins, 24)
+    return ProbeBinSeries(
+        prb_id=prb_id, median_rtt_ms=medians, traceroute_counts=counts
+    )
+
+
+class TestResolution:
+    def test_resolve_by_lpm(self):
+        table = RoutingTable()
+        table.announce_prefix(Prefix.parse("20.0.0.0/16"), 64500)
+        assert resolve_probe_asn(meta(1, address="20.0.0.5"), table) == 64500
+        assert resolve_probe_asn(meta(1, address="30.0.0.5"), table) is None
+
+    def test_resolve_bad_address(self):
+        assert resolve_probe_asn(meta(1, address="bogus"), RoutingTable()) is None
+
+    def test_probes_in_asn_with_table(self):
+        table = RoutingTable()
+        table.announce_prefix(Prefix.parse("20.0.0.0/16"), 64500)
+        metas = {
+            1: meta(1, asn=0, address="20.0.0.1"),
+            2: meta(2, asn=0, address="20.0.0.2"),
+            3: meta(3, asn=0, address="30.0.0.1"),
+        }
+        assert probes_in_asn(metas, 64500, table=table) == [1, 2]
+
+    def test_probes_in_asn_trusts_meta_without_table(self):
+        metas = {1: meta(1, asn=7), 2: meta(2, asn=8)}
+        assert probes_in_asn(metas, 7) == [1]
+
+
+class TestSelectors:
+    def test_non_anchor(self):
+        metas = {1: meta(1), 2: meta(2, anchor=True), 3: meta(3)}
+        assert non_anchor_probes(metas) == [1, 3]
+
+    def test_anchor_excluded_from_asn_selection(self):
+        metas = {1: meta(1), 2: meta(2, anchor=True)}
+        assert probes_in_asn(metas, 64500) == [1]
+        assert probes_in_asn(metas, 64500, include_anchors=True) == [1, 2]
+
+    def test_greater_tokyo(self):
+        metas = {
+            1: meta(1, city="Tokyo"),
+            2: meta(2, city="Yokohama"),
+            3: meta(3, city="Osaka"),
+            4: meta(4, city="Chiba", anchor=True),
+        }
+        assert probes_in_greater_tokyo(metas) == [1, 2]
+        assert probes_in_greater_tokyo(
+            metas, include_anchors=True
+        ) == [1, 2, 4]
+
+    def test_asns_with_min_probes(self):
+        metas = {
+            1: meta(1, asn=100), 2: meta(2, asn=100), 3: meta(3, asn=100),
+            4: meta(4, asn=200), 5: meta(5, asn=200),
+            6: meta(6, asn=100, anchor=True),
+        }
+        result = asns_with_min_probes(metas, min_probes=3)
+        assert result == {100: [1, 2, 3]}
+
+
+class TestProbeQueuingDelay:
+    def test_subtracts_minimum(self):
+        grid = make_grid(1)
+        medians = np.linspace(5.0, 6.0, grid.num_bins)
+        series = series_with(grid, 1, medians)
+        delay = probe_queuing_delay(series)
+        assert delay[0] == pytest.approx(0.0)
+        assert delay[-1] == pytest.approx(1.0)
+
+    def test_invalid_bins_are_nan(self):
+        grid = make_grid(1)
+        counts = np.full(grid.num_bins, 24)
+        counts[0] = 2  # fails sanity check
+        series = series_with(grid, 1, np.full(grid.num_bins, 5.0), counts)
+        delay = probe_queuing_delay(series)
+        assert np.isnan(delay[0])
+        assert delay[1] == pytest.approx(0.0)
+
+    def test_all_invalid(self):
+        grid = make_grid(1)
+        series = series_with(
+            grid, 1, np.full(grid.num_bins, np.nan)
+        )
+        assert np.all(np.isnan(probe_queuing_delay(series)))
+
+    def test_baseline_is_per_period_minimum(self):
+        """Minimum-median subtraction makes the lowest point zero."""
+        grid = make_grid(1)
+        medians = 3.0 + np.abs(np.sin(np.arange(grid.num_bins)))
+        series = series_with(grid, 1, medians)
+        delay = probe_queuing_delay(series)
+        assert np.nanmin(delay) == pytest.approx(0.0)
+
+
+class TestAggregatePopulation:
+    def test_median_across_probes(self):
+        grid = make_grid(1)
+        dataset = LastMileDataset(grid=grid)
+        # Three probes with constant offsets; after baseline removal
+        # each contributes zero queueing delay except probe 3's bump.
+        flat = np.full(grid.num_bins, 5.0)
+        bumped = flat.copy()
+        bumped[10] += 4.0
+        dataset.add(series_with(grid, 1, flat))
+        dataset.add(series_with(grid, 2, flat))
+        dataset.add(series_with(grid, 3, bumped))
+        signal = aggregate_population(dataset)
+        assert signal.probe_count == 3
+        # Median of (0, 0, 4) is 0: one congested probe is invisible.
+        assert signal.delay_ms[10] == pytest.approx(0.0)
+
+    def test_majority_congestion_visible(self):
+        grid = make_grid(1)
+        dataset = LastMileDataset(grid=grid)
+        flat = np.full(grid.num_bins, 5.0)
+        bumped = flat.copy()
+        bumped[10] += 4.0
+        dataset.add(series_with(grid, 1, bumped))
+        dataset.add(series_with(grid, 2, bumped))
+        dataset.add(series_with(grid, 3, flat))
+        signal = aggregate_population(dataset)
+        assert signal.delay_ms[10] == pytest.approx(4.0)
+
+    def test_probe_subset(self):
+        grid = make_grid(1)
+        dataset = LastMileDataset(grid=grid)
+        dataset.add(series_with(grid, 1, np.full(grid.num_bins, 5.0)))
+        dataset.add(series_with(grid, 2, np.full(grid.num_bins, 9.0)))
+        signal = aggregate_population(dataset, probe_ids=[1])
+        assert signal.probe_count == 1
+
+    def test_empty_selection_rejected(self):
+        grid = make_grid(1)
+        dataset = LastMileDataset(grid=grid)
+        dataset.add(series_with(grid, 1, np.full(grid.num_bins, 5.0)))
+        with pytest.raises(ValueError):
+            aggregate_population(dataset, probe_ids=[99])
+
+    def test_min_probes_per_bin(self):
+        grid = make_grid(1)
+        dataset = LastMileDataset(grid=grid)
+        medians = np.full(grid.num_bins, 5.0)
+        gappy = medians.copy()
+        gappy[5] = np.nan
+        dataset.add(series_with(grid, 1, medians))
+        dataset.add(series_with(grid, 2, gappy))
+        signal = aggregate_population(dataset, min_probes_per_bin=2)
+        assert np.isnan(signal.delay_ms[5])
+        assert signal.contributing[5] == 1
+
+    def test_daily_max(self):
+        grid = make_grid(2)
+        dataset = LastMileDataset(grid=grid)
+        medians = np.zeros(grid.num_bins)
+        medians[10] = 3.0   # day 1
+        medians[60] = 7.0   # day 2
+        dataset.add(series_with(grid, 1, medians + 1.0))
+        signal = aggregate_population(dataset)
+        assert list(signal.daily_max_ms()) == [3.0, 7.0]
+
+
+class TestDailyDelayOver:
+    def test_counts_probes_exceeding_daily(self):
+        grid = make_grid(4)
+        dataset = LastMileDataset(grid=grid)
+        quiet = np.full(grid.num_bins, 2.0)
+        noisy = quiet.copy()
+        # Probe 2 exceeds 5 ms every day.
+        for day in range(4):
+            noisy[day * 48 + 40] = 2.0 + 6.0
+        dataset.add(series_with(grid, 1, quiet))
+        dataset.add(series_with(grid, 2, noisy))
+        result = probes_with_daily_delay_over(dataset, [1, 2], 5.0)
+        assert result == [2]
+
+    def test_fraction_threshold(self):
+        grid = make_grid(4)
+        dataset = LastMileDataset(grid=grid)
+        sometimes = np.full(grid.num_bins, 2.0)
+        sometimes[40] = 9.0  # only day 1 of 4
+        dataset.add(series_with(grid, 1, sometimes))
+        assert probes_with_daily_delay_over(dataset, [1], 5.0) == []
+        assert probes_with_daily_delay_over(
+            dataset, [1], 5.0, min_days_fraction=0.25
+        ) == [1]
+
+    def test_missing_probe_ignored(self):
+        grid = make_grid(4)
+        dataset = LastMileDataset(grid=grid)
+        assert probes_with_daily_delay_over(dataset, [42], 5.0) == []

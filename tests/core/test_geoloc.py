@@ -1,0 +1,135 @@
+"""Tests for the geolocation-bias experiment (§6)."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core.geoloc import (
+    FIBER_KM_PER_MS,
+    GeolocationStudy,
+    peak_hour_mask,
+    per_bin_distance_errors,
+    rtt_to_distance_km,
+    run_geolocation_study,
+)
+from repro.core.series import LastMileDataset, ProbeBinSeries
+from repro.timebase import MeasurementPeriod, TimeGrid
+
+PERIOD = MeasurementPeriod("geo", dt.datetime(2019, 9, 2), 15)
+
+
+def make_dataset(congested_probes=2, quiet_probes=2, amplitude=4.0):
+    """Probes with JST-evening congestion in their last-mile series."""
+    grid = TimeGrid(PERIOD)
+    rng = np.random.default_rng(3)
+    hour = grid.local_hour_of_day(9.0)
+    evening = np.exp(-0.5 * ((hour - 21.0) / 1.5) ** 2)
+    dataset = LastMileDataset(grid=grid)
+    for prb_id in range(congested_probes + quiet_probes):
+        base = rng.uniform(1.0, 2.0)
+        medians = base + rng.normal(0, 0.03, grid.num_bins)
+        if prb_id < congested_probes:
+            medians = medians + amplitude * evening
+        dataset.add(ProbeBinSeries(
+            prb_id=prb_id, median_rtt_ms=medians,
+            traceroute_counts=np.full(grid.num_bins, 24),
+        ))
+    return dataset
+
+
+class TestConversions:
+    def test_fiber_bound(self):
+        # 10 ms RTT -> 5 ms one-way -> 500 km.
+        assert rtt_to_distance_km(10.0) == pytest.approx(500.0)
+        assert FIBER_KM_PER_MS == 100.0
+
+    def test_vectorized_and_validated(self):
+        out = rtt_to_distance_km(np.array([2.0, 4.0]))
+        assert out == pytest.approx([100.0, 200.0])
+        with pytest.raises(ValueError):
+            rtt_to_distance_km(-1.0)
+
+    def test_per_bin_errors(self):
+        errors = per_bin_distance_errors(
+            np.array([10.0, 12.0, np.nan]), true_distance_km=500.0
+        )
+        assert errors[0] == pytest.approx(0.0)
+        assert errors[1] == pytest.approx(100.0)
+        assert np.isnan(errors[2])
+
+
+class TestPeakMask:
+    def test_jst_evening(self):
+        grid = TimeGrid(PERIOD)
+        mask = peak_hour_mask(grid, 9.0)
+        hour = grid.local_hour_of_day(9.0)
+        assert mask[(hour >= 19.5) & (hour <= 22.5)].all()
+        assert not mask[(hour >= 2) & (hour <= 6)].any()
+        # 4-hour window = ~1/6 of the day.
+        assert 0.1 < mask.mean() < 0.25
+
+
+class TestStudy:
+    def test_policy_ordering(self):
+        """The paper's recommendations must actually help:
+        peak-hours inference is the worst, off-peak better, and
+        filtering congested probes best."""
+        dataset = make_dataset()
+        study = run_geolocation_study(
+            dataset, path_rtt_ms=10.0, utc_offset_hours=9.0
+        )
+        peak = study.median_error("peak_hours")
+        any_time = study.median_error("any_time")
+        off_peak = study.median_error("off_peak")
+        filtered = study.median_error("filtered")
+        assert peak > any_time >= off_peak >= 0.0
+        assert filtered <= off_peak + 1e-9
+        # Peak-hour inference through a 4 ms-congested last mile is
+        # off by ~hundreds of km at the p90.
+        assert study.p90_error("peak_hours") > 100.0
+        assert study.p90_error("filtered") < 30.0
+
+    def test_congested_probes_excluded(self):
+        dataset = make_dataset(congested_probes=2, quiet_probes=2)
+        study = run_geolocation_study(
+            dataset, path_rtt_ms=10.0, utc_offset_hours=9.0
+        )
+        assert sorted(study.excluded_probes) == [0, 1]
+
+    def test_quiet_population_all_policies_agree(self):
+        dataset = make_dataset(congested_probes=0, quiet_probes=3)
+        study = run_geolocation_study(
+            dataset, path_rtt_ms=10.0, utc_offset_hours=9.0
+        )
+        assert study.excluded_probes == []
+        assert study.median_error("peak_hours") == pytest.approx(
+            study.median_error("off_peak"), abs=5.0
+        )
+
+    def test_true_distance_override(self):
+        dataset = make_dataset(congested_probes=0, quiet_probes=1)
+        study = run_geolocation_study(
+            dataset, path_rtt_ms=10.0, utc_offset_hours=9.0,
+            true_distance_km=400.0,
+        )
+        # Path RTT of 10 ms implies 500 km; against a 400 km truth the
+        # error floor is ~100 km.
+        assert study.median_error("off_peak") == pytest.approx(
+            100.0, abs=10.0
+        )
+
+    def test_samples_accounting(self):
+        dataset = make_dataset()
+        study = run_geolocation_study(
+            dataset, path_rtt_ms=10.0, utc_offset_hours=9.0
+        )
+        assert study.samples("any_time") == (
+            study.samples("peak_hours") + study.samples("off_peak")
+        )
+        assert study.samples("filtered") < study.samples("off_peak")
+
+    def test_empty_policy_is_nan(self):
+        study = GeolocationStudy(500.0, {"any_time": []}, [])
+        assert np.isnan(study.median_error("any_time"))
+        assert np.isnan(study.p90_error("missing"))

@@ -1,0 +1,208 @@
+"""Tests for last-mile RTT estimation (§2.1)."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.atlas import Hop, Reply, TracerouteResult
+from repro.core import (
+    classify_hop_address,
+    estimate_probe_series,
+    find_boundary,
+    lastmile_samples,
+)
+from repro.timebase import MeasurementPeriod, TimeGrid
+
+
+def hop(number, address, rtts):
+    replies = tuple(
+        Reply(address, r) if r is not None else Reply.timeout()
+        for r in rtts
+    )
+    return Hop(number, replies)
+
+
+def traceroute(hops, timestamp=0.0, prb_id=1):
+    return TracerouteResult(
+        prb_id=prb_id,
+        msm_id=5001,
+        timestamp=timestamp,
+        src_address="192.168.1.10",
+        from_address="20.0.0.5",
+        dst_address="192.5.0.1",
+        hops=tuple(hops),
+    )
+
+
+def typical_traceroute(timestamp=0.0, private_rtt=0.5, public_rtt=3.5):
+    return traceroute(
+        [
+            hop(1, "192.168.1.1", [private_rtt] * 3),
+            hop(2, "60.0.0.1", [public_rtt] * 3),
+            hop(3, "80.0.0.1", [10.0] * 3),
+        ],
+        timestamp=timestamp,
+    )
+
+
+class TestClassifyHopAddress:
+    def test_private(self):
+        assert classify_hop_address("192.168.1.1") == "private"
+        assert classify_hop_address("10.5.5.5") == "private"
+        assert classify_hop_address("100.64.0.9") == "private"
+
+    def test_public(self):
+        assert classify_hop_address("8.8.8.8") == "public"
+        assert classify_hop_address("2400:8900::1") == "public"
+
+    def test_other(self):
+        assert classify_hop_address("127.0.0.1") == "other"
+        assert classify_hop_address("224.0.0.5") == "other"
+        assert classify_hop_address("garbage") == "other"
+
+
+class TestFindBoundary:
+    def test_typical(self):
+        boundary = find_boundary(typical_traceroute())
+        assert boundary.last_private.responding_address == "192.168.1.1"
+        assert boundary.first_public.responding_address == "60.0.0.1"
+
+    def test_two_private_hops_takes_last(self):
+        result = traceroute([
+            hop(1, "192.168.0.2", [0.3] * 3),
+            hop(2, "192.168.1.1", [0.6] * 3),
+            hop(3, "60.0.0.1", [4.0] * 3),
+        ])
+        boundary = find_boundary(result)
+        assert boundary.last_private.responding_address == "192.168.1.1"
+
+    def test_no_private_hops_anchor_case(self):
+        result = traceroute([
+            hop(1, "60.0.0.1", [0.4] * 3),
+            hop(2, "80.0.0.1", [2.0] * 3),
+        ])
+        boundary = find_boundary(result)
+        assert boundary.last_private is None
+        assert boundary.first_public.responding_address == "60.0.0.1"
+
+    def test_all_timeouts_returns_none(self):
+        result = traceroute([
+            hop(1, None, [None] * 3),
+            hop(2, None, [None] * 3),
+        ])
+        assert find_boundary(result) is None
+
+    def test_skips_timed_out_hops(self):
+        result = traceroute([
+            hop(1, "192.168.1.1", [0.5] * 3),
+            hop(2, None, [None] * 3),          # silent hop
+            hop(3, "60.0.0.1", [4.0] * 3),
+        ])
+        boundary = find_boundary(result)
+        assert boundary.first_public.responding_address == "60.0.0.1"
+
+    def test_loopback_hop_not_treated_as_public(self):
+        result = traceroute([
+            hop(1, "192.168.1.1", [0.5] * 3),
+            hop(2, "127.0.0.1", [0.1] * 3),    # broken middlebox
+            hop(3, "60.0.0.1", [4.0] * 3),
+        ])
+        boundary = find_boundary(result)
+        assert boundary.first_public.responding_address == "60.0.0.1"
+
+
+class TestLastmileSamples:
+    def test_nine_pairwise_differences(self):
+        result = traceroute([
+            hop(1, "192.168.1.1", [1.0, 2.0, 3.0]),
+            hop(2, "60.0.0.1", [10.0, 11.0, 12.0]),
+        ])
+        samples = lastmile_samples(result)
+        assert len(samples) == 9
+        assert sorted(samples) == sorted(
+            pub - priv
+            for pub in [10.0, 11.0, 12.0]
+            for priv in [1.0, 2.0, 3.0]
+        )
+
+    def test_timeouts_reduce_sample_count(self):
+        result = traceroute([
+            hop(1, "192.168.1.1", [1.0, None, 3.0]),
+            hop(2, "60.0.0.1", [10.0, 11.0, None]),
+        ])
+        assert len(lastmile_samples(result)) == 4  # 2 x 2
+
+    def test_anchor_uses_public_rtts_directly(self):
+        result = traceroute([
+            hop(1, "60.0.0.1", [0.4, 0.5, 0.6]),
+        ])
+        assert lastmile_samples(result) == [0.4, 0.5, 0.6]
+
+    def test_broken_traceroute_yields_nothing(self):
+        result = traceroute([hop(1, None, [None] * 3)])
+        assert lastmile_samples(result) == []
+
+    def test_negative_differences_kept(self):
+        """Noise can make a diff negative; medians handle it (§2.1)."""
+        result = traceroute([
+            hop(1, "192.168.1.1", [5.0] * 3),
+            hop(2, "60.0.0.1", [4.0] * 3),
+        ])
+        assert all(s == -1.0 for s in lastmile_samples(result))
+
+
+class TestEstimateProbeSeries:
+    def grid(self, days=1):
+        return TimeGrid(
+            MeasurementPeriod("t", dt.datetime(2019, 9, 2), days)
+        )
+
+    def test_binning_and_median(self):
+        grid = self.grid()
+        results = [
+            typical_traceroute(timestamp=i * 60.0, public_rtt=3.0 + i)
+            for i in range(5)
+        ]  # all within bin 0
+        series = estimate_probe_series(results, grid)
+        assert series.traceroute_counts[0] == 5
+        # diffs are 2.5, 3.5, 4.5, 5.5, 6.5 -> median 4.5
+        assert series.median_rtt_ms[0] == pytest.approx(4.5)
+        assert np.isnan(series.median_rtt_ms[1])
+
+    def test_sanity_check_drops_sparse_bins(self):
+        """§2: bins with < 3 traceroutes are discarded."""
+        grid = self.grid()
+        results = [
+            typical_traceroute(timestamp=0.0),
+            typical_traceroute(timestamp=60.0),
+        ]
+        series = estimate_probe_series(results, grid)
+        assert series.traceroute_counts[0] == 2
+        assert np.isnan(series.median_rtt_ms[0])
+
+    def test_min_traceroutes_parameter(self):
+        grid = self.grid()
+        results = [typical_traceroute(timestamp=0.0)]
+        series = estimate_probe_series(results, grid, min_traceroutes=1)
+        assert not np.isnan(series.median_rtt_ms[0])
+
+    def test_empty_input_requires_prb_id(self):
+        grid = self.grid()
+        with pytest.raises(ValueError):
+            estimate_probe_series([], grid)
+        series = estimate_probe_series([], grid, prb_id=7)
+        assert series.prb_id == 7
+        assert np.all(np.isnan(series.median_rtt_ms))
+
+    def test_median_robust_to_interference_outlier(self):
+        """One wild traceroute cannot move the bin median much."""
+        grid = self.grid()
+        results = [
+            typical_traceroute(timestamp=i * 60.0) for i in range(23)
+        ]
+        results.append(
+            typical_traceroute(timestamp=23 * 60.0, public_rtt=500.0)
+        )
+        series = estimate_probe_series(results, grid)
+        assert series.median_rtt_ms[0] == pytest.approx(3.0, abs=0.01)

@@ -1,0 +1,91 @@
+"""Tests for the one-call analysis facade."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.atlas import ProbeMeta
+from repro.core import ASAnalysis, LastMileDataset, ProbeBinSeries, Severity, analyze_asn
+from repro.timebase import MeasurementPeriod, TimeGrid
+
+PERIOD = MeasurementPeriod("facade", dt.datetime(2019, 9, 2), 15)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    grid = TimeGrid(PERIOD)
+    rng = np.random.default_rng(21)
+    t = np.arange(grid.num_bins) / grid.bins_per_day
+    data = LastMileDataset(grid=grid)
+    prb = 1
+    for asn, amplitude in ((100, 1.5), (200, 0.0)):
+        for _ in range(4):
+            medians = (
+                2.0 + amplitude * (1 + np.sin(2 * np.pi * t))
+                + rng.normal(0, 0.05, grid.num_bins)
+            )
+            data.add(
+                ProbeBinSeries(
+                    prb_id=prb, median_rtt_ms=medians,
+                    traceroute_counts=np.full(grid.num_bins, 24),
+                ),
+                meta=ProbeMeta(
+                    prb_id=prb, asn=asn, is_anchor=False,
+                    public_address="20.0.0.1",
+                ),
+            )
+            prb += 1
+    return data
+
+
+class TestAnalyzeASN:
+    def test_congested_verdict(self, dataset):
+        analysis = analyze_asn(dataset, asn=100)
+        assert isinstance(analysis, ASAnalysis)
+        assert analysis.is_congested
+        assert analysis.severity in (Severity.MILD, Severity.SEVERE)
+        assert analysis.signal.probe_count == 4
+
+    def test_clean_verdict(self, dataset):
+        analysis = analyze_asn(dataset, asn=200)
+        assert not analysis.is_congested
+        assert analysis.severity == Severity.NONE
+
+    def test_confidence_interval(self, dataset):
+        analysis = analyze_asn(
+            dataset, asn=100, with_confidence=True,
+            bootstrap_replicates=30,
+        )
+        ci = analysis.amplitude_ci
+        assert ci is not None
+        assert ci.low <= ci.value <= ci.high
+        assert ci.value == pytest.approx(3.0, rel=0.3)
+
+    def test_explicit_probe_ids(self, dataset):
+        analysis = analyze_asn(dataset, probe_ids=[1, 2, 3, 4])
+        assert analysis.is_congested
+        assert analysis.asn == -1
+
+    def test_requires_selection(self, dataset):
+        with pytest.raises(ValueError):
+            analyze_asn(dataset)
+        with pytest.raises(ValueError):
+            analyze_asn(dataset, asn=999)
+
+    def test_summary_readable(self, dataset):
+        text = analyze_asn(
+            dataset, asn=100, with_confidence=True,
+            bootstrap_replicates=20,
+        ).summary()
+        assert "AS100" in text
+        assert "daily amplitude" in text
+        assert "CI" in text
+        assert "day  1" in text
+
+    def test_deterministic_ci(self, dataset):
+        a = analyze_asn(dataset, asn=100, with_confidence=True,
+                        bootstrap_replicates=30)
+        b = analyze_asn(dataset, asn=100, with_confidence=True,
+                        bootstrap_replicates=30)
+        assert a.amplitude_ci.low == b.amplitude_ci.low

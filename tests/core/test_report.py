@@ -1,0 +1,155 @@
+"""Tests for report/series helpers."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Severity,
+    amplitude_distribution,
+    cdf,
+    daily_fraction,
+    delay_throughput_scatter_bins,
+    format_table,
+    render_severity_breakdown,
+    render_throughput_summary,
+    render_weekly_overlay,
+    weekly_delay_overlay,
+)
+from repro.core.aggregate import AggregatedSignal
+from repro.core.classify import ClassificationThresholds
+from repro.core.throughput import ThroughputSeries
+from repro.timebase import MeasurementPeriod, TimeGrid
+
+
+class TestCDF:
+    def test_basic(self):
+        x, y = cdf([3.0, 1.0, 2.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert y[-1] == 1.0
+        assert y[0] == pytest.approx(1 / 3)
+
+    def test_nan_dropped(self):
+        x, _y = cdf([1.0, np.nan, 2.0])
+        assert len(x) == 2
+
+    def test_empty(self):
+        x, y = cdf([])
+        assert len(x) == 0 and len(y) == 0
+
+
+class TestAmplitudeDistribution:
+    def test_fractions(self):
+        amps = [0.1] * 83 + [0.7] * 7 + [2.0] * 6 + [5.0] * 4
+        dist = amplitude_distribution(amps)
+        assert dist["below_low"] == pytest.approx(0.83)
+        assert dist["low_to_mild"] == pytest.approx(0.07)
+        assert dist["mild_to_severe"] == pytest.approx(0.06)
+        assert dist["above_severe"] == pytest.approx(0.04)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_custom_thresholds(self):
+        dist = amplitude_distribution(
+            [0.2, 0.8],
+            ClassificationThresholds(low_ms=0.1, mild_ms=0.5, severe_ms=1.0),
+        )
+        assert dist["low_to_mild"] == pytest.approx(0.5)
+
+    def test_empty_is_nan(self):
+        dist = amplitude_distribution([])
+        assert all(np.isnan(v) for v in dist.values())
+
+
+class TestDailyFraction:
+    def test_counts_near_daily(self):
+        freqs = [1 / 24, 1 / 24 * 1.1, 0.5, 0.02]
+        assert daily_fraction(freqs) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert np.isnan(daily_fraction([]))
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["name", "x"], [["abc", 1.23456], ["d", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.235" in lines[2]
+        assert lines[0].startswith("name")
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestOverlayRender:
+    def make_signal(self):
+        period = MeasurementPeriod("t", dt.datetime(2019, 9, 2), 14)
+        grid = TimeGrid(period)
+        t = np.arange(grid.num_bins) / grid.bins_per_day
+        delay = 2.0 * (1 + np.sin(2 * np.pi * (t - 0.375)))  # peak ~21h
+        return AggregatedSignal(
+            grid=grid, delay_ms=delay, probe_count=3,
+            contributing=np.full(grid.num_bins, 3),
+        )
+
+    def test_weekly_delay_overlay(self):
+        signal = self.make_signal()
+        hours, medians = weekly_delay_overlay(signal)
+        assert len(hours) == 7 * 48
+        assert medians.max() == pytest.approx(4.0, rel=0.05)
+
+    def test_render(self):
+        signal = self.make_signal()
+        text = render_weekly_overlay(
+            {"ISP_X": weekly_delay_overlay(signal)}
+        )
+        assert "ISP_X" in text
+        assert "peak at" in text
+
+    def test_render_empty_series(self):
+        text = render_weekly_overlay({"empty": (np.array([]), np.array([]))})
+        assert "empty" in text
+
+
+class TestRenderers:
+    def test_severity_breakdown(self):
+        pct = {
+            "1 to 10": {s: 10.0 for s in Severity},
+            "11 to 100": {s: 15.0 for s in Severity},
+        }
+        text = render_severity_breakdown(pct, title="Fig. 4")
+        assert text.startswith("Fig. 4")
+        assert "severe" in text and "1 to 10" in text
+
+    def test_throughput_summary(self):
+        period = MeasurementPeriod("t", dt.datetime(2019, 9, 19), 1)
+        grid = TimeGrid(period, 900)
+        ts = ThroughputSeries(
+            grid=grid,
+            median_mbps=np.linspace(20, 50, grid.num_bins),
+            sample_counts=np.full(grid.num_bins, 10),
+        )
+        text = render_throughput_summary({"ISP_A": ts})
+        assert "ISP_A" in text
+        assert "20.0" in text
+
+
+class TestScatterBins:
+    def test_median_per_delay_bin(self):
+        delay = np.array([0.1, 0.1, 2.5, 2.5])
+        tput = np.array([50.0, 52.0, 10.0, 14.0])
+        bins = delay_throughput_scatter_bins(delay, tput)
+        centers = [b[0] for b in bins]
+        assert len(bins) == 2
+        assert bins[0][1] == pytest.approx(51.0)
+        assert bins[1][1] == pytest.approx(12.0)
+        assert all(c >= 0 for c in centers)
+
+    def test_empty_bins_skipped(self):
+        bins = delay_throughput_scatter_bins(
+            np.array([0.1]), np.array([50.0])
+        )
+        assert len(bins) == 1
+        assert bins[0][2] == 1

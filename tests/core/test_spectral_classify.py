@@ -1,0 +1,188 @@
+"""Tests for Welch analysis and severity classification (§2.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DAILY_FREQUENCY_CPH,
+    Classification,
+    ClassificationThresholds,
+    Severity,
+    classify_markers,
+    classify_signal,
+    extract_markers,
+    fill_gaps,
+    welch_periodogram,
+)
+
+BIN_SECONDS = 1800
+BINS_PER_DAY = 48
+
+
+def daily_sine(days=15, amplitude=1.0, noise=0.0, seed=0, freq_cpd=1.0):
+    """Delay signal with a sinusoidal daily component (peak-to-peak 2A)."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(days * BINS_PER_DAY) / BINS_PER_DAY  # days
+    signal = amplitude * (1 + np.sin(2 * np.pi * freq_cpd * t))
+    if noise:
+        signal = signal + rng.normal(0, noise, size=signal.shape)
+    return np.clip(signal, 0, None)
+
+
+class TestFillGaps:
+    def test_no_nans_passthrough(self):
+        values = np.arange(5.0)
+        assert np.array_equal(fill_gaps(values), values)
+
+    def test_interior_gap_interpolated(self):
+        values = np.array([1.0, np.nan, 3.0])
+        assert fill_gaps(values)[1] == pytest.approx(2.0)
+
+    def test_edges_take_nearest(self):
+        values = np.array([np.nan, 2.0, np.nan])
+        filled = fill_gaps(values)
+        assert filled[0] == 2.0 and filled[2] == 2.0
+
+    def test_all_nan_becomes_zeros(self):
+        assert np.all(fill_gaps(np.full(10, np.nan)) == 0.0)
+
+
+class TestWelchPeriodogram:
+    def test_recovers_daily_sine_amplitude(self):
+        """A sine with peak-to-peak 2 ms reads ~2 ms at 1/24 cph."""
+        signal = daily_sine(days=15, amplitude=1.0)
+        periodogram = welch_periodogram(signal, BIN_SECONDS)
+        assert periodogram.amplitude_at(DAILY_FREQUENCY_CPH) == (
+            pytest.approx(2.0, rel=0.1)
+        )
+
+    def test_daily_bin_exists_exactly(self):
+        signal = daily_sine(days=15)
+        periodogram = welch_periodogram(signal, BIN_SECONDS)
+        gap = np.min(
+            np.abs(periodogram.frequencies_cph - DAILY_FREQUENCY_CPH)
+        )
+        assert gap == pytest.approx(0.0, abs=1e-12)
+
+    def test_flat_spectrum_for_noise(self):
+        rng = np.random.default_rng(1)
+        noise = rng.normal(0, 0.3, size=15 * BINS_PER_DAY)
+        periodogram = welch_periodogram(noise, BIN_SECONDS)
+        daily = periodogram.amplitude_at(DAILY_FREQUENCY_CPH)
+        assert daily < 0.5
+
+    def test_prominent_finds_daily(self):
+        signal = daily_sine(days=15, amplitude=1.0, noise=0.1)
+        periodogram = welch_periodogram(signal, BIN_SECONDS)
+        freq, amp = periodogram.prominent()
+        assert freq == pytest.approx(DAILY_FREQUENCY_CPH, rel=0.01)
+        assert amp > 1.0
+
+    def test_prominent_finds_twice_daily(self):
+        signal = daily_sine(days=15, amplitude=1.0, freq_cpd=2.0)
+        periodogram = welch_periodogram(signal, BIN_SECONDS)
+        freq, _amp = periodogram.prominent()
+        assert freq == pytest.approx(2 * DAILY_FREQUENCY_CPH, rel=0.01)
+
+    def test_short_signal_adapts_segment(self):
+        signal = daily_sine(days=2, amplitude=1.0)
+        periodogram = welch_periodogram(signal, BIN_SECONDS)
+        assert periodogram.amplitude_at(DAILY_FREQUENCY_CPH) > 1.0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            welch_periodogram(np.array([1.0]), BIN_SECONDS)
+
+    def test_gaps_tolerated(self):
+        signal = daily_sine(days=15, amplitude=1.0)
+        signal[100:110] = np.nan
+        periodogram = welch_periodogram(signal, BIN_SECONDS)
+        assert periodogram.amplitude_at(DAILY_FREQUENCY_CPH) == (
+            pytest.approx(2.0, rel=0.15)
+        )
+
+    @settings(deadline=None)
+    @given(st.floats(min_value=0.3, max_value=5.0))
+    def test_amplitude_scales_linearly(self, amplitude):
+        signal = daily_sine(days=15, amplitude=amplitude)
+        periodogram = welch_periodogram(signal, BIN_SECONDS)
+        assert periodogram.amplitude_at(DAILY_FREQUENCY_CPH) == (
+            pytest.approx(2 * amplitude, rel=0.1)
+        )
+
+
+class TestExtractMarkers:
+    def test_constant_signal_degenerate(self):
+        assert extract_markers(np.full(720, 2.0), BIN_SECONDS) is None
+        assert extract_markers(np.full(720, np.nan), BIN_SECONDS) is None
+
+    def test_daily_markers(self):
+        markers = extract_markers(
+            daily_sine(days=15, amplitude=1.0, noise=0.05), BIN_SECONDS
+        )
+        assert markers.daily_is_prominent
+        assert markers.daily_amplitude_ms == pytest.approx(2.0, rel=0.15)
+
+    def test_weekly_pattern_not_daily(self):
+        """A weekly-only pattern must not register as daily."""
+        t = np.arange(15 * BINS_PER_DAY) / BINS_PER_DAY
+        weekly = 2.0 * (1 + np.sin(2 * np.pi * t / 7.0))
+        markers = extract_markers(weekly, BIN_SECONDS)
+        if markers is not None:
+            assert not markers.daily_is_prominent
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "amplitude,expected",
+        [
+            (0.1, Severity.NONE),
+            (0.4, Severity.LOW),       # pk-pk 0.8 -> Low
+            (0.8, Severity.MILD),      # pk-pk 1.6 -> Mild
+            (2.5, Severity.SEVERE),    # pk-pk 5.0 -> Severe
+        ],
+    )
+    def test_thresholds(self, amplitude, expected):
+        signal = daily_sine(days=15, amplitude=amplitude, noise=0.02)
+        result = classify_signal(signal, BIN_SECONDS)
+        assert result.severity == expected
+
+    def test_flat_signal_is_none(self):
+        result = classify_signal(np.full(720, 1.0), BIN_SECONDS)
+        assert result.severity == Severity.NONE
+        assert result.daily_amplitude_ms == 0.0
+
+    def test_noise_is_none(self):
+        rng = np.random.default_rng(3)
+        noise = rng.normal(1.0, 0.1, size=720)
+        result = classify_signal(noise, BIN_SECONDS)
+        assert result.severity == Severity.NONE
+
+    def test_nondaily_pattern_is_none_even_if_large(self):
+        t = np.arange(15 * BINS_PER_DAY) / BINS_PER_DAY
+        fast = 5.0 * (1 + np.sin(2 * np.pi * 6.0 * t))  # 4-hour cycle
+        result = classify_signal(fast, BIN_SECONDS)
+        assert result.severity == Severity.NONE
+
+    def test_custom_thresholds(self):
+        signal = daily_sine(days=15, amplitude=0.4)
+        strict = ClassificationThresholds(
+            low_ms=0.1, mild_ms=0.2, severe_ms=0.5
+        )
+        result = classify_signal(signal, BIN_SECONDS, strict)
+        assert result.severity == Severity.SEVERE
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ClassificationThresholds(low_ms=2.0, mild_ms=1.0, severe_ms=3.0)
+
+    def test_severity_ordering(self):
+        assert Severity.NONE < Severity.LOW < Severity.MILD < Severity.SEVERE
+        assert not Severity.NONE.is_reported
+        assert Severity.LOW.is_reported
+
+    def test_classify_markers_none_input(self):
+        result = classify_markers(None)
+        assert result == Classification(Severity.NONE, None)

@@ -1,0 +1,160 @@
+"""Tests for bootstrap statistics and churn metrics."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LastMileDataset,
+    ProbeBinSeries,
+    bootstrap_daily_amplitude,
+    bootstrap_spearman,
+    bootstrap_statistic,
+    churn_jaccard,
+)
+from repro.timebase import MeasurementPeriod, TimeGrid
+
+PERIOD = MeasurementPeriod("stats", dt.datetime(2019, 9, 2), 15)
+
+
+class TestBootstrapStatistic:
+    def test_mean_interval_contains_truth(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(5.0, 1.0, size=200)
+        estimate = bootstrap_statistic(
+            sample, np.mean, replicates=500,
+            rng=np.random.default_rng(1),
+        )
+        assert estimate.low < 5.0 < estimate.high
+        assert estimate.value == pytest.approx(sample.mean())
+        assert estimate.width < 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_statistic(np.array([1.0]), np.mean)
+        with pytest.raises(ValueError):
+            bootstrap_statistic(
+                np.array([1.0, 2.0]), np.mean, confidence=1.0
+            )
+
+    def test_reproducible(self):
+        sample = np.arange(50.0)
+        a = bootstrap_statistic(
+            sample, np.median, rng=np.random.default_rng(3)
+        )
+        b = bootstrap_statistic(
+            sample, np.median, rng=np.random.default_rng(3)
+        )
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_str(self):
+        estimate = bootstrap_statistic(
+            np.arange(20.0), np.mean, rng=np.random.default_rng(0)
+        )
+        text = str(estimate)
+        assert "95% CI" in text
+
+
+class TestBootstrapAmplitude:
+    def make_dataset(self, probes=6, amplitude=1.5):
+        grid = TimeGrid(PERIOD)
+        rng = np.random.default_rng(5)
+        t = np.arange(grid.num_bins) / grid.bins_per_day
+        dataset = LastMileDataset(grid=grid)
+        for prb_id in range(probes):
+            per_probe_amp = amplitude * rng.uniform(0.8, 1.2)
+            medians = (
+                rng.uniform(1, 3)
+                + per_probe_amp * (1 + np.sin(2 * np.pi * t))
+                + rng.normal(0, 0.05, grid.num_bins)
+            )
+            dataset.add(ProbeBinSeries(
+                prb_id=prb_id, median_rtt_ms=medians,
+                traceroute_counts=np.full(grid.num_bins, 24),
+            ))
+        return dataset
+
+    def test_interval_brackets_point(self):
+        dataset = self.make_dataset()
+        estimate = bootstrap_daily_amplitude(
+            dataset, replicates=50, rng=np.random.default_rng(2)
+        )
+        assert estimate.low <= estimate.value <= estimate.high
+        # sine amplitude ~1.5 -> pk-pk ~3.
+        assert estimate.value == pytest.approx(3.0, rel=0.25)
+        assert estimate.width < 1.5
+
+    def test_needs_two_probes(self):
+        dataset = self.make_dataset(probes=1)
+        with pytest.raises(ValueError):
+            bootstrap_daily_amplitude(dataset)
+
+
+class TestBootstrapSpearman:
+    def test_strong_anticorrelation_detected(self):
+        rng = np.random.default_rng(4)
+        x = np.linspace(0, 3, 200) + rng.normal(0, 0.1, 200)
+        y = 50 - 10 * x + rng.normal(0, 1.0, 200)
+        estimate = bootstrap_spearman(
+            x, y, replicates=200, rng=np.random.default_rng(5)
+        )
+        assert estimate.value < -0.9
+        assert estimate.high < -0.8
+
+    def test_null_interval_contains_zero(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=300)
+        y = rng.normal(size=300)
+        estimate = bootstrap_spearman(
+            x, y, replicates=300, rng=np.random.default_rng(7)
+        )
+        assert estimate.low < 0.0 < estimate.high
+
+    def test_nan_bins_dropped(self):
+        x = np.linspace(0, 1, 100)
+        y = 1 - x
+        x2 = x.copy()
+        x2[:10] = np.nan
+        estimate = bootstrap_spearman(
+            x2, y, replicates=50, rng=np.random.default_rng(8)
+        )
+        assert estimate.value == pytest.approx(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_spearman(np.zeros(5), np.zeros(6))
+        with pytest.raises(ValueError):
+            bootstrap_spearman(np.zeros(10), np.zeros(10), block=8)
+
+
+class TestChurn:
+    def test_jaccard(self):
+        assert churn_jaccard([1, 2, 3], [2, 3, 4]) == pytest.approx(0.5)
+        assert churn_jaccard([], []) == 1.0
+        assert churn_jaccard([1], []) == 0.0
+        assert churn_jaccard([1, 2], [1, 2]) == 1.0
+
+    def test_suite_integration(self):
+        import datetime as dt
+
+        from repro.core import SurveyResult, SurveySuite
+        from repro.core.classify import Classification, Severity
+        from repro.core.survey import ASReport
+
+        def result(name, asns):
+            r = SurveyResult(period=MeasurementPeriod(
+                name, dt.datetime(2019, 9, 1), 15
+            ))
+            for asn in asns:
+                r.reports[asn] = ASReport(
+                    asn=asn, probe_count=3,
+                    classification=Classification(Severity.MILD, None),
+                )
+            return r
+
+        suite = SurveySuite()
+        suite.add(result("p1", [1, 2, 3]))
+        suite.add(result("p2", [2, 3, 4]))
+        assert suite.churn_between("p1", "p2") == pytest.approx(0.5)
+        assert suite.mean_consecutive_similarity() == pytest.approx(0.5)

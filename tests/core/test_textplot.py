@@ -1,0 +1,96 @@
+"""Tests for text rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    daily_panel,
+    downsample,
+    horizontal_bars,
+    sparkline,
+    timeseries_panel,
+)
+from repro.core.textplot import GAP_CHAR, SPARK_LEVELS
+
+
+class TestSparkline:
+    def test_levels_span_range(self):
+        text = sparkline([0.0, 0.5, 1.0])
+        assert text[0] == SPARK_LEVELS[0]
+        assert text[-1] == SPARK_LEVELS[-1]
+        assert len(text) == 3
+
+    def test_nan_renders_gap(self):
+        text = sparkline([1.0, np.nan, 2.0])
+        assert text[1] == GAP_CHAR
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        text = sparkline([2.0, 2.0, 2.0])
+        assert len(set(text)) == 1
+
+    def test_explicit_maximum(self):
+        # Against a high ceiling, modest values stay low.
+        text = sparkline([1.0], maximum=100.0)
+        assert text == SPARK_LEVELS[0]
+
+
+class TestDownsample:
+    def test_short_series_unchanged(self):
+        values = np.arange(5.0)
+        assert np.array_equal(downsample(values, 10), values)
+
+    def test_reduces_to_width(self):
+        values = np.arange(100.0)
+        reduced = downsample(values, 10)
+        assert reduced.shape == (10,)
+        assert np.all(np.diff(reduced) > 0)  # still monotone
+
+    def test_nan_blocks_stay_nan(self):
+        values = np.full(100, np.nan)
+        values[50:] = 1.0
+        reduced = downsample(values, 10)
+        assert np.isnan(reduced[0])
+        assert reduced[-1] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            downsample(np.arange(5.0), 0)
+
+
+class TestPanels:
+    def test_timeseries_panel(self):
+        text = timeseries_panel(
+            np.linspace(0, 4, 200), label="ISP_A", unit="ms"
+        )
+        assert text.startswith("ISP_A")
+        assert "0.00–4.00 ms" in text
+
+    def test_daily_panel_rows(self):
+        values = np.tile(np.linspace(0, 2, 48), 3)  # 3 days
+        text = daily_panel(values, bins_per_day=48, label="delay")
+        lines = text.splitlines()
+        assert lines[0].startswith("delay")
+        assert len(lines) == 4  # header + 3 days
+        assert "day  1" in lines[1]
+
+
+class TestHorizontalBars:
+    def test_bars_scale(self):
+        text = horizontal_bars(
+            ["a", "bb"], [1.0, 2.0], width=10, unit="ms"
+        )
+        lines = text.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+        assert "2.00 ms" in lines[1]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            horizontal_bars(["a"], [1.0, 2.0])
+
+    def test_zero_values(self):
+        text = horizontal_bars(["a"], [0.0], width=5)
+        assert "░░░░░" in text

@@ -1,0 +1,197 @@
+"""Tests for the CDN throughput pipeline (§4.2)."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.bgp import RoutingTable
+from repro.cdn import AccessLogDataset, AccessLogRecord, MobilePrefixList
+from repro.core import (
+    MIN_OBJECT_BYTES,
+    ThroughputSeries,
+    filter_requests,
+    median_throughput_series,
+    per_asn_throughput,
+    resolve_client_asns,
+)
+from repro.netbase import Prefix
+from repro.timebase import MeasurementPeriod, TimeGrid
+
+PERIOD = MeasurementPeriod("t", dt.datetime(2019, 9, 19), 1)
+
+
+def grid15():
+    return TimeGrid(PERIOD, 900)
+
+
+def record(ts=0.0, ip="20.0.0.1", size=5_000_000, dur=1000.0, hit=True):
+    af = 6 if ":" in ip else 4
+    return AccessLogRecord(
+        timestamp=ts, client_ip=ip, af=af,
+        bytes_sent=size, duration_ms=dur, cache_hit=hit,
+    )
+
+
+class TestFilterRequests:
+    def test_size_filter(self):
+        dataset = AccessLogDataset.from_records([
+            record(size=MIN_OBJECT_BYTES + 1),
+            record(size=MIN_OBJECT_BYTES),     # boundary: excluded
+            record(size=1_000),
+        ])
+        assert len(filter_requests(dataset)) == 1
+
+    def test_cache_filter(self):
+        dataset = AccessLogDataset.from_records([
+            record(hit=True), record(hit=False),
+        ])
+        assert len(filter_requests(dataset)) == 1
+        assert len(filter_requests(dataset, cache_hit_only=False)) == 2
+
+    def test_mobile_exclusion_and_only(self):
+        mobile = MobilePrefixList([Prefix.parse("21.0.0.0/16")])
+        dataset = AccessLogDataset.from_records([
+            record(ip="20.0.0.1"),
+            record(ip="21.0.0.1"),
+        ])
+        broadband = filter_requests(dataset, mobile_prefixes=mobile)
+        assert len(broadband) == 1
+        assert str(broadband.client_values[0]) != ""
+        only = filter_requests(
+            dataset, mobile_prefixes=mobile, mobile_mode="only"
+        )
+        assert len(only) == 1
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            filter_requests(AccessLogDataset.empty(), mobile_mode="x")
+
+
+class TestResolveClientASNs:
+    def test_lpm_with_unannounced(self):
+        table = RoutingTable()
+        table.announce_prefix(Prefix.parse("20.0.0.0/16"), 64500)
+        dataset = AccessLogDataset.from_records([
+            record(ip="20.0.0.1"), record(ip="99.0.0.1"),
+        ])
+        asns = resolve_client_asns(dataset, table)
+        assert list(asns) == [64500, -1]
+
+
+class TestMedianSeries:
+    def test_median_per_bin(self):
+        # Two requests in bin 0 at 40 and 20 Mbps, one in bin 1.
+        dataset = AccessLogDataset.from_records([
+            record(ts=10.0, dur=1000.0),    # 40 Mbps
+            record(ts=20.0, dur=2000.0),    # 20 Mbps
+            record(ts=30.0, dur=4000.0),    # 10 Mbps
+            record(ts=910.0, dur=1000.0),
+        ])
+        series = median_throughput_series(
+            dataset, grid15(), min_samples_per_bin=1
+        )
+        assert series.median_mbps[0] == pytest.approx(20.0)
+        assert series.median_mbps[1] == pytest.approx(40.0)
+        assert series.sample_counts[0] == 3
+        assert np.isnan(series.median_mbps[5])
+
+    def test_min_samples(self):
+        dataset = AccessLogDataset.from_records([record(ts=10.0)])
+        series = median_throughput_series(dataset, grid15())
+        assert np.isnan(series.median_mbps[0])  # below min 3
+
+    def test_per_ip_mode_resists_heavy_users(self):
+        """One chatty fast client must not dominate the per-IP median."""
+        records = []
+        # Client A: 10 requests at 80 Mbps in bin 0.
+        for i in range(10):
+            records.append(record(
+                ts=float(i), ip="20.0.0.1", dur=500.0
+            ))
+        # Clients B, C, D: one request each at 10 Mbps.
+        for i, ip in enumerate(["20.0.0.2", "20.0.0.3", "20.0.0.4"]):
+            records.append(record(ts=float(i), ip=ip, dur=4000.0))
+        dataset = AccessLogDataset.from_records(records)
+
+        per_request = median_throughput_series(
+            dataset, grid15(), min_samples_per_bin=1
+        )
+        per_ip = median_throughput_series(
+            dataset, grid15(), min_samples_per_bin=1, per_ip=True
+        )
+        # Per-request: 10 of 13 samples are 80 Mbps -> median 80.
+        assert per_request.median_mbps[0] == pytest.approx(80.0)
+        # Per-IP: samples are (80, 10, 10, 10) -> median 10.
+        assert per_ip.median_mbps[0] == pytest.approx(10.0)
+        assert per_ip.sample_counts[0] == 4
+
+    def test_per_ip_counts_clients_not_requests(self):
+        records = [record(ts=float(i), ip="20.0.0.1") for i in range(5)]
+        dataset = AccessLogDataset.from_records(records)
+        series = median_throughput_series(
+            dataset, grid15(), min_samples_per_bin=1, per_ip=True
+        )
+        assert series.sample_counts[0] == 1
+
+    def test_daily_min(self):
+        period = MeasurementPeriod("d2", dt.datetime(2019, 9, 19), 2)
+        grid = TimeGrid(period, 900)
+        medians = np.full(grid.num_bins, 50.0)
+        medians[10] = 12.0          # day 1 dip
+        medians[96 + 20] = 8.0      # day 2 dip
+        series = ThroughputSeries(
+            grid=grid, median_mbps=medians,
+            sample_counts=np.full(grid.num_bins, 10),
+        )
+        assert series.daily_min_mbps() == pytest.approx([12.0, 8.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputSeries(
+                grid=grid15(), median_mbps=np.zeros(3),
+                sample_counts=np.zeros(3),
+            )
+
+
+class TestPerASN:
+    def test_grouping(self):
+        table = RoutingTable()
+        table.announce_prefix(Prefix.parse("20.0.0.0/16"), 64500)
+        table.announce_prefix(Prefix.parse("21.0.0.0/16"), 64501)
+        records = []
+        for i in range(20):
+            records.append(record(ts=float(i), ip="20.0.0.5", dur=1000.0))
+            records.append(record(ts=float(i), ip="21.0.0.5", dur=4000.0))
+        dataset = AccessLogDataset.from_records(records)
+        result = per_asn_throughput(dataset, grid15(), table)
+        assert set(result) == {64500, 64501}
+        assert result[64500].median_mbps[0] == pytest.approx(40.0)
+        assert result[64501].median_mbps[0] == pytest.approx(10.0)
+
+    def test_af_restriction(self):
+        table = RoutingTable()
+        table.announce_prefix(Prefix.parse("20.0.0.0/16"), 64500)
+        table.announce_prefix(Prefix.parse("2400:8900::/32"), 64500)
+        records = [
+            record(ts=float(i), ip="20.0.0.5", dur=4000.0)
+            for i in range(5)
+        ] + [
+            record(ts=float(i), ip="2400:8900::5", dur=1000.0)
+            for i in range(5)
+        ]
+        dataset = AccessLogDataset.from_records(records)
+        v4 = per_asn_throughput(dataset, grid15(), table, af=4)
+        v6 = per_asn_throughput(dataset, grid15(), table, af=6)
+        assert v4[64500].median_mbps[0] == pytest.approx(10.0)
+        assert v6[64500].median_mbps[0] == pytest.approx(40.0)
+
+    def test_explicit_asn_list(self):
+        table = RoutingTable()
+        table.announce_prefix(Prefix.parse("20.0.0.0/16"), 64500)
+        dataset = AccessLogDataset.from_records([record()])
+        result = per_asn_throughput(
+            dataset, grid15(), table, asns=[64500, 64999]
+        )
+        assert set(result) == {64500, 64999}
+        assert np.all(np.isnan(result[64999].median_mbps))

@@ -1,0 +1,150 @@
+"""Specificity of the last-mile methodology vs inter-domain congestion.
+
+The paper positions itself against Dhamdhere et al.'s *inter-domain*
+congestion work: both phenomena show clear daily patterns, but they
+live on different segments.  The hop-subtraction methodology must not
+attribute a congested transit/peering link to the last mile — while a
+naive end-to-end delay analysis would.
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.atlas import AtlasPlatform, ProbeVersion
+from repro.core import (
+    aggregate_population,
+    classify_signal,
+    estimate_dataset,
+)
+from repro.core.lastmile import e2e_samples, lastmile_samples
+from repro.netbase import AccessTechnology, ASInfo, ASRole
+from repro.queueing import LinkModel, SharedDevice
+from repro.timebase import MeasurementPeriod, TimeGrid
+from repro.traffic import DemandSeries, WeeklyDemandModel
+from repro.topology import ProvisioningPolicy, World
+
+PERIOD = MeasurementPeriod("interdomain", dt.datetime(2019, 9, 2), 4)
+
+
+@pytest.fixture(scope="module")
+def congested_transit_world():
+    """Clean last mile, badly congested upstream peering link."""
+    world = World(seed=88)
+    isp = world.add_isp(
+        ASInfo(
+            64501, "CleanAccess", "JP", ASRole.EYEBALL,
+            access_technologies=[AccessTechnology.FTTH_OWN],
+        ),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={AccessTechnology.FTTH_OWN: 0.45},
+            load_jitter_std=0.0,
+        ),
+    )
+    world.add_default_targets()
+    world.finalize()
+
+    peering = SharedDevice(
+        name="congested-peering",
+        link=LinkModel(service_time_ms=0.5, max_delay_ms=60.0),
+        demand=DemandSeries(
+            model=WeeklyDemandModel.residential(),
+            utc_offset_hours=9.0,
+        ),
+        peak_utilization=0.97,
+        jitter_std=0.0,
+    )
+    world.add_interdomain_congestion(64501, peering)
+
+    platform = AtlasPlatform(world)
+    platform.config.outage_rate_per_day = 0.0
+    probes = platform.deploy_probes_on_isp(
+        isp, 4, version=ProbeVersion.V3
+    )
+    raw = platform.run_period(PERIOD, probes)
+    return world, raw
+
+
+class TestInterdomainSpecificity:
+    def grid(self):
+        return TimeGrid(PERIOD)
+
+    def test_e2e_delay_shows_interdomain_congestion(
+        self, congested_transit_world
+    ):
+        _world, raw = congested_transit_world
+        e2e = estimate_dataset(
+            raw.results, self.grid(), probe_meta=raw.probe_meta,
+            sample_fn=e2e_samples,
+        )
+        signal = aggregate_population(e2e)
+        result = classify_signal(signal.delay_ms, 1800)
+        # Naive end-to-end analysis flags the AS hard.
+        assert signal.max_delay_ms > 3.0
+        assert result.severity.is_reported
+
+    def test_lastmile_pipeline_stays_clean(
+        self, congested_transit_world
+    ):
+        """The hop subtraction removes the transit queue entirely."""
+        _world, raw = congested_transit_world
+        lastmile = estimate_dataset(
+            raw.results, self.grid(), probe_meta=raw.probe_meta,
+            sample_fn=lastmile_samples,
+        )
+        signal = aggregate_population(lastmile)
+        result = classify_signal(signal.delay_ms, 1800)
+        assert not result.severity.is_reported
+        assert signal.max_delay_ms < 0.8
+
+    def test_amplitude_separation(self, congested_transit_world):
+        """Orders of magnitude between e2e and last-mile amplitudes."""
+        _world, raw = congested_transit_world
+        grid = self.grid()
+        e2e = aggregate_population(estimate_dataset(
+            raw.results, grid, sample_fn=e2e_samples
+        ))
+        lastmile = aggregate_population(estimate_dataset(
+            raw.results, grid, sample_fn=lastmile_samples
+        ))
+        assert e2e.max_delay_ms > 10 * lastmile.max_delay_ms
+
+    def test_target_scoped_congestion(self):
+        """Congestion toward one target leaves other paths clean."""
+        world = World(seed=89)
+        isp = world.add_isp(
+            ASInfo(
+                64501, "X", "JP", ASRole.EYEBALL,
+                access_technologies=[AccessTechnology.FTTH_OWN],
+            ),
+            provisioning=ProvisioningPolicy(load_jitter_std=0.0),
+        )
+        targets = world.add_default_targets()
+        world.finalize()
+        device = SharedDevice(
+            name="one-peering",
+            link=LinkModel(service_time_ms=0.5),
+            demand=DemandSeries(model=WeeklyDemandModel.residential()),
+            peak_utilization=0.97,
+        )
+        world.add_interdomain_congestion(
+            64501, device, target_name=targets[0].name
+        )
+        subscriber = isp.attach_subscriber()
+        hot_path = world.build_path(subscriber, targets[0])
+        cold_path = world.build_path(subscriber, targets[1])
+        assert hot_path.interdomain_device is device
+        assert cold_path.interdomain_device is None
+        assert any(h.interdomain_queue for h in hot_path.hops)
+        assert not any(h.interdomain_queue for h in cold_path.hops)
+
+    def test_unknown_asn_rejected(self):
+        world = World(seed=90)
+        device = SharedDevice(
+            name="x", link=LinkModel(),
+            demand=DemandSeries(model=WeeklyDemandModel.residential()),
+            peak_utilization=0.9,
+        )
+        with pytest.raises(KeyError):
+            world.add_interdomain_congestion(99999, device)

@@ -1,0 +1,102 @@
+"""Tests for the SVG chart writer."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.io import ChartStyle, bar_chart_svg, line_chart_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestLineChart:
+    def test_well_formed_with_series(self):
+        svg = line_chart_svg(
+            {
+                "a": ([0, 1, 2, 3], [0.0, 1.0, 0.5, 2.0]),
+                "b": ([0, 1, 2, 3], [2.0, 1.5, 1.0, 0.5]),
+            },
+            title="Demo", x_label="time", y_label="ms",
+        )
+        root = parse(svg)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) >= 2
+        texts = [t.text for t in root.iter(f"{SVG_NS}text")]
+        assert "Demo" in texts
+        assert "a" in texts and "b" in texts
+        assert "time" in texts and "ms" in texts
+
+    def test_nan_breaks_line(self):
+        svg = line_chart_svg(
+            {"gap": ([0, 1, 2, 3, 4],
+                     [1.0, 1.2, np.nan, 1.1, 1.3])},
+        )
+        root = parse(svg)
+        # Legend line + two segments.
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart_svg({})
+        with pytest.raises(ValueError):
+            line_chart_svg({"x": ([0, 1], [1.0])})
+        with pytest.raises(ValueError):
+            line_chart_svg({"x": ([0.0], [float("nan")])})
+
+    def test_custom_style_dimensions(self):
+        style = ChartStyle(width=320, height=200)
+        svg = line_chart_svg(
+            {"a": ([0, 1], [0.0, 1.0])}, style=style
+        )
+        root = parse(svg)
+        assert root.get("width") == "320"
+        assert root.get("height") == "200"
+
+
+class TestBarChart:
+    def test_bars_and_labels(self):
+        svg = bar_chart_svg(
+            ["none", "low", "mild"], [10, 3, 1],
+            title="Classes", y_label="ASes",
+        )
+        root = parse(svg)
+        # Background + 3 bar rects.
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) == 4
+        texts = [t.text for t in root.iter(f"{SVG_NS}text")]
+        assert "none" in texts and "10" in texts
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart_svg(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart_svg([], [])
+
+    def test_nan_bar_skipped(self):
+        svg = bar_chart_svg(["a", "b"], [1.0, float("nan")])
+        root = parse(svg)
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) == 2  # background + one bar
+
+
+class TestSiteIntegration:
+    def test_export_site_includes_svgs(self, tmp_path):
+        from tests.io.test_surveys import make_result, make_ranking
+        from repro.core import SurveySuite
+        from repro.io import export_site
+
+        suite = SurveySuite()
+        suite.add(make_result())
+        written = export_site(suite, tmp_path / "site", make_ranking())
+        amp = tmp_path / "site" / "survey-2019-09-amplitudes.svg"
+        classes = tmp_path / "site" / "survey-2019-09-classes.svg"
+        assert amp.exists() and classes.exists()
+        parse(amp.read_text())
+        parse(classes.read_text())
+        assert "svg-amplitudes-2019-09" in written

@@ -1,0 +1,116 @@
+"""Tests for dataset persistence."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.atlas import AtlasPlatform, ProbeVersion
+from repro.core import LastMileDataset, ProbeBinSeries
+from repro.io import (
+    load_lastmile,
+    load_traceroutes,
+    save_lastmile,
+    save_traceroutes,
+)
+from repro.netbase import AccessTechnology, ASInfo, ASRole
+from repro.timebase import MeasurementPeriod, TimeGrid
+from repro.topology import ProvisioningPolicy, World
+
+PERIOD = MeasurementPeriod("io-test", dt.datetime(2019, 9, 2), 1)
+
+
+@pytest.fixture(scope="module")
+def platform_and_probes():
+    world = World(seed=31)
+    isp = world.add_isp(
+        ASInfo(
+            64500, "IO", "JP", ASRole.EYEBALL,
+            access_technologies=[AccessTechnology.FTTH_OWN],
+        ),
+        provisioning=ProvisioningPolicy(),
+    )
+    world.add_default_targets()
+    world.finalize()
+    platform = AtlasPlatform(world)
+    platform.config.outage_rate_per_day = 0.0
+    probes = platform.deploy_probes_on_isp(
+        isp, 2, version=ProbeVersion.V3
+    )
+    return platform, probes
+
+
+class TestTraceroutePersistence:
+    def test_roundtrip(self, platform_and_probes, tmp_path):
+        platform, probes = platform_and_probes
+        dataset = platform.run_period(PERIOD, probes)
+        path = tmp_path / "results.jsonl"
+        rows = save_traceroutes(dataset, path)
+        assert rows == len(dataset)
+
+        restored = load_traceroutes(path)
+        assert len(restored) == len(dataset)
+        assert restored.probe_ids() == dataset.probe_ids()
+        prb = dataset.probe_ids()[0]
+        assert restored.for_probe(prb)[0] == dataset.for_probe(prb)[0]
+        # Metadata sidecar restored too.
+        assert restored.probe_meta[prb] == dataset.probe_meta[prb]
+
+    def test_load_without_sidecar(self, platform_and_probes, tmp_path):
+        platform, probes = platform_and_probes
+        dataset = platform.run_period(PERIOD, probes)
+        path = tmp_path / "bare.jsonl"
+        save_traceroutes(dataset, path)
+        (tmp_path / "bare.jsonl.meta.json").unlink()
+        restored = load_traceroutes(path)
+        assert len(restored) == len(dataset)
+        assert restored.probe_meta == {}
+
+
+class TestLastMilePersistence:
+    def test_roundtrip(self, platform_and_probes, tmp_path):
+        platform, probes = platform_and_probes
+        dataset = platform.run_period_binned(PERIOD, probes)
+        base = tmp_path / "lastmile"
+        save_lastmile(dataset, base)
+        restored = load_lastmile(base)
+
+        assert restored.probe_ids() == dataset.probe_ids()
+        assert restored.grid.num_bins == dataset.grid.num_bins
+        assert restored.grid.period.name == PERIOD.name
+        for prb_id in dataset.probe_ids():
+            original = dataset.series[prb_id]
+            loaded = restored.series[prb_id]
+            assert np.allclose(
+                original.median_rtt_ms, loaded.median_rtt_ms,
+                equal_nan=True,
+            )
+            assert np.array_equal(
+                original.traceroute_counts, loaded.traceroute_counts
+            )
+            assert restored.probe_meta[prb_id] == (
+                dataset.probe_meta[prb_id]
+            )
+
+    def test_empty_dataset(self, tmp_path):
+        grid = TimeGrid(PERIOD)
+        dataset = LastMileDataset(grid=grid)
+        base = tmp_path / "empty"
+        save_lastmile(dataset, base)
+        restored = load_lastmile(base)
+        assert len(restored) == 0
+        assert restored.grid.num_bins == grid.num_bins
+
+    def test_nan_preserved(self, tmp_path):
+        grid = TimeGrid(PERIOD)
+        medians = np.full(grid.num_bins, 5.0)
+        medians[3] = np.nan
+        dataset = LastMileDataset(grid=grid)
+        dataset.add(ProbeBinSeries(
+            prb_id=1, median_rtt_ms=medians,
+            traceroute_counts=np.full(grid.num_bins, 24),
+        ))
+        base = tmp_path / "nan"
+        save_lastmile(dataset, base)
+        restored = load_lastmile(base)
+        assert np.isnan(restored.series[1].median_rtt_ms[3])

@@ -1,0 +1,112 @@
+"""Tests for per-AS drill-down pages."""
+
+import datetime as dt
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.apnic import EyeballRanking
+from repro.core import classify_dataset
+from repro.core.aggregate import AggregatedSignal
+from repro.core.series import LastMileDataset, ProbeBinSeries
+from repro.atlas import ProbeMeta
+from repro.io import as_page_markdown, as_page_svg, export_as_pages
+from repro.netbase import ASInfo, ASRegistry, ASRole
+from repro.timebase import MeasurementPeriod, TimeGrid
+
+PERIOD = MeasurementPeriod("pages", dt.datetime(2019, 9, 2), 14)
+
+
+@pytest.fixture(scope="module")
+def survey_with_signals():
+    grid = TimeGrid(PERIOD)
+    rng = np.random.default_rng(12)
+    t = np.arange(grid.num_bins) / grid.bins_per_day
+    dataset = LastMileDataset(grid=grid)
+    prb = 1
+    for asn, amplitude in ((100, 2.0), (200, 0.0)):
+        for _ in range(3):
+            medians = (
+                2.0 + amplitude * (1 + np.sin(2 * np.pi * t))
+                + rng.normal(0, 0.05, grid.num_bins)
+            )
+            dataset.add(
+                ProbeBinSeries(
+                    prb_id=prb, median_rtt_ms=medians,
+                    traceroute_counts=np.full(grid.num_bins, 24),
+                ),
+                meta=ProbeMeta(
+                    prb_id=prb, asn=asn, is_anchor=False,
+                    public_address="20.0.0.1",
+                ),
+            )
+            prb += 1
+    result = classify_dataset(dataset, PERIOD, keep_signals=True)
+    registry = ASRegistry()
+    registry.register(ASInfo(100, "Hot", "JP", ASRole.EYEBALL,
+                             subscribers=1_000_000))
+    registry.register(ASInfo(200, "Cool", "DE", ASRole.EYEBALL,
+                             subscribers=500_000))
+    ranking = EyeballRanking.from_registry(registry)
+    return result, ranking
+
+
+class TestSignalsRetention:
+    def test_keep_signals_flag(self, survey_with_signals):
+        result, _ranking = survey_with_signals
+        assert set(result.signals) == {100, 200}
+        assert isinstance(result.signals[100], AggregatedSignal)
+
+    def test_default_discards_signals(self):
+        grid = TimeGrid(PERIOD)
+        dataset = LastMileDataset(grid=grid)
+        result = classify_dataset(dataset, PERIOD)
+        assert result.signals == {}
+
+
+class TestPageRendering:
+    def test_markdown_content(self, survey_with_signals):
+        result, ranking = survey_with_signals
+        text = as_page_markdown(
+            100, result.reports[100], result.signals[100],
+            ranking, utc_offset_hours=9.0,
+        )
+        assert text.startswith("# AS100")
+        assert "Country: JP" in text
+        assert "daily peak-to-peak amplitude" in text
+        assert "day  1" in text          # sparkline panel
+        assert "as100-delay.svg" in text
+
+    def test_svg_parses(self, survey_with_signals):
+        result, _ranking = survey_with_signals
+        svg = as_page_svg(100, result.signals[100], 9.0)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+
+class TestExport:
+    def test_reported_only(self, survey_with_signals, tmp_path):
+        result, ranking = survey_with_signals
+        written = export_as_pages(
+            tmp_path / "pages", result.reports, result.signals,
+            ranking,
+        )
+        assert set(written) == {100}   # AS200 is None-class
+        assert (tmp_path / "pages" / "as100.md").exists()
+        assert (tmp_path / "pages" / "as100-delay.svg").exists()
+
+    def test_include_all(self, survey_with_signals, tmp_path):
+        result, ranking = survey_with_signals
+        written = export_as_pages(
+            tmp_path / "all", result.reports, result.signals,
+            ranking, reported_only=False,
+        )
+        assert set(written) == {100, 200}
+
+    def test_missing_signal_skipped(self, survey_with_signals, tmp_path):
+        result, ranking = survey_with_signals
+        written = export_as_pages(
+            tmp_path / "partial", result.reports, {}, ranking,
+        )
+        assert written == {}

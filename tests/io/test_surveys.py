@@ -1,0 +1,136 @@
+"""Tests for survey export (the public-site artifacts)."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.apnic import EyeballRanking
+from repro.core import (
+    Classification,
+    Severity,
+    SurveyResult,
+    SurveySuite,
+)
+from repro.core.spectral import SpectralMarkers
+from repro.core.survey import ASReport
+from repro.io import (
+    export_site,
+    load_suite,
+    save_suite,
+    survey_from_dict,
+    survey_to_csv,
+    survey_to_dict,
+    survey_to_markdown,
+)
+from repro.netbase import ASInfo, ASRegistry, ASRole
+from repro.timebase import MeasurementPeriod
+
+
+def report(asn, severity, amplitude=0.0, probes=5):
+    markers = None
+    if severity is not Severity.NONE or amplitude:
+        markers = SpectralMarkers(
+            prominent_frequency_cph=1 / 24,
+            prominent_amplitude_ms=amplitude,
+            daily_amplitude_ms=amplitude,
+        )
+    return ASReport(
+        asn=asn, probe_count=probes,
+        classification=Classification(severity, markers),
+    )
+
+
+def make_result():
+    result = SurveyResult(
+        period=MeasurementPeriod("2019-09", dt.datetime(2019, 9, 1), 15)
+    )
+    result.reports[100] = report(100, Severity.SEVERE, 4.5)
+    result.reports[200] = report(200, Severity.LOW, 0.7)
+    result.reports[300] = report(300, Severity.NONE)
+    return result
+
+
+def make_ranking():
+    registry = ASRegistry()
+    registry.register(ASInfo(100, "Big", "JP", ASRole.EYEBALL,
+                             subscribers=1_000_000))
+    registry.register(ASInfo(200, "Mid", "US", ASRole.EYEBALL,
+                             subscribers=50_000))
+    registry.register(ASInfo(300, "Small", "DE", ASRole.EYEBALL,
+                             subscribers=5_000))
+    return EyeballRanking.from_registry(registry)
+
+
+class TestJSONRoundtrip:
+    def test_dict_roundtrip(self):
+        original = make_result()
+        restored = survey_from_dict(survey_to_dict(original))
+        assert restored.period.name == "2019-09"
+        assert restored.monitored_count == 3
+        assert restored.reports[100].severity == Severity.SEVERE
+        assert restored.reports[100].classification.markers.daily_amplitude_ms == 4.5
+        assert restored.reports[300].classification.markers is None
+
+    def test_suite_roundtrip(self, tmp_path):
+        suite = SurveySuite()
+        suite.add(make_result())
+        path = tmp_path / "suite.json"
+        save_suite(suite, path)
+        restored = load_suite(path)
+        assert restored.period_names() == ["2019-09"]
+        assert restored.results["2019-09"].reported_asns() == [100, 200]
+
+
+class TestCSV:
+    def test_rows_and_ranking(self):
+        text = survey_to_csv(make_result(), make_ranking())
+        lines = text.strip().splitlines()
+        assert len(lines) == 4  # header + 3 ASes
+        assert lines[0].startswith("period,asn,country")
+        severe_row = next(l for l in lines if ",severe," in l)
+        assert severe_row.split(",")[2] == "JP"
+        assert severe_row.split(",")[3] == "1"  # top global rank
+
+    def test_without_ranking(self):
+        text = survey_to_csv(make_result())
+        assert ",severe," in text
+
+
+class TestMarkdown:
+    def test_summary_and_table(self):
+        text = survey_to_markdown(make_result(), make_ranking())
+        assert "2019-09" in text
+        assert "**3**" in text            # monitored
+        assert "**2**" in text            # reported
+        assert "| AS100 " in text
+        assert "| AS300 " not in text     # None class not listed
+        # Sorted by amplitude: severe AS first.
+        assert text.index("AS100") < text.index("AS200")
+
+    def test_max_rows(self):
+        text = survey_to_markdown(make_result(), max_rows=1)
+        assert "AS100" in text and "AS200" not in text
+
+
+class TestExportSite:
+    def test_bundle(self, tmp_path):
+        suite = SurveySuite()
+        suite.add(make_result())
+        written = export_site(suite, tmp_path / "site", make_ranking())
+        assert (tmp_path / "site" / "surveys.json").exists()
+        assert (tmp_path / "site" / "survey-2019-09.csv").exists()
+        assert (tmp_path / "site" / "survey-2019-09.md").exists()
+        index = (tmp_path / "site" / "index.md").read_text()
+        assert "survey-2019-09.md" in index
+        assert set(written) == {
+            "suite", "csv-2019-09", "md-2019-09", "index",
+            "svg-amplitudes-2019-09", "svg-classes-2019-09",
+        }
+
+    def test_roundtrip_through_site(self, tmp_path):
+        suite = SurveySuite()
+        suite.add(make_result())
+        export_site(suite, tmp_path / "site")
+        restored = load_suite(tmp_path / "site" / "surveys.json")
+        assert restored.average_reported() == pytest.approx(2.0)

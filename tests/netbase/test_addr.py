@@ -1,0 +1,152 @@
+"""Unit and property tests for repro.netbase.addr."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netbase import (
+    AddressParseError,
+    IPAddress,
+    VersionMismatchError,
+    format_ipv4,
+    format_ipv6,
+    parse_address,
+    parse_ipv4,
+    parse_ipv6,
+)
+
+
+class TestParseIPv4:
+    def test_basic(self):
+        assert parse_ipv4("0.0.0.0") == 0
+        assert parse_ipv4("255.255.255.255") == 2**32 - 1
+        assert parse_ipv4("192.0.2.1") == (192 << 24) | (2 << 8) | 1
+
+    def test_leading_zeros_accepted(self):
+        assert parse_ipv4("010.001.000.001") == parse_ipv4("10.1.0.1")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "1.2.3", "1.2.3.4.5", "1.2.3.256", "1.2.3.-4", "a.b.c.d",
+         "1.2.3.", "1..2.3", " 1.2.3.4", "1.2.3.4 ", "1.2.3.+4"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressParseError):
+            parse_ipv4(bad)
+
+    def test_error_carries_text(self):
+        with pytest.raises(AddressParseError) as excinfo:
+            parse_ipv4("300.1.1.1")
+        assert excinfo.value.text == "300.1.1.1"
+
+
+class TestFormatIPv4:
+    def test_basic(self):
+        assert format_ipv4(0) == "0.0.0.0"
+        assert format_ipv4(2**32 - 1) == "255.255.255.255"
+
+    def test_out_of_range(self):
+        with pytest.raises(AddressParseError):
+            format_ipv4(2**32)
+        with pytest.raises(AddressParseError):
+            format_ipv4(-1)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip(self, value):
+        assert parse_ipv4(format_ipv4(value)) == value
+
+
+class TestParseIPv6:
+    def test_basic(self):
+        assert parse_ipv6("::") == 0
+        assert parse_ipv6("::1") == 1
+        assert parse_ipv6("2001:db8::1") == (0x20010DB8 << 96) | 1
+
+    def test_full_form(self):
+        assert parse_ipv6("0:0:0:0:0:0:0:1") == 1
+
+    def test_embedded_ipv4(self):
+        assert parse_ipv6("::ffff:192.0.2.1") == (
+            (0xFFFF << 32) | parse_ipv4("192.0.2.1")
+        )
+
+    def test_case_insensitive(self):
+        assert parse_ipv6("2001:DB8::A") == parse_ipv6("2001:db8::a")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", ":::", "1::2::3", "12345::", "1:2:3:4:5:6:7", "g::1",
+         "1:2:3:4:5:6:7:8:9", "fe80::1%eth0", "::1.2.3.4.5",
+         "1.2.3.4::1"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressParseError):
+            parse_ipv6(bad)
+
+    def test_double_colon_must_compress_something(self):
+        with pytest.raises(AddressParseError):
+            parse_ipv6("1:2:3:4::5:6:7:8")
+
+
+class TestFormatIPv6:
+    def test_canonical_compression(self):
+        assert format_ipv6(1) == "::1"
+        assert format_ipv6(0) == "::"
+        assert format_ipv6(parse_ipv6("2001:db8:0:0:1:0:0:1")) == (
+            "2001:db8::1:0:0:1"
+        )
+
+    def test_single_zero_group_not_compressed(self):
+        value = parse_ipv6("2001:db8:0:1:1:1:1:1")
+        assert format_ipv6(value) == "2001:db8:0:1:1:1:1:1"
+
+    def test_lowercase(self):
+        assert format_ipv6(parse_ipv6("2001:DB8::ABCD")) == "2001:db8::abcd"
+
+    @given(st.integers(min_value=0, max_value=2**128 - 1))
+    def test_roundtrip(self, value):
+        assert parse_ipv6(format_ipv6(value)) == value
+
+
+class TestParseAddress:
+    def test_dispatch(self):
+        assert parse_address("10.0.0.1") == (parse_ipv4("10.0.0.1"), 4)
+        assert parse_address("::1") == (1, 6)
+
+
+class TestIPAddress:
+    def test_parse_and_str(self):
+        addr = IPAddress.parse("192.0.2.1")
+        assert addr.version == 4
+        assert str(addr) == "192.0.2.1"
+        assert repr(addr) == "IPAddress('192.0.2.1')"
+
+    def test_ordering_v4_before_v6(self):
+        v4 = IPAddress.parse("255.255.255.255")
+        v6 = IPAddress.parse("::1")
+        assert v4 < v6
+
+    def test_ordering_numeric_within_family(self):
+        assert IPAddress.parse("10.0.0.1") < IPAddress.parse("10.0.0.2")
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(VersionMismatchError):
+            IPAddress(5, 1)
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(AddressParseError):
+            IPAddress(4, 2**32)
+
+    def test_successor(self):
+        addr = IPAddress.parse("10.0.0.1")
+        assert str(addr.successor()) == "10.0.0.2"
+        assert str(addr.successor(-1)) == "10.0.0.0"
+
+    def test_bits(self):
+        assert IPAddress.parse("10.0.0.1").bits == 32
+        assert IPAddress.parse("::1").bits == 128
+
+    def test_hashable(self):
+        a = IPAddress.parse("10.0.0.1")
+        b = IPAddress.parse("10.0.0.1")
+        assert {a} == {b}

@@ -1,0 +1,156 @@
+"""Tests for the AS registry and address pools."""
+
+import pytest
+
+from repro.netbase import (
+    AccessTechnology,
+    AddressPool,
+    ASInfo,
+    ASRegistry,
+    ASRole,
+    PoolExhaustedError,
+    Prefix,
+    SubnetPool,
+)
+
+
+def eyeball(asn, name="ISP", country="JP", techs=(), subs=0, tags=()):
+    return ASInfo(
+        asn=asn, name=name, country=country, role=ASRole.EYEBALL,
+        access_technologies=list(techs), subscribers=subs, tags=list(tags),
+    )
+
+
+class TestASRegistry:
+    def test_register_and_get(self):
+        reg = ASRegistry()
+        info = reg.register(eyeball(64500))
+        assert reg.get(64500) is info
+        assert 64500 in reg
+        assert len(reg) == 1
+
+    def test_duplicate_rejected(self):
+        reg = ASRegistry()
+        reg.register(eyeball(64500))
+        with pytest.raises(ValueError):
+            reg.register(eyeball(64500))
+
+    def test_bad_asn_rejected(self):
+        reg = ASRegistry()
+        with pytest.raises(ValueError):
+            reg.register(eyeball(0))
+        with pytest.raises(ValueError):
+            reg.register(eyeball(2**32))
+
+    def test_get_missing_raises_keyerror(self):
+        with pytest.raises(KeyError, match="AS64500"):
+            ASRegistry().get(64500)
+
+    def test_find_missing_returns_none(self):
+        assert ASRegistry().find(64500) is None
+
+    def test_filters(self):
+        reg = ASRegistry()
+        reg.register(eyeball(64500, name="A", country="JP"))
+        reg.register(eyeball(64501, name="B", country="US"))
+        reg.register(ASInfo(64502, "T", "US", ASRole.TRANSIT))
+        reg.register(ASInfo(64503, "M", "JP", ASRole.MOBILE))
+
+        assert [a.asn for a in reg.by_country("JP")] == [64500, 64503]
+        assert [a.asn for a in reg.by_role(ASRole.TRANSIT)] == [64502]
+        assert [a.asn for a in reg.eyeballs()] == [64500, 64501, 64503]
+        assert reg.countries() == ["JP", "US"]
+        assert reg.by_name("B").asn == 64501
+        assert reg.by_name("missing") is None
+
+    def test_iteration_sorted_by_asn(self):
+        reg = ASRegistry()
+        reg.register(eyeball(64510))
+        reg.register(eyeball(64501))
+        assert [a.asn for a in reg] == [64501, 64510]
+
+
+class TestASInfo:
+    def test_legacy_pppoe_flag(self):
+        legacy = eyeball(1, techs=[AccessTechnology.FTTH_PPPOE_LEGACY])
+        own = eyeball(2, techs=[AccessTechnology.FTTH_OWN])
+        assert legacy.uses_legacy_pppoe
+        assert not own.uses_legacy_pppoe
+
+    def test_tags(self):
+        info = eyeball(1, tags=["legacy-network"])
+        assert info.has_tag("legacy-network")
+        assert not info.has_tag("other")
+
+    def test_is_eyeball(self):
+        assert eyeball(1).is_eyeball
+        assert ASInfo(2, "M", "JP", ASRole.MOBILE).is_eyeball
+        assert not ASInfo(3, "T", "JP", ASRole.TRANSIT).is_eyeball
+
+
+class TestAddressPool:
+    def test_sequential_allocation_skips_network(self):
+        pool = AddressPool(Prefix.parse("10.0.0.0/29"))
+        first = pool.allocate()
+        assert str(first) == "10.0.0.1"  # .0 skipped
+        assert pool.allocated == 1
+
+    def test_exhaustion(self):
+        # /30 with network+broadcast skipped leaves .1 and .2 usable.
+        pool = AddressPool(Prefix.parse("10.0.0.0/30"))
+        addrs = pool.allocate_many(2)
+        assert [str(a) for a in addrs] == ["10.0.0.1", "10.0.0.2"]
+        with pytest.raises(PoolExhaustedError):
+            pool.allocate()
+
+    def test_no_skip_mode(self):
+        pool = AddressPool(
+            Prefix.parse("10.0.0.0/30"), skip_network_broadcast=False
+        )
+        addrs = pool.allocate_many(4)
+        assert [str(a) for a in addrs] == [
+            "10.0.0.0", "10.0.0.1", "10.0.0.2", "10.0.0.3",
+        ]
+
+    def test_v6_defaults_to_no_skip(self):
+        pool = AddressPool(Prefix.parse("2001:db8::/126"))
+        assert str(pool.allocate()) == "2001:db8::"
+
+    def test_allocate_many_checks_remaining(self):
+        pool = AddressPool(Prefix.parse("10.0.0.0/30"))
+        with pytest.raises(PoolExhaustedError):
+            pool.allocate_many(10)
+        with pytest.raises(ValueError):
+            pool.allocate_many(-1)
+
+    def test_no_duplicates(self):
+        pool = AddressPool(Prefix.parse("10.0.0.0/24"))
+        addrs = pool.allocate_many(100)
+        assert len(set(addrs)) == 100
+
+
+class TestSubnetPool:
+    def test_sequential_subnets(self):
+        pool = SubnetPool(Prefix.parse("10.0.0.0/22"), 24)
+        nets = pool.allocate_many(4)
+        assert [str(n) for n in nets] == [
+            "10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24",
+        ]
+        with pytest.raises(PoolExhaustedError):
+            pool.allocate()
+
+    def test_rejects_shorter_subnet(self):
+        with pytest.raises(ValueError):
+            SubnetPool(Prefix.parse("10.0.0.0/24"), 16)
+
+    def test_iterator_drains(self):
+        pool = SubnetPool(Prefix.parse("10.0.0.0/23"), 24)
+        assert len(list(pool)) == 2
+        assert pool.remaining == 0
+
+    def test_remaining_accounting(self):
+        pool = SubnetPool(Prefix.parse("2001:db8::/32"), 48)
+        assert pool.remaining == 2**16
+        pool.allocate()
+        assert pool.allocated == 1
+        assert pool.remaining == 2**16 - 1

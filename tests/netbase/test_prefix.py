@@ -1,0 +1,180 @@
+"""Unit and property tests for repro.netbase.prefix."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netbase import (
+    IPAddress,
+    Prefix,
+    PrefixParseError,
+    VersionMismatchError,
+    common_supernet,
+)
+
+
+def ipv4_prefixes(max_length=32):
+    """Hypothesis strategy producing valid IPv4 prefixes."""
+    return st.builds(
+        lambda addr, length: Prefix.containing(IPAddress(4, addr), length),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=max_length),
+    )
+
+
+class TestParse:
+    def test_v4(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert (p.version, p.length) == (4, 8)
+        assert str(p) == "10.0.0.0/8"
+
+    def test_v6(self):
+        p = Prefix.parse("2001:db8::/32")
+        assert (p.version, p.length) == (6, 32)
+        assert str(p) == "2001:db8::/32"
+
+    @pytest.mark.parametrize(
+        "bad", ["10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0/x",
+                "2001:db8::/129", "not-an-ip/8", "10.0.0.1/8"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(PrefixParseError):
+            Prefix.parse(bad)
+
+    def test_host_bits_must_be_zero(self):
+        with pytest.raises(PrefixParseError):
+            Prefix(4, 1, 24)
+
+
+class TestContaining:
+    def test_masks_host_bits(self):
+        addr = IPAddress.parse("10.1.2.3")
+        assert str(Prefix.containing(addr, 8)) == "10.0.0.0/8"
+        assert str(Prefix.containing(addr, 32)) == "10.1.2.3/32"
+        assert str(Prefix.containing(addr, 0)) == "0.0.0.0/0"
+
+    @given(ipv4_prefixes())
+    def test_contains_own_network(self, prefix):
+        assert prefix.contains(prefix.first)
+        assert prefix.contains(prefix.last)
+        assert prefix.contains(prefix)
+
+
+class TestContainment:
+    def test_nested(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.1.0.0/16")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_cross_version_is_false_not_error(self):
+        v4 = Prefix.parse("10.0.0.0/8")
+        v6 = Prefix.parse("2001:db8::/32")
+        assert not v4.contains(v6)
+        assert not v4.contains(IPAddress.parse("::1"))
+
+    def test_contains_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            Prefix.parse("10.0.0.0/8").contains("10.0.0.1")
+
+    def test_overlaps(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.1.0.0/16")
+        c = Prefix.parse("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    @given(ipv4_prefixes(max_length=24), st.integers(0, 255))
+    def test_contains_value_consistent_with_range(self, prefix, offset):
+        value = prefix.network + (offset % prefix.num_addresses)
+        assert prefix.contains_value(value, 4)
+
+
+class TestSubnets:
+    def test_enumeration(self):
+        subs = list(Prefix.parse("10.0.0.0/30").subnets(31))
+        assert [str(s) for s in subs] == ["10.0.0.0/31", "10.0.0.2/31"]
+
+    def test_same_length_yields_self(self):
+        p = Prefix.parse("10.0.0.0/24")
+        assert list(p.subnets(24)) == [p]
+
+    def test_rejects_shorter(self):
+        with pytest.raises(PrefixParseError):
+            list(Prefix.parse("10.0.0.0/24").subnets(23))
+
+    def test_nth_subnet_matches_enumeration(self):
+        p = Prefix.parse("192.168.0.0/16")
+        subs = list(p.subnets(20))
+        for i, sub in enumerate(subs):
+            assert p.nth_subnet(20, i) == sub
+
+    def test_nth_subnet_bounds(self):
+        p = Prefix.parse("10.0.0.0/24")
+        with pytest.raises(IndexError):
+            p.nth_subnet(26, 4)
+
+    def test_address_at(self):
+        p = Prefix.parse("10.0.0.0/30")
+        assert str(p.address_at(3)) == "10.0.0.3"
+        with pytest.raises(IndexError):
+            p.address_at(4)
+
+
+class TestSupernet:
+    def test_basic(self):
+        p = Prefix.parse("10.1.0.0/16")
+        assert str(p.supernet(8)) == "10.0.0.0/8"
+
+    def test_rejects_longer(self):
+        with pytest.raises(PrefixParseError):
+            Prefix.parse("10.0.0.0/8").supernet(16)
+
+    @given(ipv4_prefixes(max_length=30))
+    def test_supernet_contains_prefix(self, prefix):
+        if prefix.length >= 1:
+            assert prefix.supernet(prefix.length - 1).contains(prefix)
+
+
+class TestCommonSupernet:
+    def test_adjacent(self):
+        a = Prefix.parse("10.0.0.0/24")
+        b = Prefix.parse("10.0.1.0/24")
+        assert str(common_supernet(a, b)) == "10.0.0.0/23"
+
+    def test_disjoint(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("192.168.0.0/16")
+        merged = common_supernet(a, b)
+        assert merged.contains(a) and merged.contains(b)
+
+    def test_version_mismatch(self):
+        with pytest.raises(VersionMismatchError):
+            common_supernet(
+                Prefix.parse("10.0.0.0/8"), Prefix.parse("2001:db8::/32")
+            )
+
+    @given(ipv4_prefixes(), ipv4_prefixes())
+    def test_covers_both(self, a, b):
+        merged = common_supernet(a, b)
+        assert merged.contains(a) and merged.contains(b)
+
+
+class TestMisc:
+    def test_num_addresses(self):
+        assert Prefix.parse("10.0.0.0/24").num_addresses == 256
+        assert Prefix.parse("2001:db8::/64").num_addresses == 2**64
+
+    def test_ordering(self):
+        ordered = sorted([
+            Prefix.parse("2001:db8::/32"),
+            Prefix.parse("10.0.0.0/16"),
+            Prefix.parse("10.0.0.0/8"),
+        ])
+        assert [str(p) for p in ordered] == [
+            "10.0.0.0/8", "10.0.0.0/16", "2001:db8::/32",
+        ]
+
+    def test_key_is_hashable_triple(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.key() == (4, p.network, 8)

@@ -1,0 +1,99 @@
+"""Tests for special-purpose address classification."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netbase import (
+    is_cgn,
+    is_private,
+    is_public,
+    is_rfc1918,
+    parse_ipv4,
+    parse_ipv6,
+)
+
+
+def v4(text):
+    return parse_ipv4(text)
+
+
+class TestRFC1918:
+    @pytest.mark.parametrize(
+        "text", ["10.0.0.0", "10.255.255.255", "172.16.0.1",
+                 "172.31.255.255", "192.168.0.1", "192.168.255.255"],
+    )
+    def test_private_addresses(self, text):
+        assert is_rfc1918(v4(text))
+
+    @pytest.mark.parametrize(
+        "text", ["9.255.255.255", "11.0.0.0", "172.15.255.255",
+                 "172.32.0.0", "192.167.255.255", "192.169.0.0",
+                 "8.8.8.8", "100.64.0.1"],
+    )
+    def test_public_addresses(self, text):
+        assert not is_rfc1918(v4(text))
+
+    def test_ipv6_never_rfc1918(self):
+        assert not is_rfc1918(parse_ipv6("fc00::1"), version=6)
+
+
+class TestCGN:
+    def test_boundaries(self):
+        assert is_cgn(v4("100.64.0.0"))
+        assert is_cgn(v4("100.127.255.255"))
+        assert not is_cgn(v4("100.63.255.255"))
+        assert not is_cgn(v4("100.128.0.0"))
+
+
+class TestIsPrivate:
+    def test_rfc1918_and_cgn_are_private(self):
+        assert is_private(v4("192.168.1.1"), 4)
+        assert is_private(v4("100.64.0.1"), 4)
+
+    def test_ula_is_private(self):
+        assert is_private(parse_ipv6("fd00::1"), 6)
+        assert not is_private(parse_ipv6("2001:db8::1"), 6)
+
+    def test_global_is_not_private(self):
+        assert not is_private(v4("203.0.113.1"), 4)
+
+    def test_unknown_version_false(self):
+        assert not is_private(1, 5)
+
+
+class TestIsPublic:
+    @pytest.mark.parametrize(
+        "text", ["8.8.8.8", "1.1.1.1", "198.41.0.4", "100.128.0.1"],
+    )
+    def test_global_unicast(self, text):
+        assert is_public(v4(text), 4)
+
+    @pytest.mark.parametrize(
+        "text", ["127.0.0.1", "169.254.1.1", "0.1.2.3", "224.0.0.1",
+                 "240.0.0.1", "192.0.2.1", "198.51.100.1", "203.0.113.9",
+                 "10.0.0.1", "100.64.0.1"],
+    )
+    def test_nonpublic_v4(self, text):
+        assert not is_public(v4(text), 4)
+
+    @pytest.mark.parametrize(
+        "text", ["::1", "::", "fe80::1", "fc00::1", "ff02::1",
+                 "2001:db8::1"],
+    )
+    def test_nonpublic_v6(self, text):
+        assert not is_public(parse_ipv6(text), 6)
+
+    def test_global_v6(self):
+        assert is_public(parse_ipv6("2400:8900::1"), 6)
+
+    def test_unknown_version_false(self):
+        assert not is_public(1, 5)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_private_and_public_disjoint_v4(self, value):
+        assert not (is_private(value, 4) and is_public(value, 4))
+
+    @given(st.integers(min_value=0, max_value=2**128 - 1))
+    def test_private_and_public_disjoint_v6(self, value):
+        assert not (is_private(value, 6) and is_public(value, 6))

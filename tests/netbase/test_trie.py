@@ -1,0 +1,171 @@
+"""Tests for the radix trie (longest-prefix match)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netbase import (
+    DualStackTrie,
+    IPAddress,
+    Prefix,
+    RadixTrie,
+    VersionMismatchError,
+    parse_ipv4,
+)
+
+
+def build(entries):
+    trie = RadixTrie(4)
+    for text, value in entries:
+        trie.insert(Prefix.parse(text), value)
+    return trie
+
+
+class TestLookup:
+    def test_longest_match_wins(self):
+        trie = build([("10.0.0.0/8", "short"), ("10.1.0.0/16", "long")])
+        assert trie.lookup_value(parse_ipv4("10.1.2.3")) == "long"
+        assert trie.lookup_value(parse_ipv4("10.2.0.1")) == "short"
+
+    def test_miss_returns_none(self):
+        trie = build([("10.0.0.0/8", 1)])
+        assert trie.lookup(parse_ipv4("11.0.0.1")) is None
+        assert trie.lookup_value(parse_ipv4("11.0.0.1"), default="x") == "x"
+
+    def test_default_route(self):
+        trie = build([("0.0.0.0/0", "default"), ("10.0.0.0/8", "ten")])
+        assert trie.lookup_value(parse_ipv4("8.8.8.8")) == "default"
+        assert trie.lookup_value(parse_ipv4("10.0.0.1")) == "ten"
+
+    def test_lookup_returns_matching_prefix(self):
+        trie = build([("10.1.0.0/16", "a")])
+        prefix, value = trie.lookup(parse_ipv4("10.1.2.3"))
+        assert str(prefix) == "10.1.0.0/16"
+        assert value == "a"
+
+    def test_host_route(self):
+        trie = build([("10.0.0.0/8", "net"), ("10.0.0.1/32", "host")])
+        assert trie.lookup_value(parse_ipv4("10.0.0.1")) == "host"
+        assert trie.lookup_value(parse_ipv4("10.0.0.2")) == "net"
+
+    def test_exact_boundary_addresses(self):
+        trie = build([("10.0.0.0/8", 1)])
+        assert trie.covers(parse_ipv4("10.0.0.0"))
+        assert trie.covers(parse_ipv4("10.255.255.255"))
+        assert not trie.covers(parse_ipv4("9.255.255.255"))
+        assert not trie.covers(parse_ipv4("11.0.0.0"))
+
+
+class TestMutation:
+    def test_insert_replaces(self):
+        trie = build([("10.0.0.0/8", "old")])
+        trie.insert(Prefix.parse("10.0.0.0/8"), "new")
+        assert len(trie) == 1
+        assert trie.lookup_value(parse_ipv4("10.0.0.1")) == "new"
+
+    def test_remove(self):
+        trie = build([("10.0.0.0/8", 1), ("10.1.0.0/16", 2)])
+        assert trie.remove(Prefix.parse("10.1.0.0/16"))
+        assert len(trie) == 1
+        assert trie.lookup_value(parse_ipv4("10.1.0.1")) == 1
+
+    def test_remove_absent(self):
+        trie = build([("10.0.0.0/8", 1)])
+        assert not trie.remove(Prefix.parse("11.0.0.0/8"))
+        assert not trie.remove(Prefix.parse("10.1.0.0/16"))
+        assert len(trie) == 1
+
+    def test_version_mismatch(self):
+        trie = RadixTrie(4)
+        with pytest.raises(VersionMismatchError):
+            trie.insert(Prefix.parse("2001:db8::/32"), 1)
+
+    def test_items_in_address_order(self):
+        trie = build([
+            ("192.168.0.0/16", 3), ("10.0.0.0/8", 1), ("10.1.0.0/16", 2),
+        ])
+        assert [str(p) for p, _ in trie.items()] == [
+            "10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/16",
+        ]
+
+
+class TestDualStack:
+    def test_families_are_independent(self):
+        trie = DualStackTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "v4")
+        trie.insert(Prefix.parse("2400:8900::/32"), "v6")
+        assert len(trie) == 2
+        assert trie.lookup_value(parse_ipv4("10.0.0.1"), 4) == "v4"
+        addr6 = IPAddress.parse("2400:8900::1")
+        assert trie.lookup_value(addr6.value, 6) == "v6"
+        assert not trie.covers(parse_ipv4("10.0.0.1"), 6)
+
+    def test_remove(self):
+        trie = DualStackTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "v4")
+        assert trie.remove(Prefix.parse("10.0.0.0/8"))
+        assert len(trie) == 0
+
+    def test_bad_version(self):
+        with pytest.raises(VersionMismatchError):
+            DualStackTrie().lookup(1, 5)
+
+    def test_items_v4_first(self):
+        trie = DualStackTrie()
+        trie.insert(Prefix.parse("2400:8900::/32"), "v6")
+        trie.insert(Prefix.parse("10.0.0.0/8"), "v4")
+        versions = [p.version for p, _ in trie.items()]
+        assert versions == [4, 6]
+
+
+@st.composite
+def prefix_sets(draw):
+    """Random small sets of IPv4 prefixes with values."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    entries = []
+    for i in range(n):
+        addr = draw(st.integers(min_value=0, max_value=2**32 - 1))
+        length = draw(st.integers(min_value=1, max_value=32))
+        entries.append((Prefix.containing(IPAddress(4, addr), length), i))
+    return entries
+
+
+class TestPropertyLPM:
+    @given(prefix_sets(), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_matches_linear_scan(self, entries, query):
+        """Trie LPM must agree with a brute-force linear scan."""
+        trie = RadixTrie(4)
+        table = {}
+        for prefix, value in entries:
+            trie.insert(prefix, value)
+            table[prefix] = value  # replace semantics, like the trie
+
+        best = None
+        for prefix, value in table.items():
+            if prefix.contains_value(query, 4):
+                if best is None or prefix.length > best[0].length:
+                    best = (prefix, value)
+
+        hit = trie.lookup(query)
+        if best is None:
+            assert hit is None
+        else:
+            assert hit is not None
+            assert hit[1] == best[1]
+            assert hit[0].length == best[0].length
+
+    @given(prefix_sets())
+    def test_len_matches_distinct_prefixes(self, entries):
+        trie = RadixTrie(4)
+        for prefix, value in entries:
+            trie.insert(prefix, value)
+        assert len(trie) == len({p for p, _ in entries})
+
+    @given(prefix_sets())
+    def test_items_roundtrip(self, entries):
+        trie = RadixTrie(4)
+        expected = {}
+        for prefix, value in entries:
+            trie.insert(prefix, value)
+            expected[prefix] = value
+        assert dict(trie.items()) == expected

@@ -1,0 +1,179 @@
+"""Property-based tests on cross-module pipeline invariants."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LastMileDataset,
+    ProbeBinSeries,
+    aggregate_population,
+    classify_signal,
+    probe_queuing_delay,
+    welch_periodogram,
+)
+from repro.core.classify import Severity
+from repro.timebase import MeasurementPeriod, TimeGrid
+
+PERIOD = MeasurementPeriod("prop", dt.datetime(2019, 9, 2), 5)
+GRID = TimeGrid(PERIOD)
+BINS = GRID.num_bins
+
+
+@st.composite
+def probe_series(draw, prb_id=0):
+    """A random-but-plausible per-probe median series."""
+    base = draw(st.floats(min_value=0.5, max_value=20.0))
+    amplitude = draw(st.floats(min_value=0.0, max_value=5.0))
+    phase = draw(st.floats(min_value=0.0, max_value=1.0))
+    noise_seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(noise_seed)
+    t = np.arange(BINS) / GRID.bins_per_day
+    medians = (
+        base
+        + amplitude * (1 + np.sin(2 * np.pi * (t + phase)))
+        + rng.normal(0, 0.05, BINS)
+    )
+    counts = np.full(BINS, 24)
+    # Random outage gaps.
+    gaps = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(gaps):
+        start = draw(st.integers(min_value=0, max_value=BINS - 5))
+        counts[start:start + 4] = 0
+    return ProbeBinSeries(
+        prb_id=prb_id,
+        median_rtt_ms=np.where(counts > 0, medians, np.nan),
+        traceroute_counts=counts,
+    )
+
+
+@st.composite
+def datasets(draw, min_probes=2, max_probes=6):
+    count = draw(st.integers(min_value=min_probes, max_value=max_probes))
+    dataset = LastMileDataset(grid=GRID)
+    for prb_id in range(count):
+        dataset.add(draw(probe_series(prb_id=prb_id)))
+    return dataset
+
+
+class TestQueuingDelayInvariants:
+    @settings(deadline=None, max_examples=30)
+    @given(probe_series())
+    def test_nonnegative_with_zero_minimum(self, series):
+        delay = probe_queuing_delay(series)
+        valid = ~np.isnan(delay)
+        if valid.any():
+            assert np.nanmin(delay) == pytest.approx(0.0)
+            assert np.all(delay[valid] >= 0.0)
+
+    @settings(deadline=None, max_examples=30)
+    @given(probe_series(), st.floats(min_value=-5.0, max_value=50.0))
+    def test_invariant_under_baseline_shift(self, series, shift):
+        """Adding a constant to all medians (a different propagation
+        delay) must not change the queueing-delay series."""
+        shifted = ProbeBinSeries(
+            prb_id=series.prb_id,
+            median_rtt_ms=series.median_rtt_ms + shift,
+            traceroute_counts=series.traceroute_counts,
+        )
+        original = probe_queuing_delay(series)
+        after = probe_queuing_delay(shifted)
+        assert np.allclose(original, after, equal_nan=True)
+
+
+class TestAggregationInvariants:
+    @settings(deadline=None, max_examples=20)
+    @given(datasets(), st.randoms(use_true_random=False))
+    def test_permutation_invariance(self, dataset, rnd):
+        ids = dataset.probe_ids()
+        shuffled = list(ids)
+        rnd.shuffle(shuffled)
+        a = aggregate_population(dataset, ids)
+        b = aggregate_population(dataset, shuffled)
+        assert np.allclose(a.delay_ms, b.delay_ms, equal_nan=True)
+
+    @settings(deadline=None, max_examples=20)
+    @given(datasets(min_probes=3))
+    def test_median_bounded_by_probe_extremes(self, dataset):
+        signal = aggregate_population(dataset)
+        import warnings
+
+        stacked = np.vstack([
+            probe_queuing_delay(s) for s in dataset.series.values()
+        ])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            lower = np.nanmin(stacked, axis=0)
+            upper = np.nanmax(stacked, axis=0)
+        valid = ~np.isnan(signal.delay_ms)
+        assert np.all(
+            signal.delay_ms[valid] >= lower[valid] - 1e-9
+        )
+        assert np.all(
+            signal.delay_ms[valid] <= upper[valid] + 1e-9
+        )
+
+    @settings(deadline=None, max_examples=20)
+    @given(datasets())
+    def test_duplicated_population_same_median(self, dataset):
+        """Listing every probe twice must not change the median."""
+        ids = dataset.probe_ids()
+        a = aggregate_population(dataset, ids)
+        b = aggregate_population(dataset, ids + ids)
+        assert np.allclose(a.delay_ms, b.delay_ms, equal_nan=True)
+
+
+class TestSpectralInvariants:
+    @settings(deadline=None, max_examples=20)
+    @given(probe_series())
+    def test_amplitudes_nonnegative(self, series):
+        delay = probe_queuing_delay(series)
+        periodogram = welch_periodogram(delay, GRID.bin_seconds)
+        assert np.all(periodogram.amplitude_ms >= 0.0)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.floats(min_value=0.05, max_value=3.0),
+        st.floats(min_value=1.5, max_value=4.0),
+    )
+    def test_classification_monotone_in_scale(self, amplitude, factor):
+        """Scaling a signal up never lowers its severity class."""
+        t = np.arange(BINS) / GRID.bins_per_day
+        signal = amplitude * (1 + np.sin(2 * np.pi * t))
+        small = classify_signal(signal, GRID.bin_seconds).severity
+        large = classify_signal(
+            signal * factor, GRID.bin_seconds
+        ).severity
+        order = [Severity.NONE, Severity.LOW, Severity.MILD,
+                 Severity.SEVERE]
+        assert order.index(large) >= order.index(small)
+
+
+class TestEstimationInvariants:
+    @settings(deadline=None, max_examples=10)
+    @given(st.randoms(use_true_random=False))
+    def test_traceroute_order_irrelevant(self, rnd):
+        """§2.1 estimation is a pure function of the result *set*."""
+        from repro.core import estimate_probe_series
+        from tests.core.test_lastmile import typical_traceroute
+
+        results = [
+            typical_traceroute(
+                timestamp=i * 400.0, public_rtt=3.0 + (i % 5)
+            )
+            for i in range(40)
+        ]
+        shuffled = list(results)
+        rnd.shuffle(shuffled)
+        grid = TimeGrid(
+            MeasurementPeriod("o", dt.datetime(2019, 9, 2), 1)
+        )
+        a = estimate_probe_series(results, grid)
+        b = estimate_probe_series(shuffled, grid)
+        assert np.allclose(
+            a.median_rtt_ms, b.median_rtt_ms, equal_nan=True
+        )
+        assert np.array_equal(a.traceroute_counts, b.traceroute_counts)

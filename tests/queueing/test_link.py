@@ -1,0 +1,105 @@
+"""Tests for LinkModel and SharedDevice."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.queueing import LinkModel, SharedDevice
+from repro.timebase import MeasurementPeriod, TimeGrid
+from repro.traffic import DemandSeries, WeeklyDemandModel, flat
+
+
+def make_grid(days=7):
+    return TimeGrid(MeasurementPeriod("t", dt.datetime(2019, 9, 2), days))
+
+
+def residential_device(peak=0.95, **link_kwargs):
+    return SharedDevice(
+        name="bras-1",
+        link=LinkModel(**link_kwargs),
+        demand=DemandSeries(model=WeeklyDemandModel.residential()),
+        peak_utilization=peak,
+    )
+
+
+class TestLinkModel:
+    def test_delay_monotone_in_utilization(self):
+        link = LinkModel()
+        rho = np.linspace(0, 0.99, 50)
+        delays = link.mean_delay_ms(rho)
+        assert np.all(np.diff(delays) >= 0)
+
+    def test_delay_capped_at_buffer(self):
+        link = LinkModel(service_time_ms=1.0, max_delay_ms=10.0)
+        assert link.mean_delay_ms(0.999) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(service_time_ms=0)
+        with pytest.raises(ValueError):
+            LinkModel(max_delay_ms=0)
+        with pytest.raises(ValueError):
+            LinkModel(loss_onset=0)
+
+    def test_loss_negligible_at_low_load(self):
+        link = LinkModel()
+        assert link.loss_probability(0.3) < 1e-3
+
+    def test_sampled_delays_respect_cap_and_mean(self):
+        link = LinkModel(service_time_ms=0.5, max_delay_ms=50.0)
+        rng = np.random.default_rng(0)
+        samples = link.sample_packet_delays_ms(0.9, 20000, rng)
+        assert samples.max() <= 50.0
+        assert samples.mean() == pytest.approx(
+            link.mean_delay_ms(0.9), rel=0.1
+        )
+
+
+class TestSharedDevice:
+    def test_congested_device_has_diurnal_delay(self):
+        device = residential_device(peak=0.97, service_time_ms=0.15)
+        grid = make_grid()
+        delays = device.delay_series_ms(grid)
+        daily = delays.reshape(7, grid.bins_per_day)
+        # Peak delay well above the trough, every day.
+        assert np.all(daily.max(axis=1) > 5.0 * daily.min(axis=1).clip(1e-6))
+        assert delays.max() > 1.0
+
+    def test_healthy_device_stays_flat(self):
+        device = residential_device(peak=0.5)
+        grid = make_grid()
+        delays = device.delay_series_ms(grid)
+        assert delays.max() < 0.5  # well under the Low threshold
+
+    def test_utilization_cached_per_grid(self):
+        device = residential_device()
+        grid = make_grid()
+        a = device.utilization(grid)
+        b = device.utilization(grid)
+        assert a is b
+
+    def test_jittered_path_distinct_from_deterministic(self):
+        device = residential_device()
+        grid = make_grid()
+        det = device.utilization(grid, rng=None)
+        jit = device.utilization(grid, rng=np.random.default_rng(0))
+        assert not np.array_equal(det, jit)
+
+    def test_loss_series_shape(self):
+        device = residential_device()
+        grid = make_grid()
+        loss = device.loss_series(grid)
+        assert loss.shape == (grid.num_bins,)
+        assert np.all((loss >= 0) & (loss <= 0.15))
+
+    def test_flat_demand_flat_delay(self):
+        device = SharedDevice(
+            name="core",
+            link=LinkModel(),
+            demand=DemandSeries(model=WeeklyDemandModel.uniform(flat(0.4))),
+            peak_utilization=0.4,
+        )
+        grid = make_grid(1)
+        delays = device.delay_series_ms(grid)
+        assert delays.std() == pytest.approx(0.0, abs=1e-9)

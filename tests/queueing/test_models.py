@@ -1,0 +1,154 @@
+"""Tests for closed-form queueing models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing import (
+    MAX_STABLE_UTILIZATION,
+    erlang_loss,
+    md1_wait,
+    mg1_wait,
+    mm1_wait,
+    mm1_wait_quantile,
+    overload_loss,
+    sample_mm1_waits,
+)
+
+
+class TestMM1:
+    def test_known_values(self):
+        # rho=0.5: W_q = 0.5/0.5 * s = s
+        assert mm1_wait(0.5, 2.0) == pytest.approx(2.0)
+        assert mm1_wait(0.0, 2.0) == pytest.approx(0.0)
+        # rho=0.9: 0.9/0.1 = 9x service time
+        assert mm1_wait(0.9, 1.0) == pytest.approx(9.0)
+
+    def test_clips_at_max_stable(self):
+        assert mm1_wait(1.0, 1.0) == mm1_wait(MAX_STABLE_UTILIZATION, 1.0)
+
+    def test_vectorized(self):
+        rho = np.array([0.1, 0.5, 0.9])
+        out = mm1_wait(rho, 1.0)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+    def test_rejects_negative_rho_and_service(self):
+        with pytest.raises(ValueError):
+            mm1_wait(-0.1, 1.0)
+        with pytest.raises(ValueError):
+            mm1_wait(0.5, 0.0)
+
+    @given(st.floats(min_value=0.0, max_value=0.99))
+    def test_monotone_in_rho(self, rho):
+        assert mm1_wait(rho + 0.005, 1.0) >= mm1_wait(rho, 1.0)
+
+
+class TestMD1MG1:
+    def test_md1_is_half_mm1(self):
+        assert md1_wait(0.8, 1.0) == pytest.approx(0.5 * mm1_wait(0.8, 1.0))
+
+    def test_mg1_interpolates(self):
+        assert mg1_wait(0.8, 1.0, scv=0.0) == pytest.approx(md1_wait(0.8, 1.0))
+        assert mg1_wait(0.8, 1.0, scv=1.0) == pytest.approx(mm1_wait(0.8, 1.0))
+        assert mg1_wait(0.8, 1.0, scv=2.0) > mm1_wait(0.8, 1.0)
+
+    def test_rejects_negative_scv(self):
+        with pytest.raises(ValueError):
+            mg1_wait(0.5, 1.0, scv=-1.0)
+
+
+class TestQuantile:
+    def test_median_zero_when_queue_mostly_empty(self):
+        # rho=0.3: P(W=0) = 0.7 >= 0.5, so the median wait is 0.
+        assert mm1_wait_quantile(0.3, 1.0, 0.5) == pytest.approx(0.0)
+
+    def test_median_positive_when_busy(self):
+        median = mm1_wait_quantile(0.9, 1.0, 0.5)
+        assert median > 0.0
+        # Median below mean for this right-skewed distribution.
+        assert median < mm1_wait(0.9, 1.0)
+
+    def test_quantile_monotone_in_q(self):
+        qs = [0.5, 0.7, 0.9, 0.99]
+        values = [mm1_wait_quantile(0.95, 1.0, q) for q in qs]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_matches_analytic_cdf(self):
+        # For q > 1-rho: F(w) = 1 - rho*exp(-w(1-rho)/s) == q
+        rho, s, q = 0.8, 2.0, 0.9
+        w = mm1_wait_quantile(rho, s, q)
+        cdf = 1.0 - rho * np.exp(-w * (1.0 - rho) / s)
+        assert cdf == pytest.approx(q)
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            mm1_wait_quantile(0.5, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            mm1_wait_quantile(0.5, 1.0, 1.0)
+
+
+class TestSampling:
+    def test_scalar_and_vector_shapes(self):
+        rng = np.random.default_rng(0)
+        out = sample_mm1_waits(0.5, 1.0, 100, rng)
+        assert out.shape == (100,)
+        out2 = sample_mm1_waits(np.array([0.2, 0.8]), 1.0, 50, rng)
+        assert out2.shape == (2, 50)
+
+    @settings(deadline=None)
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_sample_mean_matches_analytic(self, rho):
+        rng = np.random.default_rng(42)
+        waits = sample_mm1_waits(rho, 1.0, 20000, rng)
+        assert waits.mean() == pytest.approx(
+            mm1_wait(rho, 1.0), rel=0.15, abs=0.02
+        )
+
+    def test_sample_median_matches_quantile(self):
+        rng = np.random.default_rng(1)
+        waits = sample_mm1_waits(0.9, 1.0, 40000, rng)
+        assert np.median(waits) == pytest.approx(
+            mm1_wait_quantile(0.9, 1.0, 0.5), rel=0.1
+        )
+
+    def test_zero_load_gives_zero_waits(self):
+        rng = np.random.default_rng(2)
+        waits = sample_mm1_waits(0.0, 1.0, 100, rng)
+        assert np.all(waits == 0.0)
+
+
+class TestErlangLoss:
+    def test_single_server_known_value(self):
+        # Erlang-B with 1 server and offered load a: B = a/(1+a).
+        assert erlang_loss(0.5, servers=1) == pytest.approx(0.5 / 1.5)
+
+    def test_more_servers_less_blocking(self):
+        assert erlang_loss(0.9, servers=4) < erlang_loss(0.9, servers=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_loss(0.5, servers=0)
+        with pytest.raises(ValueError):
+            erlang_loss(-0.5)
+
+
+class TestOverloadLoss:
+    def test_negligible_below_onset(self):
+        assert overload_loss(0.5) < 1e-3
+        assert overload_loss(0.7) < 5e-3
+
+    def test_material_above_onset(self):
+        assert overload_loss(0.98) > 0.01
+
+    def test_monotone_and_bounded(self):
+        rho = np.linspace(0.0, 1.0, 100)
+        loss = overload_loss(rho)
+        assert np.all(np.diff(loss) >= 0)
+        assert loss.max() <= 0.04
+
+    def test_ceiling_parameter(self):
+        assert overload_loss(0.999, ceiling=0.10) > 0.04
+        with pytest.raises(ValueError):
+            overload_loss(0.5, ceiling=0.0)

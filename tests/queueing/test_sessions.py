@@ -1,0 +1,155 @@
+"""Tests for the PPPoE session-concentrator model."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.queueing import (
+    SessionConcentrator,
+    SessionConcentratorSpec,
+    dimension_for_blocking,
+)
+from repro.timebase import MeasurementPeriod, TimeGrid
+from repro.traffic import DemandSeries, WeeklyDemandModel, flat
+
+
+def make_grid(days=7):
+    return TimeGrid(MeasurementPeriod(
+        "sess", dt.datetime(2019, 9, 2), days
+    ))
+
+
+def residential_demand(utc_offset=9.0):
+    return DemandSeries(
+        model=WeeklyDemandModel.residential(),
+        utc_offset_hours=utc_offset,
+    )
+
+
+def concentrator(slots, subscribers, **kwargs):
+    spec = SessionConcentratorSpec(
+        session_slots=slots, subscribers=subscribers, **kwargs
+    )
+    return SessionConcentrator(spec, residential_demand())
+
+
+class TestSpecValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SessionConcentratorSpec(session_slots=0, subscribers=10)
+        with pytest.raises(ValueError):
+            SessionConcentratorSpec(session_slots=10, subscribers=0)
+        with pytest.raises(ValueError):
+            SessionConcentratorSpec(
+                session_slots=10, subscribers=10,
+                mean_holding_hours=0,
+            )
+
+
+class TestOfferedSessions:
+    def test_bounded_by_subscribers(self):
+        grid = make_grid()
+        offered = concentrator(1000, 800).offered_sessions(grid)
+        assert offered.max() <= 800
+        assert offered.min() >= 0.4 * 800  # long-held sessions persist
+
+    def test_diurnal_shape(self):
+        grid = make_grid()
+        offered = concentrator(1000, 800).offered_sessions(grid)
+        hour = grid.local_hour_of_day(9.0)
+        evening = offered[(hour >= 20) & (hour <= 22)].mean()
+        night = offered[(hour >= 3) & (hour <= 5)].mean()
+        assert evening > night
+
+    def test_long_holding_flattens_demand(self):
+        grid = make_grid()
+        short = SessionConcentrator(
+            SessionConcentratorSpec(
+                1000, 800, mean_holding_hours=2.0
+            ),
+            residential_demand(),
+        ).offered_sessions(grid)
+        long = SessionConcentrator(
+            SessionConcentratorSpec(
+                1000, 800, mean_holding_hours=200.0
+            ),
+            residential_demand(),
+        ).offered_sessions(grid)
+        assert short.std() > long.std()
+
+
+class TestEvaluate:
+    def test_overprovisioned_never_blocks(self):
+        grid = make_grid()
+        result = concentrator(2000, 800).evaluate(grid)
+        assert result.peak_blocking < 1e-3
+        assert result.hours_blocked_over(0.01, grid.bin_seconds) == 0.0
+        # Setup latency essentially baseline.
+        assert result.setup_latency_ms.max() < 400.0
+
+    def test_underprovisioned_blocks_at_peak(self):
+        grid = make_grid()
+        result = concentrator(620, 800).evaluate(grid)
+        assert result.peak_blocking > 0.02
+        hour = grid.local_hour_of_day(9.0)
+        evening = result.blocking_probability[
+            (hour >= 20) & (hour <= 22)
+        ].mean()
+        night = result.blocking_probability[
+            (hour >= 3) & (hour <= 5)
+        ].mean()
+        assert evening > 2 * night
+
+    def test_setup_latency_explodes_near_exhaustion(self):
+        grid = make_grid()
+        result = concentrator(620, 800).evaluate(grid)
+        assert result.setup_latency_ms.max() > 2000.0
+        assert result.setup_latency_ms.min() >= 150.0
+
+    def test_blocking_in_unit_interval(self):
+        grid = make_grid()
+        result = concentrator(100, 800).evaluate(grid)
+        assert np.all(result.blocking_probability >= 0.0)
+        assert np.all(result.blocking_probability <= 1.0)
+
+    def test_flat_demand_flat_sessions(self):
+        grid = make_grid(1)
+        spec = SessionConcentratorSpec(1000, 800)
+        demand = DemandSeries(model=WeeklyDemandModel.uniform(flat(0.5)))
+        result = SessionConcentrator(spec, demand).evaluate(grid)
+        assert result.occupancy.std() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestDimensioning:
+    def test_finds_minimal_slots(self):
+        grid = make_grid()
+        slots = dimension_for_blocking(
+            subscribers=800,
+            target_blocking=0.01,
+            demand=residential_demand(),
+            grid=grid,
+        )
+        # The chosen dimensioning meets the target...
+        spec = SessionConcentratorSpec(slots, 800)
+        result = SessionConcentrator(
+            spec, residential_demand()
+        ).evaluate(grid)
+        assert result.peak_blocking <= 0.01
+        # ...and is not wildly overprovisioned.
+        assert slots <= 4 * 800
+
+    def test_validation(self):
+        grid = make_grid()
+        with pytest.raises(ValueError):
+            dimension_for_blocking(
+                800, 0.0, residential_demand(), grid
+            )
+
+    def test_impossible_target(self):
+        grid = make_grid(1)
+        with pytest.raises(ValueError, match="no candidate"):
+            dimension_for_blocking(
+                800, 1e-12, residential_demand(), grid,
+                candidate_slots=[10],
+            )

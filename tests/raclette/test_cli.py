@@ -1,0 +1,95 @@
+"""Tests for the raclette CLI."""
+
+import json
+
+import pytest
+
+from repro.atlas import Hop, Reply, TracerouteResult
+from repro.raclette.__main__ import build_parser, make_asn_resolver, run
+
+
+def result_line(prb_id, timestamp, lastmile_ms, from_address="20.0.0.5"):
+    result = TracerouteResult(
+        prb_id=prb_id,
+        msm_id=5001,
+        timestamp=timestamp,
+        src_address="192.168.1.10",
+        from_address=from_address,
+        dst_address="192.5.0.1",
+        hops=(
+            Hop(1, (Reply("192.168.1.1", 0.5),) * 3),
+            Hop(2, (Reply("60.0.0.1", 0.5 + lastmile_ms),) * 3),
+        ),
+    )
+    return json.dumps(result.to_json())
+
+
+def write_stream(path, values_per_bin, prb_id=1):
+    lines = []
+    for bin_index, value in enumerate(values_per_bin):
+        for k in range(4):
+            lines.append(result_line(
+                prb_id, bin_index * 1800.0 + k * 300.0, value
+            ))
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["results.jsonl"])
+        assert args.threshold_ms == 1.0
+        assert args.min_bins == 4
+        assert args.baseline_bins == 336
+
+
+class TestResolver:
+    def test_without_rib_groups_by_probe(self):
+        _note, resolve = make_asn_resolver(None)
+        assert resolve(42) == 42
+
+    def test_with_rib(self, tmp_path):
+        rib = tmp_path / "rib.txt"
+        rib.write_text("20.0.0.0/16|64700 64500\n")
+        note, resolve = make_asn_resolver(str(rib))
+        note(1, "20.0.0.5")
+        note(2, "99.0.0.5")     # unannounced
+        note(3, "not-an-ip")
+        assert resolve(1) == 64500
+        assert resolve(2) is None
+        assert resolve(3) is None
+        # Cached on second call.
+        assert resolve(1) == 64500
+
+
+class TestRun:
+    def test_quiet_stream_no_alerts(self, tmp_path, capsys):
+        stream = tmp_path / "results.jsonl"
+        write_stream(stream, [3.0] * 6)
+        assert run([str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "congestion-start" not in out
+        assert "raclette:" in out
+        assert "AS1:" in out  # grouped by probe id without a RIB
+
+    def test_congested_stream_alerts(self, tmp_path, capsys):
+        stream = tmp_path / "results.jsonl"
+        write_stream(stream, [3.0] * 4 + [7.0] * 6 + [3.0] * 4)
+        assert run([str(stream), "--min-bins", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "congestion-start" in out
+        assert "congestion-end" in out
+
+    def test_rib_mapping(self, tmp_path, capsys):
+        rib = tmp_path / "rib.txt"
+        rib.write_text("20.0.0.0/16|64500\n")
+        stream = tmp_path / "results.jsonl"
+        write_stream(stream, [3.0] * 6)
+        assert run([str(stream), "--rib", str(rib)]) == 0
+        out = capsys.readouterr().out
+        assert "AS64500:" in out
+
+    def test_blank_lines_skipped(self, tmp_path, capsys):
+        stream = tmp_path / "results.jsonl"
+        write_stream(stream, [3.0] * 6)
+        stream.write_text(stream.read_text() + "\n\n")
+        assert run([str(stream)]) == 0

@@ -1,0 +1,102 @@
+"""Tests for the ISP_DE / ISP_US exemplar scenario (§2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Severity,
+    aggregate_population,
+    classify_signal,
+    probes_with_daily_delay_over,
+)
+from repro.scenarios import (
+    ISP_DE_ASN,
+    ISP_US_ASN,
+    PROBE_COUNTS,
+    build_exemplar_run,
+)
+from repro.timebase import ALL_SURVEY_PERIODS, COVID_PERIOD
+
+SMALL = {"ISP_DE": 30, "ISP_US": 30}
+
+
+def period(name):
+    return next(p for p in ALL_SURVEY_PERIODS if p.name == name)
+
+
+@pytest.fixture(scope="module")
+def run_2019():
+    return build_exemplar_run(period("2019-09"), probe_counts=SMALL)
+
+
+@pytest.fixture(scope="module")
+def run_covid():
+    return build_exemplar_run(COVID_PERIOD, probe_counts=SMALL)
+
+
+class TestStructure:
+    def test_probe_counts_table_matches_figure_legend(self):
+        assert PROBE_COUNTS["2020-04"] == {"ISP_DE": 345, "ISP_US": 331}
+        assert len(PROBE_COUNTS) == 7
+
+    def test_asns_registered(self, run_2019):
+        assert ISP_DE_ASN in run_2019.world.registry
+        assert ISP_US_ASN in run_2019.world.registry
+        assert len(run_2019.probes["ISP_DE"]) == 30
+
+    def test_lockdown_defaults_to_covid_period(self):
+        run = build_exemplar_run(COVID_PERIOD, probe_counts=SMALL)
+        # ISP_US stack carries the lockdown modifier; ISP_DE's doesn't.
+        us = run.world.isps[ISP_US_ASN]
+        de = run.world.isps[ISP_DE_ASN]
+        assert len(us.demand_modifiers.modifiers) == 2
+        assert len(de.demand_modifiers.modifiers) == 1
+
+
+class TestDelayShapes:
+    def test_isp_de_flat_all_periods(self, run_2019, run_covid):
+        for run in (run_2019, run_covid):
+            dataset = run.dataset_for("ISP_DE")
+            signal = aggregate_population(dataset)
+            result = classify_signal(
+                signal.delay_ms, dataset.grid.bin_seconds
+            )
+            assert result.severity == Severity.NONE
+            assert result.daily_amplitude_ms < 0.3
+
+    def test_isp_us_mild_only_under_lockdown(self, run_2019, run_covid):
+        """The paper: Mild in April 2020, not congested otherwise."""
+        dataset = run_2019.dataset_for("ISP_US")
+        signal = aggregate_population(dataset)
+        result = classify_signal(signal.delay_ms, dataset.grid.bin_seconds)
+        assert result.severity == Severity.NONE
+        # ...but a visible daily pattern exists (~0.4 ms in the paper).
+        assert result.markers is not None
+        assert result.markers.daily_is_prominent
+        assert 0.15 < result.daily_amplitude_ms <= 0.5
+
+        covid_dataset = run_covid.dataset_for("ISP_US")
+        covid_signal = aggregate_population(covid_dataset)
+        covid_result = classify_signal(
+            covid_signal.delay_ms, covid_dataset.grid.bin_seconds
+        )
+        assert covid_result.severity == Severity.MILD
+        assert covid_result.daily_amplitude_ms == pytest.approx(
+            1.19, abs=0.45
+        )
+
+    def test_probes_over_5ms_triples_under_lockdown(
+        self, run_2019, run_covid
+    ):
+        """§2.2: probes with daily delay > 5 ms roughly tripled and
+        reached about a quarter of the fleet in April 2020."""
+        before_ds = run_2019.dataset_for("ISP_US")
+        before = probes_with_daily_delay_over(
+            before_ds, before_ds.probe_ids(), 5.0
+        )
+        after_ds = run_covid.dataset_for("ISP_US")
+        after = probes_with_daily_delay_over(
+            after_ds, after_ds.probe_ids(), 5.0
+        )
+        assert len(after) >= 2 * max(len(before), 1)
+        assert len(after) / len(after_ds) > 0.10

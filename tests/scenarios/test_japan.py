@@ -1,0 +1,183 @@
+"""Tests for the Tokyo case study scenario (§4, Appendices)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    aggregate_population,
+    filter_requests,
+    per_asn_throughput,
+    probe_queuing_delay,
+    probes_in_greater_tokyo,
+    spearman_delay_throughput,
+)
+from repro.scenarios import (
+    ISP_A_ASN,
+    ISP_A_MOBILE_ASN,
+    ISP_B_ASN,
+    ISP_C_ASN,
+    build_tokyo_case_study,
+)
+from repro.timebase import TimeGrid
+
+
+@pytest.fixture(scope="module")
+def study():
+    return build_tokyo_case_study(client_scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def logs(study):
+    return study.edge.generate(study.period)
+
+
+@pytest.fixture(scope="module")
+def broadband_v4(study, logs):
+    filtered = filter_requests(
+        logs, mobile_prefixes=study.mobile_prefixes
+    )
+    return filtered.select(filtered.afs == 4)
+
+
+class TestDeployment:
+    def test_probe_plan_counts(self, study):
+        assert len(study.probes["ISP_A"]) == 8
+        assert len(study.probes["ISP_B"]) == 5
+        assert len(study.probes["ISP_C"]) == 8
+        assert len(study.probes["ISP_D"]) == 6
+        assert study.anchor is not None
+
+    def test_all_case_probes_in_greater_tokyo(self, study):
+        dataset = study.dataset_for("ISP_A")
+        tokyo = probes_in_greater_tokyo(dataset.probe_meta)
+        assert len(tokyo) == 8
+
+    def test_period_is_paper_window(self, study):
+        assert study.period.days == 8
+        assert study.period.start.month == 9
+        assert study.period.start.day == 19
+
+    def test_mobile_prefix_list_contents(self, study):
+        """A-mobile whole AS + B/C same-AS mobile blocks (App. A)."""
+        prefixes = study.mobile_prefixes
+        a_mobile = study.isps["ISP_A_mobile"]
+        addr = a_mobile.customer_prefix_v4.first
+        assert prefixes.is_mobile(addr.value, 4)
+        b = study.isps["ISP_B"]
+        assert prefixes.is_mobile(b.mobile_prefix_v4.first.value, 4)
+        assert not prefixes.is_mobile(
+            b.customer_prefix_v4.first.value, 4
+        )
+
+
+class TestFig5Delays:
+    def test_legacy_isps_congested_own_fiber_stable(self, study):
+        sig_a = aggregate_population(study.dataset_for("ISP_A"))
+        sig_b = aggregate_population(study.dataset_for("ISP_B"))
+        sig_c = aggregate_population(study.dataset_for("ISP_C"))
+        # A and B show multi-ms peaks; C stays an order of magnitude
+        # lower (Fig. 5).
+        assert sig_a.max_delay_ms > 2.0
+        assert sig_b.max_delay_ms > 1.0
+        assert sig_c.max_delay_ms < 0.7
+        assert np.nanmedian(sig_a.daily_max_ms()) > (
+            5 * np.nanmedian(sig_c.daily_max_ms())
+        )
+
+    def test_daily_peaks_every_day(self, study):
+        sig_a = aggregate_population(study.dataset_for("ISP_A"))
+        assert np.all(sig_a.daily_max_ms() > 1.0)
+
+    def test_off_peak_similar_across_isps(self, study):
+        """Fig. 5: the three networks agree outside peak hours."""
+        for name in ("ISP_A", "ISP_B", "ISP_C"):
+            sig = aggregate_population(study.dataset_for(name))
+            grid = sig.grid
+            hour = grid.local_hour_of_day(9.0)  # JST
+            night = sig.delay_ms[(hour >= 3) & (hour <= 6)]
+            assert np.nanmedian(night) < 0.4
+
+
+class TestFig8AnchorVsProbes:
+    def test_probes_congested_anchor_flat(self, study):
+        probes_sig = aggregate_population(study.dataset_for("ISP_D"))
+        anchor_ds = study.anchor_dataset()
+        anchor_delay = probe_queuing_delay(
+            anchor_ds.series[study.anchor.probe_id]
+        )
+        assert probes_sig.max_delay_ms > 5.0
+        assert np.nanmax(anchor_delay) < 1.0
+
+
+class TestFig6Throughput:
+    def grid15(self, study):
+        return TimeGrid(study.period, 900)
+
+    def test_broadband_halves_at_peak_for_legacy(
+        self, study, broadband_v4
+    ):
+        tput = per_asn_throughput(
+            broadband_v4, self.grid15(study), study.world.table,
+            asns=[ISP_A_ASN, ISP_B_ASN, ISP_C_ASN],
+        )
+        for asn in (ISP_A_ASN, ISP_B_ASN):
+            series = tput[asn]
+            overall = np.nanmedian(series.median_mbps)
+            worst = np.nanmin(series.daily_min_mbps())
+            assert worst < 0.5 * overall
+        series_c = tput[ISP_C_ASN]
+        worst_c = np.nanmin(series_c.daily_min_mbps())
+        assert worst_c > 0.6 * np.nanmedian(series_c.median_mbps)
+
+    def test_mobile_stable_above_20(self, study, logs):
+        mobile = filter_requests(
+            logs, mobile_prefixes=study.mobile_prefixes,
+            mobile_mode="only",
+        )
+        tput = per_asn_throughput(
+            mobile, self.grid15(study), study.world.table,
+            asns=[ISP_A_MOBILE_ASN, ISP_B_ASN, ISP_C_ASN],
+        )
+        for asn in (ISP_A_MOBILE_ASN, ISP_B_ASN, ISP_C_ASN):
+            series = tput[asn]
+            # Paper: median stays above 20 Mbps; with the reduced
+            # client scale in tests the per-bin minimum is noisier.
+            assert np.nanmedian(series.median_mbps) > 20.0
+            assert np.nanmin(series.daily_min_mbps()) > 14.0
+
+
+class TestFig9IPv6:
+    def test_ipv6_stable_for_legacy_isps(self, study, logs):
+        """Appendix C: IPoE-borne IPv6 avoids the PPPoE bottleneck."""
+        broadband = filter_requests(
+            logs, mobile_prefixes=study.mobile_prefixes
+        )
+        grid = TimeGrid(study.period, 900)
+        v6 = per_asn_throughput(
+            broadband, grid, study.world.table,
+            asns=[ISP_A_ASN, ISP_B_ASN], af=6,
+        )
+        v4 = per_asn_throughput(
+            broadband, grid, study.world.table,
+            asns=[ISP_A_ASN, ISP_B_ASN], af=4,
+        )
+        for asn in (ISP_A_ASN, ISP_B_ASN):
+            worst_v6 = np.nanmin(v6[asn].daily_min_mbps())
+            worst_v4 = np.nanmin(v4[asn].daily_min_mbps())
+            assert worst_v6 > 2.0 * worst_v4
+
+
+class TestFig7Correlation:
+    def test_spearman_signs(self, study, broadband_v4):
+        grid = TimeGrid(study.period, 900)
+        tput = per_asn_throughput(
+            broadband_v4, grid, study.world.table,
+            asns=[ISP_A_ASN, ISP_C_ASN],
+        )
+        sig_a = aggregate_population(study.dataset_for("ISP_A"))
+        corr_a = spearman_delay_throughput(sig_a, tput[ISP_A_ASN])
+        assert corr_a.rho < -0.45
+
+        sig_c = aggregate_population(study.dataset_for("ISP_C"))
+        corr_c = spearman_delay_throughput(sig_c, tput[ISP_C_ASN])
+        assert abs(corr_c.rho) < 0.25

@@ -1,0 +1,137 @@
+"""Tests for the top-level CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_survey_defaults(self):
+        args = build_parser().parse_args(["survey"])
+        assert args.ases == 150
+        assert not args.covid
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "out.jsonl", "--probes", "2"]
+        )
+        assert args.out == "out.jsonl"
+        assert args.probes == 2
+
+
+class TestInfo:
+    def test_prints_version(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "IMC 2020" in out
+
+
+class TestSimulateAndClassify:
+    def test_simulate_writes_jsonl_and_rib(self, tmp_path, capsys):
+        out = tmp_path / "campaign.jsonl"
+        rib = tmp_path / "rib.txt"
+        code = main([
+            "simulate", str(out),
+            "--probes", "2", "--days", "1",
+            "--rib-out", str(rib),
+        ])
+        assert code == 0
+        assert out.exists()
+        assert rib.exists()
+        assert "wrote" in capsys.readouterr().out
+        # JSONL rows parse back as Atlas results.
+        import json
+
+        from repro.atlas import TracerouteResult
+
+        first = out.read_text().splitlines()[0]
+        result = TracerouteResult.from_json(json.loads(first))
+        assert result.hops
+
+    def test_classify_roundtrip(self, tmp_path, capsys):
+        """simulate -> binned dataset -> classify via the CLI."""
+        import datetime as dt
+
+        from repro.atlas import AtlasPlatform, ProbeVersion
+        from repro.io import save_lastmile
+        from repro.netbase import AccessTechnology, ASInfo, ASRole
+        from repro.timebase import MeasurementPeriod
+        from repro.topology import ProvisioningPolicy, World
+
+        world = World(seed=9)
+        isp = world.add_isp(
+            ASInfo(
+                64500, "X", "JP", ASRole.EYEBALL,
+                access_technologies=[
+                    AccessTechnology.FTTH_PPPOE_LEGACY
+                ],
+            ),
+            provisioning=ProvisioningPolicy(
+                peak_utilization={
+                    AccessTechnology.FTTH_PPPOE_LEGACY: 0.96
+                },
+                device_spread=0.005,
+                load_jitter_std=0.005,
+            ),
+        )
+        world.add_default_targets()
+        world.finalize()
+        platform = AtlasPlatform(world)
+        probes = platform.deploy_probes_on_isp(
+            isp, 4, version=ProbeVersion.V3
+        )
+        # Two weeks: Welch segment averaging needs several days for
+        # the daily fundamental to dominate its harmonics.
+        period = MeasurementPeriod(
+            "cli-test", dt.datetime(2019, 9, 2), 14
+        )
+        dataset = platform.run_period_binned(period, probes)
+        base = tmp_path / "lastmile"
+        save_lastmile(dataset, base)
+
+        assert main(["classify", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "AS64500" in out
+        assert any(
+            word in out for word in ("LOW", "MILD", "SEVERE")
+        )
+
+    def test_classify_empty_dataset(self, tmp_path, capsys):
+        import datetime as dt
+
+        from repro.core import LastMileDataset
+        from repro.io import save_lastmile
+        from repro.timebase import MeasurementPeriod, TimeGrid
+
+        grid = TimeGrid(
+            MeasurementPeriod("empty", dt.datetime(2019, 9, 2), 1)
+        )
+        base = tmp_path / "empty"
+        save_lastmile(LastMileDataset(grid=grid), base)
+        assert main(["classify", str(base)]) == 1
+
+
+class TestSurveyCommand:
+    def test_small_survey_exports_site(self, tmp_path, capsys):
+        out = tmp_path / "site"
+        code = main([
+            "survey", "--ases", "20", "--countries", "5",
+            "--periods", "1", "--out", str(out),
+        ])
+        assert code == 0
+        assert (out / "surveys.json").exists()
+        assert (out / "index.md").exists()
+        assert "exported" in capsys.readouterr().out
+
+
+class TestTokyoCommand:
+    def test_prints_digests(self, capsys):
+        code = main(["tokyo", "--client-scale", "0.1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ISP_A" in out and "Spearman" in out

@@ -1,0 +1,65 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; a refactor that breaks
+one must fail CI.  Each runs as a subprocess, the way a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\nstdout:\n{result.stdout}\n"
+        f"stderr:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "classification" in out
+        assert "SEVERE" in out or "MILD" in out or "LOW" in out
+
+    def test_atlas_json_pipeline(self):
+        out = run_example("atlas_json_pipeline.py")
+        assert "exported" in out
+        assert "classification" in out
+
+    def test_streaming_monitor(self):
+        out = run_example("streaming_monitor.py")
+        assert "raclette:" in out
+        assert "congestion-start" in out
+        assert "HotNet" in out
+
+    def test_tokyo_case_study_small(self):
+        out = run_example(
+            "tokyo_case_study.py", "--client-scale", "0.1"
+        )
+        assert "Fig. 5" in out
+        assert "Spearman" in out
+        assert "ISP_D anchor" in out
+
+    def test_world_survey_small(self):
+        out = run_example(
+            "world_survey.py",
+            "--ases", "30", "--countries", "8", "--periods", "1",
+        )
+        assert "headline statistics" in out
+        assert "COVID increase" in out
+
+    @pytest.mark.slow
+    def test_capacity_planning(self):
+        out = run_example("capacity_planning.py")
+        assert "legacy PPPoE BRAS" in out
+        assert "flagged as congested from" in out

@@ -1,0 +1,156 @@
+"""Tests for repro.timebase."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.timebase import (
+    ALL_SURVEY_PERIODS,
+    COVID_PERIOD,
+    DELAY_BIN_SECONDS,
+    LONGITUDINAL_PERIODS,
+    SECONDS_PER_DAY,
+    TOKYO_PERIOD,
+    MeasurementPeriod,
+    TimeGrid,
+    weekly_overlay,
+)
+
+
+class TestMeasurementPeriod:
+    def test_paper_windows(self):
+        assert len(LONGITUDINAL_PERIODS) == 6
+        assert len(ALL_SURVEY_PERIODS) == 7
+        assert all(p.days == 15 for p in ALL_SURVEY_PERIODS)
+        assert COVID_PERIOD.start == dt.datetime(2020, 4, 1)
+        assert TOKYO_PERIOD.start == dt.datetime(2019, 9, 19)
+        assert TOKYO_PERIOD.days == 8
+
+    def test_duration_and_end(self):
+        period = MeasurementPeriod("x", dt.datetime(2019, 9, 1), 15)
+        assert period.duration_seconds == 15 * SECONDS_PER_DAY
+        assert period.end == dt.datetime(2019, 9, 16)
+
+    def test_start_weekday(self):
+        # 2019-09-19 was a Thursday (weekday 3).
+        assert TOKYO_PERIOD.start_weekday == 3
+
+    def test_to_datetime(self):
+        assert TOKYO_PERIOD.to_datetime(3600) == dt.datetime(
+            2019, 9, 19, 1, 0
+        )
+
+    def test_rejects_aware_datetime(self):
+        with pytest.raises(ValueError):
+            MeasurementPeriod(
+                "x", dt.datetime(2019, 9, 1, tzinfo=dt.timezone.utc), 15
+            )
+
+    def test_rejects_nonpositive_days(self):
+        with pytest.raises(ValueError):
+            MeasurementPeriod("x", dt.datetime(2019, 9, 1), 0)
+
+
+class TestTimeGrid:
+    def grid(self, days=2, bin_seconds=DELAY_BIN_SECONDS):
+        period = MeasurementPeriod("t", dt.datetime(2019, 9, 2), days)
+        return TimeGrid(period, bin_seconds)
+
+    def test_bin_counts(self):
+        grid = self.grid(days=15)
+        assert grid.num_bins == 15 * 48
+        assert grid.bins_per_day == 48
+
+    def test_uneven_bin_rejected(self):
+        period = MeasurementPeriod("t", dt.datetime(2019, 9, 2), 1)
+        with pytest.raises(ValueError):
+            TimeGrid(period, 7 * 60)
+
+    def test_bin_starts_and_centers(self):
+        grid = self.grid(days=1)
+        starts = grid.bin_starts()
+        assert starts[0] == 0.0
+        assert starts[1] == 1800.0
+        assert grid.bin_centers()[0] == 900.0
+
+    def test_bin_index_clips_at_end(self):
+        grid = self.grid(days=1)
+        assert grid.bin_index(0.0) == 0
+        assert grid.bin_index(1799.9) == 0
+        assert grid.bin_index(1800.0) == 1
+        assert grid.bin_index(SECONDS_PER_DAY) == grid.num_bins - 1
+
+    def test_bin_index_vectorized(self):
+        grid = self.grid(days=1)
+        idx = grid.bin_index(np.array([0.0, 1800.0, 3600.0]))
+        assert list(idx) == [0, 1, 2]
+
+    def test_local_hour_with_offset(self):
+        grid = self.grid(days=1)
+        utc_hours = grid.local_hour_of_day(0.0)
+        jst_hours = grid.local_hour_of_day(9.0)
+        assert utc_hours[0] == pytest.approx(0.25)
+        assert jst_hours[0] == pytest.approx(9.25)
+        assert np.all((jst_hours >= 0) & (jst_hours < 24))
+
+    def test_day_of_week_progression(self):
+        # 2019-09-02 was a Monday.
+        grid = self.grid(days=2)
+        dow = grid.local_day_of_week(0.0)
+        assert dow[0] == 0          # Monday
+        assert dow[-1] == 1         # Tuesday
+        assert set(dow) == {0, 1}
+
+    def test_day_of_week_offset_shifts_boundary(self):
+        grid = self.grid(days=1)
+        # At UTC+9, Monday 00:00 UTC is Monday 09:00 local; the local
+        # Tuesday starts at 15:00 UTC (bin 30).
+        dow = grid.local_day_of_week(9.0)
+        assert dow[0] == 0
+        assert dow[29] == 0
+        assert dow[30] == 1
+
+    def test_hour_of_week_monotone_within_week(self):
+        grid = self.grid(days=7)
+        how = grid.hour_of_week(0.0)
+        assert how[0] == pytest.approx(0.25)
+        assert np.all(np.diff(how) > 0)
+        assert how[-1] < 168.0
+
+
+class TestWeeklyOverlay:
+    def test_folds_two_weeks_with_median(self):
+        period = MeasurementPeriod("t", dt.datetime(2019, 9, 2), 14)
+        grid = TimeGrid(period)
+        # Week 1 all zeros, week 2 all twos -> median 1.0 everywhere.
+        values = np.concatenate([
+            np.zeros(7 * 48), np.full(7 * 48, 2.0),
+        ])
+        hours, medians = weekly_overlay(grid, values)
+        assert len(hours) == 7 * 48
+        assert np.allclose(medians, 1.0)
+
+    def test_nan_slots_dropped(self):
+        period = MeasurementPeriod("t", dt.datetime(2019, 9, 2), 7)
+        grid = TimeGrid(period)
+        values = np.ones(grid.num_bins)
+        values[:48] = np.nan  # whole Monday missing
+        hours, medians = weekly_overlay(grid, values)
+        assert len(hours) == 6 * 48
+        assert hours[0] >= 24.0
+
+    def test_length_mismatch_rejected(self):
+        period = MeasurementPeriod("t", dt.datetime(2019, 9, 2), 7)
+        grid = TimeGrid(period)
+        with pytest.raises(ValueError):
+            weekly_overlay(grid, np.ones(3))
+
+    def test_partial_weeks_fold_onto_start_weekday(self):
+        # Tokyo period starts Thursday; first slot must be Thursday's.
+        grid = TimeGrid(TOKYO_PERIOD)
+        values = np.arange(grid.num_bins, dtype=float)
+        hours, _ = weekly_overlay(grid, values)
+        # Thursday 00:15 local = hour-of-week 72.25 rounded to slot.
+        assert hours.min() == pytest.approx(0.0)
+        assert hours.max() < 168.0

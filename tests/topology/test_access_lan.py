@@ -1,0 +1,140 @@
+"""Tests for access specs and home LAN construction."""
+
+import numpy as np
+import pytest
+
+from repro.netbase import AccessTechnology, IPAddress, Prefix, is_rfc1918
+from repro.topology import AccessTechSpec, build_home_lan, default_specs
+from repro.topology.lan import HomeLAN
+from repro.queueing import LinkModel
+
+
+class TestDefaultSpecs:
+    def test_covers_every_technology(self):
+        specs = default_specs()
+        assert set(specs) == set(AccessTechnology)
+
+    def test_legacy_pppoe_is_marked_shared(self):
+        specs = default_specs()
+        assert specs[AccessTechnology.FTTH_PPPOE_LEGACY].legacy_shared
+        assert specs[AccessTechnology.FTTH_IPOE_LEGACY].legacy_shared
+        assert not specs[AccessTechnology.FTTH_OWN].legacy_shared
+
+    def test_pppoe_slower_service_than_ipoe(self):
+        """The ossified BRAS queues much harder than IPoE gateways."""
+        specs = default_specs()
+        pppoe = specs[AccessTechnology.FTTH_PPPOE_LEGACY].link
+        ipoe = specs[AccessTechnology.FTTH_IPOE_LEGACY].link
+        assert pppoe.service_time_ms > 3 * ipoe.service_time_ms
+
+    def test_lte_has_higher_base_rtt_than_ftth(self):
+        specs = default_specs()
+        lte_low = specs[AccessTechnology.LTE].base_rtt_ms[0]
+        ftth_high = specs[AccessTechnology.FTTH_OWN].base_rtt_ms[1]
+        assert lte_low > ftth_high
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AccessTechSpec(
+                technology=AccessTechnology.DSL,
+                base_rtt_ms=(5.0, 2.0),  # inverted range
+                reply_noise_ms=0.1,
+                link=LinkModel(),
+                subscribers_per_device=10,
+            )
+        with pytest.raises(ValueError):
+            AccessTechSpec(
+                technology=AccessTechnology.DSL,
+                base_rtt_ms=(1.0, 2.0),
+                reply_noise_ms=0.1,
+                link=LinkModel(),
+                subscribers_per_device=0,
+            )
+
+
+class TestHomeLAN:
+    def test_validation_addresses_in_prefix(self):
+        prefix = Prefix.parse("192.168.1.0/24")
+        with pytest.raises(ValueError):
+            HomeLAN(
+                prefix=prefix,
+                probe_address=IPAddress.parse("10.0.0.5"),
+                gateway_chain=[IPAddress.parse("192.168.1.1")],
+                lan_rtt_ms=0.5,
+                reply_noise_ms=0.1,
+            )
+
+    def test_needs_gateway(self):
+        prefix = Prefix.parse("192.168.1.0/24")
+        with pytest.raises(ValueError):
+            HomeLAN(
+                prefix=prefix,
+                probe_address=IPAddress.parse("192.168.1.10"),
+                gateway_chain=[],
+                lan_rtt_ms=0.5,
+                reply_noise_ms=0.1,
+            )
+
+    def test_last_private_address(self):
+        prefix = Prefix.parse("192.168.1.0/24")
+        lan = HomeLAN(
+            prefix=prefix,
+            probe_address=IPAddress.parse("192.168.1.10"),
+            gateway_chain=[
+                IPAddress.parse("192.168.1.2"),
+                IPAddress.parse("192.168.1.1"),
+            ],
+            lan_rtt_ms=0.5,
+            reply_noise_ms=0.1,
+        )
+        assert str(lan.last_private_address) == "192.168.1.1"
+        assert lan.private_hop_count == 2
+
+
+class TestBuildHomeLAN:
+    def test_all_addresses_are_rfc1918(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            lan = build_home_lan(rng)
+            assert is_rfc1918(lan.probe_address.value)
+            for gw in lan.gateway_chain:
+                assert is_rfc1918(gw.value)
+
+    def test_probe_distinct_from_gateways(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            lan = build_home_lan(rng)
+            assert lan.probe_address not in lan.gateway_chain
+
+    def test_double_nat_frequency(self):
+        rng = np.random.default_rng(2)
+        lans = [build_home_lan(rng, double_nat_probability=0.5)
+                for _ in range(300)]
+        double = sum(1 for lan in lans if lan.private_hop_count == 2)
+        assert 100 < double < 200
+
+    def test_no_double_nat_when_disabled(self):
+        rng = np.random.default_rng(3)
+        lans = [build_home_lan(rng, double_nat_probability=0.0)
+                for _ in range(50)]
+        assert all(lan.private_hop_count == 1 for lan in lans)
+
+    def test_wifi_increases_latency_and_noise(self):
+        rng = np.random.default_rng(4)
+        wifi = [build_home_lan(rng, wifi_probability=1.0)
+                for _ in range(100)]
+        wired = [build_home_lan(rng, wifi_probability=0.0,
+                                double_nat_probability=0.0)
+                 for _ in range(100)]
+        assert np.mean([l.lan_rtt_ms for l in wifi]) > (
+            np.mean([l.lan_rtt_ms for l in wired])
+        )
+        assert np.mean([l.reply_noise_ms for l in wifi]) > (
+            np.mean([l.reply_noise_ms for l in wired])
+        )
+
+    def test_deterministic_given_rng(self):
+        a = build_home_lan(np.random.default_rng(7))
+        b = build_home_lan(np.random.default_rng(7))
+        assert a.probe_address == b.probe_address
+        assert a.lan_rtt_ms == b.lan_rtt_ms

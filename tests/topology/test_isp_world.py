@@ -1,0 +1,239 @@
+"""Tests for ISPNetwork, World and path construction."""
+
+import numpy as np
+import pytest
+
+from repro.netbase import (
+    AccessTechnology,
+    ASInfo,
+    ASRole,
+    is_public,
+    is_rfc1918,
+)
+from repro.topology import (
+    ISPNetwork,
+    ProvisioningPolicy,
+    World,
+)
+
+
+def eyeball_info(asn=64500, country="JP",
+                 techs=(AccessTechnology.FTTH_PPPOE_LEGACY,)):
+    return ASInfo(
+        asn=asn, name=f"ISP{asn}", country=country, role=ASRole.EYEBALL,
+        access_technologies=list(techs),
+    )
+
+
+def small_world(peak=0.95, seed=0, country="JP"):
+    world = World(seed=seed)
+    isp = world.add_isp(
+        eyeball_info(country=country),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={AccessTechnology.FTTH_PPPOE_LEGACY: peak}
+        ),
+    )
+    targets = world.add_default_targets()
+    return world, isp, targets
+
+
+class TestISPNetwork:
+    def test_attach_subscriber_defaults(self):
+        _, isp, _ = small_world()
+        sub = isp.attach_subscriber(city="Tokyo")
+        assert sub.technology == AccessTechnology.FTTH_PPPOE_LEGACY
+        assert sub.asn == isp.asn
+        assert sub.city == "Tokyo"
+        assert not sub.is_datacenter
+        assert is_rfc1918(sub.lan.probe_address.value)
+        assert is_public(sub.wan_address.value, 4)
+        assert isp.customer_prefix_v4.contains(sub.wan_address)
+        assert sub.ipv6_prefix is not None
+        assert sub.ipv6_prefix.length == 56
+
+    def test_device_filling(self):
+        _, isp, _ = small_world()
+        spec = isp.specs[AccessTechnology.FTTH_PPPOE_LEGACY]
+        for _ in range(spec.subscribers_per_device + 1):
+            isp.attach_subscriber()
+        assert len(isp.devices) == 2
+
+    def test_no_technology_configured(self):
+        world = World(seed=1)
+        info = ASInfo(64501, "X", "JP", ASRole.EYEBALL)
+        isp = world.add_isp(info)
+        with pytest.raises(ValueError):
+            isp.attach_subscriber()
+
+    def test_unknown_technology_rejected(self):
+        _, isp, _ = small_world()
+        isp.specs = {
+            k: v for k, v in isp.specs.items()
+            if k != AccessTechnology.LTE
+        }
+        with pytest.raises(KeyError):
+            isp.attach_subscriber(AccessTechnology.LTE)
+
+    def test_unique_wan_addresses(self):
+        _, isp, _ = small_world()
+        subs = [isp.attach_subscriber() for _ in range(100)]
+        assert len({s.wan_address for s in subs}) == 100
+
+    def test_datacenter_host(self):
+        _, isp, _ = small_world()
+        host = isp.attach_datacenter_host(city="Tokyo")
+        assert host.is_datacenter
+        assert host.lan is None
+        assert host.device.device.peak_utilization == pytest.approx(0.30)
+        assert host.device.announced
+
+    def test_provisioning_spread(self):
+        world = World(seed=5)
+        isp = world.add_isp(
+            eyeball_info(),
+            provisioning=ProvisioningPolicy(
+                peak_utilization={
+                    AccessTechnology.FTTH_PPPOE_LEGACY: 0.9
+                },
+                device_spread=0.05,
+            ),
+        )
+        # Force many devices by exceeding capacity repeatedly.
+        spec = isp.specs[AccessTechnology.FTTH_PPPOE_LEGACY]
+        for _ in range(spec.subscribers_per_device * 5):
+            isp.attach_subscriber()
+        peaks = [d.device.peak_utilization for d in isp.devices]
+        assert len(peaks) == 5
+        assert np.std(peaks) > 0.0
+        assert all(0 < p < 1 for p in peaks)
+
+
+class TestWorldRouting:
+    def test_finalize_announces_customer_space(self):
+        world, isp, _ = small_world()
+        sub = isp.attach_subscriber()
+        world.finalize()
+        asn = world.table.resolve_asn(sub.wan_address.value, 4)
+        assert asn == isp.asn
+
+    def test_probe_address_lpm_is_the_paper_workaround(self):
+        """Edge may be unannounced; the probe's public address always
+        resolves — mirroring §2.1."""
+        world = World(seed=2)
+        isp = world.add_isp(
+            eyeball_info(), edge_announced_probability=0.0
+        )
+        sub = isp.attach_subscriber()
+        world.finalize()
+        edge = sub.device.edge_address
+        assert world.table.resolve_asn(edge.value, 4) is None
+        assert world.table.resolve_asn(sub.wan_address.value, 4) == isp.asn
+
+    def test_announced_edge_resolves(self):
+        world = World(seed=3)
+        isp = world.add_isp(
+            eyeball_info(), edge_announced_probability=1.0
+        )
+        sub = isp.attach_subscriber()
+        world.finalize()
+        assert world.table.resolve_asn(
+            sub.device.edge_address.value, 4
+        ) == isp.asn
+
+    def test_default_targets(self):
+        world, _, targets = small_world()
+        assert len(targets) == 22
+        names = {t.name for t in targets}
+        assert "A-root" in names and "ctrl-8" in names
+        # All target addresses are distinct and announced.
+        addresses = {t.address for t in targets}
+        assert len(addresses) == 22
+        for t in targets:
+            assert world.table.resolve_asn(t.address.value, 4) == 64800
+
+    def test_deterministic_worlds(self):
+        w1, isp1, _ = small_world(seed=42)
+        w2, isp2, _ = small_world(seed=42)
+        s1 = isp1.attach_subscriber()
+        s2 = isp2.attach_subscriber()
+        assert s1.wan_address == s2.wan_address
+        assert s1.access_rtt_ms == s2.access_rtt_ms
+
+
+class TestPathConstruction:
+    def test_path_structure(self):
+        world, isp, targets = small_world()
+        sub = isp.attach_subscriber()
+        world.finalize()
+        path = world.build_path(sub, targets[0])
+
+        # Private hops first, then public.
+        privates = [h for h in path.hops if h.private]
+        assert len(privates) == sub.lan.private_hop_count
+        assert all(is_rfc1918(h.address.value) for h in privates)
+        first_public_index = len(privates)
+        first_public = path.hops[first_public_index]
+        assert first_public.address == sub.device.edge_address
+        assert first_public.access_queue
+        assert not privates[-1].access_queue
+
+        # Cumulative base RTT strictly nondecreasing.
+        rtts = [h.base_rtt_ms for h in path.hops]
+        assert all(b >= a for a, b in zip(rtts, rtts[1:]))
+
+        # Last hop is the target.
+        assert path.hops[-1].address == targets[0].address
+
+    def test_edge_rtt_decomposition(self):
+        world, isp, targets = small_world()
+        sub = isp.attach_subscriber()
+        world.finalize()
+        path = world.build_path(sub, targets[0])
+        privates = [h for h in path.hops if h.private]
+        edge = path.hops[len(privates)]
+        # Edge base RTT = LAN RTT + access RTT, the quantity the
+        # pipeline recovers by subtraction.
+        assert edge.base_rtt_ms == pytest.approx(
+            sub.lan.lan_rtt_ms + sub.access_rtt_ms
+        )
+        assert privates[-1].base_rtt_ms == pytest.approx(sub.lan.lan_rtt_ms)
+
+    def test_datacenter_path_has_no_private_hops(self):
+        world, isp, targets = small_world()
+        host = isp.attach_datacenter_host()
+        world.finalize()
+        path = world.build_path(host, targets[0])
+        assert not any(h.private for h in path.hops)
+        assert path.hops[0].address == host.device.edge_address
+
+    def test_transit_segment_cached_per_as(self):
+        world, isp, targets = small_world()
+        a = isp.attach_subscriber()
+        b = isp.attach_subscriber()
+        world.finalize()
+        path_a = world.build_path(a, targets[0])
+        path_b = world.build_path(b, targets[0])
+        transit_a = [h.address for h in path_a.hops[-4:-1]]
+        transit_b = [h.address for h in path_b.hops[-4:-1]]
+        assert transit_a == transit_b
+
+    def test_distance_scales_with_longitude_gap(self):
+        world = World(seed=9)
+        jp = world.add_isp(eyeball_info(asn=64501, country="JP"))
+        sub = jp.attach_subscriber()
+        near = world.add_target("near", utc_offset_hours=9.0)
+        far = world.add_target("far", utc_offset_hours=-5.0)
+        world.finalize()
+        rtt_near = world.build_path(sub, near).hops[-1].base_rtt_ms
+        rtt_far = world.build_path(sub, far).hops[-1].base_rtt_ms
+        assert rtt_far > rtt_near + 50.0
+
+    def test_some_transit_hops_do_not_respond(self):
+        world, isp, targets = small_world()
+        sub = isp.attach_subscriber()
+        world.finalize()
+        responds = [
+            h.responds for t in targets
+            for h in world.build_path(sub, t).hops
+        ]
+        assert not all(responds)

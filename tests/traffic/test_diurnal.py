@@ -1,0 +1,134 @@
+"""Tests for diurnal demand profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traffic import (
+    DemandBump,
+    DiurnalProfile,
+    WeeklyDemandModel,
+    business_hours,
+    flat,
+    residential_weekday,
+    residential_weekend,
+)
+
+
+class TestDemandBump:
+    def test_peak_at_center(self):
+        bump = DemandBump(center_hour=21.0, width_hours=2.0, height=0.5)
+        hours = np.linspace(0, 24, 97)
+        values = bump.evaluate(hours)
+        assert values.max() == pytest.approx(0.5, rel=1e-3)
+        assert hours[np.argmax(values)] == pytest.approx(21.0)
+
+    def test_wraps_midnight(self):
+        bump = DemandBump(center_hour=23.0, width_hours=2.0, height=1.0)
+        # 1 AM is 2 hours from 23:00 through midnight, same as 21:00.
+        v_0100 = bump.evaluate(np.array([1.0]))[0]
+        v_2100 = bump.evaluate(np.array([21.0]))[0]
+        assert v_0100 == pytest.approx(v_2100)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(center_hour=24.0, width_hours=1, height=1),
+         dict(center_hour=-1.0, width_hours=1, height=1),
+         dict(center_hour=12.0, width_hours=0, height=1),
+         dict(center_hour=12.0, width_hours=1, height=-0.1)],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DemandBump(**kwargs)
+
+
+class TestDiurnalProfile:
+    def test_output_clipped_to_unit_interval(self):
+        profile = DiurnalProfile(
+            base=0.9,
+            bumps=(DemandBump(center_hour=21.0, width_hours=3.0, height=0.9),),
+        )
+        values = profile.evaluate(np.linspace(0, 24, 200))
+        assert values.max() <= 1.0
+        assert values.min() >= 0.0
+
+    def test_flat_profile_constant(self):
+        values = flat(0.4).evaluate(np.linspace(0, 24, 50))
+        assert np.allclose(values, 0.4)
+
+    def test_residential_weekday_peaks_in_evening(self):
+        profile = residential_weekday()
+        hours = np.linspace(0, 24, 24 * 12, endpoint=False)
+        values = profile.evaluate(hours)
+        peak_hour = hours[np.argmax(values)]
+        assert 19.0 <= peak_hour <= 23.0
+        # Night trough is well below the evening peak.
+        night = profile.evaluate(np.array([4.0]))[0]
+        assert values.max() > 2.0 * night
+
+    def test_weekend_daytime_higher_than_weekday(self):
+        afternoon = np.array([14.0])
+        assert residential_weekend().evaluate(afternoon)[0] > (
+            residential_weekday().evaluate(afternoon)[0]
+        )
+
+    def test_business_hours_peak_midday(self):
+        hours = np.linspace(0, 24, 24 * 12, endpoint=False)
+        values = business_hours().evaluate(hours)
+        peak_hour = hours[np.argmax(values)]
+        assert 9.0 <= peak_hour <= 18.0
+
+    def test_scaled(self):
+        profile = residential_weekday().scaled(0.5)
+        original = residential_weekday()
+        hours = np.linspace(0, 24, 50)
+        assert np.all(profile.evaluate(hours) <= original.evaluate(hours))
+        with pytest.raises(ValueError):
+            residential_weekday().scaled(-1.0)
+
+    def test_peak_demand_matches_grid_max(self):
+        profile = residential_weekday()
+        hours = np.linspace(0, 24, 24 * 60, endpoint=False)
+        assert profile.peak_demand() == pytest.approx(
+            profile.evaluate(hours).max()
+        )
+
+    def test_base_validated(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile(base=1.5)
+
+    @given(st.floats(min_value=0.0, max_value=23.999))
+    def test_profile_always_in_unit_interval(self, hour):
+        profile = residential_weekend()
+        value = profile.evaluate(np.array([hour]))[0]
+        assert 0.0 <= value <= 1.0
+
+
+class TestWeeklyDemandModel:
+    def test_weekend_days_use_weekend_profile(self):
+        model = WeeklyDemandModel.residential()
+        hour = np.array([14.0, 14.0])
+        dow = np.array([2, 6])  # Wednesday, Sunday
+        values = model.demand(hour, dow)
+        assert values[1] > values[0]
+
+    def test_uniform_model_ignores_weekday(self):
+        model = WeeklyDemandModel.uniform(flat(0.3))
+        hour = np.full(7, 12.0)
+        dow = np.arange(7)
+        assert np.allclose(model.demand(hour, dow), 0.3)
+
+    def test_shape_mismatch_rejected(self):
+        model = WeeklyDemandModel.residential()
+        with pytest.raises(ValueError):
+            model.demand(np.zeros(3), np.zeros(2, dtype=int))
+
+    def test_bad_weekend_days_rejected(self):
+        with pytest.raises(ValueError):
+            WeeklyDemandModel(flat(), flat(), weekend_days=(7,))
+
+    def test_peak_demand_covers_both_profiles(self):
+        model = WeeklyDemandModel.residential()
+        assert model.peak_demand() >= model.weekday.peak_demand()
+        assert model.peak_demand() >= model.weekend.peak_demand()

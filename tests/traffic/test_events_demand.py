@@ -1,0 +1,179 @@
+"""Tests for demand modifiers and demand series."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.timebase import MeasurementPeriod, TimeGrid
+from repro.traffic import (
+    DemandSeries,
+    GrowthModifier,
+    LockdownModifier,
+    ModifierStack,
+    TransientSpike,
+    WeeklyDemandModel,
+    WeeklyRecurringSpike,
+    flat,
+    hours,
+    offered_load,
+)
+
+
+def make_grid(days=7, start=dt.datetime(2019, 9, 2)):
+    return TimeGrid(MeasurementPeriod("t", start, days))
+
+
+def flat_series(level=0.5):
+    return DemandSeries(model=WeeklyDemandModel.uniform(flat(level)))
+
+
+class TestGrowthModifier:
+    def test_scales_uniformly(self):
+        grid = make_grid(1)
+        base = np.full(grid.num_bins, 0.4)
+        out = GrowthModifier(1.5).apply(grid, base, 0.0)
+        assert np.allclose(out, 0.6)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GrowthModifier(-0.1)
+
+
+class TestLockdownModifier:
+    def test_boosts_daytime_not_night(self):
+        grid = make_grid(1)
+        base = np.full(grid.num_bins, 0.3)
+        out = LockdownModifier(daytime_boost=0.5).apply(grid, base, 0.0)
+        hour = grid.local_hour_of_day(0.0)
+        noon = out[np.argmin(np.abs(hour - 13.0))]
+        night = out[np.argmin(np.abs(hour - 4.0))]
+        # Saturating boost: 0.3 + 0.5 * (1 - 0.3) = 0.65.
+        assert noon == pytest.approx(0.65, abs=0.03)
+        assert night == pytest.approx(0.3, abs=0.02)
+
+    def test_saturating_never_exceeds_one(self):
+        grid = make_grid(1)
+        base = np.full(grid.num_bins, 0.95)
+        out = LockdownModifier(
+            daytime_boost=1.0, evening_boost=1.0
+        ).apply(grid, base, 0.0)
+        assert out.max() <= 1.0 + 1e-9
+
+    def test_respects_utc_offset(self):
+        grid = make_grid(1)
+        base = np.zeros(grid.num_bins)
+        out_utc = LockdownModifier().apply(grid, base, 0.0)
+        out_jst = LockdownModifier().apply(grid, base, 9.0)
+        # The boosted window shifts with the local-time offset.
+        assert not np.allclose(out_utc, out_jst)
+
+
+class TestTransientSpike:
+    def test_only_affects_window(self):
+        grid = make_grid(1)
+        base = np.zeros(grid.num_bins)
+        spike = TransientSpike(
+            start_seconds=hours(6), duration_seconds=hours(1), magnitude=0.5
+        )
+        out = spike.apply(grid, base, 0.0)
+        assert out[12] == 0.5 and out[13] == 0.5   # 06:00-07:00
+        assert out[11] == 0.0 and out[14] == 0.0
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransientSpike(0, 0, 0.5)
+        with pytest.raises(ValueError):
+            TransientSpike(0, 10, -0.5)
+
+
+class TestWeeklyRecurringSpike:
+    def test_fires_only_on_chosen_day(self):
+        grid = make_grid(7)  # starts Monday
+        base = np.zeros(grid.num_bins)
+        spike = WeeklyRecurringSpike(
+            hour_of_day=2.0, duration_hours=1.0, magnitude=1.0,
+            days_of_week=(2,),  # Wednesday
+        )
+        out = spike.apply(grid, base, 0.0)
+        dow = grid.local_day_of_week(0.0)
+        assert out[(dow == 2)].max() == 1.0
+        assert out[(dow != 2)].max() == 0.0
+
+
+class TestModifierStack:
+    def test_applies_in_order_and_clips(self):
+        grid = make_grid(1)
+        stack = ModifierStack([GrowthModifier(3.0), GrowthModifier(2.0)])
+        out = stack.apply(grid, np.full(grid.num_bins, 0.3))
+        assert np.allclose(out, 1.0)  # 0.3*6 clipped
+
+    def test_append(self):
+        stack = ModifierStack()
+        stack.append(GrowthModifier(2.0))
+        grid = make_grid(1)
+        out = stack.apply(grid, np.full(grid.num_bins, 0.2))
+        assert np.allclose(out, 0.4)
+
+
+class TestDemandSeries:
+    def test_flat_series_constant(self):
+        grid = make_grid(2)
+        out = flat_series(0.5).evaluate(grid)
+        assert out.shape == (grid.num_bins,)
+        assert np.allclose(out, 0.5)
+
+    def test_with_modifiers_copies(self):
+        base = flat_series(0.2)
+        grown = base.with_modifiers([GrowthModifier(2.0)])
+        grid = make_grid(1)
+        assert np.allclose(base.evaluate(grid), 0.2)
+        assert np.allclose(grown.evaluate(grid), 0.4)
+
+    def test_residential_series_has_daily_structure(self):
+        grid = make_grid(7)
+        series = DemandSeries(model=WeeklyDemandModel.residential())
+        out = series.evaluate(grid)
+        daily = out.reshape(7, grid.bins_per_day)
+        # Every day shows a clear within-day swing.
+        assert np.all(daily.max(axis=1) - daily.min(axis=1) > 0.3)
+
+
+class TestOfferedLoad:
+    def test_peak_anchoring(self):
+        grid = make_grid(7)
+        series = DemandSeries(model=WeeklyDemandModel.residential())
+        rho = offered_load(series, grid, peak_utilization=0.95)
+        assert rho.max() == pytest.approx(0.95, abs=0.02)
+        assert rho.min() >= 0.0
+
+    def test_flat_series_peak_equals_level(self):
+        grid = make_grid(1)
+        rho = offered_load(flat_series(0.5), grid, peak_utilization=0.8)
+        assert np.allclose(rho, 0.8)
+
+    def test_jitter_requires_rng(self):
+        grid = make_grid(1)
+        with pytest.raises(ValueError):
+            offered_load(flat_series(), grid, 0.5, jitter_std=0.1)
+
+    def test_jitter_reproducible(self):
+        grid = make_grid(1)
+        a = offered_load(flat_series(), grid, 0.5, jitter_std=0.1,
+                         rng=np.random.default_rng(7))
+        b = offered_load(flat_series(), grid, 0.5, jitter_std=0.1,
+                         rng=np.random.default_rng(7))
+        assert np.array_equal(a, b)
+        assert a.std() > 0.0
+
+    def test_clipped_below_one(self):
+        grid = make_grid(1)
+        rho = offered_load(flat_series(1.0), grid, 1.0, jitter_std=0.5,
+                           rng=np.random.default_rng(0))
+        assert rho.max() <= 0.999
+
+    def test_bad_peak_rejected(self):
+        grid = make_grid(1)
+        with pytest.raises(ValueError):
+            offered_load(flat_series(), grid, 1.5)
