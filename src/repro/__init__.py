@@ -28,8 +28,10 @@ from . import (  # noqa: F401
     bgp,
     cdn,
     core,
+    faults,
     io,
     netbase,
+    quality,
     queueing,
     raclette,
     scenarios,
@@ -53,4 +55,6 @@ __all__ = [
     "timebase",
     "io",
     "raclette",
+    "quality",
+    "faults",
 ]

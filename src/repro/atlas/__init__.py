@@ -23,11 +23,13 @@ from .probe import (
 )
 from .traceroute import (
     Hop,
+    MAX_SANE_RTT_MS,
     MeasurementDataset,
     ProbeMeta,
     Reply,
     REPLIES_PER_HOP,
     TracerouteResult,
+    parse_result,
 )
 
 __all__ = [
@@ -50,4 +52,6 @@ __all__ = [
     "REPLIES_PER_HOP",
     "MeasurementDataset",
     "ProbeMeta",
+    "parse_result",
+    "MAX_SANE_RTT_MS",
 ]

@@ -11,10 +11,17 @@ unmodified on real downloaded measurement data.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..netbase.errors import GarbageRTTError, MalformedRecordError
+from ..quality import DataQualityReport, DropReason
+
 REPLIES_PER_HOP = 3
+
+#: RTTs beyond this are garbage, not measurements (5 minutes in ms).
+MAX_SANE_RTT_MS = 300_000.0
 
 
 @dataclass(frozen=True)
@@ -143,6 +150,104 @@ class TracerouteResult:
         )
 
 
+def parse_result(
+    data: Dict,
+    lenient: bool = False,
+    quality: Optional[DataQualityReport] = None,
+    stage: str = "atlas.parse",
+) -> "TracerouteResult":
+    """Parse an Atlas-schema dict with explicit strict/lenient modes.
+
+    Strict mode raises :class:`MalformedRecordError` (schema problems)
+    or :class:`GarbageRTTError` (bad RTT values) instead of the mixed
+    ``KeyError``/``ValueError`` soup raw construction produces.
+
+    Lenient mode repairs what it can and records the repairs on
+    ``quality``: garbage RTTs (NaN, negative, non-numeric, absurd)
+    become ``*`` timeouts, out-of-order hop lists are re-sorted.  Only
+    structurally unusable records (missing identity fields, non-finite
+    timestamps) still raise :class:`MalformedRecordError` — callers
+    drop those with a reason code.
+    """
+    if not isinstance(data, dict):
+        raise MalformedRecordError(f"not a JSON object: {type(data).__name__}")
+    try:
+        prb_id = int(data["prb_id"])
+        msm_id = int(data["msm_id"])
+        timestamp = float(data["timestamp"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise MalformedRecordError(f"bad identity fields: {exc}") from None
+    if not math.isfinite(timestamp):
+        raise MalformedRecordError(f"non-finite timestamp {timestamp}")
+
+    hops = []
+    raw_hops = data.get("result", [])
+    if not isinstance(raw_hops, list):
+        raise MalformedRecordError("result is not a hop list")
+    for hop_entry in raw_hops:
+        try:
+            hop_number = int(hop_entry["hop"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MalformedRecordError(f"bad hop entry: {exc}") from None
+        replies = []
+        for reply_entry in hop_entry.get("result", []):
+            if "x" in reply_entry or "from" not in reply_entry:
+                replies.append(Reply.timeout())
+                continue
+            rtt = reply_entry.get("rtt")
+            if rtt is None:
+                replies.append(Reply.timeout())
+                continue
+            try:
+                rtt = float(rtt)
+            except (TypeError, ValueError):
+                rtt = float("nan")
+            if not math.isfinite(rtt) or rtt < 0 or rtt > MAX_SANE_RTT_MS:
+                if not lenient:
+                    raise GarbageRTTError(
+                        f"probe {prb_id} hop {hop_number}: rtt "
+                        f"{reply_entry.get('rtt')!r}"
+                    )
+                if quality is not None:
+                    quality.degrade(
+                        stage, DropReason.GARBAGE_RTT,
+                        detail=f"probe {prb_id} hop {hop_number}: rtt "
+                        f"{reply_entry.get('rtt')!r}",
+                    )
+                replies.append(Reply.timeout())
+                continue
+            replies.append(Reply(reply_entry["from"], rtt))
+        try:
+            hops.append(Hop(hop=hop_number, replies=tuple(replies)))
+        except ValueError as exc:
+            raise MalformedRecordError(str(exc)) from None
+
+    numbers = [h.hop for h in hops]
+    if numbers != sorted(numbers):
+        if not lenient:
+            raise MalformedRecordError("hops out of order")
+        hops.sort(key=lambda h: h.hop)
+        if quality is not None:
+            quality.degrade(
+                stage, DropReason.OUT_OF_ORDER,
+                detail=f"probe {prb_id}: hop list re-sorted",
+            )
+
+    try:
+        return TracerouteResult(
+            prb_id=prb_id,
+            msm_id=msm_id,
+            timestamp=timestamp,
+            src_address=str(data.get("src_addr", "")),
+            from_address=str(data.get("from", "")),
+            dst_address=str(data.get("dst_addr", "")),
+            hops=tuple(hops),
+            af=int(data.get("af", 4)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise MalformedRecordError(str(exc)) from None
+
+
 @dataclass
 class MeasurementDataset:
     """A bag of traceroute results plus probe metadata.
@@ -154,6 +259,8 @@ class MeasurementDataset:
 
     results: Dict[int, List[TracerouteResult]] = field(default_factory=dict)
     probe_meta: Dict[int, "ProbeMeta"] = field(default_factory=dict)
+    #: Filled by lenient loaders/parsers; None for trusted in-memory data.
+    quality: Optional[DataQualityReport] = None
 
     def add(self, result: TracerouteResult) -> None:
         """Append one result under its probe id."""
@@ -171,6 +278,20 @@ class MeasurementDataset:
     def for_probe(self, prb_id: int) -> List[TracerouteResult]:
         """All results of one probe in insertion (time) order."""
         return self.results.get(prb_id, [])
+
+    def sort_results(self) -> int:
+        """Re-sort each probe's results by timestamp (stream reorder).
+
+        Returns the number of probes whose lists needed re-sorting, so
+        lenient loaders can account for out-of-order input.
+        """
+        resorted = 0
+        for prb_id, results in self.results.items():
+            stamps = [r.timestamp for r in results]
+            if stamps != sorted(stamps):
+                results.sort(key=lambda r: r.timestamp)
+                resorted += 1
+        return resorted
 
     def __len__(self) -> int:
         return sum(len(v) for v in self.results.values())

@@ -6,6 +6,9 @@
 * ``tokyo``    — run the §4 Tokyo case study and print Fig. 5–9 digests;
 * ``simulate`` — generate an Atlas-schema traceroute campaign to JSONL;
 * ``classify`` — classify a saved last-mile dataset per AS;
+* ``inject``   — corrupt a traceroute JSONL with seeded fault injectors;
+* ``quality``  — leniently load a traceroute JSONL and print its
+  data-quality report;
 * ``info``     — version and layout.
 
 The streaming monitor has its own entry point
@@ -77,6 +80,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     classify.add_argument("--min-probes", type=int, default=3)
 
+    inject = sub.add_parser(
+        "inject",
+        help="corrupt an Atlas-schema traceroute JSONL with seeded "
+        "fault injectors",
+    )
+    inject.add_argument("src", help="input JSONL path")
+    inject.add_argument("out", help="output (corrupted) JSONL path")
+    inject.add_argument("--seed", type=int, default=0)
+    inject.add_argument("--missing-replies", type=float, default=0.02,
+                        help="per-reply rate of '*' timeouts")
+    inject.add_argument("--truncate", type=float, default=0.02,
+                        help="per-record rate of hop-list truncation")
+    inject.add_argument("--rate-limit", type=float, default=0.02,
+                        help="per-record rate of silenced private hops")
+    inject.add_argument("--garbage-rtt", type=float, default=0.01,
+                        help="per-reply rate of garbage RTT values")
+    inject.add_argument("--duplicates", type=float, default=0.01,
+                        help="per-record duplication rate")
+    inject.add_argument("--reorder", type=float, default=0.02,
+                        help="per-record out-of-order displacement rate")
+    inject.add_argument("--clock-skew", type=float, default=0.0,
+                        help="per-probe clock-skew rate")
+    inject.add_argument("--churn", type=float, default=0.0,
+                        help="per-probe churn-burst rate")
+    inject.add_argument("--drop", type=float, default=0.02,
+                        help="uniform record-loss rate")
+    inject.add_argument("--corrupt-lines", type=float, default=0.01,
+                        help="per-line JSONL corruption rate")
+
+    quality = sub.add_parser(
+        "quality",
+        help="leniently load a traceroute JSONL and print the "
+        "data-quality report",
+    )
+    quality.add_argument("src", help="input JSONL path")
+
     sub.add_parser("info", help="print version and package layout")
     return parser
 
@@ -108,6 +147,19 @@ def cmd_survey(args) -> int:
         result, world = run_survey_period(specs, period, seed=args.seed)
         suite.add(result)
         print("  " + render_survey_headline(result))
+        if result.failures:
+            from .core import render_failure_log
+
+            print("  " + render_failure_log(result).replace("\n", "\n  "))
+        if not result.quality.clean:
+            from .core import render_quality_report
+
+            print(
+                "  "
+                + render_quality_report(result.quality).replace(
+                    "\n", "\n  "
+                )
+            )
 
     ranking = EyeballRanking.from_registry(
         world.registry, rng=np.random.default_rng(args.seed)
@@ -234,6 +286,75 @@ def cmd_classify(args) -> int:
     return 0
 
 
+def cmd_inject(args) -> int:
+    import json
+
+    from .faults import (
+        ClockSkew,
+        CorruptLines,
+        DropRecords,
+        DuplicateRecords,
+        FaultLog,
+        GarbageRTT,
+        MissingReplies,
+        ProbeChurn,
+        RateLimitPrivateHops,
+        ReorderRecords,
+        TruncateTraceroutes,
+        inject_lines,
+        inject_records,
+    )
+
+    records = [
+        json.loads(line)
+        for line in Path(args.src).read_text().splitlines()
+        if line.strip()
+    ]
+    injectors = []
+    for rate, cls in (
+        (args.missing_replies, MissingReplies),
+        (args.truncate, TruncateTraceroutes),
+        (args.rate_limit, RateLimitPrivateHops),
+        (args.garbage_rtt, GarbageRTT),
+        (args.duplicates, DuplicateRecords),
+        (args.reorder, ReorderRecords),
+        (args.drop, DropRecords),
+    ):
+        if rate > 0:
+            injectors.append(cls(rate))
+    if args.clock_skew > 0:
+        injectors.append(ClockSkew(probe_rate=args.clock_skew))
+    if args.churn > 0:
+        injectors.append(ProbeChurn(probe_rate=args.churn))
+
+    log = FaultLog()
+    corrupted, _ = inject_records(
+        records, injectors, seed=args.seed, log=log
+    )
+    lines = [json.dumps(record) for record in corrupted]
+    if args.corrupt_lines > 0:
+        lines, _ = inject_lines(
+            lines, [CorruptLines(args.corrupt_lines)],
+            seed=args.seed + 1, log=log,
+        )
+    Path(args.out).write_text("\n".join(lines) + "\n")
+    print(f"wrote {len(lines)} lines to {args.out}")
+    print(log.summary())
+    return 0
+
+
+def cmd_quality(args) -> int:
+    from .core import render_quality_report
+    from .io import load_traceroutes
+
+    dataset = load_traceroutes(args.src, strict=False)
+    kept = sum(len(results) for results in dataset.results.values())
+    print(f"{kept} traceroutes kept from "
+          f"{len(dataset.results)} probe(s)")
+    print(render_quality_report(dataset.quality))
+    return 0
+
+
 def cmd_info(_args) -> int:
     import repro
 
@@ -251,6 +372,8 @@ COMMANDS = {
     "tokyo": cmd_tokyo,
     "simulate": cmd_simulate,
     "classify": cmd_classify,
+    "inject": cmd_inject,
+    "quality": cmd_quality,
     "info": cmd_info,
 }
 

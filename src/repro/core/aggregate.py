@@ -21,9 +21,13 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..netbase.errors import EmptyPopulationError
+from ..quality import DataQualityReport, DropReason
 from ..timebase import TimeGrid
 from .lastmile import MIN_TRACEROUTES_PER_BIN
 from .series import LastMileDataset, ProbeBinSeries
+
+STAGE = "core.aggregate"
 
 
 @dataclass
@@ -76,23 +80,45 @@ def aggregate_population(
     probe_ids: Optional[Sequence[int]] = None,
     min_traceroutes: int = MIN_TRACEROUTES_PER_BIN,
     min_probes_per_bin: int = 1,
+    quality: Optional[DataQualityReport] = None,
 ) -> AggregatedSignal:
     """Median queueing delay across a probe population, per bin.
 
     ``probe_ids`` defaults to every probe in the dataset.  Bins where
     fewer than ``min_probes_per_bin`` probes have a valid estimate are
-    NaN.
+    NaN.  Raises :class:`EmptyPopulationError` (a ``ValueError``) when
+    no requested probe has a series — callers with failure isolation
+    (the survey) catch it and quarantine the population.  Probes that
+    contribute no valid bin at all are noted on ``quality``.
     """
     if probe_ids is None:
         probe_ids = dataset.probe_ids()
-    probe_ids = [p for p in probe_ids if p in dataset.series]
+    requested = list(probe_ids)
+    probe_ids = [p for p in requested if p in dataset.series]
+    if quality is not None:
+        quality.ingest(STAGE, n=len(requested))
+        missing = len(requested) - len(probe_ids)
+        if missing:
+            quality.drop(
+                STAGE, DropReason.NO_VALID_BINS, n=missing,
+                detail=f"{missing} probes have metadata but no series",
+            )
     if not probe_ids:
-        raise ValueError("no probes to aggregate")
+        raise EmptyPopulationError(
+            f"no probes to aggregate (requested {len(requested)})"
+        )
 
     stacked = np.vstack([
         probe_queuing_delay(dataset.series[p], min_traceroutes)
         for p in probe_ids
     ])
+    if quality is not None:
+        dead = int(np.sum(np.all(np.isnan(stacked), axis=1)))
+        if dead:
+            quality.degrade(
+                STAGE, DropReason.NO_VALID_BINS, n=dead,
+                detail=f"{dead} probes contributed no valid bin",
+            )
     contributing = np.sum(~np.isnan(stacked), axis=0)
     with warnings.catch_warnings():
         # All-NaN bins (every probe invalid) legitimately yield NaN.

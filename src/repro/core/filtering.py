@@ -19,22 +19,43 @@ from typing import Dict, Iterable, List, Optional
 from ..atlas.traceroute import ProbeMeta
 from ..bgp import RoutingTable
 from ..netbase import parse_address
+from ..quality import DataQualityReport, DropReason
 from ..topology.geo import GREATER_TOKYO_NAMES
+
+STAGE = "core.filtering"
 
 
 def resolve_probe_asn(
-    meta: ProbeMeta, table: RoutingTable
+    meta: ProbeMeta,
+    table: RoutingTable,
+    quality: Optional[DataQualityReport] = None,
 ) -> Optional[int]:
     """AS of a probe by longest-prefix match of its public address.
 
     Mirrors §2.1: the probe's public address — never a traceroute hop
-    address — is what gets matched against the RIB.
+    address — is what gets matched against the RIB.  A probe whose
+    public address does not parse, or has no RIB match, yields None;
+    with ``quality`` given the drop is counted with a reason code
+    instead of vanishing.
     """
     try:
         value, version = parse_address(meta.public_address)
     except ValueError:
+        if quality is not None:
+            quality.drop(
+                STAGE, DropReason.UNPARSEABLE_ADDRESS,
+                detail=f"probe {meta.prb_id}: "
+                f"{meta.public_address!r}",
+            )
         return None
-    return table.resolve_asn(value, version)
+    asn = table.resolve_asn(value, version)
+    if asn is None and quality is not None:
+        quality.drop(
+            STAGE, DropReason.UNRESOLVED_ASN,
+            detail=f"probe {meta.prb_id}: no RIB match for "
+            f"{meta.public_address}",
+        )
+    return asn
 
 
 def non_anchor_probes(
@@ -97,19 +118,30 @@ def asns_with_min_probes(
     probe_meta: Dict[int, ProbeMeta],
     min_probes: int = 3,
     table: Optional[RoutingTable] = None,
+    quality: Optional[DataQualityReport] = None,
 ) -> Dict[int, List[int]]:
     """ASes hosting at least ``min_probes`` non-anchor probes (§3).
 
-    Returns ``{asn: [probe ids]}`` for qualifying ASes.
+    Returns ``{asn: [probe ids]}`` for qualifying ASes.  With
+    ``quality`` given, every probe considered is counted as ingested
+    and unresolvable probes are dropped with a reason code.
     """
     by_asn: Dict[int, List[int]] = {}
     for prb_id, meta in probe_meta.items():
         if meta.is_anchor:
             continue
+        if quality is not None:
+            quality.ingest(STAGE)
         asn = (
-            resolve_probe_asn(meta, table) if table is not None else meta.asn
+            resolve_probe_asn(meta, table, quality=quality)
+            if table is not None else meta.asn
         )
         if asn is None:
+            if table is None and quality is not None:
+                quality.drop(
+                    STAGE, DropReason.UNRESOLVED_ASN,
+                    detail=f"probe {prb_id}: no metadata ASN",
+                )
             continue
         by_asn.setdefault(asn, []).append(prb_id)
     return {

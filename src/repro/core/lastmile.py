@@ -24,11 +24,14 @@ import numpy as np
 
 from ..netbase import is_private, is_public, parse_address
 from ..atlas.traceroute import Hop, TracerouteResult
+from ..quality import DataQualityReport, DropReason
 from ..timebase import TimeGrid
 from .series import LastMileDataset, ProbeBinSeries
 
 #: The paper's disconnected-probe sanity threshold.
 MIN_TRACEROUTES_PER_BIN = 3
+
+STAGE = "core.lastmile"
 
 
 @dataclass(frozen=True)
@@ -93,15 +96,22 @@ def lastmile_samples(result: TracerouteResult) -> List[float]:
     boundary = find_boundary(result)
     if boundary is None:
         return []
-    public_rtts = boundary.first_public.rtts
+    public_rtts = [r for r in boundary.first_public.rtts if _sane(r)]
     if boundary.last_private is None:
         return list(public_rtts)
-    private_rtts = boundary.last_private.rtts
+    private_rtts = [
+        r for r in boundary.last_private.rtts if _sane(r)
+    ]
     return [
         public_rtt - private_rtt
         for public_rtt in public_rtts
         for private_rtt in private_rtts
     ]
+
+
+def _sane(rtt: float) -> bool:
+    """Defense in depth against garbage RTTs that bypassed parsing."""
+    return np.isfinite(rtt) and rtt >= 0.0
 
 
 def e2e_samples(result: TracerouteResult) -> List[float]:
@@ -124,6 +134,7 @@ def estimate_probe_series(
     prb_id: Optional[int] = None,
     min_traceroutes: int = MIN_TRACEROUTES_PER_BIN,
     sample_fn=None,
+    quality: Optional[DataQualityReport] = None,
 ) -> ProbeBinSeries:
     """Binned last-mile medians for one probe's traceroutes.
 
@@ -132,19 +143,51 @@ def estimate_probe_series(
     ``sample_fn`` swaps the per-traceroute sample extractor (default
     :func:`lastmile_samples`; pass :func:`e2e_samples` for a naive
     end-to-end analysis).
+
+    Dirty-input behavior: results whose timestamp falls outside the
+    grid's period (skewed probe clocks) are dropped, and results that
+    yield no samples (no responding public hop — truncated or fully
+    ``*`` traceroutes) still count toward the bin's sanity count but
+    are flagged; both are recorded on ``quality`` when given.
     """
     if sample_fn is None:
         sample_fn = lastmile_samples
+    duration = grid.num_bins * grid.bin_seconds
     samples_per_bin: Dict[int, List[float]] = {}
     counts = np.zeros(grid.num_bins, dtype=np.int64)
     for result in results:
         if prb_id is None:
             prb_id = result.prb_id
-        bin_index = int(grid.bin_index(result.timestamp))
+        if quality is not None:
+            quality.ingest(STAGE)
+        timestamp = result.timestamp
+        if not np.isfinite(timestamp):
+            if quality is not None:
+                quality.drop(
+                    STAGE, DropReason.MALFORMED_RECORD,
+                    detail=f"probe {result.prb_id}: timestamp "
+                    f"{timestamp!r}",
+                )
+            continue
+        if timestamp < 0 or timestamp > duration:
+            if quality is not None:
+                quality.drop(
+                    STAGE, DropReason.OUT_OF_PERIOD,
+                    detail=f"probe {result.prb_id}: timestamp "
+                    f"{timestamp:.0f}s outside 0..{duration}s",
+                )
+            continue
+        bin_index = int(grid.bin_index(timestamp))
         counts[bin_index] += 1
         samples = sample_fn(result)
         if samples:
             samples_per_bin.setdefault(bin_index, []).extend(samples)
+        elif quality is not None:
+            quality.degrade(
+                STAGE, DropReason.NO_BOUNDARY,
+                detail=f"probe {result.prb_id}: no usable "
+                "private→public hop pair",
+            )
 
     if prb_id is None:
         raise ValueError("empty result set and no prb_id given")
@@ -166,6 +209,7 @@ def estimate_dataset(
     probe_meta: Optional[Dict[int, object]] = None,
     min_traceroutes: int = MIN_TRACEROUTES_PER_BIN,
     sample_fn=None,
+    quality: Optional[DataQualityReport] = None,
 ) -> LastMileDataset:
     """Run the estimation for every probe of a measurement dataset."""
     dataset = LastMileDataset(grid=grid)
@@ -173,6 +217,7 @@ def estimate_dataset(
         series = estimate_probe_series(
             results, grid, prb_id=prb_id,
             min_traceroutes=min_traceroutes, sample_fn=sample_fn,
+            quality=quality,
         )
         meta = probe_meta.get(prb_id) if probe_meta else None
         dataset.add(series, meta=meta)

@@ -13,6 +13,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..quality import DataQualityReport
 from ..timebase import TimeGrid, weekly_overlay
 from .aggregate import AggregatedSignal
 from .classify import ClassificationThresholds, DEFAULT_THRESHOLDS, Severity
@@ -177,12 +178,49 @@ def render_severity_breakdown(
 def render_survey_headline(result: SurveyResult) -> str:
     """§3.1 headline numbers for one period."""
     counts = result.severity_counts()
-    return (
+    line = (
         f"period {result.period.name}: monitored={result.monitored_count} "
         f"none={counts[Severity.NONE]} low={counts[Severity.LOW]} "
         f"mild={counts[Severity.MILD]} severe={counts[Severity.SEVERE]} "
         f"(none fraction {result.none_fraction():.1%})"
     )
+    if result.failures:
+        line += f" failures={len(result.failures)}"
+    return line
+
+
+def render_quality_report(quality: DataQualityReport) -> str:
+    """Data-quality accounting as a fixed-width table.
+
+    One row per (stage, dropped/degraded, reason); the header line
+    carries the totals.  A clean run renders as a single line.
+    """
+    header = (
+        f"data quality: {quality.total_ingested} ingested, "
+        f"{quality.total_dropped} dropped, "
+        f"{quality.total_degraded} degraded"
+    )
+    rows = [
+        [stage, kind, reason, count]
+        for stage, kind, reason, count in quality.rows()
+    ]
+    if not rows:
+        return header + " (clean)"
+    table = format_table(
+        ["stage", "kind", "reason", "count"], rows,
+        float_format="{:.0f}",
+    )
+    return header + "\n" + table
+
+
+def render_failure_log(result: SurveyResult) -> str:
+    """The survey's isolated per-AS failures, one line each."""
+    if not result.failures:
+        return "failures: none"
+    lines = [f"failures: {len(result.failures)} AS(es) isolated"]
+    for asn in result.failed_asns():
+        lines.append(f"  {result.failures[asn]}")
+    return "\n".join(lines)
 
 
 def render_throughput_summary(

@@ -133,21 +133,42 @@ class SpectralMarkers:
         ) <= tolerance
 
 
+#: Signals with more than this fraction of NaN bins are too gappy to
+#: classify: interpolation over dominant gaps manufactures structure
+#: the probes never measured, so the honest answer is "no pattern".
+MAX_GAP_FRACTION = 0.5
+
+
 def extract_markers(
     values: np.ndarray,
     bin_seconds: int,
     segment_days: int = SEGMENT_DAYS,
+    max_gap_fraction: float = MAX_GAP_FRACTION,
 ) -> Optional[SpectralMarkers]:
     """Compute the paper's two spectral markers for one signal.
 
-    Returns None for degenerate signals (all NaN / constant), which
-    classify as None-category downstream.
+    Returns None — "no daily pattern", classified None downstream —
+    for every degenerate input rather than raising or hallucinating
+    peaks: empty and single-bin series, all-NaN and constant signals,
+    series whose NaN gap fraction exceeds ``max_gap_fraction``, and
+    series too short for even one Welch segment.
     """
-    filled = fill_gaps(np.asarray(values, dtype=np.float64))
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size < 2:
+        return None
+    nan_fraction = float(np.mean(np.isnan(values)))
+    if nan_fraction > max_gap_fraction:
+        return None
+    filled = fill_gaps(values)
     if np.allclose(filled, filled[0]):
         return None
-    periodogram = welch_periodogram(filled, bin_seconds, segment_days)
-    frequency, amplitude = periodogram.prominent()
+    try:
+        periodogram = welch_periodogram(
+            filled, bin_seconds, segment_days
+        )
+        frequency, amplitude = periodogram.prominent()
+    except ValueError:
+        return None  # too short for Welch / for the prominence scan
     daily = periodogram.amplitude_at(DAILY_FREQUENCY_CPH)
     return SpectralMarkers(
         prominent_frequency_cph=frequency,

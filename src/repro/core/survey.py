@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..apnic import EyeballRanking, RANK_BUCKETS, bucket_for_rank
+from ..netbase.errors import TransientFaultError
+from ..quality import DataQualityReport, DropReason
 from ..timebase import MeasurementPeriod
 from .aggregate import aggregate_population
 from .classify import (
@@ -28,6 +30,25 @@ from .classify import (
 from .filtering import asns_with_min_probes
 from .series import LastMileDataset
 from .spectral import extract_markers
+
+STAGE = "core.survey"
+
+
+@dataclass(frozen=True)
+class ASFailure:
+    """One AS the survey could not classify, with why and how hard
+    it tried."""
+
+    asn: int
+    error: str          # exception class name
+    message: str
+    attempts: int = 1
+
+    def __str__(self) -> str:
+        return (
+            f"AS{self.asn}: {self.error} after {self.attempts} "
+            f"attempt(s) — {self.message}"
+        )
 
 
 @dataclass
@@ -59,11 +80,21 @@ class SurveyResult:
     #: ``classify_dataset(..., keep_signals=True)`` (used by the
     #: drill-down page export).
     signals: Dict[int, object] = field(default_factory=dict)
+    #: ASes whose classification failed and was isolated — the survey
+    #: is partial, not crashed.  Empty on a clean run.
+    failures: Dict[int, ASFailure] = field(default_factory=dict)
+    #: What the pipeline ingested/dropped/degraded producing this
+    #: result, per stage.
+    quality: DataQualityReport = field(default_factory=DataQualityReport)
 
     @property
     def monitored_count(self) -> int:
         """ASes with enough probes to be classified."""
         return len(self.reports)
+
+    def failed_asns(self) -> List[int]:
+        """ASes the survey had to give up on, sorted."""
+        return sorted(self.failures)
 
     def reported_asns(self) -> List[int]:
         """Congested (non-None) ASes, sorted."""
@@ -118,22 +149,61 @@ def classify_dataset(
     thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS,
     table=None,
     keep_signals: bool = False,
+    quality: Optional[DataQualityReport] = None,
+    max_attempts: int = 2,
 ) -> SurveyResult:
     """Classify every qualifying AS of one period's dataset.
 
     ``keep_signals`` retains each AS's aggregated signal on the
     result (needed by the per-AS drill-down export; costs one float64
     array per AS).
+
+    Per-AS failures are *isolated*: an AS whose aggregation or
+    classification raises is retried up to ``max_attempts`` times when
+    the error is a :class:`TransientFaultError`, then recorded in
+    ``result.failures`` (and on the quality ledger) while the survey
+    continues — one poisoned AS yields a partial result with a failure
+    log, never a crashed survey.
     """
-    result = SurveyResult(period=period)
+    result = SurveyResult(
+        period=period,
+        quality=quality if quality is not None else DataQualityReport(),
+    )
+    quality = result.quality
     groups = asns_with_min_probes(
-        dataset.probe_meta, min_probes=min_probes, table=table
+        dataset.probe_meta, min_probes=min_probes, table=table,
+        quality=quality,
     )
     for asn, probe_ids in groups.items():
-        signal = aggregate_population(dataset, probe_ids)
-        markers = extract_markers(
-            signal.delay_ms, dataset.grid.bin_seconds
-        )
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                signal = aggregate_population(
+                    dataset, probe_ids, quality=quality
+                )
+                markers = extract_markers(
+                    signal.delay_ms, dataset.grid.bin_seconds
+                )
+                break
+            except TransientFaultError as exc:
+                if attempts < max_attempts:
+                    continue
+                _record_failure(result, asn, exc, attempts)
+                signal = None
+                break
+            except Exception as exc:  # noqa: BLE001 — per-AS isolation
+                _record_failure(result, asn, exc, attempts)
+                signal = None
+                break
+        if signal is None:
+            continue
+        if markers is None:
+            quality.degrade(
+                STAGE, DropReason.DEGENERATE_SIGNAL,
+                detail=f"AS{asn}: signal too flat/short/gappy; "
+                "classified None",
+            )
         result.reports[asn] = ASReport(
             asn=asn,
             probe_count=len(probe_ids),
@@ -142,6 +212,21 @@ def classify_dataset(
         if keep_signals:
             result.signals[asn] = signal
     return result
+
+
+def _record_failure(
+    result: SurveyResult, asn: int, exc: Exception, attempts: int
+) -> None:
+    result.failures[asn] = ASFailure(
+        asn=asn,
+        error=type(exc).__name__,
+        message=str(exc),
+        attempts=attempts,
+    )
+    result.quality.drop(
+        STAGE, DropReason.AS_FAILURE,
+        detail=f"AS{asn}: {type(exc).__name__}: {exc}",
+    )
 
 
 @dataclass

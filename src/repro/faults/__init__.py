@@ -1,0 +1,68 @@
+"""Measurement fault injection for Atlas-shaped data streams.
+
+Everything real traceroute corpora do to an analysis pipeline,
+reproduced on demand and *accounted for*: each injector is seeded,
+parameterized by rate, and records exactly what it broke in a
+:class:`FaultLog`, so tests can assert that the hardened pipeline's
+:class:`~repro.quality.DataQualityReport` matches the injected ground
+truth drop for drop.
+
+Three levels, matching where faults occur in the wild:
+
+* **record** (:mod:`repro.faults.record`) — operates on Atlas-schema
+  JSON dicts (the shape :meth:`TracerouteResult.to_json` emits and the
+  Atlas API returns): missing ``*`` replies, truncated paths,
+  ICMP-rate-limited private hops, garbage RTTs, duplicates,
+  reordering, probe clock skew, bursty probe churn, uniform loss;
+* **line** (:mod:`repro.faults.lines`) — corrupts serialized JSONL
+  text, the on-disk/while-downloading failure mode;
+* **dataset** (:mod:`repro.faults.dataset`) — degrades binned
+  :class:`~repro.core.series.LastMileDataset` objects directly (bin
+  loss, NaN bursts, a poisoned AS), for survey-scale chaos runs where
+  regenerating per-hop traceroutes would be prohibitive.
+"""
+
+from .base import FaultEvent, FaultLog, RecordInjector, inject_records
+from .dataset import (
+    BinLoss,
+    DatasetInjector,
+    NaNBursts,
+    PoisonAS,
+    inject_dataset,
+)
+from .lines import CorruptLines, corrupt_jsonl, inject_lines
+from .record import (
+    ClockSkew,
+    DropRecords,
+    DuplicateRecords,
+    GarbageRTT,
+    MissingReplies,
+    ProbeChurn,
+    RateLimitPrivateHops,
+    ReorderRecords,
+    TruncateTraceroutes,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultLog",
+    "RecordInjector",
+    "inject_records",
+    "MissingReplies",
+    "TruncateTraceroutes",
+    "RateLimitPrivateHops",
+    "GarbageRTT",
+    "DuplicateRecords",
+    "ReorderRecords",
+    "ClockSkew",
+    "ProbeChurn",
+    "DropRecords",
+    "CorruptLines",
+    "inject_lines",
+    "corrupt_jsonl",
+    "DatasetInjector",
+    "BinLoss",
+    "NaNBursts",
+    "PoisonAS",
+    "inject_dataset",
+]

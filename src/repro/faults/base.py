@@ -1,0 +1,123 @@
+"""Fault-injection plumbing: the log and the injector contract.
+
+Injectors are deliberately simple: a named transform over a list of
+records sharing one :class:`numpy.random.Generator`, recording every
+mutation in a :class:`FaultLog`.  Composition is just function
+application in order — :func:`inject_records` — which keeps the ground
+truth additive: ``log.count(name)`` is exactly how many faults injector
+``name`` introduced, regardless of what ran before or after it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: which injector, what it hit, and a detail."""
+
+    injector: str
+    key: Optional[object] = None
+    detail: str = ""
+
+
+@dataclass
+class FaultLog:
+    """Ground truth of an injection run.
+
+    ``counts[name]`` is the exact number of faults injector ``name``
+    introduced; ``events`` carries per-fault keys (probe ids, line
+    numbers, record indices) so tests can check *which* items were hit,
+    not just how many.
+    """
+
+    counts: Counter = field(default_factory=Counter)
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        injector: str,
+        n: int = 1,
+        key: Optional[object] = None,
+        detail: str = "",
+    ) -> None:
+        """Count ``n`` faults from one injector (one event)."""
+        self.counts[injector] += n
+        self.events.append(FaultEvent(injector, key, detail))
+
+    def count(self, injector: Optional[str] = None) -> int:
+        """Faults injected, total or for one injector."""
+        if injector is None:
+            return sum(self.counts.values())
+        return self.counts.get(injector, 0)
+
+    def keys(self, injector: str) -> List[object]:
+        """The keys (probe ids, indices …) one injector touched."""
+        return [
+            e.key for e in self.events
+            if e.injector == injector and e.key is not None
+        ]
+
+    def merge(self, other: "FaultLog") -> "FaultLog":
+        """Fold another log into this one (returns self)."""
+        self.counts.update(other.counts)
+        self.events.extend(other.events)
+        return self
+
+    def summary(self) -> str:
+        """One line per injector, stable order."""
+        if not self.counts:
+            return "faults: none injected"
+        parts = [
+            f"{name}={count}"
+            for name, count in sorted(self.counts.items())
+        ]
+        return "faults: " + " ".join(parts)
+
+
+class RecordInjector:
+    """Base class for injectors over Atlas-schema JSON dicts.
+
+    Subclasses set :attr:`name` and implement :meth:`apply`, returning
+    a new record list (never mutating input dicts in place — copy
+    before corrupting, so callers can keep the clean stream around as
+    ground truth).
+    """
+
+    name: str = "record-injector"
+
+    def apply(
+        self,
+        records: List[Dict],
+        rng: np.random.Generator,
+        log: FaultLog,
+    ) -> List[Dict]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def inject_records(
+    records: Sequence[Dict],
+    injectors: Sequence[RecordInjector],
+    seed: int = 0,
+    log: Optional[FaultLog] = None,
+) -> Tuple[List[Dict], FaultLog]:
+    """Apply injectors in order over an Atlas-schema record stream.
+
+    One seeded generator is shared across the chain, so the whole
+    composition is reproducible from ``seed`` alone.
+    """
+    if log is None:
+        log = FaultLog()
+    rng = np.random.default_rng(seed)
+    out = list(records)
+    for injector in injectors:
+        out = injector.apply(out, rng, log)
+    return out, log

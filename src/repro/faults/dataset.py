@@ -1,0 +1,168 @@
+"""Dataset-level injectors over binned last-mile datasets.
+
+The world survey runs in binned fidelity mode
+(:meth:`AtlasPlatform.run_period_binned`), so survey-scale chaos runs
+inject faults directly into the :class:`LastMileDataset` rather than
+regenerating billions of per-hop replies.  The faults mirror what the
+record-level injectors would cause downstream: bins with no estimate
+(churn/loss), NaN bursts (garbage storms), and a *poisoned AS* — probe
+metadata present but measurement series missing, the
+metadata-without-data state real probe churn produces, which makes the
+AS unanalyzable and must be isolated by the survey, not crash it.
+
+Injectors mutate the dataset in place and return it; run them on a
+dataset you built for the chaos run, not on a shared fixture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.series import LastMileDataset
+from .base import FaultLog
+
+
+class DatasetInjector:
+    """Base class for injectors over :class:`LastMileDataset`."""
+
+    name = "dataset-injector"
+
+    def apply(
+        self,
+        dataset: LastMileDataset,
+        rng: np.random.Generator,
+        log: FaultLog,
+    ) -> LastMileDataset:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class BinLoss(DatasetInjector):
+    """Erase random bins (median and count) — churn-shaped record loss."""
+
+    name = "bin-loss"
+
+    def __init__(self, rate: float = 0.05):
+        self.rate = rate
+
+    def apply(self, dataset, rng, log):
+        for prb_id in dataset.probe_ids():
+            series = dataset.series[prb_id]
+            hit = rng.random(series.num_bins) < self.rate
+            if not hit.any():
+                continue
+            series.median_rtt_ms[hit] = np.nan
+            series.traceroute_counts[hit] = 0
+            log.record(
+                self.name, n=int(hit.sum()), key=prb_id,
+                detail=f"{int(hit.sum())} bins erased",
+            )
+        return dataset
+
+
+class NaNBursts(DatasetInjector):
+    """NaN out a contiguous run of one probe's estimates (garbage storm).
+
+    Counts stay intact — the traceroutes arrived but yielded no usable
+    samples, as a garbage-RTT burst would produce.
+    """
+
+    name = "nan-bursts"
+
+    def __init__(self, probe_rate: float = 0.2, max_run_bins: int = 48):
+        self.probe_rate = probe_rate
+        self.max_run_bins = max_run_bins
+
+    def apply(self, dataset, rng, log):
+        for prb_id in dataset.probe_ids():
+            if rng.random() >= self.probe_rate:
+                continue
+            series = dataset.series[prb_id]
+            if series.num_bins < 2:
+                continue
+            run = int(rng.integers(1, min(
+                self.max_run_bins, series.num_bins
+            ) + 1))
+            start = int(rng.integers(0, series.num_bins - run + 1))
+            series.median_rtt_ms[start:start + run] = np.nan
+            log.record(
+                self.name, n=run, key=prb_id,
+                detail=f"bins {start}..{start + run - 1} NaN",
+            )
+        return dataset
+
+
+class PoisonAS(DatasetInjector):
+    """Strip an AS's measurement series while keeping its probe metadata.
+
+    The resulting metadata-without-data state makes the AS qualify for
+    classification (it has probes on record) while aggregation finds
+    nothing to aggregate — the canonical per-AS failure the survey's
+    isolation path must absorb.
+    """
+
+    name = "poison-as"
+
+    def __init__(
+        self,
+        asns: Optional[Sequence[int]] = None,
+        count: int = 1,
+        min_probes: int = 3,
+    ):
+        self.asns = list(asns) if asns is not None else None
+        self.count = count
+        self.min_probes = min_probes
+
+    def _candidates(self, dataset: LastMileDataset) -> List[int]:
+        by_asn: Dict[int, int] = {}
+        for meta in dataset.probe_meta.values():
+            asn = getattr(meta, "asn", None)
+            if asn is not None:
+                by_asn[asn] = by_asn.get(asn, 0) + 1
+        return sorted(
+            asn for asn, n in by_asn.items() if n >= self.min_probes
+        )
+
+    def apply(self, dataset, rng, log):
+        if self.asns is not None:
+            targets = list(self.asns)
+        else:
+            candidates = self._candidates(dataset)
+            if not candidates:
+                return dataset
+            picks = rng.choice(
+                len(candidates),
+                size=min(self.count, len(candidates)),
+                replace=False,
+            )
+            targets = [candidates[int(i)] for i in np.atleast_1d(picks)]
+        for asn in targets:
+            removed = 0
+            for prb_id, meta in dataset.probe_meta.items():
+                if getattr(meta, "asn", None) == asn:
+                    if dataset.series.pop(prb_id, None) is not None:
+                        removed += 1
+            log.record(
+                self.name, key=asn,
+                detail=f"AS{asn}: {removed} probe series removed",
+            )
+        return dataset
+
+
+def inject_dataset(
+    dataset: LastMileDataset,
+    injectors: Sequence[DatasetInjector],
+    seed: int = 0,
+    log: Optional[FaultLog] = None,
+) -> Tuple[LastMileDataset, FaultLog]:
+    """Apply dataset injectors in order (mutates and returns dataset)."""
+    if log is None:
+        log = FaultLog()
+    rng = np.random.default_rng(seed)
+    for injector in injectors:
+        dataset = injector.apply(dataset, rng, log)
+    return dataset, log

@@ -1,0 +1,88 @@
+"""Line-level corruption of serialized JSONL measurement files.
+
+Models what disks, interrupted downloads and buggy writers do to an
+on-disk corpus: truncated lines, interleaved garbage, spliced JSON.
+Every corrupted line is guaranteed to be non-empty and *not* valid
+JSON-object input, so a lenient loader must drop it — which makes the
+``corrupt-lines`` fault count exactly comparable to the loader's
+``corrupt-line`` drop count.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .base import FaultLog
+
+PathLike = Union[str, Path]
+
+
+class CorruptLines:
+    """Corrupt a fraction of JSONL lines in place."""
+
+    name = "corrupt-lines"
+
+    MODES = ("truncate", "junk", "splice")
+
+    def __init__(self, rate: float = 0.01):
+        self.rate = rate
+
+    def corrupt_one(self, line: str, rng: np.random.Generator) -> str:
+        """Return a guaranteed-invalid variant of one JSON line."""
+        mode = self.MODES[int(rng.integers(len(self.MODES)))]
+        if mode == "truncate" and len(line) > 2:
+            # Cutting inside a JSON object always unbalances it.
+            return line[: int(rng.integers(1, len(line) - 1))]
+        if mode == "splice" and len(line) > 4:
+            pivot = int(rng.integers(2, len(line) - 2))
+            return line[pivot:] + line[:pivot]
+        return "#corrupt" + line[: max(len(line) - 9, 0)]
+
+    def apply(
+        self,
+        lines: Sequence[str],
+        rng: np.random.Generator,
+        log: FaultLog,
+    ) -> List[str]:
+        out = []
+        for number, line in enumerate(lines, start=1):
+            if line.strip() and rng.random() < self.rate:
+                out.append(self.corrupt_one(line, rng))
+                log.record(self.name, key=number, detail="line corrupted")
+            else:
+                out.append(line)
+        return out
+
+
+def inject_lines(
+    lines: Sequence[str],
+    injectors: Sequence[CorruptLines],
+    seed: int = 0,
+    log: Optional[FaultLog] = None,
+) -> Tuple[List[str], FaultLog]:
+    """Apply line injectors in order over JSONL text lines."""
+    if log is None:
+        log = FaultLog()
+    rng = np.random.default_rng(seed)
+    out = list(lines)
+    for injector in injectors:
+        out = injector.apply(out, rng, log)
+    return out, log
+
+
+def corrupt_jsonl(
+    path: PathLike,
+    rate: float = 0.01,
+    seed: int = 0,
+    out_path: Optional[PathLike] = None,
+) -> FaultLog:
+    """Corrupt a JSONL file on disk (in place unless ``out_path``)."""
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    corrupted, log = inject_lines(lines, [CorruptLines(rate)], seed=seed)
+    target = Path(out_path) if out_path is not None else path
+    target.write_text("\n".join(corrupted) + "\n")
+    return log

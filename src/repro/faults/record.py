@@ -1,0 +1,354 @@
+"""Record-level injectors over Atlas-schema traceroute dicts.
+
+Each models a failure mode documented in traceroute-at-scale practice
+(non-responding hops, path truncation, ICMP rate limiting on home
+gateways, bogus RTT fields, result-stream duplication and reordering,
+probe clock skew, bursty probe churn).  Rates are per the injector's
+natural unit — per reply, per record, or per probe — and the
+:class:`~repro.faults.base.FaultLog` counts faults in that same unit:
+
+========================  ===================================
+injector                  ``log.count(name)`` counts
+========================  ===================================
+``missing-replies``       replies blanked to ``*``
+``truncate``              records truncated
+``rate-limit-private``    records whose private hops went dark
+``garbage-rtt``           replies given a garbage RTT
+``duplicates``            duplicate records inserted
+``reorder``               records displaced out of order
+``clock-skew``            probes given a clock offset
+``probe-churn``           records dropped in churn bursts
+``drop-records``          records dropped uniformly
+========================  ===================================
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List
+
+from ..core.lastmile import classify_hop_address
+from .base import FaultLog, RecordInjector
+
+TIMEOUT_REPLY = {"x": "*"}
+
+
+def _reply_positions(record: Dict):
+    """Iterate (hop_position, reply_position, reply) over one record."""
+    for hop_pos, hop_entry in enumerate(record.get("result", [])):
+        for reply_pos, reply in enumerate(hop_entry.get("result", [])):
+            yield hop_pos, reply_pos, reply
+
+
+class MissingReplies(RecordInjector):
+    """Blank individual replies to ``*`` timeouts (non-responding hop)."""
+
+    name = "missing-replies"
+
+    def __init__(self, rate: float = 0.02):
+        self.rate = rate
+
+    def apply(self, records, rng, log):
+        out = []
+        for record in records:
+            picks = [
+                (hop_pos, reply_pos)
+                for hop_pos, reply_pos, reply in _reply_positions(record)
+                if "x" not in reply and rng.random() < self.rate
+            ]
+            if not picks:
+                out.append(record)
+                continue
+            mutated = copy.deepcopy(record)
+            for hop_pos, reply_pos in picks:
+                mutated["result"][hop_pos]["result"][reply_pos] = dict(
+                    TIMEOUT_REPLY
+                )
+            log.record(
+                self.name, n=len(picks), key=record.get("prb_id"),
+                detail=f"{len(picks)} replies blanked",
+            )
+            out.append(mutated)
+        return out
+
+
+class TruncateTraceroutes(RecordInjector):
+    """Cut a traceroute's hop list short (ICMP filtered mid-path)."""
+
+    name = "truncate"
+
+    def __init__(self, rate: float = 0.02):
+        self.rate = rate
+
+    def apply(self, records, rng, log):
+        out = []
+        for record in records:
+            hops = record.get("result", [])
+            if len(hops) >= 2 and rng.random() < self.rate:
+                keep = int(rng.integers(1, len(hops)))
+                mutated = copy.deepcopy(record)
+                mutated["result"] = mutated["result"][:keep]
+                log.record(
+                    self.name, key=record.get("prb_id"),
+                    detail=f"kept {keep}/{len(hops)} hops",
+                )
+                out.append(mutated)
+            else:
+                out.append(record)
+        return out
+
+
+class RateLimitPrivateHops(RecordInjector):
+    """Silence every private-address hop of a record (rate limiting).
+
+    Home gateways rate-limit ICMP aggressively; a probe's private hop
+    going dark removes the last-private reference the §2.1 subtraction
+    needs, degrading that traceroute to public-hop-only samples.
+    """
+
+    name = "rate-limit-private"
+
+    def __init__(self, rate: float = 0.02):
+        self.rate = rate
+
+    def apply(self, records, rng, log):
+        out = []
+        for record in records:
+            if rng.random() >= self.rate:
+                out.append(record)
+                continue
+            mutated = None
+            silenced = 0
+            for hop_pos, hop_entry in enumerate(record.get("result", [])):
+                addresses = [
+                    reply.get("from")
+                    for reply in hop_entry.get("result", [])
+                    if "from" in reply
+                ]
+                if not any(
+                    classify_hop_address(a) == "private" for a in addresses
+                ):
+                    continue
+                if mutated is None:
+                    mutated = copy.deepcopy(record)
+                target = mutated["result"][hop_pos]
+                target["result"] = [
+                    dict(TIMEOUT_REPLY) for _ in target["result"]
+                ]
+                silenced += 1
+            if mutated is None:
+                out.append(record)
+            else:
+                log.record(
+                    self.name, key=record.get("prb_id"),
+                    detail=f"{silenced} private hops silenced",
+                )
+                out.append(mutated)
+        return out
+
+
+class GarbageRTT(RecordInjector):
+    """Replace reply RTTs with NaN, negatives, absurd values or text."""
+
+    name = "garbage-rtt"
+
+    GARBAGE = ("nan", "negative", "huge", "text")
+
+    def __init__(self, rate: float = 0.01):
+        self.rate = rate
+
+    def apply(self, records, rng, log):
+        out = []
+        for record in records:
+            picks = [
+                (hop_pos, reply_pos)
+                for hop_pos, reply_pos, reply in _reply_positions(record)
+                if "rtt" in reply and rng.random() < self.rate
+            ]
+            if not picks:
+                out.append(record)
+                continue
+            mutated = copy.deepcopy(record)
+            for hop_pos, reply_pos in picks:
+                kind = self.GARBAGE[int(rng.integers(len(self.GARBAGE)))]
+                reply = mutated["result"][hop_pos]["result"][reply_pos]
+                if kind == "nan":
+                    reply["rtt"] = float("nan")
+                elif kind == "negative":
+                    try:
+                        rtt = float(reply["rtt"])
+                    except (TypeError, ValueError):
+                        rtt = 0.0
+                    reply["rtt"] = -abs(rtt) - 1.0
+                elif kind == "huge":
+                    reply["rtt"] = 1.0e9
+                else:
+                    reply["rtt"] = "garbage"
+            log.record(
+                self.name, n=len(picks), key=record.get("prb_id"),
+                detail=f"{len(picks)} RTTs corrupted",
+            )
+            out.append(mutated)
+        return out
+
+
+class DuplicateRecords(RecordInjector):
+    """Insert an exact copy of a record right after it (stream retry)."""
+
+    name = "duplicates"
+
+    def __init__(self, rate: float = 0.01):
+        self.rate = rate
+
+    def apply(self, records, rng, log):
+        out = []
+        for record in records:
+            out.append(record)
+            if rng.random() < self.rate:
+                out.append(copy.deepcopy(record))
+                log.record(
+                    self.name,
+                    key=(record.get("prb_id"), record.get("timestamp")),
+                )
+        return out
+
+
+class ReorderRecords(RecordInjector):
+    """Displace records forward within a bounded window (out-of-order)."""
+
+    name = "reorder"
+
+    def __init__(self, rate: float = 0.02, max_displacement: int = 6):
+        self.rate = rate
+        self.max_displacement = max_displacement
+
+    def apply(self, records, rng, log):
+        out = list(records)
+        for index in range(len(out)):
+            if rng.random() >= self.rate:
+                continue
+            shift = int(rng.integers(1, self.max_displacement + 1))
+            other = min(index + shift, len(out) - 1)
+            if other == index:
+                continue
+            out[index], out[other] = out[other], out[index]
+            log.record(
+                self.name, key=out[other].get("prb_id"),
+                detail=f"moved {index}->{other}",
+            )
+        return out
+
+
+class ClockSkew(RecordInjector):
+    """Shift every timestamp of a fraction of probes (bad probe clock)."""
+
+    name = "clock-skew"
+
+    def __init__(
+        self, probe_rate: float = 0.05, max_skew_seconds: float = 3600.0
+    ):
+        self.probe_rate = probe_rate
+        self.max_skew_seconds = max_skew_seconds
+
+    def apply(self, records, rng, log):
+        probes = sorted({
+            record.get("prb_id") for record in records
+            if record.get("prb_id") is not None
+        })
+        offsets = {}
+        for prb_id in probes:
+            if rng.random() < self.probe_rate:
+                offset = float(rng.uniform(
+                    -self.max_skew_seconds, self.max_skew_seconds
+                ))
+                offsets[prb_id] = offset
+                log.record(
+                    self.name, key=prb_id, detail=f"offset {offset:+.0f}s"
+                )
+        if not offsets:
+            return list(records)
+        out = []
+        for record in records:
+            offset = offsets.get(record.get("prb_id"))
+            if offset is None or "timestamp" not in record:
+                out.append(record)
+                continue
+            mutated = copy.deepcopy(record)
+            mutated["timestamp"] = float(mutated["timestamp"]) + offset
+            out.append(mutated)
+        return out
+
+
+class ProbeChurn(RecordInjector):
+    """Drop a contiguous burst of a probe's records (churn/outage)."""
+
+    name = "probe-churn"
+
+    def __init__(
+        self, probe_rate: float = 0.2, outage_fraction: float = 0.3
+    ):
+        self.probe_rate = probe_rate
+        self.outage_fraction = outage_fraction
+
+    def apply(self, records, rng, log):
+        spans: Dict[object, List[float]] = {}
+        for record in records:
+            ts = record.get("timestamp")
+            prb_id = record.get("prb_id")
+            if ts is None or prb_id is None:
+                continue
+            span = spans.setdefault(prb_id, [float(ts), float(ts)])
+            span[0] = min(span[0], float(ts))
+            span[1] = max(span[1], float(ts))
+        windows = {}
+        for prb_id in sorted(spans):
+            if rng.random() >= self.probe_rate:
+                continue
+            start, end = spans[prb_id]
+            length = (end - start) * self.outage_fraction
+            if length <= 0:
+                continue
+            t0 = float(rng.uniform(start, end - length))
+            windows[prb_id] = (t0, t0 + length)
+        if not windows:
+            return list(records)
+        out = []
+        dropped: Dict[object, int] = {}
+        for record in records:
+            window = windows.get(record.get("prb_id"))
+            ts = record.get("timestamp")
+            if window is not None and ts is not None \
+                    and window[0] <= float(ts) < window[1]:
+                prb_id = record.get("prb_id")
+                dropped[prb_id] = dropped.get(prb_id, 0) + 1
+                continue
+            out.append(record)
+        for prb_id, count in sorted(dropped.items()):
+            log.record(
+                self.name, n=count, key=prb_id,
+                detail=f"{count} records lost in churn burst",
+            )
+        return out
+
+
+class DropRecords(RecordInjector):
+    """Drop records uniformly at random (plain loss)."""
+
+    name = "drop-records"
+
+    def __init__(self, rate: float = 0.02):
+        self.rate = rate
+
+    def apply(self, records, rng, log):
+        out = []
+        dropped = 0
+        for record in records:
+            if rng.random() < self.rate:
+                dropped += 1
+            else:
+                out.append(record)
+        if dropped:
+            log.record(
+                self.name, n=dropped, detail=f"{dropped} records dropped"
+            )
+        return out

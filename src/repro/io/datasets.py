@@ -12,19 +12,23 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from ..atlas.traceroute import (
     MeasurementDataset,
     ProbeMeta,
-    TracerouteResult,
+    parse_result,
 )
+from ..netbase.errors import MeasurementDataError
+from ..quality import DataQualityReport, DropReason
 from ..timebase import MeasurementPeriod, TimeGrid
 from ..core.series import LastMileDataset, ProbeBinSeries
 
 PathLike = Union[str, Path]
+
+LOAD_STAGE = "io.load_traceroutes"
 
 
 def save_traceroutes(dataset: MeasurementDataset, path: PathLike) -> int:
@@ -48,15 +52,72 @@ def save_traceroutes(dataset: MeasurementDataset, path: PathLike) -> int:
     return rows
 
 
-def load_traceroutes(path: PathLike) -> MeasurementDataset:
-    """Read a JSON-lines traceroute file (sidecar optional)."""
+def load_traceroutes(
+    path: PathLike,
+    strict: bool = True,
+    quality: Optional[DataQualityReport] = None,
+) -> MeasurementDataset:
+    """Read a JSON-lines traceroute file (sidecar optional).
+
+    Strict mode (the default) fails on the first bad line — right for
+    trusted, locally-written files.  ``strict=False`` is the mode for
+    real downloaded corpora: corrupt lines and malformed records are
+    skipped, duplicate ``(prb_id, msm_id, timestamp)`` records dropped,
+    garbage RTTs coerced to timeouts, and out-of-order streams
+    re-sorted — every repair and drop counted on ``quality`` (one is
+    created if not supplied; it is returned on ``dataset.quality``).
+    """
     path = Path(path)
-    dataset = MeasurementDataset()
+    if quality is None:
+        quality = DataQualityReport()
+    dataset = MeasurementDataset(quality=quality)
+    seen: set = set()
     with path.open() as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                dataset.add(TracerouteResult.from_json(json.loads(line)))
+            if not line:
+                continue
+            quality.ingest(LOAD_STAGE)
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if strict:
+                    raise
+                quality.drop(
+                    LOAD_STAGE, DropReason.CORRUPT_LINE,
+                    detail=f"line {number}: {exc}",
+                )
+                continue
+            try:
+                result = parse_result(
+                    data, lenient=not strict,
+                    quality=quality, stage=LOAD_STAGE,
+                )
+            except MeasurementDataError as exc:
+                if strict:
+                    raise
+                quality.drop(
+                    LOAD_STAGE, exc.reason,
+                    detail=f"line {number}: {exc.detail}",
+                )
+                continue
+            if not strict:
+                key = (result.prb_id, result.msm_id, result.timestamp)
+                if key in seen:
+                    quality.drop(
+                        LOAD_STAGE, DropReason.DUPLICATE_RECORD,
+                        detail=f"line {number}: duplicate {key}",
+                    )
+                    continue
+                seen.add(key)
+            dataset.add(result)
+    if not strict:
+        resorted = dataset.sort_results()
+        if resorted:
+            quality.degrade(
+                LOAD_STAGE, DropReason.OUT_OF_ORDER, n=resorted,
+                detail=f"{resorted} probe streams re-sorted",
+            )
     meta_path = path.with_suffix(path.suffix + ".meta.json")
     if meta_path.exists():
         for key, entry in json.loads(meta_path.read_text()).items():

@@ -23,9 +23,16 @@ from .addr import (
 from .asn import AccessTechnology, ASInfo, ASRegistry, ASRole
 from .errors import (
     AddressParseError,
+    CorruptLineError,
+    DegenerateSignalError,
+    EmptyPopulationError,
+    GarbageRTTError,
+    MalformedRecordError,
+    MeasurementDataError,
     NetbaseError,
     PoolExhaustedError,
     PrefixParseError,
+    TransientFaultError,
     VersionMismatchError,
 )
 from .pools import AddressPool, SubnetPool
@@ -56,6 +63,13 @@ __all__ = [
     "AddressPool",
     "SubnetPool",
     "NetbaseError",
+    "MeasurementDataError",
+    "CorruptLineError",
+    "MalformedRecordError",
+    "GarbageRTTError",
+    "EmptyPopulationError",
+    "DegenerateSignalError",
+    "TransientFaultError",
     "AddressParseError",
     "PrefixParseError",
     "VersionMismatchError",

@@ -1,11 +1,23 @@
-"""Exception hierarchy for the :mod:`repro.netbase` package.
+"""Exception hierarchy for :mod:`repro.netbase` and the data pipeline.
 
 All address and prefix handling errors derive from :class:`NetbaseError`
 so callers can catch a single exception type at API boundaries while the
 library keeps raising precise subclasses internally.
+
+The second half of the module is the measurement-data taxonomy: every
+way a dirty Atlas-shaped input can fail maps to one
+:class:`MeasurementDataError` subclass carrying the
+:class:`~repro.quality.DropReason` the quarantine path records when it
+catches it.  :class:`TransientFaultError` marks failures worth a
+bounded retry (the survey's per-AS isolation retries those once before
+logging the AS as failed).
 """
 
 from __future__ import annotations
+
+from typing import Optional
+
+from ..quality import DropReason
 
 
 class NetbaseError(ValueError):
@@ -39,3 +51,60 @@ class VersionMismatchError(NetbaseError):
 
 class PoolExhaustedError(NetbaseError):
     """Raised when an address pool has no more addresses to allocate."""
+
+
+class MeasurementDataError(NetbaseError):
+    """Base class for dirty measurement-data failures.
+
+    Carries the :class:`~repro.quality.DropReason` the quarantine path
+    should record, so hardened consumers translate exception → ledger
+    entry without a mapping table.
+    """
+
+    default_reason: DropReason = DropReason.MALFORMED_RECORD
+
+    def __init__(self, detail: str, reason: Optional[DropReason] = None):
+        self.detail = detail
+        self.reason = reason if reason is not None else self.default_reason
+        super().__init__(f"{self.reason.value}: {detail}")
+
+
+class CorruptLineError(MeasurementDataError):
+    """A JSONL line that does not parse as JSON at all."""
+
+    default_reason = DropReason.CORRUPT_LINE
+
+
+class MalformedRecordError(MeasurementDataError):
+    """Valid JSON that does not fit the Atlas result schema."""
+
+    default_reason = DropReason.MALFORMED_RECORD
+
+
+class GarbageRTTError(MeasurementDataError):
+    """A reply RTT that is NaN, negative, non-numeric or absurd."""
+
+    default_reason = DropReason.GARBAGE_RTT
+
+
+class EmptyPopulationError(MeasurementDataError):
+    """An aggregation was asked to run over zero probe series."""
+
+    default_reason = DropReason.EMPTY_POPULATION
+
+
+class DegenerateSignalError(MeasurementDataError):
+    """A signal too short or too gappy for spectral analysis."""
+
+    default_reason = DropReason.DEGENERATE_SIGNAL
+
+
+class TransientFaultError(MeasurementDataError):
+    """A failure worth one bounded retry (flaky backend, racing write).
+
+    The survey's per-AS isolation retries these ``max_attempts - 1``
+    times before logging the AS as failed; every other exception fails
+    the AS immediately.
+    """
+
+    default_reason = DropReason.AS_FAILURE

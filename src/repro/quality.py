@@ -1,0 +1,270 @@
+"""Data-quality accounting for the analysis pipeline.
+
+Real traceroute corpora are dirty: corrupt JSONL lines, `*` hops,
+truncated paths, rate-limited routers, duplicated and reordered
+records, skewed probe clocks.  The hardened pipeline never lets one
+bad record take down a run — it *drops* or *degrades* and records why.
+This module is the ledger: every stage that discards or repairs data
+does so through a :class:`DataQualityReport` keyed by
+:class:`DropReason`, so a run can always answer "what did you throw
+away, where, and why".
+
+The module is dependency-free (stdlib only) so every layer — netbase,
+io, core, raclette, the CLI — can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class DropReason(enum.Enum):
+    """Why a record (or probe, or AS) was dropped or degraded."""
+
+    # -- ingest / parse ------------------------------------------------
+    CORRUPT_LINE = "corrupt-line"            # unparseable JSONL line
+    MALFORMED_RECORD = "malformed-record"    # JSON ok, schema not
+    GARBAGE_RTT = "garbage-rtt"              # NaN / negative / absurd RTT
+    DUPLICATE_RECORD = "duplicate-record"    # same (probe, msm, ts) twice
+    OUT_OF_ORDER = "out-of-order"            # record arrived late, resorted
+    STALE_RECORD = "stale-record"            # too late for streaming bin
+    OUT_OF_PERIOD = "out-of-period"          # timestamp outside the window
+    # -- identification / filtering ------------------------------------
+    UNPARSEABLE_ADDRESS = "unparseable-address"  # probe address garbage
+    UNRESOLVED_ASN = "unresolved-asn"        # no RIB match for the probe
+    NO_BOUNDARY = "no-boundary"              # no private->public hop pair
+    MISSING_PRIVATE_HOP = "missing-private-hop"  # rate-limited home gateway
+    # -- aggregation / classification ----------------------------------
+    EMPTY_POPULATION = "empty-population"    # no probe series to aggregate
+    NO_VALID_BINS = "no-valid-bins"          # probe contributed nothing
+    DEGENERATE_SIGNAL = "degenerate-signal"  # too short / gappy to classify
+    AS_FAILURE = "as-failure"                # per-AS pipeline error isolated
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One quarantined item: the reason plus a short human detail."""
+
+    reason: DropReason
+    detail: str
+
+
+@dataclass
+class StageQuality:
+    """Ingest/drop/degrade ledger of one pipeline stage.
+
+    *Dropped* items left the pipeline entirely; *degraded* items were
+    repaired or partially used (e.g. a garbage reply coerced to a
+    timeout while the rest of the traceroute survives).
+    """
+
+    stage: str
+    ingested: int = 0
+    dropped: Counter = field(default_factory=Counter)
+    degraded: Counter = field(default_factory=Counter)
+    quarantine: List[QuarantineRecord] = field(default_factory=list)
+
+    #: Cap on retained quarantine samples; counts are always exact.
+    MAX_QUARANTINE = 25
+
+    @property
+    def dropped_total(self) -> int:
+        return sum(self.dropped.values())
+
+    @property
+    def degraded_total(self) -> int:
+        return sum(self.degraded.values())
+
+    def _quarantine(self, reason: DropReason, detail: Optional[str]):
+        if detail and len(self.quarantine) < self.MAX_QUARANTINE:
+            self.quarantine.append(QuarantineRecord(reason, detail))
+
+
+class DataQualityReport:
+    """Pipeline-wide data-quality ledger, one ``StageQuality`` per stage.
+
+    Stages are keyed by dotted names mirroring the module that did the
+    work (``io.load_traceroutes``, ``core.filtering`` …).  The report
+    is additive: stages create themselves on first touch and reports
+    merge across pipeline runs.
+    """
+
+    def __init__(self):
+        self.stages: Dict[str, StageQuality] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def stage(self, name: str) -> StageQuality:
+        """Get-or-create the ledger of one stage."""
+        entry = self.stages.get(name)
+        if entry is None:
+            entry = StageQuality(stage=name)
+            self.stages[name] = entry
+        return entry
+
+    def ingest(self, stage: str, n: int = 1) -> None:
+        """Count ``n`` items entering a stage."""
+        self.stage(stage).ingested += n
+
+    def drop(
+        self,
+        stage: str,
+        reason: DropReason,
+        detail: Optional[str] = None,
+        n: int = 1,
+    ) -> None:
+        """Count ``n`` items dropped at a stage, with a reason code."""
+        entry = self.stage(stage)
+        entry.dropped[reason] += n
+        entry._quarantine(reason, detail)
+
+    def degrade(
+        self,
+        stage: str,
+        reason: DropReason,
+        detail: Optional[str] = None,
+        n: int = 1,
+    ) -> None:
+        """Count ``n`` items repaired/partially used at a stage."""
+        entry = self.stage(stage)
+        entry.degraded[reason] += n
+        entry._quarantine(reason, detail)
+
+    def merge(self, other: "DataQualityReport") -> "DataQualityReport":
+        """Fold another report into this one (returns self)."""
+        for name, theirs in other.stages.items():
+            mine = self.stage(name)
+            mine.ingested += theirs.ingested
+            mine.dropped.update(theirs.dropped)
+            mine.degraded.update(theirs.degraded)
+            room = StageQuality.MAX_QUARANTINE - len(mine.quarantine)
+            if room > 0:
+                mine.quarantine.extend(theirs.quarantine[:room])
+        return self
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was dropped or degraded anywhere."""
+        return self.total_dropped == 0 and self.total_degraded == 0
+
+    @property
+    def total_ingested(self) -> int:
+        return sum(s.ingested for s in self.stages.values())
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(s.dropped_total for s in self.stages.values())
+
+    @property
+    def total_degraded(self) -> int:
+        return sum(s.degraded_total for s in self.stages.values())
+
+    def dropped_count(
+        self,
+        reason: Optional[DropReason] = None,
+        stage: Optional[str] = None,
+    ) -> int:
+        """Dropped items, optionally filtered by reason and/or stage."""
+        return self._count("dropped", reason, stage)
+
+    def degraded_count(
+        self,
+        reason: Optional[DropReason] = None,
+        stage: Optional[str] = None,
+    ) -> int:
+        """Degraded items, optionally filtered by reason and/or stage."""
+        return self._count("degraded", reason, stage)
+
+    def _count(self, kind, reason, stage) -> int:
+        stages = (
+            [self.stages[stage]] if stage is not None and stage in self.stages
+            else [] if stage is not None
+            else list(self.stages.values())
+        )
+        total = 0
+        for entry in stages:
+            counter: Counter = getattr(entry, kind)
+            total += (
+                sum(counter.values()) if reason is None
+                else counter.get(reason, 0)
+            )
+        return total
+
+    def rows(self) -> Iterator[Tuple[str, str, str, int]]:
+        """Flat (stage, kind, reason, count) rows, for table rendering."""
+        for name in sorted(self.stages):
+            entry = self.stages[name]
+            for reason, count in sorted(
+                entry.dropped.items(), key=lambda kv: kv[0].value
+            ):
+                yield name, "dropped", reason.value, count
+            for reason, count in sorted(
+                entry.degraded.items(), key=lambda kv: kv[0].value
+            ):
+                yield name, "degraded", reason.value, count
+
+    # -- presentation --------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form."""
+        return {
+            name: {
+                "ingested": entry.ingested,
+                "dropped": {
+                    reason.value: count
+                    for reason, count in sorted(
+                        entry.dropped.items(), key=lambda kv: kv[0].value
+                    )
+                },
+                "degraded": {
+                    reason.value: count
+                    for reason, count in sorted(
+                        entry.degraded.items(), key=lambda kv: kv[0].value
+                    )
+                },
+                "quarantine": [
+                    {"reason": q.reason.value, "detail": q.detail}
+                    for q in entry.quarantine
+                ],
+            }
+            for name, entry in sorted(self.stages.items())
+        }
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable per-stage summary."""
+        if not self.stages:
+            return ["data quality: no stages recorded"]
+        lines = [
+            f"data quality: {self.total_ingested} ingested, "
+            f"{self.total_dropped} dropped, "
+            f"{self.total_degraded} degraded"
+        ]
+        for name in sorted(self.stages):
+            entry = self.stages[name]
+            parts = [f"  {name}: ingested={entry.ingested}"]
+            for reason, count in sorted(
+                entry.dropped.items(), key=lambda kv: kv[0].value
+            ):
+                parts.append(f"dropped[{reason.value}]={count}")
+            for reason, count in sorted(
+                entry.degraded.items(), key=lambda kv: kv[0].value
+            ):
+                parts.append(f"degraded[{reason.value}]={count}")
+            lines.append(" ".join(parts))
+        return lines
+
+    def __str__(self) -> str:
+        return "\n".join(self.summary_lines())
+
+    def __repr__(self) -> str:
+        return (
+            f"DataQualityReport(stages={len(self.stages)}, "
+            f"ingested={self.total_ingested}, "
+            f"dropped={self.total_dropped}, "
+            f"degraded={self.total_degraded})"
+        )

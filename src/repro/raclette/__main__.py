@@ -23,8 +23,9 @@ from typing import Dict, Optional
 from ..atlas.traceroute import TracerouteResult
 from ..bgp import RoutingTable
 from ..netbase import parse_address
+from ..quality import DropReason
 from .alerts import PrintSink
-from .monitor import LastMileMonitor, MonitorConfig
+from .monitor import STAGE, LastMileMonitor, MonitorConfig
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -103,7 +104,22 @@ def run(argv=None) -> int:
             line = line.strip()
             if not line:
                 continue
-            result = TracerouteResult.from_json(json.loads(line))
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                monitor.quality.ingest(STAGE)
+                monitor.quality.drop(
+                    STAGE, DropReason.CORRUPT_LINE, detail=str(exc)
+                )
+                continue
+            try:
+                result = TracerouteResult.from_json(record)
+            except (KeyError, TypeError, ValueError) as exc:
+                monitor.quality.ingest(STAGE)
+                monitor.quality.drop(
+                    STAGE, DropReason.MALFORMED_RECORD, detail=str(exc)
+                )
+                continue
             note_address(result.prb_id, result.from_address)
             monitor.ingest(result)
     finally:

@@ -21,9 +21,12 @@ import numpy as np
 
 from ..atlas.traceroute import TracerouteResult
 from ..core.lastmile import MIN_TRACEROUTES_PER_BIN, lastmile_samples
+from ..quality import DataQualityReport, DropReason
 from ..timebase import DELAY_BIN_SECONDS
 from .alerts import Alert, AlertSink, ListSink
 from .sketch import ExactMedian, RollingMinimum
+
+STAGE = "raclette.monitor"
 
 
 @dataclass
@@ -48,17 +51,21 @@ class MonitorConfig:
 class _ProbeState:
     """Open-bin accumulator for one probe."""
 
-    __slots__ = ("current_bin", "median", "count")
+    __slots__ = ("current_bin", "median", "count", "seen")
 
     def __init__(self):
         self.current_bin: Optional[int] = None
         self.median = ExactMedian()
         self.count = 0
+        #: (msm_id, timestamp) keys seen in the open bin — duplicate
+        #: suppression bounded to one bin's worth of memory.
+        self.seen = set()
 
     def reset(self, bin_index: int) -> None:
         self.current_bin = bin_index
         self.median = ExactMedian()
         self.count = 0
+        self.seen = set()
 
 
 class _ASState:
@@ -100,13 +107,31 @@ class LastMileMonitor:
         self.results_seen = 0
         self.bins_closed = 0
         self.alerts_emitted = 0
+        #: What the stream did to us: duplicates, stale stragglers,
+        #: malformed records — dropped with reason codes, never a crash.
+        self.quality = DataQualityReport()
 
     # -- ingestion -------------------------------------------------------
 
     def ingest(self, result: TracerouteResult) -> None:
-        """Feed one traceroute result."""
+        """Feed one traceroute result.
+
+        Tolerates what live streams do: duplicated results are dropped,
+        stale stragglers (bins already closed) are dropped, records
+        with non-finite timestamps or malformed hop data are dropped —
+        each with a reason code on :attr:`quality` — and gaps simply
+        leave bins unclosed, which the rolling baseline rides out.
+        """
         self.results_seen += 1
-        bin_index = int(result.timestamp // self.config.bin_seconds)
+        self.quality.ingest(STAGE)
+        timestamp = result.timestamp
+        if not np.isfinite(timestamp):
+            self.quality.drop(
+                STAGE, DropReason.MALFORMED_RECORD,
+                detail=f"probe {result.prb_id}: timestamp {timestamp!r}",
+            )
+            return
+        bin_index = int(timestamp // self.config.bin_seconds)
         if bin_index > self._head_bin:
             self._head_bin = bin_index
             self._expire_lagging_probes()
@@ -120,12 +145,34 @@ class LastMileMonitor:
             state.reset(bin_index)
         elif bin_index != state.current_bin:
             if bin_index < state.current_bin:
+                self.quality.drop(
+                    STAGE, DropReason.STALE_RECORD,
+                    detail=f"probe {result.prb_id}: bin {bin_index} "
+                    f"already closed (open bin {state.current_bin})",
+                )
                 return  # stale straggler: already closed that bin
             self._close_probe_bin(result.prb_id, state)
             state.reset(bin_index)
 
+        key = (result.msm_id, timestamp)
+        if key in state.seen:
+            self.quality.drop(
+                STAGE, DropReason.DUPLICATE_RECORD,
+                detail=f"probe {result.prb_id}: msm {result.msm_id} "
+                f"@{timestamp:.0f}s repeated",
+            )
+            return
+        state.seen.add(key)
+
         state.count += 1
-        samples = lastmile_samples(result)
+        try:
+            samples = lastmile_samples(result)
+        except (ValueError, TypeError) as exc:
+            self.quality.drop(
+                STAGE, DropReason.MALFORMED_RECORD,
+                detail=f"probe {result.prb_id}: {exc}",
+            )
+            return
         if samples:
             state.median.extend(samples)
 
@@ -233,9 +280,13 @@ class LastMileMonitor:
 
     def summary(self) -> str:
         """One-line status for logs."""
-        return (
+        line = (
             f"raclette: {self.results_seen} results, "
             f"{self.bins_closed} probe-bins closed, "
             f"{len(self.monitored_asns())} ASes, "
             f"{self.alerts_emitted} alerts"
         )
+        dropped = self.quality.total_dropped
+        if dropped:
+            line += f", {dropped} dropped"
+        return line

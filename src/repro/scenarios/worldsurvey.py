@@ -295,14 +295,30 @@ def run_survey_period(
     lockdown: Optional[bool] = None,
     seed: int = 7,
     min_probes: int = 3,
+    dataset_faults: Optional[Sequence] = None,
+    fault_seed: int = 0,
+    fault_log=None,
 ) -> Tuple[SurveyResult, World]:
-    """Run one period of the world survey end to end."""
+    """Run one period of the world survey end to end.
+
+    ``dataset_faults`` (a sequence of
+    :class:`repro.faults.DatasetInjector`) corrupts the binned dataset
+    before classification — chaos-mode surveys exercise the pipeline's
+    isolation and quality accounting.  ``fault_log`` collects the
+    injected ground truth.
+    """
     if lockdown is None:
         lockdown = period.name == "2020-04"
     world, platform = build_survey_world(
         specs, lockdown=lockdown, seed=seed, period_name=period.name
     )
     dataset = platform.run_period_binned(period)
+    if dataset_faults:
+        from ..faults import inject_dataset
+
+        inject_dataset(
+            dataset, dataset_faults, seed=fault_seed, log=fault_log
+        )
     result = classify_dataset(
         dataset, period, min_probes=min_probes, table=world.table
     )

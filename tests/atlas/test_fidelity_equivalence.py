@@ -103,3 +103,115 @@ class TestFidelityEquivalence:
             base_full = np.nanmin(full.series[prb_id].median_rtt_ms)
             base_binned = np.nanmin(binned.series[prb_id].median_rtt_ms)
             assert base_full == pytest.approx(base_binned, abs=0.25)
+
+
+@pytest.fixture(scope="module")
+def outage_heavy_modes():
+    """Same comparison under heavy probe churn (~1.5 outages/day).
+
+    Bins go missing and counts thin out, and both fidelity modes must
+    degrade the same way instead of diverging or crashing.  Session
+    reconnects stay off here, as in TestStreamingMatchesBatch: they
+    shift baselines differently under the two baseline definitions and
+    are exercised elsewhere.
+    """
+    world = World(seed=78)
+    isp = world.add_isp(
+        ASInfo(
+            64500, "Churny", "JP", ASRole.EYEBALL,
+            access_technologies=[AccessTechnology.FTTH_PPPOE_LEGACY],
+        ),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={AccessTechnology.FTTH_PPPOE_LEGACY: 0.96},
+            device_spread=0.0,
+            load_jitter_std=0.0,
+        ),
+    )
+    world.add_default_targets()
+    world.finalize()
+    platform = AtlasPlatform(world)
+    platform.config.outage_rate_per_day = 1.5
+    platform.config.reconnect_rate_per_day = 0.0
+    probes = platform.deploy_probes_on_isp(
+        isp, 4, version=ProbeVersion.V3
+    )
+
+    full_raw = platform.run_period(PERIOD, probes)
+    grid = TimeGrid(PERIOD)
+    full = estimate_dataset(
+        full_raw.results, grid, probe_meta=full_raw.probe_meta
+    )
+    binned = platform.run_period_binned(PERIOD, probes)
+    return full, binned
+
+
+class TestOutageHeavyEquivalence:
+    def test_churn_actually_bites(self, outage_heavy_modes):
+        full, _binned = outage_heavy_modes
+        gaps = sum(
+            int(np.isnan(full.series[p].median_rtt_ms).sum())
+            for p in full.probe_ids()
+        )
+        assert gaps > 0
+
+    def test_same_bins_invalid(self, outage_heavy_modes):
+        """Outages erase (nearly) the same bins in both fidelity modes.
+
+        Exact equality is impossible at outage *boundaries*: full mode
+        drops the discrete traceroutes scheduled inside the window,
+        while binned mode rounds the analytic bin/outage overlap — so
+        a bin partially covered by an outage edge may count a few
+        traceroutes differently.  Interior bins must match exactly.
+        """
+        full, binned = outage_heavy_modes
+        assert full.probe_ids() == binned.probe_ids()
+        for prb_id in full.probe_ids():
+            counts_full = full.series[prb_id].traceroute_counts
+            counts_binned = binned.series[prb_id].traceroute_counts
+            mismatch = counts_full != counts_binned
+            # Disagreement is rare (boundary bins only) ...
+            assert mismatch.mean() <= 0.05
+            # ... and every such bin shows outage impact in at least
+            # one mode (a partially-erased bin, not a clean one).
+            clean = np.max(counts_binned)
+            assert np.all(
+                np.minimum(counts_full, counts_binned)[mismatch] < clean
+            )
+            nan_full = np.isnan(full.series[prb_id].median_rtt_ms)
+            nan_binned = np.isnan(binned.series[prb_id].median_rtt_ms)
+            assert (nan_full != nan_binned).mean() <= 0.05
+            # Interior outage bins agree exactly.
+            agree = ~mismatch
+            assert np.array_equal(
+                nan_full[agree], nan_binned[agree]
+            )
+
+    def test_surviving_bins_still_agree(self, outage_heavy_modes):
+        full, binned = outage_heavy_modes
+        from repro.core import probe_queuing_delay
+
+        correlations = []
+        for prb_id in full.probe_ids():
+            qd_full = probe_queuing_delay(full.series[prb_id])
+            qd_binned = probe_queuing_delay(binned.series[prb_id])
+            both = ~np.isnan(qd_full) & ~np.isnan(qd_binned)
+            if both.sum() < 48:
+                continue
+            correlations.append(
+                np.corrcoef(qd_full[both], qd_binned[both])[0, 1]
+            )
+        assert correlations
+        assert np.mean(correlations) > 0.7
+
+    def test_aggregation_and_classification_survive(
+        self, outage_heavy_modes
+    ):
+        from repro.core import aggregate_population, classify_signal
+
+        full, binned = outage_heavy_modes
+        for dataset in (full, binned):
+            signal = aggregate_population(dataset)
+            classification = classify_signal(
+                signal.delay_ms, dataset.grid.bin_seconds
+            )
+            assert classification.severity.is_reported

@@ -231,3 +231,83 @@ class TestDailyDelayOver:
         grid = make_grid(4)
         dataset = LastMileDataset(grid=grid)
         assert probes_with_daily_delay_over(dataset, [42], 5.0) == []
+
+
+class TestQuarantineAccounting:
+    """The former silent ``except ValueError`` now leaves a paper trail."""
+
+    def test_unparseable_address_recorded(self):
+        from repro.quality import DataQualityReport, DropReason
+
+        quality = DataQualityReport()
+        table = RoutingTable()
+        assert resolve_probe_asn(
+            meta(7, address="not-an-ip"), table, quality=quality
+        ) is None
+        assert quality.dropped_count(DropReason.UNPARSEABLE_ADDRESS) == 1
+        [record] = quality.stage("core.filtering").quarantine
+        assert "probe 7" in record.detail
+        assert "not-an-ip" in record.detail
+
+    def test_unresolved_asn_recorded(self):
+        from repro.quality import DataQualityReport, DropReason
+
+        quality = DataQualityReport()
+        table = RoutingTable()
+        table.announce_prefix(Prefix.parse("20.0.0.0/16"), 64500)
+        assert resolve_probe_asn(
+            meta(8, address="99.0.0.1"), table, quality=quality
+        ) is None
+        assert quality.dropped_count(DropReason.UNRESOLVED_ASN) == 1
+
+    def test_group_selection_accounts_every_probe(self):
+        from repro.quality import DataQualityReport, DropReason
+
+        table = RoutingTable()
+        table.announce_prefix(Prefix.parse("20.0.0.0/16"), 64500)
+        metas = {
+            1: meta(1, address="20.0.0.1"),
+            2: meta(2, address="20.0.0.2"),
+            3: meta(3, address="20.0.0.3"),
+            4: meta(4, address="garbage"),
+            5: meta(5, address="99.0.0.1"),
+            6: meta(6, anchor=True),
+        }
+        quality = DataQualityReport()
+        groups = asns_with_min_probes(
+            metas, min_probes=3, table=table, quality=quality
+        )
+        assert groups == {64500: [1, 2, 3]}
+        stage = quality.stage("core.filtering")
+        assert stage.ingested == 5  # anchor never enters
+        assert quality.dropped_count(DropReason.UNPARSEABLE_ADDRESS) == 1
+        assert quality.dropped_count(DropReason.UNRESOLVED_ASN) == 1
+
+    def test_quality_optional_behavior_unchanged(self):
+        table = RoutingTable()
+        assert resolve_probe_asn(meta(1, address="bogus"), table) is None
+
+
+class TestAggregateQuality:
+    def test_metadata_without_series_counted(self):
+        from repro.netbase import EmptyPopulationError
+        from repro.quality import DataQualityReport, DropReason
+
+        grid = make_grid()
+        dataset = LastMileDataset(grid=grid)
+        quality = DataQualityReport()
+        with pytest.raises(EmptyPopulationError):
+            aggregate_population(dataset, [1, 2], quality=quality)
+        assert quality.dropped_count(DropReason.NO_VALID_BINS) == 2
+
+    def test_all_nan_probe_degraded(self):
+        from repro.quality import DataQualityReport, DropReason
+
+        grid = make_grid()
+        dataset = LastMileDataset(grid=grid)
+        dataset.add(series_with(grid, 1, np.full(grid.num_bins, 5.0)))
+        dataset.add(series_with(grid, 2, np.full(grid.num_bins, np.nan)))
+        quality = DataQualityReport()
+        signal = aggregate_population(dataset, [1, 2], quality=quality)
+        assert signal.probe_count == 2
+        assert quality.degraded_count(DropReason.NO_VALID_BINS) == 1

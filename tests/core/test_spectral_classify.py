@@ -186,3 +186,62 @@ class TestClassification:
     def test_classify_markers_none_input(self):
         result = classify_markers(None)
         assert result == Classification(Severity.NONE, None)
+
+
+class TestDegenerateSeries:
+    """Degenerate inputs read "no daily pattern", never raise.
+
+    Run under ``python -W error::RuntimeWarning`` these also prove the
+    guards fire before numpy's mean-of-empty-slice warnings would.
+    """
+
+    def test_empty_series(self):
+        assert extract_markers(np.array([]), BIN_SECONDS) is None
+        result = classify_signal(np.array([]), BIN_SECONDS)
+        assert result.severity == Severity.NONE
+
+    def test_single_bin(self):
+        assert extract_markers(np.array([2.5]), BIN_SECONDS) is None
+        result = classify_signal(np.array([2.5]), BIN_SECONDS)
+        assert result.severity == Severity.NONE
+
+    def test_all_nan(self):
+        values = np.full(15 * BINS_PER_DAY, np.nan)
+        assert extract_markers(values, BIN_SECONDS) is None
+        result = classify_signal(values, BIN_SECONDS)
+        assert result.severity == Severity.NONE
+
+    def test_mostly_nan_gap_fraction(self):
+        values = daily_sine(days=15, amplitude=2.0)
+        rng = np.random.default_rng(8)
+        hole = rng.random(values.size) < 0.7
+        values[hole] = np.nan
+        assert extract_markers(values, BIN_SECONDS) is None
+
+    def test_moderate_gaps_still_classified(self):
+        values = daily_sine(days=15, amplitude=2.0)
+        rng = np.random.default_rng(8)
+        hole = rng.random(values.size) < 0.2
+        values[hole] = np.nan
+        markers = extract_markers(values, BIN_SECONDS)
+        assert markers is not None
+        assert markers.prominent_frequency_cph == pytest.approx(
+            DAILY_FREQUENCY_CPH, rel=0.05
+        )
+
+    def test_short_series_does_not_raise(self):
+        # One day fits a single (clamped) Welch segment — a legitimate,
+        # if noisy, estimate; the guard only rejects size < 2.
+        values = daily_sine(days=1, amplitude=2.0)
+        result = classify_signal(values, BIN_SECONDS)
+        assert result.severity in list(Severity)
+
+    def test_constant_after_fill(self):
+        values = np.full(15 * BINS_PER_DAY, 3.0)
+        values[::5] = np.nan
+        assert extract_markers(values, BIN_SECONDS) is None
+
+    def test_2d_input_rejected_softly(self):
+        assert extract_markers(
+            np.ones((4, 48)), BIN_SECONDS
+        ) is None

@@ -185,3 +185,82 @@ class TestBreakdowns:
             [result], self.ranking(), severity=Severity.SEVERE
         )
         assert geo == {"JP": 1}
+
+
+class TestFailureIsolation:
+    def poisoned_dataset(self):
+        """AS 200's probes: metadata present, series stripped."""
+        dataset = synthetic_dataset([100], [200, 300])
+        for prb_id, meta in dataset.probe_meta.items():
+            if meta.asn == 200:
+                dataset.series.pop(prb_id, None)
+        return dataset
+
+    def test_poisoned_as_isolated(self):
+        result = classify_dataset(self.poisoned_dataset(), PERIOD)
+        assert result.failed_asns() == [200]
+        assert sorted(result.reports) == [100, 300]
+        assert result.reported_asns() == [100]
+        failure = result.failures[200]
+        assert failure.error == "EmptyPopulationError"
+        assert failure.attempts == 1
+        assert "AS200" in str(failure)
+
+    def test_failure_counted_on_ledger(self):
+        from repro.quality import DropReason
+
+        result = classify_dataset(self.poisoned_dataset(), PERIOD)
+        assert result.quality.dropped_count(
+            DropReason.AS_FAILURE
+        ) == 1
+
+    def test_transient_fault_retried(self, monkeypatch):
+        from repro.core import survey as survey_module
+        from repro.netbase import TransientFaultError
+
+        real = survey_module.aggregate_population
+        calls = {"n": 0}
+
+        def flaky(dataset, probe_ids, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise TransientFaultError("simulated blip")
+            return real(dataset, probe_ids, **kwargs)
+
+        monkeypatch.setattr(
+            survey_module, "aggregate_population", flaky
+        )
+        dataset = synthetic_dataset([100], [])
+        result = classify_dataset(dataset, PERIOD, max_attempts=2)
+        assert calls["n"] == 2
+        assert not result.failures
+        assert result.reported_asns() == [100]
+
+    def test_transient_fault_exhausts_retries(self, monkeypatch):
+        from repro.core import survey as survey_module
+        from repro.netbase import TransientFaultError
+
+        def always_flaky(dataset, probe_ids, **kwargs):
+            raise TransientFaultError("persistent blip")
+
+        monkeypatch.setattr(
+            survey_module, "aggregate_population", always_flaky
+        )
+        dataset = synthetic_dataset([100], [])
+        result = classify_dataset(dataset, PERIOD, max_attempts=3)
+        assert result.failed_asns() == [100]
+        assert result.failures[100].attempts == 3
+
+    def test_degenerate_signal_noted_not_failed(self):
+        """All-NaN series: markers None, classified None, not a failure."""
+        from repro.quality import DropReason
+
+        dataset = synthetic_dataset([], [300])
+        for series in dataset.series.values():
+            series.median_rtt_ms[:] = np.nan
+        result = classify_dataset(dataset, PERIOD)
+        assert not result.failures
+        assert result.reports[300].severity == Severity.NONE
+        assert result.quality.degraded_count(
+            DropReason.DEGENERATE_SIGNAL
+        ) == 1

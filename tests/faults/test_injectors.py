@@ -1,0 +1,330 @@
+"""Tests for the fault injectors and their ground-truth accounting."""
+
+import copy
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    BinLoss,
+    ClockSkew,
+    CorruptLines,
+    DropRecords,
+    DuplicateRecords,
+    FaultLog,
+    GarbageRTT,
+    MissingReplies,
+    NaNBursts,
+    PoisonAS,
+    ProbeChurn,
+    RateLimitPrivateHops,
+    ReorderRecords,
+    TruncateTraceroutes,
+    corrupt_jsonl,
+    inject_dataset,
+    inject_lines,
+    inject_records,
+)
+
+
+def make_records(num_probes=3, per_probe=40, interval=300.0):
+    """Atlas-schema records with private + public hops and 3 replies."""
+    records = []
+    for prb_id in range(1, num_probes + 1):
+        for index in range(per_probe):
+            records.append({
+                "prb_id": prb_id,
+                "msm_id": 5001,
+                "timestamp": index * interval + prb_id,
+                "src_addr": "192.168.1.10",
+                "from": f"20.0.{prb_id}.5",
+                "dst_addr": "192.5.0.1",
+                "af": 4,
+                "type": "traceroute",
+                "result": [
+                    {"hop": hop, "result": [
+                        {"from": address, "rtt": rtt} for _ in range(3)
+                    ]}
+                    for hop, address, rtt in (
+                        (1, "192.168.1.1", 0.8),
+                        (2, "10.10.0.1", 4.0),
+                        (3, "60.0.0.1", 12.0),
+                    )
+                ],
+            })
+    return records
+
+
+def reply_count(records, predicate):
+    return sum(
+        1
+        for record in records
+        for hop in record["result"]
+        for reply in hop["result"]
+        if predicate(reply)
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        records = make_records()
+        injectors = [
+            MissingReplies(0.05), TruncateTraceroutes(0.05),
+            GarbageRTT(0.05), DuplicateRecords(0.05),
+            ReorderRecords(0.05), DropRecords(0.05),
+        ]
+        out1, log1 = inject_records(records, injectors, seed=11)
+        out2, log2 = inject_records(records, injectors, seed=11)
+        # json text compares NaN RTTs by representation, not identity.
+        assert json.dumps(out1) == json.dumps(out2)
+        assert log1.counts == log2.counts
+
+    def test_different_seed_differs(self):
+        records = make_records()
+        out1, _ = inject_records(records, [DropRecords(0.2)], seed=1)
+        out2, _ = inject_records(records, [DropRecords(0.2)], seed=2)
+        assert out1 != out2
+
+    def test_input_not_mutated(self):
+        records = make_records(num_probes=1, per_probe=10)
+        pristine = copy.deepcopy(records)
+        inject_records(records, [
+            MissingReplies(0.5), GarbageRTT(0.5),
+            RateLimitPrivateHops(0.5), TruncateTraceroutes(0.5),
+            ClockSkew(probe_rate=1.0),
+        ], seed=0)
+        assert records == pristine
+
+
+class TestRecordInjectors:
+    def test_missing_replies_counts_blanked(self):
+        records = make_records()
+        out, log = inject_records(records, [MissingReplies(0.1)], seed=3)
+        blanked = reply_count(out, lambda r: "x" in r)
+        assert blanked == log.count("missing-replies") > 0
+
+    def test_truncate_shortens_hop_lists(self):
+        records = make_records()
+        out, log = inject_records(
+            records, [TruncateTraceroutes(0.2)], seed=3
+        )
+        short = sum(1 for r in out if len(r["result"]) < 3)
+        assert short == log.count("truncate") > 0
+
+    def test_rate_limit_silences_private_hops(self):
+        records = make_records()
+        out, log = inject_records(
+            records, [RateLimitPrivateHops(0.2)], seed=3
+        )
+        hit = log.count("rate-limit-private")
+        assert hit > 0
+        dark = 0
+        for record in out:
+            for hop in record["result"]:
+                if all("x" in reply for reply in hop["result"]):
+                    dark += 1
+        # Each hit record has both its private hops (192.168/10.) silenced.
+        assert dark == 2 * hit
+
+    def test_garbage_rtt_kinds(self):
+        records = make_records()
+        out, log = inject_records(records, [GarbageRTT(0.1)], seed=5)
+
+        def garbage(reply):
+            if "rtt" not in reply:
+                return False
+            rtt = reply["rtt"]
+            if isinstance(rtt, str):
+                return True
+            return not math.isfinite(rtt) or rtt < 0 or rtt > 1e6
+
+        assert reply_count(out, garbage) == log.count("garbage-rtt") > 0
+
+    def test_duplicates_inserted_adjacent(self):
+        records = make_records()
+        out, log = inject_records(records, [DuplicateRecords(0.1)], seed=3)
+        assert len(out) == len(records) + log.count("duplicates")
+        assert log.count("duplicates") > 0
+        adjacent = sum(1 for a, b in zip(out, out[1:]) if a == b)
+        assert adjacent == log.count("duplicates")
+
+    def test_reorder_preserves_multiset(self):
+        records = make_records()
+        out, log = inject_records(records, [ReorderRecords(0.2)], seed=3)
+        assert log.count("reorder") > 0
+        key = lambda r: (r["prb_id"], r["timestamp"])  # noqa: E731
+        assert sorted(out, key=key) == sorted(records, key=key)
+        assert out != records
+
+    def test_clock_skew_shifts_whole_probe(self):
+        records = make_records(num_probes=4)
+        out, log = inject_records(
+            records, [ClockSkew(probe_rate=0.5, max_skew_seconds=900)],
+            seed=3,
+        )
+        skewed = set(log.keys("clock-skew"))
+        assert 0 < len(skewed) < 4
+        for original, mutated in zip(records, out):
+            delta = mutated["timestamp"] - original["timestamp"]
+            if original["prb_id"] in skewed:
+                assert delta != 0 and abs(delta) <= 900
+            else:
+                assert delta == 0
+
+    def test_probe_churn_drops_contiguous_burst(self):
+        records = make_records(num_probes=4, per_probe=60)
+        out, log = inject_records(
+            records, [ProbeChurn(probe_rate=0.5, outage_fraction=0.3)],
+            seed=3,
+        )
+        dropped = log.count("probe-churn")
+        assert dropped > 0
+        assert len(out) == len(records) - dropped
+        # Each churned probe loses one contiguous timestamp window.
+        for prb_id in log.keys("probe-churn"):
+            kept = [r["timestamp"] for r in out if r["prb_id"] == prb_id]
+            lost = sorted(
+                r["timestamp"] for r in records
+                if r["prb_id"] == prb_id and r["timestamp"] not in kept
+            )
+            assert lost == sorted(lost)
+            gaps = [b - a for a, b in zip(lost, lost[1:])]
+            assert all(g == 300.0 for g in gaps)
+
+    def test_drop_records_counts_loss(self):
+        records = make_records()
+        out, log = inject_records(records, [DropRecords(0.1)], seed=3)
+        assert len(out) == len(records) - log.count("drop-records")
+        assert log.count("drop-records") > 0
+
+
+class TestLineInjectors:
+    def test_corrupted_lines_are_invalid_json(self):
+        lines = [json.dumps(r) for r in make_records()]
+        out, log = inject_lines(lines, [CorruptLines(0.2)], seed=9)
+        assert len(out) == len(lines)
+        hit = log.count("corrupt-lines")
+        assert hit > 0
+        bad = 0
+        for line in out:
+            try:
+                json.loads(line)
+            except json.JSONDecodeError:
+                bad += 1
+        assert bad == hit
+
+    def test_every_mode_invalid(self):
+        injector = CorruptLines(1.0)
+        rng = np.random.default_rng(0)
+        line = json.dumps(make_records(1, 1)[0])
+        for _ in range(50):
+            corrupted = injector.corrupt_one(line, rng)
+            assert corrupted
+            with pytest.raises(json.JSONDecodeError):
+                json.loads(corrupted)
+
+    def test_corrupt_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        lines = [json.dumps(r) for r in make_records()]
+        path.write_text("\n".join(lines) + "\n")
+        log = corrupt_jsonl(path, rate=0.3, seed=4)
+        assert log.count("corrupt-lines") > 0
+        assert len(path.read_text().splitlines()) == len(lines)
+
+
+class TestFaultLog:
+    def test_merge_and_summary(self):
+        log = FaultLog()
+        log.record("a", n=2, key=1)
+        other = FaultLog()
+        other.record("a", n=1)
+        other.record("b", key=7)
+        log.merge(other)
+        assert log.count("a") == 3
+        assert log.count() == 4
+        assert log.keys("b") == [7]
+        assert log.summary() == "faults: a=3 b=1"
+
+    def test_empty_summary(self):
+        assert FaultLog().summary() == "faults: none injected"
+
+
+class TestDatasetInjectors:
+    def build_dataset(self, num_asns=3, probes_per_asn=3, days=2):
+        import datetime as dt
+
+        from repro.atlas import ProbeMeta
+        from repro.core import LastMileDataset, ProbeBinSeries
+        from repro.timebase import MeasurementPeriod, TimeGrid
+
+        period = MeasurementPeriod("faults", dt.datetime(2019, 9, 2), days)
+        grid = TimeGrid(period)
+        dataset = LastMileDataset(grid=grid)
+        prb_id = 1
+        for asn in range(100, 100 + num_asns):
+            for _ in range(probes_per_asn):
+                dataset.add(
+                    ProbeBinSeries(
+                        prb_id=prb_id,
+                        median_rtt_ms=np.full(grid.num_bins, 5.0),
+                        traceroute_counts=np.full(grid.num_bins, 24),
+                    ),
+                    meta=ProbeMeta(
+                        prb_id=prb_id, asn=asn, is_anchor=False,
+                        public_address="20.0.0.1",
+                    ),
+                )
+                prb_id += 1
+        return dataset
+
+    def test_bin_loss_exact_accounting(self):
+        dataset = self.build_dataset()
+        _, log = inject_dataset(dataset, [BinLoss(0.1)], seed=2)
+        erased = sum(
+            int(np.isnan(series.median_rtt_ms).sum())
+            for series in dataset.series.values()
+        )
+        assert erased == log.count("bin-loss") > 0
+        for series in dataset.series.values():
+            nan = np.isnan(series.median_rtt_ms)
+            assert np.all(series.traceroute_counts[nan] == 0)
+
+    def test_nan_bursts_are_contiguous(self):
+        dataset = self.build_dataset()
+        _, log = inject_dataset(
+            dataset, [NaNBursts(probe_rate=0.5, max_run_bins=10)], seed=2
+        )
+        assert log.count("nan-bursts") > 0
+        for prb_id in log.keys("nan-bursts"):
+            nan = np.isnan(dataset.series[prb_id].median_rtt_ms)
+            indices = np.flatnonzero(nan)
+            assert indices.size > 0
+            assert np.all(np.diff(indices) == 1)
+            # Counts untouched: traceroutes arrived, samples unusable.
+            assert np.all(
+                dataset.series[prb_id].traceroute_counts[nan] == 24
+            )
+
+    def test_poison_as_keeps_metadata(self):
+        dataset = self.build_dataset()
+        _, log = inject_dataset(dataset, [PoisonAS(count=1)], seed=2)
+        [asn] = log.keys("poison-as")
+        poisoned_probes = [
+            prb_id for prb_id, meta in dataset.probe_meta.items()
+            if meta.asn == asn
+        ]
+        assert len(poisoned_probes) == 3
+        for prb_id in poisoned_probes:
+            assert prb_id not in dataset.series
+            assert prb_id in dataset.probe_meta
+
+    def test_poison_as_explicit_target(self):
+        dataset = self.build_dataset()
+        inject_dataset(dataset, [PoisonAS(asns=[101])], seed=0)
+        remaining = {
+            meta.asn for prb_id, meta in dataset.probe_meta.items()
+            if prb_id in dataset.series
+        }
+        assert remaining == {100, 102}

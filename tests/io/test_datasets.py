@@ -114,3 +114,114 @@ class TestLastMilePersistence:
         save_lastmile(dataset, base)
         restored = load_lastmile(base)
         assert np.isnan(restored.series[1].median_rtt_ms[3])
+
+
+class TestLenientLoading:
+    """``strict=False``: corrupted corpora load with exact accounting."""
+
+    def corrupted_file(self, platform_and_probes, tmp_path, seed=17):
+        from repro.faults import (
+            CorruptLines,
+            DuplicateRecords,
+            FaultLog,
+            GarbageRTT,
+            inject_lines,
+            inject_records,
+        )
+
+        platform, probes = platform_and_probes
+        dataset = platform.run_period(PERIOD, probes)
+        path = tmp_path / "dirty.jsonl"
+        save_traceroutes(dataset, path)
+        records = [
+            result.to_json()
+            for prb_id in dataset.probe_ids()
+            for result in dataset.for_probe(prb_id)
+        ]
+        log = FaultLog()
+        out, _ = inject_records(
+            records, [DuplicateRecords(0.05), GarbageRTT(0.01)],
+            seed=seed, log=log,
+        )
+        import json as json_module
+
+        lines, _ = inject_lines(
+            [json_module.dumps(r) for r in out],
+            [CorruptLines(0.03)], seed=seed + 1, log=log,
+        )
+        path.write_text("\n".join(lines) + "\n")
+        return dataset, path, log
+
+    def test_strict_load_raises_on_corruption(
+        self, platform_and_probes, tmp_path
+    ):
+        _, path, _ = self.corrupted_file(platform_and_probes, tmp_path)
+        with pytest.raises(Exception):
+            load_traceroutes(path)  # strict is the default
+
+    def test_lenient_roundtrip_accounts_exactly(
+        self, platform_and_probes, tmp_path
+    ):
+        from repro.quality import DropReason
+
+        clean, path, log = self.corrupted_file(
+            platform_and_probes, tmp_path
+        )
+        restored = load_traceroutes(path, strict=False)
+        quality = restored.quality
+        assert quality is not None
+        # Only lines the corruptor did not touch survive as records;
+        # corrupt-lines may hit injected duplicates, so dropped
+        # duplicates can undercount injected ones — never overcount.
+        assert quality.dropped_count(DropReason.CORRUPT_LINE) == (
+            log.count("corrupt-lines")
+        )
+        assert quality.dropped_count(DropReason.DUPLICATE_RECORD) <= (
+            log.count("duplicates")
+        )
+        assert quality.degraded_count(DropReason.GARBAGE_RTT) <= (
+            log.count("garbage-rtt")
+        )
+        # Conservation: every ingested line is kept or dropped.
+        kept = sum(len(restored.for_probe(p))
+                   for p in restored.probe_ids())
+        assert quality.stage("io.load_traceroutes").ingested == (
+            kept + quality.total_dropped
+        )
+        # Surviving records match the clean originals.
+        for prb_id in restored.probe_ids():
+            clean_by_key = {
+                (r.msm_id, r.timestamp): r
+                for r in clean.for_probe(prb_id)
+            }
+            for result in restored.for_probe(prb_id):
+                original = clean_by_key[(result.msm_id, result.timestamp)]
+                assert result.prb_id == original.prb_id
+                assert len(result.hops) == len(original.hops)
+
+    def test_lenient_on_clean_file_is_clean(
+        self, platform_and_probes, tmp_path
+    ):
+        platform, probes = platform_and_probes
+        dataset = platform.run_period(PERIOD, probes)
+        path = tmp_path / "pristine.jsonl"
+        save_traceroutes(dataset, path)
+        restored = load_traceroutes(path, strict=False)
+        # Nothing dropped; the only allowed repair is the stream-order
+        # normalization (the simulator interleaves measurements, so a
+        # probe's stored stream may be legitimately non-monotonic).
+        from repro.quality import DropReason
+
+        assert restored.quality.total_dropped == 0
+        assert restored.quality.total_degraded == (
+            restored.quality.degraded_count(DropReason.OUT_OF_ORDER)
+        )
+        assert len(restored) == len(dataset)
+        prb = dataset.probe_ids()[0]
+        restored_stamps = [
+            r.timestamp for r in restored.for_probe(prb)
+        ]
+        assert restored_stamps == sorted(restored_stamps)
+        assert sorted(
+            r.timestamp for r in dataset.for_probe(prb)
+        ) == restored_stamps

@@ -193,3 +193,85 @@ class TestStreamingMatchesBatch:
         ]
         assert np.median(diffs) < 0.2
         assert np.mean(np.array(diffs) < 0.5) > 0.9
+
+
+class TestStreamFaultTolerance:
+    """The monitor survives what live streams do, and accounts for it."""
+
+    def test_duplicates_dropped_and_counted(self):
+        from repro.quality import DropReason
+
+        monitor = LastMileMonitor(asn_of=lambda p: 1)
+        result = synthetic_result(1, 100.0, 3.0)
+        for _ in range(3):
+            monitor.ingest(result)
+        assert monitor.quality.dropped_count(
+            DropReason.DUPLICATE_RECORD
+        ) == 2
+        # Only one result counted toward the bin.
+        assert monitor._probes[1].count == 1
+
+    def test_duplicate_suppression_bounded_to_open_bin(self):
+        monitor = LastMileMonitor(asn_of=lambda p: 1)
+        feed_constant_bins(monitor, 1, [3.0])
+        # Bin 1 opens; bin 0's keys are forgotten.
+        monitor.ingest(synthetic_result(1, 1800.0, 3.0))
+        assert len(monitor._probes[1].seen) == 1
+
+    def test_stale_straggler_counted(self):
+        from repro.quality import DropReason
+
+        monitor = LastMileMonitor(asn_of=lambda p: 1)
+        feed_constant_bins(monitor, 1, [3.0, 3.0])
+        monitor.ingest(synthetic_result(1, 10.0, 50.0))
+        assert monitor.quality.dropped_count(
+            DropReason.STALE_RECORD
+        ) == 1
+
+    def test_nonfinite_timestamp_dropped(self):
+        from repro.quality import DropReason
+
+        monitor = LastMileMonitor(asn_of=lambda p: 1)
+        monitor.ingest(synthetic_result(1, float("nan"), 3.0))
+        monitor.ingest(synthetic_result(1, float("inf"), 3.0))
+        monitor.flush()
+        assert monitor.quality.dropped_count(
+            DropReason.MALFORMED_RECORD
+        ) == 2
+        assert monitor.delay_series(1) == []
+
+    def test_gap_leaves_bins_unclosed_no_crash(self):
+        monitor = LastMileMonitor(asn_of=lambda p: 1)
+        feed_constant_bins(monitor, 1, [3.0, 3.0])
+        # A long outage, then the probe returns 50 bins later.
+        for k in range(4):
+            monitor.ingest(synthetic_result(
+                1, 52 * 1800.0 + k * 300.0, 3.0
+            ))
+        monitor.flush()
+        series = dict(monitor.delay_series(1))
+        assert 52 in series
+        assert 10 not in series  # nothing invented for the gap
+
+    def test_chaotic_stream_never_raises(self):
+        """Duplicated, reordered, skewed and garbage-stamped input."""
+        rng = np.random.default_rng(3)
+        results = []
+        for bin_index in range(6):
+            for k in range(4):
+                for prb in (1, 2):
+                    results.append(synthetic_result(
+                        prb, bin_index * 1800.0 + k * 300.0 + prb, 3.0
+                    ))
+        stream = list(results)
+        stream += [results[i] for i in rng.integers(0, len(results), 10)]
+        rng.shuffle(stream)
+        stream.append(synthetic_result(1, float("nan"), 3.0))
+        monitor = LastMileMonitor(asn_of=lambda p: 1)
+        monitor.ingest_many(stream)
+        monitor.flush()
+        assert monitor.results_seen == len(stream)
+        assert not monitor.quality.clean
+        assert monitor.monitored_asns() == [1]
+        summary = monitor.summary()
+        assert "dropped" in summary
