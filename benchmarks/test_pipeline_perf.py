@@ -128,3 +128,88 @@ def test_perf_binned_fast_path(benchmark, one_probe_day):
         "micro-benchmarks recorded by pytest-benchmark; see the "
         "--benchmark-only table in bench_output.txt",
     )
+
+
+@pytest.fixture(scope="module")
+def survey_dataset():
+    """A ~20-AS binned dataset for the observability overhead guard."""
+    from repro.atlas import ProbeMeta
+    from repro.core import LastMileDataset, ProbeBinSeries
+
+    period = MeasurementPeriod("perf-obs", dt.datetime(2019, 9, 1), 15)
+    grid = TimeGrid(period)
+    rng = np.random.default_rng(0)
+    dataset = LastMileDataset(grid=grid)
+    t = np.arange(grid.num_bins) / grid.bins_per_day
+    prb_id = 1
+    for asn in range(100, 120):
+        for _ in range(4):
+            medians = (
+                rng.uniform(1.0, 3.0)
+                + rng.normal(0, 0.05, grid.num_bins)
+                + 1.5 * (1 + np.sin(2 * np.pi * t))
+            )
+            dataset.add(
+                ProbeBinSeries(
+                    prb_id=prb_id,
+                    median_rtt_ms=medians,
+                    traceroute_counts=np.full(grid.num_bins, 24),
+                ),
+                meta=ProbeMeta(
+                    prb_id=prb_id, asn=asn, is_anchor=False,
+                    public_address="20.0.0.1",
+                ),
+            )
+            prb_id += 1
+    return period, dataset
+
+
+def test_perf_observability_overhead(survey_dataset):
+    """Full tracing + metrics must stay within 10 % of the no-op path.
+
+    Spans and counters sit at stage/AS granularity — never inside
+    per-record loops — so a fully observed classification run should
+    be nearly indistinguishable from the default NOOP-observer run.
+    Min-of-N timing keeps the guard robust to scheduler noise; a small
+    absolute allowance covers the sub-millisecond fixed cost of
+    building the registry and span tree.
+    """
+    import time
+
+    from repro.core import classify_dataset
+    from repro.obs import observed
+
+    period, dataset = survey_dataset
+
+    def run_once():
+        return classify_dataset(dataset, period)
+
+    def best_of(fn, repeats=7):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    run_once()  # warm caches before timing either path
+
+    baseline = best_of(run_once)
+
+    def run_observed():
+        with observed():
+            return classify_dataset(dataset, period)
+
+    instrumented = best_of(run_observed)
+
+    overhead = instrumented / baseline - 1.0
+    write_report(
+        "observability_overhead",
+        f"no-op observer best: {baseline * 1e3:.2f} ms\n"
+        f"full observer best:  {instrumented * 1e3:.2f} ms\n"
+        f"relative overhead:   {overhead * 100:+.2f} %",
+    )
+    assert instrumented <= baseline * 1.10 + 0.002, (
+        f"observability overhead {overhead * 100:+.1f}% exceeds the "
+        "10% budget"
+    )

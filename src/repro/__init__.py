@@ -31,6 +31,7 @@ from . import (  # noqa: F401
     faults,
     io,
     netbase,
+    obs,
     quality,
     queueing,
     raclette,
@@ -56,5 +57,6 @@ __all__ = [
     "io",
     "raclette",
     "quality",
+    "obs",
     "faults",
 ]

@@ -240,16 +240,26 @@ class AtlasPlatform:
         only consumes the last-private/first-public hop pair).
         ``af=6`` measures through each line's IPv6 device.
         """
+        from ..obs import get_observer
+
         probes = list(probes) if probes is not None else list(self.probes)
         if af == 6:
             probes = [p for p in probes if self._has_ipv6(p)]
         grid = TimeGrid(period, DELAY_BIN_SECONDS)
         per_bin = self.schedule.traceroutes_per_bin
         dataset = LastMileDataset(grid=grid)
-        for probe in probes:
-            self._prepare_probe(probe, period)
-            series = self._binned_series(probe, grid, per_bin, af=af)
-            dataset.add(series, meta=self.probe_meta(probe))
+        obs = get_observer()
+        # The binned fast path *is* the last-mile estimation stage
+        # (medians synthesized directly), hence the span name.
+        with obs.stage_span(
+            "lastmile", probes=len(probes), period=period.name,
+        ):
+            for probe in probes:
+                self._prepare_probe(probe, period)
+                series = self._binned_series(probe, grid, per_bin, af=af)
+                dataset.add(series, meta=self.probe_meta(probe))
+            obs.items_in("core-lastmile", len(probes))
+            obs.items_out("core-lastmile", len(dataset.series))
         return dataset
 
     def _binned_series(

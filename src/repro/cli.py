@@ -9,7 +9,13 @@
 * ``inject``   — corrupt a traceroute JSONL with seeded fault injectors;
 * ``quality``  — leniently load a traceroute JSONL and print its
   data-quality report;
+* ``obs``      — render a saved observability report (trace tree,
+  metrics, profile);
 * ``info``     — version and layout.
+
+``survey`` and ``inject`` accept ``--trace`` (print the span tree) and
+``--metrics-out PATH`` (write the full observability report as JSON,
+rendered later with ``repro obs report PATH``).
 
 The streaming monitor has its own entry point
 (``python -m repro.raclette``).
@@ -49,6 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     survey.add_argument("--out", default="survey-out",
                         help="directory for the exported site bundle")
+    _add_obs_flags(survey)
 
     tokyo = sub.add_parser(
         "tokyo", help="run the Tokyo case study (§4) and print digests"
@@ -108,6 +115,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="uniform record-loss rate")
     inject.add_argument("--corrupt-lines", type=float, default=0.01,
                         help="per-line JSONL corruption rate")
+    _add_obs_flags(inject)
+
+    obs = sub.add_parser(
+        "obs",
+        help="observability utilities (trace/metrics report rendering)",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="render a report written by --metrics-out",
+    )
+    obs_report.add_argument(
+        "path", nargs="?", default="metrics.json",
+        help="report JSON path (default: metrics.json)",
+    )
+    obs_report.add_argument(
+        "--prometheus", action="store_true",
+        help="emit the metrics in Prometheus text format instead",
+    )
 
     quality = sub.add_parser(
         "quality",
@@ -120,10 +146,71 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="collect spans and print the trace tree at the end",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the observability report (metrics + trace + "
+        "profile) as JSON",
+    )
+    parser.add_argument(
+        "--log-jsonl", default=None, metavar="PATH",
+        help="append structured JSONL event logs to PATH",
+    )
+
+
+# -- observability plumbing ----------------------------------------------
+
+
+def _make_observer(args):
+    """Build the run's observer from the obs flags (or None)."""
+    from .obs import Observability, StructuredLogger, open_jsonl_sink
+
+    if not (args.trace or args.metrics_out or args.log_jsonl):
+        return None, None
+    sink = open_jsonl_sink(args.log_jsonl) if args.log_jsonl else None
+    observer = Observability(
+        logger=StructuredLogger(sink=sink) if sink else None
+    )
+    return observer, sink
+
+
+def _finish_observer(args, observer) -> None:
+    """Print/persist what the run's observer collected."""
+    from .obs import render_trace, write_report
+
+    if args.trace:
+        print()
+        print("trace:")
+        print(render_trace(observer.tracer))
+    if args.metrics_out:
+        path = write_report(observer, args.metrics_out)
+        print(f"wrote observability report to {path}")
+
+
 # -- commands ------------------------------------------------------------
 
 
 def cmd_survey(args) -> int:
+    from .obs import observed
+
+    observer, sink = _make_observer(args)
+    if observer is None:
+        return _run_survey(args)
+    try:
+        with observed(observer):
+            code = _run_survey(args)
+        _finish_observer(args, observer)
+        return code
+    finally:
+        if sink is not None:
+            sink.close()
+
+
+def _run_survey(args) -> int:
     from .apnic import EyeballRanking
     from .core import SurveySuite, render_survey_headline
     from .io import export_site
@@ -287,8 +374,25 @@ def cmd_classify(args) -> int:
 
 
 def cmd_inject(args) -> int:
+    from .obs import observed
+
+    observer, sink = _make_observer(args)
+    if observer is None:
+        return _run_inject(args)
+    try:
+        with observed(observer):
+            code = _run_inject(args)
+        _finish_observer(args, observer)
+        return code
+    finally:
+        if sink is not None:
+            sink.close()
+
+
+def _run_inject(args) -> int:
     import json
 
+    from .obs import get_observer
     from .faults import (
         ClockSkew,
         CorruptLines,
@@ -305,39 +409,59 @@ def cmd_inject(args) -> int:
         inject_records,
     )
 
-    records = [
-        json.loads(line)
-        for line in Path(args.src).read_text().splitlines()
-        if line.strip()
-    ]
-    injectors = []
-    for rate, cls in (
-        (args.missing_replies, MissingReplies),
-        (args.truncate, TruncateTraceroutes),
-        (args.rate_limit, RateLimitPrivateHops),
-        (args.garbage_rtt, GarbageRTT),
-        (args.duplicates, DuplicateRecords),
-        (args.reorder, ReorderRecords),
-        (args.drop, DropRecords),
-    ):
-        if rate > 0:
-            injectors.append(cls(rate))
-    if args.clock_skew > 0:
-        injectors.append(ClockSkew(probe_rate=args.clock_skew))
-    if args.churn > 0:
-        injectors.append(ProbeChurn(probe_rate=args.churn))
+    obs = get_observer()
+    STAGE = "cli-inject"
+    with obs.stage_span("inject", src=args.src) as span:
+        with obs.span("inject-read"):
+            records = [
+                json.loads(line)
+                for line in Path(args.src).read_text().splitlines()
+                if line.strip()
+            ]
+        obs.items_in(STAGE, len(records))
+        injectors = []
+        for rate, cls in (
+            (args.missing_replies, MissingReplies),
+            (args.truncate, TruncateTraceroutes),
+            (args.rate_limit, RateLimitPrivateHops),
+            (args.garbage_rtt, GarbageRTT),
+            (args.duplicates, DuplicateRecords),
+            (args.reorder, ReorderRecords),
+            (args.drop, DropRecords),
+        ):
+            if rate > 0:
+                injectors.append(cls(rate))
+        if args.clock_skew > 0:
+            injectors.append(ClockSkew(probe_rate=args.clock_skew))
+        if args.churn > 0:
+            injectors.append(ProbeChurn(probe_rate=args.churn))
 
-    log = FaultLog()
-    corrupted, _ = inject_records(
-        records, injectors, seed=args.seed, log=log
-    )
-    lines = [json.dumps(record) for record in corrupted]
-    if args.corrupt_lines > 0:
-        lines, _ = inject_lines(
-            lines, [CorruptLines(args.corrupt_lines)],
-            seed=args.seed + 1, log=log,
+        log = FaultLog()
+        with obs.span("inject-records", injectors=len(injectors)):
+            corrupted, _ = inject_records(
+                records, injectors, seed=args.seed, log=log
+            )
+        lines = [json.dumps(record) for record in corrupted]
+        if args.corrupt_lines > 0:
+            with obs.span("inject-lines"):
+                lines, _ = inject_lines(
+                    lines, [CorruptLines(args.corrupt_lines)],
+                    seed=args.seed + 1, log=log,
+                )
+        Path(args.out).write_text("\n".join(lines) + "\n")
+        obs.items_out(STAGE, len(lines))
+        span.set_attr("faults", log.count())
+        injected = obs.counter(
+            "faults_injected_total", "faults introduced per injector",
+            ("injector",),
         )
-    Path(args.out).write_text("\n".join(lines) + "\n")
+        for injector, count in sorted(log.counts.items()):
+            injected.inc(count, injector=injector)
+        obs.logger.bind(stage=STAGE).info(
+            "inject-done", src=args.src, out=args.out,
+            records=len(records), lines=len(lines),
+            faults=log.count(),
+        )
     print(f"wrote {len(lines)} lines to {args.out}")
     print(log.summary())
     return 0
@@ -353,6 +477,27 @@ def cmd_quality(args) -> int:
           f"{len(dataset.results)} probe(s)")
     print(render_quality_report(dataset.quality))
     return 0
+
+
+def cmd_obs(args) -> int:
+    from .obs import MetricsRegistry, load_report, render_report
+
+    if args.obs_command == "report":
+        try:
+            data = load_report(args.path)
+        except FileNotFoundError:
+            print(f"no observability report at {args.path} "
+                  "(run with --metrics-out first)")
+            return 1
+        if args.prometheus:
+            registry = MetricsRegistry.from_dict(
+                data.get("metrics") or {}
+            )
+            print(registry.to_prometheus(), end="")
+        else:
+            print(render_report(data))
+        return 0
+    raise AssertionError(f"unknown obs command {args.obs_command!r}")
 
 
 def cmd_info(_args) -> int:
@@ -374,6 +519,7 @@ COMMANDS = {
     "classify": cmd_classify,
     "inject": cmd_inject,
     "quality": cmd_quality,
+    "obs": cmd_obs,
     "info": cmd_info,
 }
 

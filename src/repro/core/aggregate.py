@@ -22,12 +22,13 @@ from typing import Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..netbase.errors import EmptyPopulationError
+from ..obs import get_observer
 from ..quality import DataQualityReport, DropReason
 from ..timebase import TimeGrid
 from .lastmile import MIN_TRACEROUTES_PER_BIN
 from .series import LastMileDataset, ProbeBinSeries
 
-STAGE = "core.aggregate"
+STAGE = "core-aggregate"
 
 
 @dataclass
@@ -94,43 +95,51 @@ def aggregate_population(
     if probe_ids is None:
         probe_ids = dataset.probe_ids()
     requested = list(probe_ids)
-    probe_ids = [p for p in requested if p in dataset.series]
-    if quality is not None:
-        quality.ingest(STAGE, n=len(requested))
-        missing = len(requested) - len(probe_ids)
-        if missing:
-            quality.drop(
-                STAGE, DropReason.NO_VALID_BINS, n=missing,
-                detail=f"{missing} probes have metadata but no series",
+    obs = get_observer()
+    with obs.stage_span("aggregate", probes=len(requested)):
+        probe_ids = [p for p in requested if p in dataset.series]
+        obs.items_in(STAGE, len(requested))
+        if quality is not None:
+            quality.ingest(STAGE, n=len(requested))
+            missing = len(requested) - len(probe_ids)
+            if missing:
+                quality.drop(
+                    STAGE, DropReason.NO_VALID_BINS, n=missing,
+                    detail=(
+                        f"{missing} probes have metadata but no series"
+                    ),
+                )
+        if not probe_ids:
+            raise EmptyPopulationError(
+                f"no probes to aggregate (requested {len(requested)})"
             )
-    if not probe_ids:
-        raise EmptyPopulationError(
-            f"no probes to aggregate (requested {len(requested)})"
-        )
 
-    stacked = np.vstack([
-        probe_queuing_delay(dataset.series[p], min_traceroutes)
-        for p in probe_ids
-    ])
-    if quality is not None:
-        dead = int(np.sum(np.all(np.isnan(stacked), axis=1)))
-        if dead:
-            quality.degrade(
-                STAGE, DropReason.NO_VALID_BINS, n=dead,
-                detail=f"{dead} probes contributed no valid bin",
-            )
-    contributing = np.sum(~np.isnan(stacked), axis=0)
-    with warnings.catch_warnings():
-        # All-NaN bins (every probe invalid) legitimately yield NaN.
-        warnings.simplefilter("ignore", RuntimeWarning)
-        medians = np.nanmedian(stacked, axis=0)
-    medians = np.where(contributing >= min_probes_per_bin, medians, np.nan)
-    return AggregatedSignal(
-        grid=dataset.grid,
-        delay_ms=medians,
-        probe_count=len(probe_ids),
-        contributing=contributing,
-    )
+        stacked = np.vstack([
+            probe_queuing_delay(dataset.series[p], min_traceroutes)
+            for p in probe_ids
+        ])
+        if quality is not None:
+            dead = int(np.sum(np.all(np.isnan(stacked), axis=1)))
+            if dead:
+                quality.degrade(
+                    STAGE, DropReason.NO_VALID_BINS, n=dead,
+                    detail=f"{dead} probes contributed no valid bin",
+                )
+        contributing = np.sum(~np.isnan(stacked), axis=0)
+        with warnings.catch_warnings():
+            # All-NaN bins (every probe invalid) legitimately yield NaN.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            medians = np.nanmedian(stacked, axis=0)
+        medians = np.where(
+            contributing >= min_probes_per_bin, medians, np.nan
+        )
+        obs.items_out(STAGE, len(probe_ids))
+        return AggregatedSignal(
+            grid=dataset.grid,
+            delay_ms=medians,
+            probe_count=len(probe_ids),
+            contributing=contributing,
+        )
 
 
 def probes_with_daily_delay_over(

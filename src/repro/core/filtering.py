@@ -19,10 +19,11 @@ from typing import Dict, Iterable, List, Optional
 from ..atlas.traceroute import ProbeMeta
 from ..bgp import RoutingTable
 from ..netbase import parse_address
+from ..obs import get_observer
 from ..quality import DataQualityReport, DropReason
 from ..topology.geo import GREATER_TOKYO_NAMES
 
-STAGE = "core.filtering"
+STAGE = "core-filtering"
 
 
 def resolve_probe_asn(
@@ -126,26 +127,36 @@ def asns_with_min_probes(
     ``quality`` given, every probe considered is counted as ingested
     and unresolvable probes are dropped with a reason code.
     """
-    by_asn: Dict[int, List[int]] = {}
-    for prb_id, meta in probe_meta.items():
-        if meta.is_anchor:
-            continue
-        if quality is not None:
-            quality.ingest(STAGE)
-        asn = (
-            resolve_probe_asn(meta, table, quality=quality)
-            if table is not None else meta.asn
+    obs = get_observer()
+    with obs.stage_span("filter", probes=len(probe_meta)) as span:
+        by_asn: Dict[int, List[int]] = {}
+        considered = 0
+        for prb_id, meta in probe_meta.items():
+            if meta.is_anchor:
+                continue
+            considered += 1
+            if quality is not None:
+                quality.ingest(STAGE)
+            asn = (
+                resolve_probe_asn(meta, table, quality=quality)
+                if table is not None else meta.asn
+            )
+            if asn is None:
+                if table is None and quality is not None:
+                    quality.drop(
+                        STAGE, DropReason.UNRESOLVED_ASN,
+                        detail=f"probe {prb_id}: no metadata ASN",
+                    )
+                continue
+            by_asn.setdefault(asn, []).append(prb_id)
+        groups = {
+            asn: sorted(ids)
+            for asn, ids in sorted(by_asn.items())
+            if len(ids) >= min_probes
+        }
+        obs.items_in(STAGE, considered)
+        obs.items_out(
+            STAGE, sum(len(ids) for ids in groups.values())
         )
-        if asn is None:
-            if table is None and quality is not None:
-                quality.drop(
-                    STAGE, DropReason.UNRESOLVED_ASN,
-                    detail=f"probe {prb_id}: no metadata ASN",
-                )
-            continue
-        by_asn.setdefault(asn, []).append(prb_id)
-    return {
-        asn: sorted(ids)
-        for asn, ids in sorted(by_asn.items())
-        if len(ids) >= min_probes
-    }
+        span.set_attr("asns", len(groups))
+        return groups

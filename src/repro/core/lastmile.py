@@ -24,6 +24,7 @@ import numpy as np
 
 from ..netbase import is_private, is_public, parse_address
 from ..atlas.traceroute import Hop, TracerouteResult
+from ..obs import get_observer, maybe_profiled
 from ..quality import DataQualityReport, DropReason
 from ..timebase import TimeGrid
 from .series import LastMileDataset, ProbeBinSeries
@@ -31,7 +32,7 @@ from .series import LastMileDataset, ProbeBinSeries
 #: The paper's disconnected-probe sanity threshold.
 MIN_TRACEROUTES_PER_BIN = 3
 
-STAGE = "core.lastmile"
+STAGE = "core-lastmile"
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,7 @@ def find_boundary(result: TracerouteResult) -> Optional[BoundaryHops]:
     return None
 
 
+@maybe_profiled("core-lastmile.lastmile_samples")
 def lastmile_samples(result: TracerouteResult) -> List[float]:
     """Per-traceroute last-mile RTT samples (up to 9).
 
@@ -152,10 +154,13 @@ def estimate_probe_series(
     """
     if sample_fn is None:
         sample_fn = lastmile_samples
+    obs = get_observer()
+    processed = 0
     duration = grid.num_bins * grid.bin_seconds
     samples_per_bin: Dict[int, List[float]] = {}
     counts = np.zeros(grid.num_bins, dtype=np.int64)
     for result in results:
+        processed += 1
         if prb_id is None:
             prb_id = result.prb_id
         if quality is not None:
@@ -193,9 +198,13 @@ def estimate_probe_series(
         raise ValueError("empty result set and no prb_id given")
 
     medians = np.full(grid.num_bins, np.nan)
+    valid_bins = 0
     for bin_index, samples in samples_per_bin.items():
         if counts[bin_index] >= min_traceroutes:
             medians[bin_index] = float(np.median(samples))
+            valid_bins += 1
+    obs.items_in(STAGE, processed)
+    obs.items_out(STAGE, valid_bins)
     return ProbeBinSeries(
         prb_id=prb_id,
         median_rtt_ms=medians,
@@ -212,13 +221,17 @@ def estimate_dataset(
     quality: Optional[DataQualityReport] = None,
 ) -> LastMileDataset:
     """Run the estimation for every probe of a measurement dataset."""
-    dataset = LastMileDataset(grid=grid)
-    for prb_id, results in results_by_probe.items():
-        series = estimate_probe_series(
-            results, grid, prb_id=prb_id,
-            min_traceroutes=min_traceroutes, sample_fn=sample_fn,
-            quality=quality,
-        )
-        meta = probe_meta.get(prb_id) if probe_meta else None
-        dataset.add(series, meta=meta)
-    return dataset
+    obs = get_observer()
+    with obs.stage_span(
+        "lastmile", probes=len(results_by_probe)
+    ):
+        dataset = LastMileDataset(grid=grid)
+        for prb_id, results in results_by_probe.items():
+            series = estimate_probe_series(
+                results, grid, prb_id=prb_id,
+                min_traceroutes=min_traceroutes, sample_fn=sample_fn,
+                quality=quality,
+            )
+            meta = probe_meta.get(prb_id) if probe_meta else None
+            dataset.add(series, meta=meta)
+        return dataset

@@ -22,7 +22,10 @@ from typing import Optional, Tuple
 import numpy as np
 from scipy import signal as sp_signal
 
+from ..obs import get_observer, maybe_profiled
 from ..timebase import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+STAGE = "core-spectral"
 
 #: The daily frequency in cycles per hour (the paper's x = 1/24).
 DAILY_FREQUENCY_CPH = 1.0 / 24.0
@@ -85,6 +88,7 @@ def fill_gaps(values: np.ndarray) -> np.ndarray:
     return filled
 
 
+@maybe_profiled("core-spectral.welch_periodogram")
 def welch_periodogram(
     values: np.ndarray,
     bin_seconds: int,
@@ -153,25 +157,29 @@ def extract_markers(
     series whose NaN gap fraction exceeds ``max_gap_fraction``, and
     series too short for even one Welch segment.
     """
-    values = np.asarray(values, dtype=np.float64)
-    if values.ndim != 1 or values.size < 2:
-        return None
-    nan_fraction = float(np.mean(np.isnan(values)))
-    if nan_fraction > max_gap_fraction:
-        return None
-    filled = fill_gaps(values)
-    if np.allclose(filled, filled[0]):
-        return None
-    try:
-        periodogram = welch_periodogram(
-            filled, bin_seconds, segment_days
+    obs = get_observer()
+    with obs.stage_span("spectral", bins=int(np.size(values))):
+        obs.items_in(STAGE)
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1 or values.size < 2:
+            return None
+        nan_fraction = float(np.mean(np.isnan(values)))
+        if nan_fraction > max_gap_fraction:
+            return None
+        filled = fill_gaps(values)
+        if np.allclose(filled, filled[0]):
+            return None
+        try:
+            periodogram = welch_periodogram(
+                filled, bin_seconds, segment_days
+            )
+            frequency, amplitude = periodogram.prominent()
+        except ValueError:
+            return None  # too short for Welch / for the prominence scan
+        daily = periodogram.amplitude_at(DAILY_FREQUENCY_CPH)
+        obs.items_out(STAGE)
+        return SpectralMarkers(
+            prominent_frequency_cph=frequency,
+            prominent_amplitude_ms=amplitude,
+            daily_amplitude_ms=daily,
         )
-        frequency, amplitude = periodogram.prominent()
-    except ValueError:
-        return None  # too short for Welch / for the prominence scan
-    daily = periodogram.amplitude_at(DAILY_FREQUENCY_CPH)
-    return SpectralMarkers(
-        prominent_frequency_cph=frequency,
-        prominent_amplitude_ms=amplitude,
-        daily_amplitude_ms=daily,
-    )

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..apnic import EyeballRanking, RANK_BUCKETS, bucket_for_rank
 from ..netbase.errors import TransientFaultError
+from ..obs import get_observer
 from ..quality import DataQualityReport, DropReason
 from ..timebase import MeasurementPeriod
 from .aggregate import aggregate_population
@@ -31,7 +32,7 @@ from .filtering import asns_with_min_probes
 from .series import LastMileDataset
 from .spectral import extract_markers
 
-STAGE = "core.survey"
+STAGE = "core-survey"
 
 
 @dataclass(frozen=True)
@@ -165,53 +166,105 @@ def classify_dataset(
     continues — one poisoned AS yields a partial result with a failure
     log, never a crashed survey.
     """
+    obs = get_observer()
+    log = obs.logger.bind(stage=STAGE, period=period.name)
     result = SurveyResult(
         period=period,
         quality=quality if quality is not None else DataQualityReport(),
     )
     quality = result.quality
-    groups = asns_with_min_probes(
-        dataset.probe_meta, min_probes=min_probes, table=table,
-        quality=quality,
-    )
-    for asn, probe_ids in groups.items():
-        attempts = 0
-        while True:
-            attempts += 1
-            try:
-                signal = aggregate_population(
-                    dataset, probe_ids, quality=quality
-                )
-                markers = extract_markers(
-                    signal.delay_ms, dataset.grid.bin_seconds
-                )
-                break
-            except TransientFaultError as exc:
-                if attempts < max_attempts:
-                    continue
-                _record_failure(result, asn, exc, attempts)
-                signal = None
-                break
-            except Exception as exc:  # noqa: BLE001 — per-AS isolation
-                _record_failure(result, asn, exc, attempts)
-                signal = None
-                break
-        if signal is None:
-            continue
-        if markers is None:
-            quality.degrade(
-                STAGE, DropReason.DEGENERATE_SIGNAL,
-                detail=f"AS{asn}: signal too flat/short/gappy; "
-                "classified None",
-            )
-        result.reports[asn] = ASReport(
-            asn=asn,
-            probe_count=len(probe_ids),
-            classification=classify_markers(markers, thresholds),
+    with obs.stage_span(
+        "classify-dataset", period=period.name
+    ) as outer:
+        groups = asns_with_min_probes(
+            dataset.probe_meta, min_probes=min_probes, table=table,
+            quality=quality,
         )
-        if keep_signals:
-            result.signals[asn] = signal
+        obs.items_in(STAGE, len(groups))
+        log.info("classify-start", ases=len(groups))
+        for asn, probe_ids in groups.items():
+            # One span per AS (aggregate/spectral nest under it) so
+            # the renderer can collapse the fan-out into one line.
+            with obs.span("classify", asn=asn):
+                attempts = 0
+                while True:
+                    attempts += 1
+                    try:
+                        signal = aggregate_population(
+                            dataset, probe_ids, quality=quality
+                        )
+                        markers = extract_markers(
+                            signal.delay_ms, dataset.grid.bin_seconds
+                        )
+                        break
+                    except TransientFaultError as exc:
+                        if attempts < max_attempts:
+                            continue
+                        _record_failure(result, asn, exc, attempts)
+                        log.warning(
+                            "as-failed", asn=asn,
+                            error=type(exc).__name__, attempts=attempts,
+                        )
+                        signal = None
+                        break
+                    except Exception as exc:  # noqa: BLE001 — per-AS isolation
+                        _record_failure(result, asn, exc, attempts)
+                        log.warning(
+                            "as-failed", asn=asn,
+                            error=type(exc).__name__, attempts=attempts,
+                        )
+                        signal = None
+                        break
+                if signal is None:
+                    continue
+                if markers is None:
+                    quality.degrade(
+                        STAGE, DropReason.DEGENERATE_SIGNAL,
+                        detail=f"AS{asn}: signal too flat/short/gappy; "
+                        "classified None",
+                    )
+                classification = classify_markers(markers, thresholds)
+                result.reports[asn] = ASReport(
+                    asn=asn,
+                    probe_count=len(probe_ids),
+                    classification=classification,
+                )
+                if keep_signals:
+                    result.signals[asn] = signal
+        obs.items_out(STAGE, len(result.reports))
+        outer.set_attr("reported", len(result.reported_asns()))
+        outer.set_attr("failures", len(result.failures))
+        _record_survey_metrics(obs, result)
+        log.info(
+            "classify-done",
+            monitored=result.monitored_count,
+            reported=len(result.reported_asns()),
+            failures=len(result.failures),
+        )
     return result
+
+
+def _record_survey_metrics(obs, result: SurveyResult) -> None:
+    """Mirror one period's outcome + quality ledger into the registry."""
+    if not obs.enabled:
+        return
+    severity_counter = obs.counter(
+        "survey_as_classified_total",
+        "AS classifications per period and severity",
+        ("period", "severity"),
+    )
+    for severity, count in result.severity_counts().items():
+        if count:
+            severity_counter.inc(
+                count, period=result.period.name,
+                severity=severity.value,
+            )
+    if result.failures:
+        obs.counter(
+            "survey_as_failures_total",
+            "ASes the survey gave up on", ("period",),
+        ).inc(len(result.failures), period=result.period.name)
+    obs.record_quality(result.quality)
 
 
 def _record_failure(

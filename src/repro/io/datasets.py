@@ -22,13 +22,14 @@ from ..atlas.traceroute import (
     parse_result,
 )
 from ..netbase.errors import MeasurementDataError
+from ..obs import get_observer
 from ..quality import DataQualityReport, DropReason
 from ..timebase import MeasurementPeriod, TimeGrid
 from ..core.series import LastMileDataset, ProbeBinSeries
 
 PathLike = Union[str, Path]
 
-LOAD_STAGE = "io.load_traceroutes"
+LOAD_STAGE = "io-load-traceroutes"
 
 
 def save_traceroutes(dataset: MeasurementDataset, path: PathLike) -> int:
@@ -68,12 +69,17 @@ def load_traceroutes(
     created if not supplied; it is returned on ``dataset.quality``).
     """
     path = Path(path)
+    obs = get_observer()
     if quality is None:
         quality = DataQualityReport()
     dataset = MeasurementDataset(quality=quality)
     seen: set = set()
-    with path.open() as handle:
+    lines_read = 0
+    with obs.stage_span(
+        "load", path=str(path), strict=strict
+    ) as span, path.open() as handle:
         for number, line in enumerate(handle, start=1):
+            lines_read += 1
             line = line.strip()
             if not line:
                 continue
@@ -111,17 +117,26 @@ def load_traceroutes(
                     continue
                 seen.add(key)
             dataset.add(result)
-    if not strict:
-        resorted = dataset.sort_results()
-        if resorted:
-            quality.degrade(
-                LOAD_STAGE, DropReason.OUT_OF_ORDER, n=resorted,
-                detail=f"{resorted} probe streams re-sorted",
-            )
-    meta_path = path.with_suffix(path.suffix + ".meta.json")
-    if meta_path.exists():
-        for key, entry in json.loads(meta_path.read_text()).items():
-            dataset.probe_meta[int(key)] = _meta_from_dict(entry)
+        if not strict:
+            resorted = dataset.sort_results()
+            if resorted:
+                quality.degrade(
+                    LOAD_STAGE, DropReason.OUT_OF_ORDER, n=resorted,
+                    detail=f"{resorted} probe streams re-sorted",
+                )
+        meta_path = path.with_suffix(path.suffix + ".meta.json")
+        if meta_path.exists():
+            for key, entry in json.loads(meta_path.read_text()).items():
+                dataset.probe_meta[int(key)] = _meta_from_dict(entry)
+        kept = sum(
+            len(results) for results in dataset.results.values()
+        )
+        obs.items_in(LOAD_STAGE, lines_read)
+        obs.items_out(LOAD_STAGE, kept)
+        span.set_attr("records", kept)
+        obs.logger.bind(stage=LOAD_STAGE).info(
+            "load-done", path=str(path), lines=lines_read, kept=kept,
+        )
     return dataset
 
 

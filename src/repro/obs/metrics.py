@@ -1,0 +1,391 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry is the pipeline's numeric telemetry store.  Design
+constraints, in order:
+
+* **cheap in hot loops** — one instrument handle resolved outside the
+  loop increments with a single dict operation; no locks, no string
+  formatting, no timestamping on the write path;
+* **labelled** — every instrument carries a fixed label schema (e.g.
+  ``("stage",)``) and each label combination is an independent series,
+  Prometheus-style;
+* **exportable** — the whole registry renders as JSON
+  (:meth:`MetricsRegistry.to_dict`) and as the Prometheus text
+  exposition format (:meth:`MetricsRegistry.to_prometheus`), and loads
+  back from the JSON form for offline report rendering.
+
+Like :mod:`repro.quality`, the module is stdlib-only so every layer
+can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets, in seconds: spans stage durations from
+#: sub-millisecond trie lookups to multi-minute survey periods.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
+    60.0, 300.0,
+)
+
+
+def _label_key(
+    label_names: Sequence[str], labels: Dict[str, str]
+) -> LabelKey:
+    if set(labels) != set(label_names):
+        raise ValueError(
+            f"expected labels {sorted(label_names)}, "
+            f"got {sorted(labels)}"
+        )
+    return tuple((name, str(labels[name])) for name in label_names)
+
+
+class _Instrument:
+    """Shared naming/labelling machinery of one named instrument."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str]):
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+
+    def _key(self, labels: Dict[str, str]) -> LabelKey:
+        return _label_key(self.label_names, labels)
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count, one series per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name, help, label_names=()):
+        super().__init__(name, help, label_names)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, n: float = 1, **labels: str) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0) + n
+
+    def labels(self, **labels: str) -> "BoundCounter":
+        """Pre-resolve a label set for hot loops (one dict op per inc)."""
+        return BoundCounter(self._values, self._key(labels))
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def samples(self) -> Iterator[Tuple[LabelKey, float]]:
+        yield from sorted(self._values.items())
+
+
+class BoundCounter:
+    """A counter bound to one label set — the hot-loop handle."""
+
+    __slots__ = ("_values", "_key")
+
+    def __init__(self, values: Dict[LabelKey, float], key: LabelKey):
+        self._values = values
+        self._key = key
+        values.setdefault(key, 0)
+
+    def inc(self, n: float = 1) -> None:
+        self._values[self._key] += n
+
+
+class Gauge(_Instrument):
+    """Point-in-time value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help, label_names=()):
+        super().__init__(name, help, label_names)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[self._key(labels)] = value
+
+    def add(self, n: float = 1, **labels: str) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0) + n
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def samples(self) -> Iterator[Tuple[LabelKey, float]]:
+        yield from sorted(self._values.items())
+
+
+class _HistogramSeries:
+    """One label set's bucket counts + running sum/count."""
+
+    __slots__ = ("bucket_counts", "total", "count", "minimum", "maximum")
+
+    def __init__(self, num_buckets: int):
+        self.bucket_counts = [0] * (num_buckets + 1)  # +1 = +Inf
+        self.total = 0.0
+        self.count = 0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram (cumulative buckets, Prometheus-style)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, label_names=(),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help, label_names)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("need at least one bucket bound")
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def _get(self, key: LabelKey) -> _HistogramSeries:
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries(len(self.buckets))
+            self._series[key] = series
+        return series
+
+    def observe(self, value: float, **labels: str) -> None:
+        series = self._get(self._key(labels))
+        index = len(self.buckets)  # +Inf slot
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        series.bucket_counts[index] += 1
+        series.total += value
+        series.count += 1
+        series.minimum = min(series.minimum, value)
+        series.maximum = max(series.maximum, value)
+
+    def count(self, **labels: str) -> int:
+        series = self._series.get(self._key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels: str) -> float:
+        series = self._series.get(self._key(labels))
+        return series.total if series else 0.0
+
+    def samples(self) -> Iterator[Tuple[LabelKey, _HistogramSeries]]:
+        yield from sorted(self._series.items())
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create, with JSON/Prometheus export.
+
+    Re-requesting a name returns the existing instrument; a kind or
+    label-schema mismatch on re-request is a programming error and
+    raises.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls, name, help, label_names, **kwargs):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"{name!r} already registered as {existing.kind}"
+                )
+            if existing.label_names != tuple(label_names):
+                raise ValueError(
+                    f"{name!r} label schema mismatch: "
+                    f"{existing.label_names} vs {tuple(label_names)}"
+                )
+            return existing
+        instrument = cls(name, help, label_names, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "",
+                label_names: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, label_names)
+
+    def gauge(self, name: str, help: str = "",
+              label_names: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, label_names)
+
+    def histogram(self, name: str, help: str = "",
+                  label_names: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, label_names, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    # -- export --------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable snapshot of every series."""
+        out: Dict = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            entry: Dict = {
+                "type": instrument.kind,
+                "help": instrument.help,
+                "labels": list(instrument.label_names),
+            }
+            if isinstance(instrument, Histogram):
+                entry["buckets"] = list(instrument.buckets)
+                entry["samples"] = [
+                    {
+                        "labels": dict(key),
+                        "bucket_counts": list(series.bucket_counts),
+                        "sum": series.total,
+                        "count": series.count,
+                        "min": (
+                            series.minimum if series.count else None
+                        ),
+                        "max": (
+                            series.maximum if series.count else None
+                        ),
+                    }
+                    for key, series in instrument.samples()
+                ]
+            else:
+                entry["samples"] = [
+                    {"labels": dict(key), "value": value}
+                    for key, value in instrument.samples()
+                ]
+            out[name] = entry
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_dict` output."""
+        registry = cls()
+        for name, entry in data.items():
+            label_names = tuple(entry.get("labels", ()))
+            kind = entry["type"]
+            if kind == "counter":
+                counter = registry.counter(
+                    name, entry.get("help", ""), label_names
+                )
+                for sample in entry["samples"]:
+                    counter.inc(sample["value"], **sample["labels"])
+            elif kind == "gauge":
+                gauge = registry.gauge(
+                    name, entry.get("help", ""), label_names
+                )
+                for sample in entry["samples"]:
+                    gauge.set(sample["value"], **sample["labels"])
+            elif kind == "histogram":
+                histogram = registry.histogram(
+                    name, entry.get("help", ""), label_names,
+                    buckets=entry["buckets"],
+                )
+                for sample in entry["samples"]:
+                    key = histogram._key(sample["labels"])
+                    series = histogram._get(key)
+                    series.bucket_counts = list(sample["bucket_counts"])
+                    series.total = sample["sum"]
+                    series.count = sample["count"]
+                    series.minimum = (
+                        sample["min"] if sample["min"] is not None
+                        else float("inf")
+                    )
+                    series.maximum = (
+                        sample["max"] if sample["max"] is not None
+                        else float("-inf")
+                    )
+            else:
+                raise ValueError(f"unknown instrument type {kind!r}")
+        return registry
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in self.names():
+            instrument = self._instruments[name]
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            if isinstance(instrument, Histogram):
+                for key, series in instrument.samples():
+                    cumulative = 0
+                    for bound, count in zip(
+                        instrument.buckets, series.bucket_counts
+                    ):
+                        cumulative += count
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_fmt_labels(key, le=_fmt_float(bound))}"
+                            f" {cumulative}"
+                        )
+                    cumulative += series.bucket_counts[-1]
+                    lines.append(
+                        f'{name}_bucket{_fmt_labels(key, le="+Inf")}'
+                        f" {cumulative}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_fmt_labels(key)}"
+                        f" {_fmt_float(series.total)}"
+                    )
+                    lines.append(
+                        f"{name}_count{_fmt_labels(key)} {series.count}"
+                    )
+            else:
+                for key, value in instrument.samples():
+                    lines.append(
+                        f"{name}{_fmt_labels(key)} {_fmt_float(value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable one-line-per-series rendering."""
+        lines: List[str] = []
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                for key, series in instrument.samples():
+                    if not series.count:
+                        continue
+                    mean = series.total / series.count
+                    lines.append(
+                        f"{name}{_fmt_labels(key)}: "
+                        f"count={series.count} "
+                        f"mean={mean:.6g} min={series.minimum:.6g} "
+                        f"max={series.maximum:.6g}"
+                    )
+            else:
+                for key, value in instrument.samples():
+                    lines.append(
+                        f"{name}{_fmt_labels(key)} = {_fmt_float(value)}"
+                    )
+        return lines
+
+
+def _fmt_float(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _fmt_labels(key: LabelKey, **extra: str) -> str:
+    pairs = list(key) + sorted(extra.items())
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(str(value))}"' for name, value in pairs
+    )
+    return "{" + inner + "}"

@@ -1,0 +1,191 @@
+"""Opt-in sampling profiler for hot pipeline functions.
+
+The pipeline's hot spots — pairwise RTT extraction, the Welch
+periodogram, trie longest-prefix lookups — run millions of times in a
+full survey, so even a cheap always-on wrapper would be measurable.
+The gate is therefore the ``REPRO_PROFILE`` environment variable read
+at *decoration* time: when unset (the default), :func:`maybe_profiled`
+returns the function object unchanged and the cost is exactly zero;
+when set, calls are counted and every N-th call is timed
+(``REPRO_PROFILE_SAMPLE``, default 16) so the profile itself stays
+cheap.
+
+    REPRO_PROFILE=1 python -m repro survey --trace ...
+
+The collected profile rides along in the observability report
+(``--metrics-out``) and renders with ``repro obs report``.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "PROFILE_ENV",
+    "SAMPLE_ENV",
+    "ProfileCollector",
+    "profiling_enabled",
+    "profiled",
+    "maybe_profiled",
+    "get_collector",
+    "reset_collector",
+]
+
+PROFILE_ENV = "REPRO_PROFILE"
+SAMPLE_ENV = "REPRO_PROFILE_SAMPLE"
+DEFAULT_SAMPLE_EVERY = 16
+
+
+def profiling_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` is set to a truthy value."""
+    return os.environ.get(PROFILE_ENV, "").lower() not in (
+        "", "0", "false", "off",
+    )
+
+
+def _sample_every() -> int:
+    try:
+        return max(1, int(os.environ.get(SAMPLE_ENV, "")))
+    except ValueError:
+        return DEFAULT_SAMPLE_EVERY
+
+
+class _FunctionProfile:
+    """Accumulated stats of one profiled function."""
+
+    __slots__ = ("calls", "sampled", "sampled_seconds", "max_seconds")
+
+    def __init__(self):
+        self.calls = 0
+        self.sampled = 0
+        self.sampled_seconds = 0.0
+        self.max_seconds = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return (
+            self.sampled_seconds / self.sampled if self.sampled else 0.0
+        )
+
+    @property
+    def estimated_total_seconds(self) -> float:
+        """Sampled time scaled to the full call count."""
+        return self.mean_seconds * self.calls
+
+
+class ProfileCollector:
+    """Per-function profiles, keyed by the name given at wrap time."""
+
+    def __init__(self):
+        self.functions: Dict[str, _FunctionProfile] = {}
+
+    def profile(self, name: str) -> _FunctionProfile:
+        entry = self.functions.get(name)
+        if entry is None:
+            entry = _FunctionProfile()
+            self.functions[name] = entry
+        return entry
+
+    @property
+    def empty(self) -> bool:
+        return not self.functions
+
+    def to_dict(self) -> Dict:
+        return {
+            name: {
+                "calls": entry.calls,
+                "sampled": entry.sampled,
+                "sampled_seconds": entry.sampled_seconds,
+                "mean_seconds": entry.mean_seconds,
+                "max_seconds": entry.max_seconds,
+                "estimated_total_seconds":
+                    entry.estimated_total_seconds,
+            }
+            for name, entry in sorted(self.functions.items())
+        }
+
+    def summary_lines(self) -> List[str]:
+        lines = []
+        ranked = sorted(
+            self.functions.items(),
+            key=lambda kv: -kv[1].estimated_total_seconds,
+        )
+        for name, entry in ranked:
+            lines.append(
+                f"{name}: {entry.calls} calls, "
+                f"~{entry.estimated_total_seconds:.3f}s total "
+                f"(mean {entry.mean_seconds * 1e6:.1f}µs, "
+                f"max {entry.max_seconds * 1e6:.1f}µs, "
+                f"{entry.sampled} sampled)"
+            )
+        return lines
+
+
+_collector = ProfileCollector()
+
+
+def get_collector() -> ProfileCollector:
+    """The process-wide collector the decorators feed."""
+    return _collector
+
+
+def reset_collector() -> ProfileCollector:
+    """Swap in a fresh collector (run isolation) and return it."""
+    global _collector
+    _collector = ProfileCollector()
+    return _collector
+
+
+def profiled(
+    fn: Callable,
+    name: Optional[str] = None,
+    sample_every: Optional[int] = None,
+    collector: Optional[ProfileCollector] = None,
+) -> Callable:
+    """Wrap ``fn`` with call counting + every-N-th-call timing.
+
+    Unconditional — used directly by tests and by
+    :func:`maybe_profiled` once the env gate has passed.  ``collector``
+    defaults to the process-wide one *at call time* so
+    :func:`reset_collector` takes effect on already-wrapped functions.
+    """
+    label = name or fn.__qualname__
+    every = sample_every or _sample_every()
+    perf_counter = time.perf_counter
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        active = collector or _collector
+        entry = active.profile(label)
+        entry.calls += 1
+        if entry.calls % every:
+            return fn(*args, **kwargs)
+        start = perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            elapsed = perf_counter() - start
+            entry.sampled += 1
+            entry.sampled_seconds += elapsed
+            if elapsed > entry.max_seconds:
+                entry.max_seconds = elapsed
+
+    wrapper.__wrapped_profile_name__ = label
+    return wrapper
+
+
+def maybe_profiled(name: str, sample_every: Optional[int] = None):
+    """Decorator: profile ``fn`` only when ``REPRO_PROFILE`` is set.
+
+    The gate is evaluated at decoration (import) time; with profiling
+    off the decorated function is returned untouched, so the steady-
+    state overhead of an un-profiled run is zero.
+    """
+    def decorate(fn: Callable) -> Callable:
+        if not profiling_enabled():
+            return fn
+        return profiled(fn, name=name, sample_every=sample_every)
+    return decorate

@@ -1,0 +1,291 @@
+"""Span-based tracing for pipeline runs.
+
+A :class:`Tracer` records a tree of :class:`Span` objects.  Each span
+carries wall-clock and CPU time, arbitrary attributes (stage, AS,
+period …) and an error marker when the traced block raised.  Spans
+nest through a plain stack — the pipeline is single-threaded per run,
+so no thread-local machinery is needed — and the finished tree renders
+as an indented report with repeated siblings collapsed (150 per-AS
+``aggregate`` spans show as one line with count/total/max, not 150
+lines).
+
+When tracing is off the pipeline goes through :class:`NullTracer`,
+whose ``span()`` hands back one shared no-op context manager: the cost
+of a disabled span is one method call and a dict build for the
+attributes, which is why spans sit at stage/AS granularity and never
+inside per-record loops.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "render_trace",
+    "render_trace_dict",
+]
+
+
+class Span:
+    """One timed, attributed node of the trace tree."""
+
+    __slots__ = (
+        "name", "attrs", "children", "error",
+        "_start_wall", "_start_cpu", "wall_seconds", "cpu_seconds",
+    )
+
+    def __init__(self, name: str, attrs: Dict):
+        self.name = name
+        self.attrs = attrs
+        self.children: List["Span"] = []
+        self.error: Optional[str] = None
+        self._start_wall = 0.0
+        self._start_cpu = 0.0
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+
+    def set_attr(self, key: str, value) -> None:
+        """Attach an attribute after the span has started."""
+        self.attrs[key] = value
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict:
+        out: Dict = {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Span":
+        span = cls(data["name"], dict(data.get("attrs", {})))
+        span.wall_seconds = float(data.get("wall_seconds", 0.0))
+        span.cpu_seconds = float(data.get("cpu_seconds", 0.0))
+        span.error = data.get("error")
+        span.children = [
+            cls.from_dict(child) for child in data.get("children", [])
+        ]
+        return span
+
+
+class _SpanContext:
+    """Context manager that opens/closes one span on a tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        span = self._span
+        stack = self._tracer._stack
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            self._tracer.roots.append(span)
+        stack.append(span)
+        span._start_wall = time.perf_counter()
+        span._start_cpu = time.process_time()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.wall_seconds = time.perf_counter() - span._start_wall
+        span.cpu_seconds = time.process_time() - span._start_cpu
+        if exc_type is not None:
+            span.error = exc_type.__name__
+        popped = self._tracer._stack.pop()
+        assert popped is span, "span stack corrupted"
+        return False  # never swallow
+
+
+class Tracer:
+    """Collects span trees for one run."""
+
+    def __init__(self):
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a child span of whatever span is currently active."""
+        return _SpanContext(self, Span(name, attrs))
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def find(self, name: str) -> List[Span]:
+        """Every finished span with the given name, depth-first."""
+        return [
+            span for root in self.roots
+            for span in root.walk() if span.name == name
+        ]
+
+    def to_dict(self) -> List[Dict]:
+        return [root.to_dict() for root in self.roots]
+
+    @classmethod
+    def from_dict(cls, data: List[Dict]) -> "Tracer":
+        tracer = cls()
+        tracer.roots = [Span.from_dict(entry) for entry in data]
+        return tracer
+
+
+class _NullSpanContext:
+    """Shared do-nothing span context."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class _NullSpan:
+    """Absorbs attribute writes on the disabled path."""
+
+    __slots__ = ()
+
+    def set_attr(self, key: str, value) -> None:
+        pass
+
+
+_NULL_CONTEXT = _NullSpanContext()
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracing disabled: every span is the shared no-op context."""
+
+    roots: List[Span] = []
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def span(self, name: str, **attrs) -> _NullSpanContext:
+        return _NULL_CONTEXT
+
+    def current(self) -> None:
+        return None
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+    def to_dict(self) -> List[Dict]:
+        return []
+
+
+# -- rendering -----------------------------------------------------------
+
+
+def _span_label(span: Span) -> str:
+    attrs = ""
+    if span.attrs:
+        inner = ", ".join(
+            f"{k}={v}" for k, v in sorted(span.attrs.items())
+        )
+        attrs = f" [{inner}]"
+    error = f" !{span.error}" if span.error else ""
+    return f"{span.name}{attrs}{error}"
+
+
+def _render_children(
+    children: List[Span], indent: str, lines: List[str],
+    collapse_over: int,
+) -> None:
+    # Names repeated collapse_over+ times among these siblings (the
+    # per-AS fan-out, consecutive or interleaved) collapse into one
+    # aggregate line at their first occurrence; everything else keeps
+    # its order.
+    tally: Dict[str, int] = {}
+    for span in children:
+        tally[span.name] = tally.get(span.name, 0) + 1
+    groups: List[List[Span]] = []
+    collapsed: Dict[str, List[Span]] = {}
+    for span in children:
+        if tally[span.name] >= collapse_over:
+            group = collapsed.get(span.name)
+            if group is None:
+                group = collapsed[span.name] = []
+                groups.append(group)
+            group.append(span)
+        else:
+            groups.append([span])
+    for group in groups:
+        if len(group) >= collapse_over:
+            wall = sum(s.wall_seconds for s in group)
+            cpu = sum(s.cpu_seconds for s in group)
+            slowest = max(group, key=lambda s: s.wall_seconds)
+            errors = sum(1 for s in group if s.error)
+            line = (
+                f"{indent}{group[0].name} ×{len(group)}  "
+                f"total {wall:.3f}s wall / {cpu:.3f}s cpu, "
+                f"slowest {slowest.wall_seconds:.3f}s"
+            )
+            if slowest.attrs:
+                inner = ", ".join(
+                    f"{k}={v}" for k, v in sorted(slowest.attrs.items())
+                )
+                line += f" [{inner}]"
+            if errors:
+                line += f", {errors} errored"
+            lines.append(line)
+            merged: List[Span] = []
+            for span in group:
+                merged.extend(span.children)
+            if merged:
+                _render_children(
+                    merged, indent + "  ", lines, collapse_over
+                )
+        else:
+            for span in group:
+                lines.append(
+                    f"{indent}{_span_label(span)}  "
+                    f"{span.wall_seconds:.3f}s wall / "
+                    f"{span.cpu_seconds:.3f}s cpu"
+                )
+                _render_children(
+                    span.children, indent + "  ", lines, collapse_over
+                )
+
+
+def render_trace(tracer: "Tracer", collapse_over: int = 4) -> str:
+    """Indented tree report of a tracer's finished spans.
+
+    Runs of ``collapse_over``-or-more same-named siblings are collapsed
+    into one count/total/slowest line (their children are merged and
+    rendered the same way), keeping survey traces readable at any AS
+    count.
+    """
+    lines: List[str] = []
+    _render_children(tracer.roots, "", lines, collapse_over)
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def render_trace_dict(data: List[Dict], collapse_over: int = 4) -> str:
+    """Render a serialized (:meth:`Tracer.to_dict`) trace tree."""
+    return render_trace(Tracer.from_dict(data), collapse_over)

@@ -42,6 +42,21 @@ class DropReason(enum.Enum):
     NO_VALID_BINS = "no-valid-bins"          # probe contributed nothing
     DEGENERATE_SIGNAL = "degenerate-signal"  # too short / gappy to classify
     AS_FAILURE = "as-failure"                # per-AS pipeline error isolated
+    # -- streaming -----------------------------------------------------
+    SPARSE_BIN = "sparse-bin"                # bin closed under the sanity
+    #                                          threshold (< 3 traceroutes)
+
+
+def normalize_stage(name: str) -> str:
+    """Canonical kebab-case form of a pipeline stage name.
+
+    Stage names double as quality-ledger keys *and* metrics labels, so
+    one spelling must win: lowercase with ``-`` separators
+    (``io.load_traceroutes`` → ``io-load-traceroutes``).  Every ledger
+    entry point normalizes through here, so callers using either
+    spelling land on the same entry.
+    """
+    return name.strip().lower().replace(".", "-").replace("_", "-")
 
 
 @dataclass(frozen=True)
@@ -86,9 +101,12 @@ class StageQuality:
 class DataQualityReport:
     """Pipeline-wide data-quality ledger, one ``StageQuality`` per stage.
 
-    Stages are keyed by dotted names mirroring the module that did the
-    work (``io.load_traceroutes``, ``core.filtering`` …).  The report
-    is additive: stages create themselves on first touch and reports
+    Stages are keyed by kebab-case names mirroring the module that did
+    the work (``io-load-traceroutes``, ``core-filtering`` …) — the same
+    strings the metrics registry uses as ``stage`` labels.  Names are
+    normalized through :func:`normalize_stage` on every touch, so
+    legacy dotted spellings resolve to the same entry.  The report is
+    additive: stages create themselves on first touch and reports
     merge across pipeline runs.
     """
 
@@ -98,7 +116,8 @@ class DataQualityReport:
     # -- recording -----------------------------------------------------
 
     def stage(self, name: str) -> StageQuality:
-        """Get-or-create the ledger of one stage."""
+        """Get-or-create the ledger of one stage (name normalized)."""
+        name = normalize_stage(name)
         entry = self.stages.get(name)
         if entry is None:
             entry = StageQuality(stage=name)
@@ -181,6 +200,8 @@ class DataQualityReport:
         return self._count("degraded", reason, stage)
 
     def _count(self, kind, reason, stage) -> int:
+        if stage is not None:
+            stage = normalize_stage(stage)
         stages = (
             [self.stages[stage]] if stage is not None and stage in self.stages
             else [] if stage is not None

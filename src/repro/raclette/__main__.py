@@ -23,6 +23,7 @@ from typing import Dict, Optional
 from ..atlas.traceroute import TracerouteResult
 from ..bgp import RoutingTable
 from ..netbase import parse_address
+from ..obs import Observability, observed, render_trace, write_report
 from ..quality import DropReason
 from .alerts import PrintSink
 from .monitor import STAGE, LastMileMonitor, MonitorConfig
@@ -49,6 +50,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--summary-top", type=int, default=10,
         help="ASes to list in the final summary",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="print the span tree after the stream ends",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the observability report (metrics + trace + "
+        "profile) as JSON; render with 'repro obs report PATH'",
     )
     return parser
 
@@ -87,6 +97,25 @@ def make_asn_resolver(rib_path: Optional[str]):
 
 def run(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if not (args.trace or args.metrics_out):
+        return _run_stream(args)
+    # The monitor binds its metric handles at construction, so the
+    # observer has to be live before _run_stream builds it.
+    with observed(Observability()) as obs:
+        code = _run_stream(args)
+    if args.trace:
+        print()
+        print(render_trace(obs.tracer))
+    if args.metrics_out:
+        write_report(obs, args.metrics_out)
+        print(f"wrote observability report to {args.metrics_out}")
+    return code
+
+
+def _run_stream(args) -> int:
+    from ..obs import get_observer
+
+    obs = get_observer()
     note_address, resolve = make_asn_resolver(args.rib)
     monitor = LastMileMonitor(
         asn_of=resolve,
@@ -100,32 +129,40 @@ def run(argv=None) -> int:
 
     handle = sys.stdin if args.results == "-" else open(args.results)
     try:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                monitor.quality.ingest(STAGE)
-                monitor.quality.drop(
-                    STAGE, DropReason.CORRUPT_LINE, detail=str(exc)
-                )
-                continue
-            try:
-                result = TracerouteResult.from_json(record)
-            except (KeyError, TypeError, ValueError) as exc:
-                monitor.quality.ingest(STAGE)
-                monitor.quality.drop(
-                    STAGE, DropReason.MALFORMED_RECORD, detail=str(exc)
-                )
-                continue
-            note_address(result.prb_id, result.from_address)
-            monitor.ingest(result)
+        with obs.stage_span("monitor-stream", src=args.results) as span:
+            lines_read = 0
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                lines_read += 1
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    monitor.quality.ingest(STAGE)
+                    monitor.quality.drop(
+                        STAGE, DropReason.CORRUPT_LINE, detail=str(exc)
+                    )
+                    continue
+                try:
+                    result = TracerouteResult.from_json(record)
+                except (KeyError, TypeError, ValueError) as exc:
+                    monitor.quality.ingest(STAGE)
+                    monitor.quality.drop(
+                        STAGE, DropReason.MALFORMED_RECORD,
+                        detail=str(exc),
+                    )
+                    continue
+                note_address(result.prb_id, result.from_address)
+                monitor.ingest(result)
+            monitor.flush()
+            obs.items_in(STAGE, lines_read)
+            obs.items_out(STAGE, monitor.results_seen)
+            span.set_attr("lines", lines_read)
     finally:
         if handle is not sys.stdin:
             handle.close()
-    monitor.flush()
+    obs.record_quality(monitor.quality)
 
     print()
     print(monitor.summary())

@@ -21,12 +21,13 @@ import numpy as np
 
 from ..atlas.traceroute import TracerouteResult
 from ..core.lastmile import MIN_TRACEROUTES_PER_BIN, lastmile_samples
+from ..obs import get_observer
 from ..quality import DataQualityReport, DropReason
 from ..timebase import DELAY_BIN_SECONDS
 from .alerts import Alert, AlertSink, ListSink
 from .sketch import ExactMedian, RollingMinimum
 
-STAGE = "raclette.monitor"
+STAGE = "raclette-monitor"
 
 
 @dataclass
@@ -107,9 +108,49 @@ class LastMileMonitor:
         self.results_seen = 0
         self.bins_closed = 0
         self.alerts_emitted = 0
+        #: Bins closed but not aggregated, keyed by the reason-code
+        #: string — never a bare count.
+        self.bins_skipped: Dict[str, int] = {}
         #: What the stream did to us: duplicates, stale stragglers,
         #: malformed records — dropped with reason codes, never a crash.
         self.quality = DataQualityReport()
+        obs = get_observer()
+        self._m_results = obs.counter(
+            "raclette_results_total", "traceroute results ingested"
+        ).labels()
+        self._m_bins_closed = obs.counter(
+            "raclette_bins_closed_total", "probe bins closed"
+        ).labels()
+        self._m_bins_skipped = obs.counter(
+            "raclette_bins_skipped_total",
+            "closed probe bins discarded before aggregation",
+            ("reason",),
+        )
+        self._m_records_skipped = obs.counter(
+            "raclette_records_skipped_total",
+            "ingested results dropped by the fault-tolerance path",
+            ("reason",),
+        )
+        self._m_alerts = obs.counter(
+            "raclette_alerts_total", "alerts emitted", ("kind",)
+        )
+        self._m_asns = obs.gauge(
+            "raclette_monitored_asns", "ASes with aggregated state"
+        )
+
+    def _drop_record(
+        self, reason: DropReason, detail: str
+    ) -> None:
+        """Reason-coded record skip: quality ledger + metrics."""
+        self.quality.drop(STAGE, reason, detail=detail)
+        self._m_records_skipped.inc(1, reason=reason.value)
+
+    def _skip_bin(self, reason: DropReason, detail: str) -> None:
+        """Reason-coded bin skip: local tally + ledger + metrics."""
+        key = reason.value
+        self.bins_skipped[key] = self.bins_skipped.get(key, 0) + 1
+        self.quality.drop(STAGE, reason, detail=detail)
+        self._m_bins_skipped.inc(1, reason=key)
 
     # -- ingestion -------------------------------------------------------
 
@@ -123,12 +164,13 @@ class LastMileMonitor:
         leave bins unclosed, which the rolling baseline rides out.
         """
         self.results_seen += 1
+        self._m_results.inc()
         self.quality.ingest(STAGE)
         timestamp = result.timestamp
         if not np.isfinite(timestamp):
-            self.quality.drop(
-                STAGE, DropReason.MALFORMED_RECORD,
-                detail=f"probe {result.prb_id}: timestamp {timestamp!r}",
+            self._drop_record(
+                DropReason.MALFORMED_RECORD,
+                f"probe {result.prb_id}: timestamp {timestamp!r}",
             )
             return
         bin_index = int(timestamp // self.config.bin_seconds)
@@ -145,9 +187,9 @@ class LastMileMonitor:
             state.reset(bin_index)
         elif bin_index != state.current_bin:
             if bin_index < state.current_bin:
-                self.quality.drop(
-                    STAGE, DropReason.STALE_RECORD,
-                    detail=f"probe {result.prb_id}: bin {bin_index} "
+                self._drop_record(
+                    DropReason.STALE_RECORD,
+                    f"probe {result.prb_id}: bin {bin_index} "
                     f"already closed (open bin {state.current_bin})",
                 )
                 return  # stale straggler: already closed that bin
@@ -156,9 +198,9 @@ class LastMileMonitor:
 
         key = (result.msm_id, timestamp)
         if key in state.seen:
-            self.quality.drop(
-                STAGE, DropReason.DUPLICATE_RECORD,
-                detail=f"probe {result.prb_id}: msm {result.msm_id} "
+            self._drop_record(
+                DropReason.DUPLICATE_RECORD,
+                f"probe {result.prb_id}: msm {result.msm_id} "
                 f"@{timestamp:.0f}s repeated",
             )
             return
@@ -168,9 +210,9 @@ class LastMileMonitor:
         try:
             samples = lastmile_samples(result)
         except (ValueError, TypeError) as exc:
-            self.quality.drop(
-                STAGE, DropReason.MALFORMED_RECORD,
-                detail=f"probe {result.prb_id}: {exc}",
+            self._drop_record(
+                DropReason.MALFORMED_RECORD,
+                f"probe {result.prb_id}: {exc}",
             )
             return
         if samples:
@@ -203,18 +245,37 @@ class LastMileMonitor:
 
     def _close_probe_bin(self, prb_id: int, state: _ProbeState) -> None:
         self.bins_closed += 1
+        self._m_bins_closed.inc()
         if state.count < self.config.min_traceroutes:
-            return  # the paper's disconnected-probe sanity check
+            # The paper's disconnected-probe sanity check.
+            self._skip_bin(
+                DropReason.SPARSE_BIN,
+                f"probe {prb_id}: bin {state.current_bin} closed with "
+                f"{state.count} < {self.config.min_traceroutes} "
+                "traceroutes",
+            )
+            return
         median = state.median.median()
         if median is None:
+            self._skip_bin(
+                DropReason.NO_VALID_BINS,
+                f"probe {prb_id}: bin {state.current_bin} had no "
+                "usable last-mile samples",
+            )
             return
         asn = self.asn_of(prb_id)
         if asn is None:
+            self._skip_bin(
+                DropReason.UNRESOLVED_ASN,
+                f"probe {prb_id}: no AS mapping; bin "
+                f"{state.current_bin} discarded",
+            )
             return
         as_state = self._ases.get(asn)
         if as_state is None:
             as_state = _ASState(self.config.baseline_window_bins)
             self._ases[asn] = as_state
+            self._m_asns.set(len(self._ases))
         as_state.pending.setdefault(state.current_bin, []).append(median)
 
     def _aggregate_ready(self, asn: int, up_to_bin: Optional[int]) -> None:
@@ -245,6 +306,7 @@ class LastMileMonitor:
             ):
                 state.alerting = True
                 self.alerts_emitted += 1
+                self._m_alerts.inc(1, kind="congestion-start")
                 self.sink.emit(Alert(
                     asn=asn,
                     start_bin=bin_index - cfg.alert_min_bins + 1,
@@ -255,6 +317,7 @@ class LastMileMonitor:
         else:
             if state.alerting:
                 self.alerts_emitted += 1
+                self._m_alerts.inc(1, kind="congestion-end")
                 self.sink.emit(Alert(
                     asn=asn,
                     start_bin=bin_index,
@@ -279,14 +342,20 @@ class LastMileMonitor:
         )
 
     def summary(self) -> str:
-        """One-line status for logs."""
+        """One-line status for logs, skips broken down by reason."""
         line = (
             f"raclette: {self.results_seen} results, "
             f"{self.bins_closed} probe-bins closed, "
             f"{len(self.monitored_asns())} ASes, "
             f"{self.alerts_emitted} alerts"
         )
-        dropped = self.quality.total_dropped
-        if dropped:
-            line += f", {dropped} dropped"
+        entry = self.quality.stages.get(STAGE)
+        if entry is not None and entry.dropped:
+            parts = [
+                f"{reason.value}={count}"
+                for reason, count in sorted(
+                    entry.dropped.items(), key=lambda kv: kv[0].value
+                )
+            ]
+            line += ", dropped: " + " ".join(parts)
         return line

@@ -307,21 +307,30 @@ def run_survey_period(
     isolation and quality accounting.  ``fault_log`` collects the
     injected ground truth.
     """
+    from ..obs import get_observer
+
     if lockdown is None:
         lockdown = period.name == "2020-04"
-    world, platform = build_survey_world(
-        specs, lockdown=lockdown, seed=seed, period_name=period.name
-    )
-    dataset = platform.run_period_binned(period)
-    if dataset_faults:
-        from ..faults import inject_dataset
+    obs = get_observer()
+    with obs.stage_span(
+        "survey-period", period=period.name, ases=len(specs),
+    ):
+        with obs.stage_span("load", period=period.name):
+            world, platform = build_survey_world(
+                specs, lockdown=lockdown, seed=seed,
+                period_name=period.name,
+            )
+            dataset = platform.run_period_binned(period)
+            if dataset_faults:
+                from ..faults import inject_dataset
 
-        inject_dataset(
-            dataset, dataset_faults, seed=fault_seed, log=fault_log
+                inject_dataset(
+                    dataset, dataset_faults, seed=fault_seed,
+                    log=fault_log,
+                )
+        result = classify_dataset(
+            dataset, period, min_probes=min_probes, table=world.table
         )
-    result = classify_dataset(
-        dataset, period, min_probes=min_probes, table=world.table
-    )
     return result, world
 
 

@@ -1,0 +1,11 @@
+"""Shared fixtures: never leak an observer into other test modules."""
+
+import pytest
+
+from repro.obs import NOOP, set_observer
+
+
+@pytest.fixture(autouse=True)
+def _reset_active_observer():
+    yield
+    set_observer(NOOP)

@@ -1,0 +1,64 @@
+"""Tests for the structured JSONL logger."""
+
+import io
+
+import pytest
+
+from repro.obs.log import StructuredLogger, read_jsonl
+
+
+class TestStructuredLogger:
+    def test_no_sink_is_silent_noop(self):
+        logger = StructuredLogger()
+        logger.info("event", value=1)  # must not raise
+
+    def test_emits_one_json_line_per_event(self):
+        sink = io.StringIO()
+        logger = StructuredLogger(sink=sink, clock=lambda: 123.456)
+        logger.info("period-start", ases=151)
+        records = read_jsonl(sink)
+        assert records == [{
+            "ts": 123.456,
+            "level": "info",
+            "event": "period-start",
+            "ases": 151,
+        }]
+
+    def test_bind_adds_context_without_mutating_parent(self):
+        sink = io.StringIO()
+        logger = StructuredLogger(sink=sink, clock=lambda: 0.0)
+        child = logger.bind(stage="core-survey", period="2019-09")
+        child.info("start")
+        logger.info("bare")
+        first, second = read_jsonl(sink)
+        assert first["stage"] == "core-survey"
+        assert first["period"] == "2019-09"
+        assert "stage" not in second
+
+    def test_call_fields_override_bound_context(self):
+        sink = io.StringIO()
+        logger = StructuredLogger(sink=sink, clock=lambda: 0.0)
+        logger.bind(asn=1).info("x", asn=2)
+        assert read_jsonl(sink)[0]["asn"] == 2
+
+    def test_level_filtering(self):
+        sink = io.StringIO()
+        logger = StructuredLogger(
+            sink=sink, level="warning", clock=lambda: 0.0
+        )
+        logger.debug("d")
+        logger.info("i")
+        logger.warning("w")
+        logger.error("e")
+        events = [r["event"] for r in read_jsonl(sink)]
+        assert events == ["w", "e"]
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            StructuredLogger(level="verbose")
+
+    def test_non_json_values_fall_back_to_str(self):
+        sink = io.StringIO()
+        logger = StructuredLogger(sink=sink, clock=lambda: 0.0)
+        logger.info("x", path=object())
+        assert "object" in read_jsonl(sink)[0]["path"]

@@ -1,0 +1,119 @@
+"""Tests for the opt-in sampling profiler."""
+
+import pytest
+
+from repro.obs.profile import (
+    PROFILE_ENV,
+    ProfileCollector,
+    SAMPLE_ENV,
+    maybe_profiled,
+    profiled,
+    profiling_enabled,
+)
+
+
+class TestEnvGate:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        assert not profiling_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", ""])
+    def test_falsy_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv(PROFILE_ENV, value)
+        assert not profiling_enabled()
+
+    def test_truthy_value_enables(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "1")
+        assert profiling_enabled()
+
+    def test_maybe_profiled_returns_fn_unchanged_when_off(
+        self, monkeypatch
+    ):
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+
+        def fn():
+            return 7
+
+        assert maybe_profiled("x")(fn) is fn
+
+    def test_maybe_profiled_wraps_when_on(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "1")
+        monkeypatch.setenv(SAMPLE_ENV, "1")
+
+        def fn():
+            return 7
+
+        wrapped = maybe_profiled("hot.fn")(fn)
+        assert wrapped is not fn
+        assert wrapped() == 7
+        assert wrapped.__wrapped_profile_name__ == "hot.fn"
+
+
+class TestProfiled:
+    def test_counts_every_call_samples_every_nth(self):
+        collector = ProfileCollector()
+        fn = profiled(
+            lambda: None, name="f", sample_every=4,
+            collector=collector,
+        )
+        for _ in range(8):
+            fn()
+        entry = collector.functions["f"]
+        assert entry.calls == 8
+        assert entry.sampled == 2
+        assert entry.sampled_seconds >= 0.0
+
+    def test_estimated_total_scales_mean_to_all_calls(self):
+        collector = ProfileCollector()
+        entry = collector.profile("f")
+        entry.calls = 100
+        entry.sampled = 10
+        entry.sampled_seconds = 0.5
+        assert entry.mean_seconds == pytest.approx(0.05)
+        assert entry.estimated_total_seconds == pytest.approx(5.0)
+
+    def test_sampling_times_even_raising_calls(self):
+        collector = ProfileCollector()
+
+        def boom():
+            raise RuntimeError("x")
+
+        fn = profiled(
+            boom, name="f", sample_every=1, collector=collector
+        )
+        with pytest.raises(RuntimeError):
+            fn()
+        entry = collector.functions["f"]
+        assert entry.calls == 1
+        assert entry.sampled == 1
+
+    def test_preserves_arguments_and_return(self):
+        collector = ProfileCollector()
+        fn = profiled(
+            lambda a, b=1: a + b, name="f", sample_every=1,
+            collector=collector,
+        )
+        assert fn(2, b=3) == 5
+
+
+class TestCollector:
+    def test_empty_property(self):
+        collector = ProfileCollector()
+        assert collector.empty
+        collector.profile("f")
+        assert not collector.empty
+
+    def test_to_dict_and_summary(self):
+        collector = ProfileCollector()
+        entry = collector.profile("hot.fn")
+        entry.calls = 32
+        entry.sampled = 2
+        entry.sampled_seconds = 0.002
+        entry.max_seconds = 0.0015
+        data = collector.to_dict()
+        assert data["hot.fn"]["calls"] == 32
+        assert data["hot.fn"]["estimated_total_seconds"] == (
+            pytest.approx(0.032)
+        )
+        lines = collector.summary_lines()
+        assert any("hot.fn" in line for line in lines)

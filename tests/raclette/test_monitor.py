@@ -275,3 +275,73 @@ class TestStreamFaultTolerance:
         assert monitor.monitored_asns() == [1]
         summary = monitor.summary()
         assert "dropped" in summary
+
+
+class TestReasonCodedSkips:
+    def test_sparse_bin_recorded_with_reason(self):
+        from repro.quality import DropReason
+
+        monitor = LastMileMonitor(asn_of=lambda p: 1)
+        monitor.ingest(synthetic_result(1, 0.0, 2.0))
+        monitor.ingest(synthetic_result(1, 60.0, 2.0))
+        monitor.flush()
+        assert monitor.bins_skipped == {"sparse-bin": 1}
+        assert monitor.quality.dropped_count(
+            DropReason.SPARSE_BIN
+        ) == 1
+
+    def test_unresolved_asn_recorded_with_reason(self):
+        from repro.quality import DropReason
+
+        monitor = LastMileMonitor(asn_of=lambda p: None)
+        feed_constant_bins(monitor, 1, [3.0, 3.0])
+        monitor.flush()
+        assert monitor.bins_skipped == {"unresolved-asn": 2}
+        assert monitor.quality.dropped_count(
+            DropReason.UNRESOLVED_ASN
+        ) == 2
+
+    def test_summary_breaks_drops_down_by_reason(self):
+        monitor = LastMileMonitor(asn_of=lambda p: 1)
+        feed_constant_bins(monitor, 1, [3.0, 3.0])
+        monitor.ingest(synthetic_result(1, 10.0, 50.0))  # stale
+        monitor.ingest(synthetic_result(1, float("nan"), 3.0))
+        monitor.flush()
+        summary = monitor.summary()
+        assert "stale-record=1" in summary
+        assert "malformed-record=1" in summary
+        assert "dropped:" in summary
+
+    def test_clean_stream_summary_has_no_drop_section(self):
+        monitor = LastMileMonitor(asn_of=lambda p: 1)
+        feed_constant_bins(monitor, 1, [3.0, 3.0])
+        monitor.flush()
+        assert "dropped" not in monitor.summary()
+
+
+class TestMonitorMetrics:
+    def test_metrics_recorded_under_live_observer(self):
+        from repro.obs import observed
+
+        with observed() as obs:
+            monitor = LastMileMonitor(asn_of=lambda p: 1)
+            feed_constant_bins(monitor, 1, [3.0, 3.0, 3.0])
+            monitor.ingest(synthetic_result(1, 10.0, 50.0))  # stale
+            monitor.flush()
+        assert obs.metrics.get("raclette_results_total").value() == (
+            monitor.results_seen
+        )
+        assert obs.metrics.get(
+            "raclette_bins_closed_total"
+        ).value() == monitor.bins_closed
+        assert obs.metrics.get(
+            "raclette_records_skipped_total"
+        ).value(reason="stale-record") == 1
+        assert obs.metrics.get("raclette_monitored_asns").value() == 1
+
+    def test_monitor_works_without_observer(self):
+        # Default NOOP observer: instruments absorb silently.
+        monitor = LastMileMonitor(asn_of=lambda p: 1)
+        feed_constant_bins(monitor, 1, [3.0])
+        monitor.flush()
+        assert monitor.bins_closed == 1

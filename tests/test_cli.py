@@ -135,3 +135,73 @@ class TestTokyoCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "ISP_A" in out and "Spearman" in out
+
+
+class TestObsFlags:
+    def test_obs_flags_parse(self):
+        args = build_parser().parse_args([
+            "survey", "--trace", "--metrics-out", "m.json",
+            "--log-jsonl", "events.jsonl",
+        ])
+        assert args.trace
+        assert args.metrics_out == "m.json"
+        assert args.log_jsonl == "events.jsonl"
+
+    def test_obs_report_defaults(self):
+        args = build_parser().parse_args(["obs", "report"])
+        assert args.path == "metrics.json"
+        assert not args.prometheus
+
+    def test_survey_with_metrics_out(self, tmp_path, capsys):
+        report_path = tmp_path / "metrics.json"
+        code = main([
+            "survey", "--ases", "12", "--countries", "4",
+            "--periods", "1", "--out", str(tmp_path / "site"),
+            "--trace", "--metrics-out", str(report_path),
+            "--log-jsonl", str(tmp_path / "events.jsonl"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "survey-period" in out  # the printed trace tree
+
+        import json
+
+        report = json.loads(report_path.read_text())
+        metrics = report["metrics"]
+        for name in (
+            "pipeline_items_in_total",
+            "pipeline_items_out_total",
+            "pipeline_duration_seconds",
+            "quality_ingested_total",
+        ):
+            assert name in metrics, name
+        stages = {
+            sample["labels"]["stage"]
+            for sample in metrics["pipeline_duration_seconds"]["samples"]
+        }
+        assert {
+            "survey-period", "load", "lastmile", "classify-dataset",
+            "filter", "aggregate", "spectral",
+        } <= stages
+        # Structured events landed in the JSONL sink.
+        events = [
+            json.loads(line) for line in
+            (tmp_path / "events.jsonl").read_text().splitlines()
+        ]
+        assert any(e["event"] == "classify-done" for e in events)
+
+        # The saved report renders back through `repro obs report`.
+        assert main(["obs", "report", str(report_path)]) == 0
+        rendered = capsys.readouterr().out
+        assert "== trace ==" in rendered
+        assert "== metrics ==" in rendered
+        assert main([
+            "obs", "report", str(report_path), "--prometheus",
+        ]) == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE pipeline_items_in_total counter" in prom
+
+    def test_obs_report_missing_file(self, tmp_path, capsys):
+        code = main(["obs", "report", str(tmp_path / "nope.json")])
+        assert code == 1
+        assert "no observability report" in capsys.readouterr().out

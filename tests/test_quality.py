@@ -93,3 +93,32 @@ class TestErrorTaxonomy:
         assert issubclass(EmptyPopulationError, ValueError)
         with pytest.raises(ValueError):
             raise EmptyPopulationError("no probes")
+
+
+class TestStageNameNormalization:
+    def test_normalize_stage_canonical_forms(self):
+        from repro.quality import normalize_stage
+
+        assert normalize_stage("io.load_traceroutes") == (
+            "io-load-traceroutes"
+        )
+        assert normalize_stage("Core_Survey") == "core-survey"
+        assert normalize_stage(" raclette-monitor ") == (
+            "raclette-monitor"
+        )
+        assert normalize_stage("core-filtering") == "core-filtering"
+
+    def test_legacy_dotted_and_kebab_share_one_entry(self):
+        quality = DataQualityReport()
+        quality.ingest("io.load_traceroutes", n=3)
+        quality.ingest("io-load-traceroutes", n=2)
+        assert list(quality.stages) == ["io-load-traceroutes"]
+        assert quality.stage("io.load_traceroutes").ingested == 5
+
+    def test_count_filters_accept_any_spelling(self):
+        quality = DataQualityReport()
+        quality.drop(
+            "core-filtering", DropReason.CORRUPT_LINE, n=2
+        )
+        assert quality.dropped_count(stage="core.filtering") == 2
+        assert quality.dropped_count(stage="core_filtering") == 2
