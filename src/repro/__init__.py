@@ -32,6 +32,7 @@ from . import (  # noqa: F401
     io,
     netbase,
     obs,
+    parallel,
     quality,
     queueing,
     raclette,
@@ -59,4 +60,5 @@ __all__ = [
     "quality",
     "obs",
     "faults",
+    "parallel",
 ]

@@ -55,6 +55,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     survey.add_argument("--out", default="survey-out",
                         help="directory for the exported site bundle")
+    survey.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard the survey across N worker processes (0 = one "
+        "per CPU; default: serial, or $REPRO_WORKERS if set)",
+    )
+    survey.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed per-AS result cache directory; "
+        "re-runs recompute only invalidated ASes",
+    )
+    survey.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir (neither read nor write entries)",
+    )
     _add_obs_flags(survey)
 
     tokyo = sub.add_parser(
@@ -227,11 +241,20 @@ def _run_survey(args) -> int:
     if args.covid:
         periods.append(COVID_PERIOD)
 
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        from .parallel import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+
     suite = SurveySuite()
     world = None
     for period in periods:
         print(f"running {period.name}...", flush=True)
-        result, world = run_survey_period(specs, period, seed=args.seed)
+        result, world = run_survey_period(
+            specs, period, seed=args.seed, workers=args.workers,
+            cache=cache,
+        )
         suite.add(result)
         print("  " + render_survey_headline(result))
         if result.failures:
@@ -247,6 +270,14 @@ def _run_survey(args) -> int:
                     "\n", "\n  "
                 )
             )
+
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"cache: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.corrupt} corrupt, {stats.writes} writes "
+            f"({cache.directory})"
+        )
 
     ranking = EyeballRanking.from_registry(
         world.registry, rng=np.random.default_rng(args.seed)

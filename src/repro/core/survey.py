@@ -143,6 +143,78 @@ class SurveyResult:
         ])
 
 
+def classify_single_asn(
+    dataset: LastMileDataset,
+    asn: int,
+    probe_ids: Sequence[int],
+    thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS,
+    quality: Optional[DataQualityReport] = None,
+    max_attempts: int = 2,
+    keep_signal: bool = False,
+    log=None,
+) -> Tuple[Optional[ASReport], Optional[ASFailure], Optional[object]]:
+    """Run the aggregate → spectral → classify chain for one AS.
+
+    The unit of work both the serial survey loop and the sharded
+    executor (:mod:`repro.parallel`) share, so the two paths cannot
+    drift.  Returns ``(report, failure, signal)`` where exactly one of
+    ``report``/``failure`` is set; ``signal`` is the aggregated signal
+    when ``keep_signal`` and classification succeeded.
+
+    Failures are isolated exactly as :func:`classify_dataset`
+    documents: :class:`TransientFaultError` is retried up to
+    ``max_attempts`` times, any terminal error becomes an
+    :class:`ASFailure` recorded on ``quality`` (never a raised
+    exception).
+    """
+    obs = get_observer()
+    if log is None:
+        log = obs.logger.bind(stage=STAGE)
+    with obs.span("classify", asn=asn):
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                signal = aggregate_population(
+                    dataset, probe_ids, quality=quality
+                )
+                markers = extract_markers(
+                    signal.delay_ms, dataset.grid.bin_seconds
+                )
+                break
+            except TransientFaultError as exc:
+                if attempts < max_attempts:
+                    continue
+                log.warning(
+                    "as-failed", asn=asn,
+                    error=type(exc).__name__, attempts=attempts,
+                )
+                return None, _build_failure(
+                    asn, exc, attempts, quality
+                ), None
+            except Exception as exc:  # noqa: BLE001 — per-AS isolation
+                log.warning(
+                    "as-failed", asn=asn,
+                    error=type(exc).__name__, attempts=attempts,
+                )
+                return None, _build_failure(
+                    asn, exc, attempts, quality
+                ), None
+        if markers is None and quality is not None:
+            quality.degrade(
+                STAGE, DropReason.DEGENERATE_SIGNAL,
+                detail=f"AS{asn}: signal too flat/short/gappy; "
+                "classified None",
+            )
+        classification = classify_markers(markers, thresholds)
+        report = ASReport(
+            asn=asn,
+            probe_count=len(probe_ids),
+            classification=classification,
+        )
+        return report, None, (signal if keep_signal else None)
+
+
 def classify_dataset(
     dataset: LastMileDataset,
     period: MeasurementPeriod,
@@ -152,6 +224,8 @@ def classify_dataset(
     keep_signals: bool = False,
     quality: Optional[DataQualityReport] = None,
     max_attempts: int = 2,
+    workers: Optional[int] = None,
+    cache=None,
 ) -> SurveyResult:
     """Classify every qualifying AS of one period's dataset.
 
@@ -165,7 +239,23 @@ def classify_dataset(
     ``result.failures`` (and on the quality ledger) while the survey
     continues — one poisoned AS yields a partial result with a failure
     log, never a crashed survey.
+
+    An explicit ``workers`` (or a ``cache``) routes through the
+    sharded executor (:func:`repro.parallel.classify_dataset_sharded`),
+    which produces identical results for any worker count.  Unlike the
+    scenario entry points, ``workers=None`` here always means the
+    serial loop below — the environment knob is not consulted, so
+    instrumentation-sensitive callers keep their span structure.
     """
+    if workers is not None or cache is not None:
+        from ..parallel import classify_dataset_sharded
+
+        return classify_dataset_sharded(
+            dataset, period, workers=workers or 1,
+            min_probes=min_probes, thresholds=thresholds, table=table,
+            keep_signals=keep_signals, quality=quality,
+            max_attempts=max_attempts, cache=cache,
+        )
     obs = get_observer()
     log = obs.logger.bind(stage=STAGE, period=period.name)
     result = SurveyResult(
@@ -185,52 +275,18 @@ def classify_dataset(
         for asn, probe_ids in groups.items():
             # One span per AS (aggregate/spectral nest under it) so
             # the renderer can collapse the fan-out into one line.
-            with obs.span("classify", asn=asn):
-                attempts = 0
-                while True:
-                    attempts += 1
-                    try:
-                        signal = aggregate_population(
-                            dataset, probe_ids, quality=quality
-                        )
-                        markers = extract_markers(
-                            signal.delay_ms, dataset.grid.bin_seconds
-                        )
-                        break
-                    except TransientFaultError as exc:
-                        if attempts < max_attempts:
-                            continue
-                        _record_failure(result, asn, exc, attempts)
-                        log.warning(
-                            "as-failed", asn=asn,
-                            error=type(exc).__name__, attempts=attempts,
-                        )
-                        signal = None
-                        break
-                    except Exception as exc:  # noqa: BLE001 — per-AS isolation
-                        _record_failure(result, asn, exc, attempts)
-                        log.warning(
-                            "as-failed", asn=asn,
-                            error=type(exc).__name__, attempts=attempts,
-                        )
-                        signal = None
-                        break
-                if signal is None:
-                    continue
-                if markers is None:
-                    quality.degrade(
-                        STAGE, DropReason.DEGENERATE_SIGNAL,
-                        detail=f"AS{asn}: signal too flat/short/gappy; "
-                        "classified None",
-                    )
-                classification = classify_markers(markers, thresholds)
-                result.reports[asn] = ASReport(
-                    asn=asn,
-                    probe_count=len(probe_ids),
-                    classification=classification,
-                )
-                if keep_signals:
-                    result.signals[asn] = signal
+            report, failure, signal = classify_single_asn(
+                dataset, asn, probe_ids,
+                thresholds=thresholds, quality=quality,
+                max_attempts=max_attempts, keep_signal=keep_signals,
+                log=log,
+            )
+            if failure is not None:
+                result.failures[asn] = failure
+                continue
+            result.reports[asn] = report
+            if keep_signals and signal is not None:
+                result.signals[asn] = signal
         obs.items_out(STAGE, len(result.reports))
         outer.set_attr("reported", len(result.reported_asns()))
         outer.set_attr("failures", len(result.failures))
@@ -267,18 +323,23 @@ def _record_survey_metrics(obs, result: SurveyResult) -> None:
     obs.record_quality(result.quality)
 
 
-def _record_failure(
-    result: SurveyResult, asn: int, exc: Exception, attempts: int
-) -> None:
-    result.failures[asn] = ASFailure(
+def _build_failure(
+    asn: int,
+    exc: Exception,
+    attempts: int,
+    quality: Optional[DataQualityReport],
+) -> ASFailure:
+    """An :class:`ASFailure` for one error, recorded on the ledger."""
+    if quality is not None:
+        quality.drop(
+            STAGE, DropReason.AS_FAILURE,
+            detail=f"AS{asn}: {type(exc).__name__}: {exc}",
+        )
+    return ASFailure(
         asn=asn,
         error=type(exc).__name__,
         message=str(exc),
         attempts=attempts,
-    )
-    result.quality.drop(
-        STAGE, DropReason.AS_FAILURE,
-        detail=f"AS{asn}: {type(exc).__name__}: {exc}",
     )
 
 
@@ -322,9 +383,14 @@ class SurveySuite:
 
         §3.1: "We observe little churn over the two years" — high
         similarity between consecutive periods' reported sets.
+        Periods missing from the suite (empty or single-period suites
+        probing arbitrary names) yield NaN rather than raising, so
+        longitudinal summaries degrade gracefully.
         """
         from .stats import churn_jaccard
 
+        if before not in self.results or after not in self.results:
+            return float("nan")
         return churn_jaccard(
             self.results[before].reported_asns(),
             self.results[after].reported_asns(),

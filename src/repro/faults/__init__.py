@@ -26,9 +26,11 @@ from .base import FaultEvent, FaultLog, RecordInjector, inject_records
 from .dataset import (
     BinLoss,
     DatasetInjector,
+    FaultKey,
     NaNBursts,
     PoisonAS,
     inject_dataset,
+    pin_dataset_faults,
 )
 from .lines import CorruptLines, corrupt_jsonl, inject_lines
 from .record import (
@@ -61,8 +63,10 @@ __all__ = [
     "inject_lines",
     "corrupt_jsonl",
     "DatasetInjector",
+    "FaultKey",
     "BinLoss",
     "NaNBursts",
     "PoisonAS",
     "inject_dataset",
+    "pin_dataset_faults",
 ]

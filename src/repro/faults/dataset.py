@@ -10,13 +10,25 @@ metadata present but measurement series missing, the
 metadata-without-data state real probe churn produces, which makes the
 AS unanalyzable and must be isolated by the survey, not crash it.
 
+Fault randomness is **content-keyed**: every draw comes from an RNG
+derived from ``(run seed, injector position, injector name, probe
+id)`` rather than from one sequential stream.  A probe therefore
+receives exactly the same faults whether the dataset holds the whole
+survey population or just one shard of it — the property the parallel
+executor's serial/parallel equivalence contract rests on.  Injectors
+whose *targets* are random (``PoisonAS`` without explicit ASNs)
+resolve them through :meth:`DatasetInjector.pin` against the full
+probe population before sharding.
+
 Injectors mutate the dataset in place and return it; run them on a
 dataset you built for the chaos run, not on a shared fixture.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,15 +36,61 @@ from ..core.series import LastMileDataset
 from .base import FaultLog
 
 
+@dataclass(frozen=True)
+class FaultKey:
+    """RNG derivation context for one injector application.
+
+    Seeds are content-keyed — ``(run seed, injector position in the
+    list, injector name, scope)`` — never drawn from a shared stream,
+    so two injectors of the same class at different positions fault
+    differently while any probe's draws are independent of which other
+    probes share its dataset.
+    """
+
+    seed: int
+    index: int
+    name: str
+
+    def _derive(self, *scope: int) -> np.random.Generator:
+        return np.random.default_rng([
+            self.seed % (2 ** 32),
+            self.index,
+            zlib.crc32(self.name.encode("ascii")),
+            *scope,
+        ])
+
+    def probe_rng(self, prb_id: int) -> np.random.Generator:
+        """Per-probe stream: identical in any shard holding the probe."""
+        return self._derive(int(prb_id))
+
+    def choice_rng(self) -> np.random.Generator:
+        """Population-level stream for random target selection."""
+        return self._derive(0x5E1EC7)
+
+
 class DatasetInjector:
     """Base class for injectors over :class:`LastMileDataset`."""
 
     name = "dataset-injector"
 
+    def pin(
+        self,
+        probe_meta: Mapping[int, object],
+        key: FaultKey,
+    ) -> "DatasetInjector":
+        """Resolve any random targets against the *full* population.
+
+        The parallel executor pins injectors once in the parent before
+        sharding, so every shard faults the same targets.  Injectors
+        without random targets return themselves; pinning is
+        idempotent.
+        """
+        return self
+
     def apply(
         self,
         dataset: LastMileDataset,
-        rng: np.random.Generator,
+        key: FaultKey,
         log: FaultLog,
     ) -> LastMileDataset:
         raise NotImplementedError
@@ -49,8 +107,9 @@ class BinLoss(DatasetInjector):
     def __init__(self, rate: float = 0.05):
         self.rate = rate
 
-    def apply(self, dataset, rng, log):
+    def apply(self, dataset, key, log):
         for prb_id in dataset.probe_ids():
+            rng = key.probe_rng(prb_id)
             series = dataset.series[prb_id]
             hit = rng.random(series.num_bins) < self.rate
             if not hit.any():
@@ -77,8 +136,9 @@ class NaNBursts(DatasetInjector):
         self.probe_rate = probe_rate
         self.max_run_bins = max_run_bins
 
-    def apply(self, dataset, rng, log):
+    def apply(self, dataset, key, log):
         for prb_id in dataset.probe_ids():
+            rng = key.probe_rng(prb_id)
             if rng.random() >= self.probe_rate:
                 continue
             series = dataset.series[prb_id]
@@ -117,9 +177,11 @@ class PoisonAS(DatasetInjector):
         self.count = count
         self.min_probes = min_probes
 
-    def _candidates(self, dataset: LastMileDataset) -> List[int]:
+    def _candidates(
+        self, probe_meta: Mapping[int, object]
+    ) -> List[int]:
         by_asn: Dict[int, int] = {}
-        for meta in dataset.probe_meta.values():
+        for meta in probe_meta.values():
             asn = getattr(meta, "asn", None)
             if asn is not None:
                 by_asn[asn] = by_asn.get(asn, 0) + 1
@@ -127,20 +189,34 @@ class PoisonAS(DatasetInjector):
             asn for asn, n in by_asn.items() if n >= self.min_probes
         )
 
-    def apply(self, dataset, rng, log):
+    def pin(self, probe_meta, key):
         if self.asns is not None:
-            targets = list(self.asns)
-        else:
-            candidates = self._candidates(dataset)
-            if not candidates:
-                return dataset
-            picks = rng.choice(
-                len(candidates),
-                size=min(self.count, len(candidates)),
-                replace=False,
+            return self
+        candidates = self._candidates(probe_meta)
+        if not candidates:
+            return PoisonAS(asns=[], min_probes=self.min_probes)
+        picks = key.choice_rng().choice(
+            len(candidates),
+            size=min(self.count, len(candidates)),
+            replace=False,
+        )
+        return PoisonAS(
+            asns=sorted(candidates[int(i)] for i in np.atleast_1d(picks)),
+            min_probes=self.min_probes,
+        )
+
+    def apply(self, dataset, key, log):
+        pinned = self.pin(dataset.probe_meta, key)
+        for asn in pinned.asns:
+            present = any(
+                getattr(meta, "asn", None) == asn
+                for meta in dataset.probe_meta.values()
             )
-            targets = [candidates[int(i)] for i in np.atleast_1d(picks)]
-        for asn in targets:
+            if not present:
+                # A shard without this AS's probes has nothing to
+                # poison; logging here would duplicate the event in
+                # every other shard.
+                continue
             removed = 0
             for prb_id, meta in dataset.probe_meta.items():
                 if getattr(meta, "asn", None) == asn:
@@ -153,6 +229,24 @@ class PoisonAS(DatasetInjector):
         return dataset
 
 
+def pin_dataset_faults(
+    injectors: Sequence[DatasetInjector],
+    probe_meta: Mapping[int, object],
+    seed: int = 0,
+) -> List[DatasetInjector]:
+    """Resolve every injector's random targets against the full population.
+
+    Returns a pinned injector list that faults identically whether
+    applied to the whole dataset or to per-shard slices of it.  The
+    derivation matches :func:`inject_dataset`, so pinning then
+    injecting equals injecting directly.
+    """
+    return [
+        injector.pin(probe_meta, FaultKey(seed, index, injector.name))
+        for index, injector in enumerate(injectors)
+    ]
+
+
 def inject_dataset(
     dataset: LastMileDataset,
     injectors: Sequence[DatasetInjector],
@@ -162,7 +256,7 @@ def inject_dataset(
     """Apply dataset injectors in order (mutates and returns dataset)."""
     if log is None:
         log = FaultLog()
-    rng = np.random.default_rng(seed)
-    for injector in injectors:
-        dataset = injector.apply(dataset, rng, log)
+    for index, injector in enumerate(injectors):
+        key = FaultKey(seed=seed, index=index, name=injector.name)
+        dataset = injector.apply(dataset, key, log)
     return dataset, log

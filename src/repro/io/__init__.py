@@ -11,6 +11,11 @@ from .datasets import (
 from .surveys import (
     export_site,
     load_suite,
+    markers_from_dict,
+    markers_to_dict,
+    quality_counts_dict,
+    report_from_dict,
+    report_to_dict,
     save_suite,
     survey_from_dict,
     survey_to_csv,
@@ -31,6 +36,11 @@ __all__ = [
     "load_lastmile",
     "survey_to_dict",
     "survey_from_dict",
+    "report_to_dict",
+    "report_from_dict",
+    "markers_to_dict",
+    "markers_from_dict",
+    "quality_counts_dict",
     "save_suite",
     "load_suite",
     "survey_to_csv",

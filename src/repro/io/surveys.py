@@ -17,14 +17,23 @@ from typing import Dict, Optional, Union
 from ..apnic import EyeballRanking
 from ..core.classify import Classification, Severity
 from ..core.spectral import SpectralMarkers
-from ..core.survey import ASReport, SurveyResult, SurveySuite
+from ..core.survey import ASFailure, ASReport, SurveyResult, SurveySuite
+from ..quality import DataQualityReport
 from ..timebase import MeasurementPeriod
 
 PathLike = Union[str, Path]
 
 
 def survey_to_dict(result: SurveyResult) -> Dict:
-    """JSON-serializable form of one period's survey."""
+    """JSON-serializable form of one period's survey.
+
+    Besides the classifications, the dump carries the failure log and
+    the counts-only quality ledger, so two runs compare byte-for-byte
+    on everything the pipeline decided — the serial/parallel
+    equivalence suite relies on that.  Quarantine *samples* are
+    excluded: their retention order is an artifact of processing
+    order, not an analysis outcome.
+    """
     return {
         "period": {
             "name": result.period.name,
@@ -32,17 +41,44 @@ def survey_to_dict(result: SurveyResult) -> Dict:
             "days": result.period.days,
         },
         "reports": {
-            str(asn): {
-                "probe_count": report.probe_count,
-                "severity": report.severity.value,
-                "markers": _markers_to_dict(report.classification.markers),
-            }
+            str(asn): report_to_dict(report)
             for asn, report in sorted(result.reports.items())
         },
+        "failures": {
+            str(asn): {
+                "error": failure.error,
+                "message": failure.message,
+                "attempts": failure.attempts,
+            }
+            for asn, failure in sorted(result.failures.items())
+        },
+        "quality": quality_counts_dict(result.quality),
     }
 
 
-def _markers_to_dict(markers: Optional[SpectralMarkers]):
+def report_to_dict(report: ASReport) -> Dict:
+    """JSON-serializable form of one AS's classification."""
+    return {
+        "probe_count": report.probe_count,
+        "severity": report.severity.value,
+        "markers": markers_to_dict(report.classification.markers),
+    }
+
+
+def report_from_dict(asn: int, entry: Dict) -> ASReport:
+    """Inverse of :func:`report_to_dict`."""
+    return ASReport(
+        asn=asn,
+        probe_count=int(entry["probe_count"]),
+        classification=Classification(
+            severity=Severity(entry["severity"]),
+            markers=markers_from_dict(entry.get("markers")),
+        ),
+    )
+
+
+def markers_to_dict(markers: Optional[SpectralMarkers]):
+    """JSON form of spectral markers (None for degenerate signals)."""
     if markers is None:
         return None
     return {
@@ -52,8 +88,39 @@ def _markers_to_dict(markers: Optional[SpectralMarkers]):
     }
 
 
+def markers_from_dict(data: Optional[Dict]) -> Optional[SpectralMarkers]:
+    """Inverse of :func:`markers_to_dict`.
+
+    Floats survive exactly: ``json`` emits shortest-round-trip reprs,
+    so a cached or exported classification is bit-identical to the
+    freshly computed one.
+    """
+    if data is None:
+        return None
+    return SpectralMarkers(
+        prominent_frequency_cph=float(data["prominent_frequency_cph"]),
+        prominent_amplitude_ms=float(data["prominent_amplitude_ms"]),
+        daily_amplitude_ms=float(data["daily_amplitude_ms"]),
+    )
+
+
+def quality_counts_dict(quality: DataQualityReport) -> Dict:
+    """Counts-only quality ledger (no quarantine samples)."""
+    return {
+        name: {
+            key: value
+            for key, value in entry.items() if key != "quarantine"
+        }
+        for name, entry in quality.to_dict().items()
+    }
+
+
 def survey_from_dict(data: Dict) -> SurveyResult:
-    """Inverse of :func:`survey_to_dict`."""
+    """Inverse of :func:`survey_to_dict`.
+
+    Reads pre-extension dumps too: missing ``failures``/``quality``
+    sections load as empty.
+    """
     period = MeasurementPeriod(
         name=data["period"]["name"],
         start=dt.datetime.fromisoformat(data["period"]["start"]),
@@ -61,28 +128,19 @@ def survey_from_dict(data: Dict) -> SurveyResult:
     )
     result = SurveyResult(period=period)
     for asn_text, entry in data["reports"].items():
-        markers = entry.get("markers")
-        result.reports[int(asn_text)] = ASReport(
-            asn=int(asn_text),
-            probe_count=int(entry["probe_count"]),
-            classification=Classification(
-                severity=Severity(entry["severity"]),
-                markers=(
-                    SpectralMarkers(
-                        prominent_frequency_cph=float(
-                            markers["prominent_frequency_cph"]
-                        ),
-                        prominent_amplitude_ms=float(
-                            markers["prominent_amplitude_ms"]
-                        ),
-                        daily_amplitude_ms=float(
-                            markers["daily_amplitude_ms"]
-                        ),
-                    )
-                    if markers is not None else None
-                ),
-            ),
+        result.reports[int(asn_text)] = report_from_dict(
+            int(asn_text), entry
         )
+    for asn_text, entry in data.get("failures", {}).items():
+        result.failures[int(asn_text)] = ASFailure(
+            asn=int(asn_text),
+            error=entry["error"],
+            message=entry["message"],
+            attempts=int(entry["attempts"]),
+        )
+    quality = data.get("quality")
+    if quality:
+        result.quality = DataQualityReport.from_dict(quality)
     return result
 
 

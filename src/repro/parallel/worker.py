@@ -1,0 +1,194 @@
+"""Shard workers: the unit of work one pool process executes.
+
+Two worker entry points, both module-level (so they pickle by
+reference into pool processes):
+
+* :func:`run_survey_shard` — generative path.  The worker rebuilds the
+  *full* world and platform from the spec list (cheap — seconds per
+  hundred ASes), then generates measurement series only for its
+  shard's probes.  Rebuilding everything is what keeps sharding exact:
+  world construction consumes order-dependent RNG (per-ISP seed
+  spawning, platform-wide version sampling, sequential probe ids), so
+  the only way a worker sees bit-identical probes is to replay the
+  identical build; per-probe *measurement* randomness is content-keyed
+  (:func:`repro.atlas.platform._campaign_seed`), so generating a
+  subset yields the same series the full run would.
+* :func:`run_dataset_shard` — in-memory path over a pre-built
+  :class:`~repro.core.series.LastMileDataset` slice.
+
+Workers silence observability (the NOOP observer) — shard timings and
+outcomes are re-reported by the parent, which owns the run's registry;
+per-AS quality is recorded on fresh per-AS ledgers that the parent
+merges in sorted order, reproducing the serial ledger's counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.classify import ClassificationThresholds, DEFAULT_THRESHOLDS
+from ..core.series import LastMileDataset
+from ..core.survey import ASFailure, ASReport, classify_single_asn
+from ..faults.base import FaultLog
+from ..quality import DataQualityReport
+from ..timebase import MeasurementPeriod
+
+
+@dataclass
+class ASOutcome:
+    """One AS's result as computed inside a shard."""
+
+    asn: int
+    report: Optional[ASReport]
+    failure: Optional[ASFailure]
+    quality: DataQualityReport
+    signal: Optional[object] = None
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard hands back to the parent."""
+
+    index: int
+    outcomes: List[ASOutcome]
+    fault_log: FaultLog
+    wall_seconds: float
+
+
+@dataclass
+class SurveyShardTask:
+    """Inputs of one generative-survey shard (fully picklable)."""
+
+    index: int
+    #: The *complete* spec list — the worker must rebuild the whole
+    #: world to replay its order-dependent RNG (see module docstring).
+    specs: List
+    period: MeasurementPeriod
+    lockdown: bool
+    seed: int
+    #: This shard's slice of the filtered population.
+    groups: Dict[int, List[int]]
+    thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS
+    max_attempts: int = 2
+    #: Dataset injectors with targets already pinned by the parent.
+    faults: List = field(default_factory=list)
+    fault_seed: int = 0
+
+
+@dataclass
+class DatasetShardTask:
+    """Inputs of one in-memory classify shard."""
+
+    index: int
+    dataset: LastMileDataset
+    groups: Dict[int, List[int]]
+    thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS
+    max_attempts: int = 2
+    keep_signals: bool = False
+
+
+def run_survey_shard(task: SurveyShardTask) -> ShardResult:
+    """Rebuild the world, generate this shard's probes, classify."""
+    from ..obs import NOOP, get_observer, set_observer
+    from ..scenarios.worldsurvey import build_survey_world
+
+    started = time.perf_counter()
+    previous = get_observer()
+    set_observer(NOOP)
+    try:
+        world, platform = build_survey_world(
+            task.specs, lockdown=task.lockdown, seed=task.seed,
+            period_name=task.period.name,
+        )
+        del world  # classification needs only the dataset
+        wanted = {
+            prb_id
+            for probe_ids in task.groups.values()
+            for prb_id in probe_ids
+        }
+        probes = [p for p in platform.probes if p.probe_id in wanted]
+        dataset = platform.run_period_binned(task.period, probes=probes)
+        fault_log = FaultLog()
+        if task.faults:
+            from ..faults.dataset import inject_dataset
+
+            inject_dataset(
+                dataset, task.faults, seed=task.fault_seed,
+                log=fault_log,
+            )
+        outcomes = _classify_groups(
+            dataset, task.groups, task.thresholds, task.max_attempts,
+        )
+    finally:
+        set_observer(previous)
+    return ShardResult(
+        index=task.index,
+        outcomes=outcomes,
+        fault_log=fault_log,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def run_dataset_shard(task: DatasetShardTask) -> ShardResult:
+    """Classify one shard of an already-built dataset."""
+    from ..obs import NOOP, get_observer, set_observer
+
+    started = time.perf_counter()
+    previous = get_observer()
+    set_observer(NOOP)
+    try:
+        outcomes = _classify_groups(
+            task.dataset, task.groups, task.thresholds,
+            task.max_attempts, keep_signals=task.keep_signals,
+        )
+    finally:
+        set_observer(previous)
+    return ShardResult(
+        index=task.index,
+        outcomes=outcomes,
+        fault_log=FaultLog(),
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def slice_dataset(
+    dataset: LastMileDataset, probe_ids: Sequence[int]
+) -> LastMileDataset:
+    """A shard-sized view of a dataset (series/meta for given probes).
+
+    Series objects are shared, not copied — safe because
+    classification only reads them.
+    """
+    subset = LastMileDataset(grid=dataset.grid)
+    for prb_id in probe_ids:
+        meta = dataset.probe_meta.get(prb_id)
+        if meta is not None:
+            subset.probe_meta[prb_id] = meta
+        series = dataset.series.get(prb_id)
+        if series is not None:
+            subset.series[prb_id] = series
+    return subset
+
+
+def _classify_groups(
+    dataset: LastMileDataset,
+    groups: Dict[int, List[int]],
+    thresholds: ClassificationThresholds,
+    max_attempts: int,
+    keep_signals: bool = False,
+) -> List[ASOutcome]:
+    outcomes = []
+    for asn in sorted(groups):
+        quality = DataQualityReport()
+        report, failure, signal = classify_single_asn(
+            dataset, asn, groups[asn],
+            thresholds=thresholds, quality=quality,
+            max_attempts=max_attempts, keep_signal=keep_signals,
+        )
+        outcomes.append(ASOutcome(
+            asn=asn, report=report, failure=failure, quality=quality,
+            signal=signal,
+        ))
+    return outcomes

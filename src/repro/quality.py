@@ -231,6 +231,29 @@ class DataQualityReport:
 
     # -- presentation --------------------------------------------------
 
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DataQualityReport":
+        """Inverse of :meth:`to_dict`.
+
+        Accepts counts-only dumps (``quarantine`` missing) so cached
+        per-AS ledgers and the compact form embedded in survey JSON
+        both round-trip.  Unknown reason codes raise ``ValueError`` —
+        a stale cache entry must never be silently misattributed.
+        """
+        report = cls()
+        for name, entry in data.items():
+            stage = report.stage(name)
+            stage.ingested += int(entry.get("ingested", 0))
+            for reason, count in entry.get("dropped", {}).items():
+                stage.dropped[DropReason(reason)] += int(count)
+            for reason, count in entry.get("degraded", {}).items():
+                stage.degraded[DropReason(reason)] += int(count)
+            for item in entry.get("quarantine", []):
+                stage._quarantine(
+                    DropReason(item["reason"]), item.get("detail")
+                )
+        return report
+
     def to_dict(self) -> Dict:
         """JSON-serializable form."""
         return {

@@ -298,6 +298,8 @@ def run_survey_period(
     dataset_faults: Optional[Sequence] = None,
     fault_seed: int = 0,
     fault_log=None,
+    workers: Optional[int] = None,
+    cache=None,
 ) -> Tuple[SurveyResult, World]:
     """Run one period of the world survey end to end.
 
@@ -306,9 +308,28 @@ def run_survey_period(
     before classification — chaos-mode surveys exercise the pipeline's
     isolation and quality accounting.  ``fault_log`` collects the
     injected ground truth.
+
+    ``workers`` routes the period through the sharded executor
+    (:mod:`repro.parallel`): an explicit count, ``0`` for one worker
+    per CPU, or ``None`` to consult ``REPRO_WORKERS`` and otherwise
+    stay on the serial path below.  ``cache`` (a
+    :class:`repro.parallel.ResultCache` or directory path) enables the
+    content-addressed per-AS result cache; it implies the executor
+    path, whose output is bit-identical to the serial one.
     """
     from ..obs import get_observer
+    from ..parallel import resolve_workers
 
+    resolved = resolve_workers(workers)
+    if resolved is not None or cache is not None:
+        from ..parallel import run_survey_period_parallel
+
+        return run_survey_period_parallel(
+            specs, period, workers=resolved or 1, lockdown=lockdown,
+            seed=seed, min_probes=min_probes,
+            dataset_faults=dataset_faults, fault_seed=fault_seed,
+            fault_log=fault_log, cache=cache,
+        )
     if lockdown is None:
         lockdown = period.name == "2020-04"
     obs = get_observer()
@@ -338,12 +359,20 @@ def run_survey(
     specs: Sequence[SurveyASSpec],
     periods: Sequence[MeasurementPeriod],
     seed: int = 7,
+    workers: Optional[int] = None,
+    cache=None,
 ) -> Tuple[SurveySuite, EyeballRanking]:
-    """Run the full multi-period survey and build the eyeball ranking."""
+    """Run the full multi-period survey and build the eyeball ranking.
+
+    ``workers``/``cache`` are forwarded to :func:`run_survey_period`
+    (see there); results are identical for any worker count.
+    """
     suite = SurveySuite()
     last_world = None
     for period in periods:
-        result, last_world = run_survey_period(specs, period, seed=seed)
+        result, last_world = run_survey_period(
+            specs, period, seed=seed, workers=workers, cache=cache,
+        )
         suite.add(result)
     ranking = EyeballRanking.from_registry(
         last_world.registry, rng=np.random.default_rng(seed),

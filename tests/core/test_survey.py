@@ -131,6 +131,38 @@ class TestSurveySuite:
         assert np.isnan(suite.average_reported())
         assert suite.recurrent_asns() == []
 
+    def test_empty_suite_churn_defined(self):
+        """Churn over periods the suite never saw is NaN, not a raise."""
+        suite = SurveySuite()
+        assert np.isnan(suite.churn_between("2019-09", "2020-04"))
+        assert np.isnan(suite.mean_consecutive_similarity())
+
+    def test_single_period_suite_degrades_gracefully(self):
+        suite = SurveySuite()
+        suite.add(classify_dataset(
+            synthetic_dataset([100, 200], [300], seed=1), PERIOD
+        ))
+        assert np.isnan(suite.churn_between("2019-09", "2020-04"))
+        assert np.isnan(suite.mean_consecutive_similarity())
+        assert suite.recurrent_asns(min_fraction=1.0) == [100, 200]
+        assert suite.average_reported() == pytest.approx(2.0)
+
+    def test_churn_missing_period_is_nan(self):
+        """One known and one unknown period name: still NaN."""
+        suite = self.build_suite()
+        assert np.isnan(suite.churn_between("2019-09", "2021-01"))
+        assert np.isnan(suite.churn_between("2021-01", "2020-04"))
+
+    def test_churn_between_known_periods(self):
+        suite = self.build_suite()
+        # {100, 200} vs {100, 200, 400}: Jaccard 2/3.
+        assert suite.churn_between("2019-09", "2020-04") == (
+            pytest.approx(2 / 3)
+        )
+        assert suite.mean_consecutive_similarity() == (
+            pytest.approx(2 / 3)
+        )
+
 
 class TestBreakdowns:
     def ranking(self):

@@ -1,0 +1,218 @@
+"""Serial/parallel equivalence: the executor's core contract.
+
+For any worker count — including the in-process ``workers=1``
+fallback — and with or without injected faults, the sharded executor
+must produce ``survey_to_dict`` output byte-identical to the legacy
+serial path: classifications, amplitudes, failures, and quality-ledger
+counts included.  A shard crash must degrade to per-AS failures for
+that shard's ASes only, never kill the run.
+"""
+
+import datetime as dt
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.atlas import ProbeMeta
+from repro.core import (
+    LastMileDataset,
+    ProbeBinSeries,
+    classify_dataset,
+)
+from repro.faults import BinLoss, FaultLog, NaNBursts, PoisonAS
+from repro.io import survey_to_dict
+from repro.parallel import WORKERS_ENV, classify_dataset_sharded
+from repro.parallel import executor as executor_mod
+from repro.parallel.worker import run_dataset_shard
+from repro.quality import DropReason
+from repro.scenarios import generate_specs, run_survey_period
+from repro.timebase import MeasurementPeriod, TimeGrid
+
+PERIOD = MeasurementPeriod("2019-09", dt.datetime(2019, 9, 2), 4)
+
+
+def canonical_bytes(result):
+    """The serialized survey as bytes — the equality the suite asserts."""
+    return json.dumps(
+        survey_to_dict(result), sort_keys=True
+    ).encode("ascii")
+
+
+def run_serial(specs, period, **kwargs):
+    """The legacy serial path, immune to the CI ``REPRO_WORKERS`` leg."""
+    saved = os.environ.pop(WORKERS_ENV, None)
+    try:
+        return run_survey_period(specs, period, **kwargs)
+    finally:
+        if saved is not None:
+            os.environ[WORKERS_ENV] = saved
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return generate_specs(num_ases=10, num_countries=6, seed=5)
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(specs):
+    result, _world = run_serial(specs, PERIOD, seed=7)
+    return canonical_bytes(result)
+
+
+def synthetic_dataset(num_ases=8, probes_per_asn=4, seed=0):
+    grid = TimeGrid(PERIOD)
+    rng = np.random.default_rng(seed)
+    dataset = LastMileDataset(grid=grid)
+    t = np.arange(grid.num_bins) / grid.bins_per_day
+    prb_id = 1
+    for asn in range(100, 100 + num_ases):
+        amplitude = rng.uniform(0.0, 2.5)
+        for _ in range(probes_per_asn):
+            medians = (
+                rng.uniform(1.0, 3.0)
+                + rng.normal(0, 0.05, grid.num_bins)
+                + amplitude * (1 + np.sin(2 * np.pi * t))
+            )
+            dataset.add(
+                ProbeBinSeries(
+                    prb_id=prb_id,
+                    median_rtt_ms=medians,
+                    traceroute_counts=np.full(grid.num_bins, 24),
+                ),
+                meta=ProbeMeta(
+                    prb_id=prb_id, asn=asn, is_anchor=False,
+                    public_address="20.0.0.1",
+                ),
+            )
+            prb_id += 1
+    return dataset
+
+
+class TestWorldSurveyEquivalence:
+    def test_workers_one_matches_serial(self, specs, serial_baseline):
+        """The deterministic in-process fallback is bit-faithful."""
+        result, _ = run_survey_period(specs, PERIOD, seed=7, workers=1)
+        assert canonical_bytes(result) == serial_baseline
+
+    def test_pool_matches_serial(self, specs, serial_baseline):
+        """A real process pool (more shards than ASes are balanced
+        into) reproduces the serial bytes."""
+        result, _ = run_survey_period(specs, PERIOD, seed=7, workers=4)
+        assert canonical_bytes(result) == serial_baseline
+
+    def test_quality_ledger_counts_match(self, specs, serial_baseline):
+        """The quality section rides inside the canonical bytes, but
+        assert it explicitly — ledger drift is the likeliest silent
+        divergence."""
+        result, _ = run_survey_period(specs, PERIOD, seed=7, workers=3)
+        parallel = survey_to_dict(result)
+        serial = json.loads(serial_baseline)
+        assert parallel["quality"] == serial["quality"]
+        assert parallel["failures"] == serial["failures"]
+
+
+class TestFaultedEquivalence:
+    FAULTS = staticmethod(lambda: [
+        BinLoss(rate=0.05),
+        NaNBursts(probe_rate=0.3),
+        PoisonAS(count=1),
+    ])
+
+    def test_faulted_pool_matches_faulted_serial(self, specs):
+        """Content-keyed injection makes chaos runs shard-invariant:
+        same corrupted bins, same poisoned AS, same failures."""
+        serial_log, parallel_log = FaultLog(), FaultLog()
+        serial, _ = run_serial(
+            specs, PERIOD, seed=7,
+            dataset_faults=self.FAULTS(), fault_seed=3,
+            fault_log=serial_log,
+        )
+        parallel, _ = run_survey_period(
+            specs, PERIOD, seed=7, workers=4,
+            dataset_faults=self.FAULTS(), fault_seed=3,
+            fault_log=parallel_log,
+        )
+        assert canonical_bytes(parallel) == canonical_bytes(serial)
+        assert parallel_log.counts == serial_log.counts
+        for injector in ("bin-loss", "nan-bursts", "poison-as"):
+            assert sorted(
+                parallel_log.keys(injector), key=repr
+            ) == sorted(serial_log.keys(injector), key=repr)
+
+    def test_poisoned_as_fails_identically(self, specs):
+        """The injected per-AS failure lands on the same AS with the
+        same error under both executors."""
+        faults = [PoisonAS(count=1)]
+        serial, _ = run_serial(
+            specs, PERIOD, seed=7, dataset_faults=faults, fault_seed=3,
+        )
+        parallel, _ = run_survey_period(
+            specs, PERIOD, seed=7, workers=3,
+            dataset_faults=faults, fault_seed=3,
+        )
+        assert serial.failures, "PoisonAS should fail at least one AS"
+        assert set(parallel.failures) == set(serial.failures)
+        for asn, failure in serial.failures.items():
+            assert parallel.failures[asn].error == failure.error
+
+
+class TestClassifyDatasetEquivalence:
+    def test_workers_match_serial(self):
+        dataset = synthetic_dataset()
+        serial = classify_dataset(dataset, PERIOD)
+        parallel = classify_dataset(dataset, PERIOD, workers=3)
+        assert canonical_bytes(parallel) == canonical_bytes(serial)
+
+    def test_sharded_entrypoint_matches(self):
+        dataset = synthetic_dataset(seed=2)
+        serial = classify_dataset(dataset, PERIOD)
+        parallel = classify_dataset_sharded(dataset, PERIOD, workers=2)
+        assert canonical_bytes(parallel) == canonical_bytes(serial)
+
+
+def _crash_shard_one(task):
+    """Module-level (hence picklable) shard runner that dies on shard 1."""
+    if task.index == 1:
+        raise RuntimeError("simulated worker crash")
+    return run_dataset_shard(task)
+
+
+class TestShardFailureIsolation:
+    def test_crashed_shard_degrades_to_per_as_failures(self, monkeypatch):
+        """One shard blowing up must not kill the others: its ASes
+        come back as ShardExecutionError failures, the rest classify
+        normally, and the ledger records the drops."""
+        monkeypatch.setattr(
+            executor_mod, "run_dataset_shard", _crash_shard_one
+        )
+        dataset = synthetic_dataset()
+        result = classify_dataset_sharded(dataset, PERIOD, workers=2)
+
+        asns = sorted(range(100, 108))
+        doomed = set(asns[1::2])  # round-robin shard 1
+        assert set(result.failures) == doomed
+        assert set(result.reports) == set(asns) - doomed
+        for failure in result.failures.values():
+            assert failure.error == "ShardExecutionError"
+            assert "simulated worker crash" in failure.message
+        dropped = sum(
+            stage.dropped.get(DropReason.AS_FAILURE, 0)
+            for stage in result.quality.stages.values()
+        )
+        assert dropped == len(doomed)
+
+    def test_inprocess_guard_isolates_too(self, monkeypatch):
+        """The workers=1 fallback uses the same guard."""
+        monkeypatch.setattr(
+            executor_mod, "run_dataset_shard", _crash_shard_one
+        )
+        dataset = synthetic_dataset()
+        # workers=1 collapses to a single shard (index 0) which
+        # survives; force two shards through the pool-free path by
+        # patching after sharding is impossible, so assert the guarded
+        # single-shard run simply succeeds.
+        result = classify_dataset_sharded(dataset, PERIOD, workers=1)
+        assert not result.failures
+        assert len(result.reports) == 8
