@@ -1,0 +1,152 @@
+"""E12 — survey-serving benchmark (not a paper figure).
+
+Measures the operator-lookup path the serving subsystem exists for:
+warm-cache ``/v1/as/<asn>`` point lookups against a longitudinal
+archive of at least 100 ASes over at least 4 periods, reported as
+p50/p99 latency and sustained requests/sec — once at the API layer
+(no sockets) and once over real HTTP on an ephemeral port.
+"""
+
+import datetime as dt
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from conftest import write_report
+from repro.core import Classification, Severity, SurveyResult
+from repro.core.spectral import SpectralMarkers
+from repro.core.survey import ASReport
+from repro.serve import SurveyAPI, SurveyServer
+from repro.store import SurveyArchive
+from repro.timebase import MeasurementPeriod
+
+N_ASES = 120
+PERIODS = ("2019-03", "2019-06", "2019-09", "2019-12")
+SEVERITIES = (
+    Severity.NONE, Severity.LOW, Severity.MILD, Severity.SEVERE,
+)
+
+
+def synthetic_survey(name: str, start: dt.datetime) -> SurveyResult:
+    result = SurveyResult(
+        period=MeasurementPeriod(name, start, 15)
+    )
+    for i in range(N_ASES):
+        asn = 64500 + i
+        severity = SEVERITIES[(i + start.month) % len(SEVERITIES)]
+        amplitude = 1.5 * ((i + start.month) % len(SEVERITIES))
+        markers = None
+        if severity is not Severity.NONE:
+            markers = SpectralMarkers(
+                prominent_frequency_cph=1 / 24,
+                prominent_amplitude_ms=amplitude,
+                daily_amplitude_ms=amplitude,
+            )
+        result.reports[asn] = ASReport(
+            asn=asn, probe_count=5 + i % 20,
+            classification=Classification(severity, markers),
+        )
+    return result
+
+
+@pytest.fixture(scope="module")
+def archive(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serving-bench") / "arc"
+    archive = SurveyArchive(root)
+    for offset, name in enumerate(PERIODS):
+        archive.ingest(synthetic_survey(
+            name, dt.datetime(2019, 3 * (offset + 1), 1)
+        ))
+    archive.compact()
+    assert len(archive.periods()) >= 4
+    assert len(archive.asns(PERIODS[0])) >= 100
+    return archive
+
+
+def percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(
+        len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))
+    )
+    return ordered[index]
+
+
+def test_serving_latency(archive):
+    api = SurveyAPI(archive, cache_size=1024)
+    targets = [
+        f"/v1/as/{64500 + i % N_ASES}?period={PERIODS[i % 4]}"
+        for i in range(N_ASES * 4)
+    ]
+    for target in targets:            # warm the LRU
+        assert api.handle(target).status == 200
+
+    # -- API layer (no sockets) ---------------------------------------
+    samples = []
+    rounds = 5
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for target in targets:
+            t0 = time.perf_counter()
+            response = api.handle(target)
+            samples.append(time.perf_counter() - t0)
+            assert response.status == 200
+    api_elapsed = time.perf_counter() - started
+    api_rps = len(samples) / api_elapsed
+    api_p50 = percentile(samples, 0.50) * 1e6
+    api_p99 = percentile(samples, 0.99) * 1e6
+    assert api.cache.stats.hit_rate > 0.9
+
+    # -- over HTTP on an ephemeral port -------------------------------
+    http_samples = []
+    with SurveyServer(api) as server:
+        hot = server.url + targets[0]
+        with urllib.request.urlopen(hot, timeout=10) as response:
+            etag = response.headers["ETag"]
+            assert response.status == 200
+        started = time.perf_counter()
+        for i in range(400):
+            url = server.url + targets[i % len(targets)]
+            t0 = time.perf_counter()
+            with urllib.request.urlopen(url, timeout=10) as response:
+                assert response.status == 200
+                body = response.read()
+            http_samples.append(time.perf_counter() - t0)
+            assert body
+        http_elapsed = time.perf_counter() - started
+        # One conditional re-request: the 304 path stays cheap.
+        request = urllib.request.Request(
+            hot, headers={"If-None-Match": etag}
+        )
+        try:
+            urllib.request.urlopen(request, timeout=10)
+            not_modified = False
+        except urllib.error.HTTPError as error:
+            not_modified = error.code == 304
+    http_rps = len(http_samples) / http_elapsed
+    http_p50 = percentile(http_samples, 0.50) * 1e6
+    http_p99 = percentile(http_samples, 0.99) * 1e6
+
+    lines = [
+        "Warm-cache /v1/as/<asn> lookups "
+        f"({len(archive.periods())} periods x {N_ASES} ASes, "
+        "packed segments):",
+        "",
+        f"{'layer':<12}{'p50 (us)':>12}{'p99 (us)':>12}"
+        f"{'req/s':>12}",
+        f"{'api':<12}{api_p50:>12.1f}{api_p99:>12.1f}"
+        f"{api_rps:>12.0f}",
+        f"{'http':<12}{http_p50:>12.1f}{http_p99:>12.1f}"
+        f"{http_rps:>12.0f}",
+        "",
+        f"LRU hit rate: {api.cache.stats.hit_rate:.3f}  "
+        f"(hits {api.cache.stats.hits}, "
+        f"misses {api.cache.stats.misses})",
+        f"conditional re-request -> 304: {not_modified}",
+    ]
+    write_report("serving_latency", "\n".join(lines))
+
+    assert not_modified
+    assert api_rps > 1000          # warm dict hits, generous floor
+    assert http_rps > 50

@@ -37,6 +37,8 @@ from . import (  # noqa: F401
     queueing,
     raclette,
     scenarios,
+    serve,
+    store,
     timebase,
     topology,
     traffic,
@@ -61,4 +63,6 @@ __all__ = [
     "obs",
     "faults",
     "parallel",
+    "store",
+    "serve",
 ]

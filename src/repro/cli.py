@@ -11,6 +11,10 @@
   data-quality report;
 * ``obs``      — render a saved observability report (trace tree,
   metrics, profile);
+* ``store``    — manage the longitudinal survey archive
+  (``ingest`` / ``compact`` / ``query``);
+* ``serve``    — serve an archive over HTTP (the paper's public
+  lookup site);
 * ``info``     — version and layout.
 
 ``survey`` and ``inject`` accept ``--trace`` (print the span tree) and
@@ -68,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument(
         "--no-cache", action="store_true",
         help="ignore --cache-dir (neither read nor write entries)",
+    )
+    survey.add_argument(
+        "--archive", default=None, metavar="DIR",
+        help="also commit every period into the longitudinal survey "
+        "archive at DIR (servable with `repro serve DIR`)",
     )
     _add_obs_flags(survey)
 
@@ -147,6 +156,79 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument(
         "--prometheus", action="store_true",
         help="emit the metrics in Prometheus text format instead",
+    )
+
+    store = sub.add_parser(
+        "store",
+        help="manage the longitudinal survey archive",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_ingest = store_sub.add_parser(
+        "ingest",
+        help="commit exported survey JSON (suite or single period) "
+        "into an archive",
+    )
+    store_ingest.add_argument("archive", help="archive directory")
+    store_ingest.add_argument(
+        "sources", nargs="+",
+        help="survey JSON files: a suite (surveys.json from the site "
+        "export) or a single survey_to_dict document",
+    )
+    store_compact = store_sub.add_parser(
+        "compact",
+        help="fold committed period JSON into packed segments",
+    )
+    store_compact.add_argument("archive", help="archive directory")
+    store_compact.add_argument(
+        "--keep-json", action="store_true",
+        help="keep the period JSON documents next to the segments",
+    )
+    store_query = store_sub.add_parser(
+        "query",
+        help="query an archive (point lookups, indexes, longitudinal)",
+    )
+    store_query.add_argument("archive", help="archive directory")
+    store_query.add_argument(
+        "--asn", type=int, default=None,
+        help="point lookup: one AS's report (latest period unless "
+        "--period)",
+    )
+    store_query.add_argument(
+        "--period", default=None,
+        help="period name for --asn/--severity/--country lookups",
+    )
+    store_query.add_argument(
+        "--history", action="store_true",
+        help="with --asn: the AS's per-period history",
+    )
+    store_query.add_argument(
+        "--severity", default=None, metavar="CLASS",
+        help="list ASNs of one severity class (requires --period)",
+    )
+    store_query.add_argument(
+        "--country", default=None, metavar="CC",
+        help="list ASNs hosted in a country (requires --period)",
+    )
+    store_query.add_argument(
+        "--deltas", action="store_true",
+        help="churn between consecutive periods (new/gone/persisting)",
+    )
+    store_query.add_argument(
+        "--verify", action="store_true",
+        help="re-checksum every committed period and report",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a survey archive over HTTP",
+    )
+    serve.add_argument("archive", help="archive directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 = ephemeral)")
+    serve.add_argument(
+        "--cache-size", type=int, default=512,
+        help="hot-object cache capacity (rendered responses)",
     )
 
     quality = sub.add_parser(
@@ -284,6 +366,16 @@ def _run_survey(args) -> int:
     )
     written = export_site(suite, args.out, ranking)
     print(f"\nexported {len(written)} artifacts to {args.out}/")
+
+    if args.archive:
+        from .store import SurveyArchive
+
+        archive = SurveyArchive(args.archive)
+        committed = suite.ingest_into(archive, ranking)
+        print(
+            f"archived {len(committed)} period(s) to {args.archive}/ "
+            f"({', '.join(committed)})"
+        )
     return 0
 
 
@@ -502,7 +594,11 @@ def cmd_quality(args) -> int:
     from .core import render_quality_report
     from .io import load_traceroutes
 
-    dataset = load_traceroutes(args.src, strict=False)
+    try:
+        dataset = load_traceroutes(args.src, strict=False)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.src}: {exc}", file=sys.stderr)
+        return 1
     kept = sum(len(results) for results in dataset.results.values())
     print(f"{kept} traceroutes kept from "
           f"{len(dataset.results)} probe(s)")
@@ -517,8 +613,12 @@ def cmd_obs(args) -> int:
         try:
             data = load_report(args.path)
         except FileNotFoundError:
-            print(f"no observability report at {args.path} "
-                  "(run with --metrics-out first)")
+            print(f"error: no observability report at {args.path} "
+                  "(run with --metrics-out first)", file=sys.stderr)
+            return 1
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.path}: {exc}",
+                  file=sys.stderr)
             return 1
         if args.prometheus:
             registry = MetricsRegistry.from_dict(
@@ -529,6 +629,132 @@ def cmd_obs(args) -> int:
             print(render_report(data))
         return 0
     raise AssertionError(f"unknown obs command {args.obs_command!r}")
+
+
+def cmd_store(args) -> int:
+    from .netbase.errors import NetbaseError
+    from .store import SurveyArchive
+
+    try:
+        archive = SurveyArchive(args.archive)
+        if args.store_command == "ingest":
+            return _store_ingest(archive, args)
+        if args.store_command == "compact":
+            compacted = archive.compact(keep_json=args.keep_json)
+            if compacted:
+                print(f"compacted {len(compacted)} period(s): "
+                      + ", ".join(compacted))
+            else:
+                print("nothing to compact")
+            return 0
+        if args.store_command == "query":
+            return _store_query(archive, args)
+    except (NetbaseError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(
+        f"unknown store command {args.store_command!r}"
+    )
+
+
+def _store_ingest(archive, args) -> int:
+    import json
+
+    committed = []
+    for source in args.sources:
+        try:
+            data = json.loads(Path(source).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {source}: {exc}",
+                  file=sys.stderr)
+            return 1
+        # A single survey payload has a "period" header; a suite file
+        # (save_suite / the site export's surveys.json) maps period
+        # name -> payload.
+        payloads = (
+            [data] if "period" in data else list(data.values())
+        )
+        for payload in payloads:
+            committed.append(archive.ingest(payload))
+    print(
+        f"committed {len(committed)} period(s) to {archive.root}/: "
+        + ", ".join(committed)
+    )
+    return 0
+
+
+def _store_query(archive, args) -> int:
+    import json
+
+    def emit(payload) -> int:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+
+    if args.verify:
+        outcome = archive.verify()
+        code = 0 if all(v == "ok" for v in outcome.values()) else 1
+        emit(outcome)
+        return code
+    if args.deltas:
+        return emit(archive.churn_deltas())
+    if args.asn is not None and args.history:
+        return emit({
+            "asn": args.asn, "history": archive.history(args.asn),
+        })
+    if args.asn is not None:
+        period = args.period or archive.latest()
+        return emit({
+            "asn": args.asn, "period": period,
+            "report": archive.get(args.asn, period),
+        })
+    if args.severity is not None:
+        period = args.period or archive.latest()
+        return emit({
+            "period": period, "severity": args.severity,
+            "asns": archive.asns_with_severity(period, args.severity),
+        })
+    if args.country is not None:
+        period = args.period or archive.latest()
+        return emit({
+            "period": period, "country": args.country.upper(),
+            "asns": archive.asns_in_country(period, args.country),
+        })
+    if args.period is not None:
+        return emit(archive.get_period(args.period))
+    return emit({
+        "periods": [
+            dict(archive.period_meta(name), name=name)
+            for name in archive.periods()
+        ],
+    })
+
+
+def cmd_serve(args) -> int:
+    from .netbase.errors import NetbaseError
+    from .serve import SurveyServer
+    from .store import SurveyArchive
+
+    try:
+        archive = SurveyArchive(args.archive)
+        if not len(archive):
+            print(f"error: no committed periods in {args.archive} "
+                  "(run `repro store ingest` first)", file=sys.stderr)
+            return 1
+        server = SurveyServer(
+            archive, host=args.host, port=args.port,
+            cache_size=args.cache_size,
+        )
+    except (NetbaseError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"serving {len(archive)} period(s) from {args.archive} "
+        f"on {server.url} (Ctrl-C to stop)",
+        flush=True,
+    )
+    server.serve_forever()
+    print("shut down cleanly")
+    return 0
 
 
 def cmd_info(_args) -> int:
@@ -551,6 +777,8 @@ COMMANDS = {
     "inject": cmd_inject,
     "quality": cmd_quality,
     "obs": cmd_obs,
+    "store": cmd_store,
+    "serve": cmd_serve,
     "info": cmd_info,
 }
 

@@ -48,16 +48,27 @@ class AggregatedSignal:
 
     @property
     def max_delay_ms(self) -> float:
-        """Maximum aggregated queueing delay over the period."""
+        """Maximum aggregated queueing delay over the period.
+
+        NaN (not an exception) when every bin is invalid — an AS can
+        survey successfully yet yield no valid aggregate bin at all,
+        and reporting must still render such a page.
+        """
+        if np.all(np.isnan(self.delay_ms)):
+            return float("nan")
         return float(np.nanmax(self.delay_ms))
 
     def daily_max_ms(self) -> np.ndarray:
-        """Per-day maximum delay (the markers of the paper's Fig. 5)."""
+        """Per-day maximum delay (the markers of the paper's Fig. 5).
+
+        Days where every bin is invalid yield NaN.
+        """
         per_day = self.grid.bins_per_day
         days = self.grid.num_bins // per_day
-        return np.nanmax(
-            self.delay_ms[: days * per_day].reshape(days, per_day), axis=1
-        )
+        daily = self.delay_ms[: days * per_day].reshape(days, per_day)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            return np.nanmax(daily, axis=1)
 
 
 def probe_queuing_delay(

@@ -407,6 +407,17 @@ class SurveySuite:
         ]
         return float(np.mean(values))
 
+    def ingest_into(self, archive, ranking=None) -> List[str]:
+        """Commit every period into a :class:`repro.store.SurveyArchive`.
+
+        The bridge from a fresh survey run to the durable longitudinal
+        archive the serving layer (:mod:`repro.serve`) reads.
+        ``ranking`` (an :class:`~repro.apnic.EyeballRanking`) populates
+        the archive's country index.  Returns the committed period
+        names.
+        """
+        return archive.ingest_suite(self, ranking=ranking)
+
     def reported_increase(
         self, before: str, after: str
     ) -> Tuple[int, int, float]:

@@ -10,13 +10,18 @@ from .datasets import (
 )
 from .surveys import (
     export_site,
+    failures_from_csv,
+    failures_to_csv,
     load_suite,
     markers_from_dict,
     markers_to_dict,
     quality_counts_dict,
+    quality_counts_from_csv,
+    quality_counts_to_csv,
     report_from_dict,
     report_to_dict,
     save_suite,
+    survey_from_csv,
     survey_from_dict,
     survey_to_csv,
     survey_to_dict,
@@ -44,6 +49,11 @@ __all__ = [
     "save_suite",
     "load_suite",
     "survey_to_csv",
+    "survey_from_csv",
+    "failures_to_csv",
+    "failures_from_csv",
+    "quality_counts_to_csv",
+    "quality_counts_from_csv",
     "survey_to_markdown",
     "export_site",
 ]

@@ -164,6 +164,31 @@ def _axes(builder: _SVGBuilder, style: ChartStyle,
     return map_x, map_y
 
 
+def _empty_chart_svg(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    title: str,
+    x_label: str,
+    y_label: str,
+    style: ChartStyle,
+) -> str:
+    """Placeholder chart for series with no finite values."""
+    builder = _SVGBuilder(style, title)
+    _axes(builder, style, 0.0, 1.0, 0.0, 1.0, x_label, y_label)
+    builder.text(
+        style.margin_left + style.plot_width / 2,
+        style.margin_top + style.plot_height / 2,
+        "no valid data",
+        anchor="middle",
+        size=style.font_size + 2,
+        color="#999999",
+    )
+    for index, label in enumerate(series):
+        legend_y = style.margin_top + 14 * index + 6
+        legend_x = style.width - style.margin_right - 130
+        builder.text(legend_x + 24, legend_y, label)
+    return builder.render()
+
+
 def line_chart_svg(
     series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
     title: str = "",
@@ -173,7 +198,12 @@ def line_chart_svg(
 ) -> str:
     """Multi-series line chart; NaN y-values break the line.
 
-    ``series`` maps label → (x values, y values).
+    ``series`` maps label → (x values, y values).  Series whose
+    values are entirely NaN (or empty) still render: the chart shows
+    axes and a "no valid data" note instead of raising, so a survey
+    page for a degraded AS is never un-renderable.  An empty series
+    *dict* or an x/y length mismatch is still a caller bug and
+    raises ``ValueError``.
     """
     if not series:
         raise ValueError("no series to plot")
@@ -191,7 +221,7 @@ def line_chart_svg(
     xs = np.concatenate(xs_all)
     ys = np.concatenate(ys_all)
     if xs.size == 0:
-        raise ValueError("all values are NaN")
+        return _empty_chart_svg(series, title, x_label, y_label, style)
     x_low, x_high = float(xs.min()), float(xs.max())
     y_low = min(0.0, float(ys.min()))
     y_high = float(ys.max()) * 1.05 or 1.0
@@ -234,7 +264,8 @@ def bar_chart_svg(
     if values.shape[0] == 0:
         raise ValueError("no bars to plot")
     style = style or ChartStyle()
-    y_high = float(np.nanmax(values)) * 1.15 or 1.0
+    finite = values[~np.isnan(values)]
+    y_high = float(finite.max()) * 1.15 or 1.0 if finite.size else 1.0
 
     builder = _SVGBuilder(style, title)
     _map_x, map_y = _axes(

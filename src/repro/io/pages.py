@@ -47,6 +47,11 @@ def as_page_markdown(
         )
     lines.append("")
     if markers is not None:
+        max_delay = signal.max_delay_ms
+        max_delay_cell = (
+            f"{max_delay:.2f} ms" if np.isfinite(max_delay)
+            else "n/a (no valid bins)"
+        )
         lines += [
             "| marker | value |",
             "|---|---|",
@@ -56,7 +61,7 @@ def as_page_markdown(
             f"{'yes' if markers.daily_is_prominent else 'no'} |",
             f"| daily peak-to-peak amplitude | "
             f"{markers.daily_amplitude_ms:.2f} ms |",
-            f"| max aggregated delay | {signal.max_delay_ms:.2f} ms |",
+            f"| max aggregated delay | {max_delay_cell} |",
             "",
         ]
     lines += [

@@ -188,6 +188,107 @@ def survey_to_csv(
     return buffer.getvalue()
 
 
+def survey_from_csv(text: str) -> Dict[int, Dict]:
+    """Parse :func:`survey_to_csv` output back into report fields.
+
+    Returns ``{asn: row-dict}`` with the same value types the CSV
+    carries (severity string, probe count int, formatted floats kept
+    as floats).  This is the site table's documented contract — the
+    round-trip tests compare it against :func:`survey_to_dict`.
+    """
+    rows: Dict[int, Dict] = {}
+    for record in csv.DictReader(io.StringIO(text)):
+        asn = int(record["asn"])
+        rows[asn] = {
+            "period": record["period"],
+            "country": record["country"] or None,
+            "eyeball_rank": (
+                int(record["eyeball_rank"])
+                if record["eyeball_rank"] else None
+            ),
+            "probe_count": int(record["probes"]),
+            "severity": record["severity"],
+            "daily_amplitude_ms": float(record["daily_amplitude_ms"]),
+            "prominent_frequency_cph": (
+                float(record["prominent_frequency_cph"])
+                if record["prominent_frequency_cph"] else None
+            ),
+        }
+    return rows
+
+
+def failures_to_csv(result: SurveyResult) -> str:
+    """One CSV row per failed (quarantined) AS."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([
+        "period", "asn", "error", "message", "attempts",
+    ])
+    for asn, failure in sorted(result.failures.items()):
+        writer.writerow([
+            result.period.name, asn, failure.error,
+            failure.message, failure.attempts,
+        ])
+    return buffer.getvalue()
+
+
+def failures_from_csv(text: str) -> Dict[str, Dict]:
+    """Inverse of :func:`failures_to_csv`.
+
+    Returns the same shape as ``survey_to_dict(result)["failures"]``
+    so the two can be compared directly.
+    """
+    failures: Dict[str, Dict] = {}
+    for record in csv.DictReader(io.StringIO(text)):
+        failures[record["asn"]] = {
+            "error": record["error"],
+            "message": record["message"],
+            "attempts": int(record["attempts"]),
+        }
+    return failures
+
+
+def quality_counts_to_csv(result: SurveyResult) -> str:
+    """The counts-only quality ledger, flattened to CSV rows.
+
+    ``kind`` is ``ingested`` (reason empty), ``dropped`` or
+    ``degraded`` (reason = the taxonomy value).
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["period", "stage", "kind", "reason", "count"])
+    for stage, entry in quality_counts_dict(result.quality).items():
+        writer.writerow([
+            result.period.name, stage, "ingested", "",
+            entry["ingested"],
+        ])
+        for kind in ("dropped", "degraded"):
+            for reason, count in entry[kind].items():
+                writer.writerow([
+                    result.period.name, stage, kind, reason, count,
+                ])
+    return buffer.getvalue()
+
+
+def quality_counts_from_csv(text: str) -> Dict[str, Dict]:
+    """Inverse of :func:`quality_counts_to_csv`.
+
+    Returns the same shape as ``survey_to_dict(result)["quality"]``.
+    """
+    counts: Dict[str, Dict] = {}
+    for record in csv.DictReader(io.StringIO(text)):
+        entry = counts.setdefault(record["stage"], {
+            "ingested": 0, "dropped": {}, "degraded": {},
+        })
+        if record["kind"] == "ingested":
+            entry["ingested"] = int(record["count"])
+        else:
+            entry[record["kind"]][record["reason"]] = (
+                int(record["count"])
+            )
+    return counts
+
+
 def survey_to_markdown(
     result: SurveyResult,
     ranking: Optional[EyeballRanking] = None,
@@ -248,6 +349,13 @@ def export_site(
         csv_path = directory / f"survey-{name}.csv"
         csv_path.write_text(survey_to_csv(result, ranking))
         written[f"csv-{name}"] = csv_path
+        if result.failures:
+            failures_path = directory / f"survey-{name}-failures.csv"
+            failures_path.write_text(failures_to_csv(result))
+            written[f"csv-failures-{name}"] = failures_path
+        quality_path = directory / f"survey-{name}-quality.csv"
+        quality_path.write_text(quality_counts_to_csv(result))
+        written[f"csv-quality-{name}"] = quality_path
         md_path = directory / f"survey-{name}.md"
         md_path.write_text(survey_to_markdown(result, ranking))
         written[f"md-{name}"] = md_path

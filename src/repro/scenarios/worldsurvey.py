@@ -300,6 +300,7 @@ def run_survey_period(
     fault_log=None,
     workers: Optional[int] = None,
     cache=None,
+    archive=None,
 ) -> Tuple[SurveyResult, World]:
     """Run one period of the world survey end to end.
 
@@ -316,6 +317,11 @@ def run_survey_period(
     :class:`repro.parallel.ResultCache` or directory path) enables the
     content-addressed per-AS result cache; it implies the executor
     path, whose output is bit-identical to the serial one.
+
+    ``archive`` (a :class:`repro.store.SurveyArchive` or directory
+    path) commits the period's result into the longitudinal archive
+    before returning, so every surveyed window lands in durable,
+    servable storage as soon as it is classified.
     """
     from ..obs import get_observer
     from ..parallel import resolve_workers
@@ -324,12 +330,15 @@ def run_survey_period(
     if resolved is not None or cache is not None:
         from ..parallel import run_survey_period_parallel
 
-        return run_survey_period_parallel(
+        result, world = run_survey_period_parallel(
             specs, period, workers=resolved or 1, lockdown=lockdown,
             seed=seed, min_probes=min_probes,
             dataset_faults=dataset_faults, fault_seed=fault_seed,
             fault_log=fault_log, cache=cache,
         )
+        if archive is not None:
+            _ensure_archive(archive).ingest(result)
+        return result, world
     if lockdown is None:
         lockdown = period.name == "2020-04"
     obs = get_observer()
@@ -352,7 +361,18 @@ def run_survey_period(
         result = classify_dataset(
             dataset, period, min_probes=min_probes, table=world.table
         )
+    if archive is not None:
+        _ensure_archive(archive).ingest(result)
     return result, world
+
+
+def _ensure_archive(archive):
+    """Normalize an archive argument: path-like becomes an archive."""
+    from ..store import SurveyArchive
+
+    if isinstance(archive, SurveyArchive):
+        return archive
+    return SurveyArchive(archive)
 
 
 def run_survey(
@@ -361,11 +381,17 @@ def run_survey(
     seed: int = 7,
     workers: Optional[int] = None,
     cache=None,
+    archive=None,
 ) -> Tuple[SurveySuite, EyeballRanking]:
     """Run the full multi-period survey and build the eyeball ranking.
 
     ``workers``/``cache`` are forwarded to :func:`run_survey_period`
     (see there); results are identical for any worker count.
+
+    ``archive`` (a :class:`repro.store.SurveyArchive` or directory
+    path) commits every period — with the eyeball ranking keying the
+    country index — so the finished run is immediately servable by
+    :mod:`repro.serve`.
     """
     suite = SurveySuite()
     last_world = None
@@ -377,4 +403,6 @@ def run_survey(
     ranking = EyeballRanking.from_registry(
         last_world.registry, rng=np.random.default_rng(seed),
     )
+    if archive is not None:
+        suite.ingest_into(_ensure_archive(archive), ranking)
     return suite, ranking

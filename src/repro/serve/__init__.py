@@ -1,0 +1,41 @@
+"""Survey serving layer — the lookup service over :mod:`repro.store`.
+
+The paper's public site lets any operator look up their AS's
+congestion verdict; this package is that lookup service for archived
+survey results:
+
+* :mod:`repro.serve.app`   — :class:`SurveyAPI`, socket-free routing
+  from request targets to rendered JSON responses with ETags and
+  taxonomy-mapped error statuses;
+* :mod:`repro.serve.http`  — :class:`SurveyServer`, the stdlib
+  threaded HTTP shell with conditional (304) responses and graceful
+  shutdown;
+* :mod:`repro.serve.cache` — :class:`LRUCache`, the thread-safe
+  hot-object cache rendered responses sit in.
+
+Typical embedding::
+
+    from repro.store import SurveyArchive
+    from repro.serve import SurveyServer
+
+    with SurveyServer(SurveyArchive("archive/")) as server:
+        print(server.url)  # ephemeral port by default
+        ...
+
+Standalone: ``python -m repro serve archive/ --port 8080``.
+"""
+
+from .app import Response, SEVERITY_CLASSES, SurveyAPI, status_for
+from .cache import LRUCache, LRUStats
+from .http import SERVER_NAME, SurveyServer
+
+__all__ = [
+    "SurveyAPI",
+    "Response",
+    "status_for",
+    "SEVERITY_CLASSES",
+    "SurveyServer",
+    "SERVER_NAME",
+    "LRUCache",
+    "LRUStats",
+]

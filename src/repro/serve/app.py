@@ -1,0 +1,268 @@
+"""The survey query API: routes → archive queries → JSON responses.
+
+This layer is deliberately socket-free: :class:`SurveyAPI` maps a
+request path to a fully rendered :class:`Response` (status, body
+bytes, ETag), and :mod:`repro.serve.http` is a thin HTTP shell around
+it.  Tests exercise routing, error mapping and caching here without
+binding a port.
+
+The HTTP surface (all ``GET``, all JSON):
+
+* ``/v1/healthz``                       — liveness + archive summary;
+* ``/v1/periods``                       — committed periods with meta;
+* ``/v1/period/<p>``                    — one period's full payload;
+* ``/v1/period/<p>/severe``             — the Severe-class lookup;
+* ``/v1/period/<p>/severity/<class>``   — any severity class;
+* ``/v1/period/<p>/country/<cc>``       — per-country AS list;
+* ``/v1/as/<asn>[?period=<p>]``         — one AS's verdict (the
+  operator lookup the paper's site exists for);
+* ``/v1/as/<asn>/history``              — the AS's longitudinal record.
+
+Error mapping follows the :mod:`repro.netbase.errors` taxonomy:
+*not found* archive errors → 404, malformed requests → 400, archive
+corruption → 503 (quarantined, never served), anything else → 500.
+
+Successful responses are cached in an LRU keyed by path+query — the
+archive is append-only while a server runs, so rendered bodies never
+go stale.  Every response carries a strong ETag (body digest) so
+conditional re-requests collapse to 304s upstream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..netbase.errors import NetbaseError
+from ..obs import get_observer
+from ..store import (
+    ArchiveCorruptionError,
+    ASNotFoundError,
+    PeriodNotFoundError,
+    SurveyArchive,
+)
+
+STAGE = "serve"
+
+#: Severity classes the API accepts in ``/severity/<class>``.
+SEVERITY_CLASSES = ("none", "low", "mild", "severe")
+
+
+@dataclass(frozen=True)
+class Response:
+    """One rendered API response."""
+
+    status: int
+    body: bytes
+    etag: Optional[str] = None
+    content_type: str = "application/json"
+
+    @property
+    def cacheable(self) -> bool:
+        return self.status == 200 and self.etag is not None
+
+
+def _render(status: int, payload: Dict) -> Response:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    etag = None
+    if status == 200:
+        etag = f'"{hashlib.sha256(body).hexdigest()[:32]}"'
+    return Response(status=status, body=body, etag=etag)
+
+
+def _error(status: int, kind: str, detail: str) -> Response:
+    return _render(status, {"error": kind, "detail": detail})
+
+
+def status_for(exc: Exception) -> int:
+    """HTTP status for an exception, per the netbase taxonomy."""
+    if isinstance(exc, (PeriodNotFoundError, ASNotFoundError)):
+        return 404
+    if isinstance(exc, ArchiveCorruptionError):
+        return 503
+    if isinstance(exc, (NetbaseError, ValueError)):
+        return 400
+    return 500
+
+
+class SurveyAPI:
+    """Route dispatcher over a :class:`~repro.store.SurveyArchive`."""
+
+    def __init__(
+        self,
+        archive: SurveyArchive,
+        cache_size: int = 512,
+    ):
+        from .cache import LRUCache
+
+        self.archive = archive
+        self.cache = LRUCache(cache_size)
+
+    # -- entry point ---------------------------------------------------
+
+    def handle(self, target: str) -> Response:
+        """Serve one request target (path + optional query string)."""
+        obs = get_observer()
+        route = "unknown"
+        started = time.perf_counter()
+        try:
+            cached = self.cache.get(target)
+            if cached is not None:
+                route = "cached"
+                obs.counter(
+                    "serve_cache_hits_total",
+                    "responses served from the hot-object cache",
+                ).inc()
+                return cached
+            route, response = self._dispatch(target)
+            if response.cacheable:
+                self.cache.put(target, response)
+            return response
+        except Exception as exc:  # noqa: BLE001 — boundary mapping
+            status = status_for(exc)
+            obs.logger.bind(stage=STAGE).warning(
+                "request-failed", target=target,
+                error=type(exc).__name__, status=status,
+            )
+            return _error(status, type(exc).__name__, str(exc))
+        finally:
+            elapsed = time.perf_counter() - started
+            obs.counter(
+                "serve_requests_total", "API requests by route",
+                ("route",),
+            ).inc(route=route)
+            obs.histogram(
+                "serve_request_seconds", "request latency by route",
+                ("route",),
+            ).observe(elapsed, route=route)
+
+    def _dispatch(self, target: str) -> Tuple[str, Response]:
+        split = urlsplit(target)
+        parts = [p for p in split.path.split("/") if p]
+        query = parse_qs(split.query)
+        if not parts or parts[0] != "v1":
+            return "unknown", _error(
+                404, "NoSuchRoute", f"unknown path {split.path!r}"
+            )
+        tail = parts[1:]
+        for route, pattern, handler in self._routes():
+            bound = _match(pattern, tail)
+            if bound is not None:
+                with get_observer().span("serve-" + route):
+                    return route, handler(*bound, query)
+        return "unknown", _error(
+            404, "NoSuchRoute", f"unknown path {split.path!r}"
+        )
+
+    def _routes(self) -> Tuple[Tuple[str, Tuple[str, ...], Callable], ...]:
+        return (
+            ("healthz", ("healthz",), self._healthz),
+            ("periods", ("periods",), self._periods),
+            ("period", ("period", "*"), self._period),
+            ("severe", ("period", "*", "severe"), self._severe),
+            ("severity", ("period", "*", "severity", "*"),
+             self._severity),
+            ("country", ("period", "*", "country", "*"), self._country),
+            ("as", ("as", "*"), self._as),
+            ("history", ("as", "*", "history"), self._history),
+        )
+
+    # -- handlers ------------------------------------------------------
+
+    def _healthz(self, _query) -> Response:
+        return _render(200, {
+            "status": "ok",
+            "periods": len(self.archive),
+            "latest": (
+                self.archive.latest() if len(self.archive) else None
+            ),
+        })
+
+    def _periods(self, _query) -> Response:
+        return _render(200, {
+            "periods": [
+                dict(self.archive.period_meta(name), name=name)
+                for name in self.archive.periods()
+            ],
+        })
+
+    def _period(self, name: str, _query) -> Response:
+        return _render(200, self.archive.get_period(name))
+
+    def _severe(self, name: str, query) -> Response:
+        return self._severity(name, "severe", query)
+
+    def _severity(self, name: str, severity: str, _query) -> Response:
+        severity = severity.lower()
+        if severity not in SEVERITY_CLASSES:
+            return _error(
+                400, "BadSeverity",
+                f"severity must be one of {SEVERITY_CLASSES}, "
+                f"got {severity!r}",
+            )
+        asns = self.archive.asns_with_severity(name, severity)
+        return _render(200, {
+            "period": name,
+            "severity": severity,
+            "count": len(asns),
+            "asns": asns,
+            "reports": {
+                str(asn): self.archive.get(asn, name) for asn in asns
+            },
+        })
+
+    def _country(self, name: str, country: str, _query) -> Response:
+        asns = self.archive.asns_in_country(name, country)
+        return _render(200, {
+            "period": name,
+            "country": country.upper(),
+            "count": len(asns),
+            "asns": asns,
+        })
+
+    def _as(self, asn_text: str, query) -> Response:
+        asn = _parse_asn(asn_text)
+        period = query.get("period", [None])[0]
+        report = self.archive.get(asn, period)
+        name = period if period is not None else self.archive.latest()
+        return _render(200, {
+            "asn": asn,
+            "period": name,
+            "report": report,
+        })
+
+    def _history(self, asn_text: str, _query) -> Response:
+        asn = _parse_asn(asn_text)
+        history = self.archive.history(asn)
+        if not any(entry["monitored"] for entry in history):
+            raise ASNotFoundError(asn, "<any committed period>")
+        return _render(200, {"asn": asn, "history": history})
+
+
+def _match(pattern: Tuple[str, ...], parts) -> Optional[Tuple[str, ...]]:
+    """Bind ``*`` segments of a route pattern; None when no match."""
+    if len(pattern) != len(parts):
+        return None
+    bound = []
+    for expected, got in zip(pattern, parts):
+        if expected == "*":
+            bound.append(got)
+        elif expected != got:
+            return None
+    return tuple(bound)
+
+
+def _parse_asn(text: str) -> int:
+    """Parse an ASN path segment (``64500`` or ``AS64500``)."""
+    cleaned = text.upper().removeprefix("AS")
+    try:
+        asn = int(cleaned)
+    except ValueError:
+        raise ValueError(f"not an AS number: {text!r}") from None
+    if asn < 0:
+        raise ValueError(f"negative AS number: {text!r}")
+    return asn

@@ -1,0 +1,89 @@
+"""Thread-safe LRU hot-object cache for the serving layer.
+
+The survey API's working set is tiny (a few hundred rendered
+responses) and read-mostly, so a plain ordered-dict LRU under one lock
+beats anything fancier: a warm hit is a dict lookup plus a move-to-end,
+no serialization, no copies.  The server caches fully rendered
+*response bodies* (bytes + ETag), so a hot ``/v1/as/<asn>`` lookup
+never touches the archive, the JSON encoder or the checksum path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+
+@dataclass
+class LRUStats:
+    """Hit accounting of one cache object."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class LRUCache:
+    """Bounded least-recently-used map; all operations O(1)."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = LRUStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """The cached value, refreshed to most-recent; None on miss."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert/refresh a value, evicting the coldest past capacity."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; True when it was present."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop everything (stats survive)."""
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Snapshot of keys, coldest first."""
+        with self._lock:
+            return tuple(self._entries)

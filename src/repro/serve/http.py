@@ -1,0 +1,163 @@
+"""Threaded HTTP shell over :class:`~repro.serve.app.SurveyAPI`.
+
+Stdlib only (:mod:`http.server`), matching the repo's no-dependency
+discipline.  The server is a :class:`ThreadingHTTPServer`: each
+connection gets a thread, the API layer underneath is thread-safe
+(locked LRU, locked segment reads), and the archive is append-only
+while serving, so there is no write contention to manage.
+
+Conditional requests: every 200 carries a strong ETag; a request whose
+``If-None-Match`` lists that ETag (or ``*``) gets a bodyless 304 — the
+survey site's per-AS pages are effectively immutable per period, so
+repeat lookups cost a header exchange.
+
+Shutdown is graceful both ways: :meth:`SurveyServer.stop` (and the
+context manager) drain via ``shutdown()`` + ``server_close()`` and
+join the serving thread; the blocking :meth:`serve_forever` converts
+``KeyboardInterrupt`` into the same clean path for CLI use.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Union
+
+from ..obs import get_observer
+from ..store import SurveyArchive
+from .app import Response, SurveyAPI
+
+SERVER_NAME = "repro-serve"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request: delegate to the API, speak HTTP around it."""
+
+    server_version = SERVER_NAME
+    protocol_version = "HTTP/1.1"
+
+    # The server object carries the API (set by SurveyServer).
+    def _api(self) -> SurveyAPI:
+        return self.server.api  # type: ignore[attr-defined]
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server contract
+        response = self._api().handle(self.path)
+        if response.etag is not None and self._etag_matches(response):
+            self._send(Response(
+                status=304, body=b"", etag=response.etag,
+            ))
+            get_observer().counter(
+                "serve_not_modified_total",
+                "conditional requests answered 304",
+            ).inc()
+            return
+        self._send(response)
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        response = self._api().handle(self.path)
+        self._send(response, head_only=True)
+
+    def _etag_matches(self, response: Response) -> bool:
+        header = self.headers.get("If-None-Match")
+        if not header:
+            return False
+        candidates = [tag.strip() for tag in header.split(",")]
+        return "*" in candidates or response.etag in candidates
+
+    def _send(self, response: Response, head_only: bool = False) -> None:
+        body = b"" if response.status == 304 else response.body
+        self.send_response(response.status)
+        if response.status != 304:
+            self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if response.etag is not None:
+            self.send_header("ETag", response.etag)
+        if response.status in (200, 304):
+            # Committed periods are immutable; let clients hold on.
+            self.send_header("Cache-Control", "max-age=300")
+        self.end_headers()
+        if body and not head_only:
+            self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # Route access logs through the structured logger instead of
+        # stderr; silent under the no-op observer.
+        get_observer().logger.bind(stage="serve-http").info(
+            "access", message=format % args,
+        )
+
+
+class SurveyServer:
+    """The archive's HTTP frontend, embeddable or standalone.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port` after construction) — tests and the CI smoke step
+    rely on that.
+    """
+
+    def __init__(
+        self,
+        archive: Union[SurveyArchive, SurveyAPI],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 512,
+    ):
+        self.api = (
+            archive if isinstance(archive, SurveyAPI)
+            else SurveyAPI(archive, cache_size=cache_size)
+        )
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.api = self.api  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- addressing ----------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "SurveyServer":
+        """Serve on a background thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=SERVER_NAME,
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, drain, close, join."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop for the CLI; Ctrl-C shuts down cleanly."""
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self._httpd.server_close()
+
+    def __enter__(self) -> "SurveyServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

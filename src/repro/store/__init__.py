@@ -1,0 +1,51 @@
+"""Longitudinal survey archive — durable storage for survey results.
+
+The paper publishes per-period survey verdicts on a public site; this
+package is the reproduction's storage tier for that site:
+
+* :mod:`repro.store.archive`  — :class:`SurveyArchive`, the
+  append-only, schema-versioned multi-period store with atomic
+  commits, checksum/quarantine discipline, secondary indexes (ASN /
+  country / severity) and longitudinal queries;
+* :mod:`repro.store.segments` — the packed-segment format compaction
+  folds period JSON into (one seek + one read per point lookup);
+* :mod:`repro.store.errors`   — archive failures, rooted in the
+  :mod:`repro.netbase.errors` taxonomy so the CLI and
+  :mod:`repro.serve` map them to exit codes / HTTP statuses.
+
+The serving layer on top is :mod:`repro.serve`.
+"""
+
+from .archive import (
+    ARCHIVE_FORMAT,
+    ArchiveStats,
+    SCHEMA_VERSION,
+    SurveyArchive,
+    payload_checksum,
+)
+from .errors import (
+    ArchiveCorruptionError,
+    ArchiveError,
+    ASNotFoundError,
+    PeriodExistsError,
+    PeriodNotFoundError,
+    SchemaVersionError,
+)
+from .segments import MAGIC, SegmentReader, write_segment
+
+__all__ = [
+    "SurveyArchive",
+    "ArchiveStats",
+    "SCHEMA_VERSION",
+    "ARCHIVE_FORMAT",
+    "payload_checksum",
+    "ArchiveError",
+    "PeriodExistsError",
+    "PeriodNotFoundError",
+    "ASNotFoundError",
+    "ArchiveCorruptionError",
+    "SchemaVersionError",
+    "SegmentReader",
+    "write_segment",
+    "MAGIC",
+]

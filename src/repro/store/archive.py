@@ -1,0 +1,600 @@
+"""The longitudinal survey archive — durable storage across periods.
+
+The paper's deliverable is a public per-period survey site; this
+module is its storage layer: an append-only, schema-versioned on-disk
+archive of :func:`~repro.io.surveys.survey_to_dict` payloads, one per
+measurement period, with the secondary indexes the serving layer
+(:mod:`repro.serve`) queries — by ASN, by country, by severity class.
+
+Layout under the archive root::
+
+    MANIFEST.json        # schema version + the committed-period log
+    periods/<name>.json  # checksum-wrapped survey_to_dict payload
+    index/<name>.json    # checksum-wrapped severity/country indexes
+    segments/<name>.seg  # packed representation after compaction
+    quarantine/          # corrupted artifacts, moved aside as evidence
+
+Commit discipline (same school as :mod:`repro.parallel.cache`): every
+artifact wraps its payload with a SHA-256 checksum, every write is
+atomic (temp file + rename), and the *manifest rewrite is the commit
+point* — a crash mid-ingest leaves orphan period files that the next
+ingest simply overwrites, never a half-committed period.  A checksum
+or parse failure on read quarantines the artifact and raises
+:class:`ArchiveCorruptionError`: corrupted data is reported, never
+served.
+
+Append-only: a committed period is immutable.  Compaction
+(:meth:`SurveyArchive.compact`) changes a period's *representation*
+(JSON document → packed segment, verified byte-lossless before the
+JSON is dropped), never its content.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..obs import get_observer
+from ..parallel.cache import canonical_json
+from .errors import (
+    ArchiveCorruptionError,
+    ASNotFoundError,
+    PeriodExistsError,
+    PeriodNotFoundError,
+    SchemaVersionError,
+)
+from .segments import SegmentReader, write_segment
+
+PathLike = Union[str, Path]
+
+#: On-disk schema this build reads and writes.  Bump on any layout or
+#: payload change that old readers would misinterpret.
+SCHEMA_VERSION = 1
+
+ARCHIVE_FORMAT = "repro-archive"
+
+STAGE = "store-archive"
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("ascii")).hexdigest()
+
+
+def payload_checksum(payload: Dict) -> str:
+    """Canonical-JSON SHA-256 of a survey payload."""
+    return _sha(canonical_json(payload))
+
+
+@dataclass
+class ArchiveStats:
+    """What one archive object did so far (process-local)."""
+
+    ingests: int = 0
+    lookups: int = 0
+    segment_lookups: int = 0
+    corrupt: int = 0
+    compactions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "ingests": self.ingests,
+            "lookups": self.lookups,
+            "segment_lookups": self.segment_lookups,
+            "corrupt": self.corrupt,
+            "compactions": self.compactions,
+        }
+
+
+class SurveyArchive:
+    """Append-only multi-period survey store with secondary indexes."""
+
+    MANIFEST = "MANIFEST.json"
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.stats = ArchiveStats()
+        self._readers: Dict[str, SegmentReader] = {}
+        self._payloads: Dict[str, Dict] = {}
+        self._indexes: Dict[str, Dict] = {}
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._manifest = self._load_manifest()
+
+    # -- paths ---------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / self.MANIFEST
+
+    def period_path(self, name: str) -> Path:
+        return self.root / "periods" / f"{name}.json"
+
+    def index_path(self, name: str) -> Path:
+        return self.root / "index" / f"{name}.json"
+
+    def segment_path(self, name: str) -> Path:
+        return self.root / "segments" / f"{name}.seg"
+
+    # -- manifest ------------------------------------------------------
+
+    def _load_manifest(self) -> Dict:
+        try:
+            raw = self.manifest_path.read_text()
+        except FileNotFoundError:
+            return {
+                "format": ARCHIVE_FORMAT,
+                "schema": SCHEMA_VERSION,
+                "periods": {},
+            }
+        try:
+            manifest = json.loads(raw)
+        except ValueError as exc:
+            self._quarantine(self.manifest_path)
+            raise ArchiveCorruptionError(
+                self.manifest_path, f"manifest does not parse: {exc}"
+            ) from None
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("format") != ARCHIVE_FORMAT
+        ):
+            self._quarantine(self.manifest_path)
+            raise ArchiveCorruptionError(
+                self.manifest_path, "not a survey-archive manifest"
+            )
+        if manifest.get("schema") != SCHEMA_VERSION:
+            raise SchemaVersionError(
+                manifest.get("schema"), SCHEMA_VERSION
+            )
+        return manifest
+
+    def _write_manifest(self) -> None:
+        tmp = self.manifest_path.with_name(
+            f".{self.MANIFEST}.{os.getpid()}.tmp"
+        )
+        tmp.write_text(json.dumps(self._manifest, indent=1))
+        os.replace(tmp, self.manifest_path)
+
+    # -- basic queries -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._manifest["periods"])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._manifest["periods"]
+
+    def periods(self) -> List[str]:
+        """Committed period names in chronological (start) order."""
+        entries = self._manifest["periods"]
+        return sorted(entries, key=lambda n: (entries[n]["start"], n))
+
+    def latest(self) -> str:
+        """The most recent committed period."""
+        names = self.periods()
+        if not names:
+            raise PeriodNotFoundError("<latest of empty archive>")
+        return names[-1]
+
+    def period_meta(self, name: str) -> Dict:
+        """Manifest entry of one committed period (a copy)."""
+        entry = self._manifest["periods"].get(name)
+        if entry is None:
+            raise PeriodNotFoundError(name)
+        return dict(entry)
+
+    # -- ingest --------------------------------------------------------
+
+    def ingest(self, result, ranking=None) -> str:
+        """Commit one period; returns its name.
+
+        ``result`` is a :class:`~repro.core.survey.SurveyResult` or an
+        already-serialized ``survey_to_dict`` payload.  ``ranking`` (an
+        :class:`~repro.apnic.EyeballRanking`) keys the country index;
+        without it, country queries on this period return nothing.
+        """
+        from ..io.surveys import survey_to_dict
+
+        payload = (
+            result if isinstance(result, dict)
+            else survey_to_dict(result)
+        )
+        name = payload["period"]["name"]
+        if name in self:
+            raise PeriodExistsError(name)
+        obs = get_observer()
+        with obs.span("store-ingest", period=name):
+            checksum = payload_checksum(payload)
+            self._write_wrapped(self.period_path(name), payload)
+            self._write_wrapped(
+                self.index_path(name),
+                _build_index(payload, ranking),
+            )
+            self._manifest["periods"][name] = {
+                "start": payload["period"]["start"],
+                "days": payload["period"]["days"],
+                "repr": "json",
+                "checksum": checksum,
+                "ases": len(payload.get("reports", {})),
+                "seq": len(self._manifest["periods"]),
+            }
+            self._write_manifest()
+        self.stats.ingests += 1
+        obs.counter(
+            "store_ingest_total", "periods committed to the archive",
+        ).inc()
+        self._payloads[name] = payload
+        return name
+
+    def ingest_suite(self, suite, ranking=None) -> List[str]:
+        """Commit every period of a suite; returns the names."""
+        return [
+            self.ingest(result, ranking=ranking)
+            for result in suite.results.values()
+        ]
+
+    def _write_wrapped(self, path: Path, payload: Dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "checksum": payload_checksum(payload),
+            "payload": payload,
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(entry, indent=1))
+        os.replace(tmp, path)
+
+    # -- reads ---------------------------------------------------------
+
+    def _read_wrapped(self, path: Path) -> Dict:
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise ArchiveCorruptionError(
+                path, "committed artifact is missing"
+            ) from None
+        except (OSError, ValueError) as exc:
+            self._quarantine(path)
+            raise ArchiveCorruptionError(
+                path, f"does not parse: {exc}"
+            ) from None
+        payload = entry.get("payload") if isinstance(entry, dict) else None
+        checksum = entry.get("checksum") if isinstance(entry, dict) else None
+        if payload is None or checksum != payload_checksum(payload):
+            self._quarantine(path)
+            raise ArchiveCorruptionError(path, "checksum mismatch")
+        return payload
+
+    def _quarantine(self, path: Path) -> None:
+        self.stats.corrupt += 1
+        get_observer().counter(
+            "store_corrupt_total",
+            "archive artifacts quarantined on read",
+        ).inc()
+        target = self.root / "quarantine" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            # Best-effort: reporting the corruption matters more than
+            # relocating the evidence.
+            pass
+
+    def _reader(self, name: str) -> SegmentReader:
+        reader = self._readers.get(name)
+        if reader is None:
+            path = self.segment_path(name)
+            try:
+                reader = SegmentReader(path)
+            except ArchiveCorruptionError:
+                self._quarantine(path)
+                raise
+            self._readers[name] = reader
+        return reader
+
+    def get_period(self, name: str) -> Dict:
+        """One period's full ``survey_to_dict`` payload.
+
+        Byte-lossless: the canonical JSON of the returned dict is
+        identical to what was ingested, whichever representation
+        (JSON document or packed segment) currently backs the period.
+        """
+        meta = self.period_meta(name)
+        cached = self._payloads.get(name)
+        if cached is not None:
+            return cached
+        self.stats.lookups += 1
+        if meta["repr"] == "segment":
+            self.stats.segment_lookups += 1
+            try:
+                payload = self._reader(name).payload()
+            except ArchiveCorruptionError:
+                self._drop_reader(name, quarantine=True)
+                raise
+        else:
+            payload = self._read_wrapped(self.period_path(name))
+        if payload_checksum(payload) != meta["checksum"]:
+            raise ArchiveCorruptionError(
+                self.period_path(name),
+                "payload does not match manifest checksum",
+            )
+        self._payloads[name] = payload
+        return payload
+
+    def get(self, asn: int, period: Optional[str] = None) -> Dict:
+        """Point lookup: one AS's report entry in one period.
+
+        ``period=None`` means the latest committed period.  Raises
+        :class:`ASNotFoundError` when the AS was not monitored and
+        :class:`PeriodNotFoundError` for unknown periods.
+        """
+        name = period if period is not None else self.latest()
+        meta = self.period_meta(name)
+        self.stats.lookups += 1
+        if meta["repr"] == "segment" and name not in self._payloads:
+            self.stats.segment_lookups += 1
+            try:
+                entry = self._reader(name).get(int(asn))
+            except ArchiveCorruptionError:
+                self._drop_reader(name, quarantine=True)
+                raise
+        else:
+            entry = self.get_period(name)["reports"].get(str(int(asn)))
+        if entry is None:
+            raise ASNotFoundError(int(asn), name)
+        return entry
+
+    def _drop_reader(self, name: str, quarantine: bool = False) -> None:
+        reader = self._readers.pop(name, None)
+        if reader is not None:
+            reader.close()
+        if quarantine:
+            self._quarantine(self.segment_path(name))
+
+    # -- secondary indexes ---------------------------------------------
+
+    def _index(self, name: str) -> Dict:
+        if name not in self:
+            raise PeriodNotFoundError(name)
+        cached = self._indexes.get(name)
+        if cached is None:
+            cached = self._read_wrapped(self.index_path(name))
+            self._indexes[name] = cached
+        return cached
+
+    def asns(self, period: Optional[str] = None) -> List[int]:
+        """Monitored ASNs of one period, sorted."""
+        name = period if period is not None else self.latest()
+        index = self._index(name)
+        return sorted(
+            asn for asns in index["severity"].values() for asn in asns
+        )
+
+    def asns_with_severity(
+        self, period: str, severity: str
+    ) -> List[int]:
+        """ASNs of one period carrying exactly ``severity``."""
+        return sorted(self._index(period)["severity"].get(severity, []))
+
+    def severe_asns(self, period: str) -> List[int]:
+        """The period's Severe-class ASNs (the headline lookup)."""
+        return self.asns_with_severity(period, "severe")
+
+    def reported_asns(self, period: str) -> List[int]:
+        """Congested (non-None) ASNs of one period, sorted."""
+        index = self._index(period)["severity"]
+        return sorted(
+            asn
+            for severity, asns in index.items()
+            if severity != "none"
+            for asn in asns
+        )
+
+    def asns_in_country(self, period: str, country: str) -> List[int]:
+        """Monitored ASNs of one period hosted in ``country``.
+
+        Empty when the period was ingested without an eyeball ranking.
+        """
+        return sorted(
+            self._index(period)["country"].get(country.upper(), [])
+        )
+
+    def countries(self, period: str) -> List[str]:
+        """Countries with at least one monitored AS, sorted."""
+        return sorted(self._index(period)["country"])
+
+    # -- longitudinal queries ------------------------------------------
+
+    def history(self, asn: int) -> List[Dict]:
+        """One AS's per-period classification history, oldest first.
+
+        Every committed period contributes one entry; periods where
+        the AS was not monitored are marked ``monitored: false`` so
+        operators can tell "not congested" from "not measured".
+        """
+        asn = int(asn)
+        entries = []
+        for name in self.periods():
+            try:
+                report = self.get(asn, name)
+            except ASNotFoundError:
+                entries.append({
+                    "period": name, "monitored": False,
+                    "severity": None,
+                })
+                continue
+            markers = report.get("markers")
+            entries.append({
+                "period": name,
+                "monitored": True,
+                "severity": report["severity"],
+                "probe_count": report["probe_count"],
+                "daily_amplitude_ms": (
+                    markers["daily_amplitude_ms"] if markers else 0.0
+                ),
+            })
+        return entries
+
+    def scan(
+        self,
+        start: Optional[str] = None,
+        end: Optional[str] = None,
+    ) -> Iterator[Tuple[str, Dict]]:
+        """Range scan: ``(name, payload)`` per period, oldest first.
+
+        ``start``/``end`` bound the periods' *start dates* (inclusive;
+        ISO ``YYYY-MM-DD`` or full timestamps).
+        """
+        lo = dt.datetime.fromisoformat(start) if start else None
+        hi = dt.datetime.fromisoformat(end) if end else None
+        for name in self.periods():
+            begin = dt.datetime.fromisoformat(
+                self.period_meta(name)["start"]
+            )
+            if lo is not None and begin < lo:
+                continue
+            if hi is not None and begin > hi:
+                continue
+            yield name, self.get_period(name)
+
+    def deltas_between(self, before: str, after: str) -> Dict:
+        """Churn between two periods' reported-AS sets.
+
+        New entrants, departures, the persisting core and the Jaccard
+        similarity — the §3.1 "little churn" statistic, straight from
+        the archive.
+        """
+        from ..core.stats import churn_jaccard
+
+        old = set(self.reported_asns(before))
+        new = set(self.reported_asns(after))
+        return {
+            "before": before,
+            "after": after,
+            "jaccard": churn_jaccard(old, new),
+            "new": sorted(new - old),
+            "gone": sorted(old - new),
+            "persisting": sorted(old & new),
+        }
+
+    def churn_deltas(self) -> List[Dict]:
+        """Consecutive-period deltas across the whole archive."""
+        names = self.periods()
+        return [
+            self.deltas_between(a, b)
+            for a, b in zip(names, names[1:])
+        ]
+
+    def to_suite(self, names: Optional[Sequence[str]] = None):
+        """Materialize periods as a :class:`~repro.core.SurveySuite`.
+
+        The bridge back into the analysis API: every longitudinal
+        statistic (:meth:`SurveySuite.recurrent_asns`,
+        :meth:`SurveySuite.reported_increase`, …) works on archived
+        data exactly as on a fresh run.
+        """
+        from ..core.survey import SurveySuite
+        from ..io.surveys import survey_from_dict
+
+        suite = SurveySuite()
+        for name in (names if names is not None else self.periods()):
+            suite.add(survey_from_dict(self.get_period(name)))
+        return suite
+
+    # -- compaction ----------------------------------------------------
+
+    def compact(
+        self,
+        names: Optional[Sequence[str]] = None,
+        keep_json: bool = False,
+    ) -> List[str]:
+        """Fold period JSON documents into packed segments.
+
+        Each segment is verified byte-lossless (full reconstruction
+        checksum) *before* the JSON document is removed, so compaction
+        can never lose a period.  Returns the names compacted.
+        """
+        obs = get_observer()
+        compacted = []
+        for name in (names if names is not None else self.periods()):
+            meta = self.period_meta(name)
+            if meta["repr"] == "segment":
+                continue
+            with obs.span("store-compact", period=name):
+                payload = self.get_period(name)
+                write_segment(self.segment_path(name), payload)
+                # Round-trip proof before the JSON goes away.
+                reader = self._reader(name)
+                reconstructed = reader.payload()
+                if payload_checksum(reconstructed) != meta["checksum"]:
+                    self._drop_reader(name, quarantine=True)
+                    raise ArchiveCorruptionError(
+                        self.segment_path(name),
+                        "segment round-trip diverges from source",
+                    )
+                self._manifest["periods"][name]["repr"] = "segment"
+                self._write_manifest()
+                if not keep_json:
+                    try:
+                        os.remove(self.period_path(name))
+                    except OSError:
+                        pass
+            self.stats.compactions += 1
+            compacted.append(name)
+        if compacted:
+            obs.counter(
+                "store_compactions_total",
+                "periods folded into packed segments",
+            ).inc(len(compacted))
+        return compacted
+
+    # -- maintenance ---------------------------------------------------
+
+    def verify(self) -> Dict[str, str]:
+        """Re-read and re-checksum every committed period.
+
+        Returns ``{period: "ok" | "corrupt: <detail>"}`` without
+        raising, so operators can audit an archive in one pass.
+        """
+        outcome: Dict[str, str] = {}
+        for name in self.periods():
+            self._payloads.pop(name, None)
+            try:
+                self.get_period(name)
+            except ArchiveCorruptionError as exc:
+                outcome[name] = f"corrupt: {exc.detail}"
+            else:
+                outcome[name] = "ok"
+        return outcome
+
+    def close(self) -> None:
+        """Release open segment handles (caches stay warm)."""
+        for name in list(self._readers):
+            self._drop_reader(name)
+
+    def __enter__(self) -> "SurveyArchive":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def _build_index(payload: Dict, ranking) -> Dict:
+    """Severity + country secondary indexes for one period."""
+    severity: Dict[str, List[int]] = {}
+    country: Dict[str, List[int]] = {}
+    for asn_text, report in payload.get("reports", {}).items():
+        asn = int(asn_text)
+        severity.setdefault(report["severity"], []).append(asn)
+        if ranking is not None:
+            estimate = ranking.get(asn)
+            if estimate is not None:
+                country.setdefault(
+                    estimate.country.upper(), []
+                ).append(asn)
+    return {
+        "severity": {k: sorted(v) for k, v in sorted(severity.items())},
+        "country": {k: sorted(v) for k, v in sorted(country.items())},
+    }

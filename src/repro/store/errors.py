@@ -1,0 +1,71 @@
+"""Archive-specific errors, rooted in the netbase taxonomy.
+
+Every archive failure derives from :class:`~repro.netbase.errors.
+NetbaseError` so API boundaries (the CLI, :mod:`repro.serve`) can map
+exception type → exit code / HTTP status without a parallel hierarchy:
+*not found* errors become 404s, *conflicts* 409s, *corruption* 503s and
+everything else in the family a 400.
+"""
+
+from __future__ import annotations
+
+from ..netbase.errors import NetbaseError
+
+
+class ArchiveError(NetbaseError):
+    """Base class for survey-archive failures."""
+
+
+class PeriodExistsError(ArchiveError):
+    """An ingest would overwrite a committed period.
+
+    The archive is append-only: a period, once committed, is immutable.
+    Re-running a survey for the same window goes to a fresh archive (or
+    the caller passes ``overwrite_ok`` to acknowledge the rewrite).
+    """
+
+    def __init__(self, period: str):
+        self.period = period
+        super().__init__(f"period {period!r} is already committed")
+
+
+class PeriodNotFoundError(ArchiveError, LookupError):
+    """A query named a period the archive has not committed."""
+
+    def __init__(self, period: str):
+        self.period = period
+        super().__init__(f"no committed period {period!r}")
+
+
+class ASNotFoundError(ArchiveError, LookupError):
+    """A point lookup named an AS absent from the period."""
+
+    def __init__(self, asn: int, period: str):
+        self.asn = asn
+        self.period = period
+        super().__init__(f"AS{asn} not monitored in period {period!r}")
+
+
+class ArchiveCorruptionError(ArchiveError):
+    """A stored artifact failed its checksum or did not parse.
+
+    The offending file has already been quarantined when this is
+    raised — corrupted data is *reported*, never served.
+    """
+
+    def __init__(self, path, detail: str):
+        self.path = path
+        self.detail = detail
+        super().__init__(f"{path}: {detail}")
+
+
+class SchemaVersionError(ArchiveError):
+    """The on-disk archive speaks a schema this code does not."""
+
+    def __init__(self, found, supported):
+        self.found = found
+        self.supported = supported
+        super().__init__(
+            f"archive schema {found!r} not supported "
+            f"(this build reads {supported!r})"
+        )

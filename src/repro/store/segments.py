@@ -1,0 +1,234 @@
+"""Packed survey segments — the archive's compacted representation.
+
+A segment folds one committed period's JSON document into a single
+flat file optimized for point lookups:
+
+* a magic header line;
+* the data section — each AS's report entry as one canonical-JSON
+  blob, concatenated;
+* a JSON footer carrying everything that is not a per-AS report (the
+  period header, the failure log, the quality counts), the per-AS
+  index (``asn -> [offset, length, sha256]``) and a checksum of the
+  whole reconstructed payload;
+* a fixed-width trailer locating and checksumming the footer.
+
+A reader memory-maps nothing and parses nothing it does not need: the
+footer (a few KB) loads once per open and the per-AS index lives in
+memory, so ``get(asn)`` is one seek + one small read + one SHA-256
+over the blob.  Every byte served is checksum-verified — a flipped
+bit anywhere surfaces as :class:`ArchiveCorruptionError`, never as a
+silently wrong answer.
+
+The reconstruction contract: ``SegmentReader.payload()`` returns a
+dict whose canonical JSON is byte-identical to the ingested
+``survey_to_dict`` output (the footer stores that digest and the
+reader re-verifies it on every full read).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..parallel.cache import canonical_json
+from .errors import ArchiveCorruptionError
+
+PathLike = Union[str, Path]
+
+#: First bytes of every segment file; bump with the format.
+MAGIC = b"REPROSEG1\n"
+
+#: Trailer layout: footer offset (20 ascii digits) + footer length
+#: (20 ascii digits) + footer SHA-256 (64 hex chars).
+_TRAILER_LEN = 20 + 20 + 64
+
+
+def _sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def write_segment(path: PathLike, payload: Dict) -> Path:
+    """Pack one period's ``survey_to_dict`` payload into a segment.
+
+    The write is atomic (temp file + rename), so a crashed compaction
+    leaves either no segment or a complete one.
+    """
+    path = Path(path)
+    reports: Dict[str, Dict] = payload.get("reports", {})
+    blobs: List[bytes] = []
+    index: Dict[str, List] = {}
+    offset = len(MAGIC)
+    for asn_text in sorted(reports, key=int):
+        blob = canonical_json(reports[asn_text]).encode("ascii")
+        index[asn_text] = [offset, len(blob), _sha(blob)]
+        blobs.append(blob)
+        offset += len(blob)
+    footer = {
+        "format": MAGIC.decode("ascii").strip(),
+        "period": payload["period"],
+        "failures": payload.get("failures", {}),
+        "quality": payload.get("quality", {}),
+        "reports_index": index,
+        "payload_checksum": _sha(
+            canonical_json(payload).encode("ascii")
+        ),
+    }
+    footer_bytes = canonical_json(footer).encode("ascii")
+    trailer = (
+        f"{offset:020d}{len(footer_bytes):020d}"
+        f"{_sha(footer_bytes)}"
+    ).encode("ascii")
+    assert len(trailer) == _TRAILER_LEN
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(MAGIC)
+        for blob in blobs:
+            handle.write(blob)
+        handle.write(footer_bytes)
+        handle.write(trailer)
+    os.replace(tmp, path)
+    return path
+
+
+class SegmentReader:
+    """Point-lookup view over one packed segment.
+
+    Thread-safe: the shared file handle is guarded by a lock around
+    each seek+read pair, so the HTTP server's worker threads can share
+    one reader.
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        try:
+            self._handle = open(self.path, "rb")
+        except OSError as exc:
+            raise ArchiveCorruptionError(
+                self.path, f"segment unreadable: {exc}"
+            ) from None
+        try:
+            self._footer = self._load_footer()
+        except ArchiveCorruptionError:
+            self.close()
+            raise
+        self._index: Dict[int, List] = {
+            int(asn_text): entry
+            for asn_text, entry in self._footer["reports_index"].items()
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "SegmentReader":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------
+
+    def _read_at(self, offset: int, length: int) -> bytes:
+        with self._lock:
+            self._handle.seek(offset)
+            data = self._handle.read(length)
+        if len(data) != length:
+            raise ArchiveCorruptionError(
+                self.path, f"truncated read at {offset}+{length}"
+            )
+        return data
+
+    def _load_footer(self) -> Dict:
+        size = self.path.stat().st_size
+        if size < len(MAGIC) + _TRAILER_LEN:
+            raise ArchiveCorruptionError(
+                self.path, f"file too short ({size} bytes)"
+            )
+        if self._read_at(0, len(MAGIC)) != MAGIC:
+            raise ArchiveCorruptionError(self.path, "bad magic")
+        trailer = self._read_at(size - _TRAILER_LEN, _TRAILER_LEN)
+        try:
+            footer_offset = int(trailer[:20])
+            footer_length = int(trailer[20:40])
+            footer_sha = trailer[40:].decode("ascii")
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ArchiveCorruptionError(
+                self.path, f"unreadable trailer: {exc}"
+            ) from None
+        if footer_offset + footer_length + _TRAILER_LEN != size:
+            raise ArchiveCorruptionError(
+                self.path, "trailer does not span the file"
+            )
+        footer_bytes = self._read_at(footer_offset, footer_length)
+        if _sha(footer_bytes) != footer_sha:
+            raise ArchiveCorruptionError(
+                self.path, "footer checksum mismatch"
+            )
+        try:
+            footer = json.loads(footer_bytes)
+        except ValueError as exc:
+            raise ArchiveCorruptionError(
+                self.path, f"footer does not parse: {exc}"
+            ) from None
+        if not isinstance(footer, dict) or "reports_index" not in footer:
+            raise ArchiveCorruptionError(
+                self.path, "footer missing reports index"
+            )
+        return footer
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def period(self) -> Dict:
+        """The period header stored in the footer."""
+        return self._footer["period"]
+
+    def asns(self) -> List[int]:
+        """Monitored ASNs, sorted."""
+        return sorted(self._index)
+
+    def __contains__(self, asn: int) -> bool:
+        return int(asn) in self._index
+
+    def get(self, asn: int) -> Optional[Dict]:
+        """One AS's report entry, checksum-verified; None when absent."""
+        entry = self._index.get(int(asn))
+        if entry is None:
+            return None
+        offset, length, checksum = entry
+        blob = self._read_at(int(offset), int(length))
+        if _sha(blob) != checksum:
+            raise ArchiveCorruptionError(
+                self.path, f"report blob for AS{asn} fails checksum"
+            )
+        return json.loads(blob)
+
+    def payload(self) -> Dict:
+        """The full ``survey_to_dict`` payload, byte-lossless.
+
+        Reconstructs the document from the blobs + footer and verifies
+        the stored whole-payload digest, so the result's canonical
+        JSON is guaranteed identical to what was ingested.
+        """
+        payload = {
+            "period": self._footer["period"],
+            "reports": {
+                str(asn): self.get(asn) for asn in self.asns()
+            },
+            "failures": self._footer.get("failures", {}),
+            "quality": self._footer.get("quality", {}),
+        }
+        digest = _sha(canonical_json(payload).encode("ascii"))
+        if digest != self._footer.get("payload_checksum"):
+            raise ArchiveCorruptionError(
+                self.path, "reconstructed payload fails checksum"
+            )
+        return payload

@@ -46,8 +46,22 @@ class TestLineChart:
             line_chart_svg({})
         with pytest.raises(ValueError):
             line_chart_svg({"x": ([0, 1], [1.0])})
-        with pytest.raises(ValueError):
-            line_chart_svg({"x": ([0.0], [float("nan")])})
+
+    def test_all_nan_renders_placeholder(self):
+        svg = line_chart_svg(
+            {"x": ([0.0, 1.0], [float("nan"), float("nan")])},
+            title="Degraded", x_label="t", y_label="ms",
+        )
+        root = parse(svg)
+        texts = [t.text for t in root.iter(f"{SVG_NS}text")]
+        assert "no valid data" in texts
+        assert "Degraded" in texts and "x" in texts
+        assert not root.findall(f"{SVG_NS}polyline")
+
+    def test_empty_arrays_render_placeholder(self):
+        svg = line_chart_svg({"x": ([], [])})
+        texts = [t.text for t in parse(svg).iter(f"{SVG_NS}text")]
+        assert "no valid data" in texts
 
     def test_custom_style_dimensions(self):
         style = ChartStyle(width=320, height=200)

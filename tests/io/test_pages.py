@@ -85,6 +85,66 @@ class TestPageRendering:
         assert root.tag.endswith("svg")
 
 
+class TestDegradedSignalRendering:
+    """Empty/all-NaN aggregated signals must still render pages."""
+
+    @pytest.fixture()
+    def all_nan_signal(self):
+        grid = TimeGrid(PERIOD)
+        return AggregatedSignal(
+            grid=grid,
+            delay_ms=np.full(grid.num_bins, np.nan),
+            probe_count=3,
+            contributing=np.zeros(grid.num_bins, dtype=np.int64),
+        )
+
+    def test_max_delay_is_nan_without_warning(self, all_nan_signal):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert np.isnan(all_nan_signal.max_delay_ms)
+            assert np.all(np.isnan(all_nan_signal.daily_max_ms()))
+
+    def test_markdown_renders_na(
+        self, survey_with_signals, all_nan_signal
+    ):
+        import warnings
+
+        result, ranking = survey_with_signals
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            text = as_page_markdown(
+                100, result.reports[100], all_nan_signal, ranking
+            )
+        assert "n/a (no valid bins)" in text
+        assert text.startswith("# AS100")
+
+    def test_svg_renders_placeholder(self, all_nan_signal):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            svg = as_page_svg(100, all_nan_signal)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_export_pages_with_all_nan_signal(
+        self, survey_with_signals, all_nan_signal, tmp_path
+    ):
+        result, ranking = survey_with_signals
+        written = export_as_pages(
+            tmp_path / "degraded", result.reports,
+            {100: all_nan_signal}, ranking,
+        )
+        assert set(written) == {100}
+        page = (tmp_path / "degraded" / "as100.md").read_text()
+        assert "n/a (no valid bins)" in page
+        ET.fromstring(
+            (tmp_path / "degraded" / "as100-delay.svg").read_text()
+        )
+
+
 class TestExport:
     def test_reported_only(self, survey_with_signals, tmp_path):
         result, ranking = survey_with_signals

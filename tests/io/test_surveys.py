@@ -14,16 +14,23 @@ from repro.core import (
 )
 from repro.core.spectral import SpectralMarkers
 from repro.core.survey import ASReport
+from repro.core.survey import ASFailure
 from repro.io import (
     export_site,
+    failures_from_csv,
+    failures_to_csv,
     load_suite,
+    quality_counts_from_csv,
+    quality_counts_to_csv,
     save_suite,
+    survey_from_csv,
     survey_from_dict,
     survey_to_csv,
     survey_to_dict,
     survey_to_markdown,
 )
 from repro.netbase import ASInfo, ASRegistry, ASRole
+from repro.quality import DropReason
 from repro.timebase import MeasurementPeriod
 
 
@@ -48,6 +55,31 @@ def make_result():
     result.reports[100] = report(100, Severity.SEVERE, 4.5)
     result.reports[200] = report(200, Severity.LOW, 0.7)
     result.reports[300] = report(300, Severity.NONE)
+    return result
+
+
+def make_result_with_failures():
+    """A survey with failures and a populated quality ledger."""
+    result = make_result()
+    result.failures[400] = ASFailure(
+        asn=400, error="EmptyPopulationError",
+        message="no probes to aggregate (requested 3)", attempts=2,
+    )
+    result.failures[500] = ASFailure(
+        asn=500, error="SpectralDegenerateError",
+        message="signal too short, for a \"spectral\" pass",
+        attempts=1,
+    )
+    result.quality.ingest("core-aggregate", n=12)
+    result.quality.drop(
+        "core-aggregate", DropReason.NO_VALID_BINS, n=2,
+        detail="2 probes have metadata but no series",
+    )
+    result.quality.degrade(
+        "core-aggregate", DropReason.NO_VALID_BINS, n=1,
+        detail="1 probe contributed no valid bin",
+    )
+    result.quality.ingest("survey", n=5)
     return result
 
 
@@ -97,6 +129,73 @@ class TestCSV:
         assert ",severe," in text
 
 
+class TestCSVRoundtrip:
+    """write → parse → compare against ``survey_to_dict``."""
+
+    def test_reports_roundtrip(self):
+        result = make_result()
+        ranking = make_ranking()
+        rows = survey_from_csv(survey_to_csv(result, ranking))
+        reference = survey_to_dict(result)["reports"]
+        assert set(rows) == {int(asn) for asn in reference}
+        for asn, row in rows.items():
+            entry = reference[str(asn)]
+            assert row["period"] == result.period.name
+            assert row["severity"] == entry["severity"]
+            assert row["probe_count"] == entry["probe_count"]
+            markers = entry["markers"]
+            if markers is None:
+                assert row["prominent_frequency_cph"] is None
+            else:
+                assert row["prominent_frequency_cph"] == pytest.approx(
+                    markers["prominent_frequency_cph"], abs=1e-6
+                )
+                assert row["daily_amplitude_ms"] == pytest.approx(
+                    markers["daily_amplitude_ms"], abs=1e-4
+                )
+            estimate = ranking.get(asn)
+            assert row["country"] == estimate.country
+            assert row["eyeball_rank"] == estimate.global_rank
+
+    def test_reports_roundtrip_without_ranking(self):
+        rows = survey_from_csv(survey_to_csv(make_result()))
+        assert rows[100]["country"] is None
+        assert rows[100]["eyeball_rank"] is None
+
+    def test_failures_roundtrip(self):
+        result = make_result_with_failures()
+        restored = failures_from_csv(failures_to_csv(result))
+        assert restored == survey_to_dict(result)["failures"]
+
+    def test_failures_roundtrip_empty(self):
+        result = make_result()
+        assert failures_from_csv(failures_to_csv(result)) == {}
+
+    def test_failure_messages_survive_quoting(self):
+        # Commas, quotes and spaces in the failure message must not
+        # corrupt neighbouring columns.
+        result = make_result_with_failures()
+        restored = failures_from_csv(failures_to_csv(result))
+        assert restored["500"]["message"] == (
+            "signal too short, for a \"spectral\" pass"
+        )
+        assert restored["500"]["attempts"] == 1
+
+    def test_quality_counts_roundtrip(self):
+        result = make_result_with_failures()
+        restored = quality_counts_from_csv(
+            quality_counts_to_csv(result)
+        )
+        assert restored == survey_to_dict(result)["quality"]
+
+    def test_quality_counts_roundtrip_empty(self):
+        result = make_result()
+        restored = quality_counts_from_csv(
+            quality_counts_to_csv(result)
+        )
+        assert restored == survey_to_dict(result)["quality"]
+
+
 class TestMarkdown:
     def test_summary_and_table(self):
         text = survey_to_markdown(make_result(), make_ranking())
@@ -124,9 +223,24 @@ class TestExportSite:
         index = (tmp_path / "site" / "index.md").read_text()
         assert "survey-2019-09.md" in index
         assert set(written) == {
-            "suite", "csv-2019-09", "md-2019-09", "index",
+            "suite", "csv-2019-09", "csv-quality-2019-09",
+            "md-2019-09", "index",
             "svg-amplitudes-2019-09", "svg-classes-2019-09",
         }
+
+    def test_bundle_with_failures(self, tmp_path):
+        suite = SurveySuite()
+        suite.add(make_result_with_failures())
+        written = export_site(suite, tmp_path / "site")
+        failures_path = written["csv-failures-2019-09"]
+        quality_path = written["csv-quality-2019-09"]
+        result = suite.results["2019-09"]
+        assert failures_from_csv(
+            failures_path.read_text()
+        ) == survey_to_dict(result)["failures"]
+        assert quality_counts_from_csv(
+            quality_path.read_text()
+        ) == survey_to_dict(result)["quality"]
 
     def test_roundtrip_through_site(self, tmp_path):
         suite = SurveySuite()

@@ -1,0 +1,92 @@
+"""Tests for the LRU hot-object cache."""
+
+import threading
+
+import pytest
+
+from repro.serve import LRUCache
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_capacity_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh: b becomes coldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_existing(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # refresh, no eviction
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+
+    def test_invalidate_and_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        cache.put("b", 2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_keys_coldest_first(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        assert cache.keys() == ("b", "a")
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_hit_rate(self):
+        cache = LRUCache(2)
+        assert cache.stats.hit_rate == 0.0
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("z")
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_load(self):
+        cache = LRUCache(16)
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(200):
+                    key = (seed + i) % 32
+                    cache.put(key, key * 2)
+                    value = cache.get(key)
+                    if value is not None and value != key * 2:
+                        errors.append((key, value))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,))
+            for n in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 16

@@ -1,0 +1,82 @@
+"""Shared fixtures for the survey-archive tests."""
+
+import datetime as dt
+
+import pytest
+
+from repro.apnic import EyeballRanking
+from repro.core import Classification, Severity, SurveyResult
+from repro.core.spectral import SpectralMarkers
+from repro.core.survey import ASFailure, ASReport
+from repro.netbase import ASInfo, ASRegistry, ASRole
+from repro.timebase import MeasurementPeriod
+
+
+def make_report(asn, severity, amplitude=0.0, probes=5):
+    markers = None
+    if severity is not Severity.NONE or amplitude:
+        markers = SpectralMarkers(
+            prominent_frequency_cph=1 / 24,
+            prominent_amplitude_ms=amplitude,
+            daily_amplitude_ms=amplitude,
+        )
+    return ASReport(
+        asn=asn, probe_count=probes,
+        classification=Classification(severity, markers),
+    )
+
+
+def make_survey(name, start, classes):
+    """One synthetic period; ``classes`` maps asn -> Severity."""
+    result = SurveyResult(
+        period=MeasurementPeriod(name, start, 15)
+    )
+    amplitudes = {
+        Severity.NONE: 0.0, Severity.LOW: 0.7,
+        Severity.MILD: 2.5, Severity.SEVERE: 4.5,
+    }
+    for asn, severity in classes.items():
+        result.reports[asn] = make_report(
+            asn, severity, amplitudes[severity]
+        )
+    return result
+
+
+def make_ranking():
+    registry = ASRegistry()
+    registry.register(ASInfo(100, "Big", "JP", ASRole.EYEBALL,
+                             subscribers=1_000_000))
+    registry.register(ASInfo(200, "Mid", "US", ASRole.EYEBALL,
+                             subscribers=50_000))
+    registry.register(ASInfo(300, "Small", "DE", ASRole.EYEBALL,
+                             subscribers=5_000))
+    registry.register(ASInfo(400, "Tiny", "JP", ASRole.EYEBALL,
+                             subscribers=1_000))
+    return EyeballRanking.from_registry(registry)
+
+
+@pytest.fixture()
+def ranking():
+    return make_ranking()
+
+
+@pytest.fixture()
+def survey_june():
+    result = make_survey(
+        "2019-06", dt.datetime(2019, 6, 1),
+        {100: Severity.SEVERE, 200: Severity.LOW, 300: Severity.NONE},
+    )
+    result.failures[900] = ASFailure(
+        asn=900, error="EmptyPopulationError",
+        message="no probes to aggregate", attempts=2,
+    )
+    result.quality.ingest("survey", n=4)
+    return result
+
+
+@pytest.fixture()
+def survey_september():
+    return make_survey(
+        "2019-09", dt.datetime(2019, 9, 1),
+        {100: Severity.MILD, 300: Severity.NONE, 400: Severity.SEVERE},
+    )

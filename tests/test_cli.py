@@ -209,4 +209,33 @@ class TestObsFlags:
     def test_obs_report_missing_file(self, tmp_path, capsys):
         code = main(["obs", "report", str(tmp_path / "nope.json")])
         assert code == 1
-        assert "no observability report" in capsys.readouterr().out
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # exactly one line
+        assert "error:" in err
+        assert "no observability report" in err
+
+    def test_obs_report_unreadable_file(self, tmp_path, capsys):
+        bad = tmp_path / "garbage.json"
+        bad.write_text("{not json")
+        code = main(["obs", "report", str(bad)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("error: cannot read")
+
+
+class TestQualityErrorPaths:
+    def test_quality_missing_path(self, tmp_path, capsys):
+        code = main(["quality", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("error: cannot read")
+
+    def test_quality_unreadable_path(self, tmp_path, capsys):
+        # A directory is unreadable as a traceroute campaign.
+        code = main(["quality", str(tmp_path)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("error: cannot read")
