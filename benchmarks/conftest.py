@@ -130,3 +130,37 @@ def tokyo_datasets(tokyo_study):
         name: tokyo_study.dataset_for(name)
         for name in ("ISP_A", "ISP_B", "ISP_C", "ISP_D")
     }
+
+
+# -- machine-readable kernel perf trajectory (BENCH_kernels.json) --------
+
+BENCH_KERNELS_JSON = Path(__file__).parent.parent / "BENCH_kernels.json"
+
+
+def record_kernel_bench(stage: str, reference_s: float, vector_s: float):
+    """Upsert one stage's reference/vector rows into BENCH_kernels.json.
+
+    The file is a flat list of {stage, backend, wall_ms, speedup}
+    rows — the perf trajectory the ROADMAP tracks.  Rows are keyed on
+    (stage, backend) so re-running any bench refreshes its own rows
+    without clobbering the others'.  Returns the stage speedup.
+    """
+    import json
+
+    speedup = reference_s / vector_s if vector_s > 0 else float("inf")
+    rows = []
+    if BENCH_KERNELS_JSON.exists():
+        rows = json.loads(BENCH_KERNELS_JSON.read_text())
+    rows = [r for r in rows if r["stage"] != stage]
+    rows.append({
+        "stage": stage, "backend": "reference",
+        "wall_ms": round(reference_s * 1e3, 3), "speedup": 1.0,
+    })
+    rows.append({
+        "stage": stage, "backend": "vector",
+        "wall_ms": round(vector_s * 1e3, 3),
+        "speedup": round(speedup, 2),
+    })
+    rows.sort(key=lambda r: (r["stage"], r["backend"]))
+    BENCH_KERNELS_JSON.write_text(json.dumps(rows, indent=1) + "\n")
+    return speedup

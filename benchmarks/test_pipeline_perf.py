@@ -84,6 +84,52 @@ def test_perf_estimation(benchmark, one_probe_day):
     assert series.valid_mask().sum() > 40
 
 
+def test_perf_estimation_backends(one_probe_day):
+    """Reference vs vector estimate_probe_series, recorded into the
+    BENCH_kernels.json perf trajectory alongside the kernel benches."""
+    import time
+
+    from conftest import record_kernel_bench
+
+    _platform, _probes, results = one_probe_day
+    grid = TimeGrid(DAY)
+
+    reference = estimate_probe_series(results, grid, kernels="reference")
+    vector = estimate_probe_series(results, grid, kernels="vector")
+    assert np.array_equal(
+        reference.median_rtt_ms, vector.median_rtt_ms, equal_nan=True
+    )
+    assert np.array_equal(
+        reference.traceroute_counts, vector.traceroute_counts
+    )
+
+    def best_of(fn, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    reference_s = best_of(
+        lambda: estimate_probe_series(results, grid, kernels="reference")
+    )
+    vector_s = best_of(
+        lambda: estimate_probe_series(results, grid, kernels="vector")
+    )
+    speedup = record_kernel_bench(
+        "estimate-probe-series", reference_s, vector_s
+    )
+    write_report(
+        "kernels_estimate_probe_series",
+        f"1 probe x {DAY.days} day ({len(results)} traceroutes)\n"
+        f"reference: {reference_s * 1e3:.2f} ms\n"
+        f"vector:    {vector_s * 1e3:.2f} ms\n"
+        f"speedup:   {speedup:.2f}x",
+    )
+    assert speedup > 0
+
+
 def test_perf_lpm(benchmark):
     """Longest-prefix-match rate on a realistic-size RIB."""
     rng = np.random.default_rng(0)

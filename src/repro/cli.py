@@ -17,6 +17,10 @@
   lookup site);
 * ``info``     — version and layout.
 
+``survey`` and ``classify`` accept ``--kernels reference|vector`` to
+select the analysis backend (both produce identical output; see
+``repro.core.kernels``).
+
 ``survey`` and ``inject`` accept ``--trace`` (print the span tree) and
 ``--metrics-out PATH`` (write the full observability report as JSON,
 rendered later with ``repro obs report PATH``).
@@ -73,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="ignore --cache-dir (neither read nor write entries)",
     )
+    _add_kernels_flag(survey)
     survey.add_argument(
         "--archive", default=None, metavar="DIR",
         help="also commit every period into the longitudinal survey "
@@ -109,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         "repro.io.save_lastmile",
     )
     classify.add_argument("--min-probes", type=int, default=3)
+    _add_kernels_flag(classify)
 
     inject = sub.add_parser(
         "inject",
@@ -242,6 +248,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_kernels_flag(parser: argparse.ArgumentParser) -> None:
+    from .core.kernels import available_kernels
+
+    parser.add_argument(
+        "--kernels", default=None, choices=available_kernels(),
+        help="analysis kernel backend (default: $REPRO_KERNELS if "
+        "set, else reference); both produce identical output",
+    )
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", action="store_true",
@@ -335,7 +351,7 @@ def _run_survey(args) -> int:
         print(f"running {period.name}...", flush=True)
         result, world = run_survey_period(
             specs, period, seed=args.seed, workers=args.workers,
-            cache=cache,
+            cache=cache, kernels=args.kernels,
         )
         suite.add(result)
         print("  " + render_survey_headline(result))
@@ -482,7 +498,8 @@ def cmd_classify(args) -> int:
 
     dataset = load_lastmile(args.dataset)
     result = classify_dataset(
-        dataset, dataset.grid.period, min_probes=args.min_probes
+        dataset, dataset.grid.period, min_probes=args.min_probes,
+        kernels=args.kernels,
     )
     if not result.reports:
         print("no AS qualifies (need >= "

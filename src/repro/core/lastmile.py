@@ -27,6 +27,7 @@ from ..atlas.traceroute import Hop, TracerouteResult
 from ..obs import get_observer, maybe_profiled
 from ..quality import DataQualityReport, DropReason
 from ..timebase import TimeGrid
+from .kernels import record_kernel_op, resolve_kernels
 from .series import LastMileDataset, ProbeBinSeries
 
 #: The paper's disconnected-probe sanity threshold.
@@ -94,6 +95,14 @@ def lastmile_samples(result: TracerouteResult) -> List[float]:
     public hop's RTTs.  With no private hop the public hop's RTTs are
     used directly (anchor case).  Timeout replies simply yield fewer
     samples.
+
+    Replies whose RTT is non-finite (NaN/inf from a corrupt record)
+    or negative are discarded by the same sanity filter.  When *every*
+    reply of the public hop — or, for non-anchors, of the private
+    hop — is insane, the pairwise product is empty and the traceroute
+    yields no samples at all, exactly like a traceroute whose boundary
+    never responded; :func:`estimate_probe_series` then counts it
+    toward bin sanity but flags it as degraded.
     """
     boundary = find_boundary(result)
     if boundary is None:
@@ -130,35 +139,28 @@ def e2e_samples(result: TracerouteResult) -> List[float]:
     return []
 
 
-def estimate_probe_series(
+def _scan_results(
     results: Iterable[TracerouteResult],
     grid: TimeGrid,
-    prb_id: Optional[int] = None,
-    min_traceroutes: int = MIN_TRACEROUTES_PER_BIN,
-    sample_fn=None,
-    quality: Optional[DataQualityReport] = None,
-) -> ProbeBinSeries:
-    """Binned last-mile medians for one probe's traceroutes.
+    prb_id: Optional[int],
+    sample_fn,
+    quality: Optional[DataQualityReport],
+    counts: np.ndarray,
+) -> Tuple[Optional[int], int, List[int], List[List[float]]]:
+    """Stages 1–3 for one probe: timestamp gating, binning, sampling.
 
-    Implements stages 1–4 above.  ``prb_id`` is inferred from the
-    first result when not given; an empty input needs it explicitly.
-    ``sample_fn`` swaps the per-traceroute sample extractor (default
-    :func:`lastmile_samples`; pass :func:`e2e_samples` for a naive
-    end-to-end analysis).
-
-    Dirty-input behavior: results whose timestamp falls outside the
-    grid's period (skewed probe clocks) are dropped, and results that
-    yield no samples (no responding public hop — truncated or fully
-    ``*`` traceroutes) still count toward the bin's sanity count but
-    are flagged; both are recorded on ``quality`` when given.
+    The single scan both kernel backends share — edge semantics (NaN
+    timestamps, out-of-period clocks, sample-less traceroutes) are
+    decided here exactly once, so backends can only differ in how they
+    compute medians.  Increments ``counts`` in place; returns
+    ``(prb_id, processed, sample_bins, sample_lists)`` where
+    ``sample_lists[i]`` is the non-empty sample list of the i-th
+    sampled traceroute and ``sample_bins[i]`` its bin.
     """
-    if sample_fn is None:
-        sample_fn = lastmile_samples
-    obs = get_observer()
     processed = 0
     duration = grid.num_bins * grid.bin_seconds
-    samples_per_bin: Dict[int, List[float]] = {}
-    counts = np.zeros(grid.num_bins, dtype=np.int64)
+    sample_bins: List[int] = []
+    sample_lists: List[List[float]] = []
     for result in results:
         processed += 1
         if prb_id is None:
@@ -167,6 +169,10 @@ def estimate_probe_series(
             quality.ingest(STAGE)
         timestamp = result.timestamp
         if not np.isfinite(timestamp):
+            # A NaN/inf timestamp cannot be binned at all: the record
+            # is dropped as malformed *before* the bin sanity counts —
+            # it neither helps a bin reach min_traceroutes nor is it
+            # sampled.
             if quality is not None:
                 quality.drop(
                     STAGE, DropReason.MALFORMED_RECORD,
@@ -186,23 +192,63 @@ def estimate_probe_series(
         counts[bin_index] += 1
         samples = sample_fn(result)
         if samples:
-            samples_per_bin.setdefault(bin_index, []).extend(samples)
+            sample_bins.append(bin_index)
+            sample_lists.append(samples)
         elif quality is not None:
+            # Boundary missing — or present with only insane replies
+            # (see lastmile_samples): the traceroute counts toward bin
+            # sanity (the probe *was* measuring) but contributes no
+            # samples and is flagged.
             quality.degrade(
                 STAGE, DropReason.NO_BOUNDARY,
                 detail=f"probe {result.prb_id}: no usable "
                 "private→public hop pair",
             )
+    return prb_id, processed, sample_bins, sample_lists
 
+
+def estimate_probe_series(
+    results: Iterable[TracerouteResult],
+    grid: TimeGrid,
+    prb_id: Optional[int] = None,
+    min_traceroutes: int = MIN_TRACEROUTES_PER_BIN,
+    sample_fn=None,
+    quality: Optional[DataQualityReport] = None,
+    kernels=None,
+) -> ProbeBinSeries:
+    """Binned last-mile medians for one probe's traceroutes.
+
+    Implements stages 1–4 above.  ``prb_id`` is inferred from the
+    first result when not given; an empty input needs it explicitly.
+    ``sample_fn`` swaps the per-traceroute sample extractor (default
+    :func:`lastmile_samples`; pass :func:`e2e_samples` for a naive
+    end-to-end analysis).  ``kernels`` selects the median backend
+    (:func:`repro.core.kernels.resolve_kernels`); both backends are
+    numerically identical by contract.
+
+    Dirty-input behavior: results whose timestamp is non-finite are
+    dropped as malformed before binning (they do not count toward bin
+    sanity), results whose timestamp falls outside the grid's period
+    (skewed probe clocks) are dropped, and results that yield no
+    samples — no responding public hop, or a boundary whose replies
+    are all non-finite — still count toward the bin's sanity count
+    but are flagged; all three are recorded on ``quality`` when given.
+    """
+    if sample_fn is None:
+        sample_fn = lastmile_samples
+    kern = resolve_kernels(kernels)
+    obs = get_observer()
+    counts = np.zeros(grid.num_bins, dtype=np.int64)
+    prb_id, processed, sample_bins, sample_lists = _scan_results(
+        results, grid, prb_id, sample_fn, quality, counts
+    )
     if prb_id is None:
         raise ValueError("empty result set and no prb_id given")
-
-    medians = np.full(grid.num_bins, np.nan)
-    valid_bins = 0
-    for bin_index, samples in samples_per_bin.items():
-        if counts[bin_index] >= min_traceroutes:
-            medians[bin_index] = float(np.median(samples))
-            valid_bins += 1
+    record_kernel_op(kern.name, "bin-medians")
+    medians, valid_bins = kern.bin_medians(
+        sample_bins, sample_lists, counts, grid.num_bins,
+        min_traceroutes,
+    )
     obs.items_in(STAGE, processed)
     obs.items_out(STAGE, valid_bins)
     return ProbeBinSeries(
@@ -219,19 +265,87 @@ def estimate_dataset(
     min_traceroutes: int = MIN_TRACEROUTES_PER_BIN,
     sample_fn=None,
     quality: Optional[DataQualityReport] = None,
+    kernels=None,
 ) -> LastMileDataset:
-    """Run the estimation for every probe of a measurement dataset."""
+    """Run the estimation for every probe of a measurement dataset.
+
+    A batched backend (``vector``) estimates every probe in one
+    grouped-median pass over flat ``(probe, bin, sample)`` arrays;
+    the reference backend iterates :func:`estimate_probe_series`.
+    Output is identical either way.
+    """
+    kern = resolve_kernels(kernels)
     obs = get_observer()
     with obs.stage_span(
-        "lastmile", probes=len(results_by_probe)
+        "lastmile", probes=len(results_by_probe), kernel=kern.name
     ):
+        if getattr(kern, "batched", False):
+            return _estimate_dataset_batched(
+                results_by_probe, grid, probe_meta, min_traceroutes,
+                sample_fn, quality, kern,
+            )
         dataset = LastMileDataset(grid=grid)
         for prb_id, results in results_by_probe.items():
             series = estimate_probe_series(
                 results, grid, prb_id=prb_id,
                 min_traceroutes=min_traceroutes, sample_fn=sample_fn,
-                quality=quality,
+                quality=quality, kernels=kern,
             )
             meta = probe_meta.get(prb_id) if probe_meta else None
             dataset.add(series, meta=meta)
         return dataset
+
+
+def _estimate_dataset_batched(
+    results_by_probe: Dict[int, List[TracerouteResult]],
+    grid: TimeGrid,
+    probe_meta: Optional[Dict[int, object]],
+    min_traceroutes: int,
+    sample_fn,
+    quality: Optional[DataQualityReport],
+    kern,
+) -> LastMileDataset:
+    """Whole-dataset flat-array path for batched kernel backends.
+
+    Scans every probe with the same per-result scan the serial path
+    uses (so quality accounting is identical), then hands the kernel
+    one flat ``(probe_row, bin, samples)`` batch covering the whole
+    dataset.
+    """
+    if sample_fn is None:
+        sample_fn = lastmile_samples
+    obs = get_observer()
+    dataset = LastMileDataset(grid=grid)
+    order = list(results_by_probe.items())
+    counts_matrix = np.zeros(
+        (len(order), grid.num_bins), dtype=np.int64
+    )
+    probe_rows: List[int] = []
+    sample_bins: List[int] = []
+    sample_lists: List[List[float]] = []
+    processed_total = 0
+    for row, (prb_id, results) in enumerate(order):
+        _, processed, bins_, lists_ = _scan_results(
+            results, grid, prb_id, sample_fn, quality,
+            counts_matrix[row],
+        )
+        processed_total += processed
+        probe_rows.extend([row] * len(bins_))
+        sample_bins.extend(bins_)
+        sample_lists.extend(lists_)
+    record_kernel_op(kern.name, "dataset-bin-medians")
+    medians, valid_per_probe = kern.dataset_bin_medians(
+        probe_rows, sample_bins, sample_lists,
+        len(order), grid.num_bins, counts_matrix, min_traceroutes,
+    )
+    obs.items_in(STAGE, processed_total)
+    obs.items_out(STAGE, int(valid_per_probe.sum()))
+    for row, (prb_id, _results) in enumerate(order):
+        series = ProbeBinSeries(
+            prb_id=prb_id,
+            median_rtt_ms=medians[row],
+            traceroute_counts=counts_matrix[row],
+        )
+        meta = probe_meta.get(prb_id) if probe_meta else None
+        dataset.add(series, meta=meta)
+    return dataset

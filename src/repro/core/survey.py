@@ -29,8 +29,9 @@ from .classify import (
     classify_markers,
 )
 from .filtering import asns_with_min_probes
+from .kernels import record_kernel_op, resolve_kernels
 from .series import LastMileDataset
-from .spectral import extract_markers
+from .spectral import STAGE as SPECTRAL_STAGE, extract_markers
 
 STAGE = "core-survey"
 
@@ -152,6 +153,7 @@ def classify_single_asn(
     max_attempts: int = 2,
     keep_signal: bool = False,
     log=None,
+    kernels=None,
 ) -> Tuple[Optional[ASReport], Optional[ASFailure], Optional[object]]:
     """Run the aggregate → spectral → classify chain for one AS.
 
@@ -168,6 +170,7 @@ def classify_single_asn(
     exception).
     """
     obs = get_observer()
+    kern = resolve_kernels(kernels)
     if log is None:
         log = obs.logger.bind(stage=STAGE)
     with obs.span("classify", asn=asn):
@@ -176,7 +179,7 @@ def classify_single_asn(
             attempts += 1
             try:
                 signal = aggregate_population(
-                    dataset, probe_ids, quality=quality
+                    dataset, probe_ids, quality=quality, kernels=kern
                 )
                 markers = extract_markers(
                     signal.delay_ms, dataset.grid.bin_seconds
@@ -215,6 +218,123 @@ def classify_single_asn(
         return report, None, (signal if keep_signal else None)
 
 
+def classify_asn_batch(
+    dataset: LastMileDataset,
+    ordered_groups: Sequence[Tuple[int, Sequence[int]]],
+    thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS,
+    max_attempts: int = 2,
+    keep_signals: bool = False,
+    kernels=None,
+    quality_for=None,
+    log=None,
+) -> List[Tuple[int, Optional[ASReport], Optional[ASFailure],
+                Optional[object]]]:
+    """Classify many ASes, batching marker extraction in one call.
+
+    The batched twin of looping :func:`classify_single_asn`: each
+    AS's aggregation keeps its own retry/isolation envelope (that is
+    where faults strike), then marker extraction for every surviving
+    signal runs as one ``markers_batch`` kernel call — for the
+    ``vector`` backend a single :func:`scipy.signal.welch` over the
+    (AS x bins) matrix.  Hoisting extraction out of the retry loop is
+    safe because it is total: it maps degenerate signals to None
+    instead of raising.
+
+    ``quality_for(asn)`` supplies the ledger each AS's accounting
+    lands on (the serial survey shares one, shard workers keep one
+    per AS); None means no accounting.  Returns
+    ``(asn, report, failure, signal)`` tuples in input order, with
+    ``signal`` retained only when ``keep_signals``.
+    """
+    kern = resolve_kernels(kernels)
+    obs = get_observer()
+    if log is None:
+        log = obs.logger.bind(stage=STAGE)
+    if quality_for is None:
+        quality_for = lambda asn: None  # noqa: E731
+    staged: List[Tuple[int, Sequence[int], Optional[object],
+                       Optional[ASFailure]]] = []
+    for asn, probe_ids in ordered_groups:
+        quality = quality_for(asn)
+        signal = None
+        failure = None
+        with obs.span("classify", asn=asn):
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    signal = aggregate_population(
+                        dataset, probe_ids, quality=quality,
+                        kernels=kern,
+                    )
+                    break
+                except TransientFaultError as exc:
+                    if attempts < max_attempts:
+                        continue
+                    log.warning(
+                        "as-failed", asn=asn,
+                        error=type(exc).__name__, attempts=attempts,
+                    )
+                    failure = _build_failure(
+                        asn, exc, attempts, quality
+                    )
+                    break
+                except Exception as exc:  # noqa: BLE001 — isolation
+                    log.warning(
+                        "as-failed", asn=asn,
+                        error=type(exc).__name__, attempts=attempts,
+                    )
+                    failure = _build_failure(
+                        asn, exc, attempts, quality
+                    )
+                    break
+        staged.append((asn, probe_ids, signal, failure))
+
+    survivors = [
+        entry for entry in staged if entry[3] is None
+    ]
+    signals = [signal.delay_ms for _, _, signal, _ in survivors]
+    with obs.stage_span(
+        "spectral", kernel=kern.name, signals=len(signals)
+    ):
+        obs.items_in(SPECTRAL_STAGE, len(signals))
+        record_kernel_op(kern.name, "markers-batch", len(signals))
+        markers_list = kern.markers_batch(
+            signals, dataset.grid.bin_seconds
+        )
+        obs.items_out(
+            SPECTRAL_STAGE,
+            sum(markers is not None for markers in markers_list),
+        )
+    markers_by_asn = {
+        asn: markers
+        for (asn, _, _, _), markers in zip(survivors, markers_list)
+    }
+    outcomes = []
+    for asn, probe_ids, signal, failure in staged:
+        if failure is not None:
+            outcomes.append((asn, None, failure, None))
+            continue
+        markers = markers_by_asn[asn]
+        quality = quality_for(asn)
+        if markers is None and quality is not None:
+            quality.degrade(
+                STAGE, DropReason.DEGENERATE_SIGNAL,
+                detail=f"AS{asn}: signal too flat/short/gappy; "
+                "classified None",
+            )
+        classification = classify_markers(markers, thresholds)
+        report = ASReport(
+            asn=asn,
+            probe_count=len(probe_ids),
+            classification=classification,
+        )
+        outcomes.append(
+            (asn, report, None, signal if keep_signals else None)
+        )
+    return outcomes
+
+
 def classify_dataset(
     dataset: LastMileDataset,
     period: MeasurementPeriod,
@@ -226,6 +346,7 @@ def classify_dataset(
     max_attempts: int = 2,
     workers: Optional[int] = None,
     cache=None,
+    kernels=None,
 ) -> SurveyResult:
     """Classify every qualifying AS of one period's dataset.
 
@@ -246,6 +367,11 @@ def classify_dataset(
     scenario entry points, ``workers=None`` here always means the
     serial loop below — the environment knob is not consulted, so
     instrumentation-sensitive callers keep their span structure.
+
+    ``kernels`` selects the analysis backend
+    (:func:`repro.core.kernels.resolve_kernels`).  A batched backend
+    (``vector``) routes through :func:`classify_asn_batch`; results
+    are numerically identical either way by contract.
     """
     if workers is not None or cache is not None:
         from ..parallel import classify_dataset_sharded
@@ -254,8 +380,9 @@ def classify_dataset(
             dataset, period, workers=workers or 1,
             min_probes=min_probes, thresholds=thresholds, table=table,
             keep_signals=keep_signals, quality=quality,
-            max_attempts=max_attempts, cache=cache,
+            max_attempts=max_attempts, cache=cache, kernels=kernels,
         )
+    kern = resolve_kernels(kernels)
     obs = get_observer()
     log = obs.logger.bind(stage=STAGE, period=period.name)
     result = SurveyResult(
@@ -264,7 +391,7 @@ def classify_dataset(
     )
     quality = result.quality
     with obs.stage_span(
-        "classify-dataset", period=period.name
+        "classify-dataset", period=period.name, kernel=kern.name
     ) as outer:
         groups = asns_with_min_probes(
             dataset.probe_meta, min_probes=min_probes, table=table,
@@ -272,21 +399,37 @@ def classify_dataset(
         )
         obs.items_in(STAGE, len(groups))
         log.info("classify-start", ases=len(groups))
-        for asn, probe_ids in groups.items():
-            # One span per AS (aggregate/spectral nest under it) so
-            # the renderer can collapse the fan-out into one line.
-            report, failure, signal = classify_single_asn(
-                dataset, asn, probe_ids,
-                thresholds=thresholds, quality=quality,
-                max_attempts=max_attempts, keep_signal=keep_signals,
-                log=log,
+        if getattr(kern, "batched", False):
+            outcomes = classify_asn_batch(
+                dataset, list(groups.items()),
+                thresholds=thresholds, max_attempts=max_attempts,
+                keep_signals=keep_signals, kernels=kern,
+                quality_for=lambda asn: quality, log=log,
             )
-            if failure is not None:
-                result.failures[asn] = failure
-                continue
-            result.reports[asn] = report
-            if keep_signals and signal is not None:
-                result.signals[asn] = signal
+            for asn, report, failure, signal in outcomes:
+                if failure is not None:
+                    result.failures[asn] = failure
+                    continue
+                result.reports[asn] = report
+                if keep_signals and signal is not None:
+                    result.signals[asn] = signal
+        else:
+            for asn, probe_ids in groups.items():
+                # One span per AS (aggregate/spectral nest under it)
+                # so the renderer can collapse the fan-out into one
+                # line.
+                report, failure, signal = classify_single_asn(
+                    dataset, asn, probe_ids,
+                    thresholds=thresholds, quality=quality,
+                    max_attempts=max_attempts,
+                    keep_signal=keep_signals, log=log, kernels=kern,
+                )
+                if failure is not None:
+                    result.failures[asn] = failure
+                    continue
+                result.reports[asn] = report
+                if keep_signals and signal is not None:
+                    result.signals[asn] = signal
         obs.items_out(STAGE, len(result.reports))
         outer.set_attr("reported", len(result.reported_asns()))
         outer.set_attr("failures", len(result.failures))

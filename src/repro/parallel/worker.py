@@ -29,8 +29,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..core.classify import ClassificationThresholds, DEFAULT_THRESHOLDS
+from ..core.kernels import DEFAULT_KERNELS, resolve_kernels
 from ..core.series import LastMileDataset
-from ..core.survey import ASFailure, ASReport, classify_single_asn
+from ..core.survey import (
+    ASFailure,
+    ASReport,
+    classify_asn_batch,
+    classify_single_asn,
+)
 from ..faults.base import FaultLog
 from ..quality import DataQualityReport
 from ..timebase import MeasurementPeriod
@@ -75,6 +81,10 @@ class SurveyShardTask:
     #: Dataset injectors with targets already pinned by the parent.
     faults: List = field(default_factory=list)
     fault_seed: int = 0
+    #: The parent's *resolved* kernel backend name — carried in the
+    #: task so a worker's own REPRO_KERNELS environment is irrelevant
+    #: (shard-invariance of the backend choice).
+    kernels: str = DEFAULT_KERNELS
 
 
 @dataclass
@@ -87,6 +97,8 @@ class DatasetShardTask:
     thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS
     max_attempts: int = 2
     keep_signals: bool = False
+    #: See :class:`SurveyShardTask.kernels`.
+    kernels: str = DEFAULT_KERNELS
 
 
 def run_survey_shard(task: SurveyShardTask) -> ShardResult:
@@ -120,6 +132,7 @@ def run_survey_shard(task: SurveyShardTask) -> ShardResult:
             )
         outcomes = _classify_groups(
             dataset, task.groups, task.thresholds, task.max_attempts,
+            kernels=task.kernels,
         )
     finally:
         set_observer(previous)
@@ -142,6 +155,7 @@ def run_dataset_shard(task: DatasetShardTask) -> ShardResult:
         outcomes = _classify_groups(
             task.dataset, task.groups, task.thresholds,
             task.max_attempts, keep_signals=task.keep_signals,
+            kernels=task.kernels,
         )
     finally:
         set_observer(previous)
@@ -178,7 +192,24 @@ def _classify_groups(
     thresholds: ClassificationThresholds,
     max_attempts: int,
     keep_signals: bool = False,
+    kernels: str = DEFAULT_KERNELS,
 ) -> List[ASOutcome]:
+    kern = resolve_kernels(kernels)
+    if getattr(kern, "batched", False):
+        ledgers = {asn: DataQualityReport() for asn in groups}
+        batch = classify_asn_batch(
+            dataset, [(asn, groups[asn]) for asn in sorted(groups)],
+            thresholds=thresholds, max_attempts=max_attempts,
+            keep_signals=keep_signals, kernels=kern,
+            quality_for=ledgers.__getitem__,
+        )
+        return [
+            ASOutcome(
+                asn=asn, report=report, failure=failure,
+                quality=ledgers[asn], signal=signal,
+            )
+            for asn, report, failure, signal in batch
+        ]
     outcomes = []
     for asn in sorted(groups):
         quality = DataQualityReport()
@@ -186,6 +217,7 @@ def _classify_groups(
             dataset, asn, groups[asn],
             thresholds=thresholds, quality=quality,
             max_attempts=max_attempts, keep_signal=keep_signals,
+            kernels=kern,
         )
         outcomes.append(ASOutcome(
             asn=asn, report=report, failure=failure, quality=quality,

@@ -206,3 +206,124 @@ class TestEstimateProbeSeries:
         )
         series = estimate_probe_series(results, grid)
         assert series.median_rtt_ms[0] == pytest.approx(3.0, abs=0.01)
+
+
+class TestInsaneReplyHandling:
+    """Edge contract of lastmile_samples on corrupt RTT replies: the
+    per-reply sanity filter drops non-finite and negative values, and
+    an all-insane boundary hop yields *no* samples (see the
+    lastmile_samples docstring)."""
+
+    def test_nan_replies_filtered_from_pairwise_product(self):
+        result = traceroute([
+            hop(1, "192.168.1.1", [1.0, float("nan"), 3.0]),
+            hop(2, "60.0.0.1", [10.0, float("inf"), 12.0]),
+        ])
+        samples = lastmile_samples(result)
+        assert len(samples) == 4  # 2 sane public x 2 sane private
+        assert all(np.isfinite(s) for s in samples)
+
+    def test_all_nan_public_hop_yields_nothing(self):
+        result = traceroute([
+            hop(1, "192.168.1.1", [0.5] * 3),
+            hop(2, "60.0.0.1", [float("nan")] * 3),
+        ])
+        assert lastmile_samples(result) == []
+
+    def test_all_nan_private_hop_yields_nothing(self):
+        result = traceroute([
+            hop(1, "192.168.1.1", [float("nan")] * 3),
+            hop(2, "60.0.0.1", [3.5] * 3),
+        ])
+        assert lastmile_samples(result) == []
+
+    def test_all_nan_anchor_hop_yields_nothing(self):
+        result = traceroute([
+            hop(1, "60.0.0.1", [float("nan")] * 3),
+        ])
+        assert lastmile_samples(result) == []
+
+    def test_insane_boundary_counts_toward_bin_but_degrades(self):
+        """A traceroute whose boundary replies are all insane still
+        proves the probe was measuring (bin sanity) but contributes
+        no samples and lands in the quality ledger as NO_BOUNDARY."""
+        from repro.core.lastmile import STAGE
+        from repro.quality import DataQualityReport, DropReason
+
+        grid = TimeGrid(
+            MeasurementPeriod("t", dt.datetime(2019, 9, 2), 1)
+        )
+        results = [
+            typical_traceroute(timestamp=0.0),
+            typical_traceroute(timestamp=60.0),
+            traceroute([
+                hop(1, "192.168.1.1", [0.5] * 3),
+                hop(2, "60.0.0.1", [float("nan")] * 3),
+            ], timestamp=120.0),
+        ]
+        quality = DataQualityReport()
+        series = estimate_probe_series(results, grid, quality=quality)
+        assert series.traceroute_counts[0] == 3
+        # Bin sanity reached via the insane traceroute; the median
+        # uses only the two clean ones.
+        assert series.median_rtt_ms[0] == pytest.approx(3.0)
+        assert quality.degraded_count(DropReason.NO_BOUNDARY) == 1
+        assert quality.to_dict()[STAGE]["ingested"] == 3
+
+
+class TestNaNTimestampHandling:
+    """Edge contract of estimate_probe_series on unbinnable clocks: a
+    non-finite timestamp is dropped as MALFORMED_RECORD *before* bin
+    counting, unlike an out-of-period timestamp (OUT_OF_PERIOD) or an
+    insane boundary (counted, then degraded)."""
+
+    def test_nan_timestamp_dropped_before_bin_counting(self):
+        from repro.quality import DataQualityReport, DropReason
+
+        grid = TimeGrid(
+            MeasurementPeriod("t", dt.datetime(2019, 9, 2), 1)
+        )
+        results = [
+            typical_traceroute(timestamp=0.0),
+            typical_traceroute(timestamp=60.0),
+            typical_traceroute(timestamp=float("nan")),
+            typical_traceroute(timestamp=float("inf")),
+        ]
+        quality = DataQualityReport()
+        series = estimate_probe_series(results, grid, quality=quality)
+        # The malformed records must not push bin 0 over the
+        # min_traceroutes=3 sanity threshold.
+        assert series.traceroute_counts[0] == 2
+        assert np.isnan(series.median_rtt_ms[0])
+        assert (
+            quality.dropped_count(DropReason.MALFORMED_RECORD) == 2
+        )
+
+    def test_out_of_period_timestamp_distinct_reason(self):
+        from repro.quality import DataQualityReport, DropReason
+
+        grid = TimeGrid(
+            MeasurementPeriod("t", dt.datetime(2019, 9, 2), 1)
+        )
+        quality = DataQualityReport()
+        series = estimate_probe_series(
+            [typical_traceroute(timestamp=-50.0),
+             typical_traceroute(timestamp=10 * 86400.0)],
+            grid, quality=quality,
+        )
+        assert int(series.traceroute_counts.sum()) == 0
+        assert quality.dropped_count(DropReason.OUT_OF_PERIOD) == 2
+        assert quality.dropped_count(DropReason.MALFORMED_RECORD) == 0
+
+    def test_nan_timestamp_still_infers_prb_id(self):
+        """Even a malformed record identifies the probe: an input of
+        only malformed records returns an all-NaN series rather than
+        raising for a missing prb_id."""
+        grid = TimeGrid(
+            MeasurementPeriod("t", dt.datetime(2019, 9, 2), 1)
+        )
+        series = estimate_probe_series(
+            [typical_traceroute(timestamp=float("nan"))], grid
+        )
+        assert series.prb_id == 1
+        assert np.all(np.isnan(series.median_rtt_ms))

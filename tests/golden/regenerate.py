@@ -1,0 +1,64 @@
+"""Regenerate the golden survey fixture.
+
+One command, from the repo root:
+
+    PYTHONPATH=src:. python -m tests.golden.regenerate
+
+Rerun it only when the pipeline's *intended* output changes (a
+methodology fix, new thresholds) and commit the refreshed JSON with a
+line in the commit message explaining why the numbers moved.  The
+fixture is always regenerated with the reference backend; the golden
+test then checks both backends against it.
+"""
+
+import json
+from pathlib import Path
+
+FIXTURE = Path(__file__).with_name("survey_golden.json")
+
+# Frozen world parameters.  Changing any of these is a fixture break:
+# regenerate and explain.
+NUM_ASES = 12
+NUM_COUNTRIES = 6
+WORLD_SEED = 5
+SURVEY_SEED = 7
+PERIOD_NAME = "golden"
+PERIOD_START = "2019-09-02"
+PERIOD_DAYS = 4
+
+
+def build_survey(kernels="reference"):
+    """The frozen world's survey result (reference backend unless a
+    backend is passed, as the golden test does for both)."""
+    import datetime as dt
+
+    from repro.scenarios import generate_specs, run_survey_period
+    from repro.timebase import MeasurementPeriod
+
+    specs = generate_specs(
+        num_ases=NUM_ASES, num_countries=NUM_COUNTRIES, seed=WORLD_SEED
+    )
+    period = MeasurementPeriod(
+        PERIOD_NAME,
+        dt.datetime.fromisoformat(PERIOD_START),
+        PERIOD_DAYS,
+    )
+    result, _ = run_survey_period(
+        specs, period, seed=SURVEY_SEED, kernels=kernels
+    )
+    return result
+
+
+def main() -> int:
+    from repro.io import survey_to_dict
+
+    payload = survey_to_dict(build_survey())
+    FIXTURE.write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {FIXTURE} ({len(payload['reports'])} reports)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

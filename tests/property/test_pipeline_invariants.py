@@ -8,10 +8,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
+    DAILY_FREQUENCY_CPH,
     LastMileDataset,
     ProbeBinSeries,
     aggregate_population,
     classify_signal,
+    fill_gaps,
     probe_queuing_delay,
     welch_periodogram,
 )
@@ -150,6 +152,63 @@ class TestSpectralInvariants:
         order = [Severity.NONE, Severity.LOW, Severity.MILD,
                  Severity.SEVERE]
         assert order.index(large) >= order.index(small)
+
+    @settings(deadline=None, max_examples=30)
+    @given(probe_series())
+    def test_fill_gaps_idempotent(self, series):
+        """One interpolation pass removes every gap, so a second pass
+        must be the identity."""
+        filled = fill_gaps(series.median_rtt_ms)
+        assert not np.isnan(filled).any()
+        assert np.array_equal(fill_gaps(filled), filled)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.floats(min_value=0.3, max_value=3.0),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_daily_bin_stable_under_whole_day_shift(
+        self, amplitude, days, seed
+    ):
+        """Circularly rotating a daily-periodic signal by whole days
+        realigns it with itself, so the periodogram must keep the
+        daily bin as its prominent component with the same power."""
+        rng = np.random.default_rng(seed)
+        t = np.arange(BINS) / GRID.bins_per_day
+        signal = (
+            amplitude * (1 + np.sin(2 * np.pi * t))
+            + rng.normal(0, 0.02 * amplitude, BINS)
+        )
+        rolled = np.roll(signal, days * GRID.bins_per_day)
+        base = welch_periodogram(signal, GRID.bin_seconds)
+        moved = welch_periodogram(rolled, GRID.bin_seconds)
+        freq_a, _ = base.prominent()
+        freq_b, _ = moved.prominent()
+        assert freq_a == freq_b
+        assert freq_a == pytest.approx(DAILY_FREQUENCY_CPH, rel=0.01)
+        assert moved.amplitude_at(DAILY_FREQUENCY_CPH) == pytest.approx(
+            base.amplitude_at(DAILY_FREQUENCY_CPH), rel=0.05
+        )
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        probe_series(),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_amplitude_scales_linearly(self, series, factor):
+        """Welch amplitude is homogeneous: scaling the signal by c
+        scales every spectral amplitude by c."""
+        delay = fill_gaps(probe_queuing_delay(series))
+        base = welch_periodogram(delay, GRID.bin_seconds)
+        scaled = welch_periodogram(delay * factor, GRID.bin_seconds)
+        assert np.array_equal(
+            scaled.frequencies_cph, base.frequencies_cph
+        )
+        assert np.allclose(
+            scaled.amplitude_ms, factor * base.amplitude_ms,
+            rtol=1e-9, atol=1e-12,
+        )
 
 
 class TestEstimationInvariants:

@@ -129,6 +129,37 @@ class TestSurveyCommand:
         assert "exported" in capsys.readouterr().out
 
 
+class TestKernelsFlag:
+    def test_parser_accepts_backend_names(self):
+        for command in ("survey", "classify"):
+            base = [command] if command == "survey" else [command, "x"]
+            args = build_parser().parse_args(base)
+            assert args.kernels is None
+            args = build_parser().parse_args(
+                base + ["--kernels", "vector"]
+            )
+            assert args.kernels == "vector"
+
+    def test_parser_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["survey", "--kernels", "turbo"])
+
+    def test_survey_backends_export_identical_sites(self, tmp_path,
+                                                    capsys):
+        sites = {}
+        for backend in ("reference", "vector"):
+            out = tmp_path / backend
+            code = main([
+                "survey", "--ases", "10", "--countries", "3",
+                "--periods", "1", "--out", str(out),
+                "--kernels", backend,
+            ])
+            assert code == 0
+            sites[backend] = (out / "surveys.json").read_bytes()
+        capsys.readouterr()
+        assert sites["vector"] == sites["reference"]
+
+
 class TestTokyoCommand:
     def test_prints_digests(self, capsys):
         code = main(["tokyo", "--client-scale", "0.1"])
