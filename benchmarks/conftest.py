@@ -164,3 +164,26 @@ def record_kernel_bench(stage: str, reference_s: float, vector_s: float):
     rows.sort(key=lambda r: (r["stage"], r["backend"]))
     BENCH_KERNELS_JSON.write_text(json.dumps(rows, indent=1) + "\n")
     return speedup
+
+
+# -- machine-readable serving trajectory (BENCH_serving.json) ------------
+
+BENCH_SERVING_JSON = Path(__file__).parent.parent / "BENCH_serving.json"
+
+
+def record_serving_bench(section: str, payload: dict) -> None:
+    """Upsert one section of BENCH_serving.json.
+
+    The file maps section name ("warm_lookup", "overload") to that
+    bench's numbers — re-running either bench refreshes only its own
+    section, mirroring the BENCH_kernels.json upsert idiom.
+    """
+    import json
+
+    data = {}
+    if BENCH_SERVING_JSON.exists():
+        data = json.loads(BENCH_SERVING_JSON.read_text())
+    data[section] = payload
+    BENCH_SERVING_JSON.write_text(
+        json.dumps(data, indent=1, sort_keys=True) + "\n"
+    )

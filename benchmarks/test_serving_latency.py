@@ -5,20 +5,26 @@ warm-cache ``/v1/as/<asn>`` point lookups against a longitudinal
 archive of at least 100 ASes over at least 4 periods, reported as
 p50/p99 latency and sustained requests/sec — once at the API layer
 (no sockets) and once over real HTTP on an ephemeral port.
+
+A second bench drives the same server past its concurrency limit and
+records the shed rate and the p99 of the requests that *were* served
+— the load-shedding contract's cost, tracked release over release in
+``BENCH_serving.json`` next to the warm-path numbers.
 """
 
 import datetime as dt
+import threading
 import time
 import urllib.error
 import urllib.request
 
 import pytest
 
-from conftest import write_report
+from conftest import record_serving_bench, write_report
 from repro.core import Classification, Severity, SurveyResult
 from repro.core.spectral import SpectralMarkers
 from repro.core.survey import ASReport
-from repro.serve import SurveyAPI, SurveyServer
+from repro.serve import ResilienceConfig, SurveyAPI, SurveyServer
 from repro.store import SurveyArchive
 from repro.timebase import MeasurementPeriod
 
@@ -146,7 +152,133 @@ def test_serving_latency(archive):
         f"conditional re-request -> 304: {not_modified}",
     ]
     write_report("serving_latency", "\n".join(lines))
+    record_serving_bench("warm_lookup", {
+        "api_p50_us": round(api_p50, 1),
+        "api_p99_us": round(api_p99, 1),
+        "api_rps": round(api_rps),
+        "http_p50_us": round(http_p50, 1),
+        "http_p99_us": round(http_p99, 1),
+        "http_rps": round(http_rps),
+        "lru_hit_rate": round(api.cache.stats.hit_rate, 3),
+    })
 
     assert not_modified
     assert api_rps > 1000          # warm dict hits, generous floor
     assert http_rps > 50
+
+
+# -- overload: shed rate and served-request p99 under burst --------------
+
+OVERLOAD_LIMIT = 4
+OVERLOAD_THREADS = 24
+REQUESTS_PER_THREAD = 8
+
+
+class _DiskPaced:
+    """Archive wrapper adding a fixed pause per period read.
+
+    Emulates a cold archive whose reads touch disk, so concurrent
+    requests genuinely overlap inside the handler and the limiter has
+    something to shed; the pause is the bench's unit of service time.
+    """
+
+    PAUSE = 0.005
+
+    def __init__(self, archive):
+        self._archive = archive
+
+    def __getattr__(self, name):
+        return getattr(self._archive, name)
+
+    def __len__(self):
+        return len(self._archive)
+
+    def __contains__(self, period):
+        return period in self._archive
+
+    def get_period(self, name):
+        time.sleep(self.PAUSE)
+        return self._archive.get_period(name)
+
+
+def test_overload_shedding(archive):
+    api = SurveyAPI(
+        _DiskPaced(archive),
+        cache_size=1,  # ~every request misses and pays the disk pause
+        resilience=ResilienceConfig(
+            max_concurrency=OVERLOAD_LIMIT,
+            retry_after_seconds=0.05,
+        ),
+    )
+    outcomes = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(OVERLOAD_THREADS)
+
+    def worker(seed):
+        barrier.wait()
+        for i in range(REQUESTS_PER_THREAD):
+            period = PERIODS[(seed + i) % len(PERIODS)]
+            url = f"{server.url}/v1/period/{period}"
+            t0 = time.perf_counter()
+            try:
+                with urllib.request.urlopen(url, timeout=30) as rsp:
+                    status = rsp.status
+                    rsp.read()
+            except urllib.error.HTTPError as error:
+                status = error.code
+            elapsed = time.perf_counter() - t0
+            with lock:
+                outcomes.append((status, elapsed))
+
+    with SurveyServer(api) as server:
+        threads = [
+            threading.Thread(target=worker, args=(n,))
+            for n in range(OVERLOAD_THREADS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        elapsed = time.perf_counter() - started
+        assert not any(t.is_alive() for t in threads), "hung request"
+
+    total = OVERLOAD_THREADS * REQUESTS_PER_THREAD
+    assert len(outcomes) == total
+    statuses = [status for status, _ in outcomes]
+    assert set(statuses) <= {200, 503}, sorted(set(statuses))
+    served = [lat for status, lat in outcomes if status == 200]
+    shed = statuses.count(503)
+    assert served, "burst starved every request"
+    shed_rate = shed / total
+    p50_ms = percentile(served, 0.50) * 1e3
+    p99_ms = percentile(served, 0.99) * 1e3
+
+    write_report("serving_overload", "\n".join([
+        f"Burst of {OVERLOAD_THREADS} clients x "
+        f"{REQUESTS_PER_THREAD} requests against a "
+        f"{OVERLOAD_LIMIT}-slot limiter "
+        f"({_DiskPaced.PAUSE * 1e3:.0f} ms simulated disk read):",
+        "",
+        f"served 200: {len(served)}   shed 503: {shed}   "
+        f"shed rate: {shed_rate:.3f}",
+        f"served p50: {p50_ms:.1f} ms   p99: {p99_ms:.1f} ms   "
+        f"wall: {elapsed:.2f} s",
+    ]))
+    record_serving_bench("overload", {
+        "limit": OVERLOAD_LIMIT,
+        "threads": OVERLOAD_THREADS,
+        "requests": total,
+        "served_200": len(served),
+        "shed_503": shed,
+        "shed_rate": round(shed_rate, 3),
+        "served_p50_ms": round(p50_ms, 3),
+        "served_p99_ms": round(p99_ms, 3),
+        "wall_seconds": round(elapsed, 3),
+    })
+
+    # The limiter sheds instead of queueing without bound: under a
+    # 6x-limit burst some requests must be turned away, and the ones
+    # served must finish in bounded time (pause x limit, with slack).
+    assert shed > 0
+    assert p99_ms < _DiskPaced.PAUSE * 1e3 * OVERLOAD_LIMIT * 100

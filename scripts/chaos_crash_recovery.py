@@ -1,0 +1,262 @@
+#!/usr/bin/env python
+"""Crash-recovery chaos leg: SIGKILL an ingest mid-commit, every step.
+
+The CI contract behind DESIGN.md §12: a writer killed at ANY point of
+the journaled commit protocol leaves the archive — after
+recovery-on-open — in exactly the pre-commit or post-commit state,
+with ``repro store fsck`` finding nothing to complain about.
+
+Unlike the in-process property test (tests/store/test_journal.py),
+every crash here is a genuine ``SIGKILL`` delivered to a separate
+writer process: no ``finally`` blocks, no unwound stack, just a dead
+process and whatever bytes reached the disk.  The crash schedule is
+content-keyed — op indexes come from a dry-run enumeration of the
+protocol, tear offsets are derived from a digest of the payload — so
+reruns are reproducible without hardcoding the protocol's shape.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_crash_recovery.py [workdir]
+
+Exits 0 when every crash point recovered cleanly, 1 otherwise.
+"""
+
+import datetime as dt
+import hashlib
+import json
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import textwrap
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core import Severity  # noqa: E402
+from repro.faults import RecordingIO  # noqa: E402
+from repro.store import (  # noqa: E402
+    EXIT_CLEAN,
+    SurveyArchive,
+    run_fsck,
+)
+
+# The child re-runs the same ingest under CrashingIO in kill mode.
+CHILD = textwrap.dedent("""
+    import sys
+    sys.path.insert(0, {src!r})
+    from repro.faults import CrashingIO, CrashPlan
+    from repro.store import SurveyArchive
+    sys.path.insert(0, {here!r})
+    from chaos_crash_recovery import make_survey, make_ranking
+
+    io = CrashingIO(CrashPlan({op}, byte_offset={offset}, mode="kill"))
+    archive = SurveyArchive({root!r}, io=io)
+    archive.ingest(make_survey("2019-06"), ranking=make_ranking())
+    print("survived", flush=True)  # the plan never fired: a bug
+""")
+
+
+def make_survey(name):
+    """One synthetic committed period (content the checks verify)."""
+    from repro.core import Classification, SurveyResult
+    from repro.core.spectral import SpectralMarkers
+    from repro.core.survey import ASReport
+    from repro.timebase import MeasurementPeriod
+
+    starts = {"2019-03": dt.datetime(2019, 3, 1),
+              "2019-06": dt.datetime(2019, 6, 1)}
+    result = SurveyResult(
+        period=MeasurementPeriod(name, starts[name], 15)
+    )
+    for asn, severity, amplitude in (
+        (100, Severity.SEVERE, 4.5),
+        (200, Severity.LOW, 0.7),
+        (300, Severity.NONE, 0.0),
+    ):
+        markers = None
+        if amplitude:
+            markers = SpectralMarkers(
+                prominent_frequency_cph=1 / 24,
+                prominent_amplitude_ms=amplitude,
+                daily_amplitude_ms=amplitude,
+            )
+        result.reports[asn] = ASReport(
+            asn=asn, probe_count=5,
+            classification=Classification(severity, markers),
+        )
+    return result
+
+
+def make_ranking():
+    from repro.apnic import EyeballRanking
+    from repro.netbase import ASInfo, ASRegistry, ASRole
+
+    registry = ASRegistry()
+    for asn, name, cc, subs in (
+        (100, "Big", "JP", 1_000_000),
+        (200, "Mid", "US", 50_000),
+        (300, "Small", "DE", 5_000),
+    ):
+        registry.register(ASInfo(asn, name, cc, ASRole.EYEBALL,
+                                 subscribers=subs))
+    return EyeballRanking.from_registry(registry)
+
+
+def archive_state(root):
+    """Manifest + file listing: what pre/post comparison is made of."""
+    manifest_path = root / "MANIFEST.json"
+    manifest = (
+        json.loads(manifest_path.read_text())
+        if manifest_path.exists() else None
+    )
+    files = sorted(
+        str(p.relative_to(root))
+        for p in root.rglob("*")
+        if p.is_file() and "quarantine" not in p.parts
+    )
+    return {"manifest": manifest, "files": files}
+
+
+def seed_archive(root):
+    """A baseline archive with one already-committed period."""
+    archive = SurveyArchive(root)
+    archive.ingest(make_survey("2019-03"), ranking=make_ranking())
+    archive.close()
+
+
+def crash_schedule(work):
+    """Content-keyed (op, offset) crash points for one ingest."""
+    io = RecordingIO()
+    archive = SurveyArchive(work / "record", io=io)
+    archive.ingest(make_survey("2019-03"), ranking=make_ranking())
+    io.ops.clear()
+    archive.ingest(make_survey("2019-06"), ranking=make_ranking())
+    ops = io.ops
+
+    manifest_op = next(
+        i for i, op in enumerate(ops)
+        if op.kind == "replace" and "MANIFEST" in op.path
+    )
+    # Key the schedule on what the protocol *is* (op kinds, target
+    # names, payload sizes), not on run-varying tmp-name PIDs.
+    digest = hashlib.sha256(
+        json.dumps([
+            (op.kind,
+             re.sub(r"^\.|\.\d+\.tmp$", "", Path(op.path).name),
+             op.size)
+            for op in ops
+        ]).encode()
+    ).digest()
+    cases = []
+    for index, op in enumerate(ops):
+        if op.kind == "write" and op.size:
+            # Tear offset keyed on the op sequence itself: stable
+            # across reruns, different per op, never hardcoded.
+            offset = digest[index % len(digest)] % op.size
+            cases.append((index, offset))
+        cases.append((index, None))
+    return cases, manifest_op
+
+
+def run_case(work, case_id, op_index, offset, manifest_op,
+             pre_state_of, post_state_of):
+    root = work / f"case-{case_id}"
+    seed_archive(root)
+    script = CHILD.format(
+        src=str(REPO / "src"), here=str(REPO / "scripts"),
+        root=str(root), op=op_index, offset=offset,
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, timeout=120,
+    )
+    if proc.returncode != -signal.SIGKILL:
+        return (
+            f"writer was not SIGKILLed (rc={proc.returncode}): "
+            f"{proc.stderr.strip() or proc.stdout.strip()}"
+        )
+
+    reopened = SurveyArchive(root)  # recovery-on-open runs here
+    state = archive_state(root)
+    committed = op_index > manifest_op
+    expected = post_state_of if committed else pre_state_of
+    if state != expected:
+        return (
+            "neither pre- nor post-commit state after crash "
+            f"(expected {'post' if committed else 'pre'})"
+        )
+    if committed:
+        if "2019-06" not in reopened:
+            return "committed period missing after roll-forward"
+        if reopened.get(100, "2019-06")["severity"] != "severe":
+            return "committed period content wrong after recovery"
+    else:
+        if "2019-06" in reopened:
+            return "uncommitted period visible after rollback"
+        if "2019-03" not in reopened:
+            return "rollback damaged the previously committed period"
+    report = run_fsck(root, repair=False)
+    if report.exit_code != EXIT_CLEAN:
+        return "fsck not clean: " + "; ".join(
+            f.detail for f in report.findings
+        )
+    shutil.rmtree(root)
+    return None
+
+
+def main(argv):
+    work = Path(
+        argv[1] if len(argv) > 1
+        else tempfile.mkdtemp(prefix="chaos-crash-")
+    )
+    work.mkdir(parents=True, exist_ok=True)
+
+    cases, manifest_op = crash_schedule(work)
+    print(
+        f"ingest protocol: {len(cases)} crash points "
+        f"(manifest flip at op {manifest_op})"
+    )
+
+    # Reference states the survivors are compared against.
+    pre_root = work / "ref-pre"
+    seed_archive(pre_root)
+    pre_state = archive_state(pre_root)
+    post_root = work / "ref-post"
+    seed_archive(post_root)
+    post = SurveyArchive(post_root)
+    post.ingest(make_survey("2019-06"), ranking=make_ranking())
+    post.close()
+    post_state = archive_state(post_root)
+
+    failures = []
+    for case_id, (op_index, offset) in enumerate(cases):
+        problem = run_case(
+            work, case_id, op_index, offset, manifest_op,
+            pre_state, post_state,
+        )
+        where = f"op {op_index}" + (
+            f" offset {offset}" if offset is not None else ""
+        )
+        verdict = problem or (
+            "post-commit roll-forward"
+            if op_index > manifest_op else "pre-commit rollback"
+        )
+        print(f"  SIGKILL at {where}: {verdict}")
+        if problem:
+            failures.append((where, problem))
+
+    if failures:
+        print(f"\nFAIL: {len(failures)}/{len(cases)} crash points "
+              "did not recover cleanly")
+        return 1
+    print(f"\nOK: {len(cases)} SIGKILLed writers, every archive "
+          "recovered to exactly pre- or post-commit, fsck clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

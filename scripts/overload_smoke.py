@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Serving overload smoke: burst past the limiter, verify shedding.
+
+Drives a real :class:`SurveyServer` (ephemeral port, threaded
+clients) with a burst several times its concurrency limit and checks
+the load-shedding contract end to end:
+
+* every response is 200 or 503 — nothing else, and nothing hangs;
+* every 503 carries a ``Retry-After`` header;
+* ``requests_shed_total`` matches the observed 503 count exactly;
+* after the burst the server drains to zero in-flight and still
+  answers ``/v1/healthz``.
+
+The archive is wrapped with a fixed per-read pause so concurrent
+requests genuinely overlap inside the handler — without it the
+handler is too fast for a burst to queue against the limiter.
+
+Usage::
+
+    PYTHONPATH=src python scripts/overload_smoke.py
+
+Exits 0 when the contract holds, 1 otherwise.
+"""
+
+import datetime as dt
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core import Classification, Severity, SurveyResult  # noqa: E402
+from repro.core.spectral import SpectralMarkers  # noqa: E402
+from repro.core.survey import ASReport  # noqa: E402
+from repro.obs import Observability, set_observer  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ResilienceConfig,
+    SurveyAPI,
+    SurveyServer,
+)
+from repro.store import SurveyArchive  # noqa: E402
+from repro.timebase import MeasurementPeriod  # noqa: E402
+
+LIMIT = 4
+THREADS = 24
+REQUESTS_PER_THREAD = 6
+PERIODS = ("2019-03", "2019-06", "2019-09")
+READ_PAUSE = 0.004
+
+
+def build_archive(root):
+    archive = SurveyArchive(root)
+    severities = (Severity.NONE, Severity.LOW, Severity.SEVERE)
+    for offset, name in enumerate(PERIODS):
+        result = SurveyResult(period=MeasurementPeriod(
+            name, dt.datetime(2019, 3 * (offset + 1), 1), 15,
+        ))
+        for i in range(8):
+            asn = 64500 + i
+            severity = severities[(i + offset) % len(severities)]
+            markers = None
+            if severity is not Severity.NONE:
+                markers = SpectralMarkers(
+                    prominent_frequency_cph=1 / 24,
+                    prominent_amplitude_ms=2.5,
+                    daily_amplitude_ms=2.5,
+                )
+            result.reports[asn] = ASReport(
+                asn=asn, probe_count=5,
+                classification=Classification(severity, markers),
+            )
+        archive.ingest(result)
+    return archive
+
+
+class _DiskPaced:
+    """Fixed per-read pause so burst requests overlap in the handler."""
+
+    def __init__(self, archive):
+        self._archive = archive
+
+    def __getattr__(self, name):
+        return getattr(self._archive, name)
+
+    def __len__(self):
+        return len(self._archive)
+
+    def __contains__(self, period):
+        return period in self._archive
+
+    def get_period(self, name):
+        time.sleep(READ_PAUSE)
+        return self._archive.get_period(name)
+
+
+def main():
+    import tempfile
+
+    observer = Observability()
+    set_observer(observer)
+
+    work = Path(tempfile.mkdtemp(prefix="overload-smoke-"))
+    archive = build_archive(work / "arc")
+    api = SurveyAPI(
+        _DiskPaced(archive),
+        cache_size=1,  # ~every request pays the paced read
+        resilience=ResilienceConfig(
+            max_concurrency=LIMIT, retry_after_seconds=0.05,
+        ),
+    )
+
+    outcomes = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(THREADS)
+
+    def worker(seed):
+        barrier.wait()
+        for i in range(REQUESTS_PER_THREAD):
+            period = PERIODS[(seed + i) % len(PERIODS)]
+            url = f"{server.url}/v1/period/{period}"
+            try:
+                with urllib.request.urlopen(url, timeout=30) as rsp:
+                    rsp.read()
+                    record = (rsp.status, rsp.headers.get("Retry-After"))
+            except urllib.error.HTTPError as error:
+                record = (error.code, error.headers.get("Retry-After"))
+            except Exception as exc:  # noqa: BLE001 - smoke verdict
+                record = (repr(exc), None)
+            with lock:
+                outcomes.append(record)
+
+    problems = []
+    with SurveyServer(api) as server:
+        threads = [
+            threading.Thread(target=worker, args=(n,))
+            for n in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 120
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        if any(t.is_alive() for t in threads):
+            print("FAIL: client threads hung — requests never finished")
+            return 1
+
+        total = THREADS * REQUESTS_PER_THREAD
+        statuses = [status for status, _ in outcomes]
+        served = statuses.count(200)
+        shed = statuses.count(503)
+        if len(outcomes) != total:
+            problems.append(
+                f"{len(outcomes)} outcomes for {total} requests"
+            )
+        if served + shed != len(outcomes):
+            unexpected = sorted(
+                {s for s in statuses if s not in (200, 503)},
+                key=repr,
+            )
+            problems.append(f"unexpected outcomes: {unexpected}")
+        if shed == 0:
+            problems.append(
+                f"burst of {total} against limit {LIMIT} shed nothing"
+            )
+        if served == 0:
+            problems.append("burst starved every request")
+        missing = [
+            retry for status, retry in outcomes
+            if status == 503 and not retry
+        ]
+        if missing:
+            problems.append(
+                f"{len(missing)} 503(s) without Retry-After"
+            )
+        counted = observer.metrics.counter(
+            "requests_shed_total", "", ()
+        ).value()
+        if counted != shed:
+            problems.append(
+                f"requests_shed_total={counted} but {shed} 503s seen"
+            )
+
+        # Post-burst: drained, and still serving.
+        if not server._httpd.wait_idle(10.0):
+            problems.append(
+                f"server did not drain ({server.in_flight} in flight)"
+            )
+        with urllib.request.urlopen(
+            f"{server.url}/v1/healthz", timeout=10
+        ) as rsp:
+            if rsp.status != 200:
+                problems.append(f"healthz after burst: {rsp.status}")
+
+    if problems:
+        print("FAIL:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(
+        f"OK: burst {total} (limit {LIMIT}) -> {served}x200 + "
+        f"{shed}x503, all 503s carried Retry-After, "
+        f"requests_shed_total={counted}, drained + healthz 200"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,9 +12,11 @@
 * ``obs``      — render a saved observability report (trace tree,
   metrics, profile);
 * ``store``    — manage the longitudinal survey archive
-  (``ingest`` / ``compact`` / ``query``);
+  (``ingest`` / ``compact`` / ``query`` / ``fsck``);
 * ``serve``    — serve an archive over HTTP (the paper's public
-  lookup site);
+  lookup site) with bounded concurrency, per-request deadlines and
+  per-period circuit breakers; SIGTERM/SIGINT drain in-flight
+  requests before exit;
 * ``info``     — version and layout.
 
 ``survey`` and ``classify`` accept ``--kernels reference|vector`` to
@@ -223,6 +225,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="re-checksum every committed period and report",
     )
+    store_fsck = store_sub.add_parser(
+        "fsck",
+        help="audit archive integrity (checksums, cross-references, "
+        "leftovers); exit 0 clean, 1 errors, 2 repaired, 3 unusable",
+    )
+    store_fsck.add_argument("archive", help="archive directory")
+    store_fsck.add_argument(
+        "--repair", action="store_true",
+        help="quarantine corrupt periods, rebuild indexes, sweep "
+        "stale temp files (read-only without this flag)",
+    )
+    store_fsck.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of a summary",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -236,6 +253,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=512,
         help="hot-object cache capacity (rendered responses)",
     )
+    serve.add_argument(
+        "--max-concurrency", type=int, default=64, metavar="N",
+        help="in-flight request ceiling; excess requests are shed "
+        "with 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=10.0, metavar="SECONDS",
+        help="per-request time budget (503 on expiry)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive read failures that trip a period's "
+        "circuit breaker",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=30.0,
+        metavar="SECONDS",
+        help="how long a tripped breaker stays open before a probe",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="Retry-After hint attached to every 503",
+    )
+    _add_obs_flags(serve)
 
     quality = sub.add_parser(
         "quality",
@@ -652,6 +693,10 @@ def cmd_store(args) -> int:
     from .netbase.errors import NetbaseError
     from .store import SurveyArchive
 
+    if args.store_command == "fsck":
+        # fsck never goes through SurveyArchive: it must audit
+        # archives too broken to open (garbage manifest → exit 3).
+        return _store_fsck(args)
     try:
         archive = SurveyArchive(args.archive)
         if args.store_command == "ingest":
@@ -698,6 +743,24 @@ def _store_ingest(archive, args) -> int:
         + ", ".join(committed)
     )
     return 0
+
+
+def _store_fsck(args) -> int:
+    import json
+
+    from .store import run_fsck
+
+    if not Path(args.archive).is_dir():
+        print(f"error: {args.archive} is not a directory",
+              file=sys.stderr)
+        return 3
+    report = run_fsck(Path(args.archive), repair=args.repair)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        for line in report.summary_lines():
+            print(line)
+    return report.exit_code
 
 
 def _store_query(archive, args) -> int:
@@ -748,9 +811,21 @@ def _store_query(archive, args) -> int:
 
 def cmd_serve(args) -> int:
     from .netbase.errors import NetbaseError
-    from .serve import SurveyServer
+    from .obs import observed
+    from .serve import ResilienceConfig, SurveyServer
     from .store import SurveyArchive
 
+    try:
+        resilience = ResilienceConfig(
+            max_concurrency=args.max_concurrency,
+            deadline_seconds=args.deadline,
+            retry_after_seconds=args.retry_after,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_seconds=args.breaker_cooldown,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     try:
         archive = SurveyArchive(args.archive)
         if not len(archive):
@@ -759,17 +834,34 @@ def cmd_serve(args) -> int:
             return 1
         server = SurveyServer(
             archive, host=args.host, port=args.port,
-            cache_size=args.cache_size,
+            cache_size=args.cache_size, resilience=resilience,
         )
     except (NetbaseError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    server.install_signal_handlers()
     print(
         f"serving {len(archive)} period(s) from {args.archive} "
-        f"on {server.url} (Ctrl-C to stop)",
+        f"on {server.url} (SIGTERM/SIGINT/Ctrl-C drain and stop)",
         flush=True,
     )
-    server.serve_forever()
+    observer, sink = _make_observer(args)
+    try:
+        if observer is None:
+            server.serve_forever()
+        else:
+            # Metrics flush happens inside the shutdown hook, after
+            # the last in-flight request has drained — a SIGTERM'd
+            # server still writes its --metrics-out report.
+            with observed(observer):
+                server.serve_forever(
+                    on_shutdown=lambda: _finish_observer(
+                        args, observer
+                    )
+                )
+    finally:
+        if sink is not None:
+            sink.close()
     print("shut down cleanly")
     return 0
 

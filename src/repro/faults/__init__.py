@@ -19,7 +19,12 @@ Three levels, matching where faults occur in the wild:
 * **dataset** (:mod:`repro.faults.dataset`) — degrades binned
   :class:`~repro.core.series.LastMileDataset` objects directly (bin
   loss, NaN bursts, a poisoned AS), for survey-scale chaos runs where
-  regenerating per-hop traceroutes would be prohibitive.
+  regenerating per-hop traceroutes would be prohibitive;
+* **filesystem** (:mod:`repro.faults.fs`) — kills the survey archive's
+  writer at an exact operation/byte boundary (torn writes, simulated
+  or real SIGKILL) and flips bits at rest, through the
+  :mod:`repro.store.io` seam, for the crash-recovery and fsck chaos
+  harness.
 """
 
 from .base import FaultEvent, FaultLog, RecordInjector, inject_records
@@ -31,6 +36,16 @@ from .dataset import (
     PoisonAS,
     inject_dataset,
     pin_dataset_faults,
+)
+from .fs import (
+    CrashPlan,
+    CrashingIO,
+    FsFaultKey,
+    OpRecord,
+    RecordingIO,
+    SimulatedCrash,
+    flip_bit,
+    tear_file,
 )
 from .lines import CorruptLines, corrupt_jsonl, inject_lines
 from .record import (
@@ -69,4 +84,12 @@ __all__ = [
     "PoisonAS",
     "inject_dataset",
     "pin_dataset_faults",
+    "SimulatedCrash",
+    "CrashPlan",
+    "CrashingIO",
+    "RecordingIO",
+    "OpRecord",
+    "FsFaultKey",
+    "flip_bit",
+    "tear_file",
 ]

@@ -3,11 +3,13 @@
 A :class:`Tracer` records a tree of :class:`Span` objects.  Each span
 carries wall-clock and CPU time, arbitrary attributes (stage, AS,
 period …) and an error marker when the traced block raised.  Spans
-nest through a plain stack — the pipeline is single-threaded per run,
-so no thread-local machinery is needed — and the finished tree renders
-as an indented report with repeated siblings collapsed (150 per-AS
-``aggregate`` spans show as one line with count/total/max, not 150
-lines).
+nest through a *per-thread* stack — the analysis pipeline is
+single-threaded per run, but the serving layer opens spans from the
+HTTP server's worker threads, so nesting state must not be shared
+(each thread's outermost span becomes its own root).  The finished
+tree renders as an indented report with repeated siblings collapsed
+(150 per-AS ``aggregate`` spans show as one line with
+count/total/max, not 150 lines).
 
 When tracing is off the pipeline goes through :class:`NullTracer`,
 whose ``span()`` hands back one shared no-op context manager: the cost
@@ -18,6 +20,7 @@ inside per-record loops.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Iterator, List, Optional
 
@@ -121,7 +124,16 @@ class Tracer:
 
     def __init__(self):
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> List[Span]:
+        # Per-thread nesting: concurrent server threads must not pop
+        # each other's spans.
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @property
     def enabled(self) -> bool:

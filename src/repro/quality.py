@@ -45,6 +45,10 @@ class DropReason(enum.Enum):
     # -- streaming -----------------------------------------------------
     SPARSE_BIN = "sparse-bin"                # bin closed under the sanity
     #                                          threshold (< 3 traceroutes)
+    # -- storage -------------------------------------------------------
+    CORRUPT_ARTIFACT = "corrupt-artifact"    # archive file quarantined
+    #                                          (checksum/parse failure or
+    #                                          rolled-back half-commit)
 
 
 def normalize_stage(name: str) -> str:

@@ -4,14 +4,20 @@ The paper's public site lets any operator look up their AS's
 congestion verdict; this package is that lookup service for archived
 survey results:
 
-* :mod:`repro.serve.app`   — :class:`SurveyAPI`, socket-free routing
-  from request targets to rendered JSON responses with ETags and
-  taxonomy-mapped error statuses;
-* :mod:`repro.serve.http`  — :class:`SurveyServer`, the stdlib
-  threaded HTTP shell with conditional (304) responses and graceful
-  shutdown;
-* :mod:`repro.serve.cache` — :class:`LRUCache`, the thread-safe
-  hot-object cache rendered responses sit in.
+* :mod:`repro.serve.app`        — :class:`SurveyAPI`, socket-free
+  routing from request targets to rendered JSON responses with ETags
+  and taxonomy-mapped error statuses;
+* :mod:`repro.serve.http`       — :class:`SurveyServer`, the stdlib
+  threaded HTTP shell with conditional (304) responses, in-flight
+  drain and signal-driven graceful shutdown;
+* :mod:`repro.serve.cache`      — :class:`LRUCache`, the thread-safe
+  hot-object cache rendered responses sit in;
+* :mod:`repro.serve.resilience` — the overload/corruption middleware:
+  concurrency limiter (shed with 503 + Retry-After), per-period
+  circuit breaker, cooperative request deadlines;
+* :mod:`repro.serve.client`     — :class:`RetryingClient`, the
+  matching client discipline (jittered exponential backoff honoring
+  ``Retry-After``).
 
 Typical embedding::
 
@@ -22,12 +28,29 @@ Typical embedding::
         print(server.url)  # ephemeral port by default
         ...
 
-Standalone: ``python -m repro serve archive/ --port 8080``.
+Standalone: ``python -m repro serve archive/ --port 8080``
+(SIGTERM/SIGINT drain in-flight requests and flush metrics).
 """
 
 from .app import Response, SEVERITY_CLASSES, SurveyAPI, status_for
 from .cache import LRUCache, LRUStats
+from .client import (
+    ClientResult,
+    RetriesExhausted,
+    RetryingClient,
+    parse_retry_after,
+    retry_call,
+)
 from .http import SERVER_NAME, SurveyServer
+from .resilience import (
+    BreakerOpenError,
+    CircuitBreaker,
+    ConcurrencyLimiter,
+    Deadline,
+    DeadlineExceeded,
+    OverloadedError,
+    ResilienceConfig,
+)
 
 __all__ = [
     "SurveyAPI",
@@ -38,4 +61,16 @@ __all__ = [
     "SERVER_NAME",
     "LRUCache",
     "LRUStats",
+    "ResilienceConfig",
+    "ConcurrencyLimiter",
+    "CircuitBreaker",
+    "Deadline",
+    "OverloadedError",
+    "BreakerOpenError",
+    "DeadlineExceeded",
+    "RetryingClient",
+    "ClientResult",
+    "RetriesExhausted",
+    "retry_call",
+    "parse_retry_after",
 ]

@@ -2,13 +2,14 @@
 
 This layer is deliberately socket-free: :class:`SurveyAPI` maps a
 request path to a fully rendered :class:`Response` (status, body
-bytes, ETag), and :mod:`repro.serve.http` is a thin HTTP shell around
-it.  Tests exercise routing, error mapping and caching here without
-binding a port.
+bytes, ETag, extra headers), and :mod:`repro.serve.http` is a thin
+HTTP shell around it.  Tests exercise routing, error mapping, caching
+and the resilience middleware here without binding a port.
 
 The HTTP surface (all ``GET``, all JSON):
 
-* ``/v1/healthz``                       — liveness + archive summary;
+* ``/v1/healthz``                       — liveness, archive summary,
+  breaker/limiter state (never cached — health must be fresh);
 * ``/v1/periods``                       — committed periods with meta;
 * ``/v1/period/<p>``                    — one period's full payload;
 * ``/v1/period/<p>/severe``             — the Severe-class lookup;
@@ -20,20 +21,32 @@ The HTTP surface (all ``GET``, all JSON):
 
 Error mapping follows the :mod:`repro.netbase.errors` taxonomy:
 *not found* archive errors → 404, malformed requests → 400, archive
-corruption → 503 (quarantined, never served), anything else → 500.
+corruption / open circuits / shed load / blown deadlines → 503
+(with ``Retry-After``), anything else → 500.
 
-Successful responses are cached in an LRU keyed by path+query — the
-archive is append-only while a server runs, so rendered bodies never
-go stale.  Every response carries a strong ETag (body digest) so
-conditional re-requests collapse to 304s upstream.
+Resilience (see :mod:`repro.serve.resilience`): every request first
+takes a :class:`ConcurrencyLimiter` slot or is shed with 503 +
+``Retry-After`` (``requests_shed_total``); period-scoped archive
+reads run under a per-period :class:`CircuitBreaker` so repeated
+checksum/IO failures trip that period to fast 503s while the rest of
+the archive keeps serving; a cooperative per-request
+:class:`Deadline` is checked at iteration checkpoints.
+
+Successful responses are cached in an LRU keyed by path+query.  The
+archive is append-only while healthy, but quarantine, fsck repair and
+re-ingest all bump :attr:`SurveyArchive.generation` — the API watches
+that counter and clears the whole cache when it moves
+(``serve_cache_invalidations_total``), so a repaired or re-ingested
+period is re-rendered with a *new* ETag, never served stale.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
@@ -44,6 +57,15 @@ from ..store import (
     ASNotFoundError,
     PeriodNotFoundError,
     SurveyArchive,
+)
+from .resilience import (
+    BreakerOpenError,
+    CircuitBreaker,
+    ConcurrencyLimiter,
+    Deadline,
+    DeadlineExceeded,
+    OverloadedError,
+    ResilienceConfig,
 )
 
 STAGE = "serve"
@@ -60,6 +82,8 @@ class Response:
     body: bytes
     etag: Optional[str] = None
     content_type: str = "application/json"
+    #: Extra response headers, e.g. ``(("Retry-After", "1"),)``.
+    headers: Tuple[Tuple[str, str], ...] = ()
 
     @property
     def cacheable(self) -> bool:
@@ -82,7 +106,15 @@ def status_for(exc: Exception) -> int:
     """HTTP status for an exception, per the netbase taxonomy."""
     if isinstance(exc, (PeriodNotFoundError, ASNotFoundError)):
         return 404
-    if isinstance(exc, ArchiveCorruptionError):
+    if isinstance(
+        exc,
+        (
+            ArchiveCorruptionError,
+            BreakerOpenError,
+            DeadlineExceeded,
+            OverloadedError,
+        ),
+    ):
         return 503
     if isinstance(exc, (NetbaseError, ValueError)):
         return 400
@@ -96,20 +128,48 @@ class SurveyAPI:
         self,
         archive: SurveyArchive,
         cache_size: int = 512,
+        resilience: Optional[ResilienceConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
         from .cache import LRUCache
 
         self.archive = archive
         self.cache = LRUCache(cache_size)
+        self.resilience = (
+            resilience if resilience is not None else ResilienceConfig()
+        )
+        self.limiter = ConcurrencyLimiter(self.resilience.max_concurrency)
+        self.breaker = CircuitBreaker(
+            threshold=self.resilience.breaker_threshold,
+            cooldown_seconds=self.resilience.breaker_cooldown_seconds,
+            clock=clock,
+        )
+        self._clock = clock
+        self._local = threading.local()
+        self._generation_lock = threading.Lock()
+        self._generation = getattr(archive, "generation", 0)
 
     # -- entry point ---------------------------------------------------
 
     def handle(self, target: str) -> Response:
         """Serve one request target (path + optional query string)."""
         obs = get_observer()
-        route = "unknown"
         started = time.perf_counter()
         try:
+            self.limiter.acquire()
+        except OverloadedError as exc:
+            obs.counter(
+                "requests_shed_total",
+                "requests refused at the concurrency limit",
+            ).inc()
+            self._account(obs, "shed", started)
+            return self._retry_later(_error(503, "Overloaded", str(exc)))
+        route = "unknown"
+        try:
+            self._local.deadline = Deadline(
+                self.resilience.deadline_seconds, self._clock
+            )
+            self._invalidate_if_stale(obs)
             cached = self.cache.get(target)
             if cached is not None:
                 route = "cached"
@@ -119,7 +179,7 @@ class SurveyAPI:
                 ).inc()
                 return cached
             route, response = self._dispatch(target)
-            if response.cacheable:
+            if response.cacheable and route != "healthz":
                 self.cache.put(target, response)
             return response
         except Exception as exc:  # noqa: BLE001 — boundary mapping
@@ -128,17 +188,75 @@ class SurveyAPI:
                 "request-failed", target=target,
                 error=type(exc).__name__, status=status,
             )
-            return _error(status, type(exc).__name__, str(exc))
+            response = _error(status, type(exc).__name__, str(exc))
+            if status == 503:
+                response = self._retry_later(response)
+            return response
         finally:
-            elapsed = time.perf_counter() - started
-            obs.counter(
-                "serve_requests_total", "API requests by route",
-                ("route",),
-            ).inc(route=route)
-            obs.histogram(
-                "serve_request_seconds", "request latency by route",
-                ("route",),
-            ).observe(elapsed, route=route)
+            self._local.deadline = None
+            self.limiter.release()
+            self._account(obs, route, started)
+
+    def _account(self, obs, route: str, started: float) -> None:
+        elapsed = time.perf_counter() - started
+        obs.counter(
+            "serve_requests_total", "API requests by route",
+            ("route",),
+        ).inc(route=route)
+        obs.histogram(
+            "serve_request_seconds", "request latency by route",
+            ("route",),
+        ).observe(elapsed, route=route)
+
+    def _retry_later(self, response: Response) -> Response:
+        value = format(self.resilience.retry_after_seconds, "g")
+        return replace(
+            response,
+            headers=response.headers + (("Retry-After", value),),
+        )
+
+    def _invalidate_if_stale(self, obs) -> None:
+        """Drop the response cache when the archive's content moved.
+
+        Quarantine, recovery, fsck repair and re-ingest each bump the
+        archive generation; serving a cached body across any of those
+        would hand out a stale ETag for changed content.
+        """
+        generation = getattr(self.archive, "generation", 0)
+        with self._generation_lock:
+            if generation == self._generation:
+                return
+            self._generation = generation
+        self.cache.clear()
+        obs.counter(
+            "serve_cache_invalidations_total",
+            "whole-cache drops on archive generation change",
+        ).inc()
+
+    def _check_deadline(self) -> None:
+        deadline = getattr(self._local, "deadline", None)
+        if deadline is not None:
+            deadline.check()
+
+    def _guarded(self, period: Optional[str], fn: Callable):
+        """Run one archive read under ``period``'s circuit.
+
+        Checksum/IO failures count against the period's breaker; a
+        tripped period fails fast with :class:`BreakerOpenError`
+        (→ 503) until the cooldown's half-open probe succeeds.
+        """
+        if period is None:
+            period = self.archive.latest() if len(self.archive) else None
+        if period is None:
+            return fn()
+        self.breaker.check(period)
+        try:
+            result = fn()
+        except (ArchiveCorruptionError, OSError):
+            self.breaker.record_failure(period)
+            raise
+        self.breaker.record_success(period)
+        return result
 
     def _dispatch(self, target: str) -> Tuple[str, Response]:
         split = urlsplit(target)
@@ -174,24 +292,30 @@ class SurveyAPI:
     # -- handlers ------------------------------------------------------
 
     def _healthz(self, _query) -> Response:
+        tripped = self.breaker.tripped()
         return _render(200, {
-            "status": "ok",
+            "status": "degraded" if tripped else "ok",
             "periods": len(self.archive),
             "latest": (
                 self.archive.latest() if len(self.archive) else None
             ),
+            "generation": getattr(self.archive, "generation", 0),
+            "degraded_periods": tripped,
+            "in_flight": self.limiter.in_flight,
+            "concurrency_limit": self.limiter.limit,
+            "shed_total": self.limiter.shed_total,
         })
 
     def _periods(self, _query) -> Response:
-        return _render(200, {
-            "periods": [
-                dict(self.archive.period_meta(name), name=name)
-                for name in self.archive.periods()
-            ],
-        })
+        entries = []
+        for name in self.archive.periods():
+            self._check_deadline()
+            entries.append(dict(self.archive.period_meta(name), name=name))
+        return _render(200, {"periods": entries})
 
     def _period(self, name: str, _query) -> Response:
-        return _render(200, self.archive.get_period(name))
+        payload = self._guarded(name, lambda: self.archive.get_period(name))
+        return _render(200, payload)
 
     def _severe(self, name: str, query) -> Response:
         return self._severity(name, "severe", query)
@@ -204,19 +328,27 @@ class SurveyAPI:
                 f"severity must be one of {SEVERITY_CLASSES}, "
                 f"got {severity!r}",
             )
-        asns = self.archive.asns_with_severity(name, severity)
+        asns = self._guarded(
+            name, lambda: self.archive.asns_with_severity(name, severity)
+        )
+        reports = {}
+        for asn in asns:
+            self._check_deadline()
+            reports[str(asn)] = self._guarded(
+                name, lambda asn=asn: self.archive.get(asn, name)
+            )
         return _render(200, {
             "period": name,
             "severity": severity,
             "count": len(asns),
             "asns": asns,
-            "reports": {
-                str(asn): self.archive.get(asn, name) for asn in asns
-            },
+            "reports": reports,
         })
 
     def _country(self, name: str, country: str, _query) -> Response:
-        asns = self.archive.asns_in_country(name, country)
+        asns = self._guarded(
+            name, lambda: self.archive.asns_in_country(name, country)
+        )
         return _render(200, {
             "period": name,
             "country": country.upper(),
@@ -227,7 +359,9 @@ class SurveyAPI:
     def _as(self, asn_text: str, query) -> Response:
         asn = _parse_asn(asn_text)
         period = query.get("period", [None])[0]
-        report = self.archive.get(asn, period)
+        report = self._guarded(
+            period, lambda: self.archive.get(asn, period)
+        )
         name = period if period is not None else self.archive.latest()
         return _render(200, {
             "asn": asn,
@@ -236,7 +370,10 @@ class SurveyAPI:
         })
 
     def _history(self, asn_text: str, _query) -> Response:
+        # History spans every period, so it runs outside any single
+        # period's circuit; per-read corruption still maps to 503.
         asn = _parse_asn(asn_text)
+        self._check_deadline()
         history = self.archive.history(asn)
         if not any(entry["monitored"] for entry in history):
             raise ASNotFoundError(asn, "<any committed period>")

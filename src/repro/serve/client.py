@@ -1,0 +1,198 @@
+"""Retrying HTTP client for talking to a :class:`SurveyServer`.
+
+The serving side sheds load with ``503 + Retry-After`` instead of
+queueing; this is the matching client discipline.  A
+:class:`RetryingClient` wraps ``urllib`` GETs with:
+
+* jittered exponential backoff (``base * 2**attempt``, scaled by a
+  uniform jitter draw) so a burst of rejected clients does not
+  re-arrive as the same synchronized burst;
+* ``Retry-After`` honoring — when the server names a wait, the client
+  uses ``max(server's ask, its own backoff)`` rather than hammering
+  sooner than asked;
+* a retry budget: only *retryable* statuses (429/502/503/504) and
+  transport errors are retried, up to ``max_attempts``; 4xx contract
+  errors surface immediately.
+
+Sleep and randomness are injectable so tests drive full retry
+schedules in microseconds and assert the exact wait sequence.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..obs import get_observer
+
+#: Statuses worth retrying: transient server-side conditions.
+RETRYABLE_STATUSES = frozenset({429, 502, 503, 504})
+
+
+class RetriesExhausted(Exception):
+    """Every attempt failed; carries the last status/error seen."""
+
+    def __init__(self, url: str, attempts: int, last: str):
+        self.url = url
+        self.attempts = attempts
+        self.last = last
+        super().__init__(
+            f"GET {url} failed after {attempts} attempts (last: {last})"
+        )
+
+
+@dataclass
+class ClientResult:
+    """Outcome of one logical GET, after retries."""
+
+    status: int
+    body: bytes
+    headers: Dict[str, str] = field(default_factory=dict)
+    attempts: int = 1
+
+    def json(self):
+        return json.loads(self.body)
+
+
+def parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Seconds from a ``Retry-After`` header (delta form only)."""
+    if not value:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None  # HTTP-date form: out of scope, treat as absent
+    return max(0.0, seconds)
+
+
+class RetryingClient:
+    """GETs against a survey server with backoff + Retry-After."""
+
+    def __init__(
+        self,
+        base_url: str,
+        max_attempts: int = 5,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 10.0,
+        timeout: float = 10.0,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+        fetch: Optional[Callable[[str, float], Tuple[int, bytes, Dict[str, str]]]] = None,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.timeout = timeout
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self._fetch = fetch if fetch is not None else self._http_fetch
+        #: Every backoff actually slept, for tests/diagnostics.
+        self.waits: List[float] = []
+
+    # -- transport -----------------------------------------------------
+
+    @staticmethod
+    def _http_fetch(
+        url: str, timeout: float
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        request = urllib.request.Request(
+            url, headers={"User-Agent": "repro-client"}
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout
+            ) as reply:
+                return (
+                    reply.status,
+                    reply.read(),
+                    dict(reply.headers.items()),
+                )
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read(), dict(exc.headers.items())
+
+    # -- the retry loop ------------------------------------------------
+
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> float:
+        base = min(
+            self.backoff_cap, self.backoff_base * (2 ** attempt)
+        )
+        wait = base * (0.5 + self._rng.random())  # jitter in [0.5, 1.5)
+        if retry_after is not None:
+            wait = max(wait, retry_after)
+        return wait
+
+    def get(self, target: str) -> ClientResult:
+        """GET ``target`` (a path like ``/v1/healthz``), retrying."""
+        url = self.base_url + target
+        obs = get_observer()
+        last = "no attempt made"
+        for attempt in range(self.max_attempts):
+            retry_after: Optional[float] = None
+            try:
+                status, body, headers = self._fetch(url, self.timeout)
+            except OSError as exc:
+                last = f"{type(exc).__name__}: {exc}"
+            else:
+                if status not in RETRYABLE_STATUSES:
+                    return ClientResult(
+                        status=status, body=body,
+                        headers=dict(headers), attempts=attempt + 1,
+                    )
+                last = f"HTTP {status}"
+                retry_after = parse_retry_after(
+                    headers.get("Retry-After")
+                )
+            if attempt + 1 >= self.max_attempts:
+                break
+            wait = self._backoff(attempt, retry_after)
+            self.waits.append(wait)
+            obs.counter(
+                "client_retries_total",
+                "client-side retries by reason", ("reason",),
+            ).inc(reason=last.split(":")[0].replace(" ", "-").lower())
+            self._sleep(wait)
+        raise RetriesExhausted(url, self.max_attempts, last)
+
+
+def retry_call(
+    fn: Callable[[], "ClientResult"],
+    max_attempts: int = 5,
+    backoff_base: float = 0.1,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[random.Random] = None,
+) -> ClientResult:
+    """Retry an arbitrary request thunk with the same discipline.
+
+    For callers that already have a transport (e.g. the ingest path
+    POSTing to a collector) but want the client's backoff behavior:
+    the thunk returns a :class:`ClientResult`; retryable statuses are
+    retried with jittered exponential backoff honoring the result's
+    ``Retry-After`` header.
+    """
+    rng = rng if rng is not None else random.Random()
+    last: Optional[ClientResult] = None
+    for attempt in range(max_attempts):
+        result = fn()
+        if result.status not in RETRYABLE_STATUSES:
+            result.attempts = attempt + 1
+            return result
+        last = result
+        if attempt + 1 >= max_attempts:
+            break
+        base = backoff_base * (2 ** attempt)
+        wait = base * (0.5 + rng.random())
+        retry_after = parse_retry_after(
+            result.headers.get("Retry-After")
+        )
+        if retry_after is not None:
+            wait = max(wait, retry_after)
+        sleep(wait)
+    assert last is not None
+    last.attempts = max_attempts
+    return last

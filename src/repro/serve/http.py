@@ -3,29 +3,42 @@
 Stdlib only (:mod:`http.server`), matching the repo's no-dependency
 discipline.  The server is a :class:`ThreadingHTTPServer`: each
 connection gets a thread, the API layer underneath is thread-safe
-(locked LRU, locked segment reads), and the archive is append-only
-while serving, so there is no write contention to manage.
+(locked LRU, locked segment reads, locked limiter/breaker), and
+writes happen out-of-band (quarantine/fsck bump the archive
+generation, which the API watches), so there is no write contention
+to manage here.
 
 Conditional requests: every 200 carries a strong ETag; a request whose
 ``If-None-Match`` lists that ETag (or ``*``) gets a bodyless 304 — the
 survey site's per-AS pages are effectively immutable per period, so
 repeat lookups cost a header exchange.
 
-Shutdown is graceful both ways: :meth:`SurveyServer.stop` (and the
-context manager) drain via ``shutdown()`` + ``server_close()`` and
-join the serving thread; the blocking :meth:`serve_forever` converts
-``KeyboardInterrupt`` into the same clean path for CLI use.
+Shutdown is graceful every way in:
+
+* :meth:`SurveyServer.stop` (and the context manager) stop accepting,
+  **drain** in-flight requests (bounded wait on a live counter, not a
+  blind sleep), close the socket and join the serving thread;
+* the blocking :meth:`serve_forever` converts ``KeyboardInterrupt``
+  into the same drain-then-close path;
+* :meth:`install_signal_handlers` wires SIGTERM/SIGINT to it for
+  standalone use (``repro serve``): the handler nudges ``shutdown()``
+  from a helper thread (it blocks until the accept loop exits), then
+  ``serve_forever`` drains and runs the ``on_shutdown`` hook — the
+  CLI flushes metrics there, so a SIGTERM'd server still writes its
+  ``--metrics-out`` file.
 """
 
 from __future__ import annotations
 
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Union
+from typing import Callable, Iterable, Optional, Union
 
 from ..obs import get_observer
 from ..store import SurveyArchive
 from .app import Response, SurveyAPI
+from .resilience import ResilienceConfig
 
 SERVER_NAME = "repro-serve"
 
@@ -41,21 +54,23 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.api  # type: ignore[attr-defined]
 
     def do_GET(self) -> None:  # noqa: N802 — http.server contract
-        response = self._api().handle(self.path)
-        if response.etag is not None and self._etag_matches(response):
-            self._send(Response(
-                status=304, body=b"", etag=response.etag,
-            ))
-            get_observer().counter(
-                "serve_not_modified_total",
-                "conditional requests answered 304",
-            ).inc()
-            return
-        self._send(response)
+        with self.server.tracked():  # type: ignore[attr-defined]
+            response = self._api().handle(self.path)
+            if response.etag is not None and self._etag_matches(response):
+                self._send(Response(
+                    status=304, body=b"", etag=response.etag,
+                ))
+                get_observer().counter(
+                    "serve_not_modified_total",
+                    "conditional requests answered 304",
+                ).inc()
+                return
+            self._send(response)
 
     def do_HEAD(self) -> None:  # noqa: N802
-        response = self._api().handle(self.path)
-        self._send(response, head_only=True)
+        with self.server.tracked():  # type: ignore[attr-defined]
+            response = self._api().handle(self.path)
+            self._send(response, head_only=True)
 
     def _etag_matches(self, response: Response) -> bool:
         header = self.headers.get("If-None-Match")
@@ -72,6 +87,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if response.etag is not None:
             self.send_header("ETag", response.etag)
+        for name, value in response.headers:
+            self.send_header(name, value)
         if response.status in (200, 304):
             # Committed periods are immutable; let clients hold on.
             self.send_header("Cache-Control", "max-age=300")
@@ -85,6 +102,51 @@ class _Handler(BaseHTTPRequestHandler):
         get_observer().logger.bind(stage="serve-http").info(
             "access", message=format % args,
         )
+
+
+class _TrackedHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that counts in-flight requests for drain."""
+
+    daemon_threads = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._inflight_lock = threading.Lock()
+        self._inflight_idle = threading.Condition(self._inflight_lock)
+        self._inflight = 0
+
+    def tracked(self):
+        return _InflightGuard(self)
+
+    @property
+    def in_flight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        with self._inflight_idle:
+            return self._inflight_idle.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+
+
+class _InflightGuard:
+    __slots__ = ("_server",)
+
+    def __init__(self, server: _TrackedHTTPServer):
+        self._server = server
+
+    def __enter__(self):
+        with self._server._inflight_lock:
+            self._server._inflight += 1
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        with self._server._inflight_idle:
+            self._server._inflight -= 1
+            if self._server._inflight == 0:
+                self._server._inflight_idle.notify_all()
 
 
 class SurveyServer:
@@ -101,13 +163,15 @@ class SurveyServer:
         host: str = "127.0.0.1",
         port: int = 0,
         cache_size: int = 512,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         self.api = (
             archive if isinstance(archive, SurveyAPI)
-            else SurveyAPI(archive, cache_size=cache_size)
+            else SurveyAPI(
+                archive, cache_size=cache_size, resilience=resilience
+            )
         )
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
-        self._httpd.daemon_threads = True
+        self._httpd = _TrackedHTTPServer((host, port), _Handler)
         self._httpd.api = self.api  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
@@ -125,6 +189,11 @@ class SurveyServer:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    @property
+    def in_flight(self) -> int:
+        """Requests currently being handled (drain watches this)."""
+        return self._httpd.in_flight
+
     # -- lifecycle -----------------------------------------------------
 
     def start(self) -> "SurveyServer":
@@ -139,22 +208,71 @@ class SurveyServer:
         self._thread.start()
         return self
 
+    def _drain(self, timeout: float) -> None:
+        if not self._httpd.wait_idle(timeout):
+            get_observer().logger.bind(stage="serve-http").warning(
+                "drain-timeout", in_flight=self._httpd.in_flight,
+                timeout=timeout,
+            )
+
     def stop(self, timeout: float = 5.0) -> None:
         """Graceful shutdown: stop accepting, drain, close, join."""
         self._httpd.shutdown()
+        self._drain(timeout)
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout)
             self._thread = None
 
-    def serve_forever(self) -> None:
-        """Blocking serve loop for the CLI; Ctrl-C shuts down cleanly."""
+    def serve_forever(
+        self,
+        on_shutdown: Optional[Callable[[], None]] = None,
+        drain_timeout: float = 5.0,
+    ) -> None:
+        """Blocking serve loop for the CLI.
+
+        Ctrl-C, or a signal wired via :meth:`install_signal_handlers`,
+        exits the accept loop; in-flight requests are drained before
+        the socket closes and ``on_shutdown`` runs (always — it is the
+        CLI's metrics-flush hook).
+        """
         try:
             self._httpd.serve_forever()
         except KeyboardInterrupt:
             pass
         finally:
+            self._drain(drain_timeout)
             self._httpd.server_close()
+            if on_shutdown is not None:
+                on_shutdown()
+
+    def install_signal_handlers(
+        self,
+        signals: Iterable[int] = (signal.SIGTERM, signal.SIGINT),
+    ) -> None:
+        """Route SIGTERM/SIGINT into the graceful-shutdown path.
+
+        ``shutdown()`` blocks until the accept loop exits, and the
+        signal arrives *on* the thread running that loop (the main
+        thread, in CLI use) — so the handler hands the call to a
+        helper thread and returns immediately; ``serve_forever`` then
+        unblocks and runs its drain-close-flush sequence.
+        """
+
+        def _handler(signum, _frame) -> None:
+            get_observer().logger.bind(stage="serve-http").info(
+                "shutdown-signal",
+                signal=signal.Signals(signum).name,
+                in_flight=self._httpd.in_flight,
+            )
+            threading.Thread(
+                target=self._httpd.shutdown,
+                name=SERVER_NAME + "-shutdown",
+                daemon=True,
+            ).start()
+
+        for signum in signals:
+            signal.signal(signum, _handler)
 
     def __enter__(self) -> "SurveyServer":
         return self.start()

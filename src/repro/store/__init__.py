@@ -9,6 +9,12 @@ package is the reproduction's storage tier for that site:
   country / severity) and longitudinal queries;
 * :mod:`repro.store.segments` — the packed-segment format compaction
   folds period JSON into (one seek + one read per point lookup);
+* :mod:`repro.store.io`       — the byte-level write seam (atomic
+  durable writes) production and the chaos harness share;
+* :mod:`repro.store.journal`  — the write-ahead commit journal and
+  the crash-recovery replay the archive runs on open;
+* :mod:`repro.store.fsck`     — the offline integrity audit/repair
+  behind ``repro store fsck``;
 * :mod:`repro.store.errors`   — archive failures, rooted in the
   :mod:`repro.netbase.errors` taxonomy so the CLI and
   :mod:`repro.serve` map them to exit codes / HTTP statuses.
@@ -31,6 +37,23 @@ from .errors import (
     PeriodNotFoundError,
     SchemaVersionError,
 )
+from .fsck import (
+    EXIT_CLEAN,
+    EXIT_ERRORS,
+    EXIT_REPAIRED,
+    EXIT_UNUSABLE,
+    FsckFinding,
+    FsckReport,
+    run_fsck,
+)
+from .io import REAL_IO, StoreIO
+from .journal import (
+    CommitJournal,
+    RecoveryReport,
+    TornJournal,
+    recover,
+    sweep_tmp_files,
+)
 from .segments import MAGIC, SegmentReader, write_segment
 
 __all__ = [
@@ -48,4 +71,18 @@ __all__ = [
     "SegmentReader",
     "write_segment",
     "MAGIC",
+    "StoreIO",
+    "REAL_IO",
+    "CommitJournal",
+    "RecoveryReport",
+    "TornJournal",
+    "recover",
+    "sweep_tmp_files",
+    "run_fsck",
+    "FsckReport",
+    "FsckFinding",
+    "EXIT_CLEAN",
+    "EXIT_ERRORS",
+    "EXIT_REPAIRED",
+    "EXIT_UNUSABLE",
 ]

@@ -16,12 +16,22 @@ Layout under the archive root::
 
 Commit discipline (same school as :mod:`repro.parallel.cache`): every
 artifact wraps its payload with a SHA-256 checksum, every write is
-atomic (temp file + rename), and the *manifest rewrite is the commit
-point* — a crash mid-ingest leaves orphan period files that the next
-ingest simply overwrites, never a half-committed period.  A checksum
-or parse failure on read quarantines the artifact and raises
-:class:`ArchiveCorruptionError`: corrupted data is reported, never
-served.
+atomic (temp file + fsync + rename), and the *manifest rewrite is the
+commit point*.  Ingests are write-ahead journaled
+(:mod:`repro.store.journal`): an intent record lands durably before
+any data file, so a process killed at any byte boundary is replayed
+on the next open to exactly the pre- or post-commit state — never a
+half-committed period, never an orphan.  A checksum or parse failure
+on read quarantines the artifact, raises
+:class:`ArchiveCorruptionError`, and books the loss in the archive's
+:class:`~repro.quality.DataQualityReport` ledger: corrupted data is
+reported, never served.  Offline integrity audits and repair live in
+:mod:`repro.store.fsck` (``repro store fsck``).
+
+Readers can detect mutation: :attr:`SurveyArchive.generation` bumps on
+every ingest, quarantine, recovery action and repair, so caches keyed
+on archive content (the serving layer's LRU) know when to drop their
+entries.
 
 Append-only: a committed period is immutable.  Compaction
 (:meth:`SurveyArchive.compact`) changes a period's *representation*
@@ -41,6 +51,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..obs import get_observer
 from ..parallel.cache import canonical_json
+from ..quality import DataQualityReport, DropReason
 from .errors import (
     ArchiveCorruptionError,
     ASNotFoundError,
@@ -48,6 +59,8 @@ from .errors import (
     PeriodNotFoundError,
     SchemaVersionError,
 )
+from .io import REAL_IO, StoreIO
+from .journal import CommitJournal, RecoveryReport, recover
 from .segments import SegmentReader, write_segment
 
 PathLike = Union[str, Path]
@@ -95,14 +108,21 @@ class SurveyArchive:
 
     MANIFEST = "MANIFEST.json"
 
-    def __init__(self, root: PathLike):
+    def __init__(self, root: PathLike, io: StoreIO = REAL_IO):
         self.root = Path(root)
+        self.io = io
         self.stats = ArchiveStats()
+        self.quality = DataQualityReport()
+        #: Bumps on every mutation (ingest, quarantine, recovery,
+        #: repair) — content-derived caches key off it.
+        self.generation = 0
         self._readers: Dict[str, SegmentReader] = {}
         self._payloads: Dict[str, Dict] = {}
         self._indexes: Dict[str, Dict] = {}
         self.root.mkdir(parents=True, exist_ok=True)
+        self._journal = CommitJournal(self.root, io)
         self._manifest = self._load_manifest()
+        self.last_recovery = self._recover()
 
     # -- paths ---------------------------------------------------------
 
@@ -152,11 +172,42 @@ class SurveyArchive:
         return manifest
 
     def _write_manifest(self) -> None:
-        tmp = self.manifest_path.with_name(
-            f".{self.MANIFEST}.{os.getpid()}.tmp"
+        self.io.write_atomic(
+            self.manifest_path,
+            json.dumps(self._manifest, indent=1).encode("ascii"),
         )
-        tmp.write_text(json.dumps(self._manifest, indent=1))
-        os.replace(tmp, self.manifest_path)
+
+    # -- crash recovery ------------------------------------------------
+
+    def _recover(self) -> RecoveryReport:
+        """Replay/roll back a dead writer's leftovers (runs on open)."""
+        report = recover(
+            self.root,
+            lambda period: (
+                self._manifest["periods"].get(period, {}).get("checksum")
+            ),
+            io=self.io,
+            quarantine=self._quarantine,
+        )
+        if report.acted:
+            self.generation += 1
+            obs = get_observer()
+            obs.counter(
+                "store_recovery_total",
+                "crash-recovery passes by outcome", ("outcome",),
+            ).inc(outcome=report.outcome)
+            obs.logger.bind(stage=STAGE).warning(
+                "crash-recovery", **report.as_dict()
+            )
+            if report.outcome == "rollback":
+                self.quality.drop(
+                    STAGE, DropReason.CORRUPT_ARTIFACT,
+                    detail=(
+                        f"rolled back half-committed period "
+                        f"{report.period!r}"
+                    ),
+                )
+        return report
 
     # -- basic queries -------------------------------------------------
 
@@ -207,9 +258,20 @@ class SurveyArchive:
         obs = get_observer()
         with obs.span("store-ingest", period=name):
             checksum = payload_checksum(payload)
-            self._write_wrapped(self.period_path(name), payload)
+            period_file = self.period_path(name)
+            index_file = self.index_path(name)
+            # Intent first: after this record is durable, a crash
+            # anywhere below is recoverable to pre- or post-commit.
+            self._journal.begin(
+                "ingest", name, checksum,
+                [
+                    str(period_file.relative_to(self.root)),
+                    str(index_file.relative_to(self.root)),
+                ],
+            )
+            self._write_wrapped(period_file, payload)
             self._write_wrapped(
-                self.index_path(name),
+                index_file,
                 _build_index(payload, ranking),
             )
             self._manifest["periods"][name] = {
@@ -220,8 +282,10 @@ class SurveyArchive:
                 "ases": len(payload.get("reports", {})),
                 "seq": len(self._manifest["periods"]),
             }
-            self._write_manifest()
+            self._write_manifest()  # <- the commit point
+            self._journal.clear()
         self.stats.ingests += 1
+        self.generation += 1
         obs.counter(
             "store_ingest_total", "periods committed to the archive",
         ).inc()
@@ -236,15 +300,14 @@ class SurveyArchive:
         ]
 
     def _write_wrapped(self, path: Path, payload: Dict) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "schema": SCHEMA_VERSION,
             "checksum": payload_checksum(payload),
             "payload": payload,
         }
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(entry, indent=1))
-        os.replace(tmp, path)
+        self.io.write_atomic(
+            path, json.dumps(entry, indent=1).encode("ascii")
+        )
 
     # -- reads ---------------------------------------------------------
 
@@ -269,10 +332,19 @@ class SurveyArchive:
 
     def _quarantine(self, path: Path) -> None:
         self.stats.corrupt += 1
-        get_observer().counter(
+        self.generation += 1
+        obs = get_observer()
+        obs.counter(
             "store_corrupt_total",
             "archive artifacts quarantined on read",
         ).inc()
+        obs.counter(
+            "store_quarantine_total",
+            "artifacts moved to quarantine/, by kind", ("kind",),
+        ).inc(kind=path.suffix.lstrip(".") or "file")
+        self.quality.drop(
+            STAGE, DropReason.CORRUPT_ARTIFACT, detail=str(path)
+        )
         target = self.root / "quarantine" / path.name
         try:
             target.parent.mkdir(parents=True, exist_ok=True)
@@ -524,7 +596,9 @@ class SurveyArchive:
                 continue
             with obs.span("store-compact", period=name):
                 payload = self.get_period(name)
-                write_segment(self.segment_path(name), payload)
+                write_segment(
+                    self.segment_path(name), payload, io=self.io
+                )
                 # Round-trip proof before the JSON goes away.
                 reader = self._reader(name)
                 reconstructed = reader.payload()
@@ -537,10 +611,7 @@ class SurveyArchive:
                 self._manifest["periods"][name]["repr"] = "segment"
                 self._write_manifest()
                 if not keep_json:
-                    try:
-                        os.remove(self.period_path(name))
-                    except OSError:
-                        pass
+                    self.io.remove(self.period_path(name))
             self.stats.compactions += 1
             compacted.append(name)
         if compacted:
@@ -568,6 +639,32 @@ class SurveyArchive:
             else:
                 outcome[name] = "ok"
         return outcome
+
+    def fsck(self, repair: bool = False):
+        """Full integrity walk; see :func:`repro.store.fsck.run_fsck`.
+
+        With ``repair=True``, bad periods are quarantined, secondary
+        indexes rebuilt and the journal replayed; the in-memory view
+        is reloaded afterwards so this archive object keeps serving
+        the repaired state.
+        """
+        from .fsck import run_fsck
+
+        self.close()
+        report = run_fsck(
+            self.root, repair=repair, io=self.io, quality=self.quality
+        )
+        if repair and report.repair_count:
+            self.reload()
+        return report
+
+    def reload(self) -> None:
+        """Re-read the manifest and drop warm caches (post-repair)."""
+        self.close()
+        self._payloads.clear()
+        self._indexes.clear()
+        self._manifest = self._load_manifest()
+        self.generation += 1
 
     def close(self) -> None:
         """Release open segment handles (caches stay warm)."""

@@ -1,0 +1,589 @@
+"""Offline integrity audit and repair for survey archives.
+
+``repro store fsck`` walks everything the archive persists — the
+manifest, the commit journal, per-period JSON documents, secondary
+indexes, packed segments — and verifies every checksum and every
+cross-reference *without* mutating state; with ``--repair`` it makes
+the archive consistent again by quarantining what cannot be trusted
+and rebuilding what can be derived:
+
+* a pending commit journal is replayed (the same roll-forward /
+  rollback logic the archive runs on open);
+* a period whose payload (JSON or segment) fails its checksum is
+  quarantined: its files move to ``quarantine/`` and its manifest
+  entry is dropped — corrupted data is evidence, never served;
+* a bad or missing secondary index over a *healthy* payload is
+  rebuilt from the payload (the severity index exactly; the country
+  index cannot be re-derived without the eyeball ranking and is
+  rebuilt empty, which the finding records);
+* orphan period files (no manifest entry) and stale temp files are
+  quarantined / removed.
+
+Exit codes (also :attr:`FsckReport.exit_code`):
+
+====  ====================================================
+0     clean — every artifact verified
+1     integrity errors found (read-only run, nothing fixed)
+2     integrity errors found **and repaired**; the archive
+      is consistent again (possibly with fewer periods)
+3     the manifest itself is unusable and was not repaired
+====  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..obs import get_observer
+from ..quality import DataQualityReport, DropReason
+from .errors import ArchiveCorruptionError
+from .io import REAL_IO, StoreIO, is_tmp
+from .journal import CommitJournal, TornJournal, recover, sweep_tmp_files
+from .segments import SegmentReader
+
+PathLike = Union[str, Path]
+
+STAGE = "store-fsck"
+
+EXIT_CLEAN = 0
+EXIT_ERRORS = 1
+EXIT_REPAIRED = 2
+EXIT_UNUSABLE = 3
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass
+class FsckFinding:
+    """One problem fsck identified (and possibly fixed)."""
+
+    severity: str              # ERROR | WARNING
+    kind: str                  # manifest, journal, payload, index, ...
+    path: str
+    detail: str
+    period: Optional[str] = None
+    repaired: bool = False
+    action: str = ""           # what --repair did (or would not do)
+
+    def as_dict(self) -> Dict:
+        return {
+            "severity": self.severity,
+            "kind": self.kind,
+            "path": self.path,
+            "period": self.period,
+            "detail": self.detail,
+            "repaired": self.repaired,
+            "action": self.action,
+        }
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one fsck walk."""
+
+    root: str
+    repair: bool
+    findings: List[FsckFinding] = field(default_factory=list)
+    periods_checked: int = 0
+    manifest_usable: bool = True
+
+    # -- verdicts ------------------------------------------------------
+
+    @property
+    def errors(self) -> List[FsckFinding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def clean(self) -> bool:
+        """No integrity errors (benign warnings do not dirty a run)."""
+        return not self.errors
+
+    @property
+    def repair_count(self) -> int:
+        return sum(1 for f in self.findings if f.repaired)
+
+    @property
+    def exit_code(self) -> int:
+        if not self.manifest_usable:
+            return EXIT_UNUSABLE
+        if not self.errors:
+            return EXIT_CLEAN
+        if self.repair and all(f.repaired for f in self.errors):
+            return EXIT_REPAIRED
+        return EXIT_ERRORS
+
+    # -- recording -----------------------------------------------------
+
+    def add(self, severity: str, kind: str, path, detail: str,
+            period: Optional[str] = None) -> FsckFinding:
+        finding = FsckFinding(
+            severity=severity, kind=kind, path=str(path),
+            detail=detail, period=period,
+        )
+        self.findings.append(finding)
+        get_observer().counter(
+            "store_fsck_findings_total",
+            "fsck findings by kind", ("kind",),
+        ).inc(kind=kind)
+        return finding
+
+    # -- presentation --------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "root": self.root,
+            "repair": self.repair,
+            "periods_checked": self.periods_checked,
+            "clean": self.clean,
+            "exit_code": self.exit_code,
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def summary_lines(self) -> List[str]:
+        verdict = (
+            "clean" if self.clean
+            else f"{len(self.errors)} error(s), "
+                 f"{self.repair_count} repaired"
+        )
+        lines = [
+            f"fsck {self.root}: {self.periods_checked} period(s) "
+            f"checked, {verdict}"
+        ]
+        for f in self.findings:
+            suffix = f" [{f.action}]" if f.action else ""
+            where = f" period={f.period}" if f.period else ""
+            lines.append(
+                f"  {f.severity}: {f.kind}{where} {f.path}: "
+                f"{f.detail}{suffix}"
+            )
+        return lines
+
+    def __str__(self) -> str:
+        return "\n".join(self.summary_lines())
+
+
+class _Fsck:
+    """One walk over one archive directory."""
+
+    def __init__(
+        self,
+        root: Path,
+        repair: bool,
+        io: StoreIO,
+        quality: Optional[DataQualityReport],
+    ):
+        self.root = root
+        self.io = io
+        self.quality = (
+            quality if quality is not None else DataQualityReport()
+        )
+        self.report = FsckReport(root=str(root), repair=repair)
+        self.manifest: Optional[Dict] = None
+        self.manifest_dirty = False
+
+    # -- helpers -------------------------------------------------------
+
+    def _quarantine_file(self, path: Path) -> bool:
+        target = self.root / "quarantine" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            self.io.replace(path, target)
+        except OSError:
+            return False
+        get_observer().counter(
+            "store_quarantine_total",
+            "artifacts moved to quarantine/, by kind", ("kind",),
+        ).inc(kind=path.suffix.lstrip(".") or "file")
+        return True
+
+    def _quarantine_period(
+        self, name: str, finding: FsckFinding
+    ) -> None:
+        """Drop one bad period: files to quarantine/, entry gone."""
+        moved = []
+        for path in (
+            self.root / "periods" / f"{name}.json",
+            self.root / "index" / f"{name}.json",
+            self.root / "segments" / f"{name}.seg",
+        ):
+            if path.exists() and self._quarantine_file(path):
+                moved.append(path.name)
+        del self.manifest["periods"][name]
+        self.manifest_dirty = True
+        finding.repaired = True
+        finding.action = (
+            "period quarantined (" + ", ".join(moved) + ")"
+            if moved else "manifest entry dropped"
+        )
+        self.quality.drop(
+            STAGE, DropReason.CORRUPT_ARTIFACT,
+            detail=f"period {name!r} quarantined by fsck",
+        )
+
+    # -- the walk ------------------------------------------------------
+
+    def run(self) -> FsckReport:
+        from .archive import payload_checksum  # lazy: avoid cycle
+
+        self._payload_checksum = payload_checksum
+        if not self._load_manifest():
+            return self.report
+        self._check_journal()
+        periods = dict(self.manifest["periods"])
+        for name in sorted(periods):
+            self.report.periods_checked += 1
+            self._check_period(name, periods[name])
+        self._check_orphans()
+        self._check_tmp_files()
+        if self.manifest_dirty and self.report.repair:
+            self._write_manifest()
+        return self.report
+
+    # -- manifest ------------------------------------------------------
+
+    def _load_manifest(self) -> bool:
+        from .archive import (  # lazy: avoid cycle
+            ARCHIVE_FORMAT,
+            SCHEMA_VERSION,
+            SurveyArchive,
+        )
+
+        path = self.root / SurveyArchive.MANIFEST
+        try:
+            raw = path.read_text()
+        except FileNotFoundError:
+            # Empty data directories are benign (a rolled-back first
+            # ingest leaves them); only real artifacts orphaned by a
+            # missing manifest make the archive unusable.
+            orphaned = any(
+                entry.is_file() and not is_tmp(entry)
+                for sub in ("periods", "index", "segments")
+                if (self.root / sub).is_dir()
+                for entry in (self.root / sub).iterdir()
+            )
+            if orphaned:
+                self.report.manifest_usable = False
+                self.report.add(
+                    ERROR, "manifest", path,
+                    "manifest missing but period data present",
+                )
+                return False
+            self.manifest = {
+                "format": ARCHIVE_FORMAT,
+                "schema": SCHEMA_VERSION,
+                "periods": {},
+            }
+            return True
+        try:
+            manifest = json.loads(raw)
+            ok = (
+                isinstance(manifest, dict)
+                and manifest.get("format") == ARCHIVE_FORMAT
+                and isinstance(manifest.get("periods"), dict)
+            )
+        except ValueError:
+            ok = False
+        if not ok:
+            finding = self.report.add(
+                ERROR, "manifest", path, "manifest does not parse"
+            )
+            if self.report.repair:
+                self._quarantine_file(path)
+                finding.repaired = True
+                finding.action = "manifest quarantined"
+            self.report.manifest_usable = False
+            return False
+        if manifest.get("schema") != SCHEMA_VERSION:
+            self.report.add(
+                ERROR, "manifest", path,
+                f"schema {manifest.get('schema')!r} unsupported "
+                f"(this build reads {SCHEMA_VERSION!r})",
+            )
+            self.report.manifest_usable = False
+            return False
+        self.manifest = manifest
+        return True
+
+    def _write_manifest(self) -> None:
+        from .archive import SurveyArchive  # lazy: avoid cycle
+
+        self.io.write_atomic(
+            self.root / SurveyArchive.MANIFEST,
+            json.dumps(self.manifest, indent=1).encode("ascii"),
+        )
+        self.manifest_dirty = False
+
+    # -- journal -------------------------------------------------------
+
+    def _check_journal(self) -> None:
+        journal = CommitJournal(self.root, self.io)
+        try:
+            record = journal.pending()
+        except TornJournal as exc:
+            finding = self.report.add(
+                ERROR, "journal", journal.path, str(exc)
+            )
+            if self.report.repair:
+                self._quarantine_file(journal.path)
+                finding.repaired = True
+                finding.action = "journal quarantined"
+            return
+        if record is None:
+            return
+        finding = self.report.add(
+            WARNING, "journal", journal.path,
+            f"commit of period {record['period']!r} still in flight",
+            period=record["period"],
+        )
+        if self.report.repair:
+            outcome = recover(
+                self.root,
+                lambda period: (
+                    self.manifest["periods"]
+                    .get(period, {})
+                    .get("checksum")
+                ),
+                io=self.io,
+            )
+            finding.repaired = True
+            finding.action = f"journal replayed: {outcome.outcome}"
+
+    # -- periods -------------------------------------------------------
+
+    def _check_period(self, name: str, meta: Dict) -> None:
+        payload = (
+            self._check_segment(name, meta)
+            if meta.get("repr") == "segment"
+            else self._check_json_payload(name, meta)
+        )
+        if payload is not None:
+            self._check_index(name, payload)
+
+    def _read_wrapper(self, path: Path) -> Optional[Dict]:
+        """A checksum-verified wrapper payload, or None + finding."""
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            self.report.add(
+                ERROR, "payload", path, f"does not parse: {exc}",
+            )
+            return None
+        payload = (
+            entry.get("payload") if isinstance(entry, dict) else None
+        )
+        checksum = (
+            entry.get("checksum") if isinstance(entry, dict) else None
+        )
+        if (
+            payload is None
+            or checksum != self._payload_checksum(payload)
+        ):
+            self.report.add(
+                ERROR, "payload", path, "checksum mismatch",
+            )
+            return None
+        return payload
+
+    def _check_json_payload(
+        self, name: str, meta: Dict
+    ) -> Optional[Dict]:
+        path = self.root / "periods" / f"{name}.json"
+        if not path.exists():
+            finding = self.report.add(
+                ERROR, "missing-artifact", path,
+                "committed period document missing", period=name,
+            )
+            if self.report.repair:
+                self._quarantine_period(name, finding)
+            return None
+        payload = self._read_wrapper(path)
+        if payload is None:
+            finding = self.report.findings[-1]
+            finding.period = name
+            if self.report.repair:
+                self._quarantine_period(name, finding)
+            return None
+        if self._payload_checksum(payload) != meta.get("checksum"):
+            finding = self.report.add(
+                ERROR, "payload", path,
+                "payload does not match manifest checksum",
+                period=name,
+            )
+            if self.report.repair:
+                self._quarantine_period(name, finding)
+            return None
+        return payload
+
+    def _check_segment(
+        self, name: str, meta: Dict
+    ) -> Optional[Dict]:
+        path = self.root / "segments" / f"{name}.seg"
+        if not path.exists():
+            finding = self.report.add(
+                ERROR, "missing-artifact", path,
+                "committed segment missing", period=name,
+            )
+            if self.report.repair:
+                self._quarantine_period(name, finding)
+            return None
+        try:
+            with SegmentReader(path) as reader:
+                payload = reader.payload()
+        except ArchiveCorruptionError as exc:
+            finding = self.report.add(
+                ERROR, "segment", path, exc.detail, period=name,
+            )
+            if self.report.repair:
+                self._quarantine_period(name, finding)
+            return None
+        if self._payload_checksum(payload) != meta.get("checksum"):
+            finding = self.report.add(
+                ERROR, "segment", path,
+                "segment payload does not match manifest checksum",
+                period=name,
+            )
+            if self.report.repair:
+                self._quarantine_period(name, finding)
+            return None
+        return payload
+
+    def _check_index(self, name: str, payload: Dict) -> None:
+        from .archive import _build_index  # lazy: avoid cycle
+
+        path = self.root / "index" / f"{name}.json"
+        index = self._read_wrapper(path) if path.exists() else None
+        detail = None
+        if not path.exists():
+            detail = "secondary index missing"
+        elif index is None:
+            detail = "secondary index corrupt"
+            self.report.findings[-1].period = name
+            self.report.findings[-1].kind = "index"
+        else:
+            mismatch = self._index_mismatch(index, payload)
+            if mismatch:
+                detail = mismatch
+        if detail is None:
+            return
+        if detail != "secondary index corrupt":
+            finding = self.report.add(
+                ERROR, "index", path, detail, period=name
+            )
+        else:
+            finding = self.report.findings[-1]
+        if self.report.repair:
+            from .archive import SCHEMA_VERSION
+
+            rebuilt = _build_index(payload, None)
+            self.io.write_atomic(path, json.dumps({
+                "schema": SCHEMA_VERSION,
+                "checksum": self._payload_checksum(rebuilt),
+                "payload": rebuilt,
+            }, indent=1).encode("ascii"))
+            finding.repaired = True
+            finding.action = (
+                "index rebuilt from payload (country index empty: "
+                "eyeball ranking not on disk)"
+                if rebuilt.get("country") == {} else "index rebuilt"
+            )
+
+    @staticmethod
+    def _index_mismatch(index: Dict, payload: Dict) -> Optional[str]:
+        """Cross-reference the severity/country indexes vs the payload."""
+        severity = index.get("severity")
+        country = index.get("country")
+        if not isinstance(severity, dict) or not isinstance(
+            country, dict
+        ):
+            return "index structure invalid"
+        want: Dict[str, List[int]] = {}
+        for asn_text, report in payload.get("reports", {}).items():
+            want.setdefault(report["severity"], []).append(
+                int(asn_text)
+            )
+        got = {
+            klass: sorted(int(a) for a in asns)
+            for klass, asns in severity.items() if asns
+        }
+        want = {k: sorted(v) for k, v in want.items()}
+        if got != want:
+            return "severity index disagrees with payload reports"
+        all_asns = {
+            int(asn_text) for asn_text in payload.get("reports", {})
+        }
+        for cc, asns in country.items():
+            extra = {int(a) for a in asns} - all_asns
+            if extra:
+                return (
+                    f"country index {cc} names unmonitored ASNs "
+                    f"{sorted(extra)}"
+                )
+        return None
+
+    # -- leftovers -----------------------------------------------------
+
+    def _check_orphans(self) -> None:
+        committed = set(self.manifest["periods"])
+        for sub, suffix in (
+            ("periods", ".json"), ("index", ".json"),
+            ("segments", ".seg"),
+        ):
+            directory = self.root / sub
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.iterdir()):
+                if not path.is_file() or is_tmp(path):
+                    continue
+                if path.suffix == suffix and path.stem in committed:
+                    continue
+                finding = self.report.add(
+                    WARNING, "orphan", path,
+                    "file has no manifest entry",
+                )
+                if self.report.repair and self._quarantine_file(path):
+                    finding.repaired = True
+                    finding.action = "orphan quarantined"
+
+    def _check_tmp_files(self) -> None:
+        for sub in ("", "periods", "index", "segments"):
+            directory = self.root / sub if sub else self.root
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.iterdir()):
+                if path.is_file() and is_tmp(path):
+                    finding = self.report.add(
+                        WARNING, "stale-tmp", path,
+                        "temp file from a torn atomic write",
+                    )
+                    if self.report.repair:
+                        sweep_tmp_files(self.root, self.io, (sub,))
+                        finding.repaired = True
+                        finding.action = "removed"
+
+
+def run_fsck(
+    root: PathLike,
+    repair: bool = False,
+    io: StoreIO = REAL_IO,
+    quality: Optional[DataQualityReport] = None,
+) -> FsckReport:
+    """Audit (and with ``repair=True``, fix) one archive directory.
+
+    Pure function of the directory: it never quarantines on *read*
+    the way the serving path does — a read-only run reports and
+    leaves every byte where it found it.
+    """
+    obs = get_observer()
+    obs.counter(
+        "store_fsck_runs_total", "fsck passes", ("mode",),
+    ).inc(mode="repair" if repair else "check")
+    with obs.span("store-fsck", root=str(root), repair=repair):
+        return _Fsck(
+            Path(root), repair, io, quality
+        ).run()

@@ -1,0 +1,229 @@
+"""Write-ahead commit journal for the survey archive.
+
+The archive's manifest rewrite is the commit point; everything before
+it must be undoable and everything after it redoable.  The journal
+makes that mechanical.  An ingest runs::
+
+    1. JOURNAL.json     <- intent record (period, checksum, file list)
+    2. periods/<n>.json <- payload           (atomic write)
+    3. index/<n>.json   <- secondary indexes (atomic write)
+    4. MANIFEST.json    <- entry added       (atomic write: COMMIT)
+    5. JOURNAL.json     <- removed           (commit acknowledged)
+
+Every step is a temp-file write + rename, so a crash at *any* byte
+boundary leaves each file either old or new — and the journal names
+exactly which files a half-done commit may have touched.  Recovery on
+open (:func:`recover`) is then a pure function of on-disk state:
+
+* no journal                     → nothing in flight, sweep stale tmps;
+* journal + period in manifest   → crash after step 4: the commit
+  happened, acknowledge it (roll forward = drop the journal);
+* journal + period not committed → crash inside steps 1–4: roll back
+  by deleting the files the intent names (complete or torn, they are
+  uncommitted by definition) — the archive is byte-for-byte the
+  pre-commit state;
+* journal fails its checksum     → a torn journal never becomes
+  visible (atomic write), so this is at-rest corruption of an
+  interrupted commit's intent; the manifest is still authoritative,
+  quarantine the journal and roll back any uncommitted files it can
+  no longer name via the tmp sweep.
+
+No reader ever consults anything but the manifest, so mid-commit
+states are invisible to queries even *before* recovery runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..parallel.cache import canonical_json
+from .io import REAL_IO, StoreIO, is_tmp
+
+JOURNAL_FORMAT = "repro-archive-journal"
+
+#: Journal schema; bump with the record layout.
+JOURNAL_SCHEMA = 1
+
+
+def _record_checksum(record: Dict) -> str:
+    import hashlib
+
+    body = {k: v for k, v in record.items() if k != "journal_checksum"}
+    return hashlib.sha256(
+        canonical_json(body).encode("ascii")
+    ).hexdigest()
+
+
+class TornJournal(Exception):
+    """The journal file exists but fails parse or checksum."""
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass found and did."""
+
+    outcome: str = "clean"  # clean | roll-forward | rollback | torn-journal
+    period: Optional[str] = None
+    removed: List[str] = field(default_factory=list)
+    swept_tmp: List[str] = field(default_factory=list)
+
+    @property
+    def acted(self) -> bool:
+        return self.outcome != "clean" or bool(self.swept_tmp)
+
+    def as_dict(self) -> Dict:
+        return {
+            "outcome": self.outcome,
+            "period": self.period,
+            "removed": list(self.removed),
+            "swept_tmp": list(self.swept_tmp),
+        }
+
+
+class CommitJournal:
+    """The archive's single-slot write-ahead intent record.
+
+    Single-slot is deliberate: the archive serializes commits (one
+    writer per archive directory), so at most one intent is ever in
+    flight and recovery never has to order a log.
+    """
+
+    FILENAME = "JOURNAL.json"
+
+    def __init__(self, root: Path, io: StoreIO = REAL_IO):
+        self.root = Path(root)
+        self.io = io
+
+    @property
+    def path(self) -> Path:
+        return self.root / self.FILENAME
+
+    # -- writer side ---------------------------------------------------
+
+    def begin(
+        self,
+        op: str,
+        period: str,
+        checksum: str,
+        files: List[str],
+    ) -> Dict:
+        """Durably record intent before any data file is touched."""
+        record = {
+            "format": JOURNAL_FORMAT,
+            "schema": JOURNAL_SCHEMA,
+            "op": op,
+            "period": period,
+            "checksum": checksum,
+            "files": list(files),
+        }
+        record["journal_checksum"] = _record_checksum(record)
+        self.io.write_atomic(
+            self.path, json.dumps(record, indent=1).encode("ascii")
+        )
+        return record
+
+    def clear(self) -> None:
+        """Acknowledge the commit: retire the intent record."""
+        self.io.remove(self.path)
+
+    # -- recovery side -------------------------------------------------
+
+    def pending(self) -> Optional[Dict]:
+        """The in-flight intent, verified; None when no commit is open.
+
+        Raises :class:`TornJournal` when the file exists but fails
+        parse or checksum — at-rest corruption, since the journal
+        write itself is atomic.
+        """
+        try:
+            raw = self.path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise TornJournal(f"journal unreadable: {exc}") from None
+        try:
+            record = json.loads(raw)
+        except ValueError as exc:
+            raise TornJournal(f"journal does not parse: {exc}") from None
+        if (
+            not isinstance(record, dict)
+            or record.get("format") != JOURNAL_FORMAT
+            or record.get("journal_checksum") != _record_checksum(record)
+        ):
+            raise TornJournal("journal fails its checksum")
+        return record
+
+
+def sweep_tmp_files(
+    root: Path,
+    io: StoreIO = REAL_IO,
+    subdirs: tuple = ("", "periods", "index", "segments"),
+) -> List[str]:
+    """Remove temp files torn atomic writes left behind (any pid)."""
+    swept: List[str] = []
+    for sub in subdirs:
+        directory = root / sub if sub else root
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.iterdir()):
+            if path.is_file() and is_tmp(path):
+                io.remove(path)
+                swept.append(str(path.relative_to(root)))
+    return swept
+
+
+def recover(
+    root: Path,
+    committed_checksum_of,
+    io: StoreIO = REAL_IO,
+    quarantine=None,
+) -> RecoveryReport:
+    """Replay or roll back whatever a dead writer left in ``root``.
+
+    ``committed_checksum_of(period) -> Optional[str]`` answers from
+    the already-loaded manifest (the commit point of record);
+    ``quarantine(path)``, when given, receives a corrupt journal
+    before it is dropped so the evidence survives.
+    Idempotent: running recovery twice is a no-op the second time.
+    """
+    journal = CommitJournal(root, io)
+    report = RecoveryReport()
+    try:
+        record = journal.pending()
+    except TornJournal:
+        if quarantine is not None:
+            quarantine(journal.path)
+        io.remove(journal.path)  # best effort if quarantine declined
+        report.outcome = "torn-journal"
+        report.swept_tmp = sweep_tmp_files(root, io)
+        return report
+    if record is None:
+        report.swept_tmp = sweep_tmp_files(root, io)
+        return report
+
+    report.period = record["period"]
+    committed = committed_checksum_of(record["period"])
+    if committed is not None:
+        # Crash landed between manifest flip and acknowledgment: the
+        # commit is real, only the acknowledgment is owed.  (A
+        # checksum disagreement here would mean the manifest entry
+        # predates this intent, which the single-writer append-only
+        # discipline rules out — either way the manifest wins and
+        # fsck arbitrates content, so never delete committed files.)
+        report.outcome = "roll-forward"
+    else:
+        # Crash landed before the flip: the intent names every file
+        # this commit may have created; deleting them (idempotently)
+        # restores the exact pre-commit state.
+        report.outcome = "rollback"
+        for relative in record["files"]:
+            target = root / relative
+            if target.exists():
+                io.remove(target)
+                report.removed.append(relative)
+    report.swept_tmp = sweep_tmp_files(root, io)
+    journal.clear()
+    return report

@@ -29,13 +29,13 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..parallel.cache import canonical_json
 from .errors import ArchiveCorruptionError
+from .io import REAL_IO, StoreIO
 
 PathLike = Union[str, Path]
 
@@ -51,11 +51,14 @@ def _sha(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
-def write_segment(path: PathLike, payload: Dict) -> Path:
+def write_segment(
+    path: PathLike, payload: Dict, io: StoreIO = REAL_IO
+) -> Path:
     """Pack one period's ``survey_to_dict`` payload into a segment.
 
-    The write is atomic (temp file + rename), so a crashed compaction
-    leaves either no segment or a complete one.
+    The write is atomic (temp file + fsync + rename through the store
+    IO seam), so a crashed compaction leaves either no segment or a
+    complete one.
     """
     path = Path(path)
     reports: Dict[str, Dict] = payload.get("reports", {})
@@ -84,15 +87,9 @@ def write_segment(path: PathLike, payload: Dict) -> Path:
     ).encode("ascii")
     assert len(trailer) == _TRAILER_LEN
 
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    with open(tmp, "wb") as handle:
-        handle.write(MAGIC)
-        for blob in blobs:
-            handle.write(blob)
-        handle.write(footer_bytes)
-        handle.write(trailer)
-    os.replace(tmp, path)
+    io.write_atomic(
+        path, MAGIC + b"".join(blobs) + footer_bytes + trailer
+    )
     return path
 
 

@@ -1,10 +1,14 @@
-"""Tests for the LRU hot-object cache."""
+"""Tests for the LRU hot-object cache and its invalidation contract."""
 
+import datetime as dt
 import threading
 
 import pytest
 
-from repro.serve import LRUCache
+from repro.core import Severity
+from repro.serve import LRUCache, SurveyAPI
+from repro.store import SurveyArchive
+from tests.store.conftest import make_ranking, make_survey
 
 
 class TestBasics:
@@ -65,6 +69,55 @@ class TestBasics:
 
 
 class TestThreadSafety:
+    def test_concurrent_eviction_correctness(self):
+        """Hammer a tiny cache from many threads: every surviving
+        entry still maps to its own value and capacity holds."""
+        cache = LRUCache(4)
+        barrier = threading.Barrier(8)
+
+        def worker(seed):
+            barrier.wait()
+            for i in range(500):
+                key = (seed * 31 + i) % 12
+                cache.put(key, ("v", key))
+
+        threads = [
+            threading.Thread(target=worker, args=(n,))
+            for n in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) == 4
+        for key in cache.keys():
+            assert cache.get(key) == ("v", key)
+
+    def test_concurrent_hit_miss_accounting(self):
+        """stats.hits + stats.misses equals exactly the number of
+        get() calls, even under contention."""
+        cache = LRUCache(8)
+        for key in range(8):
+            cache.put(key, key)
+        gets_per_thread = 400
+        barrier = threading.Barrier(6)
+
+        def worker(seed):
+            barrier.wait()
+            for i in range(gets_per_thread):
+                cache.get((seed + i) % 16)  # half hit, half miss
+
+        threads = [
+            threading.Thread(target=worker, args=(n,))
+            for n in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = cache.stats.hits + cache.stats.misses
+        assert total == 6 * gets_per_thread
+
     def test_concurrent_mixed_load(self):
         cache = LRUCache(16)
         errors = []
@@ -90,3 +143,59 @@ class TestThreadSafety:
             thread.join()
         assert not errors
         assert len(cache) <= 16
+
+
+class TestNoStaleEntries:
+    """Archive mutations must never leave the response cache stale."""
+
+    def test_etag_changes_after_repair_and_reingest(self, archive):
+        from repro.faults import FsFaultKey, flip_bit
+
+        archive = SurveyArchive(archive.root)  # cold: reads hit disk
+        api = SurveyAPI(archive)
+
+        first = api.handle("/v1/period/2019-06")
+        assert first.status == 200
+        assert api.handle("/v1/period/2019-06") is first  # cached
+
+        # The period rots on disk; fsck --repair quarantines it.
+        flip_bit(
+            archive.period_path("2019-06"), key=FsFaultKey(3)
+        )
+        report = archive.fsck(repair=True)
+        assert report.repair_count >= 1
+
+        # The generation moved, so the cache was dropped: the route
+        # now reflects reality (404), not the stale 200.
+        gone = api.handle("/v1/period/2019-06")
+        assert gone.status == 404
+
+        # Re-ingest the period with different content: the fresh
+        # render must carry a different ETag than the original.
+        archive.ingest(
+            make_survey("2019-06", dt.datetime(2019, 6, 1), {
+                100: Severity.LOW, 200: Severity.SEVERE,
+            }),
+            ranking=make_ranking(),
+        )
+        fresh = api.handle("/v1/period/2019-06")
+        assert fresh.status == 200
+        assert fresh.etag != first.etag
+        assert fresh.body != first.body
+        # And the fresh response is itself cached again.
+        assert api.handle("/v1/period/2019-06") is fresh
+
+    def test_quarantine_on_read_invalidates(self, archive):
+        """A read-path quarantine (not fsck) also bumps the
+        generation and drops cached responses."""
+        archive = SurveyArchive(archive.root)
+        api = SurveyAPI(archive)
+        cached = api.handle("/v1/periods")
+        assert api.handle("/v1/periods") is cached
+
+        archive.period_path("2019-09").write_bytes(b"rot")
+        failed = api.handle("/v1/period/2019-09")
+        assert failed.status == 503  # quarantined on read
+
+        # The generation bump invalidated the whole cache.
+        assert api.handle("/v1/periods") is not cached

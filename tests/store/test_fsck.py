@@ -1,0 +1,235 @@
+"""fsck: detection and repair of every corruption class it audits."""
+
+import datetime as dt
+import json
+
+import pytest
+
+from repro.core import Severity
+from repro.faults import FsFaultKey, flip_bit, tear_file
+from repro.obs import observed
+from repro.quality import DropReason
+from repro.store import (
+    EXIT_CLEAN,
+    EXIT_ERRORS,
+    EXIT_REPAIRED,
+    EXIT_UNUSABLE,
+    SurveyArchive,
+    run_fsck,
+)
+
+from tests.store.conftest import make_ranking, make_survey
+
+
+@pytest.fixture()
+def stocked(tmp_path):
+    """Two committed periods, one compacted to a segment."""
+    archive = SurveyArchive(tmp_path / "arc")
+    ranking = make_ranking()
+    archive.ingest(
+        make_survey("2019-06", dt.datetime(2019, 6, 1), {
+            100: Severity.SEVERE, 200: Severity.LOW,
+        }),
+        ranking=ranking,
+    )
+    archive.ingest(
+        make_survey("2019-09", dt.datetime(2019, 9, 1), {
+            100: Severity.MILD, 400: Severity.SEVERE,
+        }),
+        ranking=ranking,
+    )
+    archive.compact(["2019-09"])
+    archive.close()
+    return archive
+
+
+class TestCleanArchive:
+    def test_clean_exit_zero(self, stocked):
+        report = run_fsck(stocked.root)
+        assert report.clean
+        assert report.exit_code == EXIT_CLEAN
+        assert report.periods_checked == 2
+        assert report.findings == []
+
+    def test_empty_archive_clean(self, tmp_path):
+        SurveyArchive(tmp_path / "empty")
+        report = run_fsck(tmp_path / "empty")
+        assert report.exit_code == EXIT_CLEAN
+
+
+class TestJsonPayloadCorruption:
+    def test_bit_flip_detected_not_repaired(self, stocked):
+        flip_bit(
+            stocked.root / "periods" / "2019-06.json",
+            key=FsFaultKey(11),
+        )
+        report = run_fsck(stocked.root)
+        assert not report.clean
+        assert report.exit_code == EXIT_ERRORS
+        kinds = {f.kind for f in report.errors}
+        assert kinds <= {"payload", "index"}
+        # Read-only: nothing moved, nothing deleted.
+        assert (stocked.root / "periods" / "2019-06.json").exists()
+        assert not (stocked.root / "quarantine").exists()
+
+    def test_bit_flip_repair_quarantines_period(self, stocked):
+        flip_bit(
+            stocked.root / "periods" / "2019-06.json",
+            key=FsFaultKey(11),
+        )
+        report = run_fsck(stocked.root, repair=True)
+        assert report.exit_code == EXIT_REPAIRED
+        assert not (stocked.root / "periods" / "2019-06.json").exists()
+        assert (
+            stocked.root / "quarantine" / "2019-06.json"
+        ).exists()
+        manifest = json.loads(
+            (stocked.root / "MANIFEST.json").read_text()
+        )
+        assert "2019-06" not in manifest["periods"]
+        assert "2019-09" in manifest["periods"]
+        # Repaired archive is clean on the next pass.
+        assert run_fsck(stocked.root).exit_code == EXIT_CLEAN
+
+    def test_repair_books_quality_drop(self, stocked):
+        flip_bit(
+            stocked.root / "periods" / "2019-06.json",
+            key=FsFaultKey(11),
+        )
+        from repro.quality import DataQualityReport
+
+        quality = DataQualityReport()
+        run_fsck(stocked.root, repair=True, quality=quality)
+        dropped = quality.stages["store-fsck"].dropped
+        assert dropped[DropReason.CORRUPT_ARTIFACT] >= 1
+
+
+class TestSegmentCorruption:
+    def test_torn_segment_detected(self, stocked):
+        tear_file(
+            stocked.root / "segments" / "2019-09.seg",
+            key=FsFaultKey(5),
+        )
+        report = run_fsck(stocked.root)
+        assert report.exit_code == EXIT_ERRORS
+        assert any(f.kind == "segment" for f in report.errors)
+
+    def test_torn_segment_repair(self, stocked):
+        tear_file(
+            stocked.root / "segments" / "2019-09.seg",
+            key=FsFaultKey(5),
+        )
+        report = run_fsck(stocked.root, repair=True)
+        assert report.exit_code == EXIT_REPAIRED
+        assert run_fsck(stocked.root).exit_code == EXIT_CLEAN
+        manifest = json.loads(
+            (stocked.root / "MANIFEST.json").read_text()
+        )
+        assert "2019-09" not in manifest["periods"]
+
+
+class TestIndexProblems:
+    def test_missing_index_rebuilt(self, stocked):
+        (stocked.root / "index" / "2019-06.json").unlink()
+        report = run_fsck(stocked.root, repair=True)
+        assert report.exit_code == EXIT_REPAIRED
+        assert (stocked.root / "index" / "2019-06.json").exists()
+        # The period itself survives a rebuildable index problem.
+        manifest = json.loads(
+            (stocked.root / "MANIFEST.json").read_text()
+        )
+        assert "2019-06" in manifest["periods"]
+        assert run_fsck(stocked.root).exit_code == EXIT_CLEAN
+
+    def test_rebuilt_index_notes_empty_country(self, stocked):
+        (stocked.root / "index" / "2019-06.json").unlink()
+        report = run_fsck(stocked.root, repair=True)
+        (finding,) = [f for f in report.findings if f.kind == "index"]
+        assert "country index empty" in finding.action
+
+    def test_severity_index_cross_reference(self, stocked):
+        index_path = stocked.root / "index" / "2019-06.json"
+        entry = json.loads(index_path.read_text())
+        entry["payload"]["severity"]["severe"] = [999]
+        from repro.store import payload_checksum
+
+        entry["checksum"] = payload_checksum(entry["payload"])
+        index_path.write_text(json.dumps(entry))
+        report = run_fsck(stocked.root)
+        assert any(
+            "severity index disagrees" in f.detail
+            for f in report.errors
+        )
+
+
+class TestManifestProblems:
+    def test_garbage_manifest_unusable(self, stocked):
+        (stocked.root / "MANIFEST.json").write_text("not json{{{")
+        report = run_fsck(stocked.root)
+        assert report.exit_code == EXIT_UNUSABLE
+        assert not report.manifest_usable
+
+    def test_missing_manifest_with_data_unusable(self, stocked):
+        (stocked.root / "MANIFEST.json").unlink()
+        report = run_fsck(stocked.root)
+        assert report.exit_code == EXIT_UNUSABLE
+
+    def test_schema_mismatch_unusable(self, stocked):
+        path = stocked.root / "MANIFEST.json"
+        manifest = json.loads(path.read_text())
+        manifest["schema"] = 999
+        path.write_text(json.dumps(manifest))
+        assert run_fsck(stocked.root).exit_code == EXIT_UNUSABLE
+
+
+class TestLeftovers:
+    def test_orphan_warned_and_quarantined(self, stocked):
+        orphan = stocked.root / "periods" / "2031-01.json"
+        orphan.write_text("{}")
+        report = run_fsck(stocked.root)
+        assert report.exit_code == EXIT_CLEAN  # warnings stay clean
+        assert any(f.kind == "orphan" for f in report.findings)
+        report = run_fsck(stocked.root, repair=True)
+        assert not orphan.exists()
+        assert (stocked.root / "quarantine" / "2031-01.json").exists()
+
+    def test_stale_tmp_swept_on_repair(self, stocked):
+        stale = stocked.root / "periods" / ".x.json.12345.tmp"
+        stale.write_text("partial")
+        report = run_fsck(stocked.root)
+        assert any(f.kind == "stale-tmp" for f in report.findings)
+        assert stale.exists()
+        run_fsck(stocked.root, repair=True)
+        assert not stale.exists()
+
+
+class TestArchiveFsckMethod:
+    def test_archive_keeps_serving_after_repair(self, stocked):
+        archive = SurveyArchive(stocked.root)
+        flip_bit(
+            stocked.root / "periods" / "2019-06.json",
+            key=FsFaultKey(11),
+        )
+        generation = archive.generation
+        report = archive.fsck(repair=True)
+        assert report.repair_count >= 1
+        # The in-memory view reloaded: bad period gone, good one live.
+        assert "2019-06" not in archive
+        assert archive.get(100, "2019-09")["severity"] == "mild"
+        assert archive.generation > generation
+
+    def test_fsck_counters(self, stocked):
+        flip_bit(
+            stocked.root / "periods" / "2019-06.json",
+            key=FsFaultKey(11),
+        )
+        with observed() as obs:
+            run_fsck(stocked.root)
+        runs = obs.metrics.counter(
+            "store_fsck_runs_total", "", ("mode",)
+        )
+        assert runs.value(mode="check") == 1
+        findings = obs.metrics.counter(
+            "store_fsck_findings_total", "", ("kind",)
+        )
+        assert findings.value(kind="payload") >= 1

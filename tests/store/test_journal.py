@@ -1,0 +1,277 @@
+"""Crash-recovery property test: every commit step, pre or post, never between.
+
+The contract under test (see DESIGN.md §12): an archive writer killed
+at ANY byte boundary of an ingest leaves the archive in exactly the
+pre-commit or post-commit state after recovery-on-open — and fsck
+finds nothing to complain about either way.
+
+The op sequence is *measured*, not hardcoded: a dry run under
+:class:`RecordingIO` enumerates the protocol's operations, then one
+fresh archive per (operation, byte offset) is crashed there with
+:class:`CrashingIO` and reopened with real IO.  A handful of cases
+also die by real SIGKILL in a subprocess, proving recovery holds
+against a genuinely dead writer, not just an unwound stack.
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.faults import CrashingIO, CrashPlan, RecordingIO, SimulatedCrash
+from repro.obs import observed
+from repro.store import (
+    EXIT_CLEAN,
+    CommitJournal,
+    SurveyArchive,
+    TornJournal,
+    recover,
+    run_fsck,
+)
+
+
+def archive_state(root):
+    """Everything that defines archive content, as comparable data."""
+    manifest_path = root / "MANIFEST.json"
+    manifest = (
+        json.loads(manifest_path.read_text())
+        if manifest_path.exists() else None
+    )
+    files = sorted(
+        str(p.relative_to(root))
+        for p in root.rglob("*")
+        if p.is_file() and "quarantine" not in p.parts
+    )
+    return {"manifest": manifest, "files": files}
+
+
+def recorded_ops(survey, ranking, tmp_path):
+    """Dry-run one ingest; return its operation sequence."""
+    io = RecordingIO()
+    archive = SurveyArchive(tmp_path / "record", io=io)
+    io.ops.clear()  # drop archive-creation noise, keep ingest ops
+    archive.ingest(survey, ranking=ranking)
+    return io.ops
+
+
+class TestOpEnumeration:
+    def test_ingest_protocol_shape(self, tmp_path, survey_june, ranking):
+        ops = recorded_ops(survey_june, ranking, tmp_path)
+        kinds = [op.kind for op in ops]
+        # journal, period, index, manifest: four atomic writes (write +
+        # replace each), then the journal acknowledgment remove.
+        assert kinds == ["write", "replace"] * 4 + ["remove"]
+        assert "JOURNAL" in ops[1].path
+        assert "MANIFEST" in ops[7].path
+        assert "JOURNAL" in ops[8].path
+
+
+class TestCrashAtEveryBoundary:
+    def test_every_op_every_offset_pre_or_post(
+        self, tmp_path, survey_june, ranking
+    ):
+        """The tentpole property: kill the writer anywhere → recovery
+        lands on exactly the pre- or post-commit state, fsck clean."""
+        ops = recorded_ops(survey_june, ranking, tmp_path)
+
+        # Reference states: an untouched archive and a committed one.
+        pre_root = tmp_path / "pre"
+        SurveyArchive(pre_root)
+        pre_state = archive_state(pre_root)
+        post_root = tmp_path / "post"
+        committed = SurveyArchive(post_root)
+        committed.ingest(survey_june, ranking=ranking)
+        post_state = archive_state(post_root)
+        manifest_op = next(
+            i for i, op in enumerate(ops)
+            if op.kind == "replace" and "MANIFEST" in op.path
+        )
+
+        cases = []
+        for op_index, op in enumerate(ops):
+            offsets = [None]
+            if op.kind == "write":
+                # Tear at nothing-written, mid-write, and all-but-end.
+                offsets = [0, op.size // 2, op.size - 1]
+            for offset in offsets:
+                cases.append((op_index, offset))
+
+        for op_index, offset in cases:
+            root = tmp_path / f"crash-{op_index}-{offset}"
+            io = CrashingIO(CrashPlan(op_index, byte_offset=offset))
+            archive = SurveyArchive(root, io=io)
+            with pytest.raises(SimulatedCrash):
+                archive.ingest(survey_june, ranking=ranking)
+            assert io.crashed
+
+            # Reopen with real IO: recovery-on-open runs here.
+            reopened = SurveyArchive(root)
+            state = archive_state(root)
+            # The crash lands *before* the planned replace, so dying
+            # at the manifest rename itself is still pre-commit; only
+            # ops after it see the flipped manifest.
+            if op_index > manifest_op:
+                assert state == post_state, (
+                    f"crash at op {op_index} offset {offset}: "
+                    "expected post-commit state"
+                )
+                assert reopened.last_recovery.outcome in (
+                    "roll-forward", "clean"
+                )
+                assert "2019-06" in reopened
+                assert reopened.get(100, "2019-06")["severity"] == "severe"
+            else:
+                assert state == pre_state, (
+                    f"crash at op {op_index} offset {offset}: "
+                    "expected pre-commit state"
+                )
+                assert "2019-06" not in reopened
+            # Either way: nothing half-committed for fsck to find.
+            report = run_fsck(root, repair=False)
+            assert report.exit_code == EXIT_CLEAN, [
+                f.detail for f in report.findings
+            ]
+
+    def test_recovery_is_idempotent(self, tmp_path, survey_june, ranking):
+        root = tmp_path / "idem"
+        io = CrashingIO(CrashPlan(op_index=4))  # after journal+period
+        archive = SurveyArchive(root, io=io)
+        with pytest.raises(SimulatedCrash):
+            archive.ingest(survey_june, ranking=ranking)
+        first = SurveyArchive(root)
+        assert first.last_recovery.outcome == "rollback"
+        second = SurveyArchive(root)
+        assert second.last_recovery.outcome == "clean"
+        assert not second.last_recovery.acted
+
+    def test_no_reader_sees_partial_period(
+        self, tmp_path, survey_june, ranking
+    ):
+        """Mid-commit state is invisible even *before* recovery: a
+        reader opening the same directory sees only the manifest."""
+        root = tmp_path / "reader"
+        io = CrashingIO(CrashPlan(op_index=6))  # period+index on disk
+        archive = SurveyArchive(root, io=io)
+        with pytest.raises(SimulatedCrash):
+            archive.ingest(survey_june, ranking=ranking)
+        # Data files exist, but the manifest has not flipped...
+        assert (root / "periods" / "2019-06.json").exists()
+        reader = SurveyArchive(root)
+        # ...so the period is simply not there (and rollback cleaned).
+        assert "2019-06" not in reader
+        assert len(reader) == 0
+
+    def test_recovery_counter_emitted(self, tmp_path, survey_june, ranking):
+        root = tmp_path / "obs"
+        io = CrashingIO(CrashPlan(op_index=3))
+        archive = SurveyArchive(root, io=io)
+        with pytest.raises(SimulatedCrash):
+            archive.ingest(survey_june, ranking=ranking)
+        with observed() as obs:
+            reopened = SurveyArchive(root)
+        assert reopened.last_recovery.acted
+        recovered = obs.metrics.counter(
+            "store_recovery_total", "", ("outcome",)
+        )
+        assert recovered.value(outcome="rollback") == 1
+
+
+class TestTornJournal:
+    def test_torn_journal_quarantined_and_cleared(
+        self, tmp_path, survey_june, ranking
+    ):
+        root = tmp_path / "torn"
+        io = CrashingIO(CrashPlan(op_index=4))
+        archive = SurveyArchive(root, io=io)
+        with pytest.raises(SimulatedCrash):
+            archive.ingest(survey_june, ranking=ranking)
+        journal_path = root / CommitJournal.FILENAME
+        journal_path.write_text(journal_path.read_text()[:-20])
+        with pytest.raises(TornJournal):
+            CommitJournal(root).pending()
+        reopened = SurveyArchive(root)
+        assert reopened.last_recovery.outcome == "torn-journal"
+        assert not journal_path.exists()
+        assert (root / "quarantine" / CommitJournal.FILENAME).exists()
+        # Idempotent from here on.
+        assert SurveyArchive(root).last_recovery.outcome == "clean"
+
+    def test_recover_function_directly(self, tmp_path):
+        root = tmp_path / "direct"
+        root.mkdir()
+        journal = CommitJournal(root)
+        journal.begin("ingest", "2020-01", "cafe", ["periods/2020-01.json"])
+        (root / "periods").mkdir()
+        (root / "periods" / "2020-01.json").write_text("{}")
+        report = recover(root, lambda period: None)
+        assert report.outcome == "rollback"
+        assert report.removed == ["periods/2020-01.json"]
+        assert not (root / "periods" / "2020-01.json").exists()
+
+    def test_roll_forward_never_deletes_committed(self, tmp_path):
+        root = tmp_path / "forward"
+        root.mkdir()
+        (root / "periods").mkdir()
+        (root / "periods" / "2020-01.json").write_text("{}")
+        journal = CommitJournal(root)
+        journal.begin("ingest", "2020-01", "cafe", ["periods/2020-01.json"])
+        # The manifest says the period is committed (any checksum).
+        report = recover(root, lambda period: "cafe")
+        assert report.outcome == "roll-forward"
+        assert report.removed == []
+        assert (root / "periods" / "2020-01.json").exists()
+
+
+@pytest.mark.slow
+class TestRealSigkill:
+    """A few boundaries exercised with a genuinely dead writer."""
+
+    CHILD = textwrap.dedent("""
+        import datetime as dt, sys
+        sys.path.insert(0, {src!r})
+        sys.path.insert(0, {repo!r})
+        from repro.faults import CrashingIO, CrashPlan
+        from repro.store import SurveyArchive
+        from tests.store.conftest import make_ranking, make_survey
+        from repro.core import Severity
+
+        survey = make_survey(
+            "2019-06", dt.datetime(2019, 6, 1),
+            {{100: Severity.SEVERE, 200: Severity.LOW}},
+        )
+        io = CrashingIO(CrashPlan({op}, byte_offset={offset}, mode="kill"))
+        archive = SurveyArchive({root!r}, io=io)
+        archive.ingest(survey, ranking=make_ranking())
+        print("survived", flush=True)  # plan never fired
+    """)
+
+    @pytest.mark.parametrize("op_index,offset", [
+        (0, 7),    # torn journal temp write
+        (3, None), # died before the period rename
+        (7, None), # died before the manifest flip
+        (8, None), # died before journal acknowledgment (committed!)
+    ])
+    def test_sigkill_mid_commit(self, tmp_path, op_index, offset):
+        root = tmp_path / "killed"
+        repo = __import__("pathlib").Path(__file__).resolve().parents[2]
+        script = self.CHILD.format(
+            src=str(repo / "src"), repo=str(repo), root=str(root),
+            op=op_index, offset=offset,
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        reopened = SurveyArchive(root)
+        if op_index >= 8:
+            assert "2019-06" in reopened
+            assert reopened.last_recovery.outcome == "roll-forward"
+        else:
+            assert "2019-06" not in reopened
+        report = run_fsck(root, repair=False)
+        assert report.exit_code == EXIT_CLEAN
