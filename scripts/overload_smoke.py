@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """Serving overload smoke: burst past the limiter, verify shedding.
 
-Drives a real :class:`SurveyServer` (ephemeral port, threaded
-clients) with a burst several times its concurrency limit and checks
-the load-shedding contract end to end:
+Drives a real :class:`SurveyServer` (ephemeral port) with the
+:mod:`repro.loadgen` closed-loop engine at a concurrency several
+times the server's limit and checks the load-shedding contract end
+to end:
 
 * every response is 200 or 503 — nothing else, and nothing hangs;
 * every 503 carries a ``Retry-After`` header;
@@ -22,59 +23,34 @@ Usage::
 Exits 0 when the contract holds, 1 otherwise.
 """
 
-import datetime as dt
 import sys
-import threading
+import tempfile
 import time
-import urllib.error
 import urllib.request
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "scripts"))
 
-from repro.core import Classification, Severity, SurveyResult  # noqa: E402
-from repro.core.spectral import SpectralMarkers  # noqa: E402
-from repro.core.survey import ASReport  # noqa: E402
+from synth_archive import PERIODS, build_archive  # noqa: E402
+
+from repro.loadgen import (  # noqa: E402
+    LoadConfig,
+    http_transport,
+    run_load,
+)
 from repro.obs import Observability, set_observer  # noqa: E402
 from repro.serve import (  # noqa: E402
     ResilienceConfig,
     SurveyAPI,
     SurveyServer,
 )
-from repro.store import SurveyArchive  # noqa: E402
-from repro.timebase import MeasurementPeriod  # noqa: E402
 
 LIMIT = 4
-THREADS = 24
-REQUESTS_PER_THREAD = 6
-PERIODS = ("2019-03", "2019-06", "2019-09")
+CONCURRENCY = 24
+DURATION = 2.0
 READ_PAUSE = 0.004
-
-
-def build_archive(root):
-    archive = SurveyArchive(root)
-    severities = (Severity.NONE, Severity.LOW, Severity.SEVERE)
-    for offset, name in enumerate(PERIODS):
-        result = SurveyResult(period=MeasurementPeriod(
-            name, dt.datetime(2019, 3 * (offset + 1), 1), 15,
-        ))
-        for i in range(8):
-            asn = 64500 + i
-            severity = severities[(i + offset) % len(severities)]
-            markers = None
-            if severity is not Severity.NONE:
-                markers = SpectralMarkers(
-                    prominent_frequency_cph=1 / 24,
-                    prominent_amplitude_ms=2.5,
-                    daily_amplitude_ms=2.5,
-                )
-            result.reports[asn] = ASReport(
-                asn=asn, probe_count=5,
-                classification=Classification(severity, markers),
-            )
-        archive.ingest(result)
-    return archive
 
 
 class _DiskPaced:
@@ -98,8 +74,6 @@ class _DiskPaced:
 
 
 def main():
-    import tempfile
-
     observer = Observability()
     set_observer(observer)
 
@@ -112,76 +86,48 @@ def main():
             max_concurrency=LIMIT, retry_after_seconds=0.05,
         ),
     )
-
-    outcomes = []
-    lock = threading.Lock()
-    barrier = threading.Barrier(THREADS)
-
-    def worker(seed):
-        barrier.wait()
-        for i in range(REQUESTS_PER_THREAD):
-            period = PERIODS[(seed + i) % len(PERIODS)]
-            url = f"{server.url}/v1/period/{period}"
-            try:
-                with urllib.request.urlopen(url, timeout=30) as rsp:
-                    rsp.read()
-                    record = (rsp.status, rsp.headers.get("Retry-After"))
-            except urllib.error.HTTPError as error:
-                record = (error.code, error.headers.get("Retry-After"))
-            except Exception as exc:  # noqa: BLE001 - smoke verdict
-                record = (repr(exc), None)
-            with lock:
-                outcomes.append(record)
+    # warmup=0: the shed-counter cross-check below needs the report
+    # to see every request the server saw.
+    config = LoadConfig(
+        concurrency=CONCURRENCY,
+        duration_seconds=DURATION,
+        warmup_seconds=0.0,
+        mix=tuple(
+            (f"/v1/period/{name}", 1.0) for name in PERIODS
+        ),
+    )
 
     problems = []
     with SurveyServer(api) as server:
-        threads = [
-            threading.Thread(target=worker, args=(n,))
-            for n in range(THREADS)
-        ]
-        for thread in threads:
-            thread.start()
-        deadline = time.monotonic() + 120
-        for thread in threads:
-            thread.join(timeout=max(0.0, deadline - time.monotonic()))
-        if any(t.is_alive() for t in threads):
-            print("FAIL: client threads hung — requests never finished")
-            return 1
+        report = run_load(http_transport(server.url), config)
 
-        total = THREADS * REQUESTS_PER_THREAD
-        statuses = [status for status, _ in outcomes]
-        served = statuses.count(200)
-        shed = statuses.count(503)
-        if len(outcomes) != total:
-            problems.append(
-                f"{len(outcomes)} outcomes for {total} requests"
-            )
-        if served + shed != len(outcomes):
-            unexpected = sorted(
-                {s for s in statuses if s not in (200, 503)},
-                key=repr,
-            )
+        served = report.status_counts.get("200", 0)
+        unexpected = sorted(
+            status for status in report.status_counts
+            if status not in ("200", "503")
+        )
+        if unexpected:
             problems.append(f"unexpected outcomes: {unexpected}")
-        if shed == 0:
+        if report.shed == 0:
             problems.append(
-                f"burst of {total} against limit {LIMIT} shed nothing"
+                f"{report.requests} closed-loop requests at "
+                f"concurrency {CONCURRENCY} against limit {LIMIT} "
+                "shed nothing"
             )
         if served == 0:
             problems.append("burst starved every request")
-        missing = [
-            retry for status, retry in outcomes
-            if status == 503 and not retry
-        ]
-        if missing:
+        if report.missing_retry_after:
             problems.append(
-                f"{len(missing)} 503(s) without Retry-After"
+                f"{report.missing_retry_after} 503(s) without "
+                "Retry-After"
             )
         counted = observer.metrics.counter(
             "requests_shed_total", "", ()
         ).value()
-        if counted != shed:
+        if counted != report.shed:
             problems.append(
-                f"requests_shed_total={counted} but {shed} 503s seen"
+                f"requests_shed_total={counted} but "
+                f"{report.shed} 503s seen"
             )
 
         # Post-burst: drained, and still serving.
@@ -201,9 +147,11 @@ def main():
             print(f"  - {problem}")
         return 1
     print(
-        f"OK: burst {total} (limit {LIMIT}) -> {served}x200 + "
-        f"{shed}x503, all 503s carried Retry-After, "
-        f"requests_shed_total={counted}, drained + healthz 200"
+        f"OK: {report.requests} requests at concurrency {CONCURRENCY} "
+        f"(limit {LIMIT}) -> {served}x200 + {report.shed}x503 "
+        f"({report.rps:.0f} req/s, p99 {report.p99_ms:.1f} ms), all "
+        f"503s carried Retry-After, requests_shed_total={counted}, "
+        "drained + healthz 200"
     )
     return 0
 

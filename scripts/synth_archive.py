@@ -1,0 +1,42 @@
+"""Synthetic survey archive builder shared by the serving scripts.
+
+``overload_smoke.py`` and ``loadtest_gate.py`` both need a small,
+deterministic archive with a few periods and a spread of severities —
+built here once so the two harnesses stay in lockstep.
+"""
+
+import datetime as dt
+
+from repro.core import Classification, Severity, SurveyResult
+from repro.core.spectral import SpectralMarkers
+from repro.core.survey import ASReport
+from repro.store import SurveyArchive
+from repro.timebase import MeasurementPeriod
+
+PERIODS = ("2019-03", "2019-06", "2019-09")
+
+
+def build_archive(root, ases_per_period: int = 8) -> SurveyArchive:
+    """A committed archive with three periods and mixed severities."""
+    archive = SurveyArchive(root)
+    severities = (Severity.NONE, Severity.LOW, Severity.SEVERE)
+    for offset, name in enumerate(PERIODS):
+        result = SurveyResult(period=MeasurementPeriod(
+            name, dt.datetime(2019, 3 * (offset + 1), 1), 15,
+        ))
+        for i in range(ases_per_period):
+            asn = 64500 + i
+            severity = severities[(i + offset) % len(severities)]
+            markers = None
+            if severity is not Severity.NONE:
+                markers = SpectralMarkers(
+                    prominent_frequency_cph=1 / 24,
+                    prominent_amplitude_ms=2.5,
+                    daily_amplitude_ms=2.5,
+                )
+            result.reports[asn] = ASReport(
+                asn=asn, probe_count=5,
+                classification=Classification(severity, markers),
+            )
+        archive.ingest(result)
+    return archive

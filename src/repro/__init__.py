@@ -30,6 +30,7 @@ from . import (  # noqa: F401
     core,
     faults,
     io,
+    loadgen,
     netbase,
     obs,
     parallel,
@@ -65,4 +66,5 @@ __all__ = [
     "parallel",
     "store",
     "serve",
+    "loadgen",
 ]

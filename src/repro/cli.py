@@ -16,7 +16,13 @@
 * ``serve``    — serve an archive over HTTP (the paper's public
   lookup site) with bounded concurrency, per-request deadlines and
   per-period circuit breakers; SIGTERM/SIGINT drain in-flight
-  requests before exit;
+  requests before exit; ``--access-log`` appends a structured JSONL
+  access log flushed on graceful shutdown, and ``/v1/metrics``
+  exposes the live RED metrics (Prometheus text or JSON);
+* ``loadtest`` — closed-loop load generator against an archive
+  (ephemeral server) or a running ``--url``; reports sustained
+  req/s and p50/p95/p99 latency, optionally updating the committed
+  ``BENCH_serving.json`` baseline;
 * ``info``     — version and layout.
 
 ``survey`` and ``classify`` accept ``--kernels reference|vector`` to
@@ -165,6 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--prometheus", action="store_true",
         help="emit the metrics in Prometheus text format instead",
     )
+    obs_report.add_argument(
+        "--diff", nargs=2, default=None,
+        metavar=("BEFORE", "AFTER"),
+        help="print counter deltas between two reports instead of "
+        "rendering one",
+    )
 
     store = sub.add_parser(
         "store",
@@ -276,7 +288,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry-after", type=float, default=1.0, metavar="SECONDS",
         help="Retry-After hint attached to every 503",
     )
+    serve.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="append one JSON object per finished request to PATH "
+        "(request id, route, status, duration, outcome); flushed on "
+        "graceful shutdown",
+    )
     _add_obs_flags(serve)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="drive a closed-loop load test against an archive "
+        "(ephemeral in-process server) or a running base URL",
+    )
+    loadtest.add_argument(
+        "archive", nargs="?", default=None,
+        help="archive directory to serve and load (omit with --url)",
+    )
+    loadtest.add_argument(
+        "--url", default=None, metavar="BASE_URL",
+        help="target an already-running server instead of spinning "
+        "up an ephemeral one",
+    )
+    loadtest.add_argument(
+        "--concurrency", type=int, default=8, metavar="N",
+        help="closed-loop worker threads",
+    )
+    loadtest.add_argument(
+        "--duration", type=float, default=5.0, metavar="SECONDS",
+        help="measured wall-clock duration (after warmup)",
+    )
+    loadtest.add_argument(
+        "--warmup", type=float, default=1.0, metavar="SECONDS",
+        help="warmup window whose samples are discarded",
+    )
+    loadtest.add_argument(
+        "--mix", action="append", default=None, metavar="CLASS=WEIGHT",
+        help="route-mix entry (repeatable); classes: healthz, "
+        "metrics, periods, period, severe, as, history",
+    )
+    loadtest.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for the weighted route choice",
+    )
+    loadtest.add_argument(
+        "--in-process", action="store_true",
+        help="drive SurveyAPI directly (no sockets) — API-layer "
+        "throughput, not end-to-end HTTP",
+    )
+    loadtest.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the machine-readable report JSON to PATH",
+    )
+    loadtest.add_argument(
+        "--update-bench", default=None, metavar="BENCH_JSON",
+        help="upsert the report into BENCH_JSON's 'loadtest' section "
+        "(the committed serving baseline)",
+    )
+    loadtest.add_argument(
+        "--max-concurrency", type=int, default=64, metavar="N",
+        help="server-side in-flight ceiling for the ephemeral server",
+    )
 
     quality = sub.add_parser(
         "quality",
@@ -668,6 +740,26 @@ def cmd_obs(args) -> int:
     from .obs import MetricsRegistry, load_report, render_report
 
     if args.obs_command == "report":
+        if args.diff is not None:
+            from .obs.metrics import diff_counters
+
+            reports = []
+            for path in args.diff:
+                try:
+                    reports.append(load_report(path))
+                except (OSError, ValueError) as exc:
+                    print(f"error: cannot read {path}: {exc}",
+                          file=sys.stderr)
+                    return 1
+            lines = diff_counters(
+                reports[0].get("metrics") or {},
+                reports[1].get("metrics") or {},
+            )
+            if lines:
+                print("\n".join(lines))
+            else:
+                print("(no counter changes)")
+            return 0
         try:
             data = load_report(args.path)
         except FileNotFoundError:
@@ -826,15 +918,21 @@ def cmd_serve(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    access_log = None
     try:
         archive = SurveyArchive(args.archive)
         if not len(archive):
             print(f"error: no committed periods in {args.archive} "
                   "(run `repro store ingest` first)", file=sys.stderr)
             return 1
+        if args.access_log:
+            from .serve import AccessLog
+
+            access_log = AccessLog(args.access_log)
         server = SurveyServer(
             archive, host=args.host, port=args.port,
             cache_size=args.cache_size, resilience=resilience,
+            access_log=access_log,
         )
     except (NetbaseError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -846,23 +944,148 @@ def cmd_serve(args) -> int:
         flush=True,
     )
     observer, sink = _make_observer(args)
+    # The server always runs observed — /v1/metrics needs a live
+    # registry even when no obs flag asked for a report at the end.
+    report_requested = observer is not None
+    if observer is None:
+        from .obs import Observability
+
+        observer = Observability()
+
+    def _on_shutdown() -> None:
+        # Runs after the last in-flight request drained, so the
+        # report and access log see every finished request — a
+        # SIGTERM'd server still writes its --metrics-out file.
+        if report_requested:
+            _finish_observer(args, observer)
+        if access_log is not None:
+            access_log.close()
+            print(f"wrote access log to {access_log.path} "
+                  f"({access_log.written} requests)")
+
     try:
-        if observer is None:
-            server.serve_forever()
-        else:
-            # Metrics flush happens inside the shutdown hook, after
-            # the last in-flight request has drained — a SIGTERM'd
-            # server still writes its --metrics-out report.
-            with observed(observer):
-                server.serve_forever(
-                    on_shutdown=lambda: _finish_observer(
-                        args, observer
-                    )
-                )
+        with observed(observer):
+            server.serve_forever(on_shutdown=_on_shutdown)
     finally:
         if sink is not None:
             sink.close()
+        if access_log is not None:
+            access_log.close()
     print("shut down cleanly")
+    return 0
+
+
+def cmd_loadtest(args) -> int:
+    import json
+
+    from .loadgen import (
+        DEFAULT_MIX_SPEC,
+        LoadConfig,
+        api_transport,
+        build_mix,
+        http_transport,
+        parse_mix_spec,
+        run_load,
+        upsert_bench_section,
+    )
+    from .netbase.errors import NetbaseError
+    from .obs import Observability, observed
+
+    if args.archive is None and args.url is None:
+        print("error: need an archive directory or --url",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = (
+            parse_mix_spec(args.mix) if args.mix
+            else dict(DEFAULT_MIX_SPEC)
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    archive = None
+    if args.archive is not None:
+        from .store import SurveyArchive
+
+        try:
+            archive = SurveyArchive(args.archive)
+        except (NetbaseError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if not len(archive):
+            print(f"error: no committed periods in {args.archive}",
+                  file=sys.stderr)
+            return 1
+        mix = build_mix(archive, spec)
+    else:
+        # No archive to enumerate: static routes only.
+        mix = tuple(
+            (target, weight)
+            for target, weight in (
+                ("/v1/healthz", spec.get("healthz", 0.0)),
+                ("/v1/metrics", spec.get("metrics", 0.0)),
+                ("/v1/periods", spec.get("periods", 1.0)),
+            )
+            if weight > 0
+        )
+
+    try:
+        config = LoadConfig(
+            concurrency=args.concurrency,
+            duration_seconds=args.duration,
+            warmup_seconds=args.warmup,
+            mix=mix,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.url is not None:
+        print(f"loading {args.url} for {args.duration:g}s "
+              f"(+{args.warmup:g}s warmup) at concurrency "
+              f"{args.concurrency}...", flush=True)
+        report = run_load(http_transport(args.url), config)
+    else:
+        from .serve import ResilienceConfig, SurveyAPI, SurveyServer
+
+        # The ephemeral server runs observed so its /v1/metrics and
+        # RED series are live during the run.
+        with observed(Observability()):
+            api = SurveyAPI(
+                archive,
+                resilience=ResilienceConfig(
+                    max_concurrency=args.max_concurrency,
+                ),
+            )
+            if args.in_process:
+                print(f"loading SurveyAPI in-process for "
+                      f"{args.duration:g}s (+{args.warmup:g}s warmup) "
+                      f"at concurrency {args.concurrency}...",
+                      flush=True)
+                report = run_load(api_transport(api), config)
+            else:
+                with SurveyServer(api) as server:
+                    print(f"loading {server.url} for "
+                          f"{args.duration:g}s (+{args.warmup:g}s "
+                          f"warmup) at concurrency "
+                          f"{args.concurrency}...", flush=True)
+                    report = run_load(
+                        http_transport(server.url), config
+                    )
+
+    for line in report.summary_lines():
+        print(line)
+    payload = report.to_dict()
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote report to {args.report}")
+    if args.update_bench:
+        upsert_bench_section(args.update_bench, "loadtest", payload)
+        print(f"updated loadtest section of {args.update_bench}")
     return 0
 
 
@@ -888,6 +1111,7 @@ COMMANDS = {
     "obs": cmd_obs,
     "store": cmd_store,
     "serve": cmd_serve,
+    "loadtest": cmd_loadtest,
     "info": cmd_info,
 }
 

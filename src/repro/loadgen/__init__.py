@@ -1,0 +1,55 @@
+"""Closed-loop load generation for the serving layer.
+
+The harness behind ``repro loadtest``, the overload smoke script and
+the CI serving-regression gate.  Stdlib-only, like the rest of the
+repo:
+
+* :mod:`repro.loadgen.engine` — the closed-loop multi-threaded
+  generator: N workers each issue one request at a time against a
+  pluggable transport (real HTTP via :func:`http_transport`, or the
+  socket-free :func:`api_transport` straight into
+  :class:`~repro.serve.app.SurveyAPI`), with a configurable route
+  mix, warmup window and wall-clock duration.  The run distills into
+  a :class:`LoadReport`: sustained req/s, p50/p95/p99 latency, error
+  and shed rates, per-status counts — machine-readable via
+  ``to_dict``.
+* :mod:`repro.loadgen.mix`    — weighted route mixes expanded against
+  a concrete archive (every committed period, every monitored AS).
+* :mod:`repro.loadgen.gate`   — the regression gate: compare a fresh
+  report against the committed ``BENCH_serving.json`` baseline with
+  explicit tolerances, and the upsert helper that maintains that
+  baseline file.
+
+Closed-loop means each worker waits for its response before sending
+the next request — measured throughput is what the server *sustains*
+at that concurrency, not an open-loop arrival rate it may be
+shedding.
+"""
+
+from .engine import (
+    LoadConfig,
+    LoadReport,
+    Outcome,
+    api_transport,
+    http_transport,
+    percentile,
+    run_load,
+)
+from .gate import BASELINE_SECTION, check_regression, upsert_bench_section
+from .mix import DEFAULT_MIX_SPEC, build_mix, parse_mix_spec
+
+__all__ = [
+    "LoadConfig",
+    "LoadReport",
+    "Outcome",
+    "run_load",
+    "http_transport",
+    "api_transport",
+    "percentile",
+    "DEFAULT_MIX_SPEC",
+    "build_mix",
+    "parse_mix_spec",
+    "BASELINE_SECTION",
+    "check_regression",
+    "upsert_bench_section",
+]

@@ -1,0 +1,90 @@
+"""The serving-regression gate over ``BENCH_serving.json``.
+
+CI runs a short load test against an ephemeral server and compares
+the fresh :class:`~repro.loadgen.engine.LoadReport` against the
+committed baseline section with *explicit* tolerances — shared CI
+runners are noisy, so the gate catches order-of-magnitude
+regressions (a lock serializing the handler, an accidental
+per-request archive re-read), not single-digit-percent drift.
+
+The baseline lives in the repo's ``BENCH_serving.json`` under the
+``loadtest`` section, maintained with the same upsert idiom as the
+benchmark harness: re-recording one section never clobbers another.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+__all__ = [
+    "BASELINE_SECTION",
+    "check_regression",
+    "upsert_bench_section",
+]
+
+BASELINE_SECTION = "loadtest"
+
+#: Default tolerances: p99 may grow to 4x baseline, sustained
+#: throughput may drop to 1/4 — wide on purpose (shared CI runners),
+#: still far tighter than any real serving regression.
+DEFAULT_MAX_P99_RATIO = 4.0
+DEFAULT_MIN_RPS_RATIO = 0.25
+DEFAULT_MAX_ERROR_RATE = 0.01
+
+
+def check_regression(
+    current: Dict,
+    baseline: Dict,
+    max_p99_ratio: float = DEFAULT_MAX_P99_RATIO,
+    min_rps_ratio: float = DEFAULT_MIN_RPS_RATIO,
+    max_error_rate: float = DEFAULT_MAX_ERROR_RATE,
+) -> List[str]:
+    """Problems with ``current`` relative to ``baseline`` (empty = pass).
+
+    ``current``/``baseline`` are ``LoadReport.to_dict`` payloads.
+    Checks: served p99 latency within ``max_p99_ratio`` of baseline,
+    sustained req/s at least ``min_rps_ratio`` of baseline, and error
+    rate at most ``max_error_rate`` in absolute terms.
+    """
+    problems: List[str] = []
+    base_p99 = float(baseline.get("p99_ms", 0.0))
+    cur_p99 = float(current.get("p99_ms", 0.0))
+    if base_p99 > 0 and cur_p99 > base_p99 * max_p99_ratio:
+        problems.append(
+            f"p99 regressed: {cur_p99:.2f} ms vs baseline "
+            f"{base_p99:.2f} ms (tolerance {max_p99_ratio:g}x = "
+            f"{base_p99 * max_p99_ratio:.2f} ms)"
+        )
+    base_rps = float(baseline.get("rps", 0.0))
+    cur_rps = float(current.get("rps", 0.0))
+    if base_rps > 0 and cur_rps < base_rps * min_rps_ratio:
+        problems.append(
+            f"throughput regressed: {cur_rps:.1f} req/s vs baseline "
+            f"{base_rps:.1f} req/s (tolerance {min_rps_ratio:g}x = "
+            f"{base_rps * min_rps_ratio:.1f} req/s)"
+        )
+    error_rate = float(current.get("error_rate", 0.0))
+    if error_rate > max_error_rate:
+        problems.append(
+            f"error rate {error_rate:.2%} exceeds "
+            f"{max_error_rate:.2%}"
+        )
+    return problems
+
+
+def upsert_bench_section(
+    path: Union[str, Path], section: str, payload: Dict
+) -> Dict:
+    """Insert/replace one section of a bench JSON file, keeping the
+    rest — the ``BENCH_serving.json`` maintenance idiom.  Returns the
+    whole document as written.
+    """
+    path = Path(path)
+    data: Dict = {}
+    if path.exists():
+        data = json.loads(path.read_text())
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+    return data

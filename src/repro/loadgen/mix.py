@@ -1,0 +1,93 @@
+"""Route mixes: named route classes expanded against a real archive.
+
+A mix *spec* maps route-class names to weights (``{"as": 4,
+"period": 2, ...}``); :func:`build_mix` expands each class into the
+concrete request targets the archive can answer (every committed
+period, every monitored AS), splitting the class weight evenly across
+its targets so the spec's proportions hold whatever the archive's
+size.  The CLI accepts the spec as repeated ``--mix name=weight``
+flags (:func:`parse_mix_spec`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["DEFAULT_MIX_SPEC", "ROUTE_CLASSES", "build_mix",
+           "parse_mix_spec"]
+
+#: Route classes the mix knows how to expand.
+ROUTE_CLASSES = (
+    "healthz", "metrics", "periods", "period", "severe", "as",
+    "history",
+)
+
+#: Read-heavy default resembling the survey site's traffic: mostly
+#: per-AS operator lookups, some period browsing, light scraping.
+DEFAULT_MIX_SPEC: Dict[str, float] = {
+    "as": 4.0,
+    "period": 2.0,
+    "severe": 1.0,
+    "history": 1.0,
+    "periods": 0.5,
+    "healthz": 0.5,
+    "metrics": 0.25,
+}
+
+
+def parse_mix_spec(entries: Sequence[str]) -> Dict[str, float]:
+    """Parse repeated ``name=weight`` CLI flags into a spec dict."""
+    spec: Dict[str, float] = {}
+    for entry in entries:
+        name, sep, weight_text = entry.partition("=")
+        name = name.strip()
+        if not sep or name not in ROUTE_CLASSES:
+            raise ValueError(
+                f"mix entry must be <class>=<weight> with class in "
+                f"{ROUTE_CLASSES}, got {entry!r}"
+            )
+        try:
+            weight = float(weight_text)
+        except ValueError:
+            raise ValueError(
+                f"bad mix weight in {entry!r}"
+            ) from None
+        if weight <= 0:
+            raise ValueError(f"mix weight must be positive: {entry!r}")
+        spec[name] = weight
+    return spec
+
+
+def build_mix(
+    archive, spec: Dict[str, float]
+) -> Tuple[Tuple[str, float], ...]:
+    """Expand a spec into concrete weighted targets for ``archive``."""
+    periods = list(archive.periods())
+    latest = archive.latest() if periods else None
+    asns: List[int] = []
+    if latest is not None:
+        seen = set()
+        for severity in ("none", "low", "mild", "severe"):
+            seen.update(archive.asns_with_severity(latest, severity))
+        asns = sorted(seen)
+    class_targets: Dict[str, List[str]] = {
+        "healthz": ["/v1/healthz"],
+        "metrics": ["/v1/metrics"],
+        "periods": ["/v1/periods"],
+        "period": [f"/v1/period/{name}" for name in periods],
+        "severe": [f"/v1/period/{name}/severe" for name in periods],
+        "as": [f"/v1/as/{asn}" for asn in asns],
+        "history": [f"/v1/as/{asn}/history" for asn in asns],
+    }
+    mix: List[Tuple[str, float]] = []
+    for name, weight in sorted(spec.items()):
+        targets = class_targets.get(name, [])
+        if not targets:
+            continue  # class not answerable by this archive
+        split = weight / len(targets)
+        mix.extend((target, split) for target in targets)
+    if not mix:
+        raise ValueError(
+            "route mix expanded to nothing — archive has no periods?"
+        )
+    return tuple(mix)

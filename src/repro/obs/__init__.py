@@ -43,7 +43,10 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    estimate_quantile,
+    parse_prometheus,
 )
+from .snapshot import TelemetrySnapshot
 from .profile import (
     ProfileCollector,
     get_collector,
@@ -55,6 +58,7 @@ from .profile import (
 from .trace import (
     NullTracer,
     Span,
+    TraceContext,
     Tracer,
     render_trace,
     render_trace_dict,
@@ -67,6 +71,9 @@ __all__ = [
     "set_observer",
     "observed",
     "MetricsRegistry",
+    "estimate_quantile",
+    "parse_prometheus",
+    "TelemetrySnapshot",
     "Counter",
     "BoundCounter",
     "Gauge",
@@ -74,6 +81,7 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "Span",
+    "TraceContext",
     "render_trace",
     "render_trace_dict",
     "StructuredLogger",

@@ -20,7 +20,7 @@ can use it without import cycles.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -306,13 +306,71 @@ class MetricsRegistry:
                 raise ValueError(f"unknown instrument type {kind!r}")
         return registry
 
+    def merge(self, other: Union["MetricsRegistry", Dict]) -> None:
+        """Fold another registry's series into this one.
+
+        ``other`` is a live registry or its :meth:`to_dict` snapshot —
+        the cross-process form a shard worker ships back to the
+        parent.  Sources are assumed disjoint (each shard observed its
+        own slice of the work), so every sample *adds*: counters and
+        gauges sum per label set, histogram series sum bucket counts
+        and totals and fold min/max.  Instruments missing here are
+        created with the incoming schema; a kind, label-schema or
+        bucket mismatch on an existing name raises, same as
+        re-registration would.
+        """
+        data = other.to_dict() if isinstance(other, MetricsRegistry) \
+            else other
+        for name, entry in data.items():
+            kind = entry["type"]
+            label_names = tuple(entry.get("labels", ()))
+            help_text = entry.get("help", "")
+            if kind == "counter":
+                counter = self.counter(name, help_text, label_names)
+                for sample in entry["samples"]:
+                    counter.inc(sample["value"], **sample["labels"])
+            elif kind == "gauge":
+                gauge = self.gauge(name, help_text, label_names)
+                for sample in entry["samples"]:
+                    gauge.add(sample["value"], **sample["labels"])
+            elif kind == "histogram":
+                histogram = self.histogram(
+                    name, help_text, label_names,
+                    buckets=entry["buckets"],
+                )
+                if list(histogram.buckets) != sorted(entry["buckets"]):
+                    raise ValueError(
+                        f"{name!r} bucket mismatch: "
+                        f"{histogram.buckets} vs {entry['buckets']}"
+                    )
+                for sample in entry["samples"]:
+                    series = histogram._get(
+                        histogram._key(sample["labels"])
+                    )
+                    for i, count in enumerate(sample["bucket_counts"]):
+                        series.bucket_counts[i] += count
+                    series.total += sample["sum"]
+                    series.count += sample["count"]
+                    if sample["min"] is not None:
+                        series.minimum = min(
+                            series.minimum, sample["min"]
+                        )
+                    if sample["max"] is not None:
+                        series.maximum = max(
+                            series.maximum, sample["max"]
+                        )
+            else:
+                raise ValueError(f"unknown instrument type {kind!r}")
+
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (version 0.0.4)."""
         lines: List[str] = []
         for name in self.names():
             instrument = self._instruments[name]
             if instrument.help:
-                lines.append(f"# HELP {name} {instrument.help}")
+                lines.append(
+                    f"# HELP {name} {_escape_help(instrument.help)}"
+                )
             lines.append(f"# TYPE {name} {instrument.kind}")
             if isinstance(instrument, Histogram):
                 for key, series in instrument.samples():
@@ -355,11 +413,18 @@ class MetricsRegistry:
                     if not series.count:
                         continue
                     mean = series.total / series.count
+                    p50 = estimate_quantile(
+                        instrument.buckets, series.bucket_counts, 0.50
+                    )
+                    p99 = estimate_quantile(
+                        instrument.buckets, series.bucket_counts, 0.99
+                    )
                     lines.append(
                         f"{name}{_fmt_labels(key)}: "
                         f"count={series.count} "
                         f"mean={mean:.6g} min={series.minimum:.6g} "
-                        f"max={series.maximum:.6g}"
+                        f"max={series.maximum:.6g} "
+                        f"p50~{p50:.6g} p99~{p99:.6g}"
                     )
             else:
                 for key, value in instrument.samples():
@@ -369,6 +434,175 @@ class MetricsRegistry:
         return lines
 
 
+def estimate_quantile(
+    bounds: Sequence[float], bucket_counts: Sequence[int], q: float
+) -> Optional[float]:
+    """Estimate the ``q``-quantile from fixed-bucket histogram counts.
+
+    ``bucket_counts`` has one slot per bound plus the trailing +Inf
+    slot (the :class:`Histogram` layout, non-cumulative).  Linear
+    interpolation inside the winning bucket, Prometheus
+    ``histogram_quantile`` style: the first bucket interpolates from
+    zero, and a quantile landing in the +Inf bucket reports the
+    largest finite bound (the estimate saturates rather than invents
+    a value).  Returns None for an empty series.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(bucket_counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    for i, bound in enumerate(bounds):
+        in_bucket = bucket_counts[i]
+        if cumulative + in_bucket >= rank:
+            lower = bounds[i - 1] if i else 0.0
+            if in_bucket == 0:
+                return bound
+            fraction = (rank - cumulative) / in_bucket
+            return lower + (bound - lower) * fraction
+        cumulative += in_bucket
+    return float(bounds[-1])
+
+
+def diff_counters(before: Dict, after: Dict) -> List[str]:
+    """Counter deltas between two :meth:`~MetricsRegistry.to_dict`
+    snapshots, one ``name{labels} +delta`` line per changed series.
+
+    Series present only in ``after`` count from zero; series that
+    vanished (a fresh process, a reset) are reported as ``(gone)``.
+    Gauges and histograms are skipped — deltas only mean something for
+    monotonic series.
+    """
+    lines: List[str] = []
+    for name in sorted(set(before) | set(after)):
+        b_entry = before.get(name, {})
+        a_entry = after.get(name, {})
+        if "counter" not in (b_entry.get("type"), a_entry.get("type")):
+            continue
+
+        def series_map(entry: Dict) -> Dict[LabelKey, float]:
+            return {
+                tuple(sorted(s["labels"].items())): s["value"]
+                for s in entry.get("samples", ())
+            }
+
+        b_samples = series_map(b_entry)
+        a_samples = series_map(a_entry)
+        for key in sorted(set(b_samples) | set(a_samples)):
+            label_text = _fmt_labels(key)
+            if key not in a_samples:
+                lines.append(f"{name}{label_text} (gone, "
+                             f"was {_fmt_float(b_samples[key])})")
+                continue
+            delta = a_samples[key] - b_samples.get(key, 0)
+            if delta:
+                lines.append(
+                    f"{name}{label_text} {delta:+g} "
+                    f"(now {_fmt_float(a_samples[key])})"
+                )
+    return lines
+
+
+def parse_prometheus(text: str) -> Dict:
+    """Parse exposition-format text back into the :meth:`to_dict` shape.
+
+    The inverse of :meth:`MetricsRegistry.to_prometheus` for counters
+    and gauges (histograms come back as their exploded ``_bucket`` /
+    ``_sum`` / ``_count`` counter series — lossless as scrape data,
+    not re-foldable into bucket objects).  Handles the full label
+    escaping rules (``\\\\``, ``\\"``, ``\\n``) so a hostile label
+    value survives the text round trip bit-exactly; used by the
+    escaping tests and the loadtest scrape check.
+    """
+    out: Dict = {}
+
+    def entry(name: str) -> Dict:
+        return out.setdefault(
+            name, {"type": "untyped", "help": "", "labels": [],
+                   "samples": []},
+        )
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            entry(name)["help"] = _unescape_help(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            entry(name)["type"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        name, labels, value = _parse_sample(line)
+        base = out.get(name)
+        if base is None:
+            base = entry(name)
+        base["labels"] = sorted(set(base["labels"]) | set(labels))
+        base["samples"].append({"labels": labels, "value": value})
+    return out
+
+
+def _parse_sample(line: str) -> Tuple[str, Dict[str, str], float]:
+    """One sample line: ``name{label="value",...} 1.5``."""
+    brace = line.find("{")
+    if brace < 0:
+        name, _, value = line.partition(" ")
+        return name.strip(), {}, float(value)
+    name = line[:brace]
+    end = _find_label_end(line, brace)
+    labels = _parse_labels(line[brace + 1:end])
+    return name, labels, float(line[end + 1:].strip())
+
+
+def _find_label_end(line: str, brace: int) -> int:
+    in_quotes = False
+    i = brace + 1
+    while i < len(line):
+        ch = line[i]
+        if in_quotes:
+            if ch == "\\":
+                i += 1  # skip the escaped character
+            elif ch == '"':
+                in_quotes = False
+        elif ch == '"':
+            in_quotes = True
+        elif ch == "}":
+            return i
+        i += 1
+    raise ValueError(f"unterminated label set: {line!r}")
+
+
+def _parse_labels(body: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        name = body[i:eq].strip()
+        if body[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {body!r}")
+        value_chars: List[str] = []
+        j = eq + 2
+        while body[j] != '"':
+            if body[j] == "\\":
+                value_chars.append(
+                    {"\\": "\\", '"': '"', "n": "\n"}[body[j + 1]]
+                )
+                j += 2
+            else:
+                value_chars.append(body[j])
+                j += 1
+        labels[name] = "".join(value_chars)
+        i = j + 1
+        if i < len(body) and body[i] == ",":
+            i += 1
+    return labels
+
+
 def _fmt_float(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
@@ -376,9 +610,34 @@ def _fmt_float(value: float) -> str:
 
 
 def _escape(value: str) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double-quote and newline, backslash first so the others never
+    double-escape."""
     return (
         value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
     )
+
+
+def _escape_help(value: str) -> str:
+    """HELP text escapes backslash and newline (but not quotes)."""
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _unescape_help(value: str) -> str:
+    # Left-to-right scan: replace() chains would mis-read "\\n"
+    # (escaped backslash then literal n) as an escaped newline.
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        if value[i] == "\\" and i + 1 < len(value):
+            follower = value[i + 1]
+            if follower in ("n", "\\"):
+                out.append("\n" if follower == "n" else "\\")
+                i += 2
+                continue
+        out.append(value[i])
+        i += 1
+    return "".join(out)
 
 
 def _fmt_labels(key: LabelKey, **extra: str) -> str:

@@ -20,12 +20,15 @@ inside per-record loops.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 __all__ = [
     "Span",
+    "TraceContext",
     "Tracer",
     "NullTracer",
     "render_trace",
@@ -33,11 +36,27 @@ __all__ = [
 ]
 
 
+def _new_id() -> str:
+    """A fresh 64-bit hex id (span/trace identity, not security)."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The portable identity of an open span: what a shard task
+    carries across the process boundary so the worker's subtree can
+    be grafted back under the span that dispatched it.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[str] = None
+
+
 class Span:
     """One timed, attributed node of the trace tree."""
 
     __slots__ = (
-        "name", "attrs", "children", "error",
+        "name", "attrs", "children", "error", "span_id",
         "_start_wall", "_start_cpu", "wall_seconds", "cpu_seconds",
     )
 
@@ -46,6 +65,7 @@ class Span:
         self.attrs = attrs
         self.children: List["Span"] = []
         self.error: Optional[str] = None
+        self.span_id = _new_id()
         self._start_wall = 0.0
         self._start_cpu = 0.0
         self.wall_seconds = 0.0
@@ -64,6 +84,7 @@ class Span:
     def to_dict(self) -> Dict:
         out: Dict = {
             "name": self.name,
+            "span_id": self.span_id,
             "wall_seconds": self.wall_seconds,
             "cpu_seconds": self.cpu_seconds,
         }
@@ -78,6 +99,7 @@ class Span:
     @classmethod
     def from_dict(cls, data: Dict) -> "Span":
         span = cls(data["name"], dict(data.get("attrs", {})))
+        span.span_id = data.get("span_id", span.span_id)
         span.wall_seconds = float(data.get("wall_seconds", 0.0))
         span.cpu_seconds = float(data.get("cpu_seconds", 0.0))
         span.error = data.get("error")
@@ -122,8 +144,9 @@ class _SpanContext:
 class Tracer:
     """Collects span trees for one run."""
 
-    def __init__(self):
+    def __init__(self, trace_id: Optional[str] = None):
         self.roots: List[Span] = []
+        self.trace_id = trace_id if trace_id is not None else _new_id()
         self._local = threading.local()
 
     @property
@@ -146,6 +169,16 @@ class Tracer:
     def current(self) -> Optional[Span]:
         """The innermost open span, if any."""
         return self._stack[-1] if self._stack else None
+
+    def context(self) -> TraceContext:
+        """The trace identity a cross-process task should carry."""
+        current = self.current()
+        return TraceContext(
+            trace_id=self.trace_id,
+            parent_span_id=(
+                current.span_id if current is not None else None
+            ),
+        )
 
     def find(self, name: str) -> List[Span]:
         """Every finished span with the given name, depth-first."""
@@ -193,6 +226,7 @@ class NullTracer:
     """Tracing disabled: every span is the shared no-op context."""
 
     roots: List[Span] = []
+    trace_id = ""
 
     @property
     def enabled(self) -> bool:
@@ -202,6 +236,10 @@ class NullTracer:
         return _NULL_CONTEXT
 
     def current(self) -> None:
+        return None
+
+    def context(self) -> None:
+        """No live trace — cross-process tasks carry no context."""
         return None
 
     def find(self, name: str) -> List[Span]:

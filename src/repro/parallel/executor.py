@@ -200,6 +200,8 @@ def run_survey_period_parallel(
                     thresholds=thresholds, max_attempts=max_attempts,
                     faults=pinned, fault_seed=fault_seed,
                     kernels=kern.name,
+                    capture_telemetry=obs.enabled,
+                    trace_context=obs.tracer.context(),
                 )
                 for index, shard in enumerate(
                     shard_groups(pending, workers)
@@ -310,6 +312,8 @@ def classify_dataset_sharded(
                 groups=shard, thresholds=thresholds,
                 max_attempts=max_attempts, keep_signals=keep_signals,
                 kernels=kern.name,
+                capture_telemetry=obs.enabled,
+                trace_context=obs.tracer.context(),
             )
             for index, shard in enumerate(shard_groups(pending, workers))
         ]
@@ -460,7 +464,11 @@ def _merge_outcomes(
 
 
 def _record_shard_metrics(obs, period, shard_results) -> None:
-    """Re-emit worker wall-times as spans + metrics in the parent."""
+    """Re-emit worker wall-times as spans + metrics in the parent,
+    and fold each shard's captured telemetry back in: worker metrics
+    merge into the run registry (per-stage totals match the serial
+    path), worker span subtrees graft under the shard's marker span.
+    """
     if not obs.enabled or not shard_results:
         return
     duration = obs.histogram(
@@ -477,13 +485,16 @@ def _record_shard_metrics(obs, period, shard_results) -> None:
     )
     for shard_result in sorted(shard_results, key=lambda s: s.index):
         # Zero-duration marker span: the shard ran elsewhere; its
-        # wall-time rides along as an attribute.
+        # wall-time rides along as an attribute, and the worker's own
+        # span subtree hangs beneath it.
         with obs.span(
             "survey-shard", shard=shard_result.index,
             ases=len(shard_result.outcomes),
             wall_seconds=round(shard_result.wall_seconds, 4),
-        ):
+        ) as marker:
             pass
+        if shard_result.telemetry is not None:
+            shard_result.telemetry.merge_into(obs, parent_span=marker)
         duration.observe(
             shard_result.wall_seconds, period=period.name
         )

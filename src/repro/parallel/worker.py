@@ -16,15 +16,25 @@ reference into pool processes):
 * :func:`run_dataset_shard` — in-memory path over a pre-built
   :class:`~repro.core.series.LastMileDataset` slice.
 
-Workers silence observability (the NOOP observer) — shard timings and
-outcomes are re-reported by the parent, which owns the run's registry;
-per-AS quality is recorded on fresh per-AS ledgers that the parent
-merges in sorted order, reproducing the serial ledger's counts.
+Workers observe their own work: when the parent runs under a live
+observer, each task carries ``capture_telemetry=True`` plus the
+parent's :class:`~repro.obs.TraceContext`, and the worker installs a
+fresh capturing observer whose metrics and span subtree come back as
+a :class:`~repro.obs.TelemetrySnapshot` on the shard result — the
+parent merges the metrics (per-stage totals then equal the serial
+run's) and grafts the spans under its ``survey-shard`` marker.  Under
+a no-op parent the worker keeps the old NOOP path, so the silenced
+fast case pays nothing.  Either way, per-AS quality is recorded on
+fresh per-AS ledgers that the parent merges in sorted order,
+reproducing the serial ledger's counts; telemetry never touches the
+classification output, so byte-equivalence and the content-addressed
+cache are unaffected.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -61,6 +71,8 @@ class ShardResult:
     outcomes: List[ASOutcome]
     fault_log: FaultLog
     wall_seconds: float
+    #: Worker-side metrics + spans (None when the parent ran un-observed).
+    telemetry: Optional[object] = None
 
 
 @dataclass
@@ -85,6 +97,11 @@ class SurveyShardTask:
     #: task so a worker's own REPRO_KERNELS environment is irrelevant
     #: (shard-invariance of the backend choice).
     kernels: str = DEFAULT_KERNELS
+    #: True when the parent runs observed: the worker captures its own
+    #: metrics/spans and ships them back as a TelemetrySnapshot.
+    capture_telemetry: bool = False
+    #: The parent's trace identity (trace id + dispatching span id).
+    trace_context: Optional[object] = None
 
 
 @dataclass
@@ -99,17 +116,58 @@ class DatasetShardTask:
     keep_signals: bool = False
     #: See :class:`SurveyShardTask.kernels`.
     kernels: str = DEFAULT_KERNELS
+    #: See :class:`SurveyShardTask.capture_telemetry`.
+    capture_telemetry: bool = False
+    #: See :class:`SurveyShardTask.trace_context`.
+    trace_context: Optional[object] = None
+
+
+@contextmanager
+def _shard_observer(task):
+    """The worker's observer for one task.
+
+    ``capture_telemetry`` off: the historical NOOP silencing (nothing
+    recorded, nothing shipped).  On: a fresh capturing observer whose
+    tracer adopts the parent's trace id; yields a snapshot callback so
+    the caller can freeze it after the work.  Always restores the
+    previous process-wide observer — the in-process ``workers=1``
+    fallback runs this in the parent.
+    """
+    from ..obs import (
+        NOOP,
+        Observability,
+        TelemetrySnapshot,
+        get_observer,
+        set_observer,
+    )
+
+    previous = get_observer()
+    if not task.capture_telemetry:
+        set_observer(NOOP)
+        try:
+            yield lambda: None
+        finally:
+            set_observer(previous)
+        return
+    context = task.trace_context
+    observer = Observability()
+    if context is not None:
+        observer.tracer.trace_id = context.trace_id
+    set_observer(observer)
+    try:
+        yield lambda: TelemetrySnapshot.capture(
+            observer, shard=task.index, context=context,
+        )
+    finally:
+        set_observer(previous)
 
 
 def run_survey_shard(task: SurveyShardTask) -> ShardResult:
     """Rebuild the world, generate this shard's probes, classify."""
-    from ..obs import NOOP, get_observer, set_observer
     from ..scenarios.worldsurvey import build_survey_world
 
     started = time.perf_counter()
-    previous = get_observer()
-    set_observer(NOOP)
-    try:
+    with _shard_observer(task) as snapshot:
         world, platform = build_survey_world(
             task.specs, lockdown=task.lockdown, seed=task.seed,
             period_name=task.period.name,
@@ -134,36 +192,32 @@ def run_survey_shard(task: SurveyShardTask) -> ShardResult:
             dataset, task.groups, task.thresholds, task.max_attempts,
             kernels=task.kernels,
         )
-    finally:
-        set_observer(previous)
+        telemetry = snapshot()
     return ShardResult(
         index=task.index,
         outcomes=outcomes,
         fault_log=fault_log,
         wall_seconds=time.perf_counter() - started,
+        telemetry=telemetry,
     )
 
 
 def run_dataset_shard(task: DatasetShardTask) -> ShardResult:
     """Classify one shard of an already-built dataset."""
-    from ..obs import NOOP, get_observer, set_observer
-
     started = time.perf_counter()
-    previous = get_observer()
-    set_observer(NOOP)
-    try:
+    with _shard_observer(task) as snapshot:
         outcomes = _classify_groups(
             task.dataset, task.groups, task.thresholds,
             task.max_attempts, keep_signals=task.keep_signals,
             kernels=task.kernels,
         )
-    finally:
-        set_observer(previous)
+        telemetry = snapshot()
     return ShardResult(
         index=task.index,
         outcomes=outcomes,
         fault_log=FaultLog(),
         wall_seconds=time.perf_counter() - started,
+        telemetry=telemetry,
     )
 
 

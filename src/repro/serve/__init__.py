@@ -17,7 +17,10 @@ survey results:
   circuit breaker, cooperative request deadlines;
 * :mod:`repro.serve.client`     — :class:`RetryingClient`, the
   matching client discipline (jittered exponential backoff honoring
-  ``Retry-After``).
+  ``Retry-After``);
+* :mod:`repro.serve.accesslog`  — :class:`AccessLog`, the structured
+  JSONL per-request log (request id, route, status, duration,
+  cache/shed/breaker outcome) flushed on graceful shutdown.
 
 Typical embedding::
 
@@ -32,6 +35,7 @@ Standalone: ``python -m repro serve archive/ --port 8080``
 (SIGTERM/SIGINT drain in-flight requests and flush metrics).
 """
 
+from .accesslog import AccessLog, read_access_log
 from .app import Response, SEVERITY_CLASSES, SurveyAPI, status_for
 from .cache import LRUCache, LRUStats
 from .client import (
@@ -53,6 +57,8 @@ from .resilience import (
 )
 
 __all__ = [
+    "AccessLog",
+    "read_access_log",
     "SurveyAPI",
     "Response",
     "status_for",

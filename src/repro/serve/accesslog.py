@@ -1,0 +1,111 @@
+"""Structured JSONL access log for the serving layer.
+
+One line per finished request, written as a single ``write`` call
+under a lock — concurrent handler threads can never interleave bytes,
+so the log is always one valid JSON object per line.  The serving
+layer records the request id, route, status, duration and the
+cache/shed/breaker outcome; the CLI opens the log with
+``repro serve --access-log PATH`` and closes (flushing) it inside the
+graceful-shutdown hook, after the last in-flight request drained.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+__all__ = ["AccessLog", "read_access_log"]
+
+
+class AccessLog:
+    """Append-only JSONL sink for per-request access records.
+
+    ``path=None`` keeps records in memory only (tests, embedding) —
+    :attr:`entries` holds the dicts either way, bounded to the most
+    recent ``keep`` records so a long-lived server cannot grow without
+    bound.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        keep: int = 1024,
+    ):
+        self._lock = threading.Lock()
+        self._keep = keep
+        self._entries: List[Dict] = []
+        self._written = 0
+        self._stream = None
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # Line-buffered so each record is visible to a live tail
+            # as soon as it is written, not only at close time.
+            self._stream = self.path.open(
+                "a", encoding="utf-8", buffering=1
+            )
+
+    @property
+    def written(self) -> int:
+        """Records recorded over the log's lifetime."""
+        with self._lock:
+            return self._written
+
+    @property
+    def entries(self) -> List[Dict]:
+        """The most recent records (bounded snapshot copy)."""
+        with self._lock:
+            return list(self._entries)
+
+    def record(self, **fields) -> None:
+        """Append one access record (thread-safe, one line per call)."""
+        line = json.dumps(fields, sort_keys=True)
+        with self._lock:
+            if self._stream is not None:
+                # One write call per complete line: lines from
+                # concurrent threads cannot interleave.
+                self._stream.write(line + "\n")
+            self._entries.append(fields)
+            if len(self._entries) > self._keep:
+                del self._entries[: len(self._entries) - self._keep]
+            self._written += 1
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._stream is not None:
+                self._stream.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        with self._lock:
+            if self._stream is not None:
+                self._stream.flush()
+                self._stream.close()
+                self._stream = None
+
+    def __enter__(self) -> "AccessLog":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def read_access_log(path: Union[str, Path]) -> Iterator[Dict]:
+    """Parse a written access log back into record dicts.
+
+    Raises ``ValueError`` on any malformed line — the corruption the
+    concurrency tests assert never happens.
+    """
+    with Path(path).open(encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: corrupt access-log line: {exc}"
+                ) from None

@@ -17,7 +17,24 @@ The HTTP surface (all ``GET``, all JSON):
 * ``/v1/period/<p>/country/<cc>``       — per-country AS list;
 * ``/v1/as/<asn>[?period=<p>]``         — one AS's verdict (the
   operator lookup the paper's site exists for);
-* ``/v1/as/<asn>/history``              — the AS's longitudinal record.
+* ``/v1/as/<asn>/history``              — the AS's longitudinal record;
+* ``/v1/metrics``                       — the live observer's metric
+  registry, Prometheus text by default, JSON via ``Accept:
+  application/json`` or ``?format=json`` (never cached — a scrape
+  must see current values; 503 when no live observer is installed).
+
+Every response carries an ``X-Request-Id`` header — echoed from the
+request when the client sent one, freshly generated otherwise — and
+each finished request lands in the optional structured
+:class:`~repro.serve.accesslog.AccessLog` (request id, route, status,
+duration, cache/shed/breaker outcome).  RED metrics per route:
+``http_requests_total{route,status}``, the per-route latency
+histogram ``serve_request_seconds{route}``, the ``serve_in_flight``
+gauge and the ``serve_cache_hit_ratio`` gauge.  A cache hit keeps the
+*original* route on ``http_requests_total`` (hit-ness is tracked by
+``serve_cache_hits_total`` and the hit-ratio gauge), while the legacy
+``serve_requests_total`` series keeps its historical ``cached`` /
+``shed`` route labels.
 
 Error mapping follows the :mod:`repro.netbase.errors` taxonomy:
 *not found* archive errors → 404, malformed requests → 400, archive
@@ -44,6 +61,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -73,6 +91,11 @@ STAGE = "serve"
 #: Severity classes the API accepts in ``/severity/<class>``.
 SEVERITY_CLASSES = ("none", "low", "mild", "severe")
 
+#: Prometheus text exposition format version served by /v1/metrics.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+REQUEST_ID_HEADER = "X-Request-Id"
+
 
 @dataclass(frozen=True)
 class Response:
@@ -84,6 +107,9 @@ class Response:
     content_type: str = "application/json"
     #: Extra response headers, e.g. ``(("Retry-After", "1"),)``.
     headers: Tuple[Tuple[str, str], ...] = ()
+    #: The route that rendered this response — cached copies keep it,
+    #: so a cache hit still lands on the right RED series.
+    route: str = "unknown"
 
     @property
     def cacheable(self) -> bool:
@@ -100,6 +126,35 @@ def _render(status: int, payload: Dict) -> Response:
 
 def _error(status: int, kind: str, detail: str) -> Response:
     return _render(status, {"error": kind, "detail": detail})
+
+
+def _request_id(headers) -> str:
+    """Echo the client's ``X-Request-Id``, or mint a fresh one."""
+    if headers is not None:
+        value = headers.get(REQUEST_ID_HEADER)
+        if value:
+            value = value.strip()
+            if value:
+                return value[:128]
+    return os.urandom(8).hex()
+
+
+def _with_request_id(response: Response, request_id: str) -> Response:
+    return replace(
+        response,
+        headers=response.headers + ((REQUEST_ID_HEADER, request_id),),
+    )
+
+
+def outcome_for(exc: Exception) -> str:
+    """Access-log outcome word for a failed request."""
+    if isinstance(exc, BreakerOpenError):
+        return "breaker-open"
+    if isinstance(exc, DeadlineExceeded):
+        return "deadline"
+    if isinstance(exc, OverloadedError):
+        return "shed"
+    return "error"
 
 
 def status_for(exc: Exception) -> int:
@@ -130,11 +185,13 @@ class SurveyAPI:
         cache_size: int = 512,
         resilience: Optional[ResilienceConfig] = None,
         clock: Callable[[], float] = time.monotonic,
+        access_log=None,
     ):
         from .cache import LRUCache
 
         self.archive = archive
         self.cache = LRUCache(cache_size)
+        self.access_log = access_log
         self.resilience = (
             resilience if resilience is not None else ResilienceConfig()
         )
@@ -151,10 +208,16 @@ class SurveyAPI:
 
     # -- entry point ---------------------------------------------------
 
-    def handle(self, target: str) -> Response:
-        """Serve one request target (path + optional query string)."""
+    def handle(self, target: str, headers=None) -> Response:
+        """Serve one request target (path + optional query string).
+
+        ``headers`` is the request-header mapping (anything with
+        ``.get``) — consulted for ``X-Request-Id`` echo and the
+        ``Accept`` negotiation of ``/v1/metrics``.
+        """
         obs = get_observer()
         started = time.perf_counter()
+        request_id = _request_id(headers)
         try:
             self.limiter.acquire()
         except OverloadedError as exc:
@@ -162,51 +225,113 @@ class SurveyAPI:
                 "requests_shed_total",
                 "requests refused at the concurrency limit",
             ).inc()
-            self._account(obs, "shed", started)
-            return self._retry_later(_error(503, "Overloaded", str(exc)))
-        route = "unknown"
+            response = _with_request_id(
+                replace(
+                    self._retry_later(
+                        _error(503, "Overloaded", str(exc))
+                    ),
+                    route="shed",
+                ),
+                request_id,
+            )
+            self._account(
+                obs, response, "shed", "shed", started, request_id,
+                target,
+            )
+            return response
+        route, outcome, response = "unknown", "ok", None
         try:
             self._local.deadline = Deadline(
                 self.resilience.deadline_seconds, self._clock
             )
+            self._local.headers = headers
             self._invalidate_if_stale(obs)
             cached = self.cache.get(target)
             if cached is not None:
-                route = "cached"
+                route, outcome = cached.route, "cached"
                 obs.counter(
                     "serve_cache_hits_total",
                     "responses served from the hot-object cache",
                 ).inc()
-                return cached
-            route, response = self._dispatch(target)
-            if response.cacheable and route != "healthz":
-                self.cache.put(target, response)
+                response = _with_request_id(cached, request_id)
+                return response
+            route, run_handler = self._dispatch(target)
+            if run_handler is None:
+                rendered = _error(
+                    404, "NoSuchRoute", f"unknown path {target!r}"
+                )
+            else:
+                with obs.span("serve-" + route):
+                    rendered = run_handler()
+            rendered = replace(rendered, route=route)
+            if rendered.cacheable and route != "healthz":
+                # The cached copy keeps its route but not this
+                # request's id — hits get their own.
+                self.cache.put(target, rendered)
+            response = _with_request_id(rendered, request_id)
             return response
         except Exception as exc:  # noqa: BLE001 — boundary mapping
             status = status_for(exc)
+            outcome = outcome_for(exc)
             obs.logger.bind(stage=STAGE).warning(
                 "request-failed", target=target,
                 error=type(exc).__name__, status=status,
+                request_id=request_id,
             )
-            response = _error(status, type(exc).__name__, str(exc))
+            rendered = _error(status, type(exc).__name__, str(exc))
             if status == 503:
-                response = self._retry_later(response)
+                rendered = self._retry_later(rendered)
+            response = _with_request_id(
+                replace(rendered, route=route), request_id
+            )
             return response
         finally:
             self._local.deadline = None
+            self._local.headers = None
             self.limiter.release()
-            self._account(obs, route, started)
+            self._account(
+                obs, response, route, outcome, started, request_id,
+                target,
+            )
 
-    def _account(self, obs, route: str, started: float) -> None:
+    def _account(
+        self, obs, response: Optional[Response], route: str,
+        outcome: str, started: float, request_id: str, target: str,
+    ) -> None:
+        """RED metrics + access-log record for one finished request."""
         elapsed = time.perf_counter() - started
+        status = response.status if response is not None else 500
+        # Legacy series: cache hits keep their historical route label.
+        legacy_route = "cached" if outcome == "cached" else route
         obs.counter(
             "serve_requests_total", "API requests by route",
             ("route",),
-        ).inc(route=route)
+        ).inc(route=legacy_route)
         obs.histogram(
             "serve_request_seconds", "request latency by route",
             ("route",),
-        ).observe(elapsed, route=route)
+        ).observe(elapsed, route=legacy_route)
+        obs.counter(
+            "http_requests_total",
+            "HTTP requests by route and response status",
+            ("route", "status"),
+        ).inc(route=route, status=str(status))
+        obs.gauge(
+            "serve_in_flight", "requests currently being handled",
+        ).set(self.limiter.in_flight)
+        obs.gauge(
+            "serve_cache_hit_ratio",
+            "hot-object cache hit rate since start",
+        ).set(self.cache.stats.hit_rate)
+        if self.access_log is not None:
+            self.access_log.record(
+                request_id=request_id,
+                target=target,
+                route=route,
+                status=status,
+                outcome=outcome,
+                duration_ms=round(elapsed * 1000.0, 3),
+            )
 
     def _retry_later(self, response: Response) -> Response:
         value = format(self.resilience.retry_after_seconds, "g")
@@ -258,27 +383,31 @@ class SurveyAPI:
         self.breaker.record_success(period)
         return result
 
-    def _dispatch(self, target: str) -> Tuple[str, Response]:
+    def _dispatch(
+        self, target: str
+    ) -> Tuple[str, Optional[Callable[[], Response]]]:
+        """Resolve a target to its route name and a handler thunk.
+
+        Resolution is separate from execution so a handler that raises
+        still has its route attributed correctly (RED metrics, access
+        log); an unroutable target yields ``("unknown", None)``.
+        """
         split = urlsplit(target)
         parts = [p for p in split.path.split("/") if p]
         query = parse_qs(split.query)
         if not parts or parts[0] != "v1":
-            return "unknown", _error(
-                404, "NoSuchRoute", f"unknown path {split.path!r}"
-            )
+            return "unknown", None
         tail = parts[1:]
         for route, pattern, handler in self._routes():
             bound = _match(pattern, tail)
             if bound is not None:
-                with get_observer().span("serve-" + route):
-                    return route, handler(*bound, query)
-        return "unknown", _error(
-            404, "NoSuchRoute", f"unknown path {split.path!r}"
-        )
+                return route, lambda: handler(*bound, query)
+        return "unknown", None
 
     def _routes(self) -> Tuple[Tuple[str, Tuple[str, ...], Callable], ...]:
         return (
             ("healthz", ("healthz",), self._healthz),
+            ("metrics", ("metrics",), self._metrics),
             ("periods", ("periods",), self._periods),
             ("period", ("period", "*"), self._period),
             ("severe", ("period", "*", "severe"), self._severe),
@@ -305,6 +434,44 @@ class SurveyAPI:
             "concurrency_limit": self.limiter.limit,
             "shed_total": self.limiter.shed_total,
         })
+
+    def _metrics(self, query) -> Response:
+        """The live metric registry, Prometheus text or JSON.
+
+        ``?format=json|prometheus`` wins; otherwise ``Accept:
+        application/json`` selects JSON and everything else gets the
+        text exposition format.  Responses carry no ETag, so they are
+        never cached — a scrape must observe current values.
+        """
+        obs = get_observer()
+        registry = getattr(obs, "metrics", None)
+        if registry is None:
+            return _error(
+                503, "MetricsUnavailable",
+                "no live observer installed (metrics collection off)",
+            )
+        fmt = (query.get("format", [None])[0] or "").lower()
+        if not fmt:
+            headers = getattr(self._local, "headers", None)
+            accept = (
+                headers.get("Accept") if headers is not None else None
+            ) or ""
+            fmt = "json" if "application/json" in accept else "prometheus"
+        if fmt == "json":
+            body = (
+                json.dumps(registry.to_dict(), sort_keys=True) + "\n"
+            ).encode()
+            return Response(status=200, body=body)
+        if fmt in ("prometheus", "text"):
+            return Response(
+                status=200,
+                body=registry.to_prometheus().encode(),
+                content_type=METRICS_CONTENT_TYPE,
+            )
+        return _error(
+            400, "BadFormat",
+            f"format must be json or prometheus, got {fmt!r}",
+        )
 
     def _periods(self, _query) -> Response:
         entries = []

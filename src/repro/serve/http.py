@@ -55,10 +55,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 — http.server contract
         with self.server.tracked():  # type: ignore[attr-defined]
-            response = self._api().handle(self.path)
+            response = self._api().handle(self.path, headers=self.headers)
             if response.etag is not None and self._etag_matches(response):
+                # The bodyless 304 keeps the request's id header.
                 self._send(Response(
                     status=304, body=b"", etag=response.etag,
+                    headers=tuple(
+                        (name, value)
+                        for name, value in response.headers
+                        if name.lower() == "x-request-id"
+                    ),
                 ))
                 get_observer().counter(
                     "serve_not_modified_total",
@@ -69,7 +75,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_HEAD(self) -> None:  # noqa: N802
         with self.server.tracked():  # type: ignore[attr-defined]
-            response = self._api().handle(self.path)
+            response = self._api().handle(self.path, headers=self.headers)
             self._send(response, head_only=True)
 
     def _etag_matches(self, response: Response) -> bool:
@@ -164,11 +170,13 @@ class SurveyServer:
         port: int = 0,
         cache_size: int = 512,
         resilience: Optional[ResilienceConfig] = None,
+        access_log=None,
     ):
         self.api = (
             archive if isinstance(archive, SurveyAPI)
             else SurveyAPI(
-                archive, cache_size=cache_size, resilience=resilience
+                archive, cache_size=cache_size, resilience=resilience,
+                access_log=access_log,
             )
         )
         self._httpd = _TrackedHTTPServer((host, port), _Handler)

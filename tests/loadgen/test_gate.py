@@ -1,0 +1,107 @@
+"""The serving-regression gate: tolerance checks and baseline upkeep."""
+
+import json
+
+import pytest
+
+from repro.loadgen import (
+    BASELINE_SECTION,
+    check_regression,
+    upsert_bench_section,
+)
+
+BASELINE = {"p99_ms": 10.0, "rps": 1000.0, "error_rate": 0.0}
+
+
+def _current(**overrides):
+    report = {"p99_ms": 12.0, "rps": 900.0, "error_rate": 0.0}
+    report.update(overrides)
+    return report
+
+
+class TestCheckRegression:
+    def test_within_tolerance_passes(self):
+        assert check_regression(_current(), BASELINE) == []
+
+    def test_p99_blowup_fails(self):
+        problems = check_regression(_current(p99_ms=41.0), BASELINE)
+        assert len(problems) == 1
+        assert "p99 regressed" in problems[0]
+
+    def test_p99_at_exact_tolerance_passes(self):
+        assert check_regression(_current(p99_ms=40.0), BASELINE) == []
+
+    def test_throughput_collapse_fails(self):
+        problems = check_regression(_current(rps=249.0), BASELINE)
+        assert len(problems) == 1
+        assert "throughput regressed" in problems[0]
+
+    def test_error_rate_is_absolute(self):
+        problems = check_regression(_current(error_rate=0.02), BASELINE)
+        assert len(problems) == 1
+        assert "error rate" in problems[0]
+
+    def test_custom_tolerances(self):
+        assert check_regression(
+            _current(p99_ms=15.0), BASELINE, max_p99_ratio=1.2
+        ) != []
+        assert check_regression(
+            _current(rps=900.0), BASELINE, min_rps_ratio=0.95
+        ) != []
+        assert check_regression(
+            _current(rps=960.0), BASELINE, min_rps_ratio=0.95
+        ) == []
+
+    def test_empty_baseline_only_checks_error_rate(self):
+        assert check_regression(_current(), {}) == []
+        assert check_regression(_current(error_rate=0.5), {}) != []
+
+    def test_multiple_regressions_all_reported(self):
+        problems = check_regression(
+            _current(p99_ms=100.0, rps=10.0, error_rate=0.5), BASELINE
+        )
+        assert len(problems) == 3
+
+
+class TestUpsertBenchSection:
+    def test_creates_file_with_section(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        upsert_bench_section(path, BASELINE_SECTION, {"rps": 1.0})
+        assert json.loads(path.read_text()) == {
+            BASELINE_SECTION: {"rps": 1.0}
+        }
+
+    def test_replaces_section_keeping_others(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps({
+            "overload": {"shed": 5},
+            BASELINE_SECTION: {"rps": 1.0},
+        }))
+        written = upsert_bench_section(
+            path, BASELINE_SECTION, {"rps": 2.0}
+        )
+        on_disk = json.loads(path.read_text())
+        assert on_disk == written
+        assert on_disk["overload"] == {"shed": 5}
+        assert on_disk[BASELINE_SECTION] == {"rps": 2.0}
+
+    def test_output_is_stable_and_newline_terminated(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        upsert_bench_section(path, "b", {"x": 1})
+        upsert_bench_section(path, "a", {"y": 2})
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+
+
+class TestRepoBaseline:
+    def test_committed_baseline_has_gate_fields(self):
+        # The CI gate reads these from the committed file; a rename
+        # there must show up here, not as a silently-passing gate.
+        from pathlib import Path
+
+        bench = Path(__file__).resolve().parents[2] / \
+            "BENCH_serving.json"
+        section = json.loads(bench.read_text())[BASELINE_SECTION]
+        for field in ("p99_ms", "rps", "error_rate", "concurrency"):
+            assert field in section

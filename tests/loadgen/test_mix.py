@@ -1,0 +1,88 @@
+"""Mix specs: CLI parsing and expansion against an archive."""
+
+import pytest
+
+from repro.loadgen import DEFAULT_MIX_SPEC, build_mix, parse_mix_spec
+from repro.loadgen.mix import ROUTE_CLASSES
+
+
+class FakeArchive:
+    """Just the lookup surface ``build_mix`` consults."""
+
+    def __init__(self, periods=("2019-03", "2019-06"),
+                 asns=(64500, 64501, 64502)):
+        self._periods = list(periods)
+        self._asns = list(asns)
+
+    def periods(self):
+        return list(self._periods)
+
+    def latest(self):
+        return self._periods[-1]
+
+    def asns_with_severity(self, _period, severity):
+        # Spread the ASes over severities; union must recover all.
+        order = ("none", "low", "mild", "severe")
+        return [
+            asn for i, asn in enumerate(self._asns)
+            if order[i % len(order)] == severity
+        ]
+
+
+class TestParseMixSpec:
+    def test_parses_entries(self):
+        assert parse_mix_spec(["as=4", "healthz=0.5"]) == {
+            "as": 4.0, "healthz": 0.5,
+        }
+
+    @pytest.mark.parametrize("entry", [
+        "as", "bogus=1", "as=zero", "as=0", "as=-1", "=2",
+    ])
+    def test_rejects_bad_entries(self, entry):
+        with pytest.raises(ValueError):
+            parse_mix_spec([entry])
+
+    def test_default_spec_only_uses_known_classes(self):
+        assert set(DEFAULT_MIX_SPEC) <= set(ROUTE_CLASSES)
+
+
+class TestBuildMix:
+    def test_expands_classes_to_concrete_targets(self):
+        mix = dict(build_mix(FakeArchive(), {"period": 2.0, "as": 3.0}))
+        assert mix["/v1/period/2019-03"] == pytest.approx(1.0)
+        assert mix["/v1/period/2019-06"] == pytest.approx(1.0)
+        # 3.0 split across the three monitored ASes.
+        assert mix["/v1/as/64500"] == pytest.approx(1.0)
+        assert mix["/v1/as/64502"] == pytest.approx(1.0)
+
+    def test_class_weight_is_preserved_in_aggregate(self):
+        mix = build_mix(FakeArchive(), DEFAULT_MIX_SPEC)
+        by_class = {}
+        for target, weight in mix:
+            key = target.split("/")[2]
+            if target.endswith("/history"):
+                key = "history"
+            elif target.endswith("/severe"):
+                key = "severe"
+            by_class[key] = by_class.get(key, 0.0) + weight
+        assert by_class["as"] == pytest.approx(DEFAULT_MIX_SPEC["as"])
+        assert by_class["period"] == pytest.approx(
+            DEFAULT_MIX_SPEC["period"]
+        )
+        assert by_class["healthz"] == pytest.approx(0.5)
+
+    def test_static_routes_survive_any_archive(self):
+        mix = dict(build_mix(FakeArchive(), {"healthz": 1.0,
+                                             "metrics": 0.5}))
+        assert mix == {"/v1/healthz": 1.0, "/v1/metrics": 0.5}
+
+    def test_empty_archive_drops_data_classes(self):
+        mix = dict(build_mix(
+            FakeArchive(periods=(), asns=()),
+            {"as": 4.0, "healthz": 1.0},
+        ))
+        assert mix == {"/v1/healthz": 1.0}
+
+    def test_nothing_answerable_raises(self):
+        with pytest.raises(ValueError, match="expanded to nothing"):
+            build_mix(FakeArchive(periods=(), asns=()), {"as": 4.0})

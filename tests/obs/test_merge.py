@@ -1,0 +1,169 @@
+"""Registry merge, bucket-quantile estimation, and counter diffs —
+the parent-side halves of cross-process telemetry and the ``repro obs
+report`` additions."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, estimate_quantile
+from repro.obs.metrics import diff_counters
+
+
+def _registry_with(counter=0, gauge=0.0, observations=()):
+    registry = MetricsRegistry()
+    if counter:
+        registry.counter("items_total", "", ("stage",)).inc(
+            counter, stage="load"
+        )
+    if gauge:
+        registry.gauge("depth", "").set(gauge)
+    if observations:
+        histogram = registry.histogram(
+            "lat", "", ("stage",), buckets=(0.1, 1.0)
+        )
+        for value in observations:
+            histogram.observe(value, stage="load")
+    return registry
+
+
+class TestRegistryMerge:
+    def test_counters_sum_per_series(self):
+        parent = _registry_with(counter=3)
+        parent.merge(_registry_with(counter=4))
+        assert parent.counter(
+            "items_total", "", ("stage",)
+        ).value(stage="load") == 7
+
+    def test_disjoint_series_and_instruments_are_created(self):
+        parent = MetricsRegistry()
+        incoming = MetricsRegistry()
+        incoming.counter("new_total", "fresh", ("shard",)).inc(2, shard="1")
+        parent.merge(incoming)
+        assert parent.counter(
+            "new_total", "", ("shard",)
+        ).value(shard="1") == 2
+        assert parent.get("new_total").help == "fresh"
+
+    def test_gauges_add(self):
+        # Shards each report their own share; the parent's view is the
+        # sum (sources are disjoint by construction).
+        parent = _registry_with(gauge=1.5)
+        parent.merge(_registry_with(gauge=2.0))
+        assert parent.gauge("depth", "").value() == 3.5
+
+    def test_histograms_fold_buckets_sum_count_min_max(self):
+        parent = _registry_with(observations=(0.05, 0.5))
+        parent.merge(_registry_with(observations=(0.2, 5.0)))
+        histogram = parent.histogram("lat", "", ("stage",),
+                                     buckets=(0.1, 1.0))
+        assert histogram.count(stage="load") == 4
+        assert histogram.sum(stage="load") == pytest.approx(5.75)
+        series = histogram._series[histogram._key({"stage": "load"})]
+        assert series.bucket_counts == [1, 2, 1]
+        assert series.minimum == 0.05
+        assert series.maximum == 5.0
+
+    def test_merge_accepts_to_dict_form(self):
+        # The actual cross-process form: the worker ships dicts.
+        parent = _registry_with(counter=1)
+        parent.merge(_registry_with(counter=9).to_dict())
+        assert parent.counter(
+            "items_total", "", ("stage",)
+        ).value(stage="load") == 10
+
+    def test_kind_mismatch_raises(self):
+        parent = MetricsRegistry()
+        parent.counter("x", "")
+        incoming = MetricsRegistry()
+        incoming.gauge("x", "").set(1)
+        with pytest.raises(ValueError, match="already registered"):
+            parent.merge(incoming)
+
+    def test_label_schema_mismatch_raises(self):
+        parent = MetricsRegistry()
+        parent.counter("x", "", ("a",))
+        incoming = MetricsRegistry()
+        incoming.counter("x", "", ("b",)).inc(b="1")
+        with pytest.raises(ValueError, match="label schema"):
+            parent.merge(incoming)
+
+    def test_bucket_mismatch_raises(self):
+        parent = MetricsRegistry()
+        parent.histogram("lat", "", buckets=(0.1, 1.0))
+        incoming = MetricsRegistry()
+        incoming.histogram("lat", "", buckets=(0.5, 2.0)).observe(0.3)
+        with pytest.raises(ValueError):
+            parent.merge(incoming)
+
+    def test_merge_then_export_round_trips(self):
+        parent = _registry_with(counter=2, gauge=1.0,
+                                observations=(0.05,))
+        parent.merge(_registry_with(counter=5, observations=(0.5,)))
+        rebuilt = MetricsRegistry.from_dict(parent.to_dict())
+        assert rebuilt.to_dict() == parent.to_dict()
+
+
+class TestEstimateQuantile:
+    BOUNDS = (1.0, 2.0, 4.0)
+
+    def test_empty_series_is_none(self):
+        assert estimate_quantile(self.BOUNDS, [0, 0, 0, 0], 0.5) is None
+
+    def test_interpolates_inside_bucket(self):
+        # 10 observations all in (1, 2]: p50 sits mid-bucket.
+        assert estimate_quantile(
+            self.BOUNDS, [0, 10, 0, 0], 0.5
+        ) == pytest.approx(1.5)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        assert estimate_quantile(
+            self.BOUNDS, [4, 0, 0, 0], 0.5
+        ) == pytest.approx(0.5)
+
+    def test_overflow_bucket_saturates_at_last_bound(self):
+        assert estimate_quantile(self.BOUNDS, [0, 0, 0, 5], 0.99) == 4.0
+
+    def test_extremes(self):
+        counts = [2, 2, 2, 0]
+        assert estimate_quantile(self.BOUNDS, counts, 1.0) == 4.0
+        assert estimate_quantile(
+            self.BOUNDS, counts, 0.0
+        ) == pytest.approx(0.0)
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            estimate_quantile(self.BOUNDS, [1, 0, 0, 0], 1.5)
+
+
+class TestDiffCounters:
+    def _snap(self, **series):
+        registry = MetricsRegistry()
+        counter = registry.counter("reqs_total", "", ("route",))
+        for route, value in series.items():
+            counter.inc(value, route=route)
+        return registry.to_dict()
+
+    def test_reports_per_series_deltas(self):
+        lines = diff_counters(
+            self._snap(as_route=3), self._snap(as_route=10)
+        )
+        assert lines == ['reqs_total{route="as_route"} +7 (now 10)']
+
+    def test_unchanged_series_are_silent(self):
+        assert diff_counters(self._snap(a=3), self._snap(a=3)) == []
+
+    def test_new_series_counts_from_zero(self):
+        lines = diff_counters(self._snap(a=1), self._snap(a=1, b=4))
+        assert lines == ['reqs_total{route="b"} +4 (now 4)']
+
+    def test_vanished_series_reported_gone(self):
+        lines = diff_counters(self._snap(a=1, b=4), self._snap(a=1))
+        assert lines == ['reqs_total{route="b"} (gone, was 4)']
+
+    def test_gauges_and_histograms_are_skipped(self):
+        before = MetricsRegistry()
+        before.gauge("depth", "").set(1)
+        before.histogram("lat", "", buckets=(1.0,)).observe(0.5)
+        after = MetricsRegistry()
+        after.gauge("depth", "").set(9)
+        after.histogram("lat", "", buckets=(1.0,)).observe(0.7)
+        assert diff_counters(before.to_dict(), after.to_dict()) == []

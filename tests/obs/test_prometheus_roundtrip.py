@@ -1,0 +1,123 @@
+"""Exposition-format escaping: hostile label values must round-trip.
+
+``to_prometheus`` → ``parse_prometheus`` is the contract behind the
+``/v1/metrics`` scrape check: whatever bytes a label value holds —
+backslashes, quotes, newlines, or adversarial mixes like a literal
+``\\n`` two-character sequence — the parsed registry must carry the
+value bit-exactly.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry, parse_prometheus
+from repro.obs.metrics import _escape, _escape_help, _unescape_help
+
+HOSTILE_VALUES = [
+    'plain',
+    'back\\slash',
+    'quo"te',
+    'new\nline',
+    '\\',
+    '"',
+    '\n',
+    '\\n',          # literal backslash then n — NOT a newline
+    '\\"',          # literal backslash then quote
+    'trailing\\',
+    '\\\\n',        # escaped backslash then literal n after round trip
+    'a,b=c}{d',     # label-syntax metacharacters inside the value
+    'mixed\\"and\nall\\n',
+]
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize("value", HOSTILE_VALUES)
+    def test_hostile_value_round_trips(self, value):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "hits", ("path",)).inc(
+            3, path=value
+        )
+        parsed = parse_prometheus(registry.to_prometheus())
+        assert parsed["hits_total"]["samples"] == [
+            {"labels": {"path": value}, "value": 3.0}
+        ]
+
+    def test_every_hostile_value_in_one_series_set(self):
+        """All values as sibling series — separators must not bleed."""
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "", ("path",))
+        for i, value in enumerate(HOSTILE_VALUES):
+            counter.inc(i + 1, path=value)
+        parsed = parse_prometheus(registry.to_prometheus())
+        got = {
+            sample["labels"]["path"]: sample["value"]
+            for sample in parsed["hits_total"]["samples"]
+        }
+        assert got == {
+            value: float(i + 1)
+            for i, value in enumerate(HOSTILE_VALUES)
+        }
+
+    def test_multi_label_ordering_survives(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "", ("a", "b")).inc(1, a='x"y', b="z\n")
+        parsed = parse_prometheus(registry.to_prometheus())
+        assert parsed["c"]["samples"][0]["labels"] == {
+            "a": 'x"y', "b": "z\n",
+        }
+
+    def test_escape_is_backslash_first(self):
+        # Escaping the backslash after the others would double-escape.
+        assert _escape('\\"') == '\\\\\\"'
+        assert _escape("\n\\") == "\\n\\\\"
+
+
+class TestHelpEscaping:
+    @pytest.mark.parametrize(
+        "help_text",
+        ["plain", "multi\nline", "back\\slash", "\\n", "tail\\"],
+    )
+    def test_help_round_trips(self, help_text):
+        registry = MetricsRegistry()
+        registry.counter("c_total", help_text).inc()
+        parsed = parse_prometheus(registry.to_prometheus())
+        assert parsed["c_total"]["help"] == help_text
+
+    def test_unescape_scans_left_to_right(self):
+        # "\\\\n" is escaped-backslash + literal n, not "\\" + newline.
+        assert _unescape_help(_escape_help("\\n")) == "\\n"
+        assert _unescape_help("\\\\n") == "\\n"
+        assert _unescape_help("\\n") == "\n"
+
+
+class TestParsedShapes:
+    def test_types_and_values_come_back(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total", "requests").inc(5)
+        registry.gauge("depth", "queue depth").set(2.5)
+        parsed = parse_prometheus(registry.to_prometheus())
+        assert parsed["reqs_total"]["type"] == "counter"
+        assert parsed["reqs_total"]["samples"][0]["value"] == 5.0
+        assert parsed["depth"]["type"] == "gauge"
+        assert parsed["depth"]["samples"][0]["value"] == 2.5
+
+    def test_histogram_explodes_to_scrape_series(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat", "latency", ("stage",), buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05, stage="load")
+        histogram.observe(0.5, stage="load")
+        parsed = parse_prometheus(registry.to_prometheus())
+        buckets = {
+            sample["labels"]["le"]: sample["value"]
+            for sample in parsed["lat_bucket"]["samples"]
+        }
+        assert buckets == {"0.1": 1.0, "1": 2.0, "+Inf": 2.0}
+        assert parsed["lat_count"]["samples"][0]["value"] == 2.0
+        assert parsed["lat_sum"]["samples"][0]["value"] == pytest.approx(
+            0.55
+        )
+
+    def test_unterminated_label_set_raises(self):
+        with pytest.raises(ValueError, match="unterminated"):
+            parse_prometheus('c{path="open 1')

@@ -1,0 +1,106 @@
+"""TelemetrySnapshot: the worker-side freeze and parent-side graft."""
+
+import pickle
+
+from repro.obs import (
+    NOOP,
+    Observability,
+    TelemetrySnapshot,
+    TraceContext,
+)
+
+
+def _worker_observer(trace_id="feedbeef00000000"):
+    """A capturing observer the way ``_shard_observer`` builds one."""
+    observer = Observability()
+    observer.tracer.trace_id = trace_id
+    observer.items_in("load", 5)
+    observer.items_out("load", 4)
+    with observer.span("classify", asn=64500):
+        with observer.span("spectral"):
+            pass
+    return observer
+
+
+class TestCapture:
+    def test_freezes_metrics_and_spans(self):
+        context = TraceContext("feedbeef00000000", "aa" * 8)
+        snapshot = TelemetrySnapshot.capture(
+            _worker_observer(), shard=2, context=context
+        )
+        assert snapshot.shard == 2
+        assert snapshot.trace_id == "feedbeef00000000"
+        assert snapshot.parent_span_id == "aa" * 8
+        samples = snapshot.metrics["pipeline_items_in_total"]["samples"]
+        assert samples == [{"labels": {"stage": "load"}, "value": 5}]
+        assert [root["name"] for root in snapshot.spans] == ["classify"]
+        assert snapshot.spans[0]["children"][0]["name"] == "spectral"
+
+    def test_without_context_keeps_worker_trace_id(self):
+        snapshot = TelemetrySnapshot.capture(
+            _worker_observer("aceace0000000000"), shard=0
+        )
+        assert snapshot.trace_id == "aceace0000000000"
+        assert snapshot.parent_span_id is None
+
+    def test_snapshot_is_picklable(self):
+        # It rides inside ShardResult through the process pool.
+        snapshot = TelemetrySnapshot.capture(_worker_observer(), shard=1)
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.metrics == snapshot.metrics
+        assert clone.spans == snapshot.spans
+
+
+class TestMergeInto:
+    def test_metrics_sum_into_parent(self):
+        parent = Observability()
+        parent.items_in("load", 10)
+        snapshot = TelemetrySnapshot.capture(_worker_observer(), shard=0)
+        snapshot.merge_into(parent)
+        assert parent.metrics.counter(
+            "pipeline_items_in_total", "", ("stage",)
+        ).value(stage="load") == 15
+
+    def test_spans_graft_under_parent_span_with_shard_attr(self):
+        parent = Observability()
+        with parent.span("survey-shard") as marker:
+            pass
+        snapshot = TelemetrySnapshot.capture(_worker_observer(), shard=3)
+        snapshot.merge_into(parent, parent_span=marker)
+        assert [c.name for c in marker.children] == ["classify"]
+        assert marker.children[0].attrs["shard"] == 3
+        # Grafted, not re-rooted: the parent's root list is unchanged.
+        assert parent.tracer.roots == [marker]
+
+    def test_spans_become_roots_without_parent_span(self):
+        parent = Observability()
+        snapshot = TelemetrySnapshot.capture(_worker_observer(), shard=1)
+        snapshot.merge_into(parent)
+        assert [root.name for root in parent.tracer.roots] == ["classify"]
+
+    def test_noop_parent_is_untouched(self):
+        snapshot = TelemetrySnapshot.capture(_worker_observer(), shard=0)
+        snapshot.merge_into(NOOP)  # must not raise, must not record
+        assert NOOP.tracer.to_dict() == []
+
+    def test_empty_snapshot_merges_cleanly(self):
+        parent = Observability()
+        TelemetrySnapshot().merge_into(parent)
+        assert parent.tracer.roots == []
+
+
+class TestTraceContext:
+    def test_tracer_context_carries_current_span(self):
+        observer = Observability()
+        with observer.span("dispatch") as span:
+            context = observer.tracer.context()
+        assert context.trace_id == observer.tracer.trace_id
+        assert context.parent_span_id == span.span_id
+
+    def test_context_outside_any_span_has_no_parent(self):
+        observer = Observability()
+        context = observer.tracer.context()
+        assert context.parent_span_id is None
+
+    def test_null_tracer_yields_no_context(self):
+        assert NOOP.tracer.context() is None

@@ -156,7 +156,11 @@ class TestNoStaleEntries:
 
         first = api.handle("/v1/period/2019-06")
         assert first.status == 200
-        assert api.handle("/v1/period/2019-06") is first  # cached
+        repeat = api.handle("/v1/period/2019-06")
+        # Same rendered body/ETag = served from cache (each
+        # response carries its own X-Request-Id, so identity
+        # no longer holds).
+        assert (repeat.body, repeat.etag) == (first.body, first.etag)
 
         # The period rots on disk; fsck --repair quarantines it.
         flip_bit(
@@ -183,7 +187,8 @@ class TestNoStaleEntries:
         assert fresh.etag != first.etag
         assert fresh.body != first.body
         # And the fresh response is itself cached again.
-        assert api.handle("/v1/period/2019-06") is fresh
+        refreshed = api.handle("/v1/period/2019-06")
+        assert (refreshed.body, refreshed.etag) == (fresh.body, fresh.etag)
 
     def test_quarantine_on_read_invalidates(self, archive):
         """A read-path quarantine (not fsck) also bumps the
@@ -191,7 +196,11 @@ class TestNoStaleEntries:
         archive = SurveyArchive(archive.root)
         api = SurveyAPI(archive)
         cached = api.handle("/v1/periods")
-        assert api.handle("/v1/periods") is cached
+        repeat = api.handle("/v1/periods")
+        # Same rendered body/ETag = served from cache (each
+        # response carries its own X-Request-Id, so identity
+        # no longer holds).
+        assert (repeat.body, repeat.etag) == (cached.body, cached.etag)
 
         archive.period_path("2019-09").write_bytes(b"rot")
         failed = api.handle("/v1/period/2019-09")

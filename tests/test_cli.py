@@ -270,3 +270,120 @@ class TestQualityErrorPaths:
         err = capsys.readouterr().err
         assert err.count("\n") == 1
         assert err.startswith("error: cannot read")
+
+
+class TestObsDiff:
+    def _write_report(self, path, value):
+        from repro.obs import Observability
+        from repro.obs.report import write_report
+
+        obs = Observability()
+        obs.counter("reqs_total", "", ("route",)).inc(value, route="as")
+        write_report(obs, path)
+
+    def test_diff_prints_counter_deltas(self, tmp_path, capsys):
+        before, after = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_report(before, 3)
+        self._write_report(after, 10)
+        code = main([
+            "obs", "report", "--diff", str(before), str(after),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert 'reqs_total{route="as"} +7 (now 10)' in out
+
+    def test_diff_with_no_changes(self, tmp_path, capsys):
+        before = tmp_path / "a.json"
+        self._write_report(before, 3)
+        code = main([
+            "obs", "report", "--diff", str(before), str(before),
+        ])
+        assert code == 0
+        assert "(no counter changes)" in capsys.readouterr().out
+
+    def test_diff_unreadable_side_errors(self, tmp_path, capsys):
+        before = tmp_path / "a.json"
+        self._write_report(before, 1)
+        code = main([
+            "obs", "report", "--diff", str(before),
+            str(tmp_path / "missing.json"),
+        ])
+        assert code == 1
+        assert "error: cannot read" in capsys.readouterr().err
+
+
+class TestLoadtestCommand:
+    @pytest.fixture()
+    def archive_dir(self, tmp_path):
+        import datetime as dt
+
+        from repro.core import Severity
+        from repro.store import SurveyArchive
+        from tests.store.conftest import make_ranking, make_survey
+
+        archive = SurveyArchive(tmp_path / "arc")
+        archive.ingest(
+            make_survey("2019-06", dt.datetime(2019, 6, 1), {
+                100: Severity.SEVERE, 200: Severity.LOW,
+            }),
+            ranking=make_ranking(),
+        )
+        return str(tmp_path / "arc")
+
+    def test_in_process_run_writes_report(self, tmp_path, archive_dir,
+                                          capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        code = main([
+            "loadtest", archive_dir, "--in-process",
+            "--concurrency", "2", "--duration", "0.3",
+            "--warmup", "0", "--report", str(report_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out
+        assert "p99" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["requests"] > 0
+        assert payload["error_rate"] == 0.0
+        assert payload["p99_ms"] > 0
+        assert payload["concurrency"] == 2
+
+    def test_update_bench_upserts_loadtest_section(
+        self, tmp_path, archive_dir, capsys
+    ):
+        import json
+
+        bench = tmp_path / "BENCH.json"
+        bench.write_text(json.dumps({"overload": {"shed": 1}}))
+        code = main([
+            "loadtest", archive_dir, "--in-process",
+            "--concurrency", "2", "--duration", "0.2", "--warmup", "0",
+            "--mix", "as=4", "--mix", "healthz=1",
+            "--update-bench", str(bench),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        data = json.loads(bench.read_text())
+        assert data["overload"] == {"shed": 1}
+        assert data["loadtest"]["requests"] > 0
+
+    def test_requires_archive_or_url(self, capsys):
+        assert main(["loadtest"]) == 2
+        assert "archive directory or --url" in capsys.readouterr().err
+
+    def test_rejects_bad_mix_entry(self, archive_dir, capsys):
+        code = main([
+            "loadtest", archive_dir, "--mix", "bogus=1",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_archive_errors(self, tmp_path, capsys):
+        from repro.store import SurveyArchive
+
+        SurveyArchive(tmp_path / "empty")
+        code = main(["loadtest", str(tmp_path / "empty")])
+        assert code == 1
+        assert "no committed periods" in capsys.readouterr().err
