@@ -6,6 +6,10 @@
 * ``tokyo``    — run the §4 Tokyo case study and print Fig. 5–9 digests;
 * ``simulate`` — generate an Atlas-schema traceroute campaign to JSONL;
 * ``classify`` — classify a saved last-mile dataset per AS;
+* ``stream``   — run a survey period incrementally: records append
+  one at a time (from a saved dataset or the simulator), bins
+  finalize as they close, and ``--checkpoint-every`` commits partial
+  periods into a live archive period that ``serve`` exposes;
 * ``inject``   — corrupt a traceroute JSONL with seeded fault injectors;
 * ``quality``  — leniently load a traceroute JSONL and print its
   data-quality report;
@@ -123,6 +127,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     classify.add_argument("--min-probes", type=int, default=3)
     _add_kernels_flag(classify)
+
+    stream = sub.add_parser(
+        "stream",
+        help="run a survey period incrementally: records append one "
+        "at a time, bins finalize as they close, partial results "
+        "checkpoint into a live archive period",
+    )
+    stream.add_argument(
+        "--dataset", default=None, metavar="BASE",
+        help="replay a dataset written by repro.io.save_lastmile; "
+        "without it, the simulator generates the feed",
+    )
+    stream.add_argument(
+        "--period", default=None, metavar="NAME",
+        help="simulator period name (default: the latest "
+        "longitudinal period; ignored with --dataset)",
+    )
+    stream.add_argument("--ases", type=int, default=10,
+                        help="simulator AS count")
+    stream.add_argument("--countries", type=int, default=6,
+                        help="simulator country count")
+    stream.add_argument("--seed", type=int, default=101,
+                        help="simulator seed")
+    stream.add_argument("--min-probes", type=int, default=3)
+    stream.add_argument(
+        "--batch-size", type=int, default=1000, metavar="N",
+        help="micro-batch size for ingestion",
+    )
+    stream.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="RECORDS",
+        help="re-classify (and with --archive, durably commit a "
+        "partial period) every RECORDS records; 0 = only at the end",
+    )
+    stream.add_argument(
+        "--emit-partial", action="store_true",
+        help="print the partial survey headline at each checkpoint",
+    )
+    stream.add_argument(
+        "--archive", default=None, metavar="DIR",
+        help="commit checkpoints into a live archive period at DIR "
+        "and finalize it when the stream ends",
+    )
+    stream.add_argument(
+        "--approximate", action="store_true",
+        help="use the constant-memory P² median for open bins "
+        "instead of exact buffered medians (results approximate)",
+    )
+    _add_kernels_flag(stream)
+    _add_obs_flags(stream)
 
     inject = sub.add_parser(
         "inject",
@@ -626,6 +679,121 @@ def cmd_classify(args) -> int:
     return 0
 
 
+def cmd_stream(args) -> int:
+    from .obs import observed
+
+    observer, sink = _make_observer(args)
+    if observer is None:
+        return _run_stream(args)
+    try:
+        with observed(observer):
+            code = _run_stream(args)
+        _finish_observer(args, observer)
+        return code
+    finally:
+        if sink is not None:
+            sink.close()
+
+
+def _run_stream(args) -> int:
+    from .core import render_survey_headline
+    from .stream import StreamingSurvey, dataset_to_records, micro_batches
+
+    table = None
+    if args.dataset:
+        from .io import load_lastmile
+
+        dataset = load_lastmile(args.dataset)
+        period = dataset.grid.period
+    else:
+        from .scenarios import build_survey_world, generate_specs
+        from .timebase import ALL_SURVEY_PERIODS, LONGITUDINAL_PERIODS
+
+        wanted = args.period or LONGITUDINAL_PERIODS[-1].name
+        by_name = {p.name: p for p in ALL_SURVEY_PERIODS}
+        period = by_name.get(wanted)
+        if period is None:
+            print(
+                f"error: unknown period {wanted!r} "
+                f"(known: {', '.join(sorted(by_name))})",
+                file=sys.stderr,
+            )
+            return 1
+        specs = generate_specs(
+            num_ases=args.ases, num_countries=args.countries,
+            seed=args.seed,
+        )
+        world, platform = build_survey_world(
+            specs, lockdown=period.name == "2020-04", seed=args.seed,
+            period_name=period.name,
+        )
+        dataset = platform.run_period_binned(period)
+        table = world.table
+
+    records = dataset_to_records(dataset)
+    engine = StreamingSurvey(
+        period, min_probes=args.min_probes, table=table,
+        kernels=args.kernels, approximate=args.approximate,
+    )
+    writer = None
+    if args.archive:
+        from .store import SurveyArchive
+
+        writer = SurveyArchive(args.archive).begin_live_period(
+            period.name
+        )
+
+    print(
+        f"streaming {len(records)} records into period {period.name} "
+        f"({engine.kernels.name} kernels, "
+        f"{'P²' if args.approximate else 'exact'} medians)",
+        flush=True,
+    )
+    since_checkpoint = 0
+    for batch in micro_batches(records, args.batch_size):
+        ingested = engine.ingest_many(batch)
+        since_checkpoint += ingested
+        if writer is not None:
+            writer.append(ingested)
+        if (
+            args.checkpoint_every
+            and since_checkpoint >= args.checkpoint_every
+        ):
+            since_checkpoint = 0
+            partial = engine.emit_partial()
+            line = (
+                f"  [{engine.records_ingested}/{len(records)}] "
+                + render_survey_headline(partial)
+            )
+            if writer is not None:
+                revision = writer.commit_partial(partial)
+                line += f" (committed r{revision})"
+            if args.emit_partial:
+                print(line, flush=True)
+
+    result = engine.finalize()
+    print(render_survey_headline(result))
+    if result.failures:
+        from .core import render_failure_log
+
+        print(render_failure_log(result))
+    if not result.quality.clean:
+        from .core import render_quality_report
+
+        print(render_quality_report(result.quality))
+    status = engine.status()
+    print(
+        f"stream: {status['records_ingested']} records, "
+        f"{status['probes']} probes, "
+        f"{status['stale_records']} stale, "
+        f"{status['sparse_bins']} sparse bins"
+    )
+    if writer is not None:
+        writer.finalize(result)
+        print(f"finalized period {period.name} in {args.archive}/")
+    return 0
+
+
 def cmd_inject(args) -> int:
     from .obs import observed
 
@@ -743,18 +911,28 @@ def cmd_obs(args) -> int:
         if args.diff is not None:
             from .obs.metrics import diff_counters
 
-            reports = []
+            sections = []
             for path in args.diff:
                 try:
-                    reports.append(load_report(path))
+                    report = load_report(path)
                 except (OSError, ValueError) as exc:
                     print(f"error: cannot read {path}: {exc}",
                           file=sys.stderr)
                     return 1
-            lines = diff_counters(
-                reports[0].get("metrics") or {},
-                reports[1].get("metrics") or {},
-            )
+                metrics = report.get("metrics") or {}
+                if not isinstance(metrics, dict):
+                    print(f"error: cannot read {path}: metrics "
+                          "section is not an object",
+                          file=sys.stderr)
+                    return 1
+                sections.append(metrics)
+            try:
+                lines = diff_counters(*sections)
+            except (AttributeError, KeyError, TypeError) as exc:
+                print("error: malformed metrics in "
+                      f"{' or '.join(args.diff)}: {exc}",
+                      file=sys.stderr)
+                return 1
             if lines:
                 print("\n".join(lines))
             else:
@@ -1106,6 +1284,7 @@ COMMANDS = {
     "tokyo": cmd_tokyo,
     "simulate": cmd_simulate,
     "classify": cmd_classify,
+    "stream": cmd_stream,
     "inject": cmd_inject,
     "quality": cmd_quality,
     "obs": cmd_obs,

@@ -52,6 +52,11 @@ def write_report(
 def load_report(path: Union[str, Path]) -> Dict:
     """Read a report written by :func:`write_report`."""
     data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"not an obs report: expected a JSON object, got "
+            f"{type(data).__name__}"
+        )
     if data.get("schema") != SCHEMA:
         raise ValueError(
             f"unsupported obs report schema {data.get('schema')!r} "

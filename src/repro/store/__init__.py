@@ -25,6 +25,7 @@ The serving layer on top is :mod:`repro.serve`.
 from .archive import (
     ARCHIVE_FORMAT,
     ArchiveStats,
+    LivePeriodWriter,
     SCHEMA_VERSION,
     SurveyArchive,
     payload_checksum,
@@ -58,6 +59,7 @@ from .segments import MAGIC, SegmentReader, write_segment
 
 __all__ = [
     "SurveyArchive",
+    "LivePeriodWriter",
     "ArchiveStats",
     "SCHEMA_VERSION",
     "ARCHIVE_FORMAT",

@@ -12,6 +12,8 @@ Layout under the archive root::
     periods/<name>.json  # checksum-wrapped survey_to_dict payload
     index/<name>.json    # checksum-wrapped severity/country indexes
     segments/<name>.seg  # packed representation after compaction
+    live/<name>.r<k>.json        # in-flight period, checkpoint k
+    live/<name>.r<k>.index.json  # its secondary indexes
     quarantine/          # corrupted artifacts, moved aside as evidence
 
 Commit discipline (same school as :mod:`repro.parallel.cache`): every
@@ -37,6 +39,14 @@ Append-only: a committed period is immutable.  Compaction
 (:meth:`SurveyArchive.compact`) changes a period's *representation*
 (JSON document → packed segment, verified byte-lossless before the
 JSON is dropped), never its content.
+
+The one deliberately mutable state is the *live period*
+(:meth:`SurveyArchive.begin_live_period`): the archive face of a
+streaming survey still in flight.  Each checkpoint commits a whole
+new revision under ``live/`` through the same journal protocol —
+revisions are themselves immutable, the manifest flip just moves the
+period's pointer — and :meth:`LivePeriodWriter.finalize` promotes the
+finished period into the ordinary append-only set.
 """
 
 from __future__ import annotations
@@ -92,6 +102,7 @@ class ArchiveStats:
     segment_lookups: int = 0
     corrupt: int = 0
     compactions: int = 0
+    live_commits: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -100,6 +111,7 @@ class ArchiveStats:
             "segment_lookups": self.segment_lookups,
             "corrupt": self.corrupt,
             "compactions": self.compactions,
+            "live_commits": self.live_commits,
         }
 
 
@@ -138,6 +150,12 @@ class SurveyArchive:
 
     def segment_path(self, name: str) -> Path:
         return self.root / "segments" / f"{name}.seg"
+
+    def live_path(self, name: str, revision: int) -> Path:
+        return self.root / "live" / f"{name}.r{revision}.json"
+
+    def live_index_path(self, name: str, revision: int) -> Path:
+        return self.root / "live" / f"{name}.r{revision}.index.json"
 
     # -- manifest ------------------------------------------------------
 
@@ -183,9 +201,7 @@ class SurveyArchive:
         """Replay/roll back a dead writer's leftovers (runs on open)."""
         report = recover(
             self.root,
-            lambda period: (
-                self._manifest["periods"].get(period, {}).get("checksum")
-            ),
+            lambda period: self._manifest["periods"].get(period),
             io=self.io,
             quarantine=self._quarantine,
         )
@@ -299,6 +315,146 @@ class SurveyArchive:
             for result in suite.results.values()
         ]
 
+    # -- live ingest ---------------------------------------------------
+
+    def begin_live_period(self, name: str) -> "LivePeriodWriter":
+        """Open (or resume) a live period for streaming ingestion.
+
+        A live period is the archive face of a running
+        :class:`~repro.stream.StreamingSurvey`: checkpoints land as
+        numbered revisions under ``live/`` through the same journaled
+        write-ahead protocol as ingests, so a crash at any byte
+        boundary recovers to exactly the previous or the new
+        checkpoint — and readers see only committed revisions.
+        Reopening an archive whose writer died mid-stream and calling
+        ``begin_live_period`` with the same name resumes at the last
+        committed revision.  A finished period is promoted to the
+        ordinary durable representation by
+        :meth:`LivePeriodWriter.finalize`.
+        """
+        entry = self._manifest["periods"].get(name)
+        if entry is not None and entry.get("repr") != "live":
+            raise PeriodExistsError(name)
+        return LivePeriodWriter(self, name)
+
+    def _commit_live(
+        self, name: str, payload: Dict, ranking, records: int
+    ) -> int:
+        """One journaled checkpoint; returns the committed revision."""
+        entry = self._manifest["periods"].get(name)
+        revision = (entry["revision"] + 1) if entry else 1
+        checksum = payload_checksum(payload)
+        obs = get_observer()
+        with obs.span("store-commit-partial", period=name):
+            period_file = self.live_path(name, revision)
+            index_file = self.live_index_path(name, revision)
+            retire = []
+            if entry is not None:
+                retire = [
+                    str(p.relative_to(self.root)) for p in (
+                        self.live_path(name, entry["revision"]),
+                        self.live_index_path(name, entry["revision"]),
+                    )
+                ]
+            self._journal.begin(
+                "commit-partial", name, checksum,
+                [
+                    str(period_file.relative_to(self.root)),
+                    str(index_file.relative_to(self.root)),
+                ],
+                retire=retire or None,
+                revision=revision,
+            )
+            self._write_wrapped(period_file, payload)
+            self._write_wrapped(
+                index_file, _build_index(payload, ranking)
+            )
+            self._manifest["periods"][name] = {
+                "start": payload["period"]["start"],
+                "days": payload["period"]["days"],
+                "repr": "live",
+                "checksum": checksum,
+                "ases": len(payload.get("reports", {})),
+                "seq": (
+                    entry["seq"] if entry
+                    else len(self._manifest["periods"])
+                ),
+                "revision": revision,
+                "partial": True,
+                "records": records,
+            }
+            self._write_manifest()  # <- the commit point
+            for relative in retire:
+                target = self.root / relative
+                if target.exists():
+                    self.io.remove(target)
+            self._journal.clear()
+        self.stats.live_commits += 1
+        self.generation += 1
+        self._payloads[name] = payload
+        self._indexes.pop(name, None)
+        obs.counter(
+            "store_live_commit_total",
+            "live-period checkpoints committed",
+        ).inc()
+        return revision
+
+    def _finalize_live(
+        self, name: str, payload: Dict, ranking
+    ) -> str:
+        """Promote a live period to the durable representation."""
+        entry = self._manifest["periods"].get(name)
+        checksum = payload_checksum(payload)
+        obs = get_observer()
+        with obs.span("store-finalize", period=name):
+            period_file = self.period_path(name)
+            index_file = self.index_path(name)
+            retire = []
+            if entry is not None:
+                retire = [
+                    str(p.relative_to(self.root)) for p in (
+                        self.live_path(name, entry["revision"]),
+                        self.live_index_path(name, entry["revision"]),
+                    )
+                ]
+            self._journal.begin(
+                "finalize", name, checksum,
+                [
+                    str(period_file.relative_to(self.root)),
+                    str(index_file.relative_to(self.root)),
+                ],
+                retire=retire or None,
+            )
+            self._write_wrapped(period_file, payload)
+            self._write_wrapped(
+                index_file, _build_index(payload, ranking)
+            )
+            self._manifest["periods"][name] = {
+                "start": payload["period"]["start"],
+                "days": payload["period"]["days"],
+                "repr": "json",
+                "checksum": checksum,
+                "ases": len(payload.get("reports", {})),
+                "seq": (
+                    entry["seq"] if entry
+                    else len(self._manifest["periods"])
+                ),
+            }
+            self._write_manifest()  # <- the commit point
+            for relative in retire:
+                target = self.root / relative
+                if target.exists():
+                    self.io.remove(target)
+            self._journal.clear()
+        self.stats.ingests += 1
+        self.generation += 1
+        self._payloads[name] = payload
+        self._indexes.pop(name, None)
+        obs.counter(
+            "store_ingest_total", "periods committed to the archive",
+        ).inc()
+        return name
+
     def _write_wrapped(self, path: Path, payload: Dict) -> None:
         entry = {
             "schema": SCHEMA_VERSION,
@@ -385,11 +541,16 @@ class SurveyArchive:
             except ArchiveCorruptionError:
                 self._drop_reader(name, quarantine=True)
                 raise
+            source = self.segment_path(name)
+        elif meta["repr"] == "live":
+            source = self.live_path(name, meta["revision"])
+            payload = self._read_wrapped(source)
         else:
-            payload = self._read_wrapped(self.period_path(name))
+            source = self.period_path(name)
+            payload = self._read_wrapped(source)
         if payload_checksum(payload) != meta["checksum"]:
             raise ArchiveCorruptionError(
-                self.period_path(name),
+                source,
                 "payload does not match manifest checksum",
             )
         self._payloads[name] = payload
@@ -428,11 +589,14 @@ class SurveyArchive:
     # -- secondary indexes ---------------------------------------------
 
     def _index(self, name: str) -> Dict:
-        if name not in self:
-            raise PeriodNotFoundError(name)
+        meta = self.period_meta(name)
         cached = self._indexes.get(name)
         if cached is None:
-            cached = self._read_wrapped(self.index_path(name))
+            if meta["repr"] == "live":
+                path = self.live_index_path(name, meta["revision"])
+            else:
+                path = self.index_path(name)
+            cached = self._read_wrapped(path)
             self._indexes[name] = cached
         return cached
 
@@ -594,6 +758,10 @@ class SurveyArchive:
             meta = self.period_meta(name)
             if meta["repr"] == "segment":
                 continue
+            if meta["repr"] == "live":
+                # In-flight periods are still changing; only finalized
+                # periods are immutable enough to pack.
+                continue
             with obs.span("store-compact", period=name):
                 payload = self.get_period(name)
                 write_segment(
@@ -676,6 +844,105 @@ class SurveyArchive:
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+
+class LivePeriodWriter:
+    """Streaming-ingestion handle for one live period.
+
+    Obtained from :meth:`SurveyArchive.begin_live_period`.  The writer
+    tracks how many records the stream has appended
+    (:meth:`append` — bookkeeping only; record state lives in the
+    streaming engine) and commits durable snapshots:
+
+    * :meth:`commit_partial` — journal-protected checkpoint of the
+      period as it stands; readers see it as a ``partial: true``
+      period at revision *k*.
+    * :meth:`finalize` — promote to the ordinary durable
+      representation; the period stops being partial.
+    * :meth:`abort` — drop the live period entirely.
+
+    Nothing touches disk until the first ``commit_partial`` — a
+    stream that dies before its first checkpoint leaves no trace.
+    """
+
+    def __init__(self, archive: SurveyArchive, name: str):
+        self.archive = archive
+        self.name = name
+        entry = archive._manifest["periods"].get(name)
+        self.revision = entry["revision"] if entry else 0
+        self.records_appended = (
+            int(entry.get("records", 0)) if entry else 0
+        )
+        self._done = False
+
+    def append(self, n: int = 1) -> int:
+        """Note ``n`` records handed to the streaming engine."""
+        self._check_open()
+        self.records_appended += n
+        return self.records_appended
+
+    def commit_partial(self, result, ranking=None) -> int:
+        """Durably checkpoint the in-progress period; returns the
+        committed revision number."""
+        self._check_open()
+        payload = self._payload_of(result)
+        self.revision = self.archive._commit_live(
+            self.name, payload, ranking, self.records_appended
+        )
+        return self.revision
+
+    def finalize(self, result, ranking=None) -> str:
+        """Commit the finished period and retire its live artifacts."""
+        self._check_open()
+        payload = self._payload_of(result)
+        name = self.archive._finalize_live(self.name, payload, ranking)
+        self._done = True
+        return name
+
+    def abort(self) -> None:
+        """Drop the live period (manifest first, then artifacts).
+
+        A crash between the manifest rewrite and the file removals
+        leaves orphan live files, which ``repro store fsck`` flags and
+        ``--repair`` sweeps.
+        """
+        self._check_open()
+        archive = self.archive
+        entry = archive._manifest["periods"].get(self.name)
+        if entry is not None:
+            del archive._manifest["periods"][self.name]
+            archive._write_manifest()
+            for path in (
+                archive.live_path(self.name, entry["revision"]),
+                archive.live_index_path(self.name, entry["revision"]),
+            ):
+                if path.exists():
+                    archive.io.remove(path)
+            archive._payloads.pop(self.name, None)
+            archive._indexes.pop(self.name, None)
+            archive.generation += 1
+        self._done = True
+
+    def _payload_of(self, result) -> Dict:
+        from ..io.surveys import survey_to_dict
+
+        payload = (
+            result if isinstance(result, dict)
+            else survey_to_dict(result)
+        )
+        if payload["period"]["name"] != self.name:
+            raise ValueError(
+                f"payload is for period "
+                f"{payload['period']['name']!r}, writer is bound to "
+                f"{self.name!r}"
+            )
+        return payload
+
+    def _check_open(self) -> None:
+        if self._done:
+            raise ValueError(
+                f"live period {self.name!r} is already finalized"
+            )
 
 
 def _build_index(payload: Dict, ranking) -> Dict:

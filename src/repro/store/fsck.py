@@ -205,11 +205,15 @@ class _Fsck:
     ) -> None:
         """Drop one bad period: files to quarantine/, entry gone."""
         moved = []
-        for path in (
+        live_dir = self.root / "live"
+        candidates = [
             self.root / "periods" / f"{name}.json",
             self.root / "index" / f"{name}.json",
             self.root / "segments" / f"{name}.seg",
-        ):
+        ]
+        if live_dir.is_dir():
+            candidates.extend(sorted(live_dir.glob(f"{name}.r*.json")))
+        for path in candidates:
             if path.exists() and self._quarantine_file(path):
                 moved.append(path.name)
         del self.manifest["periods"][name]
@@ -261,7 +265,7 @@ class _Fsck:
             # missing manifest make the archive unusable.
             orphaned = any(
                 entry.is_file() and not is_tmp(entry)
-                for sub in ("periods", "index", "segments")
+                for sub in ("periods", "index", "segments", "live")
                 if (self.root / sub).is_dir()
                 for entry in (self.root / sub).iterdir()
             )
@@ -342,11 +346,7 @@ class _Fsck:
         if self.report.repair:
             outcome = recover(
                 self.root,
-                lambda period: (
-                    self.manifest["periods"]
-                    .get(period, {})
-                    .get("checksum")
-                ),
+                lambda period: self.manifest["periods"].get(period),
                 io=self.io,
             )
             finding.repaired = True
@@ -355,13 +355,20 @@ class _Fsck:
     # -- periods -------------------------------------------------------
 
     def _check_period(self, name: str, meta: Dict) -> None:
-        payload = (
-            self._check_segment(name, meta)
-            if meta.get("repr") == "segment"
-            else self._check_json_payload(name, meta)
-        )
+        if meta.get("repr") == "segment":
+            payload = self._check_segment(name, meta)
+            index_path = self.root / "index" / f"{name}.json"
+        elif meta.get("repr") == "live":
+            payload = self._check_live_payload(name, meta)
+            index_path = (
+                self.root / "live"
+                / f"{name}.r{meta.get('revision')}.index.json"
+            )
+        else:
+            payload = self._check_json_payload(name, meta)
+            index_path = self.root / "index" / f"{name}.json"
         if payload is not None:
-            self._check_index(name, payload)
+            self._check_index(name, payload, index_path)
 
     def _read_wrapper(self, path: Path) -> Optional[Dict]:
         """A checksum-verified wrapper payload, or None + finding."""
@@ -420,6 +427,38 @@ class _Fsck:
             return None
         return payload
 
+    def _check_live_payload(
+        self, name: str, meta: Dict
+    ) -> Optional[Dict]:
+        path = (
+            self.root / "live" / f"{name}.r{meta.get('revision')}.json"
+        )
+        if not path.exists():
+            finding = self.report.add(
+                ERROR, "missing-artifact", path,
+                "committed live revision missing", period=name,
+            )
+            if self.report.repair:
+                self._quarantine_period(name, finding)
+            return None
+        payload = self._read_wrapper(path)
+        if payload is None:
+            finding = self.report.findings[-1]
+            finding.period = name
+            if self.report.repair:
+                self._quarantine_period(name, finding)
+            return None
+        if self._payload_checksum(payload) != meta.get("checksum"):
+            finding = self.report.add(
+                ERROR, "payload", path,
+                "payload does not match manifest checksum",
+                period=name,
+            )
+            if self.report.repair:
+                self._quarantine_period(name, finding)
+            return None
+        return payload
+
     def _check_segment(
         self, name: str, meta: Dict
     ) -> Optional[Dict]:
@@ -453,10 +492,13 @@ class _Fsck:
             return None
         return payload
 
-    def _check_index(self, name: str, payload: Dict) -> None:
+    def _check_index(
+        self, name: str, payload: Dict, path: Optional[Path] = None
+    ) -> None:
         from .archive import _build_index  # lazy: avoid cycle
 
-        path = self.root / "index" / f"{name}.json"
+        if path is None:
+            path = self.root / "index" / f"{name}.json"
         index = self._read_wrapper(path) if path.exists() else None
         detail = None
         if not path.exists():
@@ -549,9 +591,33 @@ class _Fsck:
                 if self.report.repair and self._quarantine_file(path):
                     finding.repaired = True
                     finding.action = "orphan quarantined"
+        # Live revisions: only the manifest's current revision of each
+        # live period belongs; anything else (an older revision a
+        # crash kept the commit from retiring, or a rolled-forward
+        # leftover) is an orphan.
+        live_dir = self.root / "live"
+        if live_dir.is_dir():
+            expected = set()
+            for name, meta in self.manifest["periods"].items():
+                if meta.get("repr") == "live":
+                    revision = meta.get("revision")
+                    expected.add(f"{name}.r{revision}.json")
+                    expected.add(f"{name}.r{revision}.index.json")
+            for path in sorted(live_dir.iterdir()):
+                if not path.is_file() or is_tmp(path):
+                    continue
+                if path.name in expected:
+                    continue
+                finding = self.report.add(
+                    WARNING, "orphan", path,
+                    "live revision has no manifest entry",
+                )
+                if self.report.repair and self._quarantine_file(path):
+                    finding.repaired = True
+                    finding.action = "orphan quarantined"
 
     def _check_tmp_files(self) -> None:
-        for sub in ("", "periods", "index", "segments"):
+        for sub in ("", "periods", "index", "segments", "live"):
             directory = self.root / sub if sub else self.root
             if not directory.is_dir():
                 continue

@@ -30,6 +30,16 @@ open (:func:`recover`) is then a pure function of on-disk state:
 
 No reader ever consults anything but the manifest, so mid-commit
 states are invisible to queries even *before* recovery runs.
+
+Live-period checkpoints (``op: commit-partial``) and promotions
+(``op: finalize``) follow the same shape with two extra record keys:
+``revision`` tags which checkpoint the intent belongs to (presence of
+the period in the manifest is no longer proof of the flip — the
+period was already there at the previous revision) and ``retire``
+names the previous revision's files, deleted only *after* the flip.
+Roll-forward therefore finishes the retirement; rollback deletes only
+the new revision's files, never the retired ones the still-committed
+previous revision needs.
 """
 
 from __future__ import annotations
@@ -109,8 +119,19 @@ class CommitJournal:
         period: str,
         checksum: str,
         files: List[str],
+        retire: Optional[List[str]] = None,
+        revision: Optional[int] = None,
     ) -> Dict:
-        """Durably record intent before any data file is touched."""
+        """Durably record intent before any data file is touched.
+
+        ``retire`` names files the commit deletes *after* the manifest
+        flip (previous live-revision artifacts); ``revision`` tags a
+        live-period checkpoint so recovery can tell whether the flip
+        for *this* revision happened even when consecutive checkpoints
+        carry the same payload checksum.  Both are omitted from the
+        record when not given, keeping plain-ingest records in their
+        original shape.
+        """
         record = {
             "format": JOURNAL_FORMAT,
             "schema": JOURNAL_SCHEMA,
@@ -119,6 +140,10 @@ class CommitJournal:
             "checksum": checksum,
             "files": list(files),
         }
+        if retire is not None:
+            record["retire"] = list(retire)
+        if revision is not None:
+            record["revision"] = revision
         record["journal_checksum"] = _record_checksum(record)
         self.io.write_atomic(
             self.path, json.dumps(record, indent=1).encode("ascii")
@@ -160,7 +185,7 @@ class CommitJournal:
 def sweep_tmp_files(
     root: Path,
     io: StoreIO = REAL_IO,
-    subdirs: tuple = ("", "periods", "index", "segments"),
+    subdirs: tuple = ("", "periods", "index", "segments", "live"),
 ) -> List[str]:
     """Remove temp files torn atomic writes left behind (any pid)."""
     swept: List[str] = []
@@ -175,19 +200,42 @@ def sweep_tmp_files(
     return swept
 
 
+def _flip_happened(record: Dict, entry: Optional[Dict]) -> bool:
+    """Did the manifest flip this intent describes actually land?
+
+    Plain ingests create their period's entry, so presence is proof.
+    Live-period checkpoints *replace* an existing entry: the flip for
+    revision ``k`` landed iff the entry is still live and carries that
+    revision.  A finalize flips the live entry to a durable repr, so
+    any non-live repr is proof.  Payload checksums deliberately play
+    no part — consecutive checkpoints may carry identical payloads.
+    """
+    op = record.get("op", "ingest")
+    if op == "commit-partial":
+        return (
+            entry is not None
+            and entry.get("repr") == "live"
+            and entry.get("revision") == record.get("revision")
+        )
+    if op == "finalize":
+        return entry is not None and entry.get("repr") != "live"
+    return entry is not None
+
+
 def recover(
     root: Path,
-    committed_checksum_of,
+    committed_entry_of,
     io: StoreIO = REAL_IO,
     quarantine=None,
 ) -> RecoveryReport:
     """Replay or roll back whatever a dead writer left in ``root``.
 
-    ``committed_checksum_of(period) -> Optional[str]`` answers from
-    the already-loaded manifest (the commit point of record);
-    ``quarantine(path)``, when given, receives a corrupt journal
-    before it is dropped so the evidence survives.
-    Idempotent: running recovery twice is a no-op the second time.
+    ``committed_entry_of(period) -> Optional[Dict]`` answers with the
+    period's manifest entry from the already-loaded manifest (the
+    commit point of record); ``quarantine(path)``, when given,
+    receives a corrupt journal before it is dropped so the evidence
+    survives.  Idempotent: running recovery twice is a no-op the
+    second time.
     """
     journal = CommitJournal(root, io)
     report = RecoveryReport()
@@ -205,19 +253,25 @@ def recover(
         return report
 
     report.period = record["period"]
-    committed = committed_checksum_of(record["period"])
-    if committed is not None:
+    entry = committed_entry_of(record["period"])
+    if _flip_happened(record, entry):
         # Crash landed between manifest flip and acknowledgment: the
-        # commit is real, only the acknowledgment is owed.  (A
-        # checksum disagreement here would mean the manifest entry
-        # predates this intent, which the single-writer append-only
-        # discipline rules out — either way the manifest wins and
-        # fsck arbitrates content, so never delete committed files.)
+        # commit is real; finish its cleanup (retired previous-revision
+        # files the flip obsoleted) and acknowledge.  (The manifest
+        # wins and fsck arbitrates content, so never delete files the
+        # current entry references.)
         report.outcome = "roll-forward"
+        for relative in record.get("retire", []):
+            target = root / relative
+            if target.exists():
+                io.remove(target)
+                report.removed.append(relative)
     else:
         # Crash landed before the flip: the intent names every file
         # this commit may have created; deleting them (idempotently)
-        # restores the exact pre-commit state.
+        # restores the exact pre-commit state.  Files it meant to
+        # retire stay — the still-committed previous revision needs
+        # them.
         report.outcome = "rollback"
         for relative in record["files"]:
             target = root / relative

@@ -1,20 +1,35 @@
-"""Regenerate the golden survey fixture.
+"""Regenerate the golden survey fixtures (batch and streamed).
 
 One command, from the repo root:
 
     PYTHONPATH=src:. python -m tests.golden.regenerate
 
+It refuses to run while the working tree has uncommitted changes
+under the pipeline sources (``src/repro/core``, ``src/repro/stream``)
+— a golden frozen from unreviewed code silently blesses whatever the
+dirty tree computes.  Pass ``--force`` to override, e.g. while
+iterating on an intentional methodology change.
+
 Rerun it only when the pipeline's *intended* output changes (a
 methodology fix, new thresholds) and commit the refreshed JSON with a
 line in the commit message explaining why the numbers moved.  The
-fixture is always regenerated with the reference backend; the golden
-test then checks both backends against it.
+fixtures are always regenerated with the reference backend; the
+golden tests then check both backends against them.
 """
 
+import argparse
 import json
+import subprocess
+import sys
 from pathlib import Path
 
 FIXTURE = Path(__file__).with_name("survey_golden.json")
+STREAMED_FIXTURE = Path(__file__).with_name(
+    "survey_streamed_golden.json"
+)
+
+#: Source trees whose uncommitted changes block regeneration.
+GUARDED = ("src/repro/core", "src/repro/stream")
 
 # Frozen world parameters.  Changing any of these is a fixture break:
 # regenerate and explain.
@@ -27,36 +42,117 @@ PERIOD_START = "2019-09-02"
 PERIOD_DAYS = 4
 
 
-def build_survey(kernels="reference"):
-    """The frozen world's survey result (reference backend unless a
-    backend is passed, as the golden test does for both)."""
+def _period():
     import datetime as dt
 
-    from repro.scenarios import generate_specs, run_survey_period
     from repro.timebase import MeasurementPeriod
 
-    specs = generate_specs(
-        num_ases=NUM_ASES, num_countries=NUM_COUNTRIES, seed=WORLD_SEED
-    )
-    period = MeasurementPeriod(
+    return MeasurementPeriod(
         PERIOD_NAME,
         dt.datetime.fromisoformat(PERIOD_START),
         PERIOD_DAYS,
     )
+
+
+def _specs():
+    from repro.scenarios import generate_specs
+
+    return generate_specs(
+        num_ases=NUM_ASES, num_countries=NUM_COUNTRIES, seed=WORLD_SEED
+    )
+
+
+def build_survey(kernels="reference"):
+    """The frozen world's survey result (reference backend unless a
+    backend is passed, as the golden test does for both)."""
+    from repro.scenarios import run_survey_period
+
     result, _ = run_survey_period(
-        specs, period, seed=SURVEY_SEED, kernels=kernels
+        _specs(), _period(), seed=SURVEY_SEED, kernels=kernels
     )
     return result
 
 
-def main() -> int:
+def build_streamed_survey(kernels="reference"):
+    """The same frozen world replayed through the streaming engine:
+    the world's binned dataset decomposed into a record stream and
+    fed to :class:`repro.stream.StreamingSurvey`."""
+    from repro.scenarios import build_survey_world
+    from repro.stream import StreamingSurvey, dataset_to_records
+
+    period = _period()
+    world, platform = build_survey_world(
+        _specs(), lockdown=False, seed=SURVEY_SEED,
+        period_name=period.name,
+    )
+    dataset = platform.run_period_binned(period)
+    engine = StreamingSurvey(
+        period, table=world.table, kernels=kernels
+    )
+    engine.ingest_many(dataset_to_records(dataset))
+    return engine.finalize()
+
+
+def uncommitted_changes(repo_root=None):
+    """Guarded-tree paths with uncommitted changes (empty when the
+    tree is clean or this is not a git checkout)."""
+    root = (
+        Path(repo_root) if repo_root is not None
+        else Path(__file__).resolve().parents[2]
+    )
+    try:
+        status = subprocess.run(
+            ["git", "status", "--porcelain", "--", *GUARDED],
+            cwd=root, capture_output=True, text=True,
+            timeout=30, check=True,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        return []
+    return [line[3:] for line in status.splitlines() if line.strip()]
+
+
+def _write(path: Path, result) -> dict:
     from repro.io import survey_to_dict
 
-    payload = survey_to_dict(build_survey())
-    FIXTURE.write_text(
+    payload = survey_to_dict(result)
+    path.write_text(
         json.dumps(payload, indent=1, sort_keys=True) + "\n"
     )
-    print(f"wrote {FIXTURE} ({len(payload['reports'])} reports)")
+    return payload
+
+
+def main(argv=None, repo_root=None, out_dir=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tests.golden.regenerate",
+        description="Regenerate the golden survey fixtures.",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="regenerate even with uncommitted pipeline changes",
+    )
+    args = parser.parse_args(argv)
+
+    dirty = uncommitted_changes(repo_root)
+    if dirty and not args.force:
+        print(
+            "error: refusing to regenerate golden fixtures with "
+            "uncommitted changes under "
+            + " / ".join(GUARDED)
+            + " (use --force to override): "
+            + ", ".join(dirty),
+            file=sys.stderr,
+        )
+        return 1
+
+    out = Path(out_dir) if out_dir is not None else FIXTURE.parent
+    batch = _write(out / FIXTURE.name, build_survey())
+    print(f"wrote {out / FIXTURE.name} "
+          f"({len(batch['reports'])} reports)")
+    streamed = _write(
+        out / STREAMED_FIXTURE.name, build_streamed_survey()
+    )
+    print(f"wrote {out / STREAMED_FIXTURE.name} "
+          f"({len(streamed['reports'])} reports)")
     return 0
 
 

@@ -18,7 +18,13 @@ from repro.core.kernels import KERNELS_ENV
 from repro.io import survey_to_dict
 from repro.parallel import WORKERS_ENV
 
-from .regenerate import FIXTURE, PERIOD_DAYS, build_survey
+from .regenerate import (
+    FIXTURE,
+    PERIOD_DAYS,
+    STREAMED_FIXTURE,
+    build_streamed_survey,
+    build_survey,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -99,6 +105,27 @@ def test_survey_matches_golden_fixture(golden, backend):
         + "\nIf intentional: PYTHONPATH=src:. "
         "python -m tests.golden.regenerate"
     )
+
+
+@pytest.mark.parametrize("backend", ["reference", "vector"])
+def test_streamed_survey_matches_golden_fixture(backend):
+    """The frozen world replayed through the streaming engine must
+    reproduce its own committed fixture on both backends."""
+    streamed_golden = json.loads(STREAMED_FIXTURE.read_text())
+    recomputed = survey_to_dict(build_streamed_survey(kernels=backend))
+    problems = diff_fields(streamed_golden, recomputed)
+    assert not problems, (
+        f"[{backend}] streamed survey drifted from tests/golden/"
+        "survey_streamed_golden.json:\n  " + "\n  ".join(problems)
+        + "\nIf intentional: PYTHONPATH=src:. "
+        "python -m tests.golden.regenerate"
+    )
+
+
+def test_streamed_golden_equals_batch_golden(golden):
+    """The frozen proof of the equivalence contract: the committed
+    streamed fixture is *identical* to the committed batch fixture."""
+    assert json.loads(STREAMED_FIXTURE.read_text()) == golden
 
 
 def test_fixture_is_self_consistent(golden):

@@ -218,11 +218,182 @@ class TestTornJournal:
         (root / "periods" / "2020-01.json").write_text("{}")
         journal = CommitJournal(root)
         journal.begin("ingest", "2020-01", "cafe", ["periods/2020-01.json"])
-        # The manifest says the period is committed (any checksum).
-        report = recover(root, lambda period: "cafe")
+        # The manifest says the period is committed.
+        report = recover(
+            root, lambda period: {"checksum": "cafe", "repr": "json"}
+        )
         assert report.outcome == "roll-forward"
         assert report.removed == []
         assert (root / "periods" / "2020-01.json").exists()
+
+
+class TestCrashDuringCommitPartial:
+    """The live-checkpoint twin of the ingest property: a writer
+    killed at ANY byte boundary of a ``commit_partial`` leaves the
+    archive on exactly the previous or the new revision — never a
+    blend — and fsck stays clean.  The checkpoint deliberately
+    carries the *same payload* as the previous one: recovery must
+    tell the revisions apart by the journal's revision number, not
+    by checksum."""
+
+    LIVE = "2019-06"
+
+    def open_live(self, root, io=None):
+        archive = (
+            SurveyArchive(root, io=io) if io is not None
+            else SurveyArchive(root)
+        )
+        return archive, archive.begin_live_period(self.LIVE)
+
+    def test_checkpoint_protocol_shape(self, tmp_path, survey_june):
+        io = RecordingIO()
+        _, writer = self.open_live(tmp_path / "record", io)
+        writer.commit_partial(survey_june)
+        io.ops.clear()
+        writer.commit_partial(survey_june)
+        kinds = [op.kind for op in io.ops]
+        # journal, live payload, live index, manifest: four atomic
+        # writes; then retire the two previous-revision files and
+        # acknowledge the journal.
+        assert kinds == ["write", "replace"] * 4 + ["remove"] * 3
+
+    def test_every_op_every_offset_pre_or_post(
+        self, tmp_path, survey_june
+    ):
+        io = RecordingIO()
+        _, writer = self.open_live(tmp_path / "record", io)
+        writer.commit_partial(survey_june)
+        base = len(io.ops)
+        writer.commit_partial(survey_june)
+        ops = io.ops[base:]
+        manifest_op = next(
+            i for i, op in enumerate(ops)
+            if op.kind == "replace" and "MANIFEST" in op.path
+        )
+
+        # Reference states: revision 1 committed, and revision 2.
+        pre_root = tmp_path / "pre"
+        _, pre_writer = self.open_live(pre_root)
+        pre_writer.commit_partial(survey_june)
+        pre_state = archive_state(pre_root)
+        post_root = tmp_path / "post"
+        _, post_writer = self.open_live(post_root)
+        post_writer.commit_partial(survey_june)
+        post_writer.commit_partial(survey_june)
+        post_state = archive_state(post_root)
+
+        cases = []
+        for op_index, op in enumerate(ops):
+            offsets = [None]
+            if op.kind == "write":
+                offsets = [0, op.size // 2, op.size - 1]
+            for offset in offsets:
+                cases.append((op_index, offset))
+
+        for op_index, offset in cases:
+            root = tmp_path / f"crash-{op_index}-{offset}"
+            io = CrashingIO(
+                CrashPlan(base + op_index, byte_offset=offset)
+            )
+            _, writer = self.open_live(root, io)
+            writer.commit_partial(survey_june)
+            with pytest.raises(SimulatedCrash):
+                writer.commit_partial(survey_june)
+            assert io.crashed
+
+            reopened = SurveyArchive(root)
+            state = archive_state(root)
+            meta = reopened.period_meta(self.LIVE)
+            if op_index > manifest_op:
+                assert state == post_state, (
+                    f"crash at op {op_index} offset {offset}: "
+                    "expected post-checkpoint state"
+                )
+                assert meta["revision"] == 2
+            else:
+                assert state == pre_state, (
+                    f"crash at op {op_index} offset {offset}: "
+                    "expected pre-checkpoint state"
+                )
+                assert meta["revision"] == 1
+            # Either revision serves a readable period...
+            assert reopened.get_period(self.LIVE)["period"][
+                "name"
+            ] == self.LIVE
+            # ...and fsck has nothing to say.
+            report = run_fsck(root, repair=False)
+            assert report.exit_code == EXIT_CLEAN, [
+                f.detail for f in report.findings
+            ]
+
+
+@pytest.mark.slow
+class TestSigkillDuringCommitPartial:
+    """A genuinely dead writer mid-checkpoint, not an unwound stack."""
+
+    CHILD = textwrap.dedent("""
+        import datetime as dt, sys
+        sys.path.insert(0, {src!r})
+        sys.path.insert(0, {repo!r})
+        from repro.faults import CrashingIO, CrashPlan
+        from repro.store import SurveyArchive
+        from tests.store.conftest import make_survey
+        from repro.core import Severity
+
+        survey = make_survey(
+            "2019-06", dt.datetime(2019, 6, 1),
+            {{100: Severity.SEVERE, 200: Severity.LOW}},
+        )
+        io = CrashingIO(CrashPlan({op}, mode="kill"))
+        archive = SurveyArchive({root!r}, io=io)
+        writer = archive.begin_live_period("2019-06")
+        writer.commit_partial(survey)
+        writer.commit_partial(survey)
+        print("survived", flush=True)  # plan never fired
+    """)
+
+    def measured(self, tmp_path):
+        """(ops before checkpoint 2, its op count, its manifest op)."""
+        from tests.store.conftest import make_survey
+        import datetime as dt
+        from repro.core import Severity
+
+        survey = make_survey(
+            "2019-06", dt.datetime(2019, 6, 1),
+            {100: Severity.SEVERE, 200: Severity.LOW},
+        )
+        io = RecordingIO()
+        archive = SurveyArchive(tmp_path / "measure", io=io)
+        writer = archive.begin_live_period("2019-06")
+        writer.commit_partial(survey)
+        base = len(io.ops)
+        writer.commit_partial(survey)
+        manifest_op = next(
+            i for i, op in enumerate(io.ops[base:])
+            if op.kind == "replace" and "MANIFEST" in op.path
+        )
+        return base, len(io.ops) - base, manifest_op
+
+    @pytest.mark.parametrize("which", ["first-write", "post-manifest"])
+    def test_sigkill_mid_checkpoint(self, tmp_path, which):
+        base, count, manifest_op = self.measured(tmp_path)
+        offset = 0 if which == "first-write" else manifest_op + 1
+        root = tmp_path / "killed"
+        repo = __import__("pathlib").Path(__file__).resolve().parents[2]
+        script = self.CHILD.format(
+            src=str(repo / "src"), repo=str(repo), root=str(root),
+            op=base + offset,
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        reopened = SurveyArchive(root)
+        expected = 1 if which == "first-write" else 2
+        assert reopened.period_meta("2019-06")["revision"] == expected
+        assert run_fsck(root, repair=False).exit_code == EXIT_CLEAN
 
 
 @pytest.mark.slow

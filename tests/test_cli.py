@@ -311,6 +311,52 @@ class TestObsDiff:
         assert code == 1
         assert "error: cannot read" in capsys.readouterr().err
 
+    def test_diff_garbage_json_errors(self, tmp_path, capsys):
+        before, after = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_report(before, 1)
+        after.write_text("{not json")
+        code = main([
+            "obs", "report", "--diff", str(before), str(after),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith(f"error: cannot read {after}")
+
+    def test_diff_non_object_report_errors(self, tmp_path, capsys):
+        """Valid JSON that is not a report object must be a one-line
+        error, not an AttributeError traceback."""
+        before, after = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_report(before, 1)
+        after.write_text("[1, 2, 3]\n")
+        code = main([
+            "obs", "report", "--diff", str(before), str(after),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith(f"error: cannot read {after}")
+        assert "JSON object" in err
+
+    def test_diff_non_object_metrics_section_errors(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        before, after = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_report(before, 1)
+        after.write_text(json.dumps(
+            {"schema": 1, "metrics": ["oops"]}
+        ))
+        code = main([
+            "obs", "report", "--diff", str(before), str(after),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith(f"error: cannot read {after}")
+        assert "metrics section" in err
+
 
 class TestLoadtestCommand:
     @pytest.fixture()
