@@ -27,6 +27,10 @@
   (ephemeral server) or a running ``--url``; reports sustained
   req/s and p50/p95/p99 latency, optionally updating the committed
   ``BENCH_serving.json`` baseline;
+* ``anomaly``  — pinpoint per-link delay and forwarding anomalies
+  from differential RTTs with Wilson confidence bands
+  (:mod:`repro.anomaly`); ``--archive`` commits the report into a
+  committed period, ``--reference-periods`` judges against history;
 * ``info``     — version and layout.
 
 ``survey`` and ``classify`` accept ``--kernels reference|vector`` to
@@ -378,7 +382,8 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "--mix", action="append", default=None, metavar="CLASS=WEIGHT",
         help="route-mix entry (repeatable); classes: healthz, "
-        "metrics, periods, period, severe, as, history",
+        "metrics, periods, period, severe, as, history, anomalies, "
+        "link-history",
     )
     loadtest.add_argument(
         "--seed", type=int, default=0,
@@ -409,6 +414,80 @@ def build_parser() -> argparse.ArgumentParser:
         "data-quality report",
     )
     quality.add_argument("src", help="input JSONL path")
+
+    anomaly = sub.add_parser(
+        "anomaly",
+        help="pinpoint per-link delay/forwarding anomalies from "
+        "differential RTTs (Wilson bands); optionally commit the "
+        "report into an archive period",
+    )
+    anomaly.add_argument(
+        "--dataset", default=None, metavar="PATH",
+        help="traceroute JSONL (repro simulate / Atlas schema); "
+        "without it, the simulator generates the campaign",
+    )
+    anomaly.add_argument(
+        "--period", default="simulated", metavar="NAME",
+        help="period name stamped on the report (with --archive: the "
+        "committed period the report attaches to)",
+    )
+    anomaly.add_argument(
+        "--bin-seconds", type=int, default=1800,
+        help="time-bin width for per-link aggregation",
+    )
+    anomaly.add_argument(
+        "--days", type=int, default=None,
+        help="period length in days (default: simulator 3; dataset "
+        "mode derives it from the last timestamp)",
+    )
+    anomaly.add_argument("--probes", type=int, default=4,
+                         help="simulator probe count")
+    anomaly.add_argument("--seed", type=int, default=11,
+                         help="simulator seed")
+    anomaly.add_argument(
+        "--peak-utilization", type=float, default=0.7,
+        help="simulator last-mile peak utilization",
+    )
+    anomaly.add_argument(
+        "--confidence", type=float, default=None,
+        help="Wilson band confidence (default 0.95)",
+    )
+    anomaly.add_argument(
+        "--min-samples", type=int, default=None,
+        help="minimum traceroutes observing a link per bin "
+        "(default 3)",
+    )
+    anomaly.add_argument(
+        "--forwarding-threshold", type=float, default=None,
+        help="total-variation shift that flags a forwarding anomaly "
+        "(default 0.5)",
+    )
+    anomaly.add_argument(
+        "--min-gap", type=float, default=None, metavar="MS",
+        help="band separation below this is noise (default 2.0)",
+    )
+    anomaly.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="scan probes in N shards (same report byte-for-byte)",
+    )
+    anomaly.add_argument(
+        "--archive", default=None, metavar="DIR",
+        help="commit the report into the archive at DIR under "
+        "--period (the period must already be committed)",
+    )
+    anomaly.add_argument(
+        "--reference-periods", nargs="+", default=None,
+        metavar="NAME",
+        help="judge against the merged normal model learned from "
+        "these periods' committed reports in --archive (default: "
+        "the period self-references per time-of-day slot)",
+    )
+    anomaly.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the report payload JSON to PATH",
+    )
+    _add_kernels_flag(anomaly)
+    _add_obs_flags(anomaly)
 
     sub.add_parser("info", help="print version and package layout")
     return parser
@@ -1267,6 +1346,186 @@ def cmd_loadtest(args) -> int:
     return 0
 
 
+def cmd_anomaly(args) -> int:
+    from .obs import observed
+
+    observer, sink = _make_observer(args)
+    if observer is None:
+        return _run_anomaly(args)
+    try:
+        with observed(observer):
+            code = _run_anomaly(args)
+        _finish_observer(args, observer)
+        return code
+    finally:
+        if sink is not None:
+            sink.close()
+
+
+def _run_anomaly(args) -> int:
+    import datetime as dt
+    import json
+    import math
+
+    from .anomaly import (
+        DEFAULT_CONFIDENCE,
+        DEFAULT_FORWARDING_THRESHOLD,
+        DEFAULT_MIN_GAP_MS,
+        DEFAULT_MIN_SAMPLES,
+        detect_anomalies,
+        merge_references,
+        reference_from_payload,
+    )
+    from .netbase.errors import NetbaseError
+    from .timebase import SECONDS_PER_DAY, MeasurementPeriod, TimeGrid
+
+    if args.reference_periods and not args.archive:
+        print("error: --reference-periods requires --archive",
+              file=sys.stderr)
+        return 2
+
+    archive = None
+    if args.archive:
+        from .store import SurveyArchive
+
+        try:
+            archive = SurveyArchive(args.archive)
+        except (NetbaseError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    if args.dataset:
+        from .io import load_traceroutes
+
+        dataset = load_traceroutes(args.dataset, strict=False)
+        if not len(dataset):
+            print(f"error: no traceroutes in {args.dataset}",
+                  file=sys.stderr)
+            return 1
+        last = max(
+            r.timestamp
+            for results in dataset.results.values()
+            for r in results
+            if np.isfinite(r.timestamp)
+        )
+        days = args.days or max(
+            1, int(math.ceil((last + 1.0) / SECONDS_PER_DAY))
+        )
+        period = MeasurementPeriod(
+            args.period, dt.datetime(2019, 9, 2), days
+        )
+    else:
+        from .atlas import AtlasPlatform
+        from .netbase import AccessTechnology, ASInfo, ASRole
+        from .topology import ProvisioningPolicy, World
+
+        world = World(seed=args.seed)
+        isp = world.add_isp(
+            ASInfo(
+                64500, "SimNet", "JP", ASRole.EYEBALL,
+                access_technologies=[
+                    AccessTechnology.FTTH_PPPOE_LEGACY
+                ],
+            ),
+            provisioning=ProvisioningPolicy(
+                peak_utilization={
+                    AccessTechnology.FTTH_PPPOE_LEGACY:
+                        args.peak_utilization
+                },
+                device_spread=0.01,
+                load_jitter_std=0.008,
+            ),
+        )
+        world.add_default_targets()
+        world.finalize()
+        platform = AtlasPlatform(world)
+        probes = platform.deploy_probes_on_isp(isp, args.probes)
+        period = MeasurementPeriod(
+            args.period, dt.datetime(2019, 9, 2), args.days or 3
+        )
+        dataset = platform.run_period(period, probes)
+        print(f"simulated {len(dataset)} traceroutes "
+              f"({args.probes} probes, {period.days} days)")
+
+    try:
+        grid = TimeGrid(period, args.bin_seconds)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    reference = None
+    try:
+        if args.reference_periods:
+            reference = merge_references([
+                reference_from_payload(archive.get_anomalies(name))
+                for name in args.reference_periods
+            ])
+        report = detect_anomalies(
+            dataset.results, grid, period_name=args.period,
+            kernels=args.kernels,
+            confidence=(
+                args.confidence if args.confidence is not None
+                else DEFAULT_CONFIDENCE
+            ),
+            min_samples=(
+                args.min_samples if args.min_samples is not None
+                else DEFAULT_MIN_SAMPLES
+            ),
+            forwarding_threshold=(
+                args.forwarding_threshold
+                if args.forwarding_threshold is not None
+                else DEFAULT_FORWARDING_THRESHOLD
+            ),
+            min_gap_ms=(
+                args.min_gap if args.min_gap is not None
+                else DEFAULT_MIN_GAP_MS
+            ),
+            reference=reference,
+            quality=dataset.quality,
+            shards=args.shards,
+        )
+    except (NetbaseError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    payload = report.payload
+    delay = report.events_of_kind("delay")
+    forwarding = report.events_of_kind("forwarding")
+    print(f"{payload['links_total']} links, "
+          f"{payload['processed']} traceroutes scanned "
+          f"(reference: {payload['reference_source']})")
+    print(f"{len(delay)} delay + {len(forwarding)} forwarding "
+          "anomaly event(s)")
+    for event in report.events[:10]:
+        if event["kind"] == "delay":
+            print(f"  delay      bin {event['bin']:4d} "
+                  f"{event['link']}: median "
+                  f"{event['median_ms']} ms, gap "
+                  f"{event['gap_ms']} ms {event['direction']}")
+        else:
+            print(f"  forwarding bin {event['bin']:4d} "
+                  f"{event['near']} -> {event['dst']}: shift "
+                  f"{event['shift']} "
+                  f"({event['expected']} -> {event['observed']})")
+    if len(report.events) > 10:
+        print(f"  ... {len(report.events) - 10} more")
+
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote report to {args.out}")
+    if archive is not None:
+        try:
+            archive.ingest_anomalies(args.period, report)
+        except (NetbaseError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"committed anomaly report for period "
+              f"{args.period!r} to {archive.root}/")
+    return 0
+
+
 def cmd_info(_args) -> int:
     import repro
 
@@ -1291,6 +1550,7 @@ COMMANDS = {
     "store": cmd_store,
     "serve": cmd_serve,
     "loadtest": cmd_loadtest,
+    "anomaly": cmd_anomaly,
     "info": cmd_info,
 }
 

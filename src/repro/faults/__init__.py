@@ -16,6 +16,10 @@ Three levels, matching where faults occur in the wild:
   reordering, probe clock skew, bursty probe churn, uniform loss;
 * **line** (:mod:`repro.faults.lines`) — corrupts serialized JSONL
   text, the on-disk/while-downloading failure mode;
+* **transient** (:mod:`repro.faults.transient`) — time-windowed link
+  faults (delay surges, next-hop flips) over full-fidelity
+  :class:`~repro.atlas.traceroute.MeasurementDataset` traceroutes,
+  the labeled ground truth :mod:`repro.anomaly` is scored against;
 * **dataset** (:mod:`repro.faults.dataset`) — degrades binned
   :class:`~repro.core.series.LastMileDataset` objects directly (bin
   loss, NaN bursts, a poisoned AS), for survey-scale chaos runs where
@@ -48,6 +52,14 @@ from .fs import (
     tear_file,
 )
 from .lines import CorruptLines, corrupt_jsonl, inject_lines
+from .transient import (
+    DelaySurge,
+    LinkFault,
+    NextHopFlip,
+    TransientInjector,
+    inject_transients,
+    score_events,
+)
 from .record import (
     ClockSkew,
     DropRecords,
@@ -84,6 +96,12 @@ __all__ = [
     "PoisonAS",
     "inject_dataset",
     "pin_dataset_faults",
+    "TransientInjector",
+    "DelaySurge",
+    "NextHopFlip",
+    "LinkFault",
+    "inject_transients",
+    "score_events",
     "SimulatedCrash",
     "CrashPlan",
     "CrashingIO",

@@ -1,0 +1,302 @@
+"""Transient link faults over full-fidelity traceroute datasets.
+
+The anomaly-pinpointing subsystem (:mod:`repro.anomaly`) detects
+*time-windowed* misbehavior of individual links: delay surges and
+routing changes.  These injectors produce exactly that, with labeled
+ground truth, on a :class:`~repro.atlas.traceroute.MeasurementDataset`
+— the full per-hop representation, since the faults live below the
+binned view.
+
+Physical fidelity matters for the differential method: a real surge on
+link (near, far) raises the RTT of *every* packet crossing it, so
+:class:`DelaySurge` adds the surge to the far hop **and all subsequent
+hops** of affected traceroutes.  The differential then shows the surge
+on exactly the surged link and cancels out downstream — the property
+the per-link pinpointing claim rests on, and what the precision score
+in the tests actually measures.
+
+Randomness is content-keyed through the same :class:`FaultKey`
+derivation the dataset injectors use, so a probe's faults are
+identical whether it is injected standalone or as part of a shard.
+Traceroute records are frozen dataclasses; injectors rebuild affected
+results rather than mutating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..atlas.traceroute import (
+    Hop,
+    MeasurementDataset,
+    Reply,
+    TracerouteResult,
+)
+from ..timebase import TimeGrid
+from .base import FaultLog
+from .dataset import FaultKey
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Ground truth for one injected transient fault.
+
+    ``kind`` is ``"delay"`` or ``"forwarding"``; ``near``/``far`` name
+    the faulted link (for forwarding, ``far`` is the *original* next
+    hop); the window is ``[start_s, end_s)`` in period-relative
+    seconds.
+    """
+
+    kind: str
+    near: str
+    far: str
+    start_s: float
+    end_s: float
+
+    def bins(self, grid: TimeGrid) -> List[int]:
+        """Grid bins whose span lies fully inside the fault window."""
+        out = []
+        for bin_index in range(grid.num_bins):
+            lo = bin_index * grid.bin_seconds
+            hi = lo + grid.bin_seconds
+            if lo >= self.start_s and hi <= self.end_s:
+                out.append(bin_index)
+        return out
+
+
+class TransientInjector:
+    """Base class for windowed link-fault injectors."""
+
+    name = "transient"
+
+    def ground_truth(self) -> List[LinkFault]:
+        raise NotImplementedError
+
+    def rewrite(
+        self,
+        result: TracerouteResult,
+        key: FaultKey,
+        log: FaultLog,
+    ) -> TracerouteResult:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _surge_reply(reply: Reply, extra_ms: float) -> Reply:
+    if reply.rtt_ms is None:
+        return reply
+    return replace(reply, rtt_ms=reply.rtt_ms + extra_ms)
+
+
+class DelaySurge(TransientInjector):
+    """Delay surge on one link for one time window.
+
+    Every traceroute in ``[start_s, end_s)`` that crosses the link —
+    near hop immediately followed by the far hop among responding
+    hops — gets ``surge_ms`` (plus per-reply jitter) added to the far
+    hop's replies *and every later hop's replies*: packets past the
+    congested link all carry the extra queueing delay, which is why
+    the differential pins the surge to this link and no other.
+    """
+
+    name = "delay-surge"
+
+    def __init__(
+        self,
+        near: str,
+        far: str,
+        start_s: float,
+        end_s: float,
+        surge_ms: float = 80.0,
+        jitter_ms: float = 0.0,
+    ):
+        self.near = near
+        self.far = far
+        self.start_s = float(start_s)
+        self.end_s = float(end_s)
+        self.surge_ms = float(surge_ms)
+        self.jitter_ms = float(jitter_ms)
+
+    def ground_truth(self) -> List[LinkFault]:
+        return [LinkFault(
+            "delay", self.near, self.far, self.start_s, self.end_s
+        )]
+
+    def rewrite(self, result, key, log):
+        if not (self.start_s <= result.timestamp < self.end_s):
+            return result
+        surge_at: Optional[int] = None
+        previous: Optional[str] = None
+        for index, hop in enumerate(result.hops):
+            address = hop.responding_address
+            if address is None:
+                continue
+            if previous == self.near and address == self.far:
+                surge_at = index
+                break
+            previous = address
+        if surge_at is None:
+            return result
+        rng = (
+            key.probe_rng(result.prb_id)
+            if self.jitter_ms > 0 else None
+        )
+        hops = list(result.hops)
+        for index in range(surge_at, len(hops)):
+            replies = tuple(
+                _surge_reply(
+                    reply,
+                    self.surge_ms + (
+                        float(rng.normal(0.0, self.jitter_ms))
+                        if rng is not None else 0.0
+                    ),
+                )
+                for reply in hops[index].replies
+            )
+            hops[index] = replace(hops[index], replies=replies)
+        log.record(
+            self.name, key=result.prb_id,
+            detail=f"{self.near}->{self.far} "
+            f"+{self.surge_ms}ms @{result.timestamp:.0f}s",
+        )
+        return replace(result, hops=tuple(hops))
+
+
+class NextHopFlip(TransientInjector):
+    """Route change: ``near``'s next hop flips for one time window.
+
+    Traceroutes in the window whose responding path carries
+    ``near → old_far`` have the old far hop's responding replies
+    readdressed to ``new_far`` — the path now visibly crosses a
+    different link, shifting the (near, dst) next-hop pattern that
+    forwarding detection watches.  RTTs are left untouched: a pure
+    routing change, detectable only by the forwarding metric.
+    """
+
+    name = "next-hop-flip"
+
+    def __init__(
+        self,
+        near: str,
+        old_far: str,
+        new_far: str,
+        start_s: float,
+        end_s: float,
+    ):
+        self.near = near
+        self.old_far = old_far
+        self.new_far = new_far
+        self.start_s = float(start_s)
+        self.end_s = float(end_s)
+
+    def ground_truth(self) -> List[LinkFault]:
+        return [LinkFault(
+            "forwarding", self.near, self.old_far,
+            self.start_s, self.end_s,
+        )]
+
+    def rewrite(self, result, key, log):
+        if not (self.start_s <= result.timestamp < self.end_s):
+            return result
+        previous: Optional[str] = None
+        flip_at: Optional[int] = None
+        for index, hop in enumerate(result.hops):
+            address = hop.responding_address
+            if address is None:
+                continue
+            if previous == self.near and address == self.old_far:
+                flip_at = index
+                break
+            previous = address
+        if flip_at is None:
+            return result
+        hops = list(result.hops)
+        replies = tuple(
+            replace(reply, from_address=self.new_far)
+            if reply.from_address == self.old_far else reply
+            for reply in hops[flip_at].replies
+        )
+        hops[flip_at] = replace(hops[flip_at], replies=replies)
+        log.record(
+            self.name, key=result.prb_id,
+            detail=f"{self.near}: {self.old_far}->{self.new_far} "
+            f"@{result.timestamp:.0f}s",
+        )
+        return replace(result, hops=tuple(hops))
+
+
+def inject_transients(
+    dataset: MeasurementDataset,
+    injectors: Sequence[TransientInjector],
+    seed: int = 0,
+    log: Optional[FaultLog] = None,
+) -> Tuple[MeasurementDataset, FaultLog]:
+    """Apply transient injectors, rebuilding a new dataset.
+
+    The input dataset is left untouched (results are frozen); the
+    returned dataset shares probe metadata and quality.  Derivation
+    matches :func:`repro.faults.dataset.inject_dataset`: key =
+    (seed, injector position, injector name, probe id).
+    """
+    if log is None:
+        log = FaultLog()
+    rewritten = MeasurementDataset(
+        probe_meta=dict(dataset.probe_meta),
+        quality=dataset.quality,
+    )
+    for prb_id in dataset.probe_ids():
+        for result in dataset.for_probe(prb_id):
+            for index, injector in enumerate(injectors):
+                key = FaultKey(
+                    seed=seed, index=index, name=injector.name
+                )
+                result = injector.rewrite(result, key, log)
+            rewritten.add(result)
+    return rewritten, log
+
+
+def score_events(
+    events: Sequence[dict],
+    faults: Sequence[LinkFault],
+    grid: TimeGrid,
+) -> dict:
+    """Precision/recall of detected events against injected truth.
+
+    Truth is the set of ``(kind, key, bin)`` triples each fault
+    implies — delay faults key on the link id, forwarding faults on
+    the near address — over the bins fully inside the fault window.  A
+    predicted event is a true positive when its triple is in the truth
+    set; recall counts how much of the truth the events covered.
+    """
+    truth = set()
+    for fault in faults:
+        for bin_index in fault.bins(grid):
+            if fault.kind == "delay":
+                truth.add((
+                    "delay",
+                    f"{fault.near}--{fault.far}",
+                    bin_index,
+                ))
+            else:
+                truth.add(("forwarding", fault.near, bin_index))
+    predicted = set()
+    for event in events:
+        if event["kind"] == "delay":
+            predicted.add(("delay", event["link"], event["bin"]))
+        else:
+            predicted.add(("forwarding", event["near"], event["bin"]))
+    hits = len(predicted & truth)
+    precision = hits / len(predicted) if predicted else 1.0
+    recall = hits / len(truth) if truth else 1.0
+    return {
+        "precision": precision,
+        "recall": recall,
+        "predicted": len(predicted),
+        "truth": len(truth),
+        "hits": hits,
+    }

@@ -13,17 +13,24 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["DEFAULT_MIX_SPEC", "ROUTE_CLASSES", "build_mix",
-           "parse_mix_spec"]
+__all__ = ["DEFAULT_MIX_SPEC", "MAX_MIX_LINKS", "ROUTE_CLASSES",
+           "build_mix", "parse_mix_spec"]
 
 #: Route classes the mix knows how to expand.
 ROUTE_CLASSES = (
     "healthz", "metrics", "periods", "period", "severe", "as",
-    "history",
+    "history", "anomalies", "link-history",
 )
 
+#: Links per anomaly report the link-history class expands to — the
+#: hottest links by sample count, so the mix stays bounded even when
+#: a report observed thousands of links.
+MAX_MIX_LINKS = 20
+
 #: Read-heavy default resembling the survey site's traffic: mostly
-#: per-AS operator lookups, some period browsing, light scraping.
+#: per-AS operator lookups, some period browsing, light scraping,
+#: and a trickle of anomaly-report reads (auto-skipped when the
+#: archive carries no reports).
 DEFAULT_MIX_SPEC: Dict[str, float] = {
     "as": 4.0,
     "period": 2.0,
@@ -32,6 +39,8 @@ DEFAULT_MIX_SPEC: Dict[str, float] = {
     "periods": 0.5,
     "healthz": 0.5,
     "metrics": 0.25,
+    "anomalies": 0.5,
+    "link-history": 0.5,
 }
 
 
@@ -70,6 +79,17 @@ def build_mix(
         for severity in ("none", "low", "mild", "severe"):
             seen.update(archive.asns_with_severity(latest, severity))
         asns = sorted(seen)
+    anomaly_periods = list(
+        getattr(archive, "anomaly_periods", lambda: [])()
+    )
+    links: List[str] = []
+    if anomaly_periods:
+        payload = archive.get_anomalies(anomaly_periods[-1])
+        ranked = sorted(
+            payload.get("links", {}).items(),
+            key=lambda kv: (-kv[1].get("samples", 0), kv[0]),
+        )
+        links = [name for name, _entry in ranked[:MAX_MIX_LINKS]]
     class_targets: Dict[str, List[str]] = {
         "healthz": ["/v1/healthz"],
         "metrics": ["/v1/metrics"],
@@ -78,6 +98,12 @@ def build_mix(
         "severe": [f"/v1/period/{name}/severe" for name in periods],
         "as": [f"/v1/as/{asn}" for asn in asns],
         "history": [f"/v1/as/{asn}/history" for asn in asns],
+        "anomalies": [
+            f"/v1/period/{name}/anomalies" for name in anomaly_periods
+        ],
+        "link-history": [
+            f"/v1/link/{link}/history" for link in links
+        ],
     }
     mix: List[Tuple[str, float]] = []
     for name, weight in sorted(spec.items()):

@@ -18,6 +18,11 @@ The HTTP surface (all ``GET``, all JSON):
 * ``/v1/as/<asn>[?period=<p>]``         — one AS's verdict (the
   operator lookup the paper's site exists for);
 * ``/v1/as/<asn>/history``              — the AS's longitudinal record;
+* ``/v1/period/<p>/anomalies``          — the period's committed
+  anomaly report (per-link differential RTT bands + delay/forwarding
+  events, :mod:`repro.anomaly`);
+* ``/v1/link/<link>/history``           — one link's longitudinal
+  record across every committed anomaly report;
 * ``/v1/metrics``                       — the live observer's metric
   registry, Prometheus text by default, JSON via ``Accept:
   application/json`` or ``?format=json`` (never cached — a scrape
@@ -71,8 +76,10 @@ from urllib.parse import parse_qs, urlsplit
 from ..netbase.errors import NetbaseError
 from ..obs import get_observer
 from ..store import (
+    AnomalyReportNotFoundError,
     ArchiveCorruptionError,
     ASNotFoundError,
+    LinkNotFoundError,
     PeriodNotFoundError,
     SurveyArchive,
 )
@@ -159,7 +166,15 @@ def outcome_for(exc: Exception) -> str:
 
 def status_for(exc: Exception) -> int:
     """HTTP status for an exception, per the netbase taxonomy."""
-    if isinstance(exc, (PeriodNotFoundError, ASNotFoundError)):
+    if isinstance(
+        exc,
+        (
+            PeriodNotFoundError,
+            ASNotFoundError,
+            AnomalyReportNotFoundError,
+            LinkNotFoundError,
+        ),
+    ):
         return 404
     if isinstance(
         exc,
@@ -416,6 +431,10 @@ class SurveyAPI:
             ("country", ("period", "*", "country", "*"), self._country),
             ("as", ("as", "*"), self._as),
             ("history", ("as", "*", "history"), self._history),
+            ("anomalies", ("period", "*", "anomalies"),
+             self._anomalies),
+            ("link-history", ("link", "*", "history"),
+             self._link_history),
         )
 
     # -- handlers ------------------------------------------------------
@@ -545,6 +564,19 @@ class SurveyAPI:
         if not any(entry["monitored"] for entry in history):
             raise ASNotFoundError(asn, "<any committed period>")
         return _render(200, {"asn": asn, "history": history})
+
+    def _anomalies(self, name: str, _query) -> Response:
+        payload = self._guarded(
+            name, lambda: self.archive.get_anomalies(name)
+        )
+        return _render(200, payload)
+
+    def _link_history(self, link: str, _query) -> Response:
+        # Spans every reported period, like the AS history route, so
+        # it runs outside any single period's circuit.
+        self._check_deadline()
+        history = self.archive.link_history(link)
+        return _render(200, {"link": link, "history": history})
 
 
 def _match(pattern: Tuple[str, ...], parts) -> Optional[Tuple[str, ...]]:

@@ -31,9 +31,12 @@ from .archive import (
     payload_checksum,
 )
 from .errors import (
+    AnomalyReportExistsError,
+    AnomalyReportNotFoundError,
     ArchiveCorruptionError,
     ArchiveError,
     ASNotFoundError,
+    LinkNotFoundError,
     PeriodExistsError,
     PeriodNotFoundError,
     SchemaVersionError,
@@ -68,6 +71,9 @@ __all__ = [
     "PeriodExistsError",
     "PeriodNotFoundError",
     "ASNotFoundError",
+    "AnomalyReportExistsError",
+    "AnomalyReportNotFoundError",
+    "LinkNotFoundError",
     "ArchiveCorruptionError",
     "SchemaVersionError",
     "SegmentReader",

@@ -12,6 +12,7 @@ Layout under the archive root::
     periods/<name>.json  # checksum-wrapped survey_to_dict payload
     index/<name>.json    # checksum-wrapped severity/country indexes
     segments/<name>.seg  # packed representation after compaction
+    anomalies/<name>.json  # checksum-wrapped per-period AnomalyReport
     live/<name>.r<k>.json        # in-flight period, checkpoint k
     live/<name>.r<k>.index.json  # its secondary indexes
     quarantine/          # corrupted artifacts, moved aside as evidence
@@ -63,8 +64,11 @@ from ..obs import get_observer
 from ..parallel.cache import canonical_json
 from ..quality import DataQualityReport, DropReason
 from .errors import (
+    AnomalyReportExistsError,
+    AnomalyReportNotFoundError,
     ArchiveCorruptionError,
     ASNotFoundError,
+    LinkNotFoundError,
     PeriodExistsError,
     PeriodNotFoundError,
     SchemaVersionError,
@@ -103,6 +107,7 @@ class ArchiveStats:
     corrupt: int = 0
     compactions: int = 0
     live_commits: int = 0
+    anomaly_ingests: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -112,6 +117,7 @@ class ArchiveStats:
             "corrupt": self.corrupt,
             "compactions": self.compactions,
             "live_commits": self.live_commits,
+            "anomaly_ingests": self.anomaly_ingests,
         }
 
 
@@ -131,6 +137,7 @@ class SurveyArchive:
         self._readers: Dict[str, SegmentReader] = {}
         self._payloads: Dict[str, Dict] = {}
         self._indexes: Dict[str, Dict] = {}
+        self._anomalies: Dict[str, Dict] = {}
         self.root.mkdir(parents=True, exist_ok=True)
         self._journal = CommitJournal(self.root, io)
         self._manifest = self._load_manifest()
@@ -156,6 +163,9 @@ class SurveyArchive:
 
     def live_index_path(self, name: str, revision: int) -> Path:
         return self.root / "live" / f"{name}.r{revision}.index.json"
+
+    def anomalies_path(self, name: str) -> Path:
+        return self.root / "anomalies" / f"{name}.json"
 
     # -- manifest ------------------------------------------------------
 
@@ -314,6 +324,57 @@ class SurveyArchive:
             self.ingest(result, ranking=ranking)
             for result in suite.results.values()
         ]
+
+    def ingest_anomalies(self, name: str, report) -> str:
+        """Attach a period's anomaly report, crash-safely.
+
+        ``report`` is a :class:`~repro.anomaly.AnomalyReport` or its
+        payload dict.  The report rides the same write-ahead journal
+        protocol as period ingests — intent record, checksum-wrapped
+        artifact, manifest flip as the commit point — so a crash at
+        any byte boundary recovers to exactly the report-less or the
+        reported state.  One report per period, immutable once
+        committed (:class:`AnomalyReportExistsError` on a second
+        attach); the period itself must already be committed and not
+        live.
+        """
+        payload = (
+            report if isinstance(report, dict) else report.payload
+        )
+        entry = self._manifest["periods"].get(name)
+        if entry is None:
+            raise PeriodNotFoundError(name)
+        if entry.get("repr") == "live":
+            raise PeriodExistsError(
+                f"{name} (live periods cannot carry anomaly reports "
+                "until finalized)"
+            )
+        if "anomalies" in entry:
+            raise AnomalyReportExistsError(name)
+        obs = get_observer()
+        with obs.span("store-ingest-anomalies", period=name):
+            checksum = payload_checksum(payload)
+            report_file = self.anomalies_path(name)
+            self._journal.begin(
+                "anomaly", name, checksum,
+                [str(report_file.relative_to(self.root))],
+            )
+            self._write_wrapped(report_file, payload)
+            entry["anomalies"] = {
+                "checksum": checksum,
+                "links": payload.get("links_total", 0),
+                "events": len(payload.get("events", [])),
+            }
+            self._write_manifest()  # <- the commit point
+            self._journal.clear()
+        self.stats.anomaly_ingests += 1
+        self.generation += 1
+        obs.counter(
+            "store_anomaly_ingest_total",
+            "anomaly reports committed to the archive",
+        ).inc()
+        self._anomalies[name] = payload
+        return name
 
     # -- live ingest ---------------------------------------------------
 
@@ -723,6 +784,96 @@ class SurveyArchive:
             for a, b in zip(names, names[1:])
         ]
 
+    # -- anomaly reports -----------------------------------------------
+
+    def anomaly_periods(self) -> List[str]:
+        """Periods carrying an anomaly report, chronological order."""
+        return [
+            name for name in self.periods()
+            if "anomalies" in self._manifest["periods"][name]
+        ]
+
+    def get_anomalies(self, period: Optional[str] = None) -> Dict:
+        """One period's committed anomaly-report payload.
+
+        ``period=None`` means the latest committed period.  The
+        payload is verified against the manifest's checksum on first
+        read (corrupt artifacts are quarantined and reported, exactly
+        like period payloads) and cached after.
+        """
+        name = period if period is not None else self.latest()
+        meta = self.period_meta(name)
+        sub = meta.get("anomalies")
+        if sub is None:
+            raise AnomalyReportNotFoundError(name)
+        cached = self._anomalies.get(name)
+        if cached is not None:
+            return cached
+        self.stats.lookups += 1
+        source = self.anomalies_path(name)
+        payload = self._read_wrapped(source)
+        if payload_checksum(payload) != sub["checksum"]:
+            raise ArchiveCorruptionError(
+                source,
+                "anomaly report does not match manifest checksum",
+            )
+        self._anomalies[name] = payload
+        return payload
+
+    def link_history(self, link: str) -> List[Dict]:
+        """One link's per-period anomaly history, oldest first.
+
+        Every period with a committed anomaly report contributes an
+        entry; periods where the link was not observed are marked
+        ``observed: false``, mirroring :meth:`history`'s
+        monitored-vs-measured distinction.  Raises
+        :class:`LinkNotFoundError` when no report ever observed the
+        link and ValueError for malformed link ids.
+        """
+        from ..anomaly import split_link_id
+
+        split_link_id(link)  # validates; ValueError -> HTTP 400
+        entries = []
+        observed = False
+        for name in self.anomaly_periods():
+            payload = self.get_anomalies(name)
+            entry = payload["links"].get(link)
+            if entry is None:
+                entries.append({
+                    "period": name, "observed": False,
+                    "anomalous_bins": [],
+                })
+                continue
+            observed = True
+            entries.append({
+                "period": name,
+                "observed": True,
+                "samples": entry["samples"],
+                "bins": entry["bins"],
+                "median_ms": entry["median_ms"],
+                "band_ms": entry["band_ms"],
+                "anomalous_bins": entry["anomalous_bins"],
+            })
+        if not observed:
+            raise LinkNotFoundError(link)
+        return entries
+
+    def anomaly_deltas_between(self, before: str, after: str) -> Dict:
+        """Anomalous-link churn between two periods' reports."""
+        from ..anomaly import anomaly_deltas
+
+        return anomaly_deltas(
+            self.get_anomalies(before), self.get_anomalies(after)
+        )
+
+    def anomaly_churn(self) -> List[Dict]:
+        """Consecutive anomaly deltas across reported periods."""
+        names = self.anomaly_periods()
+        return [
+            self.anomaly_deltas_between(a, b)
+            for a, b in zip(names, names[1:])
+        ]
+
     def to_suite(self, names: Optional[Sequence[str]] = None):
         """Materialize periods as a :class:`~repro.core.SurveySuite`.
 
@@ -792,10 +943,12 @@ class SurveyArchive:
     # -- maintenance ---------------------------------------------------
 
     def verify(self) -> Dict[str, str]:
-        """Re-read and re-checksum every committed period.
+        """Re-read and re-checksum every committed artifact.
 
         Returns ``{period: "ok" | "corrupt: <detail>"}`` without
-        raising, so operators can audit an archive in one pass.
+        raising, so operators can audit an archive in one pass; a
+        period's anomaly report (``<period>/anomalies`` key) is
+        audited like the period itself.
         """
         outcome: Dict[str, str] = {}
         for name in self.periods():
@@ -806,6 +959,14 @@ class SurveyArchive:
                 outcome[name] = f"corrupt: {exc.detail}"
             else:
                 outcome[name] = "ok"
+        for name in self.anomaly_periods():
+            self._anomalies.pop(name, None)
+            try:
+                self.get_anomalies(name)
+            except ArchiveCorruptionError as exc:
+                outcome[f"{name}/anomalies"] = f"corrupt: {exc.detail}"
+            else:
+                outcome[f"{name}/anomalies"] = "ok"
         return outcome
 
     def fsck(self, repair: bool = False):
@@ -831,6 +992,7 @@ class SurveyArchive:
         self.close()
         self._payloads.clear()
         self._indexes.clear()
+        self._anomalies.clear()
         self._manifest = self._load_manifest()
         self.generation += 1
 

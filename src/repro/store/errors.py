@@ -46,6 +46,38 @@ class ASNotFoundError(ArchiveError, LookupError):
         super().__init__(f"AS{asn} not monitored in period {period!r}")
 
 
+class AnomalyReportExistsError(ArchiveError):
+    """An anomaly-report attach would overwrite a committed report.
+
+    Reports inherit the archive's append-only discipline: one report
+    per period, immutable once committed.
+    """
+
+    def __init__(self, period: str):
+        self.period = period
+        super().__init__(
+            f"period {period!r} already carries an anomaly report"
+        )
+
+
+class AnomalyReportNotFoundError(ArchiveError, LookupError):
+    """A query asked for a period's anomaly report before one landed."""
+
+    def __init__(self, period: str):
+        self.period = period
+        super().__init__(f"period {period!r} has no anomaly report")
+
+
+class LinkNotFoundError(ArchiveError, LookupError):
+    """A link-history query named a link no anomaly report observed."""
+
+    def __init__(self, link: str):
+        self.link = link
+        super().__init__(
+            f"link {link!r} not observed in any anomaly report"
+        )
+
+
 class ArchiveCorruptionError(ArchiveError):
     """A stored artifact failed its checksum or did not parse.
 

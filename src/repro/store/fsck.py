@@ -16,8 +16,12 @@ and rebuilding what can be derived:
   rebuilt from the payload (the severity index exactly; the country
   index cannot be re-derived without the eyeball ranking and is
   rebuilt empty, which the finding records);
-* orphan period files (no manifest entry) and stale temp files are
-  quarantined / removed.
+* a period's anomaly report that is missing or fails its checksum is
+  quarantined and its ``anomalies`` manifest sub-entry dropped — the
+  period itself stays committed;
+* orphan period files (no manifest entry), orphan anomaly reports (no
+  ``anomalies`` sub-entry) and stale temp files are quarantined /
+  removed.
 
 Exit codes (also :attr:`FsckReport.exit_code`):
 
@@ -210,6 +214,7 @@ class _Fsck:
             self.root / "periods" / f"{name}.json",
             self.root / "index" / f"{name}.json",
             self.root / "segments" / f"{name}.seg",
+            self.root / "anomalies" / f"{name}.json",
         ]
         if live_dir.is_dir():
             candidates.extend(sorted(live_dir.glob(f"{name}.r*.json")))
@@ -265,7 +270,9 @@ class _Fsck:
             # missing manifest make the archive unusable.
             orphaned = any(
                 entry.is_file() and not is_tmp(entry)
-                for sub in ("periods", "index", "segments", "live")
+                for sub in (
+                    "periods", "index", "segments", "live", "anomalies",
+                )
                 if (self.root / sub).is_dir()
                 for entry in (self.root / sub).iterdir()
             )
@@ -369,6 +376,10 @@ class _Fsck:
             index_path = self.root / "index" / f"{name}.json"
         if payload is not None:
             self._check_index(name, payload, index_path)
+        # A period quarantined above took its anomaly report with it;
+        # only still-committed periods get their report audited.
+        if name in self.manifest["periods"]:
+            self._check_anomalies(name, meta)
 
     def _read_wrapper(self, path: Path) -> Optional[Dict]:
         """A checksum-verified wrapper payload, or None + finding."""
@@ -535,6 +546,63 @@ class _Fsck:
                 if rebuilt.get("country") == {} else "index rebuilt"
             )
 
+    def _check_anomalies(self, name: str, meta: Dict) -> None:
+        """Audit a period's committed anomaly report, if it has one.
+
+        Repair is surgical: a bad report is quarantined and only the
+        ``anomalies`` sub-entry dropped — the period itself stays
+        committed, because the survey payload is independent evidence
+        the report's corruption says nothing about.
+        """
+        sub = meta.get("anomalies")
+        if not isinstance(sub, dict):
+            return
+        path = self.root / "anomalies" / f"{name}.json"
+        if not path.exists():
+            finding = self.report.add(
+                ERROR, "anomaly-report", path,
+                "committed anomaly report missing", period=name,
+            )
+            if self.report.repair:
+                self._drop_anomalies(name, finding, quarantine=False)
+            return
+        payload = self._read_wrapper(path)
+        if payload is None:
+            finding = self.report.findings[-1]
+            finding.period = name
+            finding.kind = "anomaly-report"
+            if self.report.repair:
+                self._drop_anomalies(name, finding)
+            return
+        if self._payload_checksum(payload) != sub.get("checksum"):
+            finding = self.report.add(
+                ERROR, "anomaly-report", path,
+                "report does not match manifest checksum",
+                period=name,
+            )
+            if self.report.repair:
+                self._drop_anomalies(name, finding)
+
+    def _drop_anomalies(
+        self, name: str, finding: FsckFinding, quarantine: bool = True
+    ) -> None:
+        path = self.root / "anomalies" / f"{name}.json"
+        moved = (
+            quarantine and path.exists()
+            and self._quarantine_file(path)
+        )
+        del self.manifest["periods"][name]["anomalies"]
+        self.manifest_dirty = True
+        finding.repaired = True
+        finding.action = (
+            "report quarantined, anomalies sub-entry dropped"
+            if moved else "anomalies sub-entry dropped"
+        )
+        self.quality.drop(
+            STAGE, DropReason.CORRUPT_ARTIFACT,
+            detail=f"anomaly report for {name!r} dropped by fsck",
+        )
+
     @staticmethod
     def _index_mismatch(index: Dict, payload: Dict) -> Optional[str]:
         """Cross-reference the severity/country indexes vs the payload."""
@@ -591,6 +659,29 @@ class _Fsck:
                 if self.report.repair and self._quarantine_file(path):
                     finding.repaired = True
                     finding.action = "orphan quarantined"
+        # Anomaly reports: the file belongs iff its period's entry
+        # carries an "anomalies" sub-entry (the period existing is not
+        # enough — a rolled-back attach leaves the period committed
+        # and the report file orphaned).
+        anomalies_dir = self.root / "anomalies"
+        if anomalies_dir.is_dir():
+            reported = {
+                name
+                for name, meta in self.manifest["periods"].items()
+                if isinstance(meta.get("anomalies"), dict)
+            }
+            for path in sorted(anomalies_dir.iterdir()):
+                if not path.is_file() or is_tmp(path):
+                    continue
+                if path.suffix == ".json" and path.stem in reported:
+                    continue
+                finding = self.report.add(
+                    WARNING, "orphan", path,
+                    "anomaly report has no manifest sub-entry",
+                )
+                if self.report.repair and self._quarantine_file(path):
+                    finding.repaired = True
+                    finding.action = "orphan quarantined"
         # Live revisions: only the manifest's current revision of each
         # live period belongs; anything else (an older revision a
         # crash kept the commit from retiring, or a rolled-forward
@@ -617,7 +708,9 @@ class _Fsck:
                     finding.action = "orphan quarantined"
 
     def _check_tmp_files(self) -> None:
-        for sub in ("", "periods", "index", "segments", "live"):
+        for sub in (
+            "", "periods", "index", "segments", "live", "anomalies",
+        ):
             directory = self.root / sub if sub else self.root
             if not directory.is_dir():
                 continue

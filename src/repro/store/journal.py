@@ -185,7 +185,9 @@ class CommitJournal:
 def sweep_tmp_files(
     root: Path,
     io: StoreIO = REAL_IO,
-    subdirs: tuple = ("", "periods", "index", "segments", "live"),
+    subdirs: tuple = (
+        "", "periods", "index", "segments", "live", "anomalies",
+    ),
 ) -> List[str]:
     """Remove temp files torn atomic writes left behind (any pid)."""
     swept: List[str] = []
@@ -207,8 +209,12 @@ def _flip_happened(record: Dict, entry: Optional[Dict]) -> bool:
     Live-period checkpoints *replace* an existing entry: the flip for
     revision ``k`` landed iff the entry is still live and carries that
     revision.  A finalize flips the live entry to a durable repr, so
-    any non-live repr is proof.  Payload checksums deliberately play
-    no part — consecutive checkpoints may carry identical payloads.
+    any non-live repr is proof.  An anomaly-report attach adds an
+    ``anomalies`` sub-entry to an existing period: the flip landed iff
+    the sub-entry is present and names this intent's checksum (the
+    period entry itself predates the intent, so mere presence proves
+    nothing).  Payload checksums otherwise deliberately play no part —
+    consecutive checkpoints may carry identical payloads.
     """
     op = record.get("op", "ingest")
     if op == "commit-partial":
@@ -219,6 +225,12 @@ def _flip_happened(record: Dict, entry: Optional[Dict]) -> bool:
         )
     if op == "finalize":
         return entry is not None and entry.get("repr") != "live"
+    if op == "anomaly":
+        return (
+            entry is not None
+            and entry.get("anomalies", {}).get("checksum")
+            == record["checksum"]
+        )
     return entry is not None
 
 

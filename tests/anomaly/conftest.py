@@ -1,0 +1,83 @@
+"""Shared fixtures for the anomaly-pinpointing tests.
+
+The simulated world is the expensive part (~1s/probe-day), so the
+fault-free campaign and its faulted twin are built once per session
+and shared read-only — every consumer treats datasets as immutable,
+which the frozen traceroute records enforce anyway.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.atlas import AtlasPlatform
+from repro.faults import DelaySurge, NextHopFlip, inject_transients
+from repro.netbase import AccessTechnology, ASInfo, ASRole
+from repro.timebase import MeasurementPeriod, TimeGrid
+from repro.topology import ProvisioningPolicy, World
+
+DAY = 86400
+BIN_SECONDS = 1800
+
+#: The fault windows, aligned to bin boundaries: a delay surge on the
+#: access link during day 1, a next-hop flip near the core on day 2.
+SURGE = dict(start_s=DAY + 8 * BIN_SECONDS, end_s=DAY + 14 * BIN_SECONDS)
+FLIP = dict(start_s=2 * DAY + 20 * BIN_SECONDS,
+            end_s=2 * DAY + 26 * BIN_SECONDS)
+
+
+def simulate(probes=4, days=3, seed=11, peak=0.7):
+    """One healthy simulated campaign (period-relative timestamps)."""
+    world = World(seed=seed)
+    isp = world.add_isp(
+        ASInfo(
+            64500, "SimNet", "JP", ASRole.EYEBALL,
+            access_technologies=[AccessTechnology.FTTH_PPPOE_LEGACY],
+        ),
+        provisioning=ProvisioningPolicy(
+            peak_utilization={
+                AccessTechnology.FTTH_PPPOE_LEGACY: peak
+            },
+            device_spread=0.01,
+            load_jitter_std=0.008,
+        ),
+    )
+    world.add_default_targets()
+    world.finalize()
+    platform = AtlasPlatform(world)
+    deployed = platform.deploy_probes_on_isp(isp, probes)
+    period = MeasurementPeriod(
+        "simulated", dt.datetime(2019, 9, 2), days
+    )
+    return platform.run_period(period, deployed), period
+
+
+@pytest.fixture(scope="session")
+def sim():
+    """(dataset, period) of the fault-free campaign."""
+    return simulate()
+
+
+@pytest.fixture(scope="session")
+def grid(sim):
+    return TimeGrid(sim[1], BIN_SECONDS)
+
+
+@pytest.fixture(scope="session")
+def injectors(sim):
+    """Transient injectors targeting links the campaign really uses."""
+    return [
+        DelaySurge(
+            "60.0.0.1", "60.0.0.2", surge_ms=60.0, jitter_ms=1.0,
+            **SURGE,
+        ),
+        NextHopFlip(
+            "60.0.0.2", "80.0.0.57", "80.0.0.58", **FLIP,
+        ),
+    ]
+
+
+@pytest.fixture(scope="session")
+def faulted(sim, injectors):
+    """(dataset, fault_log) with the transient faults injected."""
+    return inject_transients(sim[0], injectors, seed=7)

@@ -1,0 +1,107 @@
+"""Detection quality: silent on healthy worlds, sharp on faulted ones."""
+
+import pytest
+
+from repro.anomaly import detect_anomalies
+from repro.faults import score_events
+from repro.obs import observed
+
+
+@pytest.fixture(scope="module")
+def healthy_report(sim, grid):
+    return detect_anomalies(
+        sim[0].results, grid, period_name="simulated"
+    )
+
+
+@pytest.fixture(scope="module")
+def faulted_report(faulted, grid):
+    return detect_anomalies(
+        faulted[0].results, grid, period_name="simulated"
+    )
+
+
+class TestHealthyWorld:
+    def test_no_delay_anomalies(self, healthy_report):
+        assert healthy_report.events_of_kind("delay") == []
+
+    def test_no_forwarding_anomalies(self, healthy_report):
+        assert healthy_report.events_of_kind("forwarding") == []
+
+    def test_links_observed(self, healthy_report):
+        assert healthy_report.payload["links_total"] > 50
+        assert healthy_report.payload["reference_source"] == "self"
+
+
+class TestFaultedWorld:
+    def test_precision_and_recall(self, faulted_report, injectors, grid):
+        faults = [
+            fault for injector in injectors
+            for fault in injector.ground_truth()
+        ]
+        score = score_events(faulted_report.events, faults, grid)
+        assert score["precision"] >= 0.9, score
+        assert score["recall"] >= 0.9, score
+
+    def test_surge_pinned_to_exactly_the_surged_link(
+        self, faulted_report
+    ):
+        # The surge raises RTTs on every hop past the link, but the
+        # differential cancels downstream: only the surged link is
+        # flagged.
+        assert faulted_report.anomalous_links == [
+            "60.0.0.1--60.0.0.2"
+        ]
+
+    def test_flip_detected_as_forwarding_only(self, faulted_report):
+        forwarding = faulted_report.events_of_kind("forwarding")
+        assert forwarding, "next-hop flip not detected"
+        assert {e["near"] for e in forwarding} == {"60.0.0.2"}
+        assert all(
+            e["observed"] == "80.0.0.58" and e["expected"] == "80.0.0.57"
+            for e in forwarding
+        )
+
+    def test_surge_direction_and_gap(self, faulted_report):
+        delay = faulted_report.events_of_kind("delay")
+        assert delay
+        assert all(e["direction"] == "high" for e in delay)
+        assert all(e["gap_ms"] > 2.0 for e in delay)
+
+
+class TestObservability:
+    def test_counters_and_span(self, faulted, grid):
+        with observed() as obs:
+            report = detect_anomalies(
+                faulted[0].results, grid, period_name="simulated"
+            )
+        links = obs.metrics.counter("anomaly_links_total", "")
+        assert links.value() == report.payload["links_total"]
+        events = obs.metrics.counter(
+            "anomaly_events_total", "", ("kind",)
+        )
+        assert events.value(kind="delay") == len(
+            report.events_of_kind("delay")
+        )
+        assert events.value(kind="forwarding") == len(
+            report.events_of_kind("forwarding")
+        )
+        assert obs.tracer.find("anomaly")
+
+
+class TestExternalReference:
+    def test_healthy_reference_sees_faults(
+        self, sim, faulted, grid
+    ):
+        from repro.anomaly import reference_from_payload
+
+        healthy = detect_anomalies(
+            sim[0].results, grid, period_name="baseline"
+        )
+        reference = reference_from_payload(healthy.payload)
+        judged = detect_anomalies(
+            faulted[0].results, grid, period_name="faulted",
+            reference=reference,
+        )
+        assert judged.payload["reference_source"] == "period:baseline"
+        assert "60.0.0.1--60.0.0.2" in judged.anomalous_links

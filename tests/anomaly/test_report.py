@@ -1,0 +1,128 @@
+"""AnomalyReport payload round-trips, references, and churn deltas."""
+
+import pytest
+
+from repro.anomaly import (
+    AnomalyReport,
+    anomaly_deltas,
+    merge_references,
+    reference_from_payload,
+)
+
+
+def payload(period="p1", events=(), links=None):
+    links = links if links is not None else {
+        "10.0.0.1--10.0.0.2": {
+            "near": "10.0.0.1", "far": "10.0.0.2",
+            "samples": 90, "bins": 4, "median_ms": 3.0,
+            "band_ms": [2.8, 3.2], "anomalous_bins": [],
+            "reference": {
+                "median_ms": [3.0, 3.1],
+                "low_ms": [2.8, 2.9],
+                "high_ms": [3.2, 3.3],
+            },
+        },
+    }
+    return {
+        "kind": "anomaly-report", "period": period,
+        "bin_seconds": 1800, "num_bins": 4, "bins_per_day": 2,
+        "confidence": 0.95, "min_samples": 3,
+        "forwarding_threshold": 0.5, "min_gap_ms": 2.0,
+        "reference_source": "self", "processed": 100,
+        "links_total": len(links), "links": links,
+        "forwarding": {"10.0.0.1--9.9.9.9": {"10.0.0.2": 30}},
+        "events": list(events),
+    }
+
+
+def delay_event(link, bin_index=1):
+    return {
+        "kind": "delay", "link": link, "bin": bin_index,
+        "direction": "high", "median_ms": 9.0,
+        "band_ms": [8.0, 10.0], "reference_ms": [2.8, 3.2],
+        "reference_median_ms": 3.0, "gap_ms": 4.8,
+    }
+
+
+class TestRoundTrip:
+    def test_from_payload_accepts_report_kind(self):
+        report = AnomalyReport.from_payload(payload())
+        assert report.links
+        assert report.events == []
+
+    def test_from_payload_rejects_other_kinds(self):
+        with pytest.raises(ValueError):
+            AnomalyReport.from_payload({"kind": "survey"})
+
+    def test_anomalous_links_from_delay_events_only(self):
+        report = AnomalyReport.from_payload(payload(events=[
+            delay_event("10.0.0.1--10.0.0.2"),
+            {"kind": "forwarding", "near": "10.0.0.1",
+             "dst": "9.9.9.9", "bin": 2, "shift": 0.9,
+             "observed": "10.0.0.3", "expected": "10.0.0.2"},
+        ]))
+        assert report.anomalous_links == ["10.0.0.1--10.0.0.2"]
+        assert len(report.events_of_kind("forwarding")) == 1
+
+
+class TestReferences:
+    def test_reference_from_payload(self):
+        reference = reference_from_payload(payload(period="2019-09"))
+        assert reference["source"] == "period:2019-09"
+        assert "10.0.0.1--10.0.0.2" in reference["bands"]
+        assert reference["forwarding"] == {
+            "10.0.0.1--9.9.9.9": {"10.0.0.2": 30}
+        }
+
+    def test_merge_is_elementwise_median(self):
+        refs = [
+            reference_from_payload(payload(period=f"p{i}", links={
+                "a--b": {
+                    "near": "a", "far": "b", "samples": 10,
+                    "bins": 2, "median_ms": m, "band_ms": [m, m],
+                    "anomalous_bins": [],
+                    "reference": {
+                        "median_ms": [m, None],
+                        "low_ms": [m - 1, None],
+                        "high_ms": [m + 1, None],
+                    },
+                },
+            }))
+            for i, m in enumerate([1.0, 3.0, 100.0])
+        ]
+        merged = merge_references(refs)
+        assert merged["bands"]["a--b"]["median_ms"] == [3.0, None]
+        assert merged["bands"]["a--b"]["low_ms"] == [2.0, None]
+        # Forwarding counts sum.
+        assert merged["forwarding"]["10.0.0.1--9.9.9.9"] == {
+            "10.0.0.2": 90
+        }
+
+    def test_single_reference_passes_through(self):
+        ref = reference_from_payload(payload())
+        assert merge_references([ref]) is ref
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_references([])
+
+
+class TestDeltas:
+    def test_new_resolved_persisting(self):
+        before = payload(period="p1", events=[
+            delay_event("a--b"), delay_event("c--d"),
+        ])
+        after = payload(period="p2", events=[
+            delay_event("c--d"), delay_event("e--f"),
+        ])
+        deltas = anomaly_deltas(before, after)
+        assert deltas["before"] == "p1"
+        assert deltas["after"] == "p2"
+        assert deltas["new"] == ["e--f"]
+        assert deltas["resolved"] == ["a--b"]
+        assert deltas["persisting"] == ["c--d"]
+        assert deltas["jaccard"] == pytest.approx(1 / 3)
+
+    def test_identical_sets_jaccard_one(self):
+        doc = payload(events=[delay_event("a--b")])
+        assert anomaly_deltas(doc, doc)["jaccard"] == 1.0

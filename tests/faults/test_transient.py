@@ -1,0 +1,152 @@
+"""Unit tests for the windowed transient link-fault injectors."""
+
+import datetime as dt
+
+from repro.atlas.traceroute import (
+    Hop,
+    MeasurementDataset,
+    Reply,
+    TracerouteResult,
+)
+from repro.faults import (
+    DelaySurge,
+    LinkFault,
+    NextHopFlip,
+    inject_transients,
+    score_events,
+)
+from repro.timebase import MeasurementPeriod, TimeGrid
+
+GRID = TimeGrid(
+    MeasurementPeriod("transient", dt.datetime(2019, 9, 2), 1), 1800
+)
+
+
+def trace(timestamp, addresses, rtts=None, prb_id=1):
+    rtts = rtts or [float(10 * (i + 1)) for i in range(len(addresses))]
+    hops = tuple(
+        Hop(hop=i + 1, replies=(Reply(addr, rtt),))
+        for i, (addr, rtt) in enumerate(zip(addresses, rtts))
+    )
+    return TracerouteResult(
+        prb_id=prb_id, msm_id=1, timestamp=timestamp,
+        src_address="192.168.1.2", from_address="60.0.0.9",
+        dst_address="9.9.9.9", hops=hops,
+    )
+
+
+def dataset(*results):
+    ds = MeasurementDataset()
+    ds.extend(results)
+    return ds
+
+
+PATH = ["10.0.0.1", "10.0.0.2", "10.0.0.3"]
+
+
+class TestDelaySurge:
+    def test_surge_hits_far_and_downstream(self):
+        surge = DelaySurge("10.0.0.1", "10.0.0.2", 0.0, 3600.0,
+                           surge_ms=50.0)
+        out, log = inject_transients(
+            dataset(trace(100.0, PATH)), [surge]
+        )
+        [result] = out.for_probe(1)
+        assert result.hops[0].rtts == [10.0]          # near untouched
+        assert result.hops[1].rtts == [70.0]          # far +50
+        assert result.hops[2].rtts == [80.0]          # downstream +50
+        assert len(log.events) == 1
+
+    def test_outside_window_untouched(self):
+        surge = DelaySurge("10.0.0.1", "10.0.0.2", 0.0, 50.0)
+        out, log = inject_transients(
+            dataset(trace(100.0, PATH)), [surge]
+        )
+        [result] = out.for_probe(1)
+        assert result.hops[1].rtts == [20.0]
+        assert not log.events
+
+    def test_non_crossing_path_untouched(self):
+        surge = DelaySurge("10.0.0.9", "10.0.0.2", 0.0, 3600.0)
+        out, _log = inject_transients(
+            dataset(trace(100.0, PATH)), [surge]
+        )
+        assert out.for_probe(1)[0] == trace(100.0, PATH)
+
+    def test_jitter_is_seed_deterministic(self):
+        surge = DelaySurge("10.0.0.1", "10.0.0.2", 0.0, 3600.0,
+                           surge_ms=50.0, jitter_ms=2.0)
+        runs = [
+            inject_transients(
+                dataset(trace(100.0, PATH)), [surge], seed=3
+            )[0].for_probe(1)[0]
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        assert runs[0].hops[1].rtts != [70.0]  # jitter applied
+
+
+class TestNextHopFlip:
+    def test_flip_readdresses_without_touching_rtts(self):
+        flip = NextHopFlip("10.0.0.1", "10.0.0.2", "10.0.0.7",
+                           0.0, 3600.0)
+        out, log = inject_transients(
+            dataset(trace(100.0, PATH)), [flip]
+        )
+        [result] = out.for_probe(1)
+        assert result.hops[1].responding_address == "10.0.0.7"
+        assert result.hops[1].rtts == [20.0]
+        assert len(log.events) == 1
+
+    def test_other_links_untouched(self):
+        flip = NextHopFlip("10.0.0.2", "10.0.0.3", "10.0.0.7",
+                           0.0, 3600.0)
+        out, _log = inject_transients(
+            dataset(trace(100.0, PATH)), [flip]
+        )
+        [result] = out.for_probe(1)
+        assert result.hops[1].responding_address == "10.0.0.2"
+        assert result.hops[2].responding_address == "10.0.0.7"
+
+    def test_input_dataset_unmodified(self):
+        original = dataset(trace(100.0, PATH))
+        flip = NextHopFlip("10.0.0.1", "10.0.0.2", "10.0.0.7",
+                           0.0, 3600.0)
+        inject_transients(original, [flip])
+        assert original.for_probe(1)[0].hops[1].responding_address == \
+            "10.0.0.2"
+
+
+class TestGroundTruth:
+    def test_fault_bins_are_fully_covered_bins_only(self):
+        fault = LinkFault("delay", "a", "b", 1800.0, 5400.0)
+        assert fault.bins(GRID) == [1, 2]
+        partial = LinkFault("delay", "a", "b", 900.0, 5400.0)
+        assert partial.bins(GRID) == [1, 2]  # bin 0 only half-covered
+
+    def test_score_events_exact_match(self):
+        faults = [LinkFault("delay", "a", "b", 0.0, 3600.0)]
+        events = [
+            {"kind": "delay", "link": "a--b", "bin": 0},
+            {"kind": "delay", "link": "a--b", "bin": 1},
+        ]
+        score = score_events(events, faults, GRID)
+        assert score == {
+            "precision": 1.0, "recall": 1.0,
+            "predicted": 2, "truth": 2, "hits": 2,
+        }
+
+    def test_score_penalizes_false_positives_and_misses(self):
+        faults = [LinkFault("forwarding", "a", "b", 0.0, 3600.0)]
+        events = [
+            {"kind": "forwarding", "near": "a", "bin": 0},
+            {"kind": "forwarding", "near": "z", "bin": 0},
+        ]
+        score = score_events(events, faults, GRID)
+        assert score["precision"] == 0.5
+        assert score["recall"] == 0.5
+
+    def test_no_events_no_faults_is_perfect(self):
+        score = score_events([], [], GRID)
+        assert score["precision"] == 1.0
+        assert score["recall"] == 1.0

@@ -5,10 +5,11 @@ One command, from the repo root:
     PYTHONPATH=src:. python -m tests.golden.regenerate
 
 It refuses to run while the working tree has uncommitted changes
-under the pipeline sources (``src/repro/core``, ``src/repro/stream``)
-— a golden frozen from unreviewed code silently blesses whatever the
-dirty tree computes.  Pass ``--force`` to override, e.g. while
-iterating on an intentional methodology change.
+under the pipeline sources (``src/repro/core``, ``src/repro/stream``,
+``src/repro/anomaly``) — a golden frozen from unreviewed code
+silently blesses whatever the dirty tree computes.  Pass ``--force``
+to override, e.g. while iterating on an intentional methodology
+change.
 
 Rerun it only when the pipeline's *intended* output changes (a
 methodology fix, new thresholds) and commit the refreshed JSON with a
@@ -27,9 +28,10 @@ FIXTURE = Path(__file__).with_name("survey_golden.json")
 STREAMED_FIXTURE = Path(__file__).with_name(
     "survey_streamed_golden.json"
 )
+ANOMALY_FIXTURE = Path(__file__).with_name("anomaly_golden.json")
 
 #: Source trees whose uncommitted changes block regeneration.
-GUARDED = ("src/repro/core", "src/repro/stream")
+GUARDED = ("src/repro/core", "src/repro/stream", "src/repro/anomaly")
 
 # Frozen world parameters.  Changing any of these is a fixture break:
 # regenerate and explain.
@@ -93,6 +95,92 @@ def build_streamed_survey(kernels="reference"):
     return engine.finalize()
 
 
+# Frozen anomaly world: a hand-built traceroute campaign (no
+# simulator, milliseconds to rebuild) with a day-2 delay surge and a
+# day-3 next-hop flip, plus a periodically silent hop so link
+# spanning is part of the frozen output.
+ANOMALY_SEED = 9
+ANOMALY_PROBES = 2
+ANOMALY_DAYS = 3
+ANOMALY_BIN_SECONDS = 1800
+# Public addresses: private nears are excluded from forwarding
+# tracking, and the flip must be part of the frozen output.
+ANOMALY_PATH = ("20.0.0.1", "20.0.0.2", "20.0.0.3", "20.0.0.4")
+ANOMALY_SURGE_BINS = range(58, 64)    # day-2 bins, +25 ms past hop 2
+ANOMALY_FLIP_BINS = range(126, 132)   # day-3 bins, hop 4 readdressed
+
+
+def build_anomaly_dataset():
+    import numpy as np
+
+    from repro.atlas.traceroute import (
+        Hop,
+        MeasurementDataset,
+        Reply,
+        TracerouteResult,
+    )
+
+    rng = np.random.default_rng(ANOMALY_SEED)
+    day_bins = 86400 // ANOMALY_BIN_SECONDS
+    base = (2.0, 5.0, 9.0, 14.0)
+    dataset = MeasurementDataset()
+    sequence = 0
+    for prb_id in (1, 2):
+        for bin_index in range(ANOMALY_DAYS * day_bins):
+            surged = bin_index in ANOMALY_SURGE_BINS
+            flipped = bin_index in ANOMALY_FLIP_BINS
+            for k in range(3):
+                timestamp = (
+                    bin_index * ANOMALY_BIN_SECONDS + k * 600.0 + 1.0
+                )
+                sequence += 1
+                hops = []
+                for i, address in enumerate(ANOMALY_PATH):
+                    if i == 1 and sequence % 37 == 0:
+                        hops.append(Hop(
+                            hop=i + 1,
+                            replies=(Reply.timeout(),) * 3,
+                        ))
+                        continue
+                    if i == 3 and flipped:
+                        address = "20.0.0.7"
+                    rtt = base[i] + (25.0 if surged and i >= 2 else 0.0)
+                    hops.append(Hop(hop=i + 1, replies=tuple(
+                        Reply(address, round(
+                            rtt + rng.uniform(0.0, 0.4), 3
+                        ))
+                        for _ in range(3)
+                    )))
+                dataset.extend([TracerouteResult(
+                    prb_id=prb_id, msm_id=1, timestamp=timestamp,
+                    src_address="192.168.1.2",
+                    from_address="60.0.0.9",
+                    dst_address="9.9.9.9", hops=tuple(hops),
+                )])
+    return dataset
+
+
+def build_anomaly_report(kernels="reference", shards=1):
+    """The frozen campaign's anomaly-report payload."""
+    import datetime as dt
+
+    from repro.anomaly import detect_anomalies
+    from repro.timebase import MeasurementPeriod, TimeGrid
+
+    period = MeasurementPeriod(
+        "golden-anomaly",
+        dt.datetime.fromisoformat(PERIOD_START),
+        ANOMALY_DAYS,
+    )
+    dataset = build_anomaly_dataset()
+    report = detect_anomalies(
+        dataset.results,
+        TimeGrid(period, ANOMALY_BIN_SECONDS),
+        period_name=period.name, kernels=kernels, shards=shards,
+    )
+    return report.payload
+
+
 def uncommitted_changes(repo_root=None):
     """Guarded-tree paths with uncommitted changes (empty when the
     tree is clean or this is not a git checkout)."""
@@ -153,6 +241,13 @@ def main(argv=None, repo_root=None, out_dir=None) -> int:
     )
     print(f"wrote {out / STREAMED_FIXTURE.name} "
           f"({len(streamed['reports'])} reports)")
+    anomaly = build_anomaly_report()
+    (out / ANOMALY_FIXTURE.name).write_text(
+        json.dumps(anomaly, indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {out / ANOMALY_FIXTURE.name} "
+          f"({anomaly['links_total']} links, "
+          f"{len(anomaly['events'])} events)")
     return 0
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.loadgen import DEFAULT_MIX_SPEC, build_mix, parse_mix_spec
-from repro.loadgen.mix import ROUTE_CLASSES
+from repro.loadgen.mix import MAX_MIX_LINKS, ROUTE_CLASSES
 
 
 class FakeArchive:
@@ -86,3 +86,60 @@ class TestBuildMix:
     def test_nothing_answerable_raises(self):
         with pytest.raises(ValueError, match="expanded to nothing"):
             build_mix(FakeArchive(periods=(), asns=()), {"as": 4.0})
+
+
+class FakeAnomalyArchive(FakeArchive):
+    """FakeArchive plus the anomaly lookup surface."""
+
+    def __init__(self, links=30, **kwargs):
+        super().__init__(**kwargs)
+        self._links = [f"10.0.0.{i}--10.0.1.{i}" for i in range(links)]
+
+    def anomaly_periods(self):
+        return [self._periods[0]]
+
+    def get_anomalies(self, period):
+        assert period == self._periods[0]
+        return {
+            "period": period,
+            "links": {
+                # Later links carry more samples, so the busiest
+                # (highest-index) ones must win the cap.
+                link: {"samples": i} for i, link in
+                enumerate(self._links)
+            },
+        }
+
+
+class TestAnomalyClasses:
+    def test_new_classes_are_known(self):
+        assert "anomalies" in ROUTE_CLASSES
+        assert "link-history" in ROUTE_CLASSES
+        assert parse_mix_spec(["anomalies=1", "link-history=2"]) == {
+            "anomalies": 1.0, "link-history": 2.0,
+        }
+
+    def test_anomalies_expand_to_reported_periods(self):
+        mix = dict(build_mix(FakeAnomalyArchive(), {"anomalies": 2.0}))
+        assert mix == {"/v1/period/2019-03/anomalies": 2.0}
+
+    def test_link_history_capped_at_busiest_links(self):
+        mix = dict(build_mix(
+            FakeAnomalyArchive(links=30), {"link-history": 3.0}
+        ))
+        assert len(mix) == MAX_MIX_LINKS
+        # Busiest link (most samples) is in; the sparsest is not.
+        assert "/v1/link/10.0.0.29--10.0.1.29/history" in mix
+        assert "/v1/link/10.0.0.0--10.0.1.0/history" not in mix
+        assert sum(mix.values()) == pytest.approx(3.0)
+
+    def test_report_less_archive_skips_anomaly_classes(self):
+        mix = dict(build_mix(
+            FakeArchive(),
+            {"healthz": 1.0, "anomalies": 2.0, "link-history": 2.0},
+        ))
+        assert mix == {"/v1/healthz": 1.0}
+
+    def test_default_spec_includes_anomaly_classes(self):
+        assert DEFAULT_MIX_SPEC["anomalies"] > 0
+        assert DEFAULT_MIX_SPEC["link-history"] > 0
