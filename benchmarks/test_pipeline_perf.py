@@ -127,7 +127,13 @@ def test_perf_estimation_backends(one_probe_day):
         f"vector:    {vector_s * 1e3:.2f} ms\n"
         f"speedup:   {speedup:.2f}x",
     )
-    assert speedup > 0
+    # The flat scan (memoized hop classification + one vectorized
+    # pairwise-subtraction pass) must actually beat the per-hop
+    # reference loop, not tie it.
+    assert speedup > 2.0, (
+        f"estimate-probe-series flat scan regressed to "
+        f"{speedup:.2f}x (bar: 2x)"
+    )
 
 
 def test_perf_lpm(benchmark):

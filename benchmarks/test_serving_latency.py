@@ -13,9 +13,11 @@ records the shed rate and the p99 of the requests that *were* served
 """
 
 import datetime as dt
+import http.client
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 
 import pytest
@@ -105,31 +107,38 @@ def test_serving_latency(archive):
     assert api.cache.stats.hit_rate > 0.9
 
     # -- over HTTP on an ephemeral port -------------------------------
+    # Keep-alive HTTP/1.1: one persistent connection, so the measured
+    # path is the server's request/response work (mmap-backed archive
+    # reads included), not per-request TCP handshakes.
     http_samples = []
     with SurveyServer(api) as server:
-        hot = server.url + targets[0]
-        with urllib.request.urlopen(hot, timeout=10) as response:
-            etag = response.headers["ETag"]
-            assert response.status == 200
+        parsed = urllib.parse.urlsplit(server.url)
+        conn = http.client.HTTPConnection(
+            parsed.hostname, parsed.port, timeout=10
+        )
+        conn.request("GET", targets[0])
+        response = conn.getresponse()
+        etag = response.headers["ETag"]
+        response.read()
+        assert response.status == 200
         started = time.perf_counter()
-        for i in range(400):
-            url = server.url + targets[i % len(targets)]
+        for i in range(1200):
             t0 = time.perf_counter()
-            with urllib.request.urlopen(url, timeout=10) as response:
-                assert response.status == 200
-                body = response.read()
+            conn.request("GET", targets[i % len(targets)])
+            response = conn.getresponse()
+            body = response.read()
+            assert response.status == 200
             http_samples.append(time.perf_counter() - t0)
             assert body
         http_elapsed = time.perf_counter() - started
         # One conditional re-request: the 304 path stays cheap.
-        request = urllib.request.Request(
-            hot, headers={"If-None-Match": etag}
+        conn.request(
+            "GET", targets[0], headers={"If-None-Match": etag}
         )
-        try:
-            urllib.request.urlopen(request, timeout=10)
-            not_modified = False
-        except urllib.error.HTTPError as error:
-            not_modified = error.code == 304
+        response = conn.getresponse()
+        response.read()
+        not_modified = response.status == 304
+        conn.close()
     http_rps = len(http_samples) / http_elapsed
     http_p50 = percentile(http_samples, 0.50) * 1e6
     http_p99 = percentile(http_samples, 0.99) * 1e6
@@ -164,7 +173,9 @@ def test_serving_latency(archive):
 
     assert not_modified
     assert api_rps > 1000          # warm dict hits, generous floor
-    assert http_rps > 50
+    # Keep-alive + mmap-backed segments: at least 2x the committed
+    # serial-urlopen baseline of 1820 req/s.
+    assert http_rps > 3640
 
 
 # -- overload: shed rate and served-request p99 under burst --------------

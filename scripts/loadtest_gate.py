@@ -80,13 +80,34 @@ def main() -> int:
             "healthz": 0.5, "metrics": 0.25,
         }),
     )
-    with observed(Observability()):
+    with observed(Observability()) as obs:
         api = SurveyAPI(archive)
         with SurveyServer(api) as server:
             print(f"gate run: {server.url}, concurrency "
                   f"{config.concurrency}, {config.duration_seconds:g}s "
                   f"(+{config.warmup_seconds:g}s warmup)", flush=True)
             report = run_load(http_transport(server.url), config)
+
+        # The gate measures the mmap serving path: every period must
+        # be segment-backed and mapped, and no request may have
+        # fallen back to the parsed-JSON document.
+        for name in archive.periods():
+            meta = archive.period_meta(name)
+            if meta["repr"] != "segment":
+                print(f"GATE FAIL: period {name} not segment-backed "
+                      f"(repr={meta['repr']!r})")
+                return 1
+            if not archive._reader(name).mapped:
+                print(f"GATE FAIL: period {name} segment not "
+                      "memory-mapped")
+                return 1
+        fallbacks = obs.metrics.counter(
+            "store_fallback_total", ""
+        ).value()
+        if fallbacks:
+            print(f"GATE FAIL: {fallbacks:g} segment reads fell "
+                  "back to parsed JSON during the run")
+            return 1
 
     for line in report.summary_lines():
         print(line)

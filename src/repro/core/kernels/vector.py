@@ -164,6 +164,11 @@ class VectorKernels:
     #: batched entry points (``dataset_bin_medians``, batched
     #: classification) instead of iterating.
     batched = True
+    #: The backend supports the flat survey pass (:mod:`.flat`):
+    #: flat-array traceroute scans and one grouped-median aggregation
+    #: pass over every AS.  Orchestrators check this capability before
+    #: routing; backends without it keep the per-AS path.
+    flat = True
 
     def bin_medians(
         self,
@@ -225,6 +230,49 @@ class VectorKernels:
         estimated = sampled & (counts_matrix >= min_traceroutes)
         medians[estimated] = grouped[estimated]
         return medians, estimated.sum(axis=1).astype(np.int64)
+
+    def flat_bin_medians(
+        self,
+        sample_bins: np.ndarray,
+        sample_values: np.ndarray,
+        counts: np.ndarray,
+        num_bins: int,
+        min_traceroutes: int,
+    ) -> Tuple[np.ndarray, int]:
+        """Per-bin medians from one probe's flat per-sample arrays."""
+        from .flat import flat_bin_medians
+
+        return flat_bin_medians(
+            sample_bins, sample_values, counts, num_bins,
+            min_traceroutes,
+        )
+
+    def flat_dataset_bin_medians(
+        self,
+        sample_keys: np.ndarray,
+        sample_values: np.ndarray,
+        num_probes: int,
+        num_bins: int,
+        counts_matrix: np.ndarray,
+        min_traceroutes: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Whole-dataset medians from flat per-sample key arrays."""
+        from .flat import flat_dataset_bin_medians
+
+        return flat_dataset_bin_medians(
+            sample_keys, sample_values, num_probes, num_bins,
+            counts_matrix, min_traceroutes,
+        )
+
+    def population_medians(
+        self,
+        delays: np.ndarray,
+        group_rows: Sequence[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Aggregated medians for every AS in one grouped pass."""
+        from .flat import population_median_pass
+
+        return population_median_pass(delays, group_rows)
 
     def stack_probe_delays(
         self,

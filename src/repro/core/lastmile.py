@@ -149,10 +149,12 @@ def _scan_results(
 ) -> Tuple[Optional[int], int, List[int], List[List[float]]]:
     """Stages 1–3 for one probe: timestamp gating, binning, sampling.
 
-    The single scan both kernel backends share — edge semantics (NaN
-    timestamps, out-of-period clocks, sample-less traceroutes) are
-    decided here exactly once, so backends can only differ in how they
-    compute medians.  Increments ``counts`` in place; returns
+    The reference scan — edge semantics (NaN timestamps,
+    out-of-period clocks, sample-less traceroutes) are decided here.
+    Flat backends use :func:`repro.core.kernels.flat.scan_lastmile_flat`,
+    which replicates these semantics exactly (the differential suite
+    proves the outputs and quality events byte-identical); any change
+    here must be mirrored there.  Increments ``counts`` in place; returns
     ``(prb_id, processed, sample_bins, sample_lists)`` where
     ``sample_lists[i]`` is the non-empty sample list of the i-th
     sampled traceroute and ``sample_bins[i]`` its bin.
@@ -234,11 +236,35 @@ def estimate_probe_series(
     are all non-finite — still count toward the bin's sanity count
     but are flagged; all three are recorded on ``quality`` when given.
     """
-    if sample_fn is None:
-        sample_fn = lastmile_samples
     kern = resolve_kernels(kernels)
     obs = get_observer()
     counts = np.zeros(grid.num_bins, dtype=np.int64)
+    if sample_fn is None and getattr(kern, "flat", False):
+        # Flat scan: same edge semantics and quality events, proven
+        # byte-identical by the differential suite; the pairwise
+        # sampling runs vectorized instead of per traceroute.
+        from .kernels.flat import scan_lastmile_flat
+
+        scan = scan_lastmile_flat(
+            results, grid, prb_id, quality, counts
+        )
+        prb_id, processed = scan.prb_id, scan.processed
+        if prb_id is None:
+            raise ValueError("empty result set and no prb_id given")
+        record_kernel_op(kern.name, "bin-medians")
+        medians, valid_bins = kern.flat_bin_medians(
+            scan.sample_bins, scan.sample_values, counts,
+            grid.num_bins, min_traceroutes,
+        )
+        obs.items_in(STAGE, processed)
+        obs.items_out(STAGE, valid_bins)
+        return ProbeBinSeries(
+            prb_id=prb_id,
+            median_rtt_ms=medians,
+            traceroute_counts=counts,
+        )
+    if sample_fn is None:
+        sample_fn = lastmile_samples
     prb_id, processed, sample_bins, sample_lists = _scan_results(
         results, grid, prb_id, sample_fn, quality, counts
     )
@@ -312,18 +338,58 @@ def _estimate_dataset_batched(
     one flat ``(probe_row, bin, samples)`` batch covering the whole
     dataset.
     """
-    if sample_fn is None:
-        sample_fn = lastmile_samples
     obs = get_observer()
     dataset = LastMileDataset(grid=grid)
     order = list(results_by_probe.items())
     counts_matrix = np.zeros(
         (len(order), grid.num_bins), dtype=np.int64
     )
+    processed_total = 0
+    if sample_fn is None and getattr(kern, "flat", False):
+        from .kernels.flat import scan_lastmile_flat
+
+        key_chunks: List[np.ndarray] = []
+        value_chunks: List[np.ndarray] = []
+        for row, (prb_id, results) in enumerate(order):
+            scan = scan_lastmile_flat(
+                results, grid, prb_id, quality, counts_matrix[row]
+            )
+            processed_total += scan.processed
+            if len(scan.sample_bins):
+                key_chunks.append(
+                    row * grid.num_bins + scan.sample_bins
+                )
+                value_chunks.append(scan.sample_values)
+        sample_keys = (
+            np.concatenate(key_chunks) if key_chunks
+            else np.zeros(0, dtype=np.int64)
+        )
+        sample_values = (
+            np.concatenate(value_chunks) if value_chunks
+            else np.zeros(0, dtype=np.float64)
+        )
+        record_kernel_op(kern.name, "dataset-bin-medians")
+        medians, valid_per_probe = kern.flat_dataset_bin_medians(
+            sample_keys, sample_values,
+            len(order), grid.num_bins, counts_matrix,
+            min_traceroutes,
+        )
+        obs.items_in(STAGE, processed_total)
+        obs.items_out(STAGE, int(valid_per_probe.sum()))
+        for row, (prb_id, _results) in enumerate(order):
+            series = ProbeBinSeries(
+                prb_id=prb_id,
+                median_rtt_ms=medians[row],
+                traceroute_counts=counts_matrix[row],
+            )
+            meta = probe_meta.get(prb_id) if probe_meta else None
+            dataset.add(series, meta=meta)
+        return dataset
+    if sample_fn is None:
+        sample_fn = lastmile_samples
     probe_rows: List[int] = []
     sample_bins: List[int] = []
     sample_lists: List[List[float]] = []
-    processed_total = 0
     for row, (prb_id, results) in enumerate(order):
         _, processed, bins_, lists_ = _scan_results(
             results, grid, prb_id, sample_fn, quality,

@@ -16,11 +16,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..apnic import EyeballRanking, RANK_BUCKETS, bucket_for_rank
-from ..netbase.errors import TransientFaultError
+from ..netbase.errors import EmptyPopulationError, TransientFaultError
 from ..obs import get_observer
 from ..quality import DataQualityReport, DropReason
 from ..timebase import MeasurementPeriod
-from .aggregate import aggregate_population
+from .aggregate import (
+    STAGE as AGGREGATE_STAGE,
+    AggregatedSignal,
+    aggregate_population,
+)
 from .classify import (
     Classification,
     ClassificationThresholds,
@@ -30,6 +34,7 @@ from .classify import (
 )
 from .filtering import asns_with_min_probes
 from .kernels import record_kernel_op, resolve_kernels
+from .lastmile import MIN_TRACEROUTES_PER_BIN
 from .series import LastMileDataset
 from .spectral import STAGE as SPECTRAL_STAGE, extract_markers
 
@@ -254,41 +259,49 @@ def classify_asn_batch(
         quality_for = lambda asn: None  # noqa: E731
     staged: List[Tuple[int, Sequence[int], Optional[object],
                        Optional[ASFailure]]] = []
-    for asn, probe_ids in ordered_groups:
-        quality = quality_for(asn)
-        signal = None
-        failure = None
-        with obs.span("classify", asn=asn):
-            attempts = 0
-            while True:
-                attempts += 1
-                try:
-                    signal = aggregate_population(
-                        dataset, probe_ids, quality=quality,
-                        kernels=kern,
-                    )
-                    break
-                except TransientFaultError as exc:
-                    if attempts < max_attempts:
-                        continue
-                    log.warning(
-                        "as-failed", asn=asn,
-                        error=type(exc).__name__, attempts=attempts,
-                    )
-                    failure = _build_failure(
-                        asn, exc, attempts, quality
-                    )
-                    break
-                except Exception as exc:  # noqa: BLE001 — isolation
-                    log.warning(
-                        "as-failed", asn=asn,
-                        error=type(exc).__name__, attempts=attempts,
-                    )
-                    failure = _build_failure(
-                        asn, exc, attempts, quality
-                    )
-                    break
-        staged.append((asn, probe_ids, signal, failure))
+    if getattr(kern, "flat", False):
+        staged = _stage_populations_flat(
+            dataset, ordered_groups, quality_for, kern,
+            max_attempts, obs, log,
+        )
+    else:
+        for asn, probe_ids in ordered_groups:
+            quality = quality_for(asn)
+            signal = None
+            failure = None
+            with obs.span("classify", asn=asn):
+                attempts = 0
+                while True:
+                    attempts += 1
+                    try:
+                        signal = aggregate_population(
+                            dataset, probe_ids, quality=quality,
+                            kernels=kern,
+                        )
+                        break
+                    except TransientFaultError as exc:
+                        if attempts < max_attempts:
+                            continue
+                        log.warning(
+                            "as-failed", asn=asn,
+                            error=type(exc).__name__,
+                            attempts=attempts,
+                        )
+                        failure = _build_failure(
+                            asn, exc, attempts, quality
+                        )
+                        break
+                    except Exception as exc:  # noqa: BLE001
+                        log.warning(
+                            "as-failed", asn=asn,
+                            error=type(exc).__name__,
+                            attempts=attempts,
+                        )
+                        failure = _build_failure(
+                            asn, exc, attempts, quality
+                        )
+                        break
+            staged.append((asn, probe_ids, signal, failure))
 
     survivors = [
         entry for entry in staged if entry[3] is None
@@ -333,6 +346,136 @@ def classify_asn_batch(
             (asn, report, None, signal if keep_signals else None)
         )
     return outcomes
+
+
+def _stage_populations_flat(
+    dataset: LastMileDataset,
+    ordered_groups: Sequence[Tuple[int, Sequence[int]]],
+    quality_for,
+    kern,
+    max_attempts: int,
+    obs,
+    log,
+) -> List[Tuple[int, Sequence[int], Optional[object],
+                Optional[ASFailure]]]:
+    """Aggregate every AS through the flat survey pass.
+
+    The array-driven twin of the per-AS ``aggregate_population``
+    loop: the (probe x bin) delay matrix is built once for the whole
+    dataset, each AS's envelope (span, retry, quality accounting,
+    :class:`EmptyPopulationError` isolation) only *gathers* its row
+    indices, and a single ``population_medians`` kernel call computes
+    every AS's aggregated signal at the end.  Quality events land on
+    each AS's ledger in the same order ``aggregate_population`` emits
+    them (ingest → missing-series drop → dead-probe degrade), so the
+    ledgers are byte-identical to the per-AS path.
+    """
+    from .kernels.flat import dataset_matrices, delay_matrix
+
+    index, medians_matrix, counts_matrix = dataset_matrices(dataset)
+    delays, dead = delay_matrix(
+        medians_matrix, counts_matrix, MIN_TRACEROUTES_PER_BIN
+    )
+
+    def gather(probe_ids, quality):
+        requested = list(probe_ids)
+        with obs.stage_span(
+            "aggregate", probes=len(requested), kernel=kern.name
+        ):
+            present = [p for p in requested if p in dataset.series]
+            obs.items_in(AGGREGATE_STAGE, len(requested))
+            if quality is not None:
+                quality.ingest(AGGREGATE_STAGE, n=len(requested))
+                missing = len(requested) - len(present)
+                if missing:
+                    quality.drop(
+                        AGGREGATE_STAGE, DropReason.NO_VALID_BINS,
+                        n=missing,
+                        detail=(
+                            f"{missing} probes have metadata but "
+                            "no series"
+                        ),
+                    )
+            if not present:
+                raise EmptyPopulationError(
+                    f"no probes to aggregate "
+                    f"(requested {len(requested)})"
+                )
+            rows = np.fromiter(
+                (index[p] for p in present),
+                dtype=np.int64, count=len(present),
+            )
+            if quality is not None:
+                dead_count = int(dead[rows].sum())
+                if dead_count:
+                    quality.degrade(
+                        AGGREGATE_STAGE, DropReason.NO_VALID_BINS,
+                        n=dead_count,
+                        detail=f"{dead_count} probes contributed "
+                        "no valid bin",
+                    )
+            obs.items_out(AGGREGATE_STAGE, len(present))
+            return rows
+
+    gathered: List[Tuple[int, Sequence[int], Optional[np.ndarray],
+                         Optional[ASFailure]]] = []
+    for asn, probe_ids in ordered_groups:
+        quality = quality_for(asn)
+        rows = None
+        failure = None
+        with obs.span("classify", asn=asn):
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    rows = gather(probe_ids, quality)
+                    break
+                except TransientFaultError as exc:
+                    if attempts < max_attempts:
+                        continue
+                    log.warning(
+                        "as-failed", asn=asn,
+                        error=type(exc).__name__, attempts=attempts,
+                    )
+                    failure = _build_failure(
+                        asn, exc, attempts, quality
+                    )
+                    break
+                except Exception as exc:  # noqa: BLE001 — isolation
+                    log.warning(
+                        "as-failed", asn=asn,
+                        error=type(exc).__name__, attempts=attempts,
+                    )
+                    failure = _build_failure(
+                        asn, exc, attempts, quality
+                    )
+                    break
+        gathered.append((asn, probe_ids, rows, failure))
+
+    survivors = [entry for entry in gathered if entry[3] is None]
+    record_kernel_op(
+        kern.name, "population-medians", len(survivors)
+    )
+    medians, contributing = kern.population_medians(
+        delays, [rows for _, _, rows, _ in survivors]
+    )
+    signals = {}
+    for group, (asn, _probe_ids, rows, _failure) in enumerate(
+        survivors
+    ):
+        delay_ms = np.where(
+            contributing[group] >= 1, medians[group], np.nan
+        )
+        signals[asn] = AggregatedSignal(
+            grid=dataset.grid,
+            delay_ms=delay_ms,
+            probe_count=len(rows),
+            contributing=contributing[group],
+        )
+    return [
+        (asn, probe_ids, signals.get(asn), failure)
+        for asn, probe_ids, _rows, failure in gathered
+    ]
 
 
 def classify_dataset(

@@ -267,27 +267,57 @@ def _distill(
 def http_transport(
     base_url: str, timeout: float = 30.0
 ) -> Transport:
-    """Real-socket transport against ``base_url`` (no trailing slash)."""
-    import urllib.error
-    import urllib.request
+    """Real-socket transport against ``base_url`` (no trailing slash).
 
-    base = base_url.rstrip("/")
+    One persistent HTTP/1.1 keep-alive connection per worker thread
+    (the engine drives a transport from many threads): connection
+    setup is paid once per worker, not once per request, so the
+    measured path is request/response work, not TCP handshakes.  A
+    dropped or stale connection is rebuilt and the request retried
+    once before the failure surfaces as an error outcome.
+    """
+    import http.client
+    import urllib.parse
+
+    parsed = urllib.parse.urlsplit(base_url.rstrip("/"))
+    prefix = parsed.path.rstrip("/")
+    local = threading.local()
+
+    def connection() -> http.client.HTTPConnection:
+        conn = getattr(local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                parsed.hostname, parsed.port, timeout=timeout
+            )
+            local.conn = conn
+        return conn
+
+    def drop() -> None:
+        conn = getattr(local, "conn", None)
+        if conn is not None:
+            conn.close()
+        local.conn = None
+
+    def once(target: str) -> Outcome:
+        conn = connection()
+        conn.request("GET", prefix + target)
+        response = conn.getresponse()
+        response.read()
+        return Outcome(
+            status=response.status,
+            retry_after=response.headers.get("Retry-After"),
+        )
 
     def send(target: str) -> Outcome:
-        url = base + target
         try:
-            with urllib.request.urlopen(url, timeout=timeout) as rsp:
-                rsp.read()
-                return Outcome(
-                    status=rsp.status,
-                    retry_after=rsp.headers.get("Retry-After"),
-                )
-        except urllib.error.HTTPError as error:
-            error.read()
-            return Outcome(
-                status=error.code,
-                retry_after=error.headers.get("Retry-After"),
-            )
+            return once(target)
+        except (http.client.HTTPException, OSError):
+            drop()
+            try:
+                return once(target)
+            except (http.client.HTTPException, OSError):
+                drop()
+                raise
 
     return send
 

@@ -36,6 +36,19 @@ from .executor import (
     run_survey_period_parallel,
 )
 from .sharding import partition_asns, shard_groups
+from .transport import (
+    PackedDataset,
+    PackedSignals,
+    SHM_ENV,
+    ShmBlockRef,
+    pack_arrays,
+    pack_dataset,
+    pack_signals,
+    shm_enabled,
+    unpack_arrays,
+    unpack_dataset,
+    unpack_signals,
+)
 from .worker import (
     ASOutcome,
     DatasetShardTask,
@@ -67,4 +80,15 @@ __all__ = [
     "run_survey_shard",
     "run_dataset_shard",
     "slice_dataset",
+    "SHM_ENV",
+    "ShmBlockRef",
+    "PackedDataset",
+    "PackedSignals",
+    "pack_arrays",
+    "unpack_arrays",
+    "pack_dataset",
+    "unpack_dataset",
+    "pack_signals",
+    "unpack_signals",
+    "shm_enabled",
 ]

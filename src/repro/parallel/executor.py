@@ -55,6 +55,11 @@ from .cache import (
     survey_as_fingerprint,
 )
 from .sharding import shard_groups
+from .transport import (
+    pack_dataset,
+    shm_enabled,
+    unpack_signals,
+)
 from .worker import (
     ASOutcome,
     DatasetShardTask,
@@ -302,13 +307,20 @@ def classify_dataset_sharded(
                     continue
             pending[asn] = list(probe_ids)
 
+        # Zero-copy boundary: with a real pool, each shard's numeric
+        # payload rides in a shared-memory block the parent owns (and
+        # unlinks, success or crash); in-process shards skip packing.
+        use_shm = workers > 1 and shm_enabled()
         tasks = [
             DatasetShardTask(
                 index=index,
-                dataset=slice_dataset(dataset, [
-                    prb_id for probe_ids in shard.values()
-                    for prb_id in probe_ids
-                ]),
+                dataset=pack_dataset(
+                    slice_dataset(dataset, [
+                        prb_id for probe_ids in shard.values()
+                        for prb_id in probe_ids
+                    ]),
+                    use_shm=use_shm,
+                ),
                 groups=shard, thresholds=thresholds,
                 max_attempts=max_attempts, keep_signals=keep_signals,
                 kernels=kern.name,
@@ -317,7 +329,14 @@ def classify_dataset_sharded(
             )
             for index, shard in enumerate(shard_groups(pending, workers))
         ]
-        shard_results = _execute_shards(tasks, run_dataset_shard, workers)
+        try:
+            shard_results = _execute_shards(
+                tasks, run_dataset_shard, workers
+            )
+        finally:
+            for task in tasks:
+                task.dataset.release()
+        _restore_packed_signals(shard_results, dataset.grid)
         _merge_outcomes(
             result, groups, cached, shard_results,
             cache=cache if use_cache else None, keys=keys,
@@ -344,6 +363,27 @@ def classify_dataset_sharded(
 
 
 # -- internals -------------------------------------------------------------
+
+
+def _restore_packed_signals(shard_results, grid) -> None:
+    """Reattach signals that traveled via shared memory.
+
+    The parent copies each signal out of the worker-created block and
+    unlinks it immediately — blocks never outlive this call, even if
+    reassembly fails halfway.
+    """
+    for shard_result in shard_results:
+        packed = shard_result.packed_signals
+        if packed is None:
+            continue
+        try:
+            signals = unpack_signals(packed, grid)
+            for outcome in shard_result.outcomes:
+                if outcome.asn in signals:
+                    outcome.signal = signals[outcome.asn]
+        finally:
+            packed.release()
+            shard_result.packed_signals = None
 
 
 def _execute_shards(tasks, shard_fn, workers: int) -> List[ShardResult]:

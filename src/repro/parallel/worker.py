@@ -73,6 +73,10 @@ class ShardResult:
     wall_seconds: float
     #: Worker-side metrics + spans (None when the parent ran un-observed).
     telemetry: Optional[object] = None
+    #: Kept signals shipped via shared memory instead of pickling
+    #: (None when ``keep_signals`` is off or the shm path is down —
+    #: signals then stay on their outcomes).
+    packed_signals: Optional[object] = None
 
 
 @dataclass
@@ -106,10 +110,17 @@ class SurveyShardTask:
 
 @dataclass
 class DatasetShardTask:
-    """Inputs of one in-memory classify shard."""
+    """Inputs of one in-memory classify shard.
+
+    ``dataset`` is either the sliced :class:`LastMileDataset` itself
+    (pickle boundary) or a
+    :class:`~repro.parallel.transport.PackedDataset` whose numeric
+    payload rides in shared memory (zero-copy boundary); the worker
+    handles both.
+    """
 
     index: int
-    dataset: LastMileDataset
+    dataset: object
     groups: Dict[int, List[int]]
     thresholds: ClassificationThresholds = DEFAULT_THRESHOLDS
     max_attempts: int = 2
@@ -204,20 +215,48 @@ def run_survey_shard(task: SurveyShardTask) -> ShardResult:
 
 def run_dataset_shard(task: DatasetShardTask) -> ShardResult:
     """Classify one shard of an already-built dataset."""
+    from .transport import PackedDataset, pack_signals, unpack_dataset
+
     started = time.perf_counter()
     with _shard_observer(task) as snapshot:
-        outcomes = _classify_groups(
-            task.dataset, task.groups, task.thresholds,
-            task.max_attempts, keep_signals=task.keep_signals,
-            kernels=task.kernels,
-        )
-        telemetry = snapshot()
+        if isinstance(task.dataset, PackedDataset):
+            dataset, close_dataset = unpack_dataset(task.dataset)
+        else:
+            dataset, close_dataset = task.dataset, lambda: None
+        try:
+            outcomes = _classify_groups(
+                dataset, task.groups, task.thresholds,
+                task.max_attempts, keep_signals=task.keep_signals,
+                kernels=task.kernels,
+            )
+        finally:
+            close_dataset()
+        packed_signals = None
+        if task.keep_signals:
+            kept = {
+                outcome.asn: outcome.signal
+                for outcome in outcomes
+                if outcome.signal is not None
+            }
+            packed_signals = pack_signals(kept)
+        try:
+            if packed_signals is not None:
+                for outcome in outcomes:
+                    outcome.signal = None
+            telemetry = snapshot()
+        except BaseException:
+            # The worker created the block; if the result never makes
+            # it back, the worker must unlink it.
+            if packed_signals is not None:
+                packed_signals.release()
+            raise
     return ShardResult(
         index=task.index,
         outcomes=outcomes,
         fault_log=FaultLog(),
         wall_seconds=time.perf_counter() - started,
         telemetry=telemetry,
+        packed_signals=packed_signals,
     )
 
 

@@ -48,6 +48,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     server_version = SERVER_NAME
     protocol_version = "HTTP/1.1"
+    # Keep-alive clients issue many small request/response rounds on
+    # one socket; Nagle + delayed ACK would add ~40ms to each, so
+    # flush segments immediately.
+    disable_nagle_algorithm = True
 
     # The server object carries the API (set by SurveyServer).
     def _api(self) -> SurveyAPI:

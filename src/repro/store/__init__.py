@@ -27,8 +27,10 @@ from .archive import (
     ArchiveStats,
     LivePeriodWriter,
     SCHEMA_VERSION,
+    STORE_MMAP_ENV,
     SurveyArchive,
     payload_checksum,
+    store_mmap_enabled,
 )
 from .errors import (
     AnomalyReportExistsError,
@@ -67,6 +69,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "ARCHIVE_FORMAT",
     "payload_checksum",
+    "STORE_MMAP_ENV",
+    "store_mmap_enabled",
     "ArchiveError",
     "PeriodExistsError",
     "PeriodNotFoundError",

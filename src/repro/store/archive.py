@@ -87,6 +87,16 @@ ARCHIVE_FORMAT = "repro-archive"
 
 STAGE = "store-archive"
 
+#: Environment knob: ``0``/``off``/``false``/``no``/``json`` makes
+#: segment readers use seek+read file handles instead of mmap.
+STORE_MMAP_ENV = "REPRO_STORE_MMAP"
+
+
+def store_mmap_enabled() -> bool:
+    """True when segment readers should memory-map their files."""
+    env = os.environ.get(STORE_MMAP_ENV, "").strip().lower()
+    return env not in {"0", "off", "false", "no", "json"}
+
 
 def _sha(text: str) -> str:
     return hashlib.sha256(text.encode("ascii")).hexdigest()
@@ -576,12 +586,42 @@ class SurveyArchive:
         if reader is None:
             path = self.segment_path(name)
             try:
-                reader = SegmentReader(path)
+                reader = SegmentReader(
+                    path, use_mmap=store_mmap_enabled()
+                )
             except ArchiveCorruptionError:
                 self._quarantine(path)
                 raise
             self._readers[name] = reader
         return reader
+
+    def _segment_fallback(
+        self, name: str, meta: Dict
+    ) -> Optional[Dict]:
+        """Serve a period's JSON document after its segment failed.
+
+        ``compact(keep_json=True)`` leaves the JSON next to the
+        segment; a torn segment then degrades to the slower parsed
+        path — booked in ``store_fallback_total`` — instead of an
+        error.  Returns the verified (and cached) payload, or None
+        when no JSON document survives.
+        """
+        source = self.period_path(name)
+        if not source.exists():
+            return None
+        get_observer().counter(
+            "store_fallback_total",
+            "segment reads served from the period JSON document "
+            "after segment corruption",
+        ).inc()
+        payload = self._read_wrapped(source)
+        if payload_checksum(payload) != meta["checksum"]:
+            raise ArchiveCorruptionError(
+                source,
+                "payload does not match manifest checksum",
+            )
+        self._payloads[name] = payload
+        return payload
 
     def get_period(self, name: str) -> Dict:
         """One period's full ``survey_to_dict`` payload.
@@ -601,7 +641,10 @@ class SurveyArchive:
                 payload = self._reader(name).payload()
             except ArchiveCorruptionError:
                 self._drop_reader(name, quarantine=True)
-                raise
+                fallback = self._segment_fallback(name, meta)
+                if fallback is None:
+                    raise
+                return fallback
             source = self.segment_path(name)
         elif meta["repr"] == "live":
             source = self.live_path(name, meta["revision"])
@@ -633,7 +676,10 @@ class SurveyArchive:
                 entry = self._reader(name).get(int(asn))
             except ArchiveCorruptionError:
                 self._drop_reader(name, quarantine=True)
-                raise
+                fallback = self._segment_fallback(name, meta)
+                if fallback is None:
+                    raise
+                entry = fallback["reports"].get(str(int(asn)))
         else:
             entry = self.get_period(name)["reports"].get(str(int(asn)))
         if entry is None:
@@ -661,9 +707,32 @@ class SurveyArchive:
             self._indexes[name] = cached
         return cached
 
+    def _segment_columns(self, name: str) -> Optional[SegmentReader]:
+        """The period's segment reader when its columns are usable.
+
+        None sends the caller down the JSON-index path: non-segment
+        representations, pre-columns segments, and unreadable segments
+        (which the slow path will quarantine and report properly).
+        """
+        meta = self.period_meta(name)
+        if meta["repr"] != "segment":
+            return None
+        try:
+            reader = self._reader(name)
+            if not reader.has_columns():
+                return None
+            reader.columns()
+        except ArchiveCorruptionError:
+            return None
+        return reader
+
     def asns(self, period: Optional[str] = None) -> List[int]:
         """Monitored ASNs of one period, sorted."""
         name = period if period is not None else self.latest()
+        reader = self._segment_columns(name)
+        if reader is not None:
+            self.stats.segment_lookups += 1
+            return reader.asns()
         index = self._index(name)
         return sorted(
             asn for asns in index["severity"].values() for asn in asns
@@ -673,6 +742,12 @@ class SurveyArchive:
         self, period: str, severity: str
     ) -> List[int]:
         """ASNs of one period carrying exactly ``severity``."""
+        reader = self._segment_columns(period)
+        if reader is not None:
+            fast = reader.asns_with_severity(severity)
+            if fast is not None:
+                self.stats.segment_lookups += 1
+                return fast
         return sorted(self._index(period)["severity"].get(severity, []))
 
     def severe_asns(self, period: str) -> List[int]:
@@ -681,6 +756,12 @@ class SurveyArchive:
 
     def reported_asns(self, period: str) -> List[int]:
         """Congested (non-None) ASNs of one period, sorted."""
+        reader = self._segment_columns(period)
+        if reader is not None:
+            fast = reader.reported_asns()
+            if fast is not None:
+                self.stats.segment_lookups += 1
+                return fast
         index = self._index(period)["severity"]
         return sorted(
             asn
@@ -714,6 +795,31 @@ class SurveyArchive:
         asn = int(asn)
         entries = []
         for name in self.periods():
+            if name not in self._payloads:
+                reader = self._segment_columns(name)
+                if reader is not None:
+                    # Columnar fast path: severity/count/amplitude
+                    # straight from the mapped arrays, bit-identical
+                    # to deriving them from the JSON blob.
+                    self.stats.lookups += 1
+                    self.stats.segment_lookups += 1
+                    hot = reader.column_entry(asn)
+                    if hot is None:
+                        entries.append({
+                            "period": name, "monitored": False,
+                            "severity": None,
+                        })
+                    else:
+                        entries.append({
+                            "period": name,
+                            "monitored": True,
+                            "severity": hot["severity"],
+                            "probe_count": hot["probe_count"],
+                            "daily_amplitude_ms": (
+                                hot["daily_amplitude_ms"]
+                            ),
+                        })
+                    continue
             try:
                 report = self.get(asn, name)
             except ASNotFoundError:

@@ -29,9 +29,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import mmap
+import os
 import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Union
+
+import numpy as np
 
 from ..parallel.cache import canonical_json
 from .errors import ArchiveCorruptionError
@@ -45,6 +49,16 @@ MAGIC = b"REPROSEG1\n"
 #: Trailer layout: footer offset (20 ascii digits) + footer length
 #: (20 ascii digits) + footer SHA-256 (64 hex chars).
 _TRAILER_LEN = 20 + 20 + 64
+
+#: Columnar hot fields packed after the blobs: one value per
+#: monitored AS, rows sorted by int ASN (blob order).  ``severity``
+#: stores uint8 codes into the footer's ``severity_codes`` table.
+_COLUMN_DTYPES = (
+    ("asn", "<i8"),
+    ("probe_count", "<i8"),
+    ("severity", "|u1"),
+    ("daily_amplitude_ms", "<f8"),
+)
 
 
 def _sha(data: bytes) -> str:
@@ -65,17 +79,24 @@ def write_segment(
     blobs: List[bytes] = []
     index: Dict[str, List] = {}
     offset = len(MAGIC)
-    for asn_text in sorted(reports, key=int):
+    ordered = sorted(reports, key=int)
+    for asn_text in ordered:
         blob = canonical_json(reports[asn_text]).encode("ascii")
         index[asn_text] = [offset, len(blob), _sha(blob)]
         blobs.append(blob)
         offset += len(blob)
+    columns_bytes, columns_meta = _pack_columns(
+        [(int(asn_text), reports[asn_text]) for asn_text in ordered],
+        offset,
+    )
+    offset += len(columns_bytes)
     footer = {
         "format": MAGIC.decode("ascii").strip(),
         "period": payload["period"],
         "failures": payload.get("failures", {}),
         "quality": payload.get("quality", {}),
         "reports_index": index,
+        "columns": columns_meta,
         "payload_checksum": _sha(
             canonical_json(payload).encode("ascii")
         ),
@@ -88,28 +109,104 @@ def write_segment(
     assert len(trailer) == _TRAILER_LEN
 
     io.write_atomic(
-        path, MAGIC + b"".join(blobs) + footer_bytes + trailer
+        path,
+        MAGIC + b"".join(blobs) + columns_bytes + footer_bytes
+        + trailer,
     )
     return path
+
+
+def _pack_columns(reports, base_offset: int):
+    """Binary hot-field arrays + their footer metadata.
+
+    The values mirror exactly what the JSON path derives per report:
+    severity string, probe count, and the daily amplitude (0.0 when
+    markers are None — the convention :meth:`SurveyArchive.history`
+    uses), so columnar answers are byte-identical once rendered.
+    """
+    count = len(reports)
+    severity_codes = sorted({
+        report["severity"] for _, report in reports
+    })
+    code_of = {name: code for code, name in enumerate(severity_codes)}
+    arrays = {
+        "asn": np.fromiter(
+            (asn for asn, _ in reports), dtype=np.int64, count=count,
+        ),
+        "probe_count": np.fromiter(
+            (report["probe_count"] for _, report in reports),
+            dtype=np.int64, count=count,
+        ),
+        "severity": np.fromiter(
+            (code_of[report["severity"]] for _, report in reports),
+            dtype=np.uint8, count=count,
+        ),
+        "daily_amplitude_ms": np.fromiter(
+            (
+                (report["markers"] or {}).get(
+                    "daily_amplitude_ms", 0.0
+                )
+                for _, report in reports
+            ),
+            dtype=np.float64, count=count,
+        ),
+    }
+    chunks: List[bytes] = []
+    layout: Dict[str, List] = {}
+    offset = base_offset
+    for name, dtype in _COLUMN_DTYPES:
+        data = arrays[name].astype(np.dtype(dtype)).tobytes()
+        layout[name] = [offset, count, dtype]
+        chunks.append(data)
+        offset += len(data)
+    blob = b"".join(chunks)
+    meta = {
+        "offset": base_offset,
+        "nbytes": len(blob),
+        "count": count,
+        "checksum": _sha(blob),
+        "severity_codes": severity_codes,
+        "arrays": layout,
+    }
+    return blob, meta
 
 
 class SegmentReader:
     """Point-lookup view over one packed segment.
 
-    Thread-safe: the shared file handle is guarded by a lock around
-    each seek+read pair, so the HTTP server's worker threads can share
-    one reader.
+    Two read modes:
+
+    * ``use_mmap=True`` (default) maps the file once; every read is a
+      buffer slice — no seeks, no locks, and the hot columns are
+      served as zero-copy numpy views over the mapping.
+    * ``use_mmap=False`` keeps the historical shared-handle mode,
+      thread-safe via a lock around each seek+read pair.
+
+    Both modes verify every byte they serve; queries are
+    byte-identical across modes by construction (same blobs, same
+    checksums).
     """
 
-    def __init__(self, path: PathLike):
+    def __init__(self, path: PathLike, use_mmap: bool = True):
         self.path = Path(path)
         self._lock = threading.Lock()
+        self._map: Optional[mmap.mmap] = None
+        self._columns: Optional[Dict[str, np.ndarray]] = None
         try:
             self._handle = open(self.path, "rb")
         except OSError as exc:
             raise ArchiveCorruptionError(
                 self.path, f"segment unreadable: {exc}"
             ) from None
+        if use_mmap:
+            try:
+                self._map = mmap.mmap(
+                    self._handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+            except (OSError, ValueError):
+                # Zero-length or unmappable file: the handle path
+                # still works and reports corruption properly.
+                self._map = None
         try:
             self._footer = self._load_footer()
         except ArchiveCorruptionError:
@@ -122,7 +219,21 @@ class SegmentReader:
 
     # -- lifecycle -----------------------------------------------------
 
+    @property
+    def mapped(self) -> bool:
+        """True when reads are served from the memory mapping."""
+        return self._map is not None
+
     def close(self) -> None:
+        self._columns = None
+        if self._map is not None:
+            try:
+                self._map.close()
+            except BufferError:
+                # Column views still alive somewhere; the mapping is
+                # reclaimed when the last view dies.
+                pass
+            self._map = None
         self._handle.close()
 
     def __enter__(self) -> "SegmentReader":
@@ -134,9 +245,19 @@ class SegmentReader:
     # -- internals -----------------------------------------------------
 
     def _read_at(self, offset: int, length: int) -> bytes:
-        with self._lock:
-            self._handle.seek(offset)
-            data = self._handle.read(length)
+        try:
+            if self._map is not None:
+                data = self._map[offset:offset + length]
+            else:
+                with self._lock:
+                    self._handle.seek(offset)
+                    data = self._handle.read(length)
+        except ValueError:
+            # A concurrent quarantine closed this reader mid-read;
+            # surface it as corruption so callers fall back cleanly.
+            raise ArchiveCorruptionError(
+                self.path, "segment reader closed mid-read"
+            ) from None
         if len(data) != length:
             raise ArchiveCorruptionError(
                 self.path, f"truncated read at {offset}+{length}"
@@ -144,7 +265,9 @@ class SegmentReader:
         return data
 
     def _load_footer(self) -> Dict:
-        size = self.path.stat().st_size
+        # fstat, not stat: the open handle stays valid even if a
+        # concurrent quarantine renames the file away mid-open.
+        size = os.fstat(self._handle.fileno()).st_size
         if size < len(MAGIC) + _TRAILER_LEN:
             raise ArchiveCorruptionError(
                 self.path, f"file too short ({size} bytes)"
@@ -191,6 +314,113 @@ class SegmentReader:
     def asns(self) -> List[int]:
         """Monitored ASNs, sorted."""
         return sorted(self._index)
+
+    def has_columns(self) -> bool:
+        """True when the segment carries the binary hot columns."""
+        return isinstance(self._footer.get("columns"), dict)
+
+    def columns(self) -> Optional[Dict[str, np.ndarray]]:
+        """Hot-field arrays, checksum-verified once then cached.
+
+        Zero-copy views over the mapping when mapped; materialized
+        reads otherwise.  None for segments written before the
+        columns section existed.
+        """
+        if self._columns is not None:
+            return self._columns
+        meta = self._footer.get("columns")
+        if not isinstance(meta, dict):
+            return None
+        base = int(meta["offset"])
+        nbytes = int(meta["nbytes"])
+        if self._map is not None:
+            try:
+                buffer: Union[bytes, mmap.mmap] = self._map
+                blob = memoryview(self._map)[base:base + nbytes]
+            except ValueError:
+                raise ArchiveCorruptionError(
+                    self.path, "segment reader closed mid-read"
+                ) from None
+            section_base = base
+        else:
+            blob = buffer = self._read_at(base, nbytes)
+            section_base = 0
+        if len(blob) != nbytes or _sha(blob) != meta.get("checksum"):
+            raise ArchiveCorruptionError(
+                self.path, "columns section fails checksum"
+            )
+        arrays: Dict[str, np.ndarray] = {}
+        for name, (offset, count, dtype) in meta["arrays"].items():
+            view = np.frombuffer(
+                buffer, dtype=np.dtype(dtype), count=int(count),
+                offset=section_base + int(offset) - base,
+            )
+            arrays[name] = view
+        self._columns = arrays
+        return arrays
+
+    def severity_codes(self) -> List[str]:
+        """Severity strings indexed by the ``severity`` column codes."""
+        meta = self._footer.get("columns") or {}
+        return list(meta.get("severity_codes", []))
+
+    def column_entry(self, asn: int) -> Optional[Dict]:
+        """One AS's hot fields straight from the columns.
+
+        Byte-identical to deriving the same fields from the JSON blob:
+        severity strings come from the footer's code table, counts are
+        exact int64, and the amplitude is the stored float64 (0.0 when
+        the report had no markers).  None when the segment has no
+        columns section or the AS is absent.
+        """
+        arrays = self.columns()
+        if arrays is None:
+            return None
+        asns = arrays["asn"]
+        pos = int(np.searchsorted(asns, int(asn)))
+        if pos >= len(asns) or int(asns[pos]) != int(asn):
+            return None
+        codes = self.severity_codes()
+        code = int(arrays["severity"][pos])
+        if code >= len(codes):
+            raise ArchiveCorruptionError(
+                self.path, f"severity code {code} out of range"
+            )
+        return {
+            "severity": codes[code],
+            "probe_count": int(arrays["probe_count"][pos]),
+            "daily_amplitude_ms": float(
+                arrays["daily_amplitude_ms"][pos]
+            ),
+        }
+
+    def asns_with_severity(self, severity: str) -> Optional[List[int]]:
+        """Sorted ASNs whose report carries ``severity``.
+
+        Columnar scan; None when the segment predates the columns
+        section (caller falls back to the JSON index).
+        """
+        arrays = self.columns()
+        if arrays is None:
+            return None
+        codes = self.severity_codes()
+        try:
+            code = codes.index(severity)
+        except ValueError:
+            return []
+        mask = arrays["severity"] == np.uint8(code)
+        return [int(asn) for asn in arrays["asn"][mask]]
+
+    def reported_asns(self) -> Optional[List[int]]:
+        """Sorted ASNs with a non-``none`` severity (congested set)."""
+        arrays = self.columns()
+        if arrays is None:
+            return None
+        codes = self.severity_codes()
+        if "none" not in codes:
+            return [int(asn) for asn in arrays["asn"]]
+        mask = arrays["severity"] != np.uint8(codes.index("none"))
+        return [int(asn) for asn in arrays["asn"][mask]]
 
     def __contains__(self, asn: int) -> bool:
         return int(asn) in self._index
